@@ -1,0 +1,61 @@
+//! Criterion benches for Tier 2: TSP solvers and the incentive pass.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use esharing_charging::{
+    tsp, ChargingCostParams, IncentiveMechanism, StationEnergy, UserModel,
+};
+use esharing_geo::Point;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn stops(n: usize, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Point::new(rng.gen_range(0.0..3_000.0), rng.gen_range(0.0..3_000.0)))
+        .collect()
+}
+
+fn bench_tsp(c: &mut Criterion) {
+    let depot = Point::ORIGIN;
+    let mut group = c.benchmark_group("tsp");
+    for n in [8usize, 12] {
+        let pts = stops(n, 1);
+        group.bench_with_input(BenchmarkId::new("held_karp", n), &n, |b, _| {
+            b.iter(|| black_box(tsp::held_karp(depot, &pts)));
+        });
+    }
+    for n in [25usize, 50, 100] {
+        let pts = stops(n, 2);
+        group.bench_with_input(BenchmarkId::new("nn_plus_2opt", n), &n, |b, _| {
+            b.iter(|| {
+                let order = tsp::nearest_neighbor(depot, &pts);
+                black_box(tsp::two_opt(depot, &pts, &order))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_incentives(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let stations: Vec<StationEnergy> = (0..40)
+        .map(|_| StationEnergy {
+            location: Point::new(rng.gen_range(0.0..3_000.0), rng.gen_range(0.0..3_000.0)),
+            low_bikes: rng.gen_range(0..25),
+            arrivals: 100,
+        })
+        .collect();
+    let mechanism = IncentiveMechanism::new(
+        ChargingCostParams::default(),
+        UserModel::default(),
+        0.4,
+        9,
+    );
+    c.bench_function("incentive_period_40_stations", |b| {
+        b.iter(|| black_box(mechanism.run_period(&stations)));
+    });
+}
+
+criterion_group!(benches, bench_tsp, bench_incentives);
+criterion_main!(benches);

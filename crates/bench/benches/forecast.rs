@@ -1,0 +1,81 @@
+//! Criterion benches for the prediction engine: LSTM training/inference
+//! and the statistical baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use esharing_forecast::{Arima, Forecaster, Lstm, LstmConfig, MovingAverage};
+use std::hint::black_box;
+
+fn diurnal_series(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|t| {
+            60.0 + 40.0 * (t as f64 * std::f64::consts::TAU / 24.0).sin()
+                + 10.0 * (t as f64 * std::f64::consts::TAU / 12.0).cos()
+        })
+        .collect()
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let series = diurnal_series(14 * 24);
+    let mut group = c.benchmark_group("forecast_fit");
+    group.sample_size(10);
+    for layers in [1usize, 2] {
+        group.bench_with_input(
+            BenchmarkId::new("lstm_20_epochs", layers),
+            &layers,
+            |b, &layers| {
+                b.iter(|| {
+                    let mut model = Lstm::new(LstmConfig {
+                        layers,
+                        hidden: 16,
+                        back: 12,
+                        epochs: 20,
+                        ..LstmConfig::default()
+                    })
+                    .expect("valid");
+                    model.fit(&series).expect("fit");
+                    black_box(model.last_loss())
+                });
+            },
+        );
+    }
+    group.bench_function("arima_p10_d1", |b| {
+        b.iter(|| {
+            let mut model = Arima::new(10, 1).expect("valid");
+            model.fit(&series).expect("fit");
+            black_box(model.coefficients().map(|(i, _)| i))
+        });
+    });
+    group.finish();
+}
+
+fn bench_forecast(c: &mut Criterion) {
+    let series = diurnal_series(14 * 24);
+    let mut lstm = Lstm::new(LstmConfig {
+        layers: 2,
+        hidden: 16,
+        back: 12,
+        epochs: 20,
+        ..LstmConfig::default()
+    })
+    .expect("valid");
+    lstm.fit(&series).expect("fit");
+    let mut arima = Arima::new(10, 0).expect("valid");
+    arima.fit(&series).expect("fit");
+    let mut ma = MovingAverage::new(3).expect("valid");
+    ma.fit(&series).expect("fit");
+
+    let mut group = c.benchmark_group("forecast_6h");
+    group.bench_function("lstm", |b| {
+        b.iter(|| black_box(lstm.forecast(&series, 6).expect("forecast")));
+    });
+    group.bench_function("arima", |b| {
+        b.iter(|| black_box(arima.forecast(&series, 6).expect("forecast")));
+    });
+    group.bench_function("moving_average", |b| {
+        b.iter(|| black_box(ma.forecast(&series, 6).expect("forecast")));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit, bench_forecast);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion benches for the geometry substrate: nearest-neighbour index
+//! queries (the hot loop of every online algorithm) and geohash codec.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use esharing_geo::{geohash, LatLon, NearestNeighborIndex, Point};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn uniform(n: usize, side: f64, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Point::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side)))
+        .collect()
+}
+
+fn bench_nn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nearest_neighbor");
+    for n in [10usize, 100, 1_000] {
+        let pts = uniform(n, 3_000.0, 1);
+        let mut index = NearestNeighborIndex::new(150.0);
+        for &p in &pts {
+            index.insert(p);
+        }
+        let queries = uniform(256, 3_000.0, 2);
+        group.bench_with_input(BenchmarkId::new("bucket_index", n), &n, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % queries.len();
+                black_box(index.nearest(queries[i]))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("linear_scan", n), &n, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % queries.len();
+                let q = queries[i];
+                black_box(
+                    pts.iter()
+                        .map(|p| (p, q.distance(*p)))
+                        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite")),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_geohash(c: &mut Criterion) {
+    let coord = LatLon::new(39.9288, 116.3888).expect("valid");
+    let hash = geohash::encode(coord, 7).expect("encode");
+    let mut group = c.benchmark_group("geohash");
+    group.bench_function("encode_7", |b| {
+        b.iter(|| black_box(geohash::encode(coord, 7).expect("encode")));
+    });
+    group.bench_function("decode_7", |b| {
+        b.iter(|| black_box(geohash::decode(&hash).expect("decode")));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_nn, bench_geohash);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion benches for the PLP solvers: the offline 1.61-factor greedy
+//! scaling in n (the paper's O(N³)), and the per-request throughput of the
+//! three online algorithms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use esharing_geo::Point;
+use esharing_placement::offline::jms_greedy;
+use esharing_placement::online::{
+    DeviationConfig, DeviationPenalty, Meyerson, OnlineKMeans, OnlinePlacement,
+};
+use esharing_placement::PlpInstance;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn uniform(n: usize, side: f64, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Point::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side)))
+        .collect()
+}
+
+fn bench_offline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("offline_jms");
+    for n in [50usize, 100, 200] {
+        let instance = PlpInstance::with_uniform_cost(uniform(n, 1_000.0, 1), 5_000.0);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &instance, |b, inst| {
+            b.iter(|| black_box(jms_greedy(inst)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_online(c: &mut Criterion) {
+    let stream = uniform(1_000, 1_000.0, 2);
+    let history = uniform(200, 1_000.0, 3);
+    let landmark_inst = PlpInstance::with_uniform_cost(history.clone(), 5_000.0);
+    let landmarks = jms_greedy(&landmark_inst).facility_points(&landmark_inst);
+    let k = landmarks.len().max(1);
+
+    let mut group = c.benchmark_group("online_per_request");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.bench_function("meyerson", |b| {
+        b.iter(|| {
+            let mut alg = Meyerson::new(5_000.0, 7);
+            black_box(alg.run(stream.iter().copied()))
+        });
+    });
+    group.bench_function("online_kmeans", |b| {
+        b.iter(|| {
+            let mut alg = OnlineKMeans::new(k, stream.len(), 5_000.0, 7);
+            black_box(alg.run(stream.iter().copied()))
+        });
+    });
+    group.bench_function("deviation_penalty", |b| {
+        b.iter(|| {
+            let mut alg = DeviationPenalty::new(
+                landmarks.clone(),
+                history.clone(),
+                DeviationConfig {
+                    space_cost: 5_000.0,
+                    seed: 7,
+                    ..DeviationConfig::default()
+                },
+            );
+            black_box(alg.run(stream.iter().copied()))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_offline, bench_online);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion benches for the KS-test implementations — the cost the paper
+//! cites as O(n³) for Peacock's exact enumeration vs the O(n²)
+//! Fasano–Franceschini variant used in the streaming loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use esharing_geo::Point;
+use esharing_stats::ks2d::{ff_statistic, peacock_statistic, peacock_test};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn sample(n: usize, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Point::new(rng.gen_range(0.0..1_000.0), rng.gen_range(0.0..1_000.0)))
+        .collect()
+}
+
+fn bench_ks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ks2d");
+    for n in [30usize, 60, 120] {
+        let a = sample(n, 1);
+        let b = sample(n, 2);
+        group.bench_with_input(BenchmarkId::new("peacock_exact", n), &n, |bencher, _| {
+            bencher.iter(|| black_box(peacock_statistic(&a, &b)));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("fasano_franceschini", n),
+            &n,
+            |bencher, _| {
+                bencher.iter(|| black_box(ff_statistic(&a, &b)));
+            },
+        );
+    }
+    // The full test (statistic + significance) at the streaming window size.
+    let a = sample(300, 3);
+    let b = sample(200, 4);
+    group.bench_function("peacock_test_300v200", |bencher| {
+        bencher.iter(|| black_box(peacock_test(&a, &b)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ks);
+criterion_main!(benches);

@@ -1,0 +1,237 @@
+//! Fig. 10 — Total cost (Eq. 1) vs number of parking for the competing
+//! algorithms, on (a) actual and (b) predicted requests.
+//!
+//! The paper samples random grid neighbourhoods, solves an independent PLP
+//! per sample, and scatters (number of parking, total cost) per algorithm.
+//! Expected shape: online k-means opens the most stations at the highest
+//! cost, Meyerson fewer, E-sharing close to the near-optimal offline
+//! frontier. Panel (b) repeats the exercise with landmarks derived from
+//! LSTM-predicted per-cell demand instead of the actual history.
+
+use esharing_bench::Table;
+use esharing_dataset::{arrivals, CityConfig, SyntheticCity, Timestamp, TripGenerator};
+use esharing_forecast::{Forecaster, Lstm, LstmConfig};
+use esharing_geo::{Grid, Point};
+use esharing_placement::offline::jms_greedy;
+use esharing_placement::online::{
+    DeviationConfig, DeviationPenalty, Meyerson, OnlineKMeans, OnlinePlacement,
+};
+use esharing_placement::PlpInstance;
+
+const SPACE_COST: f64 = 10_000.0;
+const NEIGHBORHOOD: f64 = 1_000.0;
+
+/// One sampled neighbourhood: historical and live destination streams.
+struct Sample {
+    history: Vec<Point>,
+    live: Vec<Point>,
+    /// Historical hourly totals within the neighbourhood (for prediction).
+    hourly: Vec<f64>,
+}
+
+fn collect_samples(city: &SyntheticCity, n: usize) -> Vec<Sample> {
+    let mut gen = TripGenerator::new(city, 99);
+    let trips = gen.generate_days(0, 10);
+    let hist_end = Timestamp::from_day_hour(7, 0);
+    let mut samples = Vec::new();
+    // Anchor neighbourhoods on a sliding window over the field.
+    let side = city.bbox().width();
+    for i in 0..n {
+        let t = i as f64 / n.max(2) as f64;
+        let origin = Point::new(
+            t * (side - NEIGHBORHOOD),
+            ((i * 7919) % 1000) as f64 / 1000.0 * (side - NEIGHBORHOOD),
+        );
+        let in_hood = |p: Point| {
+            p.x >= origin.x
+                && p.x < origin.x + NEIGHBORHOOD
+                && p.y >= origin.y
+                && p.y < origin.y + NEIGHBORHOOD
+        };
+        let history: Vec<Point> = trips
+            .iter()
+            .filter(|t| t.start_time < hist_end && in_hood(t.end))
+            .map(|t| t.end)
+            .collect();
+        let live: Vec<Point> = trips
+            .iter()
+            .filter(|t| t.start_time >= hist_end && in_hood(t.end))
+            .map(|t| t.end)
+            .collect();
+        let hourly: Vec<f64> = {
+            let filtered: Vec<_> = trips
+                .iter()
+                .filter(|t| t.start_time < hist_end && in_hood(t.end))
+                .cloned()
+                .collect();
+            arrivals::hourly_totals(&filtered, 0, 7 * 24)
+        };
+        if history.len() >= 50 && live.len() >= 50 {
+            samples.push(Sample {
+                history,
+                live,
+                hourly,
+            });
+        }
+    }
+    samples
+}
+
+/// Landmarks from the 7-day history, normalized to the 3-day live window
+/// (Eq. 1 charges the opening cost per service period).
+fn landmarks_from(points: &[Point]) -> (Vec<Point>, usize) {
+    let grid = Grid::new(100.0);
+    let centroids: Vec<(Point, u64)> = grid
+        .weighted_centroids(points.iter().copied())
+        .into_iter()
+        .map(|(p, w)| (p, ((w as f64 * 3.0 / 7.0).round() as u64).max(1)))
+        .collect();
+    let inst = PlpInstance::from_weighted_centroids(&centroids, SPACE_COST);
+    let sol = jms_greedy(&inst);
+    let pts = sol.facility_points(&inst);
+    let k = pts.len();
+    (pts, k)
+}
+
+/// Scales historical per-cell weights by predicted-vs-actual volume so the
+/// landmark instance reflects the forecast (panel (b)).
+fn predicted_landmarks(sample: &Sample) -> Vec<Point> {
+    // Forecast total demand for the live window, then thin/duplicate the
+    // historical destination sample to the predicted volume. This mirrors
+    // the paper's "forecasting results are fed into the parking placement
+    // algorithm".
+    let mut lstm = Lstm::new(LstmConfig {
+        layers: 2,
+        back: 12,
+        hidden: 16,
+        epochs: 40,
+        ..LstmConfig::default()
+    })
+    .expect("valid config");
+    let predicted_total: f64 = match lstm.fit(&sample.hourly) {
+        Ok(()) => lstm
+            .forecast(&sample.hourly, 24)
+            .map(|f| f.iter().map(|v| v.max(0.0)).sum())
+            .unwrap_or(sample.history.len() as f64),
+        Err(_) => sample.history.len() as f64,
+    };
+    // Scale: predicted one-day volume x 3 test days over the 7-day history.
+    let scale =
+        (3.0 * predicted_total / sample.hourly.iter().sum::<f64>()).clamp(0.1, 3.0);
+    let grid = Grid::new(100.0);
+    let centroids: Vec<(Point, u64)> = grid
+        .weighted_centroids(sample.history.iter().copied())
+        .into_iter()
+        .map(|(p, w)| (p, ((w as f64 * scale).round() as u64).max(1)))
+        .collect();
+    let inst = PlpInstance::from_weighted_centroids(&centroids, SPACE_COST);
+    jms_greedy(&inst).facility_points(&inst)
+}
+
+fn main() {
+    let city = SyntheticCity::generate(&CityConfig {
+        trips_per_day: 2_000.0,
+        ..CityConfig::default()
+    });
+    let samples = collect_samples(&city, 14);
+    println!(
+        "Fig. 10 — total cost vs # parking over {} sampled 1 km neighbourhoods (f = {SPACE_COST} m)\n",
+        samples.len()
+    );
+
+    for (panel, use_prediction) in [("(a) actual requests", false), ("(b) predicted requests", true)] {
+        let mut t = Table::new(vec![
+            "sample".into(),
+            "offline* #".into(),
+            "offline* cost".into(),
+            "meyerson #".into(),
+            "meyerson cost".into(),
+            "kmeans #".into(),
+            "kmeans cost".into(),
+            "esharing #".into(),
+            "esharing cost".into(),
+        ]);
+        let mut sums = [0.0f64; 8];
+        for (idx, sample) in samples.iter().enumerate() {
+            // Offline upper bound: sees the live stream itself.
+            let grid = Grid::new(100.0);
+            let centroids = grid.weighted_centroids(sample.live.iter().copied());
+            let inst = PlpInstance::from_weighted_centroids(&centroids, SPACE_COST);
+            let off = jms_greedy(&inst);
+            let off_cost = inst.cost_of(&off);
+            let off_n = off.open_facilities().len();
+
+            let mut mey = Meyerson::new(SPACE_COST, idx as u64);
+            let mey_cost = mey.run(sample.live.iter().copied());
+            let mey_n = mey.stations().len();
+
+            let (landmarks, k) = landmarks_from(&sample.history);
+            let mut km = OnlineKMeans::new(k.max(1), sample.live.len(), SPACE_COST, idx as u64)
+                .with_phase_length(k.max(1));
+            let km_cost = km.run(sample.live.iter().copied());
+            let km_n = km.stations().len();
+
+            let guide = if use_prediction {
+                predicted_landmarks(sample)
+            } else {
+                landmarks
+            };
+            let mut es = DeviationPenalty::new(
+                guide,
+                sample.history.clone(),
+                DeviationConfig {
+                    space_cost: SPACE_COST,
+                    seed: idx as u64,
+                    ..DeviationConfig::default()
+                },
+            );
+            let es_cost = es.run(sample.live.iter().copied());
+            let es_n = es.stations().len();
+
+            for (slot, v) in [
+                off_n as f64,
+                off_cost.total(),
+                mey_n as f64,
+                mey_cost.total(),
+                km_n as f64,
+                km_cost.total(),
+                es_n as f64,
+                es_cost.total(),
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                sums[slot] += v;
+            }
+            t.row(vec![
+                idx.to_string(),
+                off_n.to_string(),
+                format!("{:.0}", off_cost.total()),
+                mey_n.to_string(),
+                format!("{:.0}", mey_cost.total()),
+                km_n.to_string(),
+                format!("{:.0}", km_cost.total()),
+                es_n.to_string(),
+                format!("{:.0}", es_cost.total()),
+            ]);
+        }
+        let n = samples.len() as f64;
+        println!("{panel}:\n{t}");
+        println!(
+            "means — offline*: {:.1} st / {:.0}; meyerson: {:.1} st / {:.0}; k-means: {:.1} st / {:.0}; e-sharing: {:.1} st / {:.0}\n",
+            sums[0] / n,
+            sums[1] / n,
+            sums[2] / n,
+            sums[3] / n,
+            sums[4] / n,
+            sums[5] / n,
+            sums[6] / n,
+            sums[7] / n
+        );
+    }
+    println!(
+        "paper shape: k-means opens the most stations at the highest cost, Meyerson opens\n\
+         more than E-sharing, and E-sharing tracks the near-optimal offline frontier\n\
+         (within ~20% with actual and ~25% with predicted requests)."
+    );
+}

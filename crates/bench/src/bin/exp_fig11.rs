@@ -1,0 +1,105 @@
+//! Fig. 11 — Distribution of low-energy e-bikes before and after
+//! incentivizing, with the operator's TSP route.
+//!
+//! The paper shows heatmaps of low-energy bikes: scattered across many
+//! stations before incentives, aggregated onto a few after, with a shorter
+//! operator route. This harness prints the per-station low-bike counts and
+//! the route lengths for both states.
+
+use esharing_bench::Table;
+use esharing_charging::{tsp, ChargingCostParams, IncentiveMechanism, Operator, UserModel};
+use esharing_core::{ESharing, SystemConfig};
+use esharing_dataset::{CityConfig, Fleet, SyntheticCity, TripGenerator};
+use esharing_geo::{BBox, Point};
+use esharing_stats::Histogram2d;
+
+fn main() {
+    let city = SyntheticCity::generate(&CityConfig {
+        trips_per_day: 2_500.0,
+        fleet_size: 900,
+        ..CityConfig::default()
+    });
+    let mut gen = TripGenerator::new(&city, 7);
+    let history = gen.generate_days(0, 3);
+    let mut system = ESharing::new(SystemConfig::default());
+    system.bootstrap(&history.iter().map(|t| t.end).collect::<Vec<Point>>());
+    let mut fleet = Fleet::new(900, city.bbox(), system.config().energy, 11);
+    fleet.replay(history.iter());
+    let live = gen.generate_days(3, 2);
+    fleet.replay(live.iter());
+    fleet.apply_idle_day();
+
+    let stations = system.station_energy(&fleet).expect("bootstrapped");
+    let total_low: usize = stations.iter().map(|s| s.low_bikes).sum();
+    println!(
+        "Fig. 11 — low-energy distribution over {} stations, {} low bikes total\n",
+        stations.len(),
+        total_low
+    );
+
+    let mechanism = IncentiveMechanism::new(
+        ChargingCostParams::default(),
+        UserModel::default(),
+        0.7,
+        42,
+    );
+    let outcome = mechanism.run_period(&stations);
+    let after = Operator::stations_after_incentives(&stations, &outcome);
+
+    let mut t = Table::new(vec![
+        "station".into(),
+        "x".into(),
+        "y".into(),
+        "low before".into(),
+        "low after".into(),
+    ]);
+    for (i, (b, a)) in stations.iter().zip(&after).enumerate() {
+        if b.low_bikes == 0 && a.low_bikes == 0 {
+            continue;
+        }
+        t.row(vec![
+            i.to_string(),
+            format!("{:.0}", b.location.x),
+            format!("{:.0}", b.location.y),
+            b.low_bikes.to_string(),
+            a.low_bikes.to_string(),
+        ]);
+    }
+    println!("{t}");
+
+    // Fig. 11's heatmaps: low-bike density before and after incentives.
+    let heatmap = |st: &[esharing_charging::StationEnergy]| -> String {
+        let mut hist = Histogram2d::new(BBox::square(3_000.0), 40, 16);
+        for s in st {
+            hist.add(s.location, s.low_bikes as f64);
+        }
+        hist.render()
+    };
+    println!("(a) before incentivizing:\n{}", heatmap(&stations));
+    println!("(b) after incentivizing:\n{}", heatmap(&after));
+
+    let demand_points = |st: &[esharing_charging::StationEnergy]| -> Vec<Point> {
+        st.iter()
+            .filter(|s| s.low_bikes > 0)
+            .map(|s| s.location)
+            .collect()
+    };
+    let depot = Point::ORIGIN;
+    let before_pts = demand_points(&stations);
+    let after_pts = demand_points(&after);
+    let before_len = tsp::route_length(depot, &before_pts, &tsp::solve(depot, &before_pts));
+    let after_len = tsp::route_length(depot, &after_pts, &tsp::solve(depot, &after_pts));
+    println!(
+        "charging sites: {} -> {} ({} bikes relocated for ${:.0} of incentives)",
+        before_pts.len(),
+        after_pts.len(),
+        outcome.relocated,
+        outcome.incentives_paid
+    );
+    println!(
+        "TSP route length: {:.1} km -> {:.1} km ({:.1}% shorter; paper: 17.1 -> 14.1 km, 17.5%)",
+        before_len / 1_000.0,
+        after_len / 1_000.0,
+        100.0 * (before_len - after_len) / before_len
+    );
+}

@@ -1,0 +1,101 @@
+//! Fig. 4 — Examples of solving PLP: offline 1.61-factor algorithm vs
+//! Meyerson's online algorithm.
+//!
+//! Reproduces the paper's illustrative experiment: "A stream of 100 random
+//! arrivals in a square field (1000 × 1000 m²)" with a space-occupation
+//! cost of 5 000 m per station. The paper reports the offline algorithm
+//! opening 5 stations (walking 16 795, space 25 000, total 41 795) and the
+//! online algorithm 9 stations (25 400 / 40 000 / 65 400, a 56% increase).
+//! Absolute values depend on the random draw; the harness prints both a
+//! single-draw example (seeded) and a 50-draw average so the gap is
+//! visible beyond noise.
+
+use esharing_bench::table::{f1, Table};
+use esharing_geo::Point;
+use esharing_placement::online::{Meyerson, OnlinePlacement};
+use esharing_placement::{offline, PlpInstance};
+use esharing_stats::RunningStats;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const FIELD: f64 = 1_000.0;
+const ARRIVALS: usize = 100;
+const SPACE_COST: f64 = 5_000.0;
+
+fn arrivals(seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..ARRIVALS)
+        .map(|_| Point::new(rng.gen_range(0.0..FIELD), rng.gen_range(0.0..FIELD)))
+        .collect()
+}
+
+fn main() {
+    println!("Fig. 4 — offline 1.61-factor vs Meyerson online (100 arrivals, 1km^2, f = {SPACE_COST} m)\n");
+
+    // (a)/(b): one representative draw.
+    let stream = arrivals(4);
+    let instance = PlpInstance::with_uniform_cost(stream.clone(), SPACE_COST);
+    let off = offline::jms_greedy(&instance);
+    let off_cost = instance.cost_of(&off);
+    let mut meyerson = Meyerson::new(SPACE_COST, 4);
+    let on_cost = meyerson.run(stream.iter().copied());
+
+    let mut t = Table::new(vec![
+        "algorithm".into(),
+        "# parking".into(),
+        "walking".into(),
+        "space".into(),
+        "total".into(),
+    ]);
+    t.row(vec![
+        "Offline (Fig 4a)".into(),
+        off.open_facilities().len().to_string(),
+        f1(off_cost.walking),
+        f1(off_cost.space),
+        f1(off_cost.total()),
+    ]);
+    t.row(vec![
+        "Meyerson (Fig 4b)".into(),
+        meyerson.stations().len().to_string(),
+        f1(on_cost.walking),
+        f1(on_cost.space),
+        f1(on_cost.total()),
+    ]);
+    println!("{t}");
+    println!(
+        "single-draw online/offline total cost increase: {:.0}%  (paper: 56%)\n",
+        100.0 * (on_cost.total() - off_cost.total()) / off_cost.total()
+    );
+
+    // Averaged over 50 draws.
+    let mut off_total = RunningStats::new();
+    let mut on_total = RunningStats::new();
+    let mut off_parking = RunningStats::new();
+    let mut on_parking = RunningStats::new();
+    for seed in 0..50 {
+        let stream = arrivals(1_000 + seed);
+        let instance = PlpInstance::with_uniform_cost(stream.clone(), SPACE_COST);
+        let off = offline::jms_greedy(&instance);
+        off_total.push(instance.cost_of(&off).total());
+        off_parking.push(off.open_facilities().len() as f64);
+        let mut meyerson = Meyerson::new(SPACE_COST, seed);
+        let c = meyerson.run(stream.iter().copied());
+        on_total.push(c.total());
+        on_parking.push(meyerson.stations().len() as f64);
+    }
+    println!("50-draw averages:");
+    println!(
+        "  offline : {:.1} parking, total {:.0}",
+        off_parking.mean(),
+        off_total.mean()
+    );
+    println!(
+        "  meyerson: {:.1} parking, total {:.0}",
+        on_parking.mean(),
+        on_total.mean()
+    );
+    println!(
+        "  mean online cost increase: {:.0}%  (paper: 56%)",
+        100.0 * (on_total.mean() - off_total.mean()) / off_total.mean()
+    );
+}

@@ -1,0 +1,51 @@
+//! Fig. 5 — Designs of the penalty functions: (a) the probability that a
+//! new parking is established, (b) the first-order derivatives.
+//!
+//! Prints the g(c) and g'(c) series for Types I–III with the paper's
+//! tolerance L = 200 m, over walking costs 0..4L.
+
+use esharing_bench::Table;
+use esharing_placement::penalty::{PenaltyFunction, PenaltyType};
+
+const L: f64 = 200.0;
+
+fn main() {
+    println!("Fig. 5 — penalty functions and derivatives (L = {L} m)\n");
+    let funcs = [
+        ("Type I", PenaltyFunction::new(PenaltyType::TypeI, L)),
+        ("Type II", PenaltyFunction::new(PenaltyType::TypeII, L)),
+        ("Type III", PenaltyFunction::new(PenaltyType::TypeIII, L)),
+    ];
+
+    let mut ga = Table::new(vec![
+        "c (m)".into(),
+        "g_I".into(),
+        "g_II".into(),
+        "g_III".into(),
+    ]);
+    let mut gb = Table::new(vec![
+        "c (m)".into(),
+        "g'_I".into(),
+        "g'_II".into(),
+        "g'_III".into(),
+    ]);
+    let mut c = 0.0;
+    while c <= 4.0 * L + 1e-9 {
+        ga.row(vec![
+            format!("{c:.0}"),
+            format!("{:.4}", funcs[0].1.g(c)),
+            format!("{:.4}", funcs[1].1.g(c)),
+            format!("{:.4}", funcs[2].1.g(c)),
+        ]);
+        gb.row(vec![
+            format!("{c:.0}"),
+            format!("{:.5}", funcs[0].1.derivative(c)),
+            format!("{:.5}", funcs[1].1.derivative(c)),
+            format!("{:.5}", funcs[2].1.derivative(c)),
+        ]);
+        c += 50.0;
+    }
+    println!("(a) probability of establishing a new parking, g(c):\n{ga}");
+    println!("(b) first-order derivatives, g'(c):\n{gb}");
+    println!("checks: Type II hits 0 at c = L; Type I stays above 0.2 beyond 3L (paper §III-D).");
+}

@@ -1,0 +1,110 @@
+//! Privacy extension experiment: the placement cost of location
+//! obfuscation.
+//!
+//! §II-B suggests "obfuscation with location-wise differential privacy"
+//! as an add-on security feature. This experiment quantifies its price:
+//! destinations are reported through the planar Laplace mechanism at
+//! several privacy levels ε, the online algorithm decides on the *noisy*
+//! locations, and the user pays the *true* walking distance to the
+//! assigned parking. The gap to the non-private run is the cost of
+//! privacy.
+
+use esharing_bench::Table;
+use esharing_geo::privacy::PlanarLaplace;
+use esharing_geo::Point;
+use esharing_placement::offline::jms_greedy;
+use esharing_placement::online::{DeviationConfig, DeviationPenalty, OnlinePlacement};
+use esharing_placement::PlpInstance;
+use esharing_stats::RunningStats;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SPACE: f64 = 5_000.0;
+const TRIALS: u64 = 20;
+
+fn uniform(n: usize, side: f64, rng: &mut StdRng) -> Vec<Point> {
+    (0..n)
+        .map(|_| Point::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side)))
+        .collect()
+}
+
+/// One run: stream requests (optionally obfuscated) and account the true
+/// walking cost of each decision.
+fn run(epsilon: Option<f64>, seed: u64) -> (f64, usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let history = uniform(150, 1_000.0, &mut rng);
+    let inst = PlpInstance::with_uniform_cost(history.clone(), SPACE);
+    let landmarks = jms_greedy(&inst).facility_points(&inst);
+    let mut alg = DeviationPenalty::new(
+        landmarks,
+        history,
+        DeviationConfig {
+            space_cost: SPACE,
+            seed,
+            ..DeviationConfig::default()
+        },
+    );
+    let mechanism = epsilon.map(|e| PlanarLaplace::new(e).expect("valid epsilon"));
+    let mut true_walking = 0.0;
+    for true_dest in uniform(250, 1_000.0, &mut rng) {
+        let reported = match &mechanism {
+            Some(m) => m.obfuscate(true_dest, &mut rng),
+            None => true_dest,
+        };
+        let decision = alg.handle(reported);
+        // The user walks from their true destination to whatever station
+        // the (possibly noisy) request was routed to.
+        true_walking += true_dest.distance(decision.station());
+    }
+    let space = alg.cost().space;
+    (true_walking + space, alg.stations().len())
+}
+
+fn main() {
+    println!(
+        "Privacy extension — placement cost under ε-geo-indistinguishable destinations\n\
+         ({TRIALS} trials x 250 requests; true-walking + space accounting)\n"
+    );
+    let mut t = Table::new(vec![
+        "epsilon".into(),
+        "mean noise (m)".into(),
+        "total cost (mean)".into(),
+        "stations (mean)".into(),
+        "overhead vs exact".into(),
+    ]);
+    let mut baseline = RunningStats::new();
+    for seed in 0..TRIALS {
+        baseline.push(run(None, 42 + seed).0);
+    }
+    t.row(vec![
+        "exact".into(),
+        "0".into(),
+        format!("{:.0}", baseline.mean()),
+        "-".into(),
+        "0%".into(),
+    ]);
+    for epsilon in [0.1, 0.02, 0.01, 0.005] {
+        let mut total = RunningStats::new();
+        let mut stations = RunningStats::new();
+        for seed in 0..TRIALS {
+            let (cost, n) = run(Some(epsilon), 42 + seed);
+            total.push(cost);
+            stations.push(n as f64);
+        }
+        t.row(vec![
+            format!("{epsilon}"),
+            format!("{:.0}", 2.0 / epsilon),
+            format!("{:.0}", total.mean()),
+            format!("{:.1}", stations.mean()),
+            format!(
+                "{:+.1}%",
+                100.0 * (total.mean() - baseline.mean()) / baseline.mean()
+            ),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "reading: noise well below the station spacing (ε ≥ 0.02, ≤100 m) costs little;\n\
+         doorstep-hiding noise at the spacing scale (ε = 0.005, 400 m) degrades routing."
+    );
+}

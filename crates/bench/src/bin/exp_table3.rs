@@ -1,0 +1,143 @@
+//! Table III / Fig. 9 — Cost of the penalty functions under uniform,
+//! Poisson and normal request distributions.
+//!
+//! §V-B streams ~200 synthetic requests per trial (100 trials) at the
+//! deviation-penalty algorithm with the offline-derived parking at the
+//! field center, for each penalty type (plus the no-penalty control), and
+//! reports walking / public-space / total cost in km. The paper's
+//! winners: **Type I** under uniform, **Type III** under Poisson,
+//! **Type II** under normal; *no penalty* always attains the minimum
+//! walking cost by opening stations freely.
+//!
+//! Reproduction note (also in `EXPERIMENTS.md`): with the paper's own
+//! penalty formulas, `g_III > g_I` for deviations *inside* the tolerance
+//! (the Gaussian plateau), so once the Poisson ring is covered Type III
+//! keeps opening stations and lands a close second rather than first in
+//! our runs; Type I and Type II winners reproduce robustly, as do the
+//! no-penalty-minimizes-walking and Type-II-minimizes-space properties.
+
+use esharing_bench::Table;
+use esharing_geo::Point;
+use esharing_placement::online::{DeviationConfig, DeviationPenalty, OnlinePlacement};
+use esharing_placement::penalty::PenaltyType;
+use esharing_placement::PlacementCost;
+use esharing_stats::samplers::{Gaussian2d, PointSampler, PoissonRadial, UniformField};
+use esharing_stats::RunningStats;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const TRIALS: u64 = 100;
+const REQUESTS: usize = 200;
+const CENTER: Point = Point::new(1_000.0, 1_000.0);
+/// Space-occupation accounting cost per station (meters ≈ 1.2 km), scaled
+/// so Table III's km-magnitude costs emerge at 200 requests.
+const SPACE_COST: f64 = 1_200.0;
+const TOLERANCE: f64 = 200.0;
+/// Fixed initial decision cost (the single-landmark `w*/k` is degenerate).
+const DECISION_COST: f64 = 500.0;
+
+fn sampler(kind: &str) -> Box<dyn PointSampler> {
+    match kind {
+        // Wide spread: anywhere within ±800 m of the center.
+        "uniform" => Box::new(UniformField::centered_square(CENTER, 1_600.0)),
+        // Mid-range ring at ~240 m (≈1.2 L) with occasional far tails.
+        "poisson" => Box::new(PoissonRadial::new(CENTER, 4.0, 60.0)),
+        // Aggregated around the center, 2σ within the tolerance.
+        "normal" => Box::new(Gaussian2d::new(CENTER, 80.0)),
+        other => unreachable!("unknown distribution {other}"),
+    }
+}
+
+fn run_once(kind: &str, penalty: PenaltyType, seed: u64) -> (PlacementCost, usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let s = sampler(kind);
+    let stream: Vec<Point> = (0..REQUESTS).map(|_| s.sample(&mut rng)).collect();
+    // "The offline derived parking locating at the origin" — one landmark
+    // at the center; the KS switch is disabled so each penalty type is
+    // evaluated in isolation.
+    let mut alg = DeviationPenalty::new(
+        vec![CENTER],
+        Vec::new(),
+        DeviationConfig {
+            space_cost: SPACE_COST,
+            tolerance: TOLERANCE,
+            initial_penalty: penalty,
+            auto_penalty: false,
+            beta: 64.0,
+            initial_decision_cost: Some(DECISION_COST),
+            seed,
+            ..DeviationConfig::default()
+        },
+    );
+    let cost = alg.run(stream);
+    (cost, alg.stations().len())
+}
+
+fn main() {
+    println!(
+        "Table III — cost of penalty functions under random request distributions\n\
+         ({TRIALS} trials x {REQUESTS} requests, L = {TOLERANCE} m, station cost {SPACE_COST} m; costs in km)\n"
+    );
+    let penalties = [
+        ("No Penalty", PenaltyType::None),
+        ("Type I", PenaltyType::TypeI),
+        ("Type II", PenaltyType::TypeII),
+        ("Type III", PenaltyType::TypeIII),
+    ];
+    for kind in ["uniform", "poisson", "normal"] {
+        let mut t = Table::new(vec![
+            "penalty".into(),
+            "walking (km)".into(),
+            "space (km)".into(),
+            "total (km)".into(),
+            "# stations".into(),
+        ]);
+        let mut totals = Vec::new();
+        let mut min_walking = ("", f64::INFINITY);
+        let mut min_space = ("", f64::INFINITY);
+        for (name, penalty) in penalties {
+            let mut walking = RunningStats::new();
+            let mut space = RunningStats::new();
+            let mut total = RunningStats::new();
+            let mut stations = RunningStats::new();
+            for trial in 0..TRIALS {
+                let (cost, n) = run_once(kind, penalty, trial * 31 + penalty as u64);
+                walking.push(cost.walking / 1_000.0);
+                space.push(cost.space / 1_000.0);
+                total.push(cost.total() / 1_000.0);
+                stations.push(n as f64);
+            }
+            totals.push((name, total.mean()));
+            if walking.mean() < min_walking.1 {
+                min_walking = (name, walking.mean());
+            }
+            if space.mean() < min_space.1 {
+                min_space = (name, space.mean());
+            }
+            t.row(vec![
+                name.into(),
+                format!("{:.2}", walking.mean()),
+                format!("{:.2}", space.mean()),
+                format!("{:.2}", total.mean()),
+                format!("{:.1}", stations.mean()),
+            ]);
+        }
+        let mut ranked = totals.clone();
+        ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+        println!(
+            "{kind}:\n{t}total ranking: {}  |  min walking: {}  min space: {}\n",
+            ranked
+                .iter()
+                .map(|(n, v)| format!("{n} ({v:.1})"))
+                .collect::<Vec<_>>()
+                .join(" < "),
+            min_walking.0,
+            min_space.0,
+        );
+    }
+    println!(
+        "paper winners — uniform: Type I, poisson: Type III, normal: Type II;\n\
+         no-penalty minimizes walking everywhere, Type II minimizes space (see module docs\n\
+         for the Type III / Poisson caveat)."
+    );
+}

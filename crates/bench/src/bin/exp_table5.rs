@@ -1,0 +1,202 @@
+//! Table V — Comparison of # parking and cost (km) across algorithms on
+//! the full study field.
+//!
+//! The paper reports, over the Mobike-derived workload:
+//!
+//! | algorithm             | # parking | walking | space | total |
+//! |-----------------------|-----------|---------|-------|-------|
+//! | Offline*              | 16.0      | 242.5   | 151.0 | 393.5 |
+//! | Meyerson              | 32.9      | 297.4   | 311.9 | 609.3 |
+//! | Online k-means        | 45.2      | 1326.7  | 427.6 | 1754.3|
+//! | E-sharing (actual)    | 25.3      | 220.8   | 239.2 | 460.0 |
+//! | E-sharing (predicted) | 26.0      | 234.1   | 253.5 | 487.6 |
+//!
+//! Shape to reproduce: offline* lowest total; E-sharing within ~20–25% of
+//! it, below Meyerson (~25% saving) and far below online k-means (~74%);
+//! E-sharing's *walking* component can dip below even the offline
+//! solution (it chases live demand); predictions cost only a few percent
+//! extra. The harness replays a 7-day historical window into the offline
+//! pipeline and streams the following 3 test days.
+
+use esharing_bench::Table;
+use esharing_dataset::{arrivals, CityConfig, SyntheticCity, Timestamp, TripGenerator};
+use esharing_forecast::{Forecaster, Lstm, LstmConfig};
+use esharing_geo::{Grid, Point};
+use esharing_placement::offline::jms_greedy;
+use esharing_placement::online::{
+    DeviationConfig, DeviationPenalty, Meyerson, OnlineKMeans, OnlinePlacement,
+};
+use esharing_placement::{PlacementCost, PlpInstance};
+
+const SPACE_COST: f64 = 10_000.0;
+
+/// Builds landmarks from the historical window, scaling each cell's weight
+/// by `volume_scale` so the offline plan targets the *service window's*
+/// demand volume (Eq. 1 charges `f_i` per period, so a 7-day history must
+/// be normalized to the 3-day test window before trading walking against
+/// opening cost).
+fn landmarks_for(history: &[Point], volume_scale: f64) -> Vec<Point> {
+    let grid = Grid::new(100.0);
+    let mut centroids = grid.weighted_centroids(history.iter().copied());
+    centroids.sort_by_key(|c| std::cmp::Reverse(c.1));
+    centroids.truncate(250);
+    for c in centroids.iter_mut() {
+        c.1 = ((c.1 as f64 * volume_scale).round() as u64).max(1);
+    }
+    let inst = PlpInstance::from_weighted_centroids(&centroids, SPACE_COST);
+    jms_greedy(&inst).facility_points(&inst)
+}
+
+fn row(t: &mut Table, name: &str, stations: f64, cost: PlacementCost) {
+    t.row(vec![
+        name.into(),
+        format!("{stations:.1}"),
+        format!("{:.1}", cost.walking / 1_000.0),
+        format!("{:.1}", cost.space / 1_000.0),
+        format!("{:.1}", cost.total() / 1_000.0),
+    ]);
+}
+
+fn main() {
+    let city = SyntheticCity::generate(&CityConfig {
+        trips_per_day: 220.0,
+        ..CityConfig::default()
+    });
+    let mut gen = TripGenerator::new(&city, 2017);
+    let trips = gen.generate_days(0, 10);
+    let split = Timestamp::from_day_hour(7, 0);
+    let history: Vec<Point> = trips
+        .iter()
+        .filter(|t| t.start_time < split)
+        .map(|t| t.end)
+        .collect();
+    let live: Vec<Point> = trips
+        .iter()
+        .filter(|t| t.start_time >= split)
+        .map(|t| t.end)
+        .collect();
+    println!(
+        "Table V — algorithm comparison: {} historical destinations guide the online\n\
+         algorithms; {} live requests are streamed (f = {SPACE_COST} m; costs in km)\n",
+        history.len(),
+        live.len()
+    );
+
+    let mut t = Table::new(vec![
+        "algorithm".into(),
+        "# parking".into(),
+        "walking".into(),
+        "space".into(),
+        "total".into(),
+    ]);
+
+    // Offline*: sees the future (the live stream) — near-optimal bound.
+    let grid = Grid::new(100.0);
+    let mut live_centroids = grid.weighted_centroids(live.iter().copied());
+    live_centroids.sort_by_key(|c| std::cmp::Reverse(c.1));
+    live_centroids.truncate(250);
+    let live_inst = PlpInstance::from_weighted_centroids(&live_centroids, SPACE_COST);
+    let off = jms_greedy(&live_inst);
+    let off_cost = live_inst.cost_of(&off);
+    row(&mut t, "Offline*", off.open_facilities().len() as f64, off_cost);
+
+    // Meyerson.
+    let mut mey = Meyerson::new(SPACE_COST, 1);
+    let mey_cost = mey.run(live.iter().copied());
+    row(&mut t, "Meyerson", mey.stations().len() as f64, mey_cost);
+
+    // Online k-means.
+    let landmarks = landmarks_for(&history, 3.0 / 7.0);
+    let k = landmarks.len();
+    let mut km = OnlineKMeans::new(k.max(1), live.len(), SPACE_COST, 1).with_phase_length(k.max(1));
+    let km_cost = km.run(live.iter().copied());
+    row(&mut t, "Online k-means", km.stations().len() as f64, km_cost);
+
+    // E-sharing with actual history.
+    let mut es = DeviationPenalty::new(
+        landmarks.clone(),
+        history.clone(),
+        DeviationConfig {
+            space_cost: SPACE_COST,
+            seed: 1,
+            ..DeviationConfig::default()
+        },
+    );
+    let es_cost = es.run(live.iter().copied());
+    row(&mut t, "E-sharing (actual)", es.stations().len() as f64, es_cost);
+
+    // E-sharing with predicted demand: forecast each heavy cell's hourly
+    // series with a per-cell LSTM and build the landmark instance from the
+    // predicted test-window volumes instead of the historical ones.
+    let grid100 = Grid::new(100.0);
+    let mut hist_centroids = grid100.weighted_centroids(history.iter().copied());
+    hist_centroids.sort_by_key(|c| std::cmp::Reverse(c.1));
+    hist_centroids.truncate(250);
+    let hist_trips: Vec<_> = trips
+        .iter()
+        .filter(|t| t.start_time < split)
+        .cloned()
+        .collect();
+    let mut predicted_centroids = Vec::with_capacity(hist_centroids.len());
+    for (idx, &(centroid, weight)) in hist_centroids.iter().enumerate() {
+        // Per-cell LSTM for the 40 heaviest cells (the bulk of the mass);
+        // lighter cells keep their window-normalized historical weight.
+        let predicted_weight = if idx < 40 {
+            let cell = grid100.cell_of(centroid);
+            let series =
+                arrivals::hourly_counts_for_cell(&hist_trips, &grid100, cell, 0, 7 * 24);
+            let mut lstm = Lstm::new(LstmConfig {
+                layers: 2,
+                back: 12,
+                hidden: 8,
+                epochs: 20,
+                ..LstmConfig::default()
+            })
+            .expect("valid config");
+            match lstm.fit(&series) {
+                Ok(()) => lstm
+                    .forecast(&series, 24)
+                    .map(|f| 3.0 * f.iter().map(|v| v.max(0.0)).sum::<f64>())
+                    .unwrap_or(weight as f64 * 3.0 / 7.0),
+                Err(_) => weight as f64 * 3.0 / 7.0,
+            }
+        } else {
+            weight as f64 * 3.0 / 7.0
+        };
+        predicted_centroids.push((centroid, (predicted_weight.round() as u64).max(1)));
+    }
+    let pred_inst = PlpInstance::from_weighted_centroids(&predicted_centroids, SPACE_COST);
+    let pred_landmarks = jms_greedy(&pred_inst).facility_points(&pred_inst);
+    let mut esp = DeviationPenalty::new(
+        pred_landmarks,
+        history,
+        DeviationConfig {
+            space_cost: SPACE_COST,
+            seed: 1,
+            ..DeviationConfig::default()
+        },
+    );
+    let esp_cost = esp.run(live.iter().copied());
+    row(
+        &mut t,
+        "E-sharing (predicted)",
+        esp.stations().len() as f64,
+        esp_cost,
+    );
+
+    println!("{t}");
+    println!(
+        "gap to offline*: E-sharing(actual) {:.0}%, E-sharing(predicted) {:.0}% (paper: ~20% / ~25%)",
+        100.0 * (es_cost.total() - off_cost.total()) / off_cost.total(),
+        100.0 * (esp_cost.total() - off_cost.total()) / off_cost.total(),
+    );
+    println!(
+        "saving vs Meyerson: {:.0}% (paper: 25%); vs online k-means: {:.0}% (paper: 74%)",
+        100.0 * (mey_cost.total() - es_cost.total()) / mey_cost.total(),
+        100.0 * (km_cost.total() - es_cost.total()) / km_cost.total(),
+    );
+    let avg_walk = es_cost.walking / live.len() as f64;
+    println!(
+        "average walking distance per user: {avg_walk:.0} m (paper: ~180 m, a 2-minute walk)"
+    );
+}

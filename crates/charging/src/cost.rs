@@ -1,0 +1,170 @@
+//! The charging cost model (Eqs. 10–11, Fig. 7).
+
+use serde::{Deserialize, Serialize};
+
+/// Unit costs of a charging tour.
+///
+/// All costs are in the same monetary unit (the paper uses dollars, with a
+/// unit delay cost of $5 and unit energy cost of $2 in §V).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChargingCostParams {
+    /// Service cost `q` per station stop (parking tickets, setup, …).
+    pub service_q: f64,
+    /// Delay cost `d` per position in the service sequence (monetized
+    /// missed demand).
+    pub delay_d: f64,
+    /// Energy cost `b` per bike charged or battery swapped.
+    pub energy_b: f64,
+}
+
+impl Default for ChargingCostParams {
+    fn default() -> Self {
+        // §V experimental parameters: d = $5, b = $2; q defaults to $60 so
+        // a ~25-station tour costs ~$1500 in service, matching Table VI.
+        ChargingCostParams {
+            service_q: 60.0,
+            delay_d: 5.0,
+            energy_b: 2.0,
+        }
+    }
+}
+
+impl ChargingCostParams {
+    /// Creates the parameter set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cost is negative or non-finite.
+    pub fn new(service_q: f64, delay_d: f64, energy_b: f64) -> Self {
+        for (name, v) in [("q", service_q), ("d", delay_d), ("b", energy_b)] {
+            assert!(v.is_finite() && v >= 0.0, "cost {name} must be >= 0, got {v}");
+        }
+        ChargingCostParams {
+            service_q,
+            delay_d,
+            energy_b,
+        }
+    }
+
+    /// Cost of serving the station in position `t` (0-based: the first
+    /// stop incurs no delay, matching Eq. 10's `Σ t·d = (n²−n)/2·d`)
+    /// of the sequence, holding `l_i` low bikes: `b·l_i + q + t·d`.
+    pub fn station_cost(&self, l_i: usize, t: usize) -> f64 {
+        self.energy_b * l_i as f64 + self.service_q + t as f64 * self.delay_d
+    }
+
+    /// Total tour cost for `n` stations holding `l` low bikes in total
+    /// (Eq. 10): `n·q + l·b + (n²−n)/2·d`.
+    pub fn total_cost(&self, n: usize, l: usize) -> f64 {
+        let n_f = n as f64;
+        n_f * self.service_q
+            + l as f64 * self.energy_b
+            + (n_f * n_f - n_f) / 2.0 * self.delay_d
+    }
+
+    /// The cost-saving upper bound Δᵢ = q + t·d freed when station `i`
+    /// (in 0-based position `t`) no longer needs a visit (Eq. 12).
+    pub fn station_saving(&self, t: usize) -> f64 {
+        self.service_q + t as f64 * self.delay_d
+    }
+
+    /// The savings ratio of aggregating `n` stations down to `m`
+    /// (Eq. 11): `1 − (m·q + (m²−m)d/2) / (n·q + (n²−n)d/2)`.
+    ///
+    /// The `l·b` energy term cancels because every bike is still charged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m > n` or `n == 0`.
+    pub fn savings_ratio(&self, n: usize, m: usize) -> f64 {
+        assert!(n > 0, "need at least one station");
+        assert!(m <= n, "aggregated count m={m} exceeds n={n}");
+        let cost = |k: usize| {
+            let k_f = k as f64;
+            k_f * self.service_q + (k_f * k_f - k_f) / 2.0 * self.delay_d
+        };
+        1.0 - cost(m) / cost(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_cost_matches_eq_10() {
+        let p = ChargingCostParams::new(10.0, 2.0, 3.0);
+        // n=4, l=7: 4*10 + 7*3 + (16-4)/2*2 = 40 + 21 + 12 = 73.
+        assert_eq!(p.total_cost(4, 7), 73.0);
+        assert_eq!(p.total_cost(0, 0), 0.0);
+        assert_eq!(p.total_cost(1, 0), 10.0);
+    }
+
+    #[test]
+    fn total_cost_equals_sum_of_station_costs() {
+        let p = ChargingCostParams::new(7.0, 1.5, 2.0);
+        let loads = [3usize, 0, 5, 2, 8];
+        let sum: f64 = loads
+            .iter()
+            .enumerate()
+            .map(|(idx, &l)| p.station_cost(l, idx))
+            .sum();
+        let total = p.total_cost(loads.len(), loads.iter().sum());
+        assert!((sum - total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn savings_ratio_extremes() {
+        let p = ChargingCostParams::default();
+        assert_eq!(p.savings_ratio(10, 10), 0.0);
+        assert_eq!(p.savings_ratio(10, 0), 1.0);
+        let half = p.savings_ratio(10, 5);
+        assert!(half > 0.0 && half < 1.0);
+    }
+
+    #[test]
+    fn savings_quadratic_in_m() {
+        // Fig. 7(a): "for fixed n, smaller m has quadratically higher cost
+        // saving" — the marginal saving grows as m shrinks.
+        let p = ChargingCostParams::new(10.0, 5.0, 2.0);
+        let n = 20;
+        let s = |m| p.savings_ratio(n, m);
+        // m/n = 0.65 brings ~50% saving for delay-dominated costs.
+        let mid = s(13);
+        assert!((0.30..0.60).contains(&mid), "saving at m/n=0.65: {mid}");
+        // Monotone: fewer stations, more saving.
+        for m in 1..n {
+            assert!(s(m) > s(m + 1));
+        }
+    }
+
+    #[test]
+    fn saving_grows_with_delay_cost() {
+        // Fig. 7(b): raising d from small values sharply raises saving.
+        let n = 20;
+        let m = 10;
+        let low_d = ChargingCostParams::new(10.0, 0.1, 2.0).savings_ratio(n, m);
+        let high_d = ChargingCostParams::new(10.0, 10.0, 2.0).savings_ratio(n, m);
+        assert!(high_d > low_d);
+    }
+
+    #[test]
+    fn station_saving_grows_with_position() {
+        let p = ChargingCostParams::new(10.0, 5.0, 2.0);
+        assert_eq!(p.station_saving(0), 10.0);
+        assert_eq!(p.station_saving(1), 15.0);
+        assert_eq!(p.station_saving(4), 30.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn savings_rejects_m_above_n() {
+        let _ = ChargingCostParams::default().savings_ratio(3, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 0")]
+    fn rejects_negative_cost() {
+        let _ = ChargingCostParams::new(-1.0, 0.0, 0.0);
+    }
+}

@@ -1,0 +1,41 @@
+//! # esharing-charging
+//!
+//! Tier 2 of the E-Sharing framework: charging-maintenance optimization
+//! through user incentives (§IV of the paper).
+//!
+//! Operators tour the parking locations to recharge e-bikes whose battery
+//! fell below a threshold. Serving `n` stations with `l` low bikes costs
+//! `C = n·q + l·b + (n²−n)/2·d` (Eq. 10: per-stop service cost `q`,
+//! per-bike energy cost `b`, positional delay cost `d`). Aggregating the
+//! scattered low-battery tail onto fewer stations shrinks both the `n·q`
+//! and the quadratic delay terms (Eq. 11); the paper achieves this by
+//! paying users a uniform incentive `v = α(q + t·d)/|L_i|` (bounded by the
+//! cost saved, Eq. 12) to ride a low bike to a designated neighbour
+//! station instead of a fresh one.
+//!
+//! This crate implements:
+//!
+//! * [`ChargingCostParams`] — the Eq. 10 cost model and the Eq. 11 savings
+//!   ratio (Fig. 7),
+//! * [`tsp`] — the operator's touring problem (nearest neighbour, 2-opt,
+//!   exact Held–Karp for small stops),
+//! * [`UserModel`]/[`IncentiveMechanism`] — the Eq. 13 acceptance model
+//!   with population heterogeneity and the online offer loop (Algorithm 3),
+//! * [`Operator`] — a shift-limited maintenance tour producing the
+//!   %-charged utility metric of Fig. 12(b).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cost;
+mod incentive;
+mod operator;
+pub mod rebalance;
+pub mod scheduler;
+pub mod tsp;
+
+pub use cost::ChargingCostParams;
+pub use incentive::{
+    IncentiveMechanism, IncentiveOutcome, StationEnergy, UserModel,
+};
+pub use operator::{Operator, ShiftReport};

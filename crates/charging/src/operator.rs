@@ -1,0 +1,286 @@
+//! The maintenance operator's shift (§V-E).
+//!
+//! "In a fixed amount of working hours, the operator forms a TSP route
+//! through all the demand sites and conduct\[s\] charging in a paralleled
+//! manner at each location." The operator tours the stations that still
+//! hold low-battery bikes; stations beyond the shift budget stay
+//! uncharged, which produces the %-charged utility metric of Fig. 12(b):
+//! without incentives the tail is spread over many stations and the shift
+//! runs out; with aggregation the (fewer) stations all fit.
+
+use crate::tsp;
+use crate::{ChargingCostParams, IncentiveOutcome, StationEnergy};
+use esharing_geo::Point;
+use serde::{Deserialize, Serialize};
+
+/// A maintenance operator with a fixed shift budget.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Operator {
+    /// Start/end point of the tour.
+    pub depot: Point,
+    /// Travel speed in meters per second (e-trike hauling chargers).
+    pub speed_mps: f64,
+    /// Time spent at each station (batteries are swapped in parallel, so
+    /// this is per stop, not per bike), in seconds.
+    pub service_time_s: f64,
+    /// Total shift length in seconds.
+    pub shift_s: f64,
+    /// Stations holding at most this many low bikes are skipped — "the
+    /// operator can skip those locations with only a few ones left"
+    /// (§IV-C Remarks). 0 skips only empty stations.
+    pub skip_below: usize,
+}
+
+impl Default for Operator {
+    fn default() -> Self {
+        Operator {
+            depot: Point::ORIGIN,
+            speed_mps: 4.0,
+            service_time_s: 600.0,
+            shift_s: 4.0 * 3_600.0,
+            skip_below: 0,
+        }
+    }
+}
+
+/// Outcome of one operator shift.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShiftReport {
+    /// Stations visited, in tour order (indices into the input slice).
+    pub visited: Vec<usize>,
+    /// Bikes charged at the visited stations.
+    pub bikes_charged: usize,
+    /// Bikes that remained uncharged when the shift ended.
+    pub bikes_missed: usize,
+    /// Distance travelled in meters.
+    pub distance_m: f64,
+    /// Service component of the tour cost: `|visited| · q`.
+    pub service_cost: f64,
+    /// Delay component: `Σ t·d` over visited positions.
+    pub delay_cost: f64,
+    /// Energy component: `b ·` bikes charged.
+    pub energy_cost: f64,
+    /// Monetary cost of the tour: service + delay + energy (Eq. 10 over
+    /// the visited prefix).
+    pub tour_cost: f64,
+}
+
+impl ShiftReport {
+    /// Fraction of low bikes charged, in `[0, 1]`; 1 when there was
+    /// nothing to charge.
+    pub fn charged_fraction(&self) -> f64 {
+        let total = self.bikes_charged + self.bikes_missed;
+        if total == 0 {
+            1.0
+        } else {
+            self.bikes_charged as f64 / total as f64
+        }
+    }
+}
+
+impl Operator {
+    /// Creates an operator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rate or budget is not positive and finite.
+    pub fn new(depot: Point, speed_mps: f64, service_time_s: f64, shift_s: f64) -> Self {
+        assert!(speed_mps.is_finite() && speed_mps > 0.0, "speed must be positive");
+        assert!(
+            service_time_s.is_finite() && service_time_s > 0.0,
+            "service time must be positive"
+        );
+        assert!(shift_s.is_finite() && shift_s > 0.0, "shift must be positive");
+        Operator {
+            depot,
+            speed_mps,
+            service_time_s,
+            shift_s,
+            skip_below: 0,
+        }
+    }
+
+    /// Returns a copy with the skip policy set.
+    pub fn with_skip_below(self, skip_below: usize) -> Self {
+        Operator { skip_below, ..self }
+    }
+
+    /// Tours the stations holding low bikes (TSP order) until the shift
+    /// budget is exhausted; stations with zero low bikes are skipped
+    /// entirely ("the operator can skip those locations with only a few
+    /// ones left" — we skip exactly the empty ones and visit the rest in
+    /// shortest-route order).
+    pub fn run_shift(&self, stations: &[StationEnergy], params: &ChargingCostParams) -> ShiftReport {
+        let demand: Vec<(usize, Point, usize)> = stations
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.low_bikes > self.skip_below)
+            .map(|(i, s)| (i, s.location, s.low_bikes))
+            .collect();
+        let points: Vec<Point> = demand.iter().map(|&(_, p, _)| p).collect();
+        let order = tsp::solve(self.depot, &points);
+        let mut elapsed = 0.0;
+        let mut at = self.depot;
+        let mut visited = Vec::new();
+        let mut bikes_charged = 0usize;
+        let mut distance_m = 0.0;
+        let mut service_cost = 0.0;
+        let mut delay_cost = 0.0;
+        let mut energy_cost = 0.0;
+        for (position, &stop) in order.iter().enumerate() {
+            let (orig_idx, loc, low) = demand[stop];
+            let leg = at.distance(loc);
+            let need = leg / self.speed_mps + self.service_time_s;
+            if elapsed + need > self.shift_s {
+                break;
+            }
+            elapsed += need;
+            distance_m += leg;
+            at = loc;
+            visited.push(orig_idx);
+            bikes_charged += low;
+            service_cost += params.service_q;
+            delay_cost += position as f64 * params.delay_d;
+            energy_cost += low as f64 * params.energy_b;
+        }
+        let total_low: usize = stations.iter().map(|s| s.low_bikes).sum();
+        ShiftReport {
+            visited,
+            bikes_charged,
+            bikes_missed: total_low - bikes_charged,
+            distance_m,
+            service_cost,
+            delay_cost,
+            energy_cost,
+            tour_cost: service_cost + delay_cost + energy_cost,
+        }
+    }
+
+    /// Applies an incentive outcome to the station list, producing the
+    /// post-relocation energy state the shift should be run on.
+    pub fn stations_after_incentives(
+        stations: &[StationEnergy],
+        outcome: &IncentiveOutcome,
+    ) -> Vec<StationEnergy> {
+        assert_eq!(
+            stations.len(),
+            outcome.remaining_low.len(),
+            "outcome does not match station list"
+        );
+        stations
+            .iter()
+            .zip(&outcome.remaining_low)
+            .map(|(s, &low)| StationEnergy {
+                low_bikes: low,
+                ..*s
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn station(x: f64, y: f64, low: usize) -> StationEnergy {
+        StationEnergy {
+            location: Point::new(x, y),
+            low_bikes: low,
+            arrivals: 0,
+        }
+    }
+
+    #[test]
+    fn empty_demand_trivial_shift() {
+        let op = Operator::default();
+        let report = op.run_shift(&[station(10.0, 10.0, 0)], &ChargingCostParams::default());
+        assert!(report.visited.is_empty());
+        assert_eq!(report.bikes_charged, 0);
+        assert_eq!(report.bikes_missed, 0);
+        assert_eq!(report.charged_fraction(), 1.0);
+        assert_eq!(report.distance_m, 0.0);
+    }
+
+    #[test]
+    fn generous_shift_charges_everything() {
+        let op = Operator::default();
+        let stations = vec![
+            station(100.0, 0.0, 3),
+            station(200.0, 0.0, 0),
+            station(300.0, 0.0, 5),
+        ];
+        let report = op.run_shift(&stations, &ChargingCostParams::default());
+        assert_eq!(report.bikes_charged, 8);
+        assert_eq!(report.bikes_missed, 0);
+        assert_eq!(report.charged_fraction(), 1.0);
+        // Skips the zero-demand station.
+        assert_eq!(report.visited.len(), 2);
+        assert!(!report.visited.contains(&1));
+    }
+
+    #[test]
+    fn tight_shift_misses_tail() {
+        // Shift only long enough for one stop.
+        let op = Operator::new(Point::ORIGIN, 4.0, 600.0, 700.0);
+        let stations = vec![station(100.0, 0.0, 2), station(4_000.0, 0.0, 7)];
+        let report = op.run_shift(&stations, &ChargingCostParams::default());
+        assert_eq!(report.visited, vec![0]);
+        assert_eq!(report.bikes_charged, 2);
+        assert_eq!(report.bikes_missed, 7);
+        assert!((report.charged_fraction() - 2.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregation_raises_charged_fraction() {
+        // Scattered: 10 stations, one bike each, spread over kilometers.
+        // Aggregated: same 10 bikes at 2 stations.
+        let op = Operator::new(Point::ORIGIN, 3.0, 900.0, 2.0 * 3600.0);
+        let scattered: Vec<StationEnergy> = (0..10)
+            .map(|i| station(500.0 * (i + 1) as f64, (i % 3) as f64 * 800.0, 1))
+            .collect();
+        let aggregated = vec![station(500.0, 0.0, 6), station(1_000.0, 0.0, 4)];
+        let params = ChargingCostParams::default();
+        let f_scattered = op.run_shift(&scattered, &params).charged_fraction();
+        let f_aggregated = op.run_shift(&aggregated, &params).charged_fraction();
+        assert!(
+            f_aggregated > f_scattered,
+            "aggregated {f_aggregated} vs scattered {f_scattered}"
+        );
+        assert_eq!(f_aggregated, 1.0);
+    }
+
+    #[test]
+    fn tour_cost_matches_station_costs() {
+        let op = Operator::default();
+        let stations = vec![station(10.0, 0.0, 2), station(20.0, 0.0, 3)];
+        let params = ChargingCostParams::new(10.0, 5.0, 2.0);
+        let report = op.run_shift(&stations, &params);
+        // Positions 0 and 1: (2*2 + 10 + 0) + (3*2 + 10 + 5) = 14 + 21.
+        assert_eq!(report.tour_cost, 35.0);
+        assert_eq!(report.service_cost, 20.0);
+        assert_eq!(report.delay_cost, 5.0);
+        assert_eq!(report.energy_cost, 10.0);
+    }
+
+    #[test]
+    fn stations_after_incentives_applies_remaining() {
+        let stations = vec![station(0.0, 0.0, 5), station(10.0, 0.0, 1)];
+        let outcome = IncentiveOutcome {
+            remaining_low: vec![0, 6],
+            target_of: vec![1, 1],
+            incentives_paid: 3.0,
+            relocated: 5,
+            offers_made: 8,
+        };
+        let after = Operator::stations_after_incentives(&stations, &outcome);
+        assert_eq!(after[0].low_bikes, 0);
+        assert_eq!(after[1].low_bikes, 6);
+        assert_eq!(after[0].location, stations[0].location);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_speed() {
+        let _ = Operator::new(Point::ORIGIN, 0.0, 1.0, 1.0);
+    }
+}

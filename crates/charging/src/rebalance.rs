@@ -1,0 +1,285 @@
+//! Static fleet rebalancing — the substrate assumption of §II-B.
+//!
+//! The paper assumes "the reserves of E-bikes are balanced, which satisfy
+//! the demand and do not overwhelm the capacity by executing the
+//! procedures in \[9\]–\[11\]" (the static-rebalancing literature). This
+//! module implements that procedure: given per-station inventories and
+//! demand-derived targets, a truck of limited capacity tours the stations
+//! picking up surpluses and dropping them at deficits, following the
+//! classical single-vehicle static rebalancing formulation of Chemla,
+//! Meunier & Wolfler Calvo \[9\] solved with a greedy nearest-feasible
+//! heuristic plus the TSP improvement pass.
+
+use crate::tsp;
+use esharing_geo::Point;
+use serde::{Deserialize, Serialize};
+
+/// One station's inventory versus its target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StationInventory {
+    /// Bikes currently parked.
+    pub bikes: usize,
+    /// Bikes the station should hold to satisfy forecast demand.
+    pub target: usize,
+}
+
+impl StationInventory {
+    /// Signed imbalance: positive = surplus to remove, negative = deficit
+    /// to fill.
+    pub fn imbalance(&self) -> i64 {
+        self.bikes as i64 - self.target as i64
+    }
+}
+
+/// One stop of the rebalancing tour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RebalanceStop {
+    /// Index of the station visited.
+    pub station: usize,
+    /// Bikes loaded onto the truck (positive) or unloaded (negative).
+    pub delta: i64,
+}
+
+/// The computed rebalancing plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RebalancePlan {
+    /// Stops in execution order.
+    pub stops: Vec<RebalanceStop>,
+    /// Truck travel distance in meters (from the depot through all stops).
+    pub distance_m: f64,
+    /// Total bikes moved (sum of pickups).
+    pub bikes_moved: u64,
+    /// Remaining absolute imbalance after the plan executes (0 when supply
+    /// matches demand and capacity sufficed).
+    pub residual_imbalance: u64,
+}
+
+/// Computes a single-truck rebalancing plan.
+///
+/// The heuristic visits stations in shortest-route order (nearest
+/// neighbour + 2-opt over all imbalanced stations) and greedily loads
+/// surpluses / unloads deficits subject to the truck capacity. When total
+/// supply and demand differ, the residual is reported rather than
+/// silently dropped.
+///
+/// # Panics
+///
+/// Panics if `locations` and `inventories` differ in length or
+/// `capacity == 0`.
+pub fn plan_rebalance(
+    depot: Point,
+    locations: &[Point],
+    inventories: &[StationInventory],
+    capacity: usize,
+) -> RebalancePlan {
+    assert_eq!(
+        locations.len(),
+        inventories.len(),
+        "locations and inventories must align"
+    );
+    assert!(capacity > 0, "truck capacity must be positive");
+    // Only imbalanced stations matter.
+    let involved: Vec<usize> = (0..locations.len())
+        .filter(|&i| inventories[i].imbalance() != 0)
+        .collect();
+    if involved.is_empty() {
+        return RebalancePlan {
+            stops: Vec::new(),
+            distance_m: 0.0,
+            bikes_moved: 0,
+            residual_imbalance: 0,
+        };
+    }
+    let points: Vec<Point> = involved.iter().map(|&i| locations[i]).collect();
+    let order = tsp::solve(depot, &points);
+
+    // The tour may need several passes: a deficit visited while the truck
+    // is empty is deferred to the next pass (classical multi-pass greedy).
+    let mut remaining: Vec<i64> = involved
+        .iter()
+        .map(|&i| inventories[i].imbalance())
+        .collect();
+    let mut stops = Vec::new();
+    let mut load = 0usize;
+    let mut at = depot;
+    let mut distance_m = 0.0;
+    let mut bikes_moved = 0u64;
+    loop {
+        let mut progressed = false;
+        for &tour_idx in &order {
+            let station = involved[tour_idx];
+            let imb = remaining[tour_idx];
+            if imb > 0 && load < capacity {
+                // Surplus: pick up as much as fits.
+                let take = (imb as usize).min(capacity - load);
+                load += take;
+                remaining[tour_idx] -= take as i64;
+                bikes_moved += take as u64;
+                distance_m += at.distance(locations[station]);
+                at = locations[station];
+                stops.push(RebalanceStop {
+                    station,
+                    delta: take as i64,
+                });
+                progressed = true;
+            } else if imb < 0 && load > 0 {
+                // Deficit: drop as much as we carry.
+                let give = ((-imb) as usize).min(load);
+                load -= give;
+                remaining[tour_idx] += give as i64;
+                distance_m += at.distance(locations[station]);
+                at = locations[station];
+                stops.push(RebalanceStop {
+                    station,
+                    delta: -(give as i64),
+                });
+                progressed = true;
+            }
+        }
+        let balanced = remaining.iter().all(|&r| r == 0);
+        if balanced || !progressed {
+            break;
+        }
+    }
+    // Any load left on the truck returns to the depot (it counts as moved
+    // but also as residual if no deficit wanted it).
+    let residual: u64 = remaining.iter().map(|r| r.unsigned_abs()).sum::<u64>() + load as u64;
+    RebalancePlan {
+        stops,
+        distance_m,
+        bikes_moved,
+        residual_imbalance: residual,
+    }
+}
+
+/// Applies a plan to the inventories (for simulation), returning the new
+/// bike counts.
+///
+/// # Panics
+///
+/// Panics if a stop would drive a station's count negative — plans
+/// produced by [`plan_rebalance`] never do.
+pub fn apply_plan(inventories: &[StationInventory], plan: &RebalancePlan) -> Vec<usize> {
+    let mut bikes: Vec<i64> = inventories.iter().map(|s| s.bikes as i64).collect();
+    for stop in &plan.stops {
+        bikes[stop.station] -= stop.delta;
+        assert!(
+            bikes[stop.station] >= 0,
+            "plan drove station {} negative",
+            stop.station
+        );
+    }
+    bikes.into_iter().map(|b| b as usize).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn station(bikes: usize, target: usize) -> StationInventory {
+        StationInventory { bikes, target }
+    }
+
+    fn line_locations(n: usize) -> Vec<Point> {
+        (0..n).map(|i| Point::new(i as f64 * 500.0, 0.0)).collect()
+    }
+
+    #[test]
+    fn balanced_input_trivial_plan() {
+        let locations = line_locations(3);
+        let inv = vec![station(5, 5), station(3, 3), station(0, 0)];
+        let plan = plan_rebalance(Point::ORIGIN, &locations, &inv, 10);
+        assert!(plan.stops.is_empty());
+        assert_eq!(plan.bikes_moved, 0);
+        assert_eq!(plan.residual_imbalance, 0);
+        assert_eq!(plan.distance_m, 0.0);
+    }
+
+    #[test]
+    fn simple_transfer_balances_exactly() {
+        let locations = line_locations(2);
+        let inv = vec![station(8, 3), station(1, 6)];
+        let plan = plan_rebalance(Point::ORIGIN, &locations, &inv, 10);
+        assert_eq!(plan.bikes_moved, 5);
+        assert_eq!(plan.residual_imbalance, 0);
+        let after = apply_plan(&inv, &plan);
+        assert_eq!(after, vec![3, 6]);
+    }
+
+    #[test]
+    fn capacity_forces_multiple_passes() {
+        // 9 bikes must move but the truck holds 3: needs 3 pickups.
+        let locations = line_locations(2);
+        let inv = vec![station(9, 0), station(0, 9)];
+        let plan = plan_rebalance(Point::ORIGIN, &locations, &inv, 3);
+        assert_eq!(plan.bikes_moved, 9);
+        assert_eq!(plan.residual_imbalance, 0);
+        let pickups = plan.stops.iter().filter(|s| s.delta > 0).count();
+        assert!(pickups >= 3, "capacity 3 needs >= 3 pickup stops");
+        assert_eq!(apply_plan(&inv, &plan), vec![0, 9]);
+    }
+
+    #[test]
+    fn supply_shortage_reports_residual() {
+        let locations = line_locations(2);
+        let inv = vec![station(2, 0), station(0, 10)];
+        let plan = plan_rebalance(Point::ORIGIN, &locations, &inv, 10);
+        assert_eq!(plan.bikes_moved, 2);
+        assert_eq!(plan.residual_imbalance, 8);
+        assert_eq!(apply_plan(&inv, &plan), vec![0, 2]);
+    }
+
+    #[test]
+    fn surplus_without_demand_reports_residual() {
+        let locations = line_locations(2);
+        let inv = vec![station(10, 2), station(5, 5)];
+        let plan = plan_rebalance(Point::ORIGIN, &locations, &inv, 4);
+        // 4 picked up (capacity), nowhere to drop: residual includes the
+        // load plus the untouched surplus.
+        assert_eq!(plan.residual_imbalance, 8);
+    }
+
+    #[test]
+    fn every_station_reaches_target_in_mixed_case() {
+        let locations = vec![
+            Point::new(0.0, 0.0),
+            Point::new(800.0, 100.0),
+            Point::new(300.0, 900.0),
+            Point::new(1_500.0, 400.0),
+            Point::new(600.0, 500.0),
+        ];
+        let inv = vec![
+            station(12, 4),
+            station(0, 5),
+            station(7, 7),
+            station(1, 4),
+            station(3, 3),
+        ];
+        let plan = plan_rebalance(Point::ORIGIN, &locations, &inv, 6);
+        assert_eq!(plan.residual_imbalance, 0);
+        let after = apply_plan(&inv, &plan);
+        for (s, &b) in inv.iter().zip(&after) {
+            assert_eq!(b, s.target);
+        }
+        assert!(plan.distance_m > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = plan_rebalance(Point::ORIGIN, &line_locations(1), &[station(1, 0)], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn mismatched_lengths_panic() {
+        let _ = plan_rebalance(Point::ORIGIN, &line_locations(2), &[station(1, 0)], 1);
+    }
+
+    #[test]
+    fn imbalance_sign_convention() {
+        assert_eq!(station(5, 3).imbalance(), 2);
+        assert_eq!(station(3, 5).imbalance(), -2);
+        assert_eq!(station(4, 4).imbalance(), 0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Demand-aware maintenance scheduling.
+//!
+//! §V-E closes with: "A solution is to schedule the operators more
+//! frequently during rush hours to the low-energy demand sites." This
+//! module turns that remark into a planner: given the hourly demand
+//! profile and a budget of operator dispatches per day, it places the
+//! dispatches so that expected demand is covered as evenly as possible —
+//! rush hours receive proportionally more service.
+//!
+//! The placement minimizes the maximum demand mass between consecutive
+//! dispatches (a minimax 1-D partition, solved exactly by binary search
+//! over the answer + greedy feasibility).
+
+use serde::{Deserialize, Serialize};
+
+/// A day's dispatch schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DispatchSchedule {
+    /// Hours (0–23) at which an operator is dispatched, ascending.
+    pub hours: Vec<u32>,
+    /// The largest demand mass any dispatch has to absorb (the minimax
+    /// objective value).
+    pub worst_interval_demand: f64,
+}
+
+impl DispatchSchedule {
+    /// Number of dispatches.
+    pub fn len(&self) -> usize {
+        self.hours.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.hours.is_empty()
+    }
+}
+
+/// Greedy feasibility: can `dispatches` cuts keep every chunk of the
+/// profile at or below `cap`? A dispatch at hour `h` absorbs all demand
+/// accumulated since the previous dispatch, i.e. hours `(prev, h]`.
+fn feasible(profile: &[f64], dispatches: usize, cap: f64) -> Option<Vec<u32>> {
+    let mut hours = Vec::with_capacity(dispatches);
+    let mut acc = 0.0;
+    for (h, &d) in profile.iter().enumerate() {
+        if d > cap {
+            return None; // one hour alone exceeds the cap
+        }
+        if acc + d > cap {
+            // Dispatch at the end of the previous hour.
+            hours.push(h.saturating_sub(1) as u32);
+            acc = d;
+            if hours.len() > dispatches {
+                return None;
+            }
+        } else {
+            acc += d;
+        }
+    }
+    if acc > 0.0 || hours.is_empty() {
+        hours.push((profile.len() - 1) as u32);
+    }
+    if hours.len() > dispatches {
+        return None;
+    }
+    Some(hours)
+}
+
+/// Plans `dispatches` operator dispatch hours over a 24-hour (or arbitrary
+/// length) demand profile, minimizing the worst per-interval demand.
+///
+/// # Panics
+///
+/// Panics if the profile is empty, contains negative/non-finite entries,
+/// or `dispatches == 0`.
+pub fn plan_dispatches(profile: &[f64], dispatches: usize) -> DispatchSchedule {
+    assert!(!profile.is_empty(), "demand profile must be non-empty");
+    assert!(dispatches > 0, "need at least one dispatch");
+    assert!(
+        profile.iter().all(|d| d.is_finite() && *d >= 0.0),
+        "demand must be finite and non-negative"
+    );
+    let total: f64 = profile.iter().sum();
+    if total == 0.0 {
+        // No demand: one token dispatch at end of day.
+        return DispatchSchedule {
+            hours: vec![(profile.len() - 1) as u32],
+            worst_interval_demand: 0.0,
+        };
+    }
+    let max_hour = profile.iter().copied().fold(0.0, f64::max);
+    // Binary search the minimax cap in [max_hour, total].
+    let mut lo = max_hour;
+    let mut hi = total;
+    for _ in 0..60 {
+        let mid = (lo + hi) / 2.0;
+        if feasible(profile, dispatches, mid).is_some() {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    let hours = feasible(profile, dispatches, hi).expect("hi is feasible by construction");
+    DispatchSchedule {
+        hours,
+        worst_interval_demand: hi,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A commuter profile: morning and evening rush.
+    fn rush_profile() -> Vec<f64> {
+        let mut p = vec![1.0; 24];
+        for h in 7..10 {
+            p[h] = 20.0;
+        }
+        for h in 17..20 {
+            p[h] = 25.0;
+        }
+        p
+    }
+
+    fn worst_gap(profile: &[f64], hours: &[u32]) -> f64 {
+        let mut worst = 0.0f64;
+        let mut acc = 0.0;
+        let mut next = 0usize;
+        for (h, &d) in profile.iter().enumerate() {
+            acc += d;
+            if next < hours.len() && hours[next] as usize == h {
+                worst = worst.max(acc);
+                acc = 0.0;
+                next += 1;
+            }
+        }
+        worst.max(acc)
+    }
+
+    #[test]
+    fn single_dispatch_absorbs_everything() {
+        let p = rush_profile();
+        let s = plan_dispatches(&p, 1);
+        assert_eq!(s.len(), 1);
+        let total: f64 = p.iter().sum();
+        assert!((s.worst_interval_demand - total).abs() / total < 0.01);
+    }
+
+    #[test]
+    fn more_dispatches_never_hurt() {
+        let p = rush_profile();
+        let mut prev = f64::INFINITY;
+        for k in 1..=8 {
+            let s = plan_dispatches(&p, k);
+            assert!(
+                s.worst_interval_demand <= prev + 1e-9,
+                "k={k}: {} > {prev}",
+                s.worst_interval_demand
+            );
+            assert!(s.len() <= k);
+            prev = s.worst_interval_demand;
+        }
+    }
+
+    #[test]
+    fn rush_hours_attract_dispatches() {
+        let p = rush_profile();
+        let s = plan_dispatches(&p, 6);
+        // At least half the dispatches should land inside/next to the rush
+        // windows (hours 6..10 and 16..20).
+        let near_rush = s
+            .hours
+            .iter()
+            .filter(|&&h| (6..=10).contains(&h) || (16..=20).contains(&h))
+            .count();
+        assert!(
+            near_rush * 2 >= s.len(),
+            "only {near_rush} of {} dispatches near rush: {:?}",
+            s.len(),
+            s.hours
+        );
+    }
+
+    #[test]
+    fn objective_matches_realized_worst_gap() {
+        let p = rush_profile();
+        for k in [2usize, 3, 5] {
+            let s = plan_dispatches(&p, k);
+            let realized = worst_gap(&p, &s.hours);
+            assert!(
+                realized <= s.worst_interval_demand + 1e-6,
+                "k={k}: realized {realized} vs bound {}",
+                s.worst_interval_demand
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_profile_splits_evenly() {
+        let p = vec![4.0; 24];
+        let s = plan_dispatches(&p, 4);
+        // 96 total over 4 dispatches: worst interval ~24.
+        assert!((s.worst_interval_demand - 24.0).abs() < 4.1);
+        assert_eq!(s.len(), 4);
+        assert!(s.hours.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn zero_demand_token_schedule() {
+        let s = plan_dispatches(&[0.0; 24], 3);
+        assert_eq!(s.hours, vec![23]);
+        assert_eq!(s.worst_interval_demand, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one dispatch")]
+    fn zero_dispatches_panics() {
+        let _ = plan_dispatches(&[1.0], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_profile_panics() {
+        let _ = plan_dispatches(&[], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn negative_demand_panics() {
+        let _ = plan_dispatches(&[1.0, -2.0], 1);
+    }
+}

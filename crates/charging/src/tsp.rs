@@ -1,0 +1,289 @@
+//! The operator's touring problem.
+//!
+//! "The operator traverses through all the demand sites with the shortest
+//! route by solving the Traveling Salesman Problem" (§V-E). Tours here are
+//! open paths starting at a depot (the operator's base) and visiting every
+//! demand site once. Three solvers are provided:
+//!
+//! * [`nearest_neighbor`] — the fast constructive heuristic,
+//! * [`two_opt`] — local-search improvement over any tour,
+//! * [`held_karp`] — exact dynamic programming for ≤ [`HELD_KARP_MAX`]
+//!   stops, used to validate the heuristics and for small tours.
+
+use esharing_geo::Point;
+
+/// Maximum number of stops (excluding the depot) accepted by [`held_karp`].
+pub const HELD_KARP_MAX: usize = 15;
+
+/// Length of the open tour `depot → stops[order[0]] → stops[order[1]] → …`.
+///
+/// # Panics
+///
+/// Panics if `order` is not a permutation of `0..stops.len()`.
+pub fn route_length(depot: Point, stops: &[Point], order: &[usize]) -> f64 {
+    assert_eq!(order.len(), stops.len(), "order must cover all stops");
+    let mut seen = vec![false; stops.len()];
+    let mut length = 0.0;
+    let mut at = depot;
+    for &idx in order {
+        assert!(!seen[idx], "order visits stop {idx} twice");
+        seen[idx] = true;
+        length += at.distance(stops[idx]);
+        at = stops[idx];
+    }
+    length
+}
+
+/// Nearest-neighbour construction: repeatedly visit the closest unvisited
+/// stop. Returns the visiting order.
+pub fn nearest_neighbor(depot: Point, stops: &[Point]) -> Vec<usize> {
+    let n = stops.len();
+    let mut order = Vec::with_capacity(n);
+    let mut visited = vec![false; n];
+    let mut at = depot;
+    for _ in 0..n {
+        let next = (0..n)
+            .filter(|&i| !visited[i])
+            .min_by(|&a, &b| {
+                at.distance(stops[a])
+                    .partial_cmp(&at.distance(stops[b]))
+                    .expect("finite distances")
+            })
+            .expect("unvisited stop remains");
+        visited[next] = true;
+        at = stops[next];
+        order.push(next);
+    }
+    order
+}
+
+/// 2-opt local search: repeatedly reverses tour segments while that
+/// shortens the route, starting from `initial`. Returns the improved order.
+///
+/// # Panics
+///
+/// Panics if `initial` is not a permutation of `0..stops.len()`.
+pub fn two_opt(depot: Point, stops: &[Point], initial: &[usize]) -> Vec<usize> {
+    let mut order = initial.to_vec();
+    let n = order.len();
+    if n < 3 {
+        let _ = route_length(depot, stops, &order); // validates permutation
+        return order;
+    }
+    let pos = |order: &[usize], i: isize| -> Point {
+        if i < 0 {
+            depot
+        } else {
+            stops[order[i as usize]]
+        }
+    };
+    let mut improved = true;
+    while improved {
+        improved = false;
+        for i in 0..n - 1 {
+            for j in i + 1..n {
+                // Reversing order[i..=j] replaces edges (i-1, i) and
+                // (j, j+1) with (i-1, j) and (i, j+1); for an open tour the
+                // (j, j+1) edge vanishes when j is last.
+                let a = pos(&order, i as isize - 1);
+                let b = pos(&order, i as isize);
+                let c = pos(&order, j as isize);
+                let before = a.distance(b);
+                let after = a.distance(c);
+                let (before, after) = if j + 1 < n {
+                    let d = pos(&order, j as isize + 1);
+                    (before + c.distance(d), after + b.distance(d))
+                } else {
+                    (before, after)
+                };
+                if after + 1e-9 < before {
+                    order[i..=j].reverse();
+                    improved = true;
+                }
+            }
+        }
+    }
+    order
+}
+
+/// Exact shortest open tour by Held–Karp dynamic programming.
+///
+/// # Panics
+///
+/// Panics if `stops.len() > HELD_KARP_MAX` (the DP is `O(n² 2ⁿ)`).
+pub fn held_karp(depot: Point, stops: &[Point]) -> Vec<usize> {
+    let n = stops.len();
+    assert!(
+        n <= HELD_KARP_MAX,
+        "held_karp supports at most {HELD_KARP_MAX} stops, got {n}"
+    );
+    if n == 0 {
+        return Vec::new();
+    }
+    let full = (1usize << n) - 1;
+    // dp[mask][last] = shortest path from depot through `mask` ending at
+    // `last`.
+    let mut dp = vec![vec![f64::INFINITY; n]; 1 << n];
+    let mut parent = vec![vec![usize::MAX; n]; 1 << n];
+    for last in 0..n {
+        dp[1 << last][last] = depot.distance(stops[last]);
+    }
+    for mask in 1..=full {
+        for last in 0..n {
+            if mask & (1 << last) == 0 || dp[mask][last].is_infinite() {
+                continue;
+            }
+            let base = dp[mask][last];
+            for next in 0..n {
+                if mask & (1 << next) != 0 {
+                    continue;
+                }
+                let cand = base + stops[last].distance(stops[next]);
+                let m2 = mask | (1 << next);
+                if cand < dp[m2][next] {
+                    dp[m2][next] = cand;
+                    parent[m2][next] = last;
+                }
+            }
+        }
+    }
+    let mut last = (0..n)
+        .min_by(|&a, &b| dp[full][a].partial_cmp(&dp[full][b]).expect("finite"))
+        .expect("non-empty");
+    let mut order = vec![last];
+    let mut mask = full;
+    while parent[mask][last] != usize::MAX {
+        let prev = parent[mask][last];
+        mask &= !(1 << last);
+        last = prev;
+        order.push(last);
+    }
+    order.reverse();
+    order
+}
+
+/// Convenience: the best tour this module can produce — exact for small
+/// inputs, otherwise nearest-neighbour improved by 2-opt.
+pub fn solve(depot: Point, stops: &[Point]) -> Vec<usize> {
+    if stops.len() <= HELD_KARP_MAX {
+        held_karp(depot, stops)
+    } else {
+        two_opt(depot, stops, &nearest_neighbor(depot, stops))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_stops(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0)))
+            .collect()
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let depot = Point::ORIGIN;
+        assert!(nearest_neighbor(depot, &[]).is_empty());
+        assert!(held_karp(depot, &[]).is_empty());
+        let one = [Point::new(3.0, 4.0)];
+        assert_eq!(nearest_neighbor(depot, &one), vec![0]);
+        assert_eq!(held_karp(depot, &one), vec![0]);
+        assert_eq!(route_length(depot, &one, &[0]), 5.0);
+    }
+
+    #[test]
+    fn route_length_known() {
+        let depot = Point::ORIGIN;
+        let stops = [Point::new(10.0, 0.0), Point::new(10.0, 10.0)];
+        assert_eq!(route_length(depot, &stops, &[0, 1]), 20.0);
+        assert!((route_length(depot, &stops, &[1, 0]) - (200f64.sqrt() + 10.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "twice")]
+    fn route_length_rejects_duplicates() {
+        let stops = [Point::new(1.0, 0.0), Point::new(2.0, 0.0)];
+        let _ = route_length(Point::ORIGIN, &stops, &[0, 0]);
+    }
+
+    #[test]
+    fn nearest_neighbor_on_a_line_is_optimal() {
+        let depot = Point::ORIGIN;
+        let stops: Vec<Point> = (1..=5).map(|i| Point::new(i as f64 * 10.0, 0.0)).collect();
+        let order = nearest_neighbor(depot, &stops);
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+        assert_eq!(route_length(depot, &stops, &order), 50.0);
+    }
+
+    #[test]
+    fn held_karp_beats_or_ties_heuristics() {
+        for seed in 0..6 {
+            let stops = random_stops(9, seed);
+            let depot = Point::new(500.0, 500.0);
+            let exact = route_length(depot, &stops, &held_karp(depot, &stops));
+            let nn_order = nearest_neighbor(depot, &stops);
+            let nn = route_length(depot, &stops, &nn_order);
+            let improved = route_length(depot, &stops, &two_opt(depot, &stops, &nn_order));
+            assert!(exact <= nn + 1e-9, "seed {seed}: exact {exact} vs nn {nn}");
+            assert!(
+                exact <= improved + 1e-9,
+                "seed {seed}: exact {exact} vs 2opt {improved}"
+            );
+            assert!(improved <= nn + 1e-9);
+        }
+    }
+
+    #[test]
+    fn two_opt_never_worsens() {
+        for seed in 10..16 {
+            let stops = random_stops(25, seed);
+            let depot = Point::ORIGIN;
+            let nn_order = nearest_neighbor(depot, &stops);
+            let nn = route_length(depot, &stops, &nn_order);
+            let improved = route_length(depot, &stops, &two_opt(depot, &stops, &nn_order));
+            assert!(improved <= nn + 1e-9, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn two_opt_untangles_crossing() {
+        // A deliberately crossed square tour.
+        let depot = Point::ORIGIN;
+        let stops = [
+            Point::new(0.0, 10.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 10.0),
+            Point::new(0.0, 20.0),
+        ];
+        let crossed = vec![1, 3, 2, 0];
+        let improved = two_opt(depot, &stops, &crossed);
+        assert!(
+            route_length(depot, &stops, &improved) < route_length(depot, &stops, &crossed)
+        );
+    }
+
+    #[test]
+    fn solve_dispatches_by_size() {
+        let depot = Point::ORIGIN;
+        let small = random_stops(8, 1);
+        let small_order = solve(depot, &small);
+        assert_eq!(small_order.len(), 8);
+        let large = random_stops(30, 2);
+        let large_order = solve(depot, &large);
+        assert_eq!(large_order.len(), 30);
+        // Both are valid permutations (route_length validates).
+        let _ = route_length(depot, &small, &small_order);
+        let _ = route_length(depot, &large, &large_order);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn held_karp_rejects_large() {
+        let _ = held_karp(Point::ORIGIN, &random_stops(16, 3));
+    }
+}

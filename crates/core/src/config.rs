@@ -1,0 +1,120 @@
+//! System-wide configuration.
+
+use esharing_charging::{ChargingCostParams, Operator, UserModel};
+use esharing_dataset::EnergyModel;
+use esharing_placement::online::DeviationConfig;
+
+/// All knobs of the two-tier framework, defaulting to the paper's §V
+/// experimental parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// Grid granularity in meters (paper: 100 m cells).
+    pub grid_cell_m: f64,
+    /// Space-occupation cost per station in meters of equivalent walking
+    /// distance (paper: "uniformly randomly distributed with mean of 10
+    /// (km)"; we use the mean).
+    pub space_cost_m: f64,
+    /// Cap on candidate cells fed to the offline algorithm — "the space of
+    /// N can be reduced to filter out those less popular locations".
+    pub max_candidate_cells: usize,
+    /// Tier-1 online algorithm configuration.
+    pub deviation: DeviationConfig,
+    /// Tier-2 unit costs (q, d, b).
+    pub charging: ChargingCostParams,
+    /// User cooperation model for incentives.
+    pub users: UserModel,
+    /// Incentive level α ∈ [0, 1].
+    pub alpha: f64,
+    /// Offers the system can make per station per maintenance period
+    /// (bounded by real user arrivals).
+    pub offers_per_station: usize,
+    /// Maintenance operator shift parameters.
+    pub operator: Operator,
+    /// E-bike battery physics.
+    pub energy: EnergyModel,
+    /// Master seed for the orchestrator's stochastic components.
+    pub seed: u64,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            grid_cell_m: 100.0,
+            space_cost_m: 10_000.0,
+            max_candidate_cells: 250,
+            deviation: DeviationConfig {
+                space_cost: 10_000.0,
+                ..DeviationConfig::default()
+            },
+            charging: ChargingCostParams::default(),
+            users: UserModel::default(),
+            alpha: 0.4,
+            offers_per_station: 40,
+            // The §IV-C skip policy: stations the incentive pass left with
+            // only a couple of low bikes are deferred to the next period.
+            operator: Operator::default().with_skip_below(2),
+            energy: EnergyModel::default(),
+            seed: 7,
+        }
+    }
+}
+
+impl SystemConfig {
+    /// Validates cross-field consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid combinations (non-positive grid cell, α outside
+    /// `[0, 1]`, zero candidate cap).
+    pub fn validate(&self) {
+        assert!(
+            self.grid_cell_m.is_finite() && self.grid_cell_m > 0.0,
+            "grid cell must be positive"
+        );
+        assert!(
+            self.space_cost_m.is_finite() && self.space_cost_m > 0.0,
+            "space cost must be positive"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.alpha),
+            "alpha must be in [0, 1]"
+        );
+        assert!(self.max_candidate_cells > 0, "candidate cap must be positive");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_matches_paper() {
+        let cfg = SystemConfig::default();
+        cfg.validate();
+        assert_eq!(cfg.grid_cell_m, 100.0);
+        assert_eq!(cfg.space_cost_m, 10_000.0);
+        assert_eq!(cfg.charging.delay_d, 5.0);
+        assert_eq!(cfg.charging.energy_b, 2.0);
+        assert_eq!(cfg.deviation.tolerance, 200.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rejects_bad_alpha() {
+        let cfg = SystemConfig {
+            alpha: 2.0,
+            ..SystemConfig::default()
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "grid cell")]
+    fn rejects_bad_grid() {
+        let cfg = SystemConfig {
+            grid_cell_m: -1.0,
+            ..SystemConfig::default()
+        };
+        cfg.validate();
+    }
+}

@@ -1,0 +1,316 @@
+//! Event-driven operation with condition-based maintenance.
+//!
+//! The day-granular [`Simulation`](crate::Simulation) runs maintenance on
+//! a fixed schedule. Real deployments stream battery telemetry to the
+//! server ("the energy status of the E-bikes are streamed back to the
+//! server" — §IV-C) and dispatch operators *when needed*. This engine
+//! processes trips in strict timestamp order and fires a maintenance
+//! period whenever the fleet's low-battery count crosses a threshold,
+//! rate-limited by a minimum gap between dispatches.
+
+use crate::orchestrator::MaintenanceReport;
+use crate::{ESharing, SystemConfig};
+use esharing_dataset::{CityConfig, Fleet, SyntheticCity, Timestamp, TripGenerator};
+
+/// When the operator is dispatched.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaintenanceEvent {
+    /// Time of the dispatch.
+    pub time: Timestamp,
+    /// Low-battery bikes that triggered it.
+    pub low_bikes: usize,
+    /// The tier-2 report.
+    pub report: MaintenanceReport,
+}
+
+/// Configuration of the condition-based trigger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TriggerPolicy {
+    /// Dispatch when the fleet-wide low-battery count reaches this.
+    pub low_bike_threshold: usize,
+    /// Minimum seconds between dispatches (an operator shift cannot be
+    /// restarted arbitrarily often).
+    pub min_gap_s: u64,
+}
+
+impl Default for TriggerPolicy {
+    fn default() -> Self {
+        TriggerPolicy {
+            low_bike_threshold: 40,
+            min_gap_s: 4 * 3_600,
+        }
+    }
+}
+
+/// An event-driven simulation: trips replay in timestamp order and
+/// maintenance fires on the battery-telemetry condition.
+#[derive(Debug)]
+pub struct EventDrivenSim {
+    system: ESharing,
+    fleet: Fleet,
+    generator: TripGenerator,
+    policy: TriggerPolicy,
+    now: Timestamp,
+    last_maintenance: Option<Timestamp>,
+    maintenance_log: Vec<MaintenanceEvent>,
+    trips_processed: u64,
+}
+
+impl EventDrivenSim {
+    /// Creates the engine over a fresh synthetic city.
+    pub fn new(
+        city_config: &CityConfig,
+        system_config: SystemConfig,
+        policy: TriggerPolicy,
+        seed: u64,
+    ) -> Self {
+        let city = SyntheticCity::generate(city_config);
+        let fleet = Fleet::new(
+            city_config.fleet_size,
+            city.bbox(),
+            system_config.energy,
+            seed ^ 0xE4E17,
+        );
+        let generator = TripGenerator::new(&city, seed);
+        EventDrivenSim {
+            system: ESharing::new(system_config),
+            fleet,
+            generator,
+            policy,
+            now: Timestamp(0),
+            last_maintenance: None,
+            maintenance_log: Vec::new(),
+            trips_processed: 0,
+        }
+    }
+
+    /// The orchestrated system.
+    pub fn system(&self) -> &ESharing {
+        &self.system
+    }
+
+    /// The fleet.
+    pub fn fleet(&self) -> &Fleet {
+        &self.fleet
+    }
+
+    /// Maintenance dispatches so far, in time order.
+    pub fn maintenance_log(&self) -> &[MaintenanceEvent] {
+        &self.maintenance_log
+    }
+
+    /// Trips processed so far.
+    pub fn trips_processed(&self) -> u64 {
+        self.trips_processed
+    }
+
+    /// Current simulation clock.
+    pub fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    /// Bootstraps the offline landmarks from `n_days` of history (the
+    /// clock advances past them).
+    pub fn bootstrap_days(&mut self, n_days: u64) -> usize {
+        let start_day = self.now.day();
+        let trips = self.generator.generate_days(start_day, n_days);
+        let destinations: Vec<_> = trips.iter().map(|t| t.end).collect();
+        self.fleet.replay(trips.iter());
+        self.system.bootstrap(&destinations);
+        self.now = Timestamp::from_day_hour(start_day + n_days, 0);
+        trips.len()
+    }
+
+    fn maintenance_allowed(&self) -> bool {
+        match self.last_maintenance {
+            None => true,
+            Some(t) => self.now.seconds() >= t.seconds() + self.policy.min_gap_s,
+        }
+    }
+
+    /// Advances the clock to `until`, processing every trip in order and
+    /// firing condition-based maintenance. Returns the dispatches that
+    /// occurred in the window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`EventDrivenSim::bootstrap_days`] or with
+    /// `until` in the past.
+    pub fn run_until(&mut self, until: Timestamp) -> Vec<MaintenanceEvent> {
+        assert!(until >= self.now, "cannot run backwards");
+        let first_day = self.now.day();
+        let last_day = until.day();
+        let mut fired = Vec::new();
+        for day in first_day..=last_day {
+            // Trips are generated per day and interleaved by timestamp.
+            let trips = self.generator.generate_days(day, 1);
+            for trip in trips {
+                if trip.start_time < self.now || trip.start_time >= until {
+                    continue;
+                }
+                self.now = trip.start_time;
+                self.system
+                    .handle_request(trip.end)
+                    .expect("engine must be bootstrapped before run_until");
+                self.fleet.apply_trip(&trip);
+                self.trips_processed += 1;
+                // Telemetry check after every drop-off.
+                let low = self.fleet.low_battery_bikes().len();
+                if low >= self.policy.low_bike_threshold && self.maintenance_allowed() {
+                    let report = self
+                        .system
+                        .maintenance_period(&mut self.fleet)
+                        .expect("bootstrapped");
+                    let event = MaintenanceEvent {
+                        time: self.now,
+                        low_bikes: low,
+                        report,
+                    };
+                    self.last_maintenance = Some(self.now);
+                    self.maintenance_log.push(event.clone());
+                    fired.push(event);
+                }
+            }
+        }
+        self.now = until;
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_city() -> CityConfig {
+        CityConfig {
+            trips_per_day: 900.0,
+            fleet_size: 350,
+            ..CityConfig::default()
+        }
+    }
+
+    #[test]
+    fn trips_process_in_time_order_and_count() {
+        let mut sim = EventDrivenSim::new(
+            &small_city(),
+            SystemConfig::default(),
+            TriggerPolicy {
+                low_bike_threshold: usize::MAX, // never fire
+                min_gap_s: 0,
+            },
+            5,
+        );
+        sim.bootstrap_days(1);
+        let fired = sim.run_until(Timestamp::from_day_hour(3, 0));
+        assert!(fired.is_empty());
+        assert!(sim.trips_processed() > 500);
+        assert_eq!(
+            sim.system().metrics().requests_served,
+            sim.trips_processed()
+        );
+        assert_eq!(sim.now(), Timestamp::from_day_hour(3, 0));
+    }
+
+    #[test]
+    fn threshold_triggers_maintenance() {
+        let mut sim = EventDrivenSim::new(
+            &small_city(),
+            SystemConfig::default(),
+            TriggerPolicy {
+                low_bike_threshold: 25,
+                min_gap_s: 3_600,
+            },
+            6,
+        );
+        sim.bootstrap_days(1);
+        let fired = sim.run_until(Timestamp::from_day_hour(4, 0));
+        assert!(!fired.is_empty(), "dispatch expected under heavy usage");
+        for event in &fired {
+            assert!(event.low_bikes >= 25);
+        }
+        assert_eq!(sim.maintenance_log().len(), fired.len());
+        // The fleet is being kept alive.
+        assert!(sim.fleet().low_battery_bikes().len() < sim.fleet().len() / 2);
+    }
+
+    #[test]
+    fn min_gap_rate_limits_dispatches() {
+        let run = |gap_s: u64| -> usize {
+            let mut sim = EventDrivenSim::new(
+                &small_city(),
+                SystemConfig::default(),
+                TriggerPolicy {
+                    low_bike_threshold: 10,
+                    min_gap_s: gap_s,
+                },
+                7,
+            );
+            sim.bootstrap_days(1);
+            sim.run_until(Timestamp::from_day_hour(3, 0)).len()
+        };
+        let frequent = run(600);
+        let rare = run(24 * 3_600);
+        assert!(
+            frequent > rare,
+            "gap 10min fired {frequent}, gap 24h fired {rare}"
+        );
+        assert!(rare >= 1);
+    }
+
+    #[test]
+    fn dispatch_times_respect_gap() {
+        let mut sim = EventDrivenSim::new(
+            &small_city(),
+            SystemConfig::default(),
+            TriggerPolicy {
+                low_bike_threshold: 10,
+                min_gap_s: 2 * 3_600,
+            },
+            8,
+        );
+        sim.bootstrap_days(1);
+        sim.run_until(Timestamp::from_day_hour(4, 0));
+        let log = sim.maintenance_log();
+        for pair in log.windows(2) {
+            assert!(
+                pair[1].time.seconds() >= pair[0].time.seconds() + 2 * 3_600,
+                "dispatches too close: {} then {}",
+                pair[0].time,
+                pair[1].time
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn cannot_run_backwards() {
+        let mut sim = EventDrivenSim::new(
+            &small_city(),
+            SystemConfig::default(),
+            TriggerPolicy::default(),
+            9,
+        );
+        sim.bootstrap_days(2);
+        let _ = sim.run_until(Timestamp::from_day_hour(1, 0));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut sim = EventDrivenSim::new(
+                &small_city(),
+                SystemConfig::default(),
+                TriggerPolicy::default(),
+                10,
+            );
+            sim.bootstrap_days(1);
+            sim.run_until(Timestamp::from_day_hour(3, 0));
+            (
+                sim.trips_processed(),
+                *sim.system().metrics(),
+                sim.maintenance_log().len(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}

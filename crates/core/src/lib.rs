@@ -1,0 +1,46 @@
+//! # esharing-core
+//!
+//! End-to-end orchestration of the two-tier E-Sharing framework.
+//!
+//! This crate wires the substrates together in the order of the paper's
+//! Fig. 3 system architecture:
+//!
+//! 1. the **prediction engine** forecasts future usage patterns,
+//! 2. forecasts (or the historical window itself) feed the **offline
+//!    placement** algorithm, producing the landmark parking set,
+//! 3. a periodic **two-sample test** compares the live request
+//!    distribution with history,
+//! 4. the **online placement** algorithm makes real-time decisions guided
+//!    by the offline solution,
+//! 5. the system computes **incentives** to aggregate low-battery bikes,
+//! 6. cooperating users relocate the bikes and the operator runs a
+//!    shortened charging tour.
+//!
+//! Main entry points:
+//!
+//! * [`SystemConfig`] — all knobs in one place,
+//! * [`ESharing`] — the orchestrator: feed it a historical window, then
+//!   stream live requests and run maintenance periods,
+//! * [`Simulation`] — binds a [`SyntheticCity`] workload to the
+//!   orchestrator and replays whole days,
+//! * [`server`] — a concurrent request server demonstrating deployment of
+//!   the same pipeline behind channels.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+pub mod events;
+mod metrics;
+mod orchestrator;
+pub mod server;
+mod simulation;
+
+pub use config::SystemConfig;
+pub use events::{EventDrivenSim, TriggerPolicy};
+pub use metrics::SystemMetrics;
+pub use orchestrator::{ESharing, MaintenanceReport, NotBootstrapped};
+pub use simulation::{Simulation, SimulationReport};
+
+// Re-exported for convenience so binaries need only depend on the core.
+pub use esharing_dataset::SyntheticCity;

@@ -1,0 +1,98 @@
+//! Aggregate system metrics.
+
+use esharing_placement::PlacementCost;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Running totals across the lifetime of an [`ESharing`](crate::ESharing)
+/// instance.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SystemMetrics {
+    /// Tier-1 placement cost (walking + space, meters).
+    pub placement: PlacementCost,
+    /// Live requests handled by the online algorithm.
+    pub requests_served: u64,
+    /// Tier-2: total maintenance cost in dollars (tour cost + incentives).
+    pub maintenance_cost: f64,
+    /// Incentives paid to users in dollars.
+    pub incentives_paid: f64,
+    /// Bikes recharged by operators.
+    pub bikes_charged: u64,
+    /// Low bikes left uncharged when shifts ended.
+    pub bikes_missed: u64,
+    /// Operator distance travelled in meters.
+    pub operator_distance_m: f64,
+    /// Maintenance periods executed.
+    pub maintenance_periods: u64,
+}
+
+impl SystemMetrics {
+    /// Average walking distance per served request, in meters.
+    pub fn avg_walk_m(&self) -> f64 {
+        if self.requests_served == 0 {
+            0.0
+        } else {
+            self.placement.walking / self.requests_served as f64
+        }
+    }
+
+    /// Fraction of low bikes charged across all maintenance periods.
+    pub fn charged_fraction(&self) -> f64 {
+        let total = self.bikes_charged + self.bikes_missed;
+        if total == 0 {
+            1.0
+        } else {
+            self.bikes_charged as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for SystemMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "requests served : {}", self.requests_served)?;
+        writeln!(f, "placement cost  : {}", self.placement)?;
+        writeln!(f, "avg walk        : {:.1} m", self.avg_walk_m())?;
+        writeln!(f, "maintenance     : ${:.2}", self.maintenance_cost)?;
+        writeln!(f, "incentives      : ${:.2}", self.incentives_paid)?;
+        write!(
+            f,
+            "charged         : {:.1}% ({} of {})",
+            100.0 * self.charged_fraction(),
+            self.bikes_charged,
+            self.bikes_charged + self.bikes_missed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_metrics_safe() {
+        let m = SystemMetrics::default();
+        assert_eq!(m.avg_walk_m(), 0.0);
+        assert_eq!(m.charged_fraction(), 1.0);
+    }
+
+    #[test]
+    fn averages() {
+        let m = SystemMetrics {
+            placement: PlacementCost::new(1000.0, 500.0),
+            requests_served: 10,
+            bikes_charged: 3,
+            bikes_missed: 1,
+            ..SystemMetrics::default()
+        };
+        assert_eq!(m.avg_walk_m(), 100.0);
+        assert_eq!(m.charged_fraction(), 0.75);
+    }
+
+    #[test]
+    fn display_includes_key_lines() {
+        let m = SystemMetrics::default();
+        let s = m.to_string();
+        assert!(s.contains("requests served"));
+        assert!(s.contains("charged"));
+    }
+}

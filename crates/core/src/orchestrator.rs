@@ -1,0 +1,424 @@
+//! The two-tier orchestrator.
+
+use crate::{SystemConfig, SystemMetrics};
+use esharing_charging::{IncentiveMechanism, IncentiveOutcome, Operator, ShiftReport, StationEnergy};
+use esharing_dataset::Fleet;
+use esharing_geo::{Grid, Point};
+use esharing_placement::online::{Decision, DeviationPenalty, OnlinePlacement};
+use esharing_placement::{offline, PlpInstance};
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when the orchestrator is used before bootstrapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotBootstrapped;
+
+impl fmt::Display for NotBootstrapped {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "E-Sharing must be bootstrapped with historical data first")
+    }
+}
+
+impl Error for NotBootstrapped {}
+
+/// Report of one Tier-2 maintenance period.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaintenanceReport {
+    /// The incentive pass outcome.
+    pub incentives: IncentiveOutcome,
+    /// The operator shift that followed.
+    pub shift: ShiftReport,
+    /// Total monetary cost: tour + incentives.
+    pub total_cost: f64,
+}
+
+/// The E-Sharing system: offline-guided online placement (Tier 1) plus
+/// incentivized charging maintenance (Tier 2).
+///
+/// # Examples
+///
+/// ```
+/// use esharing_core::{ESharing, SystemConfig};
+/// use esharing_geo::Point;
+///
+/// let mut system = ESharing::new(SystemConfig::default());
+/// // Historical destinations establish the landmarks...
+/// let history: Vec<Point> = (0..200)
+///     .map(|i| Point::new((i % 20) as f64 * 150.0, (i / 20) as f64 * 300.0))
+///     .collect();
+/// let landmarks = system.bootstrap(&history).to_vec();
+/// assert!(!landmarks.is_empty());
+/// // ...then live requests stream through the online algorithm.
+/// let decision = system.handle_request(Point::new(310.0, 310.0)).unwrap();
+/// let _ = decision.station();
+/// ```
+#[derive(Debug)]
+pub struct ESharing {
+    config: SystemConfig,
+    online: Option<DeviationPenalty>,
+    landmarks: Vec<Point>,
+    metrics: SystemMetrics,
+}
+
+impl ESharing {
+    /// Creates an un-bootstrapped system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(config: SystemConfig) -> Self {
+        config.validate();
+        ESharing {
+            config,
+            online: None,
+            landmarks: Vec::new(),
+            metrics: SystemMetrics::default(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Accumulated metrics.
+    pub fn metrics(&self) -> &SystemMetrics {
+        &self.metrics
+    }
+
+    /// Offline landmark stations (empty before bootstrapping).
+    pub fn landmarks(&self) -> &[Point] {
+        &self.landmarks
+    }
+
+    /// Currently open stations (landmarks + online additions).
+    pub fn stations(&self) -> Vec<Point> {
+        self.online
+            .as_ref()
+            .map(|o| o.stations())
+            .unwrap_or_default()
+    }
+
+    /// Runs the offline pipeline on a window of historical destinations:
+    /// grid binning → candidate filtering → 1.61-factor placement — then
+    /// arms the online algorithm with the resulting landmarks. Returns the
+    /// landmark locations.
+    ///
+    /// The space cost of the landmark stations is charged into the metrics
+    /// here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `history` is empty.
+    pub fn bootstrap(&mut self, history: &[Point]) -> &[Point] {
+        assert!(!history.is_empty(), "historical window must be non-empty");
+        let grid = Grid::new(self.config.grid_cell_m);
+        let mut centroids = grid.weighted_centroids(history.iter().copied());
+        // Keep the most popular candidate cells.
+        centroids.sort_by_key(|c| std::cmp::Reverse(c.1));
+        centroids.truncate(self.config.max_candidate_cells);
+        let instance =
+            PlpInstance::from_weighted_centroids(&centroids, self.config.space_cost_m);
+        let solution = offline::jms_greedy(&instance);
+        self.landmarks = solution.facility_points(&instance);
+        let online = DeviationPenalty::new(
+            self.landmarks.clone(),
+            history.to_vec(),
+            self.config.deviation.clone(),
+        );
+        self.metrics.placement = self.metrics.placement + online.cost();
+        self.online = Some(online);
+        &self.landmarks
+    }
+
+    /// Handles one live trip request (Tier 1, Algorithm 2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotBootstrapped`] before [`ESharing::bootstrap`].
+    pub fn handle_request(&mut self, destination: Point) -> Result<Decision, NotBootstrapped> {
+        let online = self.online.as_mut().ok_or(NotBootstrapped)?;
+        let before = online.cost();
+        let decision = online.handle(destination);
+        let after = online.cost();
+        self.metrics.placement = self.metrics.placement
+            + esharing_placement::PlacementCost::new(
+                after.walking - before.walking,
+                after.space - before.space,
+            );
+        self.metrics.requests_served += 1;
+        Ok(decision)
+    }
+
+    /// Summarizes the fleet's low-battery bikes per station.
+    ///
+    /// Each low bike is attributed to its nearest station; `arrivals` is
+    /// the per-station offer budget from the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotBootstrapped`] before [`ESharing::bootstrap`].
+    pub fn station_energy(&self, fleet: &Fleet) -> Result<Vec<StationEnergy>, NotBootstrapped> {
+        let stations = self.stations();
+        if stations.is_empty() {
+            return Err(NotBootstrapped);
+        }
+        let mut counts = vec![0usize; stations.len()];
+        for bike in fleet.low_battery_bikes() {
+            let nearest = stations
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    bike.location
+                        .distance(**a)
+                        .partial_cmp(&bike.location.distance(**b))
+                        .expect("finite distances")
+                })
+                .map(|(i, _)| i)
+                .expect("non-empty stations");
+            counts[nearest] += 1;
+        }
+        Ok(stations
+            .into_iter()
+            .zip(counts)
+            .map(|(location, low_bikes)| StationEnergy {
+                location,
+                low_bikes,
+                arrivals: self.config.offers_per_station,
+            })
+            .collect())
+    }
+
+    /// Runs one Tier-2 maintenance period: incentive offers aggregate the
+    /// low-battery bikes, the bikes move in the `fleet`, the operator runs
+    /// a shift over the remaining demand, and serviced bikes recharge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotBootstrapped`] before [`ESharing::bootstrap`].
+    pub fn maintenance_period(
+        &mut self,
+        fleet: &mut Fleet,
+    ) -> Result<MaintenanceReport, NotBootstrapped> {
+        let stations = self.station_energy(fleet)?;
+        let mechanism = IncentiveMechanism::new(
+            self.config.charging,
+            self.config.users,
+            self.config.alpha,
+            self.config.seed ^ self.metrics.maintenance_periods,
+        );
+        let outcome = mechanism.run_period(&stations);
+        // Physically relocate the incentivized bikes in the fleet: move
+        // each source station's relocated low bikes to its target station.
+        for (i, station) in stations.iter().enumerate() {
+            let moved = station.low_bikes.saturating_sub(outcome.remaining_low[i]);
+            if moved == 0 {
+                continue;
+            }
+            let target_loc = stations[outcome.target_of[i]].location;
+            let mut candidates: Vec<u64> = fleet
+                .low_battery_bikes()
+                .iter()
+                .filter(|b| {
+                    // Attributed to station i: closer to it than to any other.
+                    let my_d = b.location.distance(station.location);
+                    stations
+                        .iter()
+                        .all(|s| b.location.distance(s.location) >= my_d - 1e-9)
+                })
+                .map(|b| b.bike_id)
+                .collect();
+            candidates.truncate(moved);
+            for bike_id in candidates {
+                fleet.relocate(bike_id, target_loc);
+            }
+        }
+        let after = Operator::stations_after_incentives(&stations, &outcome);
+        let shift = self.config.operator.run_shift(&after, &self.config.charging);
+        // Recharge the bikes at visited stations.
+        for &idx in &shift.visited {
+            let loc = after[idx].location;
+            let ids: Vec<u64> = fleet
+                .low_battery_bikes()
+                .iter()
+                .filter(|b| {
+                    let my_d = b.location.distance(loc);
+                    after
+                        .iter()
+                        .all(|s| b.location.distance(s.location) >= my_d - 1e-9)
+                })
+                .map(|b| b.bike_id)
+                .collect();
+            for id in ids {
+                fleet.recharge(id);
+            }
+        }
+        let total_cost = shift.tour_cost + outcome.incentives_paid;
+        self.metrics.maintenance_cost += total_cost;
+        self.metrics.incentives_paid += outcome.incentives_paid;
+        self.metrics.bikes_charged += shift.bikes_charged as u64;
+        self.metrics.bikes_missed += shift.bikes_missed as u64;
+        self.metrics.operator_distance_m += shift.distance_m;
+        self.metrics.maintenance_periods += 1;
+        Ok(MaintenanceReport {
+            incentives: outcome,
+            shift,
+            total_cost,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esharing_dataset::EnergyModel;
+    use esharing_geo::BBox;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn uniform_points(n: usize, side: f64, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side)))
+            .collect()
+    }
+
+    fn small_config() -> SystemConfig {
+        SystemConfig {
+            space_cost_m: 5_000.0,
+            deviation: esharing_placement::online::DeviationConfig {
+                space_cost: 5_000.0,
+                ..Default::default()
+            },
+            ..SystemConfig::default()
+        }
+    }
+
+    #[test]
+    fn request_before_bootstrap_fails() {
+        let mut sys = ESharing::new(small_config());
+        assert_eq!(
+            sys.handle_request(Point::ORIGIN),
+            Err(NotBootstrapped)
+        );
+        assert!(sys.stations().is_empty());
+        assert!(sys.landmarks().is_empty());
+    }
+
+    #[test]
+    fn bootstrap_builds_landmarks() {
+        let mut sys = ESharing::new(small_config());
+        let history = uniform_points(300, 1000.0, 1);
+        let landmarks = sys.bootstrap(&history).to_vec();
+        assert!(!landmarks.is_empty());
+        assert!(landmarks.len() < 20, "landmark count {}", landmarks.len());
+        assert_eq!(sys.stations().len(), landmarks.len());
+        // Space cost charged for landmarks.
+        assert_eq!(
+            sys.metrics().placement.space,
+            landmarks.len() as f64 * 5_000.0
+        );
+    }
+
+    #[test]
+    fn requests_update_metrics() {
+        let mut sys = ESharing::new(small_config());
+        sys.bootstrap(&uniform_points(300, 1000.0, 2));
+        for p in uniform_points(100, 1000.0, 3) {
+            sys.handle_request(p).unwrap();
+        }
+        let m = sys.metrics();
+        assert_eq!(m.requests_served, 100);
+        assert!(m.placement.total() > 0.0);
+        assert!(m.avg_walk_m() < 1000.0);
+    }
+
+    #[test]
+    fn maintenance_reduces_low_bikes() {
+        let mut sys = ESharing::new(SystemConfig {
+            alpha: 0.8,
+            ..small_config()
+        });
+        sys.bootstrap(&uniform_points(300, 1000.0, 4));
+        let mut fleet = Fleet::new(200, BBox::square(1000.0), EnergyModel::default(), 5);
+        // Drain some bikes hard.
+        let trips: Vec<esharing_dataset::Trip> = uniform_points(400, 1000.0, 6)
+            .chunks(2)
+            .enumerate()
+            .map(|(i, pair)| esharing_dataset::Trip {
+                order_id: i as u64,
+                user_id: 0,
+                bike_id: (i % 200) as u64,
+                bike_type: 1,
+                start_time: esharing_dataset::Timestamp(0),
+                start: pair[0],
+                end: pair[1],
+            })
+            .collect();
+        for _ in 0..8 {
+            fleet.replay(trips.iter());
+        }
+        let low_before = fleet.low_battery_bikes().len();
+        assert!(low_before > 0, "workload should create low bikes");
+        let report = sys.maintenance_period(&mut fleet).unwrap();
+        let low_after = fleet.low_battery_bikes().len();
+        assert!(
+            low_after < low_before,
+            "maintenance did not help: {low_before} -> {low_after}"
+        );
+        assert!(report.total_cost > 0.0);
+        assert_eq!(sys.metrics().maintenance_periods, 1);
+    }
+
+    #[test]
+    fn incentives_lower_maintenance_cost() {
+        // The headline Tier-2 claim: α > 0 yields cheaper maintenance than
+        // α = 0 on the same fleet state.
+        let run = |alpha: f64| -> f64 {
+            let mut sys = ESharing::new(SystemConfig {
+                alpha,
+                ..small_config()
+            });
+            sys.bootstrap(&uniform_points(300, 1000.0, 7));
+            let mut fleet = Fleet::new(300, BBox::square(1000.0), EnergyModel::default(), 8);
+            let trips: Vec<esharing_dataset::Trip> = uniform_points(1200, 1000.0, 9)
+                .chunks(2)
+                .enumerate()
+                .map(|(i, pair)| esharing_dataset::Trip {
+                    order_id: i as u64,
+                    user_id: 0,
+                    bike_id: (i % 300) as u64,
+                    bike_type: 1,
+                    start_time: esharing_dataset::Timestamp(0),
+                    start: pair[0],
+                    end: pair[1],
+                })
+                .collect();
+            for _ in 0..6 {
+                fleet.replay(trips.iter());
+            }
+            let report = sys.maintenance_period(&mut fleet).unwrap();
+            report.total_cost
+        };
+        let without = run(0.0);
+        let moderate = run(0.4);
+        let full = run(1.0);
+        assert!(
+            moderate < without,
+            "incentives did not save: alpha=0.4 cost {moderate} vs alpha=0 cost {without}"
+        );
+        // Table VI's pattern: a moderate α beats paying users the full
+        // saving, which erodes the margin.
+        assert!(
+            moderate < full,
+            "alpha=0.4 cost {moderate} should beat alpha=1.0 cost {full}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn bootstrap_rejects_empty_history() {
+        let mut sys = ESharing::new(small_config());
+        sys.bootstrap(&[]);
+    }
+}

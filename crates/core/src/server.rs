@@ -1,0 +1,241 @@
+//! A concurrent request server around the orchestrator.
+//!
+//! The paper's architecture streams trip requests from mobile apps to a
+//! server backend where E-Sharing computes parking assignments (Fig. 3).
+//! [`RequestServer`] reproduces that deployment shape: a dedicated worker
+//! thread owns the [`ESharing`] state and serves requests arriving over a
+//! channel, so many client threads can submit concurrently while decisions
+//! stay strictly serialized (the online algorithm is inherently
+//! sequential — each decision depends on all earlier ones).
+
+use crate::ESharing;
+use crossbeam::channel::{bounded, Sender};
+use esharing_geo::Point;
+use esharing_placement::online::Decision;
+use esharing_placement::PlacementCost;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+enum Command {
+    Request {
+        destination: Point,
+        reply: Sender<Decision>,
+    },
+    Snapshot {
+        reply: Sender<ServerSnapshot>,
+    },
+    Shutdown,
+}
+
+/// A point-in-time view of the server state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerSnapshot {
+    /// Open stations at snapshot time.
+    pub stations: Vec<Point>,
+    /// Accumulated placement cost.
+    pub placement: PlacementCost,
+    /// Requests served so far.
+    pub requests_served: u64,
+}
+
+/// Handle for submitting requests to a running server. Cheap to clone;
+/// every clone talks to the same worker.
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    tx: Sender<Command>,
+}
+
+impl ServerHandle {
+    /// Submits a trip destination and waits for the decision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server has been shut down.
+    pub fn submit(&self, destination: Point) -> Decision {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.tx
+            .send(Command::Request {
+                destination,
+                reply: reply_tx,
+            })
+            .expect("server is running");
+        reply_rx.recv().expect("server replies")
+    }
+
+    /// Fetches a state snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server has been shut down.
+    pub fn snapshot(&self) -> ServerSnapshot {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.tx
+            .send(Command::Snapshot { reply: reply_tx })
+            .expect("server is running");
+        reply_rx.recv().expect("server replies")
+    }
+}
+
+/// The server: owns the worker thread.
+#[derive(Debug)]
+pub struct RequestServer {
+    tx: Sender<Command>,
+    worker: Option<JoinHandle<ESharing>>,
+    /// Count of requests accepted, readable without a round-trip.
+    accepted: Arc<Mutex<u64>>,
+}
+
+impl RequestServer {
+    /// Starts the server around a bootstrapped system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system has not been bootstrapped (the worker would
+    /// reject every request).
+    pub fn start(system: ESharing) -> Self {
+        assert!(
+            !system.landmarks().is_empty(),
+            "bootstrap the system before starting the server"
+        );
+        let (tx, rx) = bounded::<Command>(1024);
+        let accepted = Arc::new(Mutex::new(0u64));
+        let accepted_worker = Arc::clone(&accepted);
+        let worker = std::thread::spawn(move || {
+            let mut system = system;
+            while let Ok(cmd) = rx.recv() {
+                match cmd {
+                    Command::Request { destination, reply } => {
+                        let decision = system
+                            .handle_request(destination)
+                            .expect("server system is bootstrapped");
+                        *accepted_worker.lock() += 1;
+                        // A dropped reply receiver is fine: client gave up.
+                        let _ = reply.send(decision);
+                    }
+                    Command::Snapshot { reply } => {
+                        let _ = reply.send(ServerSnapshot {
+                            stations: system.stations(),
+                            placement: system.metrics().placement,
+                            requests_served: system.metrics().requests_served,
+                        });
+                    }
+                    Command::Shutdown => break,
+                }
+            }
+            system
+        });
+        RequestServer {
+            tx,
+            worker: Some(worker),
+            accepted,
+        }
+    }
+
+    /// A handle for submitting requests (cloneable across threads).
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            tx: self.tx.clone(),
+        }
+    }
+
+    /// Requests accepted so far.
+    pub fn accepted(&self) -> u64 {
+        *self.accepted.lock()
+    }
+
+    /// Stops the worker and returns the final system state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker thread panicked.
+    pub fn shutdown(mut self) -> ESharing {
+        let _ = self.tx.send(Command::Shutdown);
+        self.worker
+            .take()
+            .expect("worker present until shutdown")
+            .join()
+            .expect("worker thread must not panic")
+    }
+}
+
+impl Drop for RequestServer {
+    fn drop(&mut self) {
+        if let Some(worker) = self.worker.take() {
+            let _ = self.tx.send(Command::Shutdown);
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SystemConfig;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn bootstrapped_system(seed: u64) -> ESharing {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let history: Vec<Point> = (0..300)
+            .map(|_| Point::new(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0)))
+            .collect();
+        let mut system = ESharing::new(SystemConfig::default());
+        system.bootstrap(&history);
+        system
+    }
+
+    #[test]
+    fn serves_sequential_requests() {
+        let server = RequestServer::start(bootstrapped_system(1));
+        let handle = server.handle();
+        for i in 0..50 {
+            let d = handle.submit(Point::new((i * 17 % 1000) as f64, (i * 31 % 1000) as f64));
+            let _ = d.station();
+        }
+        assert_eq!(server.accepted(), 50);
+        let snap = handle.snapshot();
+        assert_eq!(snap.requests_served, 50);
+        assert!(!snap.stations.is_empty());
+        let system = server.shutdown();
+        assert_eq!(system.metrics().requests_served, 50);
+    }
+
+    #[test]
+    fn concurrent_clients_all_served() {
+        let server = RequestServer::start(bootstrapped_system(2));
+        let mut joins = Vec::new();
+        for t in 0..4 {
+            let handle = server.handle();
+            joins.push(std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(100 + t);
+                for _ in 0..25 {
+                    let p =
+                        Point::new(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0));
+                    let _ = handle.submit(p);
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(server.accepted(), 100);
+        let snap = server.handle().snapshot();
+        assert_eq!(snap.requests_served, 100);
+        assert!(snap.placement.total() > 0.0);
+    }
+
+    #[test]
+    fn drop_shuts_down_cleanly() {
+        let server = RequestServer::start(bootstrapped_system(3));
+        let handle = server.handle();
+        handle.submit(Point::new(1.0, 1.0));
+        drop(server); // must not hang or leak the worker
+    }
+
+    #[test]
+    #[should_panic(expected = "bootstrap")]
+    fn rejects_unbootstrapped_system() {
+        let _ = RequestServer::start(ESharing::new(SystemConfig::default()));
+    }
+}

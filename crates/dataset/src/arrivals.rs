@@ -1,0 +1,165 @@
+//! Arrival-series extraction for the prediction engine.
+//!
+//! The paper bins trips by ending location into 100 × 100 m cells and
+//! forecasts the hourly arrival count per cell. These helpers turn a trip
+//! stream into exactly those series, plus the per-window destination sets
+//! consumed by the KS test and the placement algorithms.
+
+use crate::time::Timestamp;
+use crate::trips::Trip;
+use esharing_geo::{Cell, Grid, Point};
+use std::collections::HashMap;
+
+/// Hourly arrival counts for one cell over `[start_hour, end_hour)`
+/// absolute hour indices. Hours with no arrivals yield 0.
+pub fn hourly_counts_for_cell(
+    trips: &[Trip],
+    grid: &Grid,
+    cell: Cell,
+    start_hour: u64,
+    end_hour: u64,
+) -> Vec<f64> {
+    assert!(start_hour <= end_hour, "inverted hour range");
+    let mut series = vec![0.0; (end_hour - start_hour) as usize];
+    for t in trips {
+        let h = t.start_time.hour_index();
+        if h < start_hour || h >= end_hour {
+            continue;
+        }
+        if grid.cell_of(t.end) == cell {
+            series[(h - start_hour) as usize] += 1.0;
+        }
+    }
+    series
+}
+
+/// Hourly total arrivals across the whole field over
+/// `[start_hour, end_hour)`.
+pub fn hourly_totals(trips: &[Trip], start_hour: u64, end_hour: u64) -> Vec<f64> {
+    assert!(start_hour <= end_hour, "inverted hour range");
+    let mut series = vec![0.0; (end_hour - start_hour) as usize];
+    for t in trips {
+        let h = t.start_time.hour_index();
+        if h >= start_hour && h < end_hour {
+            series[(h - start_hour) as usize] += 1.0;
+        }
+    }
+    series
+}
+
+/// Per-cell arrival counts over a time window `[from, to)`.
+pub fn cell_counts_in_window(
+    trips: &[Trip],
+    grid: &Grid,
+    from: Timestamp,
+    to: Timestamp,
+) -> HashMap<Cell, u64> {
+    let mut counts = HashMap::new();
+    for t in trips {
+        if t.start_time >= from && t.start_time < to {
+            *counts.entry(grid.cell_of(t.end)).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+/// Destination points of all trips in `[from, to)` — the sample the 2-D KS
+/// test and the online placement stream consume.
+pub fn destinations_in_window(trips: &[Trip], from: Timestamp, to: Timestamp) -> Vec<Point> {
+    trips
+        .iter()
+        .filter(|t| t.start_time >= from && t.start_time < to)
+        .map(|t| t.end)
+        .collect()
+}
+
+/// The `k` busiest cells by arrival count over the whole stream —
+/// "the space of N can be reduced to filter out those less popular
+/// locations" (§III-A).
+pub fn busiest_cells(trips: &[Trip], grid: &Grid, k: usize) -> Vec<(Cell, u64)> {
+    let mut counts: HashMap<Cell, u64> = HashMap::new();
+    for t in trips {
+        *counts.entry(grid.cell_of(t.end)).or_insert(0) += 1;
+    }
+    let mut v: Vec<(Cell, u64)> = counts.into_iter().collect();
+    v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    v.truncate(k);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::city::CityConfig;
+    use crate::trips::TripGenerator;
+    use crate::SyntheticCity;
+
+    fn sample_trips() -> Vec<Trip> {
+        let city = SyntheticCity::generate(&CityConfig {
+            trips_per_day: 800.0,
+            ..CityConfig::default()
+        });
+        TripGenerator::new(&city, 31).generate_days(0, 2)
+    }
+
+    #[test]
+    fn totals_cover_all_trips() {
+        let trips = sample_trips();
+        let series = hourly_totals(&trips, 0, 48);
+        assert_eq!(series.len(), 48);
+        assert_eq!(series.iter().sum::<f64>() as usize, trips.len());
+    }
+
+    #[test]
+    fn cell_series_sums_to_window_count() {
+        let trips = sample_trips();
+        let grid = Grid::new(100.0);
+        let (cell, count) = busiest_cells(&trips, &grid, 1)[0];
+        let series = hourly_counts_for_cell(&trips, &grid, cell, 0, 48);
+        assert_eq!(series.iter().sum::<f64>() as u64, count);
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn window_filters_by_time() {
+        let trips = sample_trips();
+        let day0 = destinations_in_window(
+            &trips,
+            Timestamp::from_day_hour(0, 0),
+            Timestamp::from_day_hour(1, 0),
+        );
+        let day1 = destinations_in_window(
+            &trips,
+            Timestamp::from_day_hour(1, 0),
+            Timestamp::from_day_hour(2, 0),
+        );
+        assert_eq!(day0.len() + day1.len(), trips.len());
+        assert!(!day0.is_empty() && !day1.is_empty());
+    }
+
+    #[test]
+    fn cell_counts_consistent_with_destinations() {
+        let trips = sample_trips();
+        let grid = Grid::new(100.0);
+        let from = Timestamp::from_day_hour(0, 6);
+        let to = Timestamp::from_day_hour(0, 10);
+        let counts = cell_counts_in_window(&trips, &grid, from, to);
+        let dests = destinations_in_window(&trips, from, to);
+        assert_eq!(counts.values().sum::<u64>() as usize, dests.len());
+    }
+
+    #[test]
+    fn busiest_cells_sorted_descending() {
+        let trips = sample_trips();
+        let grid = Grid::new(100.0);
+        let top = busiest_cells(&trips, &grid, 10);
+        assert!(top.len() <= 10);
+        assert!(top.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_range_panics() {
+        let _ = hourly_totals(&[], 5, 2);
+    }
+}

@@ -1,0 +1,311 @@
+//! The synthetic city model.
+//!
+//! Trip destinations in real bike-sharing data cluster around points of
+//! interest, and the *kind* of POI controls when demand peaks: offices and
+//! subway stations in weekday rush hours, recreation and restaurants on
+//! weekend afternoons (§V-C observes exactly this weekday/weekend split in
+//! the KS similarity matrix). The city model captures this with a set of
+//! weighted POIs, each carrying a diurnal demand profile per category.
+
+use esharing_geo::{BBox, Point};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The functional category of a point of interest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PoiCategory {
+    /// Metro/subway entrances — weekday commute peaks in both directions.
+    Subway,
+    /// Office blocks — weekday morning arrival peak.
+    Office,
+    /// Residential compounds — weekday evening arrival peak, weekend base.
+    Residential,
+    /// Parks and recreation — weekend midday peak.
+    Recreation,
+    /// University campuses — steady weekday daytime demand.
+    University,
+    /// Restaurants and nightlife — lunch/dinner peaks, stronger weekends.
+    Restaurant,
+}
+
+impl PoiCategory {
+    /// All categories, in a fixed order.
+    pub const ALL: [PoiCategory; 6] = [
+        PoiCategory::Subway,
+        PoiCategory::Office,
+        PoiCategory::Residential,
+        PoiCategory::Recreation,
+        PoiCategory::University,
+        PoiCategory::Restaurant,
+    ];
+
+    /// Relative arrival rate at `hour` (0–23). Profiles are unit-less
+    /// multipliers; the generator scales them to the configured trips/day.
+    pub fn arrival_profile(self, hour: u64, weekend: bool) -> f64 {
+        debug_assert!(hour < 24);
+        let h = hour as usize;
+        // Hand-shaped 24-hour profiles (index = hour). Values are relative.
+        const COMMUTE_AM: [f64; 24] = [
+            0.1, 0.05, 0.02, 0.02, 0.05, 0.3, 1.0, 2.5, 3.0, 1.8, 0.8, 0.6, 0.6, 0.5, 0.5, 0.6,
+            0.8, 1.2, 1.0, 0.7, 0.5, 0.4, 0.3, 0.2,
+        ];
+        const COMMUTE_PM: [f64; 24] = [
+            0.2, 0.1, 0.05, 0.02, 0.02, 0.1, 0.3, 0.5, 0.6, 0.5, 0.5, 0.6, 0.7, 0.6, 0.5, 0.6,
+            1.2, 2.5, 3.0, 2.0, 1.2, 0.8, 0.5, 0.3,
+        ];
+        const MIDDAY: [f64; 24] = [
+            0.1, 0.05, 0.02, 0.02, 0.05, 0.1, 0.3, 0.6, 1.0, 1.5, 2.0, 2.4, 2.5, 2.4, 2.2, 2.0,
+            1.8, 1.5, 1.2, 1.0, 0.8, 0.5, 0.3, 0.2,
+        ];
+        const MEALS: [f64; 24] = [
+            0.3, 0.1, 0.05, 0.02, 0.02, 0.05, 0.2, 0.4, 0.6, 0.7, 1.0, 2.0, 2.2, 1.2, 0.8, 0.8,
+            1.0, 1.8, 2.5, 2.2, 1.5, 1.0, 0.7, 0.5,
+        ];
+        const FLAT_LOW: [f64; 24] = [
+            0.2, 0.1, 0.05, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 0.9, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0,
+            1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3,
+        ];
+        match (self, weekend) {
+            (PoiCategory::Office, false) => COMMUTE_AM[h],
+            (PoiCategory::Office, true) => 0.15 * FLAT_LOW[h],
+            (PoiCategory::Subway, false) => 0.5 * COMMUTE_AM[h] + 0.5 * COMMUTE_PM[h],
+            (PoiCategory::Subway, true) => 0.4 * MIDDAY[h],
+            (PoiCategory::Residential, false) => COMMUTE_PM[h],
+            (PoiCategory::Residential, true) => 0.7 * FLAT_LOW[h],
+            (PoiCategory::Recreation, false) => 0.3 * MIDDAY[h],
+            (PoiCategory::Recreation, true) => 1.8 * MIDDAY[h],
+            (PoiCategory::University, false) => 0.9 * MIDDAY[h],
+            (PoiCategory::University, true) => 0.3 * MIDDAY[h],
+            (PoiCategory::Restaurant, false) => 0.6 * MEALS[h],
+            (PoiCategory::Restaurant, true) => 1.3 * MEALS[h],
+        }
+    }
+}
+
+/// A point of interest anchoring trip demand.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Poi {
+    /// Location in planar city coordinates (meters).
+    pub location: Point,
+    /// Functional category (drives the diurnal profile).
+    pub category: PoiCategory,
+    /// Relative popularity weight (≥ 0).
+    pub weight: f64,
+    /// Spatial scatter of arrivals around the POI (Gaussian σ, meters).
+    pub scatter: f64,
+}
+
+/// Configuration for [`SyntheticCity::generate`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CityConfig {
+    /// Side of the square study field in meters (paper: 3 000 m).
+    pub side: f64,
+    /// Number of POIs per category.
+    pub pois_per_category: usize,
+    /// Mean trips per day across the whole field.
+    pub trips_per_day: f64,
+    /// Fleet size (number of distinct bikes).
+    pub fleet_size: usize,
+    /// Number of distinct users.
+    pub user_count: usize,
+    /// Spatial scatter of arrivals around POIs (meters).
+    pub poi_scatter: f64,
+    /// RNG seed controlling POI placement.
+    pub seed: u64,
+}
+
+impl Default for CityConfig {
+    fn default() -> Self {
+        CityConfig {
+            side: 3_000.0,
+            pois_per_category: 5,
+            trips_per_day: 4_000.0,
+            fleet_size: 1_200,
+            user_count: 5_000,
+            poi_scatter: 90.0,
+            seed: 2017,
+        }
+    }
+}
+
+/// A generated city: a study field plus its weighted POIs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticCity {
+    bbox: BBox,
+    pois: Vec<Poi>,
+    config: CityConfig,
+}
+
+impl SyntheticCity {
+    /// Generates a city deterministically from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.side` is not positive or no POIs are requested.
+    pub fn generate(config: &CityConfig) -> Self {
+        assert!(config.side > 0.0, "city side must be positive");
+        assert!(
+            config.pois_per_category > 0,
+            "need at least one POI per category"
+        );
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let bbox = BBox::square(config.side);
+        // Keep POIs away from the field edge so arrival scatter mostly
+        // stays inside.
+        let margin = (config.side * 0.08).min(200.0);
+        let mut pois = Vec::new();
+        for &category in &PoiCategory::ALL {
+            for _ in 0..config.pois_per_category {
+                let location = Point::new(
+                    rng.gen_range(margin..config.side - margin),
+                    rng.gen_range(margin..config.side - margin),
+                );
+                let weight = rng.gen_range(0.5..1.5);
+                pois.push(Poi {
+                    location,
+                    category,
+                    weight,
+                    scatter: config.poi_scatter,
+                });
+            }
+        }
+        SyntheticCity {
+            bbox,
+            pois,
+            config: config.clone(),
+        }
+    }
+
+    /// The study field.
+    pub fn bbox(&self) -> BBox {
+        self.bbox
+    }
+
+    /// All POIs.
+    pub fn pois(&self) -> &[Poi] {
+        &self.pois
+    }
+
+    /// The generating configuration.
+    pub fn config(&self) -> &CityConfig {
+        &self.config
+    }
+
+    /// Per-POI expected arrivals for one hour:
+    /// `weight × profile(hour, weekend)`, rescaled so a full day across the
+    /// city sums to roughly `trips_per_day`.
+    pub fn poi_arrival_rates(&self, hour: u64, weekend: bool) -> Vec<f64> {
+        let raw: Vec<f64> = self
+            .pois
+            .iter()
+            .map(|p| p.weight * p.category.arrival_profile(hour, weekend))
+            .collect();
+        // Normalizing constant: total raw demand over a weekday.
+        let total_day: f64 = (0..24)
+            .map(|h| {
+                self.pois
+                    .iter()
+                    .map(|p| p.weight * p.category.arrival_profile(h, weekend))
+                    .sum::<f64>()
+            })
+            .sum();
+        let scale = if total_day > 0.0 {
+            self.config.trips_per_day / total_day
+        } else {
+            0.0
+        };
+        raw.into_iter().map(|r| r * scale).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = CityConfig::default();
+        let a = SyntheticCity::generate(&cfg);
+        let b = SyntheticCity::generate(&cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_different_city() {
+        let a = SyntheticCity::generate(&CityConfig::default());
+        let b = SyntheticCity::generate(&CityConfig {
+            seed: 999,
+            ..CityConfig::default()
+        });
+        assert_ne!(a.pois()[0].location, b.pois()[0].location);
+    }
+
+    #[test]
+    fn pois_inside_field() {
+        let city = SyntheticCity::generate(&CityConfig::default());
+        assert_eq!(city.pois().len(), 6 * 5);
+        for poi in city.pois() {
+            assert!(city.bbox().contains(poi.location));
+            assert!(poi.weight > 0.0);
+        }
+    }
+
+    #[test]
+    fn daily_rate_sums_to_configured_volume() {
+        let city = SyntheticCity::generate(&CityConfig::default());
+        for weekend in [false, true] {
+            let total: f64 = (0..24)
+                .map(|h| city.poi_arrival_rates(h, weekend).iter().sum::<f64>())
+                .sum();
+            let expected = city.config().trips_per_day;
+            assert!(
+                (total - expected).abs() < 1e-6,
+                "weekend={weekend}: total {total} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn office_peaks_in_weekday_morning() {
+        let am = PoiCategory::Office.arrival_profile(8, false);
+        let night = PoiCategory::Office.arrival_profile(3, false);
+        let weekend = PoiCategory::Office.arrival_profile(8, true);
+        assert!(am > 10.0 * night);
+        assert!(am > 5.0 * weekend);
+    }
+
+    #[test]
+    fn recreation_peaks_on_weekend() {
+        let wk = PoiCategory::Recreation.arrival_profile(13, false);
+        let we = PoiCategory::Recreation.arrival_profile(13, true);
+        assert!(we > 3.0 * wk);
+    }
+
+    #[test]
+    fn residential_peaks_weekday_evening() {
+        let evening = PoiCategory::Residential.arrival_profile(18, false);
+        let morning = PoiCategory::Residential.arrival_profile(8, false);
+        assert!(evening > 3.0 * morning);
+    }
+
+    #[test]
+    fn profiles_nonnegative_everywhere() {
+        for &cat in &PoiCategory::ALL {
+            for hour in 0..24 {
+                for weekend in [false, true] {
+                    assert!(cat.arrival_profile(hour, weekend) >= 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_side() {
+        let _ = SyntheticCity::generate(&CityConfig {
+            side: 0.0,
+            ..CityConfig::default()
+        });
+    }
+}

@@ -1,0 +1,340 @@
+//! E-bike battery model and fleet simulation.
+//!
+//! The paper "establish\[es\] an energy model based on the data crawled from
+//! \[the\] XQbike App … By tracing each *bike id* with the energy status,
+//! locations, the model can closely estimate the residual energy of
+//! E-bikes." The crawl is not public; this module reproduces its observable
+//! behaviour: distance-proportional battery drain per trip, small idle
+//! drain, and the resulting per-station energy distribution of Fig. 2(d) —
+//! a majority of bikes with ample charge plus a tail of low-battery bikes
+//! scattered across stations.
+
+use crate::trips::Trip;
+use esharing_geo::{BBox, Point};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Battery physics of the simulated e-bikes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Full-charge range in meters (typical shared e-bike: ~35 km).
+    pub full_range_m: f64,
+    /// Route-detour multiplier applied to straight-line trip length.
+    pub detour_factor: f64,
+    /// Battery fraction lost per simulated day while idle.
+    pub idle_drain_per_day: f64,
+    /// Bikes below this state of charge need service (paper: 20%).
+    pub low_threshold: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            full_range_m: 35_000.0,
+            detour_factor: 1.3,
+            idle_drain_per_day: 0.01,
+            low_threshold: 0.2,
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Battery fraction consumed by a trip of straight-line `length_m`.
+    pub fn trip_drain(&self, length_m: f64) -> f64 {
+        (length_m * self.detour_factor / self.full_range_m).max(0.0)
+    }
+
+    /// Whether a state of charge requires service.
+    pub fn is_low(&self, battery: f64) -> bool {
+        battery < self.low_threshold
+    }
+}
+
+/// The live state of one e-bike.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BikeState {
+    /// Bike id, matching [`Trip::bike_id`].
+    pub bike_id: u64,
+    /// State of charge in `[0, 1]`.
+    pub battery: f64,
+    /// Current parking position.
+    pub location: Point,
+}
+
+/// A fleet of e-bikes whose batteries evolve as trips are replayed.
+#[derive(Debug, Clone)]
+pub struct Fleet {
+    bikes: Vec<BikeState>,
+    model: EnergyModel,
+    /// Total battery fraction consumed across the fleet (diagnostics).
+    total_drain: f64,
+}
+
+impl Fleet {
+    /// Creates a fleet of `size` bikes scattered uniformly over `bbox`
+    /// with initial charge in `[0.25, 1.0]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`.
+    pub fn new(size: usize, bbox: BBox, model: EnergyModel, seed: u64) -> Self {
+        assert!(size > 0, "fleet must have at least one bike");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bikes = (0..size as u64)
+            .map(|bike_id| BikeState {
+                bike_id,
+                battery: rng.gen_range(0.25..=1.0),
+                location: Point::new(
+                    rng.gen_range(bbox.min().x..=bbox.max().x),
+                    rng.gen_range(bbox.min().y..=bbox.max().y),
+                ),
+            })
+            .collect();
+        Fleet {
+            bikes,
+            model,
+            total_drain: 0.0,
+        }
+    }
+
+    /// Number of bikes.
+    pub fn len(&self) -> usize {
+        self.bikes.len()
+    }
+
+    /// Whether the fleet is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.bikes.is_empty()
+    }
+
+    /// The energy model in force.
+    pub fn model(&self) -> &EnergyModel {
+        &self.model
+    }
+
+    /// All bike states.
+    pub fn bikes(&self) -> &[BikeState] {
+        &self.bikes
+    }
+
+    /// Total battery fraction drained so far.
+    pub fn total_drain(&self) -> f64 {
+        self.total_drain
+    }
+
+    /// Replays one trip: the bike moves to the destination and loses charge
+    /// proportional to the distance. Batteries floor at 0 (a depleted bike
+    /// is walked/pushed, which real systems exhibit too).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trip.bike_id` is outside the fleet.
+    pub fn apply_trip(&mut self, trip: &Trip) {
+        let idx = trip.bike_id as usize;
+        assert!(idx < self.bikes.len(), "unknown bike id {}", trip.bike_id);
+        let drain = self.model.trip_drain(trip.length());
+        let bike = &mut self.bikes[idx];
+        let applied = drain.min(bike.battery);
+        bike.battery -= applied;
+        bike.location = trip.end;
+        self.total_drain += applied;
+    }
+
+    /// Replays a batch of trips in order.
+    pub fn replay<'a, I: IntoIterator<Item = &'a Trip>>(&mut self, trips: I) {
+        for trip in trips {
+            self.apply_trip(trip);
+        }
+    }
+
+    /// Applies one day of idle drain to every bike.
+    pub fn apply_idle_day(&mut self) {
+        for bike in &mut self.bikes {
+            let applied = self.model.idle_drain_per_day.min(bike.battery);
+            bike.battery -= applied;
+            self.total_drain += applied;
+        }
+    }
+
+    /// Recharges the given bike to full. Returns `false` for unknown ids.
+    pub fn recharge(&mut self, bike_id: u64) -> bool {
+        match self.bikes.get_mut(bike_id as usize) {
+            Some(bike) => {
+                bike.battery = 1.0;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Moves a bike to a new location without draining (operator
+    /// relocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown bike id.
+    pub fn relocate(&mut self, bike_id: u64, to: Point) {
+        let idx = bike_id as usize;
+        assert!(idx < self.bikes.len(), "unknown bike id {bike_id}");
+        self.bikes[idx].location = to;
+    }
+
+    /// All bikes below the service threshold.
+    pub fn low_battery_bikes(&self) -> Vec<&BikeState> {
+        self.bikes
+            .iter()
+            .filter(|b| self.model.is_low(b.battery))
+            .collect()
+    }
+
+    /// Histogram of the state of charge with `bins` equal-width buckets
+    /// over `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0`.
+    pub fn battery_histogram(&self, bins: usize) -> Vec<usize> {
+        assert!(bins > 0, "need at least one bin");
+        let mut hist = vec![0usize; bins];
+        for bike in &self.bikes {
+            let k = ((bike.battery * bins as f64) as usize).min(bins - 1);
+            hist[k] += 1;
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::city::CityConfig;
+    use crate::trips::TripGenerator;
+    use crate::SyntheticCity;
+
+    fn test_fleet(size: usize) -> Fleet {
+        Fleet::new(size, BBox::square(3000.0), EnergyModel::default(), 11)
+    }
+
+    fn trip(bike_id: u64, from: Point, to: Point) -> Trip {
+        Trip {
+            order_id: 1,
+            user_id: 1,
+            bike_id,
+            bike_type: 1,
+            start_time: crate::Timestamp(0),
+            start: from,
+            end: to,
+        }
+    }
+
+    #[test]
+    fn construction_invariants() {
+        let f = test_fleet(100);
+        assert_eq!(f.len(), 100);
+        assert!(!f.is_empty());
+        for b in f.bikes() {
+            assert!((0.25..=1.0).contains(&b.battery));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bike")]
+    fn empty_fleet_panics() {
+        let _ = test_fleet(0);
+    }
+
+    #[test]
+    fn trip_drain_proportional_to_distance() {
+        let m = EnergyModel::default();
+        let d1 = m.trip_drain(1000.0);
+        let d2 = m.trip_drain(2000.0);
+        assert!((d2 - 2.0 * d1).abs() < 1e-12);
+        // 35km range with 1.3 detour: ~27km of straight-line kills a full
+        // battery.
+        assert!((m.trip_drain(35_000.0 / 1.3) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn apply_trip_moves_and_drains() {
+        let mut f = test_fleet(10);
+        let before = f.bikes()[3].battery;
+        let dest = Point::new(1500.0, 1500.0);
+        f.apply_trip(&trip(3, Point::new(0.0, 0.0), dest));
+        let bike = f.bikes()[3];
+        assert_eq!(bike.location, dest);
+        assert!(bike.battery < before);
+        assert!(f.total_drain() > 0.0);
+    }
+
+    #[test]
+    fn battery_floors_at_zero() {
+        let mut f = test_fleet(5);
+        // Ride absurd distances repeatedly.
+        for _ in 0..50 {
+            f.apply_trip(&trip(0, Point::new(0.0, 0.0), Point::new(3000.0, 3000.0)));
+        }
+        assert!(f.bikes()[0].battery >= 0.0);
+        assert!(f.model().is_low(f.bikes()[0].battery));
+    }
+
+    #[test]
+    fn recharge_and_relocate() {
+        let mut f = test_fleet(5);
+        f.apply_trip(&trip(2, Point::new(0.0, 0.0), Point::new(2500.0, 2500.0)));
+        assert!(f.recharge(2));
+        assert_eq!(f.bikes()[2].battery, 1.0);
+        assert!(!f.recharge(99));
+        f.relocate(2, Point::new(1.0, 2.0));
+        assert_eq!(f.bikes()[2].location, Point::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn idle_day_drains_everyone() {
+        let mut f = test_fleet(20);
+        let before: f64 = f.bikes().iter().map(|b| b.battery).sum();
+        f.apply_idle_day();
+        let after: f64 = f.bikes().iter().map(|b| b.battery).sum();
+        assert!((before - after - 20.0 * 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_counts_total() {
+        let f = test_fleet(137);
+        let hist = f.battery_histogram(10);
+        assert_eq!(hist.iter().sum::<usize>(), 137);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        let _ = test_fleet(5).battery_histogram(0);
+    }
+
+    #[test]
+    fn replay_produces_low_battery_tail() {
+        // After days of trips, a tail of low bikes emerges while most of
+        // the fleet stays comfortable — the Fig. 2(d) shape.
+        let city = SyntheticCity::generate(&CityConfig {
+            trips_per_day: 2000.0,
+            fleet_size: 1000,
+            ..CityConfig::default()
+        });
+        let trips = TripGenerator::new(&city, 21).generate_days(0, 2);
+        let mut fleet = Fleet::new(1000, city.bbox(), EnergyModel::default(), 22);
+        for day in 0..2u64 {
+            let day_trips: Vec<_> = trips
+                .iter()
+                .filter(|t| t.start_time.day() == day)
+                .collect();
+            fleet.replay(day_trips.into_iter());
+            fleet.apply_idle_day();
+        }
+        let low = fleet.low_battery_bikes().len();
+        let frac = low as f64 / fleet.len() as f64;
+        assert!(
+            frac > 0.02 && frac < 0.6,
+            "low-battery tail fraction {frac} out of expected band"
+        );
+    }
+}

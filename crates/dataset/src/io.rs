@@ -1,0 +1,277 @@
+//! Trip-record serialization in the Mobike CSV schema.
+//!
+//! The original dataset ships as CSV rows of
+//! `orderid,userid,bikeid,biketype,starttime,geohashed_start_loc,
+//! geohashed_end_loc`. This module writes and parses that format so the
+//! synthetic workload can stand in for the real files byte-for-byte in
+//! downstream tooling, and so users with access to the actual dataset can
+//! load it directly.
+
+use crate::time::Timestamp;
+use crate::trips::{city_datum, Trip};
+use esharing_geo::geohash;
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// The CSV header line of the Mobike schema.
+pub const CSV_HEADER: &str =
+    "orderid,userid,bikeid,biketype,starttime,geohashed_start_loc,geohashed_end_loc";
+
+/// Errors produced when parsing trip CSV.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A row had the wrong number of fields.
+    FieldCount {
+        /// 1-based line number.
+        line: usize,
+        /// Number of fields found.
+        found: usize,
+    },
+    /// A numeric field failed to parse.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// The field name.
+        field: &'static str,
+    },
+    /// A geohash failed to decode.
+    BadGeohash {
+        /// 1-based line number.
+        line: usize,
+        /// The offending value.
+        value: String,
+    },
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "I/O error: {e}"),
+            CsvError::FieldCount { line, found } => {
+                write!(f, "line {line}: expected 7 fields, found {found}")
+            }
+            CsvError::BadNumber { line, field } => {
+                write!(f, "line {line}: invalid number in field {field}")
+            }
+            CsvError::BadGeohash { line, value } => {
+                write!(f, "line {line}: invalid geohash {value:?}")
+            }
+        }
+    }
+}
+
+impl Error for CsvError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CsvError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Serializes one trip as a CSV row (no trailing newline).
+///
+/// # Errors
+///
+/// Returns an error if an endpoint lies outside geohashable coordinates
+/// (cannot happen for trips generated within the city field).
+pub fn to_csv_row(trip: &Trip) -> Result<String, CsvError> {
+    let start = trip.start_geohash().map_err(|_| CsvError::BadGeohash {
+        line: 0,
+        value: format!("{}", trip.start),
+    })?;
+    let end = trip.end_geohash().map_err(|_| CsvError::BadGeohash {
+        line: 0,
+        value: format!("{}", trip.end),
+    })?;
+    Ok(format!(
+        "{},{},{},{},{},{},{}",
+        trip.order_id,
+        trip.user_id,
+        trip.bike_id,
+        trip.bike_type,
+        trip.start_time.seconds(),
+        start,
+        end
+    ))
+}
+
+/// Writes a trip stream as CSV (header + one row per trip).
+///
+/// # Errors
+///
+/// Propagates I/O and encoding failures.
+pub fn write_csv<W: Write>(mut writer: W, trips: &[Trip]) -> Result<(), CsvError> {
+    writeln!(writer, "{CSV_HEADER}")?;
+    for trip in trips {
+        writeln!(writer, "{}", to_csv_row(trip)?)?;
+    }
+    Ok(())
+}
+
+/// Parses trips from CSV produced by [`write_csv`] (or the original
+/// dataset, with timestamps given as seconds since the window start).
+///
+/// Geohashed endpoints decode to their cell centers in planar city
+/// coordinates, so a write→read round trip quantizes locations to the
+/// geohash grid (≤ ~76 m at 7 characters) — exactly the fidelity the
+/// original dataset offers.
+///
+/// # Errors
+///
+/// Returns the first malformed row's error.
+pub fn read_csv<R: BufRead>(reader: R) -> Result<Vec<Trip>, CsvError> {
+    let datum = city_datum();
+    let mut out = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line_no = idx + 1;
+        if idx == 0 && line.trim() == CSV_HEADER {
+            continue;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 7 {
+            return Err(CsvError::FieldCount {
+                line: line_no,
+                found: fields.len(),
+            });
+        }
+        let num = |idx: usize, name: &'static str| -> Result<u64, CsvError> {
+            fields[idx].trim().parse().map_err(|_| CsvError::BadNumber {
+                line: line_no,
+                field: name,
+            })
+        };
+        let decode = |idx: usize| -> Result<esharing_geo::Point, CsvError> {
+            let (coord, _) = geohash::decode(fields[idx].trim()).map_err(|_| {
+                CsvError::BadGeohash {
+                    line: line_no,
+                    value: fields[idx].to_string(),
+                }
+            })?;
+            Ok(datum.project(coord))
+        };
+        out.push(Trip {
+            order_id: num(0, "orderid")?,
+            user_id: num(1, "userid")?,
+            bike_id: num(2, "bikeid")?,
+            bike_type: num(3, "biketype")? as u8,
+            start_time: Timestamp(num(4, "starttime")?),
+            start: decode(5)?,
+            end: decode(6)?,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::city::{CityConfig, SyntheticCity};
+    use crate::trips::TripGenerator;
+
+    fn sample_trips() -> Vec<Trip> {
+        let city = SyntheticCity::generate(&CityConfig {
+            trips_per_day: 200.0,
+            ..CityConfig::default()
+        });
+        TripGenerator::new(&city, 44).generate_days(0, 1)
+    }
+
+    #[test]
+    fn roundtrip_preserves_ids_and_quantizes_locations() {
+        let trips = sample_trips();
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &trips).unwrap();
+        let parsed = read_csv(buf.as_slice()).unwrap();
+        assert_eq!(parsed.len(), trips.len());
+        for (orig, round) in trips.iter().zip(&parsed) {
+            assert_eq!(orig.order_id, round.order_id);
+            assert_eq!(orig.user_id, round.user_id);
+            assert_eq!(orig.bike_id, round.bike_id);
+            assert_eq!(orig.bike_type, round.bike_type);
+            assert_eq!(orig.start_time, round.start_time);
+            // Locations quantize to the geohash cell (~76 x 153 m at worst).
+            assert!(orig.start.distance(round.start) < 120.0);
+            assert!(orig.end.distance(round.end) < 120.0);
+            // Same geohash cell exactly.
+            assert_eq!(
+                orig.end_geohash().unwrap(),
+                round.end_geohash().unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn header_written_once() {
+        let trips = sample_trips();
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &trips[..3]).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.starts_with(CSV_HEADER));
+        assert_eq!(text.matches("orderid").count(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed_rows() {
+        let bad_fields = format!("{CSV_HEADER}\n1,2,3\n");
+        assert!(matches!(
+            read_csv(bad_fields.as_bytes()),
+            Err(CsvError::FieldCount { line: 2, found: 3 })
+        ));
+        let bad_number = format!("{CSV_HEADER}\nx,2,3,1,0,wx4g0kz,wx4g0kz\n");
+        assert!(matches!(
+            read_csv(bad_number.as_bytes()),
+            Err(CsvError::BadNumber {
+                line: 2,
+                field: "orderid"
+            })
+        ));
+        let bad_hash = format!("{CSV_HEADER}\n1,2,3,1,0,IIIII,wx4g0kz\n");
+        assert!(matches!(
+            read_csv(bad_hash.as_bytes()),
+            Err(CsvError::BadGeohash { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn empty_input_and_blank_lines() {
+        assert!(read_csv("".as_bytes()).unwrap().is_empty());
+        let with_blanks = format!("{CSV_HEADER}\n\n\n");
+        assert!(read_csv(with_blanks.as_bytes()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn headerless_input_parses() {
+        let trips = sample_trips();
+        let row = to_csv_row(&trips[0]).unwrap();
+        let parsed = read_csv(row.as_bytes()).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].order_id, trips[0].order_id);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = CsvError::FieldCount { line: 7, found: 2 };
+        assert!(e.to_string().contains("line 7"));
+        let e = CsvError::BadGeohash {
+            line: 3,
+            value: "zzz".into(),
+        };
+        assert!(e.to_string().contains("zzz"));
+    }
+}

@@ -1,0 +1,51 @@
+//! # esharing-dataset
+//!
+//! Synthetic Mobike-like trip and energy workload.
+//!
+//! The paper evaluates on the Mobike Big Data Challenge dataset — 3.2 M
+//! bicycle trips in Beijing (May 10–24 2017) with geohashed endpoints —
+//! plus an e-bike energy model "based on the data crawled from \[the\]
+//! XQbike App". Neither source is publicly redistributable, so this crate
+//! generates a statistically equivalent workload (see `DESIGN.md` §2 for
+//! the substitution argument):
+//!
+//! * [`SyntheticCity`] — a city model with POI anchors (subway, office,
+//!   residential, recreation, university, restaurant) whose categories
+//!   carry weekday/weekend diurnal demand profiles; this reproduces the
+//!   spatio-temporal regularity and the weekday↔weekend distribution shift
+//!   the paper's KS test detects (Table IV),
+//! * [`TripGenerator`] — a deterministic, seeded stream of [`Trip`] records
+//!   in the Mobike schema (order/user/bike ids, start time, geohashed
+//!   endpoints),
+//! * [`EnergyModel`]/[`Fleet`] — per-bike battery traces with
+//!   distance-proportional drain, producing the "majority high energy +
+//!   low-battery tail" distribution of Fig. 2(d),
+//! * [`arrivals`] — hourly per-cell arrival series for the prediction
+//!   engine.
+//!
+//! # Examples
+//!
+//! ```
+//! use esharing_dataset::{CityConfig, SyntheticCity, TripGenerator};
+//!
+//! let city = SyntheticCity::generate(&CityConfig::default());
+//! let mut gen = TripGenerator::new(&city, 99);
+//! let trips = gen.generate_days(0, 2);
+//! assert!(!trips.is_empty());
+//! assert!(trips.windows(2).all(|w| w[0].start_time <= w[1].start_time));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrivals;
+mod city;
+pub mod io;
+mod energy;
+mod time;
+mod trips;
+
+pub use city::{CityConfig, Poi, PoiCategory, SyntheticCity};
+pub use energy::{BikeState, EnergyModel, Fleet};
+pub use time::{Timestamp, HOURS_PER_DAY, SECONDS_PER_DAY, SECONDS_PER_HOUR};
+pub use trips::{SpecialEvent, Trip, TripGenerator};

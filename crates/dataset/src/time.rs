@@ -1,0 +1,150 @@
+//! Dataset time axis.
+//!
+//! The Mobike dataset spans May 10–24 2017. May 10 2017 was a Wednesday;
+//! the synthetic time axis anchors day 0 to a Wednesday so that the
+//! weekday/weekend structure matches the original two-week window.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Seconds in an hour.
+pub const SECONDS_PER_HOUR: u64 = 3_600;
+/// Hours in a day.
+pub const HOURS_PER_DAY: u64 = 24;
+/// Seconds in a day.
+pub const SECONDS_PER_DAY: u64 = SECONDS_PER_HOUR * HOURS_PER_DAY;
+
+/// Day-of-week index of day 0 (Wednesday, matching May 10 2017).
+/// Monday = 0 … Sunday = 6.
+const DAY0_WEEKDAY: u64 = 2;
+
+/// A timestamp in seconds since the start of the dataset window.
+///
+/// # Examples
+///
+/// ```
+/// use esharing_dataset::Timestamp;
+///
+/// let t = Timestamp::from_day_hour(3, 15); // Saturday 3pm
+/// assert_eq!(t.day(), 3);
+/// assert_eq!(t.hour_of_day(), 15);
+/// assert!(t.is_weekend());
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// Builds a timestamp from a day index and an hour of day.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `hour >= 24`.
+    pub fn from_day_hour(day: u64, hour: u64) -> Self {
+        assert!(hour < HOURS_PER_DAY, "hour {hour} out of range");
+        Timestamp(day * SECONDS_PER_DAY + hour * SECONDS_PER_HOUR)
+    }
+
+    /// Seconds since the dataset epoch.
+    #[inline]
+    pub fn seconds(self) -> u64 {
+        self.0
+    }
+
+    /// Day index (0-based).
+    #[inline]
+    pub fn day(self) -> u64 {
+        self.0 / SECONDS_PER_DAY
+    }
+
+    /// Hour within the day, `0..24`.
+    #[inline]
+    pub fn hour_of_day(self) -> u64 {
+        (self.0 % SECONDS_PER_DAY) / SECONDS_PER_HOUR
+    }
+
+    /// Absolute hour index since the epoch.
+    #[inline]
+    pub fn hour_index(self) -> u64 {
+        self.0 / SECONDS_PER_HOUR
+    }
+
+    /// Day of week, Monday = 0 … Sunday = 6.
+    #[inline]
+    pub fn weekday(self) -> u64 {
+        (self.day() + DAY0_WEEKDAY) % 7
+    }
+
+    /// Whether the timestamp falls on Saturday or Sunday.
+    #[inline]
+    pub fn is_weekend(self) -> bool {
+        self.weekday() >= 5
+    }
+
+    /// English weekday name, e.g. `"Mon"`.
+    pub fn weekday_name(self) -> &'static str {
+        ["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"][self.weekday() as usize]
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "day {} ({}) {:02}:{:02}",
+            self.day(),
+            self.weekday_name(),
+            self.hour_of_day(),
+            (self.0 % SECONDS_PER_HOUR) / 60
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn day0_is_wednesday() {
+        assert_eq!(Timestamp(0).weekday_name(), "Wed");
+        assert!(!Timestamp(0).is_weekend());
+    }
+
+    #[test]
+    fn weekend_detection_matches_may_2017() {
+        // May 13-14 2017 (days 3 and 4) were Sat/Sun.
+        assert_eq!(Timestamp::from_day_hour(3, 0).weekday_name(), "Sat");
+        assert_eq!(Timestamp::from_day_hour(4, 0).weekday_name(), "Sun");
+        assert!(Timestamp::from_day_hour(3, 12).is_weekend());
+        assert!(Timestamp::from_day_hour(4, 12).is_weekend());
+        assert!(!Timestamp::from_day_hour(5, 12).is_weekend()); // Mon May 15
+    }
+
+    #[test]
+    fn component_extraction() {
+        let t = Timestamp::from_day_hour(2, 17);
+        assert_eq!(t.day(), 2);
+        assert_eq!(t.hour_of_day(), 17);
+        assert_eq!(t.hour_index(), 2 * 24 + 17);
+        assert_eq!(t.seconds(), (2 * 24 + 17) * 3600);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_hour_panics() {
+        let _ = Timestamp::from_day_hour(0, 24);
+    }
+
+    #[test]
+    fn ordering_by_seconds() {
+        assert!(Timestamp::from_day_hour(0, 5) < Timestamp::from_day_hour(0, 6));
+        assert!(Timestamp::from_day_hour(1, 0) > Timestamp::from_day_hour(0, 23));
+    }
+
+    #[test]
+    fn display_contains_weekday() {
+        let t = Timestamp::from_day_hour(3, 9);
+        assert!(t.to_string().contains("Sat"));
+    }
+}

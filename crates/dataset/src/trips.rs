@@ -1,0 +1,404 @@
+//! Trip records and the deterministic trip stream generator.
+
+use crate::city::SyntheticCity;
+use crate::time::{Timestamp, SECONDS_PER_HOUR};
+use esharing_geo::{geohash, GeoError, LatLon, LocalProjection, Point};
+use esharing_stats::samplers::poisson;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Geohash precision used for trip endpoints (7 characters ≈ the paper's
+/// 100 × 100 m bins at Beijing's latitude).
+pub const GEOHASH_PRECISION: usize = 7;
+
+/// The geographic datum anchoring planar city coordinates: the south-west
+/// corner of the field maps to this coordinate (central Beijing, matching
+/// the original dataset's region).
+pub fn city_datum() -> LocalProjection {
+    LocalProjection::new(LatLon::new(39.88, 116.35).expect("valid datum"))
+}
+
+/// One trip record in the Mobike schema: "(order id, user id, bike id,
+/// bike type, starting time, starting location, ending location)".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trip {
+    /// Unique order id.
+    pub order_id: u64,
+    /// User who rode.
+    pub user_id: u64,
+    /// Bike that was ridden.
+    pub bike_id: u64,
+    /// Bike type (0 = classic, 1 = e-bike).
+    pub bike_type: u8,
+    /// Trip start time.
+    pub start_time: Timestamp,
+    /// Pick-up location in planar city meters.
+    pub start: Point,
+    /// Drop-off location (the destination the placement algorithms serve).
+    pub end: Point,
+}
+
+impl Trip {
+    /// Geohash of the pick-up location.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GeoError`] if the point maps outside valid coordinates.
+    pub fn start_geohash(&self) -> Result<String, GeoError> {
+        geohash::encode(city_datum().unproject(self.start)?, GEOHASH_PRECISION)
+    }
+
+    /// Geohash of the drop-off location.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GeoError`] if the point maps outside valid coordinates.
+    pub fn end_geohash(&self) -> Result<String, GeoError> {
+        geohash::encode(city_datum().unproject(self.end)?, GEOHASH_PRECISION)
+    }
+
+    /// Straight-line trip length in meters.
+    pub fn length(&self) -> f64 {
+        self.start.distance(self.end)
+    }
+}
+
+/// A temporary demand surge at an otherwise quiet location — the paper's
+/// motivating scenario for the online algorithm: "events such as concerts
+/// or sports games might lead to short-time demand surge at previously
+/// unexpected locations" (§III-C).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpecialEvent {
+    /// Venue of the event (trips end here while it runs).
+    pub location: Point,
+    /// Day the surge occurs.
+    pub day: u64,
+    /// First hour of the surge (0–23).
+    pub start_hour: u64,
+    /// Surge length in hours.
+    pub duration_h: u64,
+    /// Expected extra arrivals per surge hour.
+    pub arrivals_per_hour: f64,
+    /// Spatial scatter of the surge arrivals (Gaussian σ, meters).
+    pub scatter: f64,
+}
+
+impl SpecialEvent {
+    /// Whether the event is active at `(day, hour)`.
+    pub fn active_at(&self, day: u64, hour: u64) -> bool {
+        day == self.day && (self.start_hour..self.start_hour + self.duration_h).contains(&hour)
+    }
+}
+
+/// Deterministic, seeded generator of [`Trip`] streams over the city.
+///
+/// Per hour and POI, the number of arriving trips is Poisson with the
+/// city's diurnal rate; each arrival scatters around its POI and originates
+/// near another POI chosen by popularity. Registered [`SpecialEvent`]s add
+/// surge arrivals at their venue while active.
+#[derive(Debug, Clone)]
+pub struct TripGenerator {
+    city: SyntheticCity,
+    rng: StdRng,
+    next_order_id: u64,
+    events: Vec<SpecialEvent>,
+}
+
+impl TripGenerator {
+    /// Creates a generator for `city` with its own `seed` (independent of
+    /// the city-layout seed).
+    pub fn new(city: &SyntheticCity, seed: u64) -> Self {
+        TripGenerator {
+            city: city.clone(),
+            rng: StdRng::seed_from_u64(seed),
+            next_order_id: 1,
+            events: Vec::new(),
+        }
+    }
+
+    /// Registers a special event; its surge arrivals are generated on top
+    /// of the regular demand while it is active.
+    pub fn add_event(&mut self, event: SpecialEvent) {
+        self.events.push(event);
+    }
+
+    /// The registered events.
+    pub fn events(&self) -> &[SpecialEvent] {
+        &self.events
+    }
+
+    fn gaussian(&mut self) -> f64 {
+        let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    fn scatter_around(&mut self, center: Point, sigma: f64) -> Point {
+        let p = center + Point::new(self.gaussian() * sigma, self.gaussian() * sigma);
+        self.city.bbox().clamp(p)
+    }
+
+    /// Samples an origin POI index by popularity weight.
+    fn sample_origin_poi(&mut self) -> usize {
+        let total: f64 = self.city.pois().iter().map(|p| p.weight).sum();
+        let mut target = self.rng.gen_range(0.0..total);
+        for (i, poi) in self.city.pois().iter().enumerate() {
+            target -= poi.weight;
+            if target <= 0.0 {
+                return i;
+            }
+        }
+        self.city.pois().len() - 1
+    }
+
+    /// Generates all trips for one hour of one day, sorted by start time.
+    pub fn generate_hour(&mut self, day: u64, hour: u64) -> Vec<Trip> {
+        let weekend = Timestamp::from_day_hour(day, hour).is_weekend();
+        let rates = self.city.poi_arrival_rates(hour, weekend);
+        let cfg = self.city.config().clone();
+        let mut trips = Vec::new();
+        for (poi_idx, rate) in rates.iter().enumerate() {
+            let n = poisson(&mut self.rng, *rate);
+            for _ in 0..n {
+                let dest_poi = self.city.pois()[poi_idx];
+                let end = self.scatter_around(dest_poi.location, dest_poi.scatter);
+                let origin_idx = self.sample_origin_poi();
+                let origin_poi = self.city.pois()[origin_idx];
+                let start = self.scatter_around(origin_poi.location, origin_poi.scatter);
+                let second = self.rng.gen_range(0..SECONDS_PER_HOUR);
+                let order_id = self.next_order_id;
+                self.next_order_id += 1;
+                trips.push(Trip {
+                    order_id,
+                    user_id: self.rng.gen_range(0..cfg.user_count as u64),
+                    bike_id: self.rng.gen_range(0..cfg.fleet_size as u64),
+                    bike_type: 1,
+                    start_time: Timestamp(
+                        Timestamp::from_day_hour(day, hour).seconds() + second,
+                    ),
+                    start,
+                    end,
+                });
+            }
+        }
+        // Surge arrivals from active special events.
+        let active: Vec<SpecialEvent> = self
+            .events
+            .iter()
+            .copied()
+            .filter(|e| e.active_at(day, hour))
+            .collect();
+        for event in active {
+            let n = poisson(&mut self.rng, event.arrivals_per_hour);
+            for _ in 0..n {
+                let end = self.scatter_around(event.location, event.scatter);
+                let origin_idx = self.sample_origin_poi();
+                let origin_poi = self.city.pois()[origin_idx];
+                let start = self.scatter_around(origin_poi.location, origin_poi.scatter);
+                let second = self.rng.gen_range(0..SECONDS_PER_HOUR);
+                let order_id = self.next_order_id;
+                self.next_order_id += 1;
+                trips.push(Trip {
+                    order_id,
+                    user_id: self.rng.gen_range(0..cfg.user_count as u64),
+                    bike_id: self.rng.gen_range(0..cfg.fleet_size as u64),
+                    bike_type: 1,
+                    start_time: Timestamp(
+                        Timestamp::from_day_hour(day, hour).seconds() + second,
+                    ),
+                    start,
+                    end,
+                });
+            }
+        }
+        trips.sort_by_key(|t| t.start_time);
+        trips
+    }
+
+    /// Generates `n_days` full days starting at `start_day`, sorted by
+    /// start time.
+    pub fn generate_days(&mut self, start_day: u64, n_days: u64) -> Vec<Trip> {
+        let mut all = Vec::new();
+        for day in start_day..start_day + n_days {
+            for hour in 0..24 {
+                all.extend(self.generate_hour(day, hour));
+            }
+        }
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::city::CityConfig;
+
+    fn small_city() -> SyntheticCity {
+        SyntheticCity::generate(&CityConfig {
+            trips_per_day: 500.0,
+            ..CityConfig::default()
+        })
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let city = small_city();
+        let a = TripGenerator::new(&city, 1).generate_days(0, 1);
+        let b = TripGenerator::new(&city, 1).generate_days(0, 1);
+        assert_eq!(a, b);
+        let c = TripGenerator::new(&city, 2).generate_days(0, 1);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn daily_volume_near_configured() {
+        let city = small_city();
+        let trips = TripGenerator::new(&city, 3).generate_days(0, 3);
+        let per_day = trips.len() as f64 / 3.0;
+        assert!(
+            (per_day - 500.0).abs() < 75.0,
+            "daily volume {per_day} too far from 500"
+        );
+    }
+
+    #[test]
+    fn trips_inside_field_and_sorted() {
+        let city = small_city();
+        let trips = TripGenerator::new(&city, 4).generate_days(0, 1);
+        for t in &trips {
+            assert!(city.bbox().contains(t.start));
+            assert!(city.bbox().contains(t.end));
+        }
+        assert!(trips.windows(2).all(|w| w[0].start_time <= w[1].start_time));
+        // Order ids unique.
+        let mut ids: Vec<u64> = trips.iter().map(|t| t.order_id).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), trips.len());
+    }
+
+    #[test]
+    fn geohash_roundtrip_within_cell() {
+        let city = small_city();
+        let trips = TripGenerator::new(&city, 5).generate_days(0, 1);
+        let t = &trips[0];
+        let h = t.end_geohash().unwrap();
+        assert_eq!(h.len(), GEOHASH_PRECISION);
+        let (latlon, err) = geohash::decode(&h).unwrap();
+        let decoded = city_datum().project(latlon);
+        // Cell half-diagonal at 7 chars is < 120 m.
+        let _ = err;
+        assert!(t.end.distance(decoded) < 120.0);
+    }
+
+    #[test]
+    fn weekday_rush_hour_busier_than_night() {
+        let city = small_city();
+        let mut g = TripGenerator::new(&city, 6);
+        let mut rush = 0usize;
+        let mut night = 0usize;
+        // Days 0-2 are Wed-Fri.
+        for day in 0..3 {
+            rush += g.generate_hour(day, 8).len();
+            night += g.generate_hour(day, 3).len();
+        }
+        assert!(rush > 5 * night.max(1), "rush {rush} vs night {night}");
+    }
+
+    #[test]
+    fn weekend_distribution_differs_from_weekday() {
+        // Destination mass at office POIs should collapse on weekends.
+        let city = small_city();
+        let mut g = TripGenerator::new(&city, 7);
+        let office_mass = |trips: &[Trip]| -> f64 {
+            let office_pois: Vec<Point> = city
+                .pois()
+                .iter()
+                .filter(|p| p.category == crate::PoiCategory::Office)
+                .map(|p| p.location)
+                .collect();
+            let near = trips
+                .iter()
+                .filter(|t| office_pois.iter().any(|&o| t.end.distance(o) < 250.0))
+                .count();
+            near as f64 / trips.len().max(1) as f64
+        };
+        let weekday = g.generate_days(1, 1); // Thu
+        let weekend = g.generate_days(3, 1); // Sat
+        assert!(
+            office_mass(&weekday) > 1.5 * office_mass(&weekend),
+            "weekday office mass {} vs weekend {}",
+            office_mass(&weekday),
+            office_mass(&weekend)
+        );
+    }
+
+    #[test]
+    fn special_event_adds_surge_at_venue() {
+        let city = small_city();
+        let venue = Point::new(2_900.0, 2_900.0); // a quiet corner
+        let event = SpecialEvent {
+            location: venue,
+            day: 1,
+            start_hour: 19,
+            duration_h: 3,
+            arrivals_per_hour: 60.0,
+            scatter: 80.0,
+        };
+        let near_venue = |trips: &[Trip]| {
+            trips.iter().filter(|t| t.end.distance(venue) < 300.0).count()
+        };
+        let mut plain = TripGenerator::new(&city, 70);
+        let baseline = near_venue(&plain.generate_days(1, 1));
+        let mut surged = TripGenerator::new(&city, 70);
+        surged.add_event(event);
+        let with_event = surged.generate_days(1, 1);
+        let surge = near_venue(&with_event);
+        assert!(
+            surge >= baseline + 100,
+            "venue arrivals {surge} vs baseline {baseline}"
+        );
+        // The surge lands inside the event window.
+        let in_window = with_event
+            .iter()
+            .filter(|t| {
+                t.end.distance(venue) < 300.0
+                    && (19..22).contains(&t.start_time.hour_of_day())
+            })
+            .count();
+        assert!(in_window >= 100, "in-window surge {in_window}");
+        // Other days are untouched.
+        let mut surged2 = TripGenerator::new(&city, 70);
+        surged2.add_event(event);
+        let other_day = surged2.generate_days(2, 1);
+        assert!(near_venue(&other_day) < baseline + 20);
+        assert_eq!(surged.events().len(), 1);
+    }
+
+    #[test]
+    fn special_event_activity_window() {
+        let e = SpecialEvent {
+            location: Point::ORIGIN,
+            day: 3,
+            start_hour: 20,
+            duration_h: 2,
+            arrivals_per_hour: 10.0,
+            scatter: 50.0,
+        };
+        assert!(e.active_at(3, 20));
+        assert!(e.active_at(3, 21));
+        assert!(!e.active_at(3, 22));
+        assert!(!e.active_at(3, 19));
+        assert!(!e.active_at(4, 20));
+    }
+
+    #[test]
+    fn trip_length_positive() {
+        let city = small_city();
+        let trips = TripGenerator::new(&city, 8).generate_days(0, 1);
+        let mean_len: f64 =
+            trips.iter().map(Trip::length).sum::<f64>() / trips.len() as f64;
+        // Origins and destinations are different POIs in a 3 km field.
+        assert!(mean_len > 300.0, "mean trip length {mean_len}");
+    }
+}

@@ -1,0 +1,235 @@
+//! ARIMA(p, d, 0) baseline.
+//!
+//! Table II evaluates ARIMA across lag orders `p ∈ {2,4,6,8,10}` and degrees
+//! of differencing `d ∈ {0,1,2}`. Following the Box–Jenkins methodology the
+//! paper cites, the series is differenced `d` times, an AR(p) model with
+//! intercept is fitted by conditional least squares, and multi-step
+//! forecasts are produced recursively in differenced space before being
+//! integrated back.
+
+use crate::series::{difference, integrate, validate};
+use crate::{ForecastError, Forecaster};
+use esharing_linalg::{least_squares, Matrix};
+
+/// ARIMA(p, d, 0) forecaster fitted by conditional least squares.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Arima {
+    p: usize,
+    d: usize,
+    /// Fitted state: intercept followed by AR coefficients (lag 1 first).
+    coefficients: Option<Vec<f64>>,
+}
+
+impl Arima {
+    /// Creates an ARIMA(p, d, 0) model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ForecastError::InvalidParameter`] when `p == 0` (a pure
+    /// differencing model would forecast zero change forever) or `d > 2`
+    /// (beyond the range studied in the paper and rarely meaningful for
+    /// count series).
+    pub fn new(p: usize, d: usize) -> Result<Self, ForecastError> {
+        if p == 0 {
+            return Err(ForecastError::InvalidParameter {
+                name: "p",
+                reason: "lag order must be at least 1",
+            });
+        }
+        if d > 2 {
+            return Err(ForecastError::InvalidParameter {
+                name: "d",
+                reason: "degree of differencing above 2 is not supported",
+            });
+        }
+        Ok(Arima {
+            p,
+            d,
+            coefficients: None,
+        })
+    }
+
+    /// Lag order `p`.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// Degree of differencing `d`.
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// Fitted `(intercept, ar_coefficients)` or `None` before fitting.
+    pub fn coefficients(&self) -> Option<(f64, &[f64])> {
+        self.coefficients.as_ref().map(|c| (c[0], &c[1..]))
+    }
+
+    fn min_train_len(&self) -> usize {
+        // After d differences we need p lags plus at least p+1 equations to
+        // overdetermine the p+1 unknowns.
+        self.d + 2 * self.p + 2
+    }
+}
+
+impl Forecaster for Arima {
+    fn fit(&mut self, series: &[f64]) -> Result<(), ForecastError> {
+        validate(series)?;
+        if series.len() < self.min_train_len() {
+            return Err(ForecastError::SeriesTooShort {
+                needed: self.min_train_len(),
+                got: series.len(),
+            });
+        }
+        let (work, _seeds) = difference(series, self.d);
+        let n = work.len();
+        let rows = n - self.p;
+        // Design: [1, y_{t-1}, ..., y_{t-p}] -> y_t.
+        let design = Matrix::from_fn(rows, self.p + 1, |r, c| {
+            if c == 0 {
+                1.0
+            } else {
+                work[r + self.p - c]
+            }
+        });
+        let targets: Vec<f64> = work[self.p..].to_vec();
+        let beta =
+            least_squares(&design, &targets, 1e-6).map_err(|_| ForecastError::DegenerateFit)?;
+        self.coefficients = Some(beta);
+        Ok(())
+    }
+
+    fn forecast(&self, history: &[f64], horizon: usize) -> Result<Vec<f64>, ForecastError> {
+        let beta = self.coefficients.as_ref().ok_or(ForecastError::NotFitted)?;
+        validate(history)?;
+        if history.len() < self.d + self.p {
+            return Err(ForecastError::SeriesTooShort {
+                needed: self.d + self.p,
+                got: history.len(),
+            });
+        }
+        let (work, seeds) = difference(history, self.d);
+        if work.len() < self.p {
+            return Err(ForecastError::SeriesTooShort {
+                needed: self.d + self.p,
+                got: history.len(),
+            });
+        }
+        let mut lags: Vec<f64> = work[work.len() - self.p..].to_vec();
+        let mut diffed_forecast = Vec::with_capacity(horizon);
+        for _ in 0..horizon {
+            let mut y = beta[0];
+            for (k, coef) in beta[1..].iter().enumerate() {
+                y += coef * lags[self.p - 1 - k];
+            }
+            diffed_forecast.push(y);
+            lags.remove(0);
+            lags.push(y);
+        }
+        Ok(integrate(&diffed_forecast, &seeds))
+    }
+
+    fn name(&self) -> String {
+        format!("ARIMA(p={}, d={})", self.p, self.d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Arima::new(0, 0).is_err());
+        assert!(Arima::new(2, 3).is_err());
+        assert!(Arima::new(2, 2).is_ok());
+    }
+
+    #[test]
+    fn not_fitted_error() {
+        let m = Arima::new(2, 0).unwrap();
+        assert_eq!(m.forecast(&[1.0; 10], 1), Err(ForecastError::NotFitted));
+    }
+
+    #[test]
+    fn short_series_rejected() {
+        let mut m = Arima::new(4, 1).unwrap();
+        assert!(matches!(
+            m.fit(&[1.0, 2.0, 3.0]),
+            Err(ForecastError::SeriesTooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn recovers_ar1_process() {
+        // y_t = 5 + 0.6 y_{t-1}, deterministic.
+        let mut series = vec![1.0];
+        for _ in 0..60 {
+            let prev = *series.last().unwrap();
+            series.push(5.0 + 0.6 * prev);
+        }
+        let mut m = Arima::new(1, 0).unwrap();
+        m.fit(&series).unwrap();
+        let (intercept, ar) = m.coefficients().unwrap();
+        assert!((intercept - 5.0).abs() < 0.5, "intercept {intercept}");
+        assert!((ar[0] - 0.6).abs() < 0.05, "ar {}", ar[0]);
+        // Forecast continues toward the fixed point 12.5.
+        let f = m.forecast(&series, 5).unwrap();
+        for v in f {
+            assert!((v - 12.5).abs() < 0.5);
+        }
+    }
+
+    #[test]
+    fn d1_tracks_linear_trend() {
+        let series: Vec<f64> = (0..60).map(|t| 3.0 * t as f64 + 10.0).collect();
+        let mut m = Arima::new(2, 1).unwrap();
+        m.fit(&series).unwrap();
+        let f = m.forecast(&series, 3).unwrap();
+        // Next values: 190, 193, 196.
+        for (i, v) in f.iter().enumerate() {
+            let expected = 3.0 * (60 + i) as f64 + 10.0;
+            assert!((v - expected).abs() < 1.0, "step {i}: {v} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn d2_tracks_quadratic_trend() {
+        let series: Vec<f64> = (0..80).map(|t| (t * t) as f64 * 0.5).collect();
+        let mut m = Arima::new(2, 2).unwrap();
+        m.fit(&series).unwrap();
+        let f = m.forecast(&series, 2).unwrap();
+        for (i, v) in f.iter().enumerate() {
+            let t = (80 + i) as f64;
+            let expected = t * t * 0.5;
+            assert!((v - expected).abs() < 5.0, "step {i}: {v} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn captures_periodic_series_with_enough_lags() {
+        // Period-4 signal is an AR(4)-representable process.
+        let pattern = [10.0, 20.0, 15.0, 5.0];
+        let series: Vec<f64> = (0..80).map(|t| pattern[t % 4]).collect();
+        let mut m = Arima::new(4, 0).unwrap();
+        m.fit(&series).unwrap();
+        let f = m.forecast(&series, 4).unwrap();
+        for (i, v) in f.iter().enumerate() {
+            let expected = pattern[(80 + i) % 4];
+            assert!((v - expected).abs() < 1.0, "step {i}: {v} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn forecast_horizon_length() {
+        let series: Vec<f64> = (0..40).map(|t| (t as f64 * 0.3).sin() + 2.0).collect();
+        let mut m = Arima::new(3, 0).unwrap();
+        m.fit(&series).unwrap();
+        assert_eq!(m.forecast(&series, 6).unwrap().len(), 6);
+        assert_eq!(m.forecast(&series, 0).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn name_mentions_orders() {
+        assert_eq!(Arima::new(4, 1).unwrap().name(), "ARIMA(p=4, d=1)");
+    }
+}

@@ -1,0 +1,296 @@
+//! Forecast ensembles.
+//!
+//! The paper notes its framework "can be integrated with any prediction
+//! engine" (§I). An ensemble is the natural way to exploit that: combine
+//! several engines and weight each by its demonstrated accuracy. This
+//! module implements inverse-RMSE weighting on a held-out validation
+//! split — a standard, robust combination rule that never does much worse
+//! than its best member and often beats it.
+
+use crate::series::split_at_fraction;
+use crate::{ForecastError, Forecaster};
+use esharing_stats::metrics::rmse;
+
+/// A weighted ensemble of forecasters.
+///
+/// # Examples
+///
+/// ```
+/// use esharing_forecast::{Ensemble, Forecaster, MovingAverage, SeasonalNaive};
+///
+/// # fn main() -> Result<(), esharing_forecast::ForecastError> {
+/// let series: Vec<f64> = (0..96).map(|t| 10.0 + (t % 24) as f64).collect();
+/// let mut ensemble = Ensemble::new(vec![
+///     Box::new(MovingAverage::new(3)?),
+///     Box::new(SeasonalNaive::new(24)?),
+/// ])?;
+/// ensemble.fit(&series)?;
+/// let forecast = ensemble.forecast(&series, 6)?;
+/// assert_eq!(forecast.len(), 6);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Ensemble {
+    members: Vec<Box<dyn Forecaster>>,
+    /// Normalized combination weights (uniform until fitted).
+    weights: Vec<f64>,
+    /// Fraction of the training series held out to estimate weights.
+    validation_fraction: f64,
+    fitted: bool,
+}
+
+impl std::fmt::Debug for Ensemble {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ensemble")
+            .field(
+                "members",
+                &self.members.iter().map(|m| m.name()).collect::<Vec<_>>(),
+            )
+            .field("weights", &self.weights)
+            .field("fitted", &self.fitted)
+            .finish()
+    }
+}
+
+impl Ensemble {
+    /// Creates an ensemble over the given members with uniform weights and
+    /// a 25% validation split.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ForecastError::InvalidParameter`] when `members` is empty.
+    pub fn new(members: Vec<Box<dyn Forecaster>>) -> Result<Self, ForecastError> {
+        if members.is_empty() {
+            return Err(ForecastError::InvalidParameter {
+                name: "members",
+                reason: "ensemble needs at least one member",
+            });
+        }
+        let n = members.len();
+        Ok(Ensemble {
+            members,
+            weights: vec![1.0 / n as f64; n],
+            validation_fraction: 0.25,
+            fitted: false,
+        })
+    }
+
+    /// Overrides the validation fraction (clamped into `[0.05, 0.5]`).
+    pub fn with_validation_fraction(mut self, fraction: f64) -> Self {
+        self.validation_fraction = fraction.clamp(0.05, 0.5);
+        self
+    }
+
+    /// The current combination weights (normalized, aligned with the
+    /// member order).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the ensemble has no members (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+impl Forecaster for Ensemble {
+    /// Fits every member, estimates inverse-RMSE weights on a held-out
+    /// tail, then refits the members on the full series.
+    ///
+    /// Members that fail on the validation split (e.g. too little data)
+    /// receive weight 0 rather than failing the whole ensemble, as long as
+    /// at least one member succeeds.
+    fn fit(&mut self, series: &[f64]) -> Result<(), ForecastError> {
+        let (train, validation) = split_at_fraction(series, 1.0 - self.validation_fraction);
+        let mut scores = vec![0.0; self.members.len()];
+        let mut any = false;
+        for (k, member) in self.members.iter_mut().enumerate() {
+            let ok = member.fit(train).is_ok();
+            if !ok || validation.is_empty() {
+                continue;
+            }
+            if let Ok(pred) = member.forecast(train, validation.len()) {
+                let err = rmse(&pred, validation);
+                scores[k] = 1.0 / (err + 1e-9);
+                any = true;
+            }
+        }
+        if !any {
+            // No member produced validation forecasts (series too short
+            // for the split): fall back to uniform weights over members
+            // that fit on the full series.
+            for (k, member) in self.members.iter_mut().enumerate() {
+                scores[k] = f64::from(u8::from(member.fit(series).is_ok()));
+            }
+            if scores.iter().sum::<f64>() == 0.0 {
+                return Err(ForecastError::SeriesTooShort {
+                    needed: 2,
+                    got: series.len(),
+                });
+            }
+        } else {
+            // Refit the scoring members on the whole series.
+            for (k, member) in self.members.iter_mut().enumerate() {
+                if scores[k] > 0.0 && member.fit(series).is_err() {
+                    scores[k] = 0.0;
+                }
+            }
+        }
+        let total: f64 = scores.iter().sum();
+        self.weights = scores.into_iter().map(|s| s / total).collect();
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn forecast(&self, history: &[f64], horizon: usize) -> Result<Vec<f64>, ForecastError> {
+        if !self.fitted {
+            return Err(ForecastError::NotFitted);
+        }
+        let mut combined = vec![0.0; horizon];
+        let mut used_weight = 0.0;
+        for (member, &w) in self.members.iter().zip(&self.weights) {
+            if w == 0.0 {
+                continue;
+            }
+            let f = member.forecast(history, horizon)?;
+            for (acc, v) in combined.iter_mut().zip(&f) {
+                *acc += w * v;
+            }
+            used_weight += w;
+        }
+        if used_weight == 0.0 {
+            return Err(ForecastError::NotFitted);
+        }
+        for v in combined.iter_mut() {
+            *v /= used_weight;
+        }
+        Ok(combined)
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "Ensemble[{}]",
+            self.members
+                .iter()
+                .map(|m| m.name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HoltWinters, MovingAverage, SeasonalNaive};
+
+    fn seasonal_series(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|t| 30.0 + 12.0 * (t as f64 * std::f64::consts::TAU / 24.0).sin())
+            .collect()
+    }
+
+    fn members() -> Vec<Box<dyn Forecaster>> {
+        vec![
+            Box::new(MovingAverage::new(3).expect("valid")),
+            Box::new(SeasonalNaive::new(24).expect("valid")),
+            Box::new(HoltWinters::hourly().expect("valid")),
+        ]
+    }
+
+    #[test]
+    fn rejects_empty_membership() {
+        assert!(matches!(
+            Ensemble::new(Vec::new()),
+            Err(ForecastError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn must_fit_before_forecast() {
+        let e = Ensemble::new(members()).expect("non-empty");
+        assert!(matches!(
+            e.forecast(&seasonal_series(96), 6),
+            Err(ForecastError::NotFitted)
+        ));
+    }
+
+    #[test]
+    fn weights_normalize_and_favor_seasonal_models() {
+        let series = seasonal_series(24 * 8);
+        let mut e = Ensemble::new(members()).expect("non-empty");
+        e.fit(&series).expect("fit");
+        let w = e.weights();
+        assert_eq!(w.len(), 3);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // On purely seasonal data, the seasonal members crush MA(3).
+        assert!(
+            w[1] + w[2] > w[0],
+            "seasonal weights {w:?} should dominate MA"
+        );
+    }
+
+    #[test]
+    fn ensemble_not_much_worse_than_best_member() {
+        let series = seasonal_series(24 * 9);
+        let (train, test) = series.split_at(24 * 8);
+        let mut e = Ensemble::new(members()).expect("non-empty");
+        e.fit(train).expect("fit");
+        let ens_rmse = rmse(&e.forecast(train, test.len()).expect("forecast"), test);
+        let mut best = f64::INFINITY;
+        for mut m in members() {
+            m.fit(train).expect("fit");
+            let f = m.forecast(train, test.len()).expect("forecast");
+            best = best.min(rmse(&f, test));
+        }
+        assert!(
+            ens_rmse <= 2.0 * best + 1e-9,
+            "ensemble {ens_rmse:.3} vs best member {best:.3}"
+        );
+    }
+
+    #[test]
+    fn single_member_acts_like_member() {
+        let series = seasonal_series(24 * 6);
+        let mut e = Ensemble::new(vec![Box::new(SeasonalNaive::new(24).expect("valid"))])
+            .expect("non-empty");
+        e.fit(&series).expect("fit");
+        let mut solo = SeasonalNaive::new(24).expect("valid");
+        solo.fit(&series).expect("fit");
+        assert_eq!(
+            e.forecast(&series, 12).expect("forecast"),
+            solo.forecast(&series, 12).expect("forecast")
+        );
+        assert_eq!(e.weights(), &[1.0]);
+    }
+
+    #[test]
+    fn short_series_falls_back_to_uniform_fit() {
+        // Too short for HoltWinters but fine for MA: the ensemble should
+        // survive with the feasible member.
+        let series: Vec<f64> = (0..10).map(f64::from).collect();
+        let mut e = Ensemble::new(vec![
+            Box::new(MovingAverage::new(2).expect("valid")),
+            Box::new(HoltWinters::hourly().expect("valid")),
+        ])
+        .expect("non-empty");
+        e.fit(&series).expect("fit should degrade gracefully");
+        let f = e.forecast(&series, 3).expect("forecast");
+        assert_eq!(f.len(), 3);
+        assert_eq!(e.weights()[1], 0.0, "infeasible member must be zeroed");
+    }
+
+    #[test]
+    fn name_lists_members() {
+        let e = Ensemble::new(members()).expect("non-empty");
+        let n = e.name();
+        assert!(n.contains("SeasonalNaive") && n.contains("HoltWinters"));
+        assert_eq!(e.len(), 3);
+        assert!(!e.is_empty());
+    }
+}

@@ -1,0 +1,68 @@
+//! Forecasting errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the forecasting models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ForecastError {
+    /// The training or history series is shorter than the model requires.
+    SeriesTooShort {
+        /// Minimum length the model needs.
+        needed: usize,
+        /// Length that was provided.
+        got: usize,
+    },
+    /// [`forecast`](crate::Forecaster::forecast) was called before
+    /// [`fit`](crate::Forecaster::fit).
+    NotFitted,
+    /// A model hyperparameter was invalid (e.g. zero window).
+    InvalidParameter {
+        /// Which parameter was rejected.
+        name: &'static str,
+        /// Human-readable constraint.
+        reason: &'static str,
+    },
+    /// The fit was numerically degenerate (singular design matrix).
+    DegenerateFit,
+    /// The series contained NaN or infinite values.
+    NonFiniteData,
+}
+
+impl fmt::Display for ForecastError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ForecastError::SeriesTooShort { needed, got } => {
+                write!(f, "series too short: need at least {needed}, got {got}")
+            }
+            ForecastError::NotFitted => write!(f, "model has not been fitted"),
+            ForecastError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter {name}: {reason}")
+            }
+            ForecastError::DegenerateFit => write!(f, "fit is numerically degenerate"),
+            ForecastError::NonFiniteData => write!(f, "series contains non-finite values"),
+        }
+    }
+}
+
+impl Error for ForecastError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_specifics() {
+        let e = ForecastError::SeriesTooShort { needed: 10, got: 3 };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains('3'));
+        assert!(ForecastError::NotFitted.to_string().contains("fitted"));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<ForecastError>();
+    }
+}

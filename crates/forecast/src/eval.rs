@@ -1,0 +1,226 @@
+//! Forecast evaluation harness (Table II).
+//!
+//! The paper evaluates each model by its RMSE when predicting "trip
+//! requests in the next 1 to 6 hours" on held-out test days. This module
+//! provides the rolling-origin evaluation that produces one RMSE per model
+//! configuration and the grid-search drivers for the exact configurations
+//! in Table II.
+
+use crate::{Arima, Forecaster, ForecastError, Lstm, LstmConfig, MovingAverage};
+use esharing_stats::metrics::rmse;
+
+/// RMSE of `model` on `test`, forecasting `horizon` steps ahead from each
+/// rolling origin. The model must already be fitted on training data; the
+/// history passed at each origin is `train ++ test[..origin]`.
+///
+/// # Errors
+///
+/// Propagates forecast errors; returns [`ForecastError::SeriesTooShort`]
+/// when the test segment is shorter than `horizon`.
+pub fn rolling_rmse(
+    model: &dyn Forecaster,
+    train: &[f64],
+    test: &[f64],
+    horizon: usize,
+) -> Result<f64, ForecastError> {
+    if test.len() < horizon || horizon == 0 {
+        return Err(ForecastError::SeriesTooShort {
+            needed: horizon.max(1),
+            got: test.len(),
+        });
+    }
+    let mut predicted = Vec::new();
+    let mut actual = Vec::new();
+    let mut history: Vec<f64> = train.to_vec();
+    let mut origin = 0usize;
+    while origin + horizon <= test.len() {
+        let f = model.forecast(&history, horizon)?;
+        predicted.extend_from_slice(&f);
+        actual.extend_from_slice(&test[origin..origin + horizon]);
+        history.extend_from_slice(&test[origin..origin + horizon]);
+        origin += horizon;
+    }
+    Ok(rmse(&predicted, &actual))
+}
+
+/// One row of the Table II comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalResult {
+    /// Model description (e.g. `LSTM(2-layer, back=12)`).
+    pub model: String,
+    /// Rolling RMSE over the test segment.
+    pub rmse: f64,
+}
+
+/// Evaluates every LSTM configuration of Table II: `layers ∈ {1,2,3}` ×
+/// `back ∈ {24,12,6,3,1}`.
+///
+/// `base` supplies the non-grid hyperparameters (hidden width, epochs,
+/// learning rate, seed).
+///
+/// # Errors
+///
+/// Propagates fit/forecast failures from any configuration.
+pub fn lstm_grid(
+    train: &[f64],
+    test: &[f64],
+    horizon: usize,
+    base: &LstmConfig,
+) -> Result<Vec<EvalResult>, ForecastError> {
+    let mut out = Vec::new();
+    for layers in [1usize, 2, 3] {
+        for back in [24usize, 12, 6, 3, 1] {
+            let cfg = LstmConfig {
+                layers,
+                back,
+                ..base.clone()
+            };
+            let mut model = Lstm::new(cfg)?;
+            model.fit(train)?;
+            out.push(EvalResult {
+                model: model.name(),
+                rmse: rolling_rmse(&model, train, test, horizon)?,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Evaluates every MA configuration of Table II: `wz ∈ {1..5}`.
+///
+/// # Errors
+///
+/// Propagates fit/forecast failures.
+pub fn ma_grid(train: &[f64], test: &[f64], horizon: usize) -> Result<Vec<EvalResult>, ForecastError> {
+    let mut out = Vec::new();
+    for wz in 1usize..=5 {
+        let mut model = MovingAverage::new(wz)?;
+        model.fit(train)?;
+        out.push(EvalResult {
+            model: model.name(),
+            rmse: rolling_rmse(&model, train, test, horizon)?,
+        });
+    }
+    Ok(out)
+}
+
+/// Evaluates every ARIMA configuration of Table II: `p ∈ {2,4,6,8,10}` ×
+/// `d ∈ {0,1,2}`.
+///
+/// # Errors
+///
+/// Propagates fit/forecast failures.
+pub fn arima_grid(
+    train: &[f64],
+    test: &[f64],
+    horizon: usize,
+) -> Result<Vec<EvalResult>, ForecastError> {
+    let mut out = Vec::new();
+    for d in [0usize, 1, 2] {
+        for p in [2usize, 4, 6, 8, 10] {
+            let mut model = Arima::new(p, d)?;
+            model.fit(train)?;
+            out.push(EvalResult {
+                model: model.name(),
+                rmse: rolling_rmse(&model, train, test, horizon)?,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// The best (lowest-RMSE) result of a grid.
+pub fn best(results: &[EvalResult]) -> Option<&EvalResult> {
+    results
+        .iter()
+        .min_by(|a, b| a.rmse.partial_cmp(&b.rmse).expect("finite RMSE"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn periodic_series(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|t| {
+                20.0 + 10.0 * (t as f64 * std::f64::consts::TAU / 24.0).sin()
+                    + 3.0 * (t as f64 * std::f64::consts::TAU / 12.0).cos()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rolling_rmse_perfect_model_is_zero() {
+        // MA(1) on a constant series predicts perfectly.
+        let series = vec![4.0; 60];
+        let mut ma = MovingAverage::new(1).unwrap();
+        ma.fit(&series[..40]).unwrap();
+        let r = rolling_rmse(&ma, &series[..40], &series[40..], 6).unwrap();
+        assert_eq!(r, 0.0);
+    }
+
+    #[test]
+    fn rolling_rmse_rejects_bad_horizon() {
+        let series = vec![4.0; 20];
+        let mut ma = MovingAverage::new(1).unwrap();
+        ma.fit(&series).unwrap();
+        assert!(rolling_rmse(&ma, &series, &[1.0, 2.0], 0).is_err());
+        assert!(rolling_rmse(&ma, &series, &[1.0, 2.0], 3).is_err());
+    }
+
+    #[test]
+    fn ma_grid_covers_five_windows() {
+        let series = periodic_series(120);
+        let (train, test) = series.split_at(96);
+        let results = ma_grid(train, test, 6).unwrap();
+        assert_eq!(results.len(), 5);
+        assert!(results.iter().all(|r| r.rmse.is_finite()));
+        // The paper observes RMSE increases with window size (wz=1 best).
+        assert!(results[0].rmse <= results[4].rmse);
+    }
+
+    #[test]
+    fn arima_grid_covers_fifteen_configs() {
+        let series = periodic_series(160);
+        let (train, test) = series.split_at(130);
+        let results = arima_grid(train, test, 6).unwrap();
+        assert_eq!(results.len(), 15);
+        assert!(results.iter().all(|r| r.rmse.is_finite()));
+    }
+
+    #[test]
+    fn best_picks_minimum() {
+        let results = vec![
+            EvalResult {
+                model: "a".into(),
+                rmse: 3.0,
+            },
+            EvalResult {
+                model: "b".into(),
+                rmse: 1.0,
+            },
+            EvalResult {
+                model: "c".into(),
+                rmse: 2.0,
+            },
+        ];
+        assert_eq!(best(&results).unwrap().model, "b");
+        assert!(best(&[]).is_none());
+    }
+
+    #[test]
+    fn arima_beats_naive_on_periodic_data() {
+        let series = periodic_series(200);
+        let (train, test) = series.split_at(160);
+        let mut good = Arima::new(10, 0).unwrap();
+        good.fit(train).unwrap();
+        let arima_rmse = rolling_rmse(&good, train, test, 6).unwrap();
+        let mut naive = MovingAverage::new(5).unwrap();
+        naive.fit(train).unwrap();
+        let ma_rmse = rolling_rmse(&naive, train, test, 6).unwrap();
+        assert!(
+            arima_rmse < ma_rmse,
+            "ARIMA {arima_rmse} should beat MA {ma_rmse} on periodic data"
+        );
+    }
+}

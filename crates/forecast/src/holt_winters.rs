@@ -1,0 +1,313 @@
+//! Holt–Winters triple exponential smoothing and the seasonal-naive
+//! baseline.
+//!
+//! Hourly bike-sharing demand is strongly seasonal (period 24); the
+//! bike-sharing prediction literature the paper builds on routinely
+//! includes seasonal exponential smoothing among the statistical
+//! baselines. These two models extend the Table II comparison beyond
+//! MA/ARIMA:
+//!
+//! * [`SeasonalNaive`] — predicts the value observed one season ago; the
+//!   canonical lower bar for any seasonal forecaster,
+//! * [`HoltWinters`] — additive level/trend/seasonality smoothing with
+//!   per-component rates (α, β, γ).
+
+use crate::series::validate;
+use crate::{ForecastError, Forecaster};
+
+/// Seasonal-naive forecaster: `ŷ(t + h) = y(t + h − m)` for period `m`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeasonalNaive {
+    period: usize,
+    fitted: bool,
+}
+
+impl SeasonalNaive {
+    /// Creates the forecaster with season length `period` (24 for hourly
+    /// daily-seasonal data).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ForecastError::InvalidParameter`] for a zero period.
+    pub fn new(period: usize) -> Result<Self, ForecastError> {
+        if period == 0 {
+            return Err(ForecastError::InvalidParameter {
+                name: "period",
+                reason: "must be at least 1",
+            });
+        }
+        Ok(SeasonalNaive {
+            period,
+            fitted: false,
+        })
+    }
+
+    /// The season length.
+    pub fn period(&self) -> usize {
+        self.period
+    }
+}
+
+impl Forecaster for SeasonalNaive {
+    fn fit(&mut self, series: &[f64]) -> Result<(), ForecastError> {
+        validate(series)?;
+        if series.len() < self.period {
+            return Err(ForecastError::SeriesTooShort {
+                needed: self.period,
+                got: series.len(),
+            });
+        }
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn forecast(&self, history: &[f64], horizon: usize) -> Result<Vec<f64>, ForecastError> {
+        if !self.fitted {
+            return Err(ForecastError::NotFitted);
+        }
+        validate(history)?;
+        if history.len() < self.period {
+            return Err(ForecastError::SeriesTooShort {
+                needed: self.period,
+                got: history.len(),
+            });
+        }
+        let last_season = &history[history.len() - self.period..];
+        Ok((0..horizon)
+            .map(|h| last_season[h % self.period])
+            .collect())
+    }
+
+    fn name(&self) -> String {
+        format!("SeasonalNaive(m={})", self.period)
+    }
+}
+
+/// Additive Holt–Winters smoothing.
+///
+/// State update for observation `y_t`:
+///
+/// ```text
+/// level_t  = α (y_t − season_{t−m}) + (1 − α)(level_{t−1} + trend_{t−1})
+/// trend_t  = β (level_t − level_{t−1}) + (1 − β) trend_{t−1}
+/// season_t = γ (y_t − level_t) + (1 − γ) season_{t−m}
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct HoltWinters {
+    period: usize,
+    alpha: f64,
+    beta: f64,
+    gamma: f64,
+    /// Fitted state: (level, trend, seasonal components indexed by phase).
+    state: Option<(f64, f64, Vec<f64>)>,
+}
+
+impl HoltWinters {
+    /// Creates the model with smoothing rates `alpha` (level), `beta`
+    /// (trend) and `gamma` (season), each in `(0, 1)`, and season length
+    /// `period`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ForecastError::InvalidParameter`] for out-of-range rates
+    /// or a period below 2.
+    pub fn new(period: usize, alpha: f64, beta: f64, gamma: f64) -> Result<Self, ForecastError> {
+        if period < 2 {
+            return Err(ForecastError::InvalidParameter {
+                name: "period",
+                reason: "must be at least 2",
+            });
+        }
+        for (name, v) in [("alpha", alpha), ("beta", beta), ("gamma", gamma)] {
+            if !(v > 0.0 && v < 1.0) {
+                return Err(ForecastError::InvalidParameter {
+                    name: match name {
+                        "alpha" => "alpha",
+                        "beta" => "beta",
+                        _ => "gamma",
+                    },
+                    reason: "smoothing rates must lie in (0, 1)",
+                });
+            }
+        }
+        Ok(HoltWinters {
+            period,
+            alpha,
+            beta,
+            gamma,
+            state: None,
+        })
+    }
+
+    /// A sensible default for hourly daily-seasonal demand.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the built-in constants; the `Result` keeps the
+    /// signature uniform with [`HoltWinters::new`].
+    pub fn hourly() -> Result<Self, ForecastError> {
+        HoltWinters::new(24, 0.3, 0.05, 0.3)
+    }
+
+    /// Runs the smoothing recursion over `series` and returns the final
+    /// `(level, trend, season)` state.
+    fn smooth(&self, series: &[f64]) -> (f64, f64, Vec<f64>) {
+        let m = self.period;
+        // Initialize: level = mean of season 1, trend = mean per-step
+        // change between seasons 1 and 2, season = deviations from level.
+        let first: f64 = series[..m].iter().sum::<f64>() / m as f64;
+        let second: f64 = series[m..2 * m].iter().sum::<f64>() / m as f64;
+        let mut level = first;
+        let mut trend = (second - first) / m as f64;
+        let mut season: Vec<f64> = series[..m].iter().map(|&y| y - first).collect();
+        for (t, &y) in series.iter().enumerate().skip(m) {
+            let phase = t % m;
+            let prev_level = level;
+            level = self.alpha * (y - season[phase])
+                + (1.0 - self.alpha) * (level + trend);
+            trend = self.beta * (level - prev_level) + (1.0 - self.beta) * trend;
+            season[phase] = self.gamma * (y - level) + (1.0 - self.gamma) * season[phase];
+        }
+        (level, trend, season)
+    }
+}
+
+impl Forecaster for HoltWinters {
+    fn fit(&mut self, series: &[f64]) -> Result<(), ForecastError> {
+        validate(series)?;
+        let needed = 2 * self.period;
+        if series.len() < needed {
+            return Err(ForecastError::SeriesTooShort {
+                needed,
+                got: series.len(),
+            });
+        }
+        self.state = Some(self.smooth(series));
+        Ok(())
+    }
+
+    fn forecast(&self, history: &[f64], horizon: usize) -> Result<Vec<f64>, ForecastError> {
+        if self.state.is_none() {
+            return Err(ForecastError::NotFitted);
+        }
+        validate(history)?;
+        let needed = 2 * self.period;
+        if history.len() < needed {
+            return Err(ForecastError::SeriesTooShort {
+                needed,
+                got: history.len(),
+            });
+        }
+        // Re-smooth over the supplied history so the forecast starts from
+        // its end (the trait allows forecasting from arbitrary histories).
+        let (level, trend, season) = self.smooth(history);
+        let m = self.period;
+        let base_phase = history.len() % m;
+        Ok((1..=horizon)
+            .map(|h| level + h as f64 * trend + season[(base_phase + h - 1) % m])
+            .collect())
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "HoltWinters(m={}, a={}, b={}, g={})",
+            self.period, self.alpha, self.beta, self.gamma
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esharing_stats::metrics::rmse;
+
+    fn seasonal_series(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|t| {
+                50.0 + 0.1 * t as f64
+                    + 20.0 * (t as f64 * std::f64::consts::TAU / 24.0).sin()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn seasonal_naive_repeats_last_season() {
+        let mut model = SeasonalNaive::new(4).unwrap();
+        let history = [1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0];
+        model.fit(&history).unwrap();
+        let f = model.forecast(&history, 6).unwrap();
+        assert_eq!(f, vec![10.0, 20.0, 30.0, 40.0, 10.0, 20.0]);
+    }
+
+    #[test]
+    fn seasonal_naive_validation() {
+        assert!(SeasonalNaive::new(0).is_err());
+        let mut model = SeasonalNaive::new(24).unwrap();
+        assert!(matches!(
+            model.fit(&[1.0; 5]),
+            Err(ForecastError::SeriesTooShort { .. })
+        ));
+        let unfitted = SeasonalNaive::new(2).unwrap();
+        assert_eq!(
+            unfitted.forecast(&[1.0, 2.0], 1),
+            Err(ForecastError::NotFitted)
+        );
+    }
+
+    #[test]
+    fn holt_winters_validation() {
+        assert!(HoltWinters::new(1, 0.5, 0.5, 0.5).is_err());
+        assert!(HoltWinters::new(24, 0.0, 0.5, 0.5).is_err());
+        assert!(HoltWinters::new(24, 0.5, 1.0, 0.5).is_err());
+        assert!(HoltWinters::hourly().is_ok());
+        let mut model = HoltWinters::hourly().unwrap();
+        assert!(matches!(
+            model.fit(&seasonal_series(30)),
+            Err(ForecastError::SeriesTooShort { needed: 48, .. })
+        ));
+    }
+
+    #[test]
+    fn tracks_trend_plus_seasonality() {
+        let series = seasonal_series(24 * 8);
+        let mut model = HoltWinters::hourly().unwrap();
+        model.fit(&series[..24 * 7]).unwrap();
+        let f = model.forecast(&series[..24 * 7], 24).unwrap();
+        let truth = &series[24 * 7..24 * 8];
+        let err = rmse(&f, truth);
+        assert!(err < 3.0, "rmse {err} on clean seasonal data");
+    }
+
+    #[test]
+    fn beats_seasonal_naive_on_trending_data() {
+        // With a trend, last-season repetition lags; HW catches it.
+        let series = seasonal_series(24 * 8);
+        let (train, test) = series.split_at(24 * 7);
+        let mut hw = HoltWinters::hourly().unwrap();
+        hw.fit(train).unwrap();
+        let hw_err = rmse(&hw.forecast(train, 24).unwrap(), test);
+        let mut naive = SeasonalNaive::new(24).unwrap();
+        naive.fit(train).unwrap();
+        let naive_err = rmse(&naive.forecast(train, 24).unwrap(), test);
+        assert!(
+            hw_err < naive_err,
+            "HW {hw_err:.2} should beat seasonal naive {naive_err:.2}"
+        );
+    }
+
+    #[test]
+    fn constant_series_forecasts_constant() {
+        let series = vec![7.0; 24 * 4];
+        let mut model = HoltWinters::hourly().unwrap();
+        model.fit(&series).unwrap();
+        for v in model.forecast(&series, 24).unwrap() {
+            assert!((v - 7.0).abs() < 1e-6, "got {v}");
+        }
+    }
+
+    #[test]
+    fn names_mention_structure() {
+        assert_eq!(SeasonalNaive::new(24).unwrap().name(), "SeasonalNaive(m=24)");
+        assert!(HoltWinters::hourly().unwrap().name().contains("m=24"));
+    }
+}

@@ -1,0 +1,81 @@
+//! # esharing-forecast
+//!
+//! The prediction engine of the E-Sharing reproduction.
+//!
+//! §V-A of the paper forecasts per-grid trip requests 1–6 hours ahead and
+//! compares a stacked **LSTM** (the system's engine) against **Moving
+//! Average** and **ARIMA** statistical baselines (Table II). The paper's
+//! LSTM ran on TensorFlow/P100; this crate implements the same model from
+//! scratch on the CPU:
+//!
+//! * [`Lstm`] — stacked LSTM layers + linear head, full backpropagation
+//!   through time, Adam, gradient clipping, min-max input scaling,
+//! * [`MovingAverage`] — window-mean baseline (`wz` in Table II),
+//! * [`Arima`] — AR(p) fit by least squares on a `d`-times differenced
+//!   series (`p`, `d` in Table II),
+//! * [`HoltWinters`] / [`SeasonalNaive`] — seasonal statistical baselines
+//!   extending the comparison (hourly demand has a strong period-24
+//!   component),
+//! * [`Forecaster`] — the object-safe trait the placement pipeline consumes,
+//! * [`eval`] — the Table II grid-search harness.
+//!
+//! # Examples
+//!
+//! ```
+//! use esharing_forecast::{Forecaster, MovingAverage};
+//!
+//! let series: Vec<f64> = (0..48).map(|h| 10.0 + (h % 24) as f64).collect();
+//! let mut ma = MovingAverage::new(3).unwrap();
+//! ma.fit(&series).unwrap();
+//! let forecast = ma.forecast(&series, 6).unwrap();
+//! assert_eq!(forecast.len(), 6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arima;
+mod ensemble;
+mod error;
+pub mod eval;
+mod holt_winters;
+mod lstm;
+mod moving_average;
+pub mod series;
+
+pub use arima::Arima;
+pub use ensemble::Ensemble;
+pub use error::ForecastError;
+pub use holt_winters::{HoltWinters, SeasonalNaive};
+pub use lstm::{Lstm, LstmConfig};
+pub use moving_average::MovingAverage;
+
+/// A univariate time-series forecaster.
+///
+/// Implementations are fitted on a training series and then produce
+/// `horizon`-step-ahead forecasts from the tail of an arbitrary history.
+/// The trait is object-safe so the pipeline can switch engines at runtime
+/// ("It can be integrated with any prediction engine" — §I).
+pub trait Forecaster {
+    /// Fits the model to a training series.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the series is too short for the model's
+    /// structure or the fit is numerically degenerate.
+    fn fit(&mut self, series: &[f64]) -> Result<(), ForecastError>;
+
+    /// Forecasts the `horizon` values following `history`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ForecastError::NotFitted`] if called before [`fit`],
+    /// or [`ForecastError::SeriesTooShort`] if `history` is shorter than
+    /// the model's lookback.
+    ///
+    /// [`fit`]: Forecaster::fit
+    fn forecast(&self, history: &[f64], horizon: usize) -> Result<Vec<f64>, ForecastError>;
+
+    /// A short human-readable description (used in experiment tables).
+    fn name(&self) -> String;
+}

@@ -1,0 +1,154 @@
+//! Moving-average baseline.
+//!
+//! Table II evaluates MA with window sizes `wz = 1..5`. The forecast for
+//! the next step is the mean of the last `wz` observations; multi-step
+//! forecasts recurse on the model's own predictions, matching the standard
+//! iterated-MA evaluation.
+
+use crate::series::validate;
+use crate::{ForecastError, Forecaster};
+
+/// Moving-average forecaster with a fixed window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MovingAverage {
+    window: usize,
+    fitted: bool,
+}
+
+impl MovingAverage {
+    /// Creates an MA forecaster with the given window size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ForecastError::InvalidParameter`] for a zero window.
+    pub fn new(window: usize) -> Result<Self, ForecastError> {
+        if window == 0 {
+            return Err(ForecastError::InvalidParameter {
+                name: "window",
+                reason: "must be at least 1",
+            });
+        }
+        Ok(MovingAverage {
+            window,
+            fitted: false,
+        })
+    }
+
+    /// The window size.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+}
+
+impl Forecaster for MovingAverage {
+    fn fit(&mut self, series: &[f64]) -> Result<(), ForecastError> {
+        validate(series)?;
+        if series.len() < self.window {
+            return Err(ForecastError::SeriesTooShort {
+                needed: self.window,
+                got: series.len(),
+            });
+        }
+        // MA has no parameters; fitting only validates compatibility.
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn forecast(&self, history: &[f64], horizon: usize) -> Result<Vec<f64>, ForecastError> {
+        if !self.fitted {
+            return Err(ForecastError::NotFitted);
+        }
+        validate(history)?;
+        if history.len() < self.window {
+            return Err(ForecastError::SeriesTooShort {
+                needed: self.window,
+                got: history.len(),
+            });
+        }
+        let mut buffer: Vec<f64> = history[history.len() - self.window..].to_vec();
+        let mut out = Vec::with_capacity(horizon);
+        for _ in 0..horizon {
+            let mean = buffer.iter().sum::<f64>() / self.window as f64;
+            out.push(mean);
+            buffer.remove(0);
+            buffer.push(mean);
+        }
+        Ok(out)
+    }
+
+    fn name(&self) -> String {
+        format!("MA(wz={})", self.window)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_zero_window() {
+        assert!(MovingAverage::new(0).is_err());
+    }
+
+    #[test]
+    fn must_fit_before_forecast() {
+        let ma = MovingAverage::new(2).unwrap();
+        assert_eq!(
+            ma.forecast(&[1.0, 2.0], 1),
+            Err(ForecastError::NotFitted)
+        );
+    }
+
+    #[test]
+    fn window_one_repeats_last() {
+        let mut ma = MovingAverage::new(1).unwrap();
+        ma.fit(&[5.0, 7.0]).unwrap();
+        assert_eq!(ma.forecast(&[5.0, 7.0], 3).unwrap(), vec![7.0, 7.0, 7.0]);
+    }
+
+    #[test]
+    fn one_step_is_window_mean() {
+        let mut ma = MovingAverage::new(3).unwrap();
+        let h = [1.0, 2.0, 3.0, 4.0, 5.0];
+        ma.fit(&h).unwrap();
+        let f = ma.forecast(&h, 1).unwrap();
+        assert_eq!(f, vec![4.0]); // mean of 3,4,5
+    }
+
+    #[test]
+    fn multi_step_recurses() {
+        let mut ma = MovingAverage::new(2).unwrap();
+        let h = [2.0, 4.0];
+        ma.fit(&h).unwrap();
+        let f = ma.forecast(&h, 3).unwrap();
+        // step1: (2+4)/2=3; step2: (4+3)/2=3.5; step3: (3+3.5)/2=3.25
+        assert_eq!(f, vec![3.0, 3.5, 3.25]);
+    }
+
+    #[test]
+    fn constant_series_stays_constant() {
+        let mut ma = MovingAverage::new(4).unwrap();
+        let h = [6.0; 10];
+        ma.fit(&h).unwrap();
+        assert!(ma
+            .forecast(&h, 5)
+            .unwrap()
+            .iter()
+            .all(|&v| (v - 6.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn short_history_rejected() {
+        let mut ma = MovingAverage::new(5).unwrap();
+        ma.fit(&[1.0; 10]).unwrap();
+        assert!(matches!(
+            ma.forecast(&[1.0, 2.0], 1),
+            Err(ForecastError::SeriesTooShort { needed: 5, got: 2 })
+        ));
+    }
+
+    #[test]
+    fn name_mentions_window() {
+        assert_eq!(MovingAverage::new(3).unwrap().name(), "MA(wz=3)");
+    }
+}

@@ -1,0 +1,233 @@
+//! Axis-aligned bounding boxes over planar points.
+
+use crate::Point;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An axis-aligned rectangle in the planar (meter) coordinate system.
+///
+/// Used to delimit the study field (e.g. the paper's 3 × 3 km area) and to
+/// clip synthetic arrivals.
+///
+/// # Examples
+///
+/// ```
+/// use esharing_geo::{BBox, Point};
+///
+/// let field = BBox::new(Point::new(0.0, 0.0), Point::new(3000.0, 3000.0));
+/// assert!(field.contains(Point::new(1500.0, 10.0)));
+/// assert!(!field.contains(Point::new(-1.0, 10.0)));
+/// assert_eq!(field.area(), 9_000_000.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BBox {
+    min: Point,
+    max: Point,
+}
+
+impl BBox {
+    /// Creates a bounding box from two opposite corners (any order).
+    pub fn new(a: Point, b: Point) -> Self {
+        BBox {
+            min: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// A square field with the south-west corner at the origin.
+    pub fn square(side: f64) -> Self {
+        BBox::new(Point::ORIGIN, Point::new(side, side))
+    }
+
+    /// The smallest box containing all `points`, or `None` when empty.
+    pub fn from_points<I>(points: I) -> Option<Self>
+    where
+        I: IntoIterator<Item = Point>,
+    {
+        let mut iter = points.into_iter();
+        let first = iter.next()?;
+        let mut bbox = BBox::new(first, first);
+        for p in iter {
+            bbox = bbox.expanded_to(p);
+        }
+        Some(bbox)
+    }
+
+    /// South-west corner.
+    #[inline]
+    pub fn min(&self) -> Point {
+        self.min
+    }
+
+    /// North-east corner.
+    #[inline]
+    pub fn max(&self) -> Point {
+        self.max
+    }
+
+    /// Width (x extent) in meters.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height (y extent) in meters.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Area in square meters.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Geometric center of the box.
+    #[inline]
+    pub fn center(&self) -> Point {
+        self.min.midpoint(self.max)
+    }
+
+    /// Whether `p` lies inside the box (inclusive of all edges).
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Returns a copy grown to include `p`.
+    pub fn expanded_to(&self, p: Point) -> BBox {
+        BBox {
+            min: Point::new(self.min.x.min(p.x), self.min.y.min(p.y)),
+            max: Point::new(self.max.x.max(p.x), self.max.y.max(p.y)),
+        }
+    }
+
+    /// Returns a copy padded by `margin` meters on every side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a negative `margin` would invert the box.
+    pub fn padded(&self, margin: f64) -> BBox {
+        let b = BBox {
+            min: self.min - Point::new(margin, margin),
+            max: self.max + Point::new(margin, margin),
+        };
+        assert!(
+            b.min.x <= b.max.x && b.min.y <= b.max.y,
+            "padding {margin} inverts bbox"
+        );
+        b
+    }
+
+    /// Clamps `p` to the nearest point inside the box.
+    pub fn clamp(&self, p: Point) -> Point {
+        Point::new(
+            p.x.clamp(self.min.x, self.max.x),
+            p.y.clamp(self.min.y, self.max.y),
+        )
+    }
+
+    /// Whether two boxes overlap (touching edges count as overlapping).
+    pub fn intersects(&self, other: &BBox) -> bool {
+        self.min.x <= other.max.x
+            && self.max.x >= other.min.x
+            && self.min.y <= other.max.y
+            && self.max.y >= other.min.y
+    }
+}
+
+impl fmt::Display for BBox {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} .. {}]", self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_corners() {
+        let b = BBox::new(Point::new(5.0, 1.0), Point::new(1.0, 5.0));
+        assert_eq!(b.min(), Point::new(1.0, 1.0));
+        assert_eq!(b.max(), Point::new(5.0, 5.0));
+    }
+
+    #[test]
+    fn square_field() {
+        let b = BBox::square(1000.0);
+        assert_eq!(b.width(), 1000.0);
+        assert_eq!(b.height(), 1000.0);
+        assert_eq!(b.area(), 1_000_000.0);
+        assert_eq!(b.center(), Point::new(500.0, 500.0));
+    }
+
+    #[test]
+    fn contains_is_inclusive() {
+        let b = BBox::square(10.0);
+        assert!(b.contains(Point::new(0.0, 0.0)));
+        assert!(b.contains(Point::new(10.0, 10.0)));
+        assert!(b.contains(Point::new(5.0, 5.0)));
+        assert!(!b.contains(Point::new(10.0001, 5.0)));
+    }
+
+    #[test]
+    fn from_points_covers_all() {
+        let pts = [
+            Point::new(1.0, 7.0),
+            Point::new(-2.0, 3.0),
+            Point::new(4.0, -1.0),
+        ];
+        let b = BBox::from_points(pts).unwrap();
+        for p in pts {
+            assert!(b.contains(p));
+        }
+        assert_eq!(b.min(), Point::new(-2.0, -1.0));
+        assert_eq!(b.max(), Point::new(4.0, 7.0));
+        assert!(BBox::from_points(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn clamp_projects_inside() {
+        let b = BBox::square(10.0);
+        assert_eq!(b.clamp(Point::new(-5.0, 5.0)), Point::new(0.0, 5.0));
+        assert_eq!(b.clamp(Point::new(20.0, 20.0)), Point::new(10.0, 10.0));
+        let inside = Point::new(3.0, 4.0);
+        assert_eq!(b.clamp(inside), inside);
+    }
+
+    #[test]
+    fn padded_grows_symmetrically() {
+        let b = BBox::square(10.0).padded(2.0);
+        assert_eq!(b.min(), Point::new(-2.0, -2.0));
+        assert_eq!(b.max(), Point::new(12.0, 12.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "inverts bbox")]
+    fn padded_panics_on_inversion() {
+        let _ = BBox::square(10.0).padded(-6.0);
+    }
+
+    #[test]
+    fn intersects_detects_overlap_and_touching() {
+        let a = BBox::square(10.0);
+        let b = BBox::new(Point::new(5.0, 5.0), Point::new(15.0, 15.0));
+        let c = BBox::new(Point::new(10.0, 0.0), Point::new(20.0, 10.0));
+        let d = BBox::new(Point::new(11.0, 11.0), Point::new(20.0, 20.0));
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        assert!(a.intersects(&c)); // touching edge
+        assert!(!a.intersects(&d));
+    }
+
+    #[test]
+    fn expanded_to_is_monotone() {
+        let b = BBox::square(1.0);
+        let grown = b.expanded_to(Point::new(50.0, -3.0));
+        assert!(grown.contains(Point::new(50.0, -3.0)));
+        assert!(grown.contains(b.min()));
+        assert!(grown.contains(b.max()));
+    }
+}

@@ -1,0 +1,86 @@
+//! Error type for geographic operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by geographic conversions and parsers in this crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GeoError {
+    /// A geohash string contained a character outside the base-32 alphabet.
+    InvalidGeohashChar {
+        /// The offending character.
+        ch: char,
+        /// Byte offset of the character within the input.
+        index: usize,
+    },
+    /// A geohash string was empty.
+    EmptyGeohash,
+    /// A geohash of the requested precision would be longer than supported.
+    PrecisionTooLarge {
+        /// The requested number of geohash characters.
+        requested: usize,
+        /// The maximum supported number of characters.
+        max: usize,
+    },
+    /// A latitude was outside `[-90, 90]` or a longitude outside `[-180, 180]`.
+    CoordinateOutOfRange {
+        /// Latitude in degrees.
+        lat: f64,
+        /// Longitude in degrees.
+        lon: f64,
+    },
+    /// A grid or index was constructed with a non-positive cell size.
+    NonPositiveCellSize(f64),
+}
+
+impl fmt::Display for GeoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeoError::InvalidGeohashChar { ch, index } => {
+                write!(f, "invalid geohash character {ch:?} at index {index}")
+            }
+            GeoError::EmptyGeohash => write!(f, "geohash string is empty"),
+            GeoError::PrecisionTooLarge { requested, max } => {
+                write!(f, "geohash precision {requested} exceeds maximum {max}")
+            }
+            GeoError::CoordinateOutOfRange { lat, lon } => {
+                write!(f, "coordinate ({lat}, {lon}) is out of range")
+            }
+            GeoError::NonPositiveCellSize(s) => {
+                write!(f, "cell size must be positive, got {s}")
+            }
+        }
+    }
+}
+
+impl Error for GeoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = GeoError::InvalidGeohashChar { ch: 'a', index: 3 };
+        assert!(e.to_string().contains("index 3"));
+        assert!(GeoError::EmptyGeohash.to_string().contains("empty"));
+        let e = GeoError::PrecisionTooLarge {
+            requested: 30,
+            max: 12,
+        };
+        assert!(e.to_string().contains("30"));
+        let e = GeoError::CoordinateOutOfRange {
+            lat: 91.0,
+            lon: 0.0,
+        };
+        assert!(e.to_string().contains("out of range"));
+        assert!(GeoError::NonPositiveCellSize(-1.0).to_string().contains("-1"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GeoError>();
+    }
+}

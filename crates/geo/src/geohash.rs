@@ -1,0 +1,303 @@
+//! Base-32 geohash encoding and decoding.
+//!
+//! The Mobike dataset stores trip endpoints as geohash strings; the paper
+//! "re-interpret\[s\] them into the corresponding latitudes and longitudes".
+//! This module implements the standard geohash scheme (Niemeyer base-32,
+//! interleaved longitude-first bits) so that the synthetic dataset crate can
+//! emit and consume records in the same format.
+//!
+//! # Examples
+//!
+//! ```
+//! use esharing_geo::geohash;
+//! use esharing_geo::LatLon;
+//!
+//! let c = LatLon::new(39.9288, 116.3888).unwrap();
+//! let h = geohash::encode(c, 7).unwrap();
+//! assert_eq!(h, "wx4g0kz");
+//! let (decoded, err) = geohash::decode(&h).unwrap();
+//! assert!((decoded.lat() - c.lat()).abs() <= err.lat_err);
+//! assert!((decoded.lon() - c.lon()).abs() <= err.lon_err);
+//! ```
+
+use crate::{GeoError, LatLon};
+
+/// The geohash base-32 alphabet (digits + lowercase letters minus a, i, l, o).
+pub const ALPHABET: &[u8; 32] = b"0123456789bcdefghjkmnpqrstuvwxyz";
+
+/// Maximum supported geohash length. Twelve characters resolve to ~37 mm of
+/// longitude at the equator, far below any physical GPS accuracy.
+pub const MAX_PRECISION: usize = 12;
+
+/// Half-width of the cell a decoded geohash denotes, in degrees.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecodeError2d {
+    /// Half the latitude extent of the cell.
+    pub lat_err: f64,
+    /// Half the longitude extent of the cell.
+    pub lon_err: f64,
+}
+
+fn alphabet_index(ch: u8) -> Option<u32> {
+    ALPHABET.iter().position(|&c| c == ch).map(|i| i as u32)
+}
+
+/// Encodes a coordinate into a geohash of `precision` characters.
+///
+/// # Errors
+///
+/// Returns [`GeoError::PrecisionTooLarge`] if `precision` exceeds
+/// [`MAX_PRECISION`] or is zero.
+pub fn encode(c: LatLon, precision: usize) -> Result<String, GeoError> {
+    if precision == 0 || precision > MAX_PRECISION {
+        return Err(GeoError::PrecisionTooLarge {
+            requested: precision,
+            max: MAX_PRECISION,
+        });
+    }
+    let (mut lat_lo, mut lat_hi) = (-90.0f64, 90.0f64);
+    let (mut lon_lo, mut lon_hi) = (-180.0f64, 180.0f64);
+    let mut out = String::with_capacity(precision);
+    let mut even_bit = true; // longitude first
+    let mut bits = 0u32;
+    let mut bit_count = 0u8;
+    while out.len() < precision {
+        if even_bit {
+            let mid = (lon_lo + lon_hi) / 2.0;
+            bits <<= 1;
+            if c.lon() >= mid {
+                bits |= 1;
+                lon_lo = mid;
+            } else {
+                lon_hi = mid;
+            }
+        } else {
+            let mid = (lat_lo + lat_hi) / 2.0;
+            bits <<= 1;
+            if c.lat() >= mid {
+                bits |= 1;
+                lat_lo = mid;
+            } else {
+                lat_hi = mid;
+            }
+        }
+        even_bit = !even_bit;
+        bit_count += 1;
+        if bit_count == 5 {
+            out.push(ALPHABET[bits as usize] as char);
+            bits = 0;
+            bit_count = 0;
+        }
+    }
+    Ok(out)
+}
+
+/// Decodes a geohash to the center of its cell, along with the cell half
+/// extents.
+///
+/// # Errors
+///
+/// Returns [`GeoError::EmptyGeohash`] for an empty string and
+/// [`GeoError::InvalidGeohashChar`] for characters outside the base-32
+/// alphabet (uppercase input is accepted and lowered).
+pub fn decode(hash: &str) -> Result<(LatLon, DecodeError2d), GeoError> {
+    let (lat_range, lon_range) = decode_bounds(hash)?;
+    let lat = (lat_range.0 + lat_range.1) / 2.0;
+    let lon = (lon_range.0 + lon_range.1) / 2.0;
+    let err = DecodeError2d {
+        lat_err: (lat_range.1 - lat_range.0) / 2.0,
+        lon_err: (lon_range.1 - lon_range.0) / 2.0,
+    };
+    // Ranges are bisections of valid ranges, so the center is always valid.
+    Ok((LatLon::new(lat, lon).expect("geohash center in range"), err))
+}
+
+/// Decodes a geohash to its bounding `((lat_lo, lat_hi), (lon_lo, lon_hi))`.
+///
+/// # Errors
+///
+/// Same conditions as [`decode`].
+pub fn decode_bounds(hash: &str) -> Result<((f64, f64), (f64, f64)), GeoError> {
+    if hash.is_empty() {
+        return Err(GeoError::EmptyGeohash);
+    }
+    let (mut lat_lo, mut lat_hi) = (-90.0f64, 90.0f64);
+    let (mut lon_lo, mut lon_hi) = (-180.0f64, 180.0f64);
+    let mut even_bit = true;
+    for (index, raw) in hash.bytes().enumerate() {
+        let ch = raw.to_ascii_lowercase();
+        let val = alphabet_index(ch).ok_or(GeoError::InvalidGeohashChar {
+            ch: raw as char,
+            index,
+        })?;
+        for shift in (0..5).rev() {
+            let bit = (val >> shift) & 1;
+            if even_bit {
+                let mid = (lon_lo + lon_hi) / 2.0;
+                if bit == 1 {
+                    lon_lo = mid;
+                } else {
+                    lon_hi = mid;
+                }
+            } else {
+                let mid = (lat_lo + lat_hi) / 2.0;
+                if bit == 1 {
+                    lat_lo = mid;
+                } else {
+                    lat_hi = mid;
+                }
+            }
+            even_bit = !even_bit;
+        }
+    }
+    Ok(((lat_lo, lat_hi), (lon_lo, lon_hi)))
+}
+
+/// Returns the 8 neighbouring geohashes of `hash` (N, NE, E, SE, S, SW, W,
+/// NW), clamped at the poles (entries that would cross a pole are omitted).
+///
+/// # Errors
+///
+/// Same conditions as [`decode`].
+pub fn neighbors(hash: &str) -> Result<Vec<String>, GeoError> {
+    let (center, err) = decode(hash)?;
+    let precision = hash.len();
+    let mut out = Vec::with_capacity(8);
+    for dy in [-1i8, 0, 1] {
+        for dx in [-1i8, 0, 1] {
+            if dx == 0 && dy == 0 {
+                continue;
+            }
+            let lat = center.lat() + f64::from(dy) * 2.0 * err.lat_err;
+            let mut lon = center.lon() + f64::from(dx) * 2.0 * err.lon_err;
+            // Wrap longitude across the antimeridian.
+            if lon > 180.0 {
+                lon -= 360.0;
+            } else if lon < -180.0 {
+                lon += 360.0;
+            }
+            if let Ok(c) = LatLon::new(lat, lon) {
+                out.push(encode(c, precision)?);
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encodes_known_vectors() {
+        // Reference vectors from the original geohash implementation.
+        let c = LatLon::new(42.6, -5.6).unwrap();
+        assert_eq!(encode(c, 5).unwrap(), "ezs42");
+        let c = LatLon::new(57.64911, 10.40744).unwrap();
+        assert_eq!(encode(c, 11).unwrap(), "u4pruydqqvj");
+    }
+
+    #[test]
+    fn decode_known_vector() {
+        let (c, _) = decode("ezs42").unwrap();
+        assert!((c.lat() - 42.605).abs() < 0.03);
+        assert!((c.lon() + 5.603).abs() < 0.03);
+    }
+
+    #[test]
+    fn decode_accepts_uppercase() {
+        let lower = decode("wx4g0ec").unwrap().0;
+        let upper = decode("WX4G0EC").unwrap().0;
+        assert_eq!(lower, upper);
+    }
+
+    #[test]
+    fn roundtrip_preserves_cell() {
+        let cases = [
+            (39.9288, 116.3888),
+            (-33.8688, 151.2093),
+            (0.0, 0.0),
+            (89.9, 179.9),
+            (-89.9, -179.9),
+        ];
+        for (lat, lon) in cases {
+            let c = LatLon::new(lat, lon).unwrap();
+            for precision in 1..=MAX_PRECISION {
+                let h = encode(c, precision).unwrap();
+                assert_eq!(h.len(), precision);
+                let (d, err) = decode(&h).unwrap();
+                assert!(
+                    (d.lat() - lat).abs() <= err.lat_err + 1e-12,
+                    "lat mismatch at precision {precision}"
+                );
+                assert!(
+                    (d.lon() - lon).abs() <= err.lon_err + 1e-12,
+                    "lon mismatch at precision {precision}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert_eq!(decode(""), Err(GeoError::EmptyGeohash));
+        assert!(matches!(
+            decode("wx4a"),
+            Err(GeoError::InvalidGeohashChar { ch: 'a', index: 3 })
+        ));
+        let c = LatLon::new(0.0, 0.0).unwrap();
+        assert!(encode(c, 0).is_err());
+        assert!(encode(c, MAX_PRECISION + 1).is_err());
+    }
+
+    #[test]
+    fn error_shrinks_with_precision() {
+        let c = LatLon::new(39.9, 116.4).unwrap();
+        let mut prev = f64::INFINITY;
+        for precision in 1..=MAX_PRECISION {
+            let h = encode(c, precision).unwrap();
+            let (_, err) = decode(&h).unwrap();
+            let cell = err.lat_err.max(err.lon_err);
+            assert!(cell < prev);
+            prev = cell;
+        }
+    }
+
+    #[test]
+    fn seven_chars_is_sub_100m() {
+        // The paper bins into 100x100m cells; 7-char geohashes (~76x153m at
+        // the equator, narrower at Beijing's latitude) are the closest match.
+        let c = LatLon::new(39.9, 116.4).unwrap();
+        let h = encode(c, 7).unwrap();
+        let (_, err) = decode(&h).unwrap();
+        let lat_m = err.lat_err * 2.0 * 111_195.0;
+        assert!(lat_m < 160.0, "cell height {lat_m} m");
+    }
+
+    #[test]
+    fn neighbors_are_adjacent() {
+        let h = "wx4g0ec";
+        let (c, err) = decode(h).unwrap();
+        let ns = neighbors(h).unwrap();
+        assert_eq!(ns.len(), 8);
+        for n in &ns {
+            assert_eq!(n.len(), h.len());
+            let (nc, _) = decode(n).unwrap();
+            assert!((nc.lat() - c.lat()).abs() <= 2.0 * err.lat_err * 1.5);
+            assert!((nc.lon() - c.lon()).abs() <= 2.0 * err.lon_err * 1.5);
+            assert_ne!(n, h);
+        }
+    }
+
+    #[test]
+    fn alphabet_has_32_unique_symbols() {
+        let mut seen = std::collections::HashSet::new();
+        for &b in ALPHABET.iter() {
+            assert!(seen.insert(b));
+        }
+        assert_eq!(seen.len(), 32);
+        for banned in [b'a', b'i', b'l', b'o'] {
+            assert!(!seen.contains(&banned));
+        }
+    }
+}

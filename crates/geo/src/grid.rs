@@ -1,0 +1,265 @@
+//! Uniform grid binning.
+//!
+//! The paper divides the metropolitan area into grids that "represent the
+//! minimum granularity such that users all agree to walk within a grid"
+//! (100 × 100 m in the evaluation) and represents every arrival in a grid by
+//! its centroid. [`Grid`] performs exactly that binning.
+
+use crate::{BBox, GeoError, Point};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Integer coordinates of a grid cell: `(column, row)` counted from the
+/// grid origin. Negative indices are valid for points south/west of the
+/// origin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Cell {
+    /// Column index (x / cell size, floored).
+    pub col: i64,
+    /// Row index (y / cell size, floored).
+    pub row: i64,
+}
+
+impl Cell {
+    /// Creates a cell from column/row indices.
+    #[inline]
+    pub const fn new(col: i64, row: i64) -> Self {
+        Cell { col, row }
+    }
+
+    /// Chebyshev (ring) distance between cells; neighbours are at distance 1.
+    #[inline]
+    pub fn ring_distance(self, other: Cell) -> u64 {
+        let dc = (self.col - other.col).unsigned_abs();
+        let dr = (self.row - other.row).unsigned_abs();
+        dc.max(dr)
+    }
+}
+
+/// A uniform square grid anchored at the planar origin.
+///
+/// # Examples
+///
+/// ```
+/// use esharing_geo::{Grid, Point, Cell};
+///
+/// let grid = Grid::new(100.0);
+/// assert_eq!(grid.cell_of(Point::new(250.0, 10.0)), Cell::new(2, 0));
+/// assert_eq!(grid.centroid(Cell::new(2, 0)), Point::new(250.0, 50.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Grid {
+    cell_size: f64,
+}
+
+impl Grid {
+    /// Creates a grid with square cells of `cell_size` meters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size` is not strictly positive and finite. Use
+    /// [`Grid::try_new`] for a fallible constructor.
+    pub fn new(cell_size: f64) -> Self {
+        Grid::try_new(cell_size).expect("cell size must be positive")
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::NonPositiveCellSize`] if `cell_size <= 0` or is
+    /// not finite.
+    pub fn try_new(cell_size: f64) -> Result<Self, GeoError> {
+        if !cell_size.is_finite() || cell_size <= 0.0 {
+            return Err(GeoError::NonPositiveCellSize(cell_size));
+        }
+        Ok(Grid { cell_size })
+    }
+
+    /// Cell side length in meters.
+    #[inline]
+    pub fn cell_size(&self) -> f64 {
+        self.cell_size
+    }
+
+    /// Length of a cell diagonal — the maximum distance between any point in
+    /// a cell and another point in the same cell.
+    #[inline]
+    pub fn cell_diagonal(&self) -> f64 {
+        self.cell_size * std::f64::consts::SQRT_2
+    }
+
+    /// The cell containing `p`. Points exactly on a boundary belong to the
+    /// cell to their north-east (floor semantics).
+    #[inline]
+    pub fn cell_of(&self, p: Point) -> Cell {
+        Cell {
+            col: (p.x / self.cell_size).floor() as i64,
+            row: (p.y / self.cell_size).floor() as i64,
+        }
+    }
+
+    /// Centroid of `cell` — the representative location for every arrival
+    /// binned into it.
+    #[inline]
+    pub fn centroid(&self, cell: Cell) -> Point {
+        Point::new(
+            (cell.col as f64 + 0.5) * self.cell_size,
+            (cell.row as f64 + 0.5) * self.cell_size,
+        )
+    }
+
+    /// Bounding box of `cell`.
+    pub fn cell_bbox(&self, cell: Cell) -> BBox {
+        let min = Point::new(
+            cell.col as f64 * self.cell_size,
+            cell.row as f64 * self.cell_size,
+        );
+        BBox::new(min, min + Point::new(self.cell_size, self.cell_size))
+    }
+
+    /// Snaps `p` to the centroid of its cell.
+    #[inline]
+    pub fn snap(&self, p: Point) -> Point {
+        self.centroid(self.cell_of(p))
+    }
+
+    /// Bins a stream of points into per-cell arrival counts.
+    ///
+    /// This mirrors the paper's preprocessing: "divide all the trips into
+    /// non-overlapping bins based on the ending locations".
+    pub fn bin_counts<I>(&self, points: I) -> HashMap<Cell, u64>
+    where
+        I: IntoIterator<Item = Point>,
+    {
+        let mut counts = HashMap::new();
+        for p in points {
+            *counts.entry(self.cell_of(p)).or_insert(0u64) += 1;
+        }
+        counts
+    }
+
+    /// Bins points and returns `(centroid, count)` pairs — the weighted
+    /// client set consumed by the placement algorithms.
+    pub fn weighted_centroids<I>(&self, points: I) -> Vec<(Point, u64)>
+    where
+        I: IntoIterator<Item = Point>,
+    {
+        let mut v: Vec<(Cell, u64)> = self.bin_counts(points).into_iter().collect();
+        // Deterministic output order regardless of hash iteration.
+        v.sort_unstable_by_key(|&(cell, _)| cell);
+        v.into_iter()
+            .map(|(cell, n)| (self.centroid(cell), n))
+            .collect()
+    }
+
+    /// All cells overlapping `bbox`, row-major from the south-west.
+    pub fn cells_in(&self, bbox: &BBox) -> Vec<Cell> {
+        let lo = self.cell_of(bbox.min());
+        let hi = self.cell_of(bbox.max());
+        let mut cells = Vec::new();
+        for row in lo.row..=hi.row {
+            for col in lo.col..=hi.col {
+                cells.push(Cell { col, row });
+            }
+        }
+        cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_assignment_floor_semantics() {
+        let g = Grid::new(100.0);
+        assert_eq!(g.cell_of(Point::new(0.0, 0.0)), Cell::new(0, 0));
+        assert_eq!(g.cell_of(Point::new(99.999, 99.999)), Cell::new(0, 0));
+        assert_eq!(g.cell_of(Point::new(100.0, 0.0)), Cell::new(1, 0));
+        assert_eq!(g.cell_of(Point::new(-0.5, -0.5)), Cell::new(-1, -1));
+    }
+
+    #[test]
+    fn centroid_is_cell_center() {
+        let g = Grid::new(100.0);
+        assert_eq!(g.centroid(Cell::new(0, 0)), Point::new(50.0, 50.0));
+        assert_eq!(g.centroid(Cell::new(-1, 2)), Point::new(-50.0, 250.0));
+    }
+
+    #[test]
+    fn snap_is_idempotent() {
+        let g = Grid::new(100.0);
+        let p = Point::new(233.0, 471.0);
+        let s = g.snap(p);
+        assert_eq!(g.snap(s), s);
+        assert!(p.distance(s) <= g.cell_diagonal() / 2.0);
+    }
+
+    #[test]
+    fn rejects_bad_cell_size() {
+        assert!(Grid::try_new(0.0).is_err());
+        assert!(Grid::try_new(-10.0).is_err());
+        assert!(Grid::try_new(f64::NAN).is_err());
+        assert!(Grid::try_new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn new_panics_on_zero() {
+        let _ = Grid::new(0.0);
+    }
+
+    #[test]
+    fn bin_counts_totals_match() {
+        let g = Grid::new(100.0);
+        let pts = vec![
+            Point::new(10.0, 10.0),
+            Point::new(20.0, 30.0),
+            Point::new(150.0, 10.0),
+        ];
+        let counts = g.bin_counts(pts);
+        assert_eq!(counts.len(), 2);
+        assert_eq!(counts[&Cell::new(0, 0)], 2);
+        assert_eq!(counts[&Cell::new(1, 0)], 1);
+        assert_eq!(counts.values().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn weighted_centroids_sorted_and_weighted() {
+        let g = Grid::new(100.0);
+        let pts = vec![
+            Point::new(150.0, 10.0),
+            Point::new(10.0, 10.0),
+            Point::new(20.0, 30.0),
+        ];
+        let wc = g.weighted_centroids(pts);
+        assert_eq!(
+            wc,
+            vec![
+                (Point::new(50.0, 50.0), 2),
+                (Point::new(150.0, 50.0), 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn cells_in_field() {
+        let g = Grid::new(100.0);
+        // A 3x3 km field contains 30x30 = 900 interior cells, plus the
+        // boundary row/col because bbox.max() lies exactly on a grid line.
+        let cells = g.cells_in(&BBox::square(2999.0));
+        assert_eq!(cells.len(), 30 * 30);
+        let cells = g.cells_in(&BBox::square(250.0));
+        assert_eq!(cells.len(), 3 * 3);
+    }
+
+    #[test]
+    fn ring_distance_of_neighbors() {
+        let c = Cell::new(5, 5);
+        assert_eq!(c.ring_distance(Cell::new(5, 5)), 0);
+        assert_eq!(c.ring_distance(Cell::new(6, 6)), 1);
+        assert_eq!(c.ring_distance(Cell::new(5, 8)), 3);
+        assert_eq!(c.ring_distance(Cell::new(2, 6)), 3);
+    }
+}

@@ -1,0 +1,341 @@
+//! A bucket-grid nearest-neighbour index.
+//!
+//! The online placement algorithms repeatedly ask "which established parking
+//! is closest to this destination?" for every streamed request. A linear
+//! scan is O(|P|) per query; this index hashes parking locations into grid
+//! buckets and searches outward ring by ring, giving near-O(1) queries for
+//! the spatially uniform workloads in the paper.
+
+use crate::{Cell, Grid, Point};
+use std::collections::BTreeMap;
+
+/// A dynamic nearest-neighbour index over planar points.
+///
+/// Supports insertion, removal (the paper removes a station from `P` when
+/// customers pick up all its e-bikes), and exact nearest-neighbour queries.
+/// Iteration order is deterministic (buckets are kept in a `BTreeMap` and
+/// points in insertion order within a bucket), so algorithms built on the
+/// index replay identically for a fixed seed.
+///
+/// # Examples
+///
+/// ```
+/// use esharing_geo::{NearestNeighborIndex, Point};
+///
+/// let mut index = NearestNeighborIndex::new(100.0);
+/// index.insert(Point::new(0.0, 0.0));
+/// index.insert(Point::new(500.0, 500.0));
+/// let (nearest, d) = index.nearest(Point::new(80.0, 60.0)).unwrap();
+/// assert_eq!(nearest, Point::new(0.0, 0.0));
+/// assert!((d - 100.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NearestNeighborIndex {
+    grid: Grid,
+    buckets: BTreeMap<Cell, Vec<Point>>,
+    len: usize,
+}
+
+impl NearestNeighborIndex {
+    /// Creates an index with the given bucket size in meters. A bucket size
+    /// close to the typical nearest-neighbour distance performs best.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_size` is not strictly positive and finite.
+    pub fn new(bucket_size: f64) -> Self {
+        NearestNeighborIndex {
+            grid: Grid::new(bucket_size),
+            buckets: BTreeMap::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of indexed points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts a point. Duplicate points are allowed and count separately.
+    pub fn insert(&mut self, p: Point) {
+        debug_assert!(p.is_finite(), "cannot index non-finite point");
+        self.buckets.entry(self.grid.cell_of(p)).or_default().push(p);
+        self.len += 1;
+    }
+
+    /// Removes one occurrence of `p`. Returns `true` if a point was removed.
+    pub fn remove(&mut self, p: Point) -> bool {
+        let cell = self.grid.cell_of(p);
+        if let Some(bucket) = self.buckets.get_mut(&cell) {
+            if let Some(pos) = bucket.iter().position(|&q| q == p) {
+                bucket.swap_remove(pos);
+                if bucket.is_empty() {
+                    self.buckets.remove(&cell);
+                }
+                self.len -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Exact nearest neighbour of `query` with its distance, or `None` when
+    /// the index is empty.
+    ///
+    /// Searches buckets in growing Chebyshev rings around the query cell and
+    /// stops once the closest found point is provably nearer than anything
+    /// in the unexplored rings. For very sparse indexes (points thousands of
+    /// cells apart) the ring scan is abandoned after a fixed budget in
+    /// favour of a direct scan over the occupied buckets, keeping the worst
+    /// case at O(n).
+    pub fn nearest(&self, query: Point) -> Option<(Point, f64)> {
+        if self.is_empty() {
+            return None;
+        }
+        /// Rings scanned cell-by-cell before falling back to a bucket scan.
+        const MAX_RING_SCAN: u64 = 32;
+        let center = self.grid.cell_of(query);
+        let cell_size = self.grid.cell_size();
+        let max_ring = self.max_ring(center);
+        let mut best: Option<(Point, f64)> = None;
+        let mut ring: u64 = 0;
+        loop {
+            // Any point in a ring at Chebyshev distance r is at least
+            // (r - 1) * cell_size away from the query.
+            if let Some((_, best_d)) = best {
+                if ring >= 1 && (ring as f64 - 1.0) * cell_size > best_d {
+                    return best;
+                }
+            }
+            if ring > MAX_RING_SCAN {
+                // Sparse index: enumerate occupied buckets directly.
+                return self.nearest_brute(query);
+            }
+            self.for_each_ring_cell(center, ring, |cell| {
+                if let Some(bucket) = self.buckets.get(&cell) {
+                    for &p in bucket {
+                        let d = query.distance(p);
+                        if best.map_or(true, |(_, bd)| d < bd) {
+                            best = Some((p, d));
+                        }
+                    }
+                }
+            });
+            ring += 1;
+            // Beyond the bounding ring of all buckets there is nothing
+            // left to explore.
+            if ring > max_ring + 1 {
+                return best;
+            }
+        }
+    }
+
+    /// Linear scan over every indexed point.
+    fn nearest_brute(&self, query: Point) -> Option<(Point, f64)> {
+        self.iter()
+            .map(|p| (p, query.distance(p)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+    }
+
+    /// All indexed points within `radius` of `query` (inclusive), in
+    /// arbitrary order.
+    pub fn within(&self, query: Point, radius: f64) -> Vec<Point> {
+        let mut out = Vec::new();
+        if radius < 0.0 {
+            return out;
+        }
+        let rings = (radius / self.grid.cell_size()).ceil() as u64 + 1;
+        let center = self.grid.cell_of(query);
+        for ring in 0..=rings {
+            self.for_each_ring_cell(center, ring, |cell| {
+                if let Some(bucket) = self.buckets.get(&cell) {
+                    for &p in bucket {
+                        if query.distance(p) <= radius {
+                            out.push(p);
+                        }
+                    }
+                }
+            });
+        }
+        out
+    }
+
+    /// Iterates over all indexed points.
+    pub fn iter(&self) -> impl Iterator<Item = Point> + '_ {
+        self.buckets.values().flatten().copied()
+    }
+
+    fn max_ring(&self, center: Cell) -> u64 {
+        self.buckets
+            .keys()
+            .map(|&c| c.ring_distance(center))
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn for_each_ring_cell<F: FnMut(Cell)>(&self, center: Cell, ring: u64, mut f: F) {
+        let r = ring as i64;
+        if r == 0 {
+            f(center);
+            return;
+        }
+        for col in (center.col - r)..=(center.col + r) {
+            f(Cell::new(col, center.row - r));
+            f(Cell::new(col, center.row + r));
+        }
+        for row in (center.row - r + 1)..=(center.row + r - 1) {
+            f(Cell::new(center.col - r, row));
+            f(Cell::new(center.col + r, row));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn brute_nearest(points: &[Point], q: Point) -> Option<(Point, f64)> {
+        points
+            .iter()
+            .map(|&p| (p, q.distance(p)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+    }
+
+    #[test]
+    fn empty_index_returns_none() {
+        let idx = NearestNeighborIndex::new(100.0);
+        assert!(idx.nearest(Point::ORIGIN).is_none());
+        assert!(idx.is_empty());
+        assert_eq!(idx.len(), 0);
+    }
+
+    #[test]
+    fn single_point() {
+        let mut idx = NearestNeighborIndex::new(100.0);
+        idx.insert(Point::new(5000.0, 5000.0));
+        let (p, d) = idx.nearest(Point::ORIGIN).unwrap();
+        assert_eq!(p, Point::new(5000.0, 5000.0));
+        assert!((d - 5000.0 * std::f64::consts::SQRT_2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_points() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut idx = NearestNeighborIndex::new(100.0);
+        let mut pts = Vec::new();
+        for _ in 0..500 {
+            let p = Point::new(rng.gen_range(0.0..3000.0), rng.gen_range(0.0..3000.0));
+            idx.insert(p);
+            pts.push(p);
+        }
+        for _ in 0..200 {
+            let q = Point::new(rng.gen_range(-500.0..3500.0), rng.gen_range(-500.0..3500.0));
+            let (gp, gd) = idx.nearest(q).unwrap();
+            let (_, bd) = brute_nearest(&pts, q).unwrap();
+            assert!(
+                (gd - bd).abs() < 1e-9,
+                "index distance {gd} != brute {bd} for query {q}"
+            );
+            assert!((q.distance(gp) - gd).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn remove_updates_results() {
+        let mut idx = NearestNeighborIndex::new(50.0);
+        let a = Point::new(10.0, 10.0);
+        let b = Point::new(400.0, 400.0);
+        idx.insert(a);
+        idx.insert(b);
+        assert_eq!(idx.nearest(Point::ORIGIN).unwrap().0, a);
+        assert!(idx.remove(a));
+        assert_eq!(idx.nearest(Point::ORIGIN).unwrap().0, b);
+        assert!(!idx.remove(a), "double remove must fail");
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn duplicates_count_separately() {
+        let mut idx = NearestNeighborIndex::new(50.0);
+        let p = Point::new(1.0, 1.0);
+        idx.insert(p);
+        idx.insert(p);
+        assert_eq!(idx.len(), 2);
+        assert!(idx.remove(p));
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.nearest(Point::ORIGIN).unwrap().0, p);
+    }
+
+    #[test]
+    fn within_radius_matches_filter() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut idx = NearestNeighborIndex::new(100.0);
+        let mut pts = Vec::new();
+        for _ in 0..300 {
+            let p = Point::new(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0));
+            idx.insert(p);
+            pts.push(p);
+        }
+        let q = Point::new(500.0, 500.0);
+        for radius in [0.0, 50.0, 200.0, 2000.0] {
+            let mut got = idx.within(q, radius);
+            let mut expected: Vec<Point> =
+                pts.iter().copied().filter(|p| q.distance(*p) <= radius).collect();
+            let key = |p: &Point| (p.x.to_bits(), p.y.to_bits());
+            got.sort_by_key(key);
+            expected.sort_by_key(key);
+            assert_eq!(got, expected, "radius {radius}");
+        }
+    }
+
+    #[test]
+    fn iter_yields_all_points() {
+        let mut idx = NearestNeighborIndex::new(100.0);
+        idx.insert(Point::new(1.0, 2.0));
+        idx.insert(Point::new(300.0, 4.0));
+        idx.insert(Point::new(5.0, 600.0));
+        assert_eq!(idx.iter().count(), 3);
+    }
+
+    #[test]
+    fn very_sparse_points_fast_and_correct() {
+        // Regression: points thousands of buckets apart must not trigger a
+        // cell-by-cell ring walk.
+        let mut idx = NearestNeighborIndex::new(50.0);
+        let pts: Vec<Point> = (0..20)
+            .map(|i| Point::new(i as f64 * 1.0e6, (i % 3) as f64 * 2.0e6))
+            .collect();
+        for &p in &pts {
+            idx.insert(p);
+        }
+        let start = std::time::Instant::now();
+        for i in 0..20 {
+            let q = Point::new(i as f64 * 1.0e6 + 123.0, 456.0);
+            let (gp, gd) = idx.nearest(q).unwrap();
+            let (bp, bd) = brute_nearest(&pts, q).unwrap();
+            assert_eq!(gp, bp);
+            assert!((gd - bd).abs() < 1e-9);
+        }
+        assert!(
+            start.elapsed().as_secs() < 5,
+            "sparse nearest queries took {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn negative_radius_is_empty() {
+        let mut idx = NearestNeighborIndex::new(100.0);
+        idx.insert(Point::ORIGIN);
+        assert!(idx.within(Point::ORIGIN, -1.0).is_empty());
+    }
+}

@@ -1,0 +1,228 @@
+//! Geographic coordinates and a local planar projection.
+//!
+//! The Mobike dataset the paper evaluates on stores trip endpoints as
+//! geohashes, i.e. latitude/longitude. The placement algorithms, however,
+//! work in a planar field measured in meters (e.g. the 3 × 3 km study area).
+//! [`LocalProjection`] bridges the two with an equirectangular projection
+//! around a reference point, which is accurate to well under a meter at
+//! city scale.
+
+use crate::{GeoError, Point};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Mean Earth radius in meters (IUGG).
+pub const EARTH_RADIUS_M: f64 = 6_371_008.8;
+
+/// A geographic coordinate in degrees.
+///
+/// # Examples
+///
+/// ```
+/// use esharing_geo::LatLon;
+///
+/// let tiananmen = LatLon::new(39.9055, 116.3976).unwrap();
+/// let olympic_park = LatLon::new(40.0026, 116.3977).unwrap();
+/// let d = tiananmen.haversine_distance(olympic_park);
+/// assert!((d - 10_800.0).abs() < 100.0); // ~10.8 km apart
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatLon {
+    lat: f64,
+    lon: f64,
+}
+
+impl LatLon {
+    /// Creates a coordinate, validating ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::CoordinateOutOfRange`] if `lat` is outside
+    /// `[-90, 90]`, `lon` is outside `[-180, 180]`, or either is not finite.
+    pub fn new(lat: f64, lon: f64) -> Result<Self, GeoError> {
+        if !lat.is_finite() || !lon.is_finite() || lat.abs() > 90.0 || lon.abs() > 180.0 {
+            return Err(GeoError::CoordinateOutOfRange { lat, lon });
+        }
+        Ok(LatLon { lat, lon })
+    }
+
+    /// Latitude in degrees.
+    #[inline]
+    pub fn lat(self) -> f64 {
+        self.lat
+    }
+
+    /// Longitude in degrees.
+    #[inline]
+    pub fn lon(self) -> f64 {
+        self.lon
+    }
+
+    /// Great-circle distance to `other` in meters using the haversine
+    /// formula.
+    pub fn haversine_distance(self, other: LatLon) -> f64 {
+        let (lat1, lon1) = (self.lat.to_radians(), self.lon.to_radians());
+        let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
+        let dlat = lat2 - lat1;
+        let dlon = lon2 - lon1;
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_M * a.sqrt().asin()
+    }
+}
+
+impl fmt::Display for LatLon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}°, {:.6}°", self.lat, self.lon)
+    }
+}
+
+/// An equirectangular projection centered on a reference coordinate, mapping
+/// [`LatLon`] to planar [`Point`]s in meters (east = +x, north = +y).
+///
+/// At the ≤ 10 km scale of the paper's study field the projection error is
+/// negligible compared to the 100 m grid granularity.
+///
+/// # Examples
+///
+/// ```
+/// use esharing_geo::{LatLon, LocalProjection};
+///
+/// let origin = LatLon::new(39.9, 116.39).unwrap();
+/// let proj = LocalProjection::new(origin);
+/// let p = proj.project(LatLon::new(39.91, 116.40).unwrap());
+/// let back = proj.unproject(p).unwrap();
+/// assert!((back.lat() - 39.91).abs() < 1e-9);
+/// assert!((back.lon() - 116.40).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LocalProjection {
+    origin: LatLon,
+    /// Meters per degree of longitude at the origin latitude.
+    m_per_deg_lon: f64,
+    /// Meters per degree of latitude.
+    m_per_deg_lat: f64,
+}
+
+impl LocalProjection {
+    /// Creates a projection centered at `origin`.
+    pub fn new(origin: LatLon) -> Self {
+        let m_per_deg_lat = EARTH_RADIUS_M * std::f64::consts::PI / 180.0;
+        let m_per_deg_lon = m_per_deg_lat * origin.lat().to_radians().cos();
+        LocalProjection {
+            origin,
+            m_per_deg_lon,
+            m_per_deg_lat,
+        }
+    }
+
+    /// The reference coordinate mapped to the planar origin.
+    #[inline]
+    pub fn origin(&self) -> LatLon {
+        self.origin
+    }
+
+    /// Projects a geographic coordinate into local planar meters.
+    pub fn project(&self, c: LatLon) -> Point {
+        Point::new(
+            (c.lon() - self.origin.lon()) * self.m_per_deg_lon,
+            (c.lat() - self.origin.lat()) * self.m_per_deg_lat,
+        )
+    }
+
+    /// Inverse of [`LocalProjection::project`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::CoordinateOutOfRange`] if the point maps outside
+    /// valid latitude/longitude ranges.
+    pub fn unproject(&self, p: Point) -> Result<LatLon, GeoError> {
+        LatLon::new(
+            self.origin.lat() + p.y / self.m_per_deg_lat,
+            self.origin.lon() + p.x / self.m_per_deg_lon,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(LatLon::new(91.0, 0.0).is_err());
+        assert!(LatLon::new(-91.0, 0.0).is_err());
+        assert!(LatLon::new(0.0, 181.0).is_err());
+        assert!(LatLon::new(0.0, -181.0).is_err());
+        assert!(LatLon::new(f64::NAN, 0.0).is_err());
+        assert!(LatLon::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn accepts_boundary_values() {
+        assert!(LatLon::new(90.0, 180.0).is_ok());
+        assert!(LatLon::new(-90.0, -180.0).is_ok());
+    }
+
+    #[test]
+    fn haversine_zero_for_identical() {
+        let c = LatLon::new(39.9, 116.4).unwrap();
+        assert_eq!(c.haversine_distance(c), 0.0);
+    }
+
+    #[test]
+    fn haversine_symmetric() {
+        let a = LatLon::new(39.9, 116.4).unwrap();
+        let b = LatLon::new(40.0, 116.5).unwrap();
+        let d1 = a.haversine_distance(b);
+        let d2 = b.haversine_distance(a);
+        assert!((d1 - d2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn haversine_one_degree_latitude() {
+        // One degree of latitude is ~111.2 km everywhere.
+        let a = LatLon::new(39.0, 116.0).unwrap();
+        let b = LatLon::new(40.0, 116.0).unwrap();
+        let d = a.haversine_distance(b);
+        assert!((d - 111_195.0).abs() < 100.0, "got {d}");
+    }
+
+    #[test]
+    fn projection_roundtrip() {
+        let origin = LatLon::new(39.9, 116.39).unwrap();
+        let proj = LocalProjection::new(origin);
+        for (lat, lon) in [(39.92, 116.41), (39.88, 116.35), (39.9, 116.39)] {
+            let c = LatLon::new(lat, lon).unwrap();
+            let back = proj.unproject(proj.project(c)).unwrap();
+            assert!((back.lat() - lat).abs() < 1e-9);
+            assert!((back.lon() - lon).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn projection_matches_haversine_at_city_scale() {
+        let origin = LatLon::new(39.9, 116.39).unwrap();
+        let proj = LocalProjection::new(origin);
+        let a = LatLon::new(39.905, 116.395).unwrap();
+        let b = LatLon::new(39.915, 116.405).unwrap();
+        let planar = proj.project(a).distance(proj.project(b));
+        let sphere = a.haversine_distance(b);
+        // Within 0.1% at ~1.4 km scale.
+        assert!((planar - sphere).abs() / sphere < 1e-3);
+    }
+
+    #[test]
+    fn origin_projects_to_zero() {
+        let origin = LatLon::new(31.2, 121.5).unwrap();
+        let proj = LocalProjection::new(origin);
+        let p = proj.project(origin);
+        assert!(p.norm() < 1e-9);
+        assert_eq!(proj.origin(), origin);
+    }
+
+    #[test]
+    fn display_formats_degrees() {
+        let c = LatLon::new(39.9, 116.4).unwrap();
+        assert!(format!("{c}").contains('°'));
+    }
+}

@@ -1,0 +1,51 @@
+//! # esharing-geo
+//!
+//! Geometric and geographic primitives for the E-Sharing reproduction.
+//!
+//! The E-Sharing system (ICDCS 2020) operates on a metropolitan area divided
+//! into uniform grids; trip destinations are geohash-encoded and binned into
+//! 100 × 100 m cells, each represented by its centroid. This crate provides
+//! the geometry substrate every other crate builds on:
+//!
+//! * [`Point`] — planar coordinates in meters with Euclidean distance,
+//! * [`LatLon`] — geographic coordinates with haversine distance and a local
+//!   equirectangular projection,
+//! * [`geohash`] — base-32 geohash encode/decode matching the format used by
+//!   the Mobike dataset the paper evaluates on,
+//! * [`Grid`] — uniform binning of points into cells and back to centroids,
+//! * [`BBox`] — axis-aligned bounding boxes,
+//! * [`NearestNeighborIndex`] — a bucket-grid index for nearest-parking
+//!   queries issued by the online placement algorithms.
+//!
+//! # Examples
+//!
+//! ```
+//! use esharing_geo::{Point, Grid};
+//!
+//! // Bin a destination into the 100 m grid the paper uses and recover the
+//! // centroid that stands in for every arrival in that cell.
+//! let grid = Grid::new(100.0);
+//! let destination = Point::new(233.0, 471.0);
+//! let cell = grid.cell_of(destination);
+//! let centroid = grid.centroid(cell);
+//! assert!(destination.distance(centroid) <= grid.cell_diagonal() / 2.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bbox;
+mod error;
+pub mod geohash;
+mod grid;
+mod index;
+mod latlon;
+mod point;
+pub mod privacy;
+
+pub use bbox::BBox;
+pub use error::GeoError;
+pub use grid::{Cell, Grid};
+pub use index::NearestNeighborIndex;
+pub use latlon::{LatLon, LocalProjection};
+pub use point::Point;

@@ -1,0 +1,127 @@
+//! Activation functions and their derivatives.
+//!
+//! The LSTM cell uses the logistic sigmoid for its input/forget/output gates
+//! and `tanh` for the candidate state and output squashing; both derivatives
+//! are expressed in terms of the *activated* value, which is what backprop
+//! caches.
+
+/// Logistic sigmoid `1 / (1 + e^{-x})`.
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        // Numerically stable branch for large negative x.
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Derivative of the sigmoid given the activated value `s = sigmoid(x)`.
+#[inline]
+pub fn sigmoid_derivative_from_output(s: f64) -> f64 {
+    s * (1.0 - s)
+}
+
+/// Hyperbolic tangent.
+#[inline]
+pub fn tanh(x: f64) -> f64 {
+    x.tanh()
+}
+
+/// Derivative of `tanh` given the activated value `t = tanh(x)`.
+#[inline]
+pub fn tanh_derivative_from_output(t: f64) -> f64 {
+    1.0 - t * t
+}
+
+/// Rectified linear unit.
+#[inline]
+pub fn relu(x: f64) -> f64 {
+    x.max(0.0)
+}
+
+/// Derivative of ReLU (0 at the kink).
+#[inline]
+pub fn relu_derivative(x: f64) -> f64 {
+    if x > 0.0 {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Numerically stable softmax over a slice.
+///
+/// Returns an empty vector for empty input.
+pub fn softmax(xs: &[f64]) -> Vec<f64> {
+    if xs.is_empty() {
+        return Vec::new();
+    }
+    let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = xs.iter().map(|&x| (x - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_fixed_points() {
+        assert_eq!(sigmoid(0.0), 0.5);
+        assert!(sigmoid(100.0) > 0.999_999);
+        assert!(sigmoid(-100.0) < 1e-6);
+        assert!(sigmoid(-1000.0) >= 0.0); // no NaN/underflow panic
+    }
+
+    #[test]
+    fn sigmoid_symmetric_about_half() {
+        for x in [-3.0, -1.0, 0.5, 2.0] {
+            assert!((sigmoid(x) + sigmoid(-x) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sigmoid_derivative_matches_numeric() {
+        for x in [-2.0, -0.5, 0.0, 1.0, 3.0] {
+            let h = 1e-6;
+            let numeric = (sigmoid(x + h) - sigmoid(x - h)) / (2.0 * h);
+            let analytic = sigmoid_derivative_from_output(sigmoid(x));
+            assert!((numeric - analytic).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn tanh_derivative_matches_numeric() {
+        for x in [-2.0, 0.0, 0.7, 2.5] {
+            let h = 1e-6;
+            let numeric = (tanh(x + h) - tanh(x - h)) / (2.0 * h);
+            let analytic = tanh_derivative_from_output(tanh(x));
+            assert!((numeric - analytic).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn relu_behaviour() {
+        assert_eq!(relu(-5.0), 0.0);
+        assert_eq!(relu(5.0), 5.0);
+        assert_eq!(relu_derivative(-1.0), 0.0);
+        assert_eq!(relu_derivative(1.0), 1.0);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let s = softmax(&[1.0, 2.0, 3.0]);
+        assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(s[2] > s[1] && s[1] > s[0]);
+    }
+
+    #[test]
+    fn softmax_stable_for_large_inputs() {
+        let s = softmax(&[1000.0, 1000.0]);
+        assert!((s[0] - 0.5).abs() < 1e-12);
+        assert!(softmax(&[]).is_empty());
+    }
+}

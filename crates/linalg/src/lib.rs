@@ -1,0 +1,34 @@
+//! # esharing-linalg
+//!
+//! A small, dependency-free dense linear algebra kernel.
+//!
+//! The paper's prediction engine is an LSTM ("we stack 128 LSTM cells as the
+//! hidden layer"), originally built on TensorFlow. This reproduction
+//! implements the LSTM from scratch in `esharing-forecast`; this crate
+//! provides exactly the primitives that implementation needs — a row-major
+//! [`Matrix`], matrix/vector products, element-wise operations, activations
+//! with derivatives, and Xavier initialization. It is deliberately *not* a
+//! general-purpose BLAS.
+//!
+//! # Examples
+//!
+//! ```
+//! use esharing_linalg::Matrix;
+//!
+//! let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let x = vec![1.0, 1.0];
+//! assert_eq!(a.matvec(&x), vec![3.0, 7.0]);
+//! let b = a.transpose();
+//! assert_eq!(b.get(0, 1), 3.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod activation;
+mod matrix;
+mod solve;
+pub mod vecops;
+
+pub use matrix::Matrix;
+pub use solve::{least_squares, solve, SingularMatrixError};

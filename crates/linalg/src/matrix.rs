@@ -1,0 +1,464 @@
+//! Row-major dense matrices.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+/// A dense row-major matrix of `f64`.
+///
+/// # Examples
+///
+/// ```
+/// use esharing_linalg::Matrix;
+///
+/// let m = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f64);
+/// assert_eq!(m.rows(), 2);
+/// assert_eq!(m.cols(), 3);
+/// assert_eq!(m.get(1, 2), 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// A matrix of zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` for each entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn from_fn<F: FnMut(usize, usize) -> f64>(rows: usize, cols: usize, mut f: F) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.data[r * cols + c] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or the rows have unequal lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        assert!(!rows.is_empty(), "matrix needs at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "matrix needs at least one column");
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            assert_eq!(row.len(), cols, "all rows must have equal length");
+            data.extend_from_slice(row);
+        }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// The identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        Matrix::from_fn(n, n, |r, c| if r == c { 1.0 } else { 0.0 })
+    }
+
+    /// Xavier/Glorot uniform initialization in
+    /// `[-sqrt(6/(rows+cols)), +sqrt(6/(rows+cols))]`, the standard scheme
+    /// for the LSTM weight matrices.
+    pub fn xavier<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Self {
+        let bound = (6.0 / (rows + cols) as f64).sqrt();
+        Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-bound..=bound))
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Entry at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds indices.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// Sets the entry at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds indices.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Borrow of row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `r >= rows`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Underlying data in row-major order.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable underlying data in row-major order.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Matrix–vector product `self * x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        let mut out = vec![0.0; self.rows];
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            out[r] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        out
+    }
+
+    /// Transposed matrix–vector product `selfᵀ * x`, used in
+    /// backpropagation without materializing the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows`.
+    pub fn matvec_transposed(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "matvec_transposed dimension mismatch");
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            let xr = x[r];
+            for (o, a) in out.iter_mut().zip(row) {
+                *o += a * xr;
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.rows()`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[r * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &other.data[k * other.cols..(k + 1) * other.cols];
+                let trow = &mut out.data[r * other.cols..(r + 1) * other.cols];
+                for (t, &o) in trow.iter_mut().zip(orow) {
+                    *t += a * o;
+                }
+            }
+        }
+        out
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+    }
+
+    /// Adds `outer(u, v) * scale` in place — the rank-1 update used to
+    /// accumulate weight gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn add_outer(&mut self, u: &[f64], v: &[f64], scale: f64) {
+        assert_eq!(u.len(), self.rows, "outer-product row mismatch");
+        assert_eq!(v.len(), self.cols, "outer-product col mismatch");
+        for r in 0..self.rows {
+            let ur = u[r] * scale;
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (t, &vc) in row.iter_mut().zip(v) {
+                *t += ur * vc;
+            }
+        }
+    }
+
+    /// Applies `f` to every entry, returning a new matrix.
+    pub fn map<F: Fn(f64) -> f64>(&self, f: F) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Multiplies every entry by `s` in place.
+    pub fn scale_in_place(&mut self, s: f64) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Sets every entry to zero.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+}
+
+impl Add<&Matrix> for &Matrix {
+    type Output = Matrix;
+    fn add(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "matrix add dimension mismatch"
+        );
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect(),
+        }
+    }
+}
+
+impl Sub<&Matrix> for &Matrix {
+    type Output = Matrix;
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "matrix sub dimension mismatch"
+        );
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect(),
+        }
+    }
+}
+
+impl AddAssign<&Matrix> for Matrix {
+    fn add_assign(&mut self, rhs: &Matrix) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "matrix add dimension mismatch"
+        );
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+    }
+}
+
+impl Mul<f64> for &Matrix {
+    type Output = Matrix;
+    fn mul(self, s: f64) -> Matrix {
+        self.map(|v| v * s)
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            write!(f, "  ")?;
+            for c in 0..self.cols.min(8) {
+                write!(f, "{:>10.4} ", self.get(r, c))?;
+            }
+            writeln!(f, "{}", if self.cols > 8 { "…" } else { "" })?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_and_access() {
+        let m = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f64);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!(m.get(1, 2), 5.0);
+        assert_eq!(m.row(1), &[3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dims_panic() {
+        let _ = Matrix::zeros(0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn ragged_rows_panic() {
+        let _ = Matrix::from_rows(&[&[1.0, 2.0], &[3.0]]);
+    }
+
+    #[test]
+    fn matvec_known() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(a.matvec(&[1.0, 1.0]), vec![3.0, 7.0]);
+        assert_eq!(a.matvec(&[2.0, 0.0]), vec![2.0, 6.0]);
+    }
+
+    #[test]
+    fn matvec_transposed_matches_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Matrix::xavier(4, 7, &mut rng);
+        let x: Vec<f64> = (0..4).map(|i| i as f64 + 0.5).collect();
+        let via_method = a.matvec_transposed(&x);
+        let via_transpose = a.transpose().matvec(&x);
+        for (u, v) in via_method.iter().zip(&via_transpose) {
+            assert!((u - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = Matrix::xavier(3, 5, &mut rng);
+        let i3 = Matrix::identity(3);
+        let i5 = Matrix::identity(5);
+        assert_eq!(i3.matmul(&a), a);
+        assert_eq!(a.matmul(&i5), a);
+    }
+
+    #[test]
+    fn matmul_known() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_associates_with_matvec() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Matrix::xavier(3, 4, &mut rng);
+        let b = Matrix::xavier(4, 2, &mut rng);
+        let x = vec![0.5, -1.0];
+        let lhs = a.matmul(&b).matvec(&x);
+        let rhs = a.matvec(&b.matvec(&x));
+        for (u, v) in lhs.iter().zip(&rhs) {
+            assert!((u - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = Matrix::xavier(5, 3, &mut rng);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn add_outer_equals_manual() {
+        let mut m = Matrix::zeros(2, 3);
+        m.add_outer(&[1.0, 2.0], &[3.0, 4.0, 5.0], 2.0);
+        assert_eq!(
+            m,
+            Matrix::from_rows(&[&[6.0, 8.0, 10.0], &[12.0, 16.0, 20.0]])
+        );
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[3.0, 5.0]]);
+        assert_eq!(&a + &b, Matrix::from_rows(&[&[4.0, 7.0]]));
+        assert_eq!(&b - &a, Matrix::from_rows(&[&[2.0, 3.0]]));
+        assert_eq!(&a * 3.0, Matrix::from_rows(&[&[3.0, 6.0]]));
+        let mut c = a.clone();
+        c += &b;
+        assert_eq!(c, Matrix::from_rows(&[&[4.0, 7.0]]));
+    }
+
+    #[test]
+    fn xavier_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = Matrix::xavier(10, 20, &mut rng);
+        let bound = (6.0 / 30.0f64).sqrt();
+        for &v in m.as_slice() {
+            assert!(v.abs() <= bound);
+        }
+        // Not all zero.
+        assert!(m.frobenius_norm() > 0.0);
+    }
+
+    #[test]
+    fn frobenius_norm_known() {
+        let m = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]);
+        assert_eq!(m.frobenius_norm(), 5.0);
+    }
+
+    #[test]
+    fn fill_zero_and_scale() {
+        let mut m = Matrix::from_rows(&[&[1.0, -2.0]]);
+        m.scale_in_place(2.0);
+        assert_eq!(m.as_slice(), &[2.0, -4.0]);
+        m.fill_zero();
+        assert_eq!(m.as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn display_shows_dims() {
+        let m = Matrix::zeros(2, 2);
+        assert!(m.to_string().contains("2x2"));
+    }
+}

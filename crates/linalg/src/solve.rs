@@ -1,0 +1,189 @@
+//! Dense linear system solving.
+//!
+//! The ARIMA baseline fits its autoregressive coefficients by ordinary
+//! least squares, which reduces to solving the normal equations
+//! `(XᵀX) β = Xᵀy`. [`solve`] implements Gaussian elimination with partial
+//! pivoting, and [`least_squares`] wraps the normal-equation pipeline with
+//! Tikhonov damping for near-singular designs.
+
+use crate::Matrix;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a linear system cannot be solved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SingularMatrixError;
+
+impl fmt::Display for SingularMatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "matrix is singular or badly conditioned")
+    }
+}
+
+impl Error for SingularMatrixError {}
+
+/// Solves `A x = b` by Gaussian elimination with partial pivoting.
+///
+/// # Errors
+///
+/// Returns [`SingularMatrixError`] when a pivot is (numerically) zero.
+///
+/// # Panics
+///
+/// Panics if `A` is not square or `b.len() != A.rows()`.
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, SingularMatrixError> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "matrix must be square");
+    assert_eq!(b.len(), n, "rhs length must match");
+    // Augmented matrix in row-major.
+    let mut aug: Vec<Vec<f64>> = (0..n)
+        .map(|r| {
+            let mut row = a.row(r).to_vec();
+            row.push(b[r]);
+            row
+        })
+        .collect();
+    for col in 0..n {
+        // Partial pivot.
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| {
+                aug[i][col]
+                    .abs()
+                    .partial_cmp(&aug[j][col].abs())
+                    .expect("finite entries")
+            })
+            .expect("non-empty range");
+        if aug[pivot_row][col].abs() < 1e-12 {
+            return Err(SingularMatrixError);
+        }
+        aug.swap(col, pivot_row);
+        let pivot = aug[col][col];
+        for row in (col + 1)..n {
+            let factor = aug[row][col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..=n {
+                let v = aug[col][k];
+                aug[row][k] -= factor * v;
+            }
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = aug[row][n];
+        for (k, &xk) in x.iter().enumerate().skip(row + 1) {
+            acc -= aug[row][k] * xk;
+        }
+        x[row] = acc / aug[row][row];
+    }
+    Ok(x)
+}
+
+/// Ordinary least squares `min ‖X β − y‖²` via damped normal equations.
+///
+/// A small ridge term `damping` (e.g. `1e-8`) keeps nearly collinear
+/// designs solvable, which happens for ARIMA on short or constant series.
+///
+/// # Errors
+///
+/// Returns [`SingularMatrixError`] if the damped normal matrix is still
+/// singular.
+///
+/// # Panics
+///
+/// Panics if `y.len() != X.rows()`.
+pub fn least_squares(x: &Matrix, y: &[f64], damping: f64) -> Result<Vec<f64>, SingularMatrixError> {
+    assert_eq!(y.len(), x.rows(), "design/response length mismatch");
+    let p = x.cols();
+    // XtX and Xty.
+    let mut xtx = Matrix::zeros(p, p);
+    let mut xty = vec![0.0; p];
+    for r in 0..x.rows() {
+        let row = x.row(r);
+        for i in 0..p {
+            xty[i] += row[i] * y[r];
+            for j in 0..p {
+                let v = xtx.get(i, j) + row[i] * row[j];
+                xtx.set(i, j, v);
+            }
+        }
+    }
+    for i in 0..p {
+        let v = xtx.get(i, i) + damping;
+        xtx.set(i, i, v);
+    }
+    solve(&xtx, &xty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_known_system() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let x = solve(&a, &[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn identity_returns_rhs() {
+        let i = Matrix::identity(4);
+        let b = [1.0, -2.0, 3.0, 0.5];
+        let x = solve(&i, &b).unwrap();
+        for (u, v) in x.iter().zip(&b) {
+            assert!((u - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn detects_singular() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert_eq!(solve(&a, &[1.0, 2.0]), Err(SingularMatrixError));
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = solve(&a, &[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn least_squares_recovers_line() {
+        // y = 3 + 2 t, exactly.
+        let n = 20;
+        let design = Matrix::from_fn(n, 2, |r, c| if c == 0 { 1.0 } else { r as f64 });
+        let y: Vec<f64> = (0..n).map(|t| 3.0 + 2.0 * t as f64).collect();
+        let beta = least_squares(&design, &y, 1e-10).unwrap();
+        assert!((beta[0] - 3.0).abs() < 1e-6);
+        assert!((beta[1] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn least_squares_overdetermined_noisy() {
+        // y = 1.5 t with symmetric noise cancels in expectation.
+        let n = 200;
+        let design = Matrix::from_fn(n, 1, |r, _| r as f64);
+        let y: Vec<f64> = (0..n)
+            .map(|t| 1.5 * t as f64 + if t % 2 == 0 { 0.25 } else { -0.25 })
+            .collect();
+        let beta = least_squares(&design, &y, 1e-8).unwrap();
+        assert!((beta[0] - 1.5).abs() < 1e-3, "beta {}", beta[0]);
+    }
+
+    #[test]
+    fn damping_rescues_collinear_design() {
+        // Two identical columns: raw normal equations singular.
+        let design = Matrix::from_fn(10, 2, |r, _| r as f64 + 1.0);
+        let y: Vec<f64> = (0..10).map(|t| 2.0 * (t as f64 + 1.0)).collect();
+        assert!(least_squares(&design, &y, 0.0).is_err());
+        let beta = least_squares(&design, &y, 1e-6).unwrap();
+        // Split the coefficient between the twin columns.
+        assert!((beta[0] + beta[1] - 2.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,133 @@
+//! Element-wise vector helpers used by the LSTM forward/backward passes.
+
+/// Dot product.
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Element-wise sum `a + b`.
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "add length mismatch");
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+/// In-place `a += b`.
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn add_assign(a: &mut [f64], b: &[f64]) {
+    assert_eq!(a.len(), b.len(), "add_assign length mismatch");
+    for (x, y) in a.iter_mut().zip(b) {
+        *x += y;
+    }
+}
+
+/// In-place `a += b * scale` (axpy).
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn axpy(a: &mut [f64], b: &[f64], scale: f64) {
+    assert_eq!(a.len(), b.len(), "axpy length mismatch");
+    for (x, y) in a.iter_mut().zip(b) {
+        *x += y * scale;
+    }
+}
+
+/// Element-wise (Hadamard) product.
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn hadamard(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "hadamard length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).collect()
+}
+
+/// Euclidean norm.
+pub fn norm(a: &[f64]) -> f64 {
+    a.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Scales `a` in place so its Euclidean norm does not exceed `max_norm` —
+/// global gradient clipping for BPTT stability. Returns the scale applied.
+pub fn clip_norm(a: &mut [f64], max_norm: f64) -> f64 {
+    debug_assert!(max_norm > 0.0);
+    let n = norm(a);
+    if n > max_norm {
+        let s = max_norm / n;
+        for x in a.iter_mut() {
+            *x *= s;
+        }
+        s
+    } else {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_known() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn add_and_assign_agree() {
+        let a = [1.0, 2.0];
+        let b = [3.0, 5.0];
+        let summed = add(&a, &b);
+        let mut inplace = a;
+        add_assign(&mut inplace, &b);
+        assert_eq!(summed, inplace.to_vec());
+        assert_eq!(summed, vec![4.0, 7.0]);
+    }
+
+    #[test]
+    fn axpy_known() {
+        let mut a = [1.0, 1.0];
+        axpy(&mut a, &[2.0, 3.0], 0.5);
+        assert_eq!(a, [2.0, 2.5]);
+    }
+
+    #[test]
+    fn hadamard_known() {
+        assert_eq!(hadamard(&[1.0, 2.0], &[3.0, 4.0]), vec![3.0, 8.0]);
+    }
+
+    #[test]
+    fn norm_known() {
+        assert_eq!(norm(&[3.0, 4.0]), 5.0);
+        assert_eq!(norm(&[]), 0.0);
+    }
+
+    #[test]
+    fn clip_norm_only_when_needed() {
+        let mut a = [3.0, 4.0];
+        let s = clip_norm(&mut a, 10.0);
+        assert_eq!(s, 1.0);
+        assert_eq!(a, [3.0, 4.0]);
+        let s = clip_norm(&mut a, 1.0);
+        assert!((s - 0.2).abs() < 1e-12);
+        assert!((norm(&a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_mismatch_panics() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,92 @@
+//! Cost accounting shared by all placement algorithms.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::Add;
+
+/// The two conflicting cost components of PLP, both expressed in meters of
+/// equivalent walking distance (the paper converts monetary space cost into
+/// walking distance, "e.g. 1 $ equal to 1000 m").
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PlacementCost {
+    /// User dissatisfaction: Σ aⱼ · d(i, j) over assigned destinations.
+    pub walking: f64,
+    /// Space occupation: Σ fᵢ over established parking locations.
+    pub space: f64,
+}
+
+impl PlacementCost {
+    /// Zero cost.
+    pub const ZERO: PlacementCost = PlacementCost {
+        walking: 0.0,
+        space: 0.0,
+    };
+
+    /// Creates a cost from its components.
+    pub fn new(walking: f64, space: f64) -> Self {
+        PlacementCost { walking, space }
+    }
+
+    /// The optimization objective: `walking + space` (Eq. 1).
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.walking + self.space
+    }
+}
+
+impl Add for PlacementCost {
+    type Output = PlacementCost;
+    fn add(self, rhs: PlacementCost) -> PlacementCost {
+        PlacementCost {
+            walking: self.walking + rhs.walking,
+            space: self.space + rhs.space,
+        }
+    }
+}
+
+impl Sum for PlacementCost {
+    fn sum<I: Iterator<Item = PlacementCost>>(iter: I) -> Self {
+        iter.fold(PlacementCost::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for PlacementCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "walking={:.1} space={:.1} total={:.1}",
+            self.walking,
+            self.space,
+            self.total()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_is_sum() {
+        let c = PlacementCost::new(10.0, 5.0);
+        assert_eq!(c.total(), 15.0);
+        assert_eq!(PlacementCost::ZERO.total(), 0.0);
+    }
+
+    #[test]
+    fn add_and_sum() {
+        let a = PlacementCost::new(1.0, 2.0);
+        let b = PlacementCost::new(3.0, 4.0);
+        assert_eq!(a + b, PlacementCost::new(4.0, 6.0));
+        let s: PlacementCost = [a, b, a].into_iter().sum();
+        assert_eq!(s, PlacementCost::new(5.0, 8.0));
+    }
+
+    #[test]
+    fn display_shows_all_components() {
+        let c = PlacementCost::new(1.0, 2.0);
+        let s = c.to_string();
+        assert!(s.contains("walking") && s.contains("space") && s.contains("total"));
+    }
+}

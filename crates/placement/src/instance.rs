@@ -1,0 +1,289 @@
+//! The PLP problem instance and solutions over it.
+
+use crate::PlacementCost;
+use esharing_geo::Point;
+use serde::{Deserialize, Serialize};
+
+/// A Parking Location Placement instance.
+///
+/// Clients are grid centroids with arrival weights `a_j`; candidate
+/// facility sites coincide with the client sites (the paper selects
+/// `P ⊆ N` among the grid locations). Connection cost is
+/// `c_ij = a_j · d(i, j)` and opening site `i` costs `f_i`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlpInstance {
+    clients: Vec<Point>,
+    weights: Vec<f64>,
+    opening_costs: Vec<f64>,
+}
+
+impl PlpInstance {
+    /// Instance with unit client weights and a uniform opening cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clients` is empty or `opening_cost` is not positive and
+    /// finite.
+    pub fn with_uniform_cost(clients: Vec<Point>, opening_cost: f64) -> Self {
+        let n = clients.len();
+        Self::new(clients, vec![1.0; n], vec![opening_cost; n])
+    }
+
+    /// Fully general instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have mismatched lengths, are empty, or contain
+    /// non-positive/non-finite weights or opening costs.
+    pub fn new(clients: Vec<Point>, weights: Vec<f64>, opening_costs: Vec<f64>) -> Self {
+        assert!(!clients.is_empty(), "instance needs at least one client");
+        assert_eq!(clients.len(), weights.len(), "weights length mismatch");
+        assert_eq!(
+            clients.len(),
+            opening_costs.len(),
+            "opening costs length mismatch"
+        );
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w > 0.0),
+            "weights must be positive and finite"
+        );
+        assert!(
+            opening_costs.iter().all(|f| f.is_finite() && *f > 0.0),
+            "opening costs must be positive and finite"
+        );
+        assert!(
+            clients.iter().all(|p| p.is_finite()),
+            "client locations must be finite"
+        );
+        PlpInstance {
+            clients,
+            weights,
+            opening_costs,
+        }
+    }
+
+    /// Builds an instance from `(centroid, arrival_count)` pairs (the
+    /// output of grid binning) and a uniform opening cost.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`PlpInstance::new`].
+    pub fn from_weighted_centroids(pairs: &[(Point, u64)], opening_cost: f64) -> Self {
+        let clients: Vec<Point> = pairs.iter().map(|&(p, _)| p).collect();
+        let weights: Vec<f64> = pairs.iter().map(|&(_, w)| w.max(1) as f64).collect();
+        let n = clients.len();
+        Self::new(clients, weights, vec![opening_cost; n])
+    }
+
+    /// Number of clients (= candidate sites).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Whether the instance is empty (never true once constructed).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.clients.is_empty()
+    }
+
+    /// Client locations.
+    pub fn clients(&self) -> &[Point] {
+        &self.clients
+    }
+
+    /// Arrival weights `a_j`.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Opening costs `f_i` per candidate site.
+    pub fn opening_costs(&self) -> &[f64] {
+        &self.opening_costs
+    }
+
+    /// Connection cost `c_ij = a_j · d(i, j)` between candidate site `i`
+    /// and client `j`.
+    #[inline]
+    pub fn connection_cost(&self, site: usize, client: usize) -> f64 {
+        self.weights[client] * self.clients[site].distance(self.clients[client])
+    }
+
+    /// Evaluates a solution: each client pays the connection cost to its
+    /// assigned facility, each distinct open facility pays its opening
+    /// cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the solution's shape does not match the instance.
+    pub fn cost_of(&self, solution: &Solution) -> PlacementCost {
+        assert_eq!(
+            solution.assignment.len(),
+            self.clients.len(),
+            "assignment length mismatch"
+        );
+        let mut walking = 0.0;
+        for (client, &fac) in solution.assignment.iter().enumerate() {
+            assert!(
+                solution.open.contains(&fac),
+                "client {client} assigned to closed facility {fac}"
+            );
+            walking += self.connection_cost(fac, client);
+        }
+        let space: f64 = solution.open.iter().map(|&i| self.opening_costs[i]).sum();
+        PlacementCost { walking, space }
+    }
+
+    /// The best achievable cost for a *given* set of open sites: assigns
+    /// every client to its nearest open facility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `open` is empty or contains out-of-range indices.
+    pub fn assign_nearest(&self, open: &[usize]) -> Solution {
+        assert!(!open.is_empty(), "need at least one open facility");
+        let assignment: Vec<usize> = self
+            .clients
+            .iter()
+            .map(|&c| {
+                *open
+                    .iter()
+                    .min_by(|&&a, &&b| {
+                        let da = self.clients[a].distance(c);
+                        let db = self.clients[b].distance(c);
+                        da.partial_cmp(&db).expect("finite distances")
+                    })
+                    .expect("non-empty open set")
+            })
+            .collect();
+        Solution {
+            open: open.to_vec(),
+            assignment,
+        }
+    }
+}
+
+/// A feasible PLP solution: the set of open candidate-site indices and a
+/// per-client assignment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Solution {
+    /// Indices of open facilities (candidate sites).
+    pub open: Vec<usize>,
+    /// `assignment[j]` = open facility serving client `j`.
+    pub assignment: Vec<usize>,
+}
+
+impl Solution {
+    /// Indices of the open facilities.
+    pub fn open_facilities(&self) -> &[usize] {
+        &self.open
+    }
+
+    /// Locations of the open facilities within `instance`.
+    pub fn facility_points(&self, instance: &PlpInstance) -> Vec<Point> {
+        self.open.iter().map(|&i| instance.clients()[i]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_instance() -> PlpInstance {
+        PlpInstance::with_uniform_cost(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(100.0, 0.0),
+                Point::new(0.0, 100.0),
+                Point::new(100.0, 100.0),
+            ],
+            50.0,
+        )
+    }
+
+    #[test]
+    fn construction_validations() {
+        assert_eq!(square_instance().len(), 4);
+        assert!(!square_instance().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client")]
+    fn empty_clients_panic() {
+        let _ = PlpInstance::with_uniform_cost(vec![], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_opening_cost_panics() {
+        let _ = PlpInstance::with_uniform_cost(vec![Point::ORIGIN], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be positive")]
+    fn negative_weight_panics() {
+        let _ = PlpInstance::new(vec![Point::ORIGIN], vec![-1.0], vec![1.0]);
+    }
+
+    #[test]
+    fn connection_cost_weighted() {
+        let inst = PlpInstance::new(
+            vec![Point::new(0.0, 0.0), Point::new(30.0, 40.0)],
+            vec![1.0, 3.0],
+            vec![10.0, 10.0],
+        );
+        assert_eq!(inst.connection_cost(0, 1), 150.0); // 3 * 50
+        assert_eq!(inst.connection_cost(1, 0), 50.0); // 1 * 50
+        assert_eq!(inst.connection_cost(0, 0), 0.0);
+    }
+
+    #[test]
+    fn cost_of_single_facility() {
+        let inst = square_instance();
+        let sol = inst.assign_nearest(&[0]);
+        let cost = inst.cost_of(&sol);
+        assert_eq!(cost.space, 50.0);
+        // Distances: 0 + 100 + 100 + 141.42.
+        assert!((cost.walking - (200.0 + 100.0 * 2f64.sqrt())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn assign_nearest_is_optimal_assignment() {
+        let inst = square_instance();
+        let sol = inst.assign_nearest(&[0, 3]);
+        assert_eq!(sol.assignment[0], 0);
+        assert_eq!(sol.assignment[3], 3);
+        // Corner clients split between the two diagonal facilities.
+        let cost = inst.cost_of(&sol);
+        assert_eq!(cost.space, 100.0);
+        assert_eq!(cost.walking, 200.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "closed facility")]
+    fn cost_rejects_assignment_to_closed() {
+        let inst = square_instance();
+        let bad = Solution {
+            open: vec![0],
+            assignment: vec![0, 0, 0, 3],
+        };
+        let _ = inst.cost_of(&bad);
+    }
+
+    #[test]
+    fn from_weighted_centroids_clamps_zero() {
+        let inst = PlpInstance::from_weighted_centroids(
+            &[(Point::ORIGIN, 0), (Point::new(1.0, 0.0), 5)],
+            10.0,
+        );
+        assert_eq!(inst.weights(), &[1.0, 5.0]);
+    }
+
+    #[test]
+    fn facility_points_map_indices() {
+        let inst = square_instance();
+        let sol = inst.assign_nearest(&[1, 2]);
+        let pts = sol.facility_points(&inst);
+        assert_eq!(pts, vec![Point::new(100.0, 0.0), Point::new(0.0, 100.0)]);
+    }
+}

@@ -1,0 +1,55 @@
+//! # esharing-placement
+//!
+//! Tier 1 of the E-Sharing framework: the **Parking Location Placement
+//! (PLP)** problem and its solvers.
+//!
+//! PLP minimizes, over a time window, the sum of *user dissatisfaction*
+//! (walking distance from each destination to its assigned parking,
+//! weighted by arrivals) and *space occupation* (an opening cost per
+//! established parking) — an uncapacitated facility-location problem
+//! (Eq. 1 of the paper, NP-hard). This crate implements every algorithm
+//! the paper evaluates:
+//!
+//! * [`offline::jms_greedy`] — the 1.61-factor greedy of Jain et al.
+//!   (Algorithm 1), the near-optimal offline reference,
+//! * [`online::Meyerson`] — Meyerson's online facility location baseline,
+//! * [`online::OnlineKMeans`] — the online k-means baseline of Liberty,
+//!   Sriharsha & Sviridenko,
+//! * [`online::DeviationPenalty`] — the paper's contribution (Algorithm 2):
+//!   an online algorithm guided by the offline solution through deviation
+//!   penalty functions ([`penalty::PenaltyFunction`], Types I–III) and a
+//!   periodic 2-D KS test that switches the active penalty type,
+//! * [`PlpInstance`]/[`Solution`]/[`PlacementCost`] — shared problem and
+//!   cost accounting.
+//!
+//! # Examples
+//!
+//! ```
+//! use esharing_geo::Point;
+//! use esharing_placement::{offline, PlpInstance};
+//!
+//! // Two tight clusters; opening a parking in each is optimal.
+//! let clients = vec![
+//!     Point::new(0.0, 0.0),
+//!     Point::new(10.0, 0.0),
+//!     Point::new(1000.0, 1000.0),
+//!     Point::new(1010.0, 1000.0),
+//! ];
+//! let instance = PlpInstance::with_uniform_cost(clients, 100.0);
+//! let solution = offline::jms_greedy(&instance);
+//! assert_eq!(solution.open_facilities().len(), 2);
+//! let cost = instance.cost_of(&solution);
+//! assert_eq!(cost.space, 200.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cost;
+mod instance;
+pub mod offline;
+pub mod online;
+pub mod penalty;
+
+pub use cost::PlacementCost;
+pub use instance::{PlpInstance, Solution};

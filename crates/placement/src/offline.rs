@@ -1,0 +1,269 @@
+//! The 1.61-factor offline placement algorithm (Algorithm 1).
+//!
+//! This is the greedy facility-location algorithm of Jain, Mahdian,
+//! Markakis, Saberi & Vazirani (JACM 2003), analyzed by dual fitting to a
+//! 1.61 approximation factor — "very close to the theoretical
+//! inapproximation bound 1.46" (§III-B). At every step it selects the
+//! candidate site `i*` with the smallest *average* marginal cost
+//!
+//! ```text
+//! i* = argmin_i [ Σ_{j∈B_i} c_ij + f_i − Σ_{j∈B'_i} (c_{i'j} − c_ij) ] / |B_i|
+//! ```
+//!
+//! where `B_i` is an optimally chosen set of still-unconnected clients and
+//! `B'_i` the already-connected clients that would *save* cost by switching
+//! from their current facility `i'` to `i` (the switching credit reduces
+//! `i`'s effective opening cost). Already-open facilities can absorb more
+//! clients at zero reopening cost. The loop ends when every client is
+//! connected; a final pass drops facilities that lost all their clients to
+//! switches and reassigns every client to its nearest open facility (both
+//! steps only reduce cost).
+
+use crate::{PlpInstance, Solution};
+
+/// Runs Algorithm 1 on `instance` and returns the greedy solution.
+///
+/// Runs in `O(n³ log n)` time for `n` clients, matching the `O(N³)` bound
+/// stated in the paper.
+///
+/// # Examples
+///
+/// ```
+/// use esharing_geo::Point;
+/// use esharing_placement::{offline, PlpInstance};
+///
+/// let instance = PlpInstance::with_uniform_cost(
+///     vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(900.0, 0.0)],
+///     10.0,
+/// );
+/// let solution = offline::jms_greedy(&instance);
+/// // The two nearby clients share one parking; the distant one gets its own.
+/// assert_eq!(solution.open_facilities().len(), 2);
+/// ```
+pub fn jms_greedy(instance: &PlpInstance) -> Solution {
+    let n = instance.len();
+    let mut connected: Vec<Option<usize>> = vec![None; n]; // client -> facility
+    let mut open = vec![false; n];
+    let mut unconnected: Vec<usize> = (0..n).collect();
+
+    while !unconnected.is_empty() {
+        let mut best: Option<(f64, usize, usize)> = None; // (ratio, site, prefix len)
+        for site in 0..n {
+            let effective_f = if open[site] {
+                0.0
+            } else {
+                instance.opening_costs()[site]
+            };
+            // Switching credit from already-connected clients.
+            let mut credit = 0.0;
+            for (client, conn) in connected.iter().enumerate() {
+                if let Some(current) = conn {
+                    let now = instance.connection_cost(*current, client);
+                    let alt = instance.connection_cost(site, client);
+                    if alt < now {
+                        credit += now - alt;
+                    }
+                }
+            }
+            // Optimal unconnected prefix by ascending connection cost.
+            let mut costs: Vec<f64> = unconnected
+                .iter()
+                .map(|&j| instance.connection_cost(site, j))
+                .collect();
+            costs.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite costs"));
+            let mut running = effective_f - credit;
+            for (k, c) in costs.iter().enumerate() {
+                running += c;
+                let ratio = running / (k + 1) as f64;
+                if best.map_or(true, |(b, _, _)| ratio < b) {
+                    best = Some((ratio, site, k + 1));
+                }
+            }
+        }
+        let (_, site, prefix) = best.expect("unconnected set is non-empty");
+        // Deploy: connect the `prefix` cheapest unconnected clients and
+        // switch every connected client that saves by moving.
+        open[site] = true;
+        let mut ordered: Vec<usize> = unconnected.clone();
+        ordered.sort_unstable_by(|&a, &b| {
+            instance
+                .connection_cost(site, a)
+                .partial_cmp(&instance.connection_cost(site, b))
+                .expect("finite costs")
+        });
+        for &client in ordered.iter().take(prefix) {
+            connected[client] = Some(site);
+        }
+        for (client, conn) in connected.iter_mut().enumerate() {
+            if let Some(current) = conn {
+                if instance.connection_cost(site, client)
+                    < instance.connection_cost(*current, client)
+                {
+                    *conn = Some(site);
+                }
+            }
+        }
+        unconnected.retain(|&j| connected[j].is_none());
+    }
+
+    // Keep only facilities still serving someone, then let every client
+    // take its nearest open facility (both steps are cost-non-increasing).
+    let mut serving = vec![false; n];
+    for conn in connected.iter().flatten() {
+        serving[*conn] = true;
+    }
+    let open_sites: Vec<usize> = (0..n).filter(|&i| open[i] && serving[i]).collect();
+    instance.assign_nearest(&open_sites)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esharing_geo::Point;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn uniform_points(n: usize, side: f64, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side)))
+            .collect()
+    }
+
+    /// Exhaustive optimum by enumerating every subset of open sites
+    /// (only usable for tiny instances).
+    fn brute_force_optimum(instance: &PlpInstance) -> f64 {
+        let n = instance.len();
+        assert!(n <= 12, "brute force only for tiny instances");
+        let mut best = f64::INFINITY;
+        for mask in 1u32..(1 << n) {
+            let open: Vec<usize> = (0..n).filter(|&i| mask & (1 << i) != 0).collect();
+            let sol = instance.assign_nearest(&open);
+            best = best.min(instance.cost_of(&sol).total());
+        }
+        best
+    }
+
+    #[test]
+    fn single_client_opens_its_site() {
+        let inst = PlpInstance::with_uniform_cost(vec![Point::new(5.0, 5.0)], 10.0);
+        let sol = jms_greedy(&inst);
+        assert_eq!(sol.open_facilities(), &[0]);
+        assert_eq!(inst.cost_of(&sol).walking, 0.0);
+        assert_eq!(inst.cost_of(&sol).space, 10.0);
+    }
+
+    #[test]
+    fn clusters_get_one_facility_each() {
+        let mut clients = Vec::new();
+        for cluster in 0..3 {
+            let cx = cluster as f64 * 2000.0;
+            for k in 0..5 {
+                clients.push(Point::new(cx + k as f64 * 10.0, 0.0));
+            }
+        }
+        let inst = PlpInstance::with_uniform_cost(clients, 300.0);
+        let sol = jms_greedy(&inst);
+        assert_eq!(sol.open_facilities().len(), 3);
+        // Every client within its own cluster.
+        let cost = inst.cost_of(&sol);
+        assert!(cost.walking < 5.0 * 3.0 * 40.0);
+    }
+
+    #[test]
+    fn expensive_opening_collapses_to_one() {
+        let clients = uniform_points(20, 100.0, 1);
+        let inst = PlpInstance::with_uniform_cost(clients, 1e7);
+        let sol = jms_greedy(&inst);
+        assert_eq!(sol.open_facilities().len(), 1);
+    }
+
+    #[test]
+    fn cheap_opening_opens_everywhere() {
+        let clients = uniform_points(15, 10_000.0, 2);
+        let inst = PlpInstance::with_uniform_cost(clients, 1e-3);
+        let sol = jms_greedy(&inst);
+        assert_eq!(sol.open_facilities().len(), 15);
+        assert_eq!(inst.cost_of(&sol).walking, 0.0);
+    }
+
+    #[test]
+    fn every_client_assigned_to_open_facility() {
+        let clients = uniform_points(60, 1000.0, 3);
+        let inst = PlpInstance::with_uniform_cost(clients, 800.0);
+        let sol = jms_greedy(&inst);
+        assert_eq!(sol.assignment.len(), 60);
+        for &f in &sol.assignment {
+            assert!(sol.open.contains(&f));
+        }
+        // Nearest-assignment invariant.
+        for (j, &f) in sol.assignment.iter().enumerate() {
+            let d = inst.clients()[f].distance(inst.clients()[j]);
+            for &o in &sol.open {
+                assert!(
+                    inst.clients()[o].distance(inst.clients()[j]) >= d - 1e-9,
+                    "client {j} not at nearest facility"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn within_factor_of_bruteforce_optimum() {
+        // The 1.61 guarantee, with slack for the final reassignment: check
+        // against exhaustive optima on several tiny random instances.
+        for seed in 0..6 {
+            let clients = uniform_points(9, 500.0, 100 + seed);
+            let inst = PlpInstance::with_uniform_cost(clients, 150.0);
+            let greedy = inst.cost_of(&jms_greedy(&inst)).total();
+            let opt = brute_force_optimum(&inst);
+            assert!(
+                greedy <= 1.61 * opt + 1e-9,
+                "seed {seed}: greedy {greedy} vs opt {opt}"
+            );
+            assert!(greedy >= opt - 1e-9);
+        }
+    }
+
+    #[test]
+    fn weighted_clients_pull_facilities() {
+        // With one facility worth opening, the greedy places it at the
+        // heavy client's site: serving the heavy client remotely would
+        // cost 50 x 300 = 15000, serving the light one costs 300.
+        let clients = vec![Point::new(0.0, 0.0), Point::new(300.0, 0.0)];
+        let light = PlpInstance::new(clients.clone(), vec![1.0, 1.0], vec![400.0, 400.0]);
+        let heavy = PlpInstance::new(clients, vec![1.0, 50.0], vec![400.0, 400.0]);
+        assert_eq!(jms_greedy(&light).open_facilities().len(), 1);
+        let sol = jms_greedy(&heavy);
+        assert_eq!(sol.open_facilities(), &[1], "facility must sit at the heavy client");
+        assert_eq!(heavy.cost_of(&sol).walking, 300.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let clients = uniform_points(40, 1000.0, 9);
+        let inst = PlpInstance::with_uniform_cost(clients, 500.0);
+        assert_eq!(jms_greedy(&inst), jms_greedy(&inst));
+    }
+
+    #[test]
+    fn matches_paper_scale_on_100_random_arrivals() {
+        // Fig. 4(a): 100 random arrivals in a 1000x1000 field with a space
+        // cost of 5000 per station -> ~5 stations, total cost ~42k. Exact
+        // numbers depend on the draw; assert the paper's *scale*.
+        let clients = uniform_points(100, 1000.0, 4);
+        let inst = PlpInstance::with_uniform_cost(clients, 5000.0);
+        let sol = jms_greedy(&inst);
+        let cost = inst.cost_of(&sol);
+        let stations = sol.open_facilities().len();
+        assert!(
+            (3..=8).contains(&stations),
+            "station count {stations} outside Fig 4(a) band"
+        );
+        assert!(
+            (30_000.0..=55_000.0).contains(&cost.total()),
+            "total cost {} outside Fig 4(a) band",
+            cost.total()
+        );
+    }
+}

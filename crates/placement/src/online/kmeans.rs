@@ -1,0 +1,275 @@
+//! Online k-means clustering baseline.
+//!
+//! The algorithm of Liberty, Sriharsha & Sviridenko (ALENEX'16) adapts
+//! Meyerson's scheme to k-means: a point at squared distance `D²` from the
+//! current centers becomes a new center with probability `min(D²/f_r, 1)`;
+//! after every `q_max` new centers the phase advances and the notional
+//! facility cost `f` doubles, which bounds the number of centers at
+//! `O(k log n)`. The paper evaluates it under the PLP objective (walking
+//! distance + space occupation), where its eagerness to open centers makes
+//! it the weakest baseline (Table V).
+
+use super::{Decision, OnlinePlacement};
+use crate::PlacementCost;
+use esharing_geo::{NearestNeighborIndex, Point};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Online k-means clustering (Liberty et al.), accounted under the PLP
+/// cost model.
+#[derive(Debug)]
+pub struct OnlineKMeans {
+    /// Target number of clusters `k`.
+    k: usize,
+    /// PLP space-occupation cost charged per opened center.
+    space_cost: f64,
+    /// Phase-doubling trigger: number of openings per phase,
+    /// `q_max = ⌈3k(1 + ln n)⌉` in the original analysis.
+    q_max: usize,
+    /// Current notional facility cost `f_r` (squared meters).
+    f: f64,
+    /// Openings in the current phase.
+    q: usize,
+    /// Seed buffer for the initialization phase (first k+1 points).
+    seed_buffer: Vec<Point>,
+    index: NearestNeighborIndex,
+    rng: StdRng,
+    cost: PlacementCost,
+}
+
+impl OnlineKMeans {
+    /// Creates the algorithm.
+    ///
+    /// * `k` — target cluster count,
+    /// * `n_hint` — expected stream length (sets the phase length),
+    /// * `space_cost` — PLP cost charged per opened center,
+    /// * `seed` — RNG seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, `n_hint == 0`, or `space_cost` is not positive.
+    pub fn new(k: usize, n_hint: usize, space_cost: f64, seed: u64) -> Self {
+        assert!(k > 0, "k must be positive");
+        assert!(n_hint > 0, "n_hint must be positive");
+        assert!(
+            space_cost.is_finite() && space_cost > 0.0,
+            "space cost must be positive"
+        );
+        let q_max = (3.0 * k as f64 * (1.0 + (n_hint as f64).ln())).ceil() as usize;
+        OnlineKMeans {
+            k,
+            space_cost,
+            q_max: q_max.max(1),
+            f: 0.0,
+            q: 0,
+            seed_buffer: Vec::with_capacity(k + 1),
+            index: NearestNeighborIndex::new(space_cost.sqrt().max(50.0)),
+            rng: StdRng::seed_from_u64(seed),
+            cost: PlacementCost::ZERO,
+        }
+    }
+
+    /// Target cluster count `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Overrides the phase length (openings between cost doublings). The
+    /// original analysis uses `⌈3k(1+ln n)⌉`, which tolerates `O(k log n)`
+    /// centers — appropriate for the k-means objective but generous under
+    /// the PLP cost model; experiments may tighten it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q_max == 0`.
+    pub fn with_phase_length(mut self, q_max: usize) -> Self {
+        assert!(q_max > 0, "phase length must be positive");
+        self.q_max = q_max;
+        self
+    }
+
+    /// Current notional facility cost `f_r`.
+    pub fn current_f(&self) -> f64 {
+        self.f
+    }
+
+    fn open(&mut self, p: Point) -> Decision {
+        self.index.insert(p);
+        self.cost.space += self.space_cost;
+        self.q += 1;
+        if self.q >= self.q_max {
+            self.q = 0;
+            self.f *= 2.0;
+        }
+        Decision::Opened { station: p }
+    }
+}
+
+impl OnlinePlacement for OnlineKMeans {
+    fn handle(&mut self, destination: Point) -> Decision {
+        // Initialization: the first k+1 points all become centers; w* is
+        // half the smallest pairwise squared distance among them and seeds
+        // f_1 = w*/k.
+        if self.seed_buffer.len() <= self.k {
+            self.seed_buffer.push(destination);
+            if self.seed_buffer.len() == self.k + 1 {
+                let mut w_star = f64::INFINITY;
+                for i in 0..self.seed_buffer.len() {
+                    for j in (i + 1)..self.seed_buffer.len() {
+                        let d2 = self.seed_buffer[i].distance_squared(self.seed_buffer[j]);
+                        if d2 > 0.0 {
+                            w_star = w_star.min(d2);
+                        }
+                    }
+                }
+                if !w_star.is_finite() {
+                    // All duplicates; any positive value works.
+                    w_star = 1.0;
+                }
+                self.f = w_star / (2.0 * self.k as f64);
+            }
+            return self.open(destination);
+        }
+        let (nearest, d) = self
+            .index
+            .nearest(destination)
+            .expect("seed phase opened centers");
+        let p = (d * d / self.f).min(1.0);
+        if self.rng.gen_range(0.0..1.0) < p {
+            self.open(destination)
+        } else {
+            self.cost.walking += d;
+            Decision::Assigned {
+                station: nearest,
+                walking: d,
+            }
+        }
+    }
+
+    fn stations(&self) -> Vec<Point> {
+        self.index.iter().collect()
+    }
+
+    fn cost(&self) -> PlacementCost {
+        self.cost
+    }
+
+    fn name(&self) -> String {
+        format!("Online k-means(k={})", self.k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn uniform_stream(n: usize, side: f64, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side)))
+            .collect()
+    }
+
+    #[test]
+    fn first_k_plus_one_all_open() {
+        let mut alg = OnlineKMeans::new(3, 100, 1000.0, 1);
+        for (i, p) in uniform_stream(4, 1000.0, 2).into_iter().enumerate() {
+            let d = alg.handle(p);
+            assert!(d.opened(), "seed point {i} must open");
+        }
+        assert_eq!(alg.stations().len(), 4);
+        assert!(alg.current_f() > 0.0);
+    }
+
+    #[test]
+    fn duplicate_points_never_reopen_after_seed() {
+        let mut alg = OnlineKMeans::new(2, 100, 1000.0, 3);
+        let stream = uniform_stream(3, 1000.0, 4);
+        for p in stream.iter().copied() {
+            alg.handle(p);
+        }
+        for _ in 0..50 {
+            let d = alg.handle(stream[0]);
+            assert!(!d.opened());
+        }
+    }
+
+    #[test]
+    fn f_doubles_after_phase() {
+        let mut alg = OnlineKMeans::new(1, 3, 100.0, 5);
+        // q_max = ceil(3 * 1 * (1 + ln 3)) = ceil(6.29) = 7.
+        assert_eq!(alg.q_max, 7);
+        // Feed widely separated points so openings are certain.
+        let mut expected_f = None;
+        for i in 0..20 {
+            let p = Point::new(i as f64 * 1e6, 0.0);
+            alg.handle(p);
+            if i == 1 {
+                expected_f = Some(alg.current_f());
+            }
+        }
+        // After enough openings at least one doubling must have happened.
+        assert!(alg.current_f() > expected_f.unwrap());
+    }
+
+    #[test]
+    fn opens_more_than_meyerson_on_uniform_stream() {
+        // Table V/Fig 10: online k-means establishes the most stations.
+        use crate::online::Meyerson;
+        let stream = uniform_stream(300, 1000.0, 6);
+        let mut totals_km = 0.0;
+        let mut totals_me = 0.0;
+        for seed in 0..10 {
+            let mut km = OnlineKMeans::new(5, 300, 5000.0, seed);
+            km.run(stream.iter().copied());
+            totals_km += km.stations().len() as f64;
+            let mut me = Meyerson::new(5000.0, seed);
+            me.run(stream.iter().copied());
+            totals_me += me.stations().len() as f64;
+        }
+        assert!(
+            totals_km > totals_me,
+            "k-means opened {totals_km}, Meyerson {totals_me}"
+        );
+    }
+
+    #[test]
+    fn cost_accounting_consistent() {
+        let mut alg = OnlineKMeans::new(4, 200, 2500.0, 7);
+        let mut expected = PlacementCost::ZERO;
+        for p in uniform_stream(200, 800.0, 8) {
+            match alg.handle(p) {
+                Decision::Opened { .. } => expected.space += 2500.0,
+                Decision::Assigned { walking, .. } => expected.walking += walking,
+            }
+        }
+        assert_eq!(alg.cost(), expected);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let stream = uniform_stream(150, 600.0, 9);
+        let mut a = OnlineKMeans::new(3, 150, 1000.0, 11);
+        let mut b = OnlineKMeans::new(3, 150, 1000.0, 11);
+        assert_eq!(a.run(stream.iter().copied()), b.run(stream.iter().copied()));
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn rejects_zero_k() {
+        let _ = OnlineKMeans::new(0, 10, 1.0, 1);
+    }
+
+    #[test]
+    fn all_duplicate_seed_points_handled() {
+        let mut alg = OnlineKMeans::new(2, 50, 100.0, 12);
+        let p = Point::new(5.0, 5.0);
+        for _ in 0..10 {
+            alg.handle(p);
+        }
+        // Seed phase opens 3 (k+1); afterwards d=0 so no more opens.
+        assert_eq!(alg.stations().len(), 3);
+    }
+}

@@ -1,0 +1,207 @@
+//! Meyerson's randomized online facility location.
+//!
+//! For each arriving request at distance `d` from the nearest open
+//! facility, a new facility is opened at the request with probability
+//! `min(d / f, 1)`, otherwise the request is assigned to the nearest
+//! facility. Meyerson (FOCS'01) shows this is O(1)-competitive on random
+//! order streams and O(log n)-competitive adversarially; the paper uses it
+//! as the main online baseline and §III-C shows it "tends to establish more
+//! stations than ours but some of them are redundant".
+
+use super::{Decision, OnlinePlacement};
+use crate::PlacementCost;
+use esharing_geo::{NearestNeighborIndex, Point};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Meyerson's online facility location algorithm.
+///
+/// # Examples
+///
+/// ```
+/// use esharing_geo::Point;
+/// use esharing_placement::online::{Meyerson, OnlinePlacement};
+///
+/// let mut alg = Meyerson::new(5_000.0, 42);
+/// let cost = alg.run((0..100).map(|i| Point::new((i * 37 % 1000) as f64, (i * 91 % 1000) as f64)));
+/// assert!(cost.total() > 0.0);
+/// assert!(!alg.stations().is_empty());
+/// ```
+#[derive(Debug)]
+pub struct Meyerson {
+    opening_cost: f64,
+    index: NearestNeighborIndex,
+    rng: StdRng,
+    cost: PlacementCost,
+}
+
+impl Meyerson {
+    /// Creates the algorithm with a uniform facility cost `f` (meters of
+    /// equivalent walking distance) and an RNG seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `opening_cost` is not positive and finite.
+    pub fn new(opening_cost: f64, seed: u64) -> Self {
+        assert!(
+            opening_cost.is_finite() && opening_cost > 0.0,
+            "opening cost must be positive"
+        );
+        Meyerson {
+            opening_cost,
+            index: NearestNeighborIndex::new(opening_cost.sqrt().max(50.0)),
+            rng: StdRng::seed_from_u64(seed),
+            cost: PlacementCost::ZERO,
+        }
+    }
+
+    /// The uniform opening cost `f`.
+    pub fn opening_cost(&self) -> f64 {
+        self.opening_cost
+    }
+}
+
+impl OnlinePlacement for Meyerson {
+    fn handle(&mut self, destination: Point) -> Decision {
+        match self.index.nearest(destination) {
+            None => {
+                // First request always opens.
+                self.index.insert(destination);
+                self.cost.space += self.opening_cost;
+                Decision::Opened {
+                    station: destination,
+                }
+            }
+            Some((nearest, d)) => {
+                let p = (d / self.opening_cost).min(1.0);
+                if self.rng.gen_range(0.0..1.0) < p {
+                    self.index.insert(destination);
+                    self.cost.space += self.opening_cost;
+                    Decision::Opened {
+                        station: destination,
+                    }
+                } else {
+                    self.cost.walking += d;
+                    Decision::Assigned {
+                        station: nearest,
+                        walking: d,
+                    }
+                }
+            }
+        }
+    }
+
+    fn stations(&self) -> Vec<Point> {
+        self.index.iter().collect()
+    }
+
+    fn cost(&self) -> PlacementCost {
+        self.cost
+    }
+
+    fn name(&self) -> String {
+        "Meyerson".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn uniform_stream(n: usize, side: f64, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side)))
+            .collect()
+    }
+
+    #[test]
+    fn first_request_opens() {
+        let mut alg = Meyerson::new(1000.0, 1);
+        let d = alg.handle(Point::new(5.0, 5.0));
+        assert!(d.opened());
+        assert_eq!(alg.stations().len(), 1);
+        assert_eq!(alg.cost().space, 1000.0);
+        assert_eq!(alg.cost().walking, 0.0);
+    }
+
+    #[test]
+    fn duplicate_requests_never_reopen() {
+        let mut alg = Meyerson::new(1000.0, 2);
+        let p = Point::new(5.0, 5.0);
+        for _ in 0..50 {
+            alg.handle(p);
+        }
+        // d = 0 after the first open, so the opening probability is 0.
+        assert_eq!(alg.stations().len(), 1);
+        assert_eq!(alg.cost().walking, 0.0);
+    }
+
+    #[test]
+    fn far_requests_open_deterministically() {
+        // d > f forces probability 1.
+        let mut alg = Meyerson::new(100.0, 3);
+        alg.handle(Point::new(0.0, 0.0));
+        let d = alg.handle(Point::new(10_000.0, 0.0));
+        assert!(d.opened());
+        assert_eq!(alg.stations().len(), 2);
+    }
+
+    #[test]
+    fn accumulates_consistent_cost() {
+        let mut alg = Meyerson::new(5000.0, 4);
+        let stream = uniform_stream(200, 1000.0, 5);
+        let mut expected = PlacementCost::ZERO;
+        for &p in &stream {
+            match alg.handle(p) {
+                Decision::Opened { .. } => expected.space += 5000.0,
+                Decision::Assigned { walking, .. } => expected.walking += walking,
+            }
+        }
+        assert_eq!(alg.cost(), expected);
+        assert_eq!(
+            alg.stations().len(),
+            (expected.space / 5000.0).round() as usize
+        );
+    }
+
+    #[test]
+    fn matches_paper_scale_on_fig4b_setup() {
+        // Fig. 4(b): 100 random arrivals in 1000x1000 m with f = 5000 m ->
+        // ~9 stations, total ~65k (i.e. noticeably worse than offline).
+        let mut counts = Vec::new();
+        let mut totals = Vec::new();
+        for seed in 0..20 {
+            let mut alg = Meyerson::new(5000.0, seed);
+            let cost = alg.run(uniform_stream(100, 1000.0, 1000 + seed));
+            counts.push(alg.stations().len());
+            totals.push(cost.total());
+        }
+        let mean_count = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
+        let mean_total = totals.iter().sum::<f64>() / totals.len() as f64;
+        assert!(
+            (6.0..=14.0).contains(&mean_count),
+            "mean station count {mean_count} outside Fig 4(b) band"
+        );
+        assert!(
+            (45_000.0..=90_000.0).contains(&mean_total),
+            "mean total {mean_total} outside Fig 4(b) band"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let stream = uniform_stream(100, 500.0, 6);
+        let mut a = Meyerson::new(2000.0, 9);
+        let mut b = Meyerson::new(2000.0, 9);
+        assert_eq!(a.run(stream.iter().copied()), b.run(stream.iter().copied()));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_bad_cost() {
+        let _ = Meyerson::new(0.0, 1);
+    }
+}

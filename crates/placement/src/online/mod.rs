@@ -1,0 +1,108 @@
+//! Online placement algorithms.
+//!
+//! All three algorithms consume a stream of destination requests and make
+//! immediate, irrevocable decisions: open a new parking at the destination
+//! (paying the space-occupation cost) or assign the user to an existing one
+//! (paying the walking cost). They share the [`OnlinePlacement`] trait so
+//! the experiment harnesses can swap them freely:
+//!
+//! * [`Meyerson`] — the classical randomized online facility location
+//!   algorithm \[Meyerson, FOCS'01\],
+//! * [`OnlineKMeans`] — online k-means clustering \[Liberty, Sriharsha &
+//!   Sviridenko, ALENEX'16\],
+//! * [`DeviationPenalty`] — the paper's Algorithm 2, guiding online
+//!   decisions with the offline solution via penalty functions and a
+//!   periodic 2-D KS test.
+
+mod deviation;
+mod kmeans;
+mod meyerson;
+
+pub use deviation::{DeviationConfig, DeviationPenalty};
+pub use kmeans::OnlineKMeans;
+pub use meyerson::Meyerson;
+
+use crate::PlacementCost;
+use esharing_geo::Point;
+
+/// The outcome of one online request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Decision {
+    /// A new parking was established at the request's destination.
+    Opened {
+        /// The new parking location (== the destination).
+        station: Point,
+    },
+    /// The request was assigned to an existing parking.
+    Assigned {
+        /// The serving parking location.
+        station: Point,
+        /// Walking distance paid by the user.
+        walking: f64,
+    },
+}
+
+impl Decision {
+    /// The parking serving this request.
+    pub fn station(&self) -> Point {
+        match *self {
+            Decision::Opened { station } | Decision::Assigned { station, .. } => station,
+        }
+    }
+
+    /// Whether a new parking was opened.
+    pub fn opened(&self) -> bool {
+        matches!(self, Decision::Opened { .. })
+    }
+}
+
+/// An online PLP algorithm processing one destination request at a time.
+pub trait OnlinePlacement {
+    /// Handles one streamed destination and returns the decision made.
+    fn handle(&mut self, destination: Point) -> Decision;
+
+    /// Currently open parking locations.
+    fn stations(&self) -> Vec<Point>;
+
+    /// Accumulated cost so far (walking + space, in meters).
+    fn cost(&self) -> PlacementCost;
+
+    /// A short human-readable name for tables.
+    fn name(&self) -> String;
+
+    /// Convenience: process a whole stream, returning the final cost.
+    fn run<I>(&mut self, stream: I) -> PlacementCost
+    where
+        I: IntoIterator<Item = Point>,
+        Self: Sized,
+    {
+        for p in stream {
+            self.handle(p);
+        }
+        self.cost()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decision_accessors() {
+        let p = Point::new(1.0, 2.0);
+        let open = Decision::Opened { station: p };
+        assert!(open.opened());
+        assert_eq!(open.station(), p);
+        let assigned = Decision::Assigned {
+            station: p,
+            walking: 10.0,
+        };
+        assert!(!assigned.opened());
+        assert_eq!(assigned.station(), p);
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        fn _take(_: &dyn OnlinePlacement) {}
+    }
+}

@@ -1,0 +1,268 @@
+//! Deviation penalty functions (Eqs. 6–8, Fig. 5).
+//!
+//! The penalty `g(i, j)` scales the probability of opening a new parking at
+//! a destination that deviates from the offline (predicted) solution by
+//! walking cost `c = c_ij`. All three types equal 1 at `c = 0` (no penalty
+//! when the destination matches a landmark) and decline as the deviation
+//! grows, at different rates keyed to the tolerance `L`:
+//!
+//! * **Type I** (hyperbolic) declines modestly and keeps a heavy tail —
+//!   applied when live traffic is *less similar* to history (< 80%),
+//! * **Type II** (linear cutoff) plunges to exactly 0 beyond `L` — applied
+//!   when traffic is *very similar* (> 95%),
+//! * **Type III** (Gaussian) sits between the two — applied when traffic is
+//!   *similar* (80–95%).
+
+use esharing_stats::ks2d::SimilarityClass;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+mod polynomial;
+
+pub use polynomial::{FitError, PolynomialPenalty};
+
+/// Which penalty shape is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PenaltyType {
+    /// No penalty: `g ≡ 1` (pure Meyerson behaviour, used as the
+    /// *no penalty* control in §V-B).
+    None,
+    /// Hyperbolic decline `1 / (c/L + 1)`.
+    TypeI,
+    /// Linear decline `1 − c/L`, clamped to 0 beyond `L`.
+    TypeII,
+    /// Gaussian decline `exp(−c²/L²)`.
+    TypeIII,
+}
+
+impl PenaltyType {
+    /// The penalty type the paper pairs with a KS similarity regime
+    /// (§V-C): very similar → II, similar → III, less similar → I.
+    pub fn for_similarity(class: SimilarityClass) -> Self {
+        match class {
+            SimilarityClass::VerySimilar => PenaltyType::TypeII,
+            SimilarityClass::Similar => PenaltyType::TypeIII,
+            SimilarityClass::LessSimilar => PenaltyType::TypeI,
+        }
+    }
+}
+
+impl fmt::Display for PenaltyType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            PenaltyType::None => "No penalty",
+            PenaltyType::TypeI => "Type I",
+            PenaltyType::TypeII => "Type II",
+            PenaltyType::TypeIII => "Type III",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A penalty shape bound to a tolerance level `L` (meters).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PenaltyFunction {
+    kind: PenaltyType,
+    tolerance: f64,
+}
+
+impl PenaltyFunction {
+    /// Creates a penalty function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tolerance` is not positive and finite.
+    pub fn new(kind: PenaltyType, tolerance: f64) -> Self {
+        assert!(
+            tolerance.is_finite() && tolerance > 0.0,
+            "tolerance must be positive"
+        );
+        PenaltyFunction { kind, tolerance }
+    }
+
+    /// The active shape.
+    pub fn kind(&self) -> PenaltyType {
+        self.kind
+    }
+
+    /// The tolerance `L` in meters.
+    pub fn tolerance(&self) -> f64 {
+        self.tolerance
+    }
+
+    /// Replaces the shape, keeping the tolerance.
+    pub fn with_kind(self, kind: PenaltyType) -> Self {
+        PenaltyFunction { kind, ..self }
+    }
+
+    /// Rescales the tolerance (the paper raises `L` when traffic diverges
+    /// and scales it back when it returns).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new tolerance would be non-positive.
+    pub fn with_tolerance(self, tolerance: f64) -> Self {
+        PenaltyFunction::new(self.kind, tolerance)
+    }
+
+    /// Evaluates `g(c)` for a walking cost `c ≥ 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) on negative `c`.
+    pub fn g(&self, c: f64) -> f64 {
+        debug_assert!(c >= 0.0, "walking cost must be non-negative");
+        let l = self.tolerance;
+        match self.kind {
+            PenaltyType::None => 1.0,
+            PenaltyType::TypeI => 1.0 / (c / l + 1.0),
+            PenaltyType::TypeII => (1.0 - c / l).max(0.0),
+            PenaltyType::TypeIII => (-(c * c) / (l * l)).exp(),
+        }
+    }
+
+    /// First derivative `g′(c)` (Fig. 5(b)); the Type II derivative is 0
+    /// beyond the cutoff and −1/L inside it.
+    pub fn derivative(&self, c: f64) -> f64 {
+        debug_assert!(c >= 0.0, "walking cost must be non-negative");
+        let l = self.tolerance;
+        match self.kind {
+            PenaltyType::None => 0.0,
+            PenaltyType::TypeI => -1.0 / (l * (c / l + 1.0).powi(2)),
+            PenaltyType::TypeII => {
+                if c < l {
+                    -1.0 / l
+                } else {
+                    0.0
+                }
+            }
+            PenaltyType::TypeIII => -2.0 * c / (l * l) * (-(c * c) / (l * l)).exp(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const L: f64 = 200.0;
+
+    fn all_kinds() -> [PenaltyFunction; 4] {
+        [
+            PenaltyFunction::new(PenaltyType::None, L),
+            PenaltyFunction::new(PenaltyType::TypeI, L),
+            PenaltyFunction::new(PenaltyType::TypeII, L),
+            PenaltyFunction::new(PenaltyType::TypeIII, L),
+        ]
+    }
+
+    #[test]
+    fn zero_cost_means_no_penalty() {
+        for p in all_kinds() {
+            assert_eq!(p.g(0.0), 1.0, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn penalties_monotone_nonincreasing() {
+        for p in all_kinds() {
+            let mut prev = p.g(0.0);
+            for step in 1..=40 {
+                let g = p.g(step as f64 * 25.0);
+                assert!(g <= prev + 1e-12, "{p:?} increased at step {step}");
+                assert!((0.0..=1.0).contains(&g));
+                prev = g;
+            }
+        }
+    }
+
+    #[test]
+    fn type_ii_cuts_off_at_tolerance() {
+        let p = PenaltyFunction::new(PenaltyType::TypeII, L);
+        assert_eq!(p.g(L), 0.0);
+        assert_eq!(p.g(3.0 * L), 0.0);
+        assert_eq!(p.g(L / 2.0), 0.5);
+    }
+
+    #[test]
+    fn type_i_keeps_tail_above_point_two_at_3l() {
+        // "Type I ... maintains the probability over 0.2 even when the cost
+        // goes beyond 3L" (§III-D).
+        let p = PenaltyFunction::new(PenaltyType::TypeI, L);
+        assert!(p.g(3.0 * L) >= 0.2);
+        assert!(p.g(3.0 * L) - 0.25 < 1e-12); // exactly 1/4 at 3L
+    }
+
+    #[test]
+    fn type_iii_between_i_and_ii_in_mid_range() {
+        let p1 = PenaltyFunction::new(PenaltyType::TypeI, L);
+        let p2 = PenaltyFunction::new(PenaltyType::TypeII, L);
+        let p3 = PenaltyFunction::new(PenaltyType::TypeIII, L);
+        // Beyond the tolerance, the ordering is II < III < I.
+        for c in [1.2 * L, 1.5 * L, 2.0 * L] {
+            assert!(p2.g(c) <= p3.g(c) && p3.g(c) <= p1.g(c), "at {c}");
+        }
+    }
+
+    #[test]
+    fn type_ii_plunges_fastest_inside_tolerance() {
+        // "Type II is designed to plunge much faster than the others."
+        let half = L / 2.0;
+        let gi = PenaltyFunction::new(PenaltyType::TypeI, L).g(half);
+        let gii = PenaltyFunction::new(PenaltyType::TypeII, L).g(half);
+        let giii = PenaltyFunction::new(PenaltyType::TypeIII, L).g(half);
+        assert!(gii < giii && gii < gi);
+    }
+
+    #[test]
+    fn derivatives_match_numeric() {
+        for p in all_kinds() {
+            for c in [1.0, 50.0, 150.0, 250.0, 500.0] {
+                let h = 1e-5;
+                let numeric = (p.g(c + h) - p.g(c - h)) / (2.0 * h);
+                assert!(
+                    (numeric - p.derivative(c)).abs() < 1e-6,
+                    "{p:?} at c={c}: numeric {numeric} vs {}",
+                    p.derivative(c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn similarity_mapping_matches_section_v_c() {
+        assert_eq!(
+            PenaltyType::for_similarity(SimilarityClass::VerySimilar),
+            PenaltyType::TypeII
+        );
+        assert_eq!(
+            PenaltyType::for_similarity(SimilarityClass::Similar),
+            PenaltyType::TypeIII
+        );
+        assert_eq!(
+            PenaltyType::for_similarity(SimilarityClass::LessSimilar),
+            PenaltyType::TypeI
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_tolerance() {
+        let _ = PenaltyFunction::new(PenaltyType::TypeI, 0.0);
+    }
+
+    #[test]
+    fn builders_preserve_fields() {
+        let p = PenaltyFunction::new(PenaltyType::TypeI, L)
+            .with_kind(PenaltyType::TypeIII)
+            .with_tolerance(400.0);
+        assert_eq!(p.kind(), PenaltyType::TypeIII);
+        assert_eq!(p.tolerance(), 400.0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(PenaltyType::TypeII.to_string(), "Type II");
+        assert_eq!(PenaltyType::None.to_string(), "No penalty");
+    }
+}

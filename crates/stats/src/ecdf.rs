@@ -1,0 +1,185 @@
+//! One-dimensional empirical cumulative distribution functions.
+
+use std::fmt;
+
+/// An empirical CDF built from a finite sample.
+///
+/// # Examples
+///
+/// ```
+/// use esharing_stats::Ecdf;
+///
+/// let ecdf = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+/// assert_eq!(ecdf.eval(0.0), 0.0);
+/// assert_eq!(ecdf.eval(2.0), 0.5);
+/// assert_eq!(ecdf.eval(10.0), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from a sample.
+    ///
+    /// Returns `None` if the sample is empty or contains non-finite values.
+    pub fn new(mut sample: Vec<f64>) -> Option<Self> {
+        if sample.is_empty() || sample.iter().any(|v| !v.is_finite()) {
+            return None;
+        }
+        sample.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        Some(Ecdf { sorted: sample })
+    }
+
+    /// Number of sample points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the sample is empty (never true for a constructed `Ecdf`).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The fraction of sample points `<= x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        // partition_point returns the count of elements <= x because the
+        // slice is sorted ascending.
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (`0 <= q <= 1`) using nearest-rank semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        if q == 0.0 {
+            return self.sorted[0];
+        }
+        let rank = (q * self.sorted.len() as f64).ceil() as usize;
+        self.sorted[rank.saturating_sub(1)]
+    }
+
+    /// Sample minimum.
+    #[inline]
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Sample maximum.
+    #[inline]
+    pub fn max(&self) -> f64 {
+        self.sorted[self.sorted.len() - 1]
+    }
+
+    /// Two-sample Kolmogorov–Smirnov statistic
+    /// `D = sup_x |F_a(x) − F_b(x)|`.
+    pub fn ks_statistic(&self, other: &Ecdf) -> f64 {
+        let mut d: f64 = 0.0;
+        for &x in self.sorted.iter().chain(other.sorted.iter()) {
+            d = d.max((self.eval(x) - other.eval(x)).abs());
+            // Also evaluate just below x to capture jumps on either side.
+            let x_minus = x - x.abs().max(1.0) * f64::EPSILON * 4.0;
+            d = d.max((self.eval(x_minus) - other.eval(x_minus)).abs());
+        }
+        d
+    }
+}
+
+impl fmt::Display for Ecdf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Ecdf(n={}, range=[{:.3}, {:.3}])",
+            self.len(),
+            self.min(),
+            self.max()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_and_nonfinite() {
+        assert!(Ecdf::new(vec![]).is_none());
+        assert!(Ecdf::new(vec![1.0, f64::NAN]).is_none());
+        assert!(Ecdf::new(vec![f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn eval_steps() {
+        let e = Ecdf::new(vec![3.0, 1.0, 2.0, 4.0]).unwrap();
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.5), 0.5);
+        assert_eq!(e.eval(4.0), 1.0);
+        assert_eq!(e.eval(100.0), 1.0);
+    }
+
+    #[test]
+    fn eval_handles_ties() {
+        let e = Ecdf::new(vec![2.0, 2.0, 2.0, 5.0]).unwrap();
+        assert_eq!(e.eval(2.0), 0.75);
+        assert_eq!(e.eval(1.9), 0.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let e = Ecdf::new((1..=100).map(f64::from).collect()).unwrap();
+        assert_eq!(e.quantile(0.0), 1.0);
+        assert_eq!(e.quantile(0.5), 50.0);
+        assert_eq!(e.quantile(1.0), 100.0);
+        assert_eq!(e.min(), 1.0);
+        assert_eq!(e.max(), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn quantile_rejects_out_of_range() {
+        let e = Ecdf::new(vec![1.0]).unwrap();
+        let _ = e.quantile(1.5);
+    }
+
+    #[test]
+    fn ks_identical_is_zero() {
+        let a = Ecdf::new(vec![1.0, 2.0, 3.0]).unwrap();
+        let b = Ecdf::new(vec![1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(a.ks_statistic(&b), 0.0);
+    }
+
+    #[test]
+    fn ks_disjoint_is_one() {
+        let a = Ecdf::new(vec![1.0, 2.0, 3.0]).unwrap();
+        let b = Ecdf::new(vec![10.0, 20.0, 30.0]).unwrap();
+        assert_eq!(a.ks_statistic(&b), 1.0);
+    }
+
+    #[test]
+    fn ks_symmetric() {
+        let a = Ecdf::new(vec![1.0, 2.0, 3.0, 7.0]).unwrap();
+        let b = Ecdf::new(vec![2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(a.ks_statistic(&b), b.ks_statistic(&a));
+    }
+
+    #[test]
+    fn ks_known_value() {
+        // a: mass {1,2}, b: mass {2,3}. At x in [1,2): F_a=0.5, F_b=0 -> D=0.5.
+        let a = Ecdf::new(vec![1.0, 2.0]).unwrap();
+        let b = Ecdf::new(vec![2.0, 3.0]).unwrap();
+        assert!((a.ks_statistic(&b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_contains_size() {
+        let e = Ecdf::new(vec![1.0, 2.0]).unwrap();
+        assert!(e.to_string().contains("n=2"));
+    }
+}

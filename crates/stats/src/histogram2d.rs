@@ -1,0 +1,201 @@
+//! Two-dimensional histograms and ASCII heatmaps.
+//!
+//! Fig. 11 of the paper visualizes the spatial distribution of low-energy
+//! e-bikes as a heatmap before and after incentivizing. [`Histogram2d`]
+//! bins weighted points over a bounding box and renders a terminal
+//! heatmap so the experiment binaries can show the same picture.
+
+use esharing_geo::{BBox, Point};
+use std::fmt;
+
+/// A fixed-resolution 2-D histogram over a bounding box.
+///
+/// # Examples
+///
+/// ```
+/// use esharing_geo::{BBox, Point};
+/// use esharing_stats::Histogram2d;
+///
+/// let mut hist = Histogram2d::new(BBox::square(100.0), 4, 4);
+/// hist.add(Point::new(10.0, 10.0), 3.0);
+/// hist.add(Point::new(90.0, 90.0), 1.0);
+/// assert_eq!(hist.total(), 4.0);
+/// assert_eq!(hist.count(0, 0), 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram2d {
+    bbox: BBox,
+    cols: usize,
+    rows: usize,
+    counts: Vec<f64>,
+}
+
+impl Histogram2d {
+    /// Creates an empty histogram with `cols × rows` bins over `bbox`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or the box is degenerate.
+    pub fn new(bbox: BBox, cols: usize, rows: usize) -> Self {
+        assert!(cols > 0 && rows > 0, "histogram needs positive dimensions");
+        assert!(
+            bbox.width() > 0.0 && bbox.height() > 0.0,
+            "bounding box must have positive area"
+        );
+        Histogram2d {
+            bbox,
+            cols,
+            rows,
+            counts: vec![0.0; cols * rows],
+        }
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    fn bin_of(&self, p: Point) -> Option<(usize, usize)> {
+        if !self.bbox.contains(p) {
+            return None;
+        }
+        let col = (((p.x - self.bbox.min().x) / self.bbox.width()) * self.cols as f64) as usize;
+        let row = (((p.y - self.bbox.min().y) / self.bbox.height()) * self.rows as f64) as usize;
+        Some((col.min(self.cols - 1), row.min(self.rows - 1)))
+    }
+
+    /// Adds `weight` at `p`; points outside the box are ignored and
+    /// reported by the return value.
+    pub fn add(&mut self, p: Point, weight: f64) -> bool {
+        debug_assert!(weight.is_finite() && weight >= 0.0);
+        match self.bin_of(p) {
+            Some((col, row)) => {
+                self.counts[row * self.cols + col] += weight;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Adds a batch of unit-weight points, returning how many fell inside.
+    pub fn extend<I: IntoIterator<Item = Point>>(&mut self, points: I) -> usize {
+        points.into_iter().filter(|&p| self.add(p, 1.0)).count()
+    }
+
+    /// The weight in bin `(col, row)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn count(&self, col: usize, row: usize) -> f64 {
+        assert!(col < self.cols && row < self.rows, "bin out of range");
+        self.counts[row * self.cols + col]
+    }
+
+    /// Total weight captured.
+    pub fn total(&self) -> f64 {
+        self.counts.iter().sum()
+    }
+
+    /// The maximum bin weight.
+    pub fn max_count(&self) -> f64 {
+        self.counts.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Renders an ASCII heatmap (rows printed north-to-south), using a
+    /// 10-step density ramp normalized to the maximum bin.
+    pub fn render(&self) -> String {
+        const RAMP: [char; 10] = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+        let max = self.max_count();
+        let mut out = String::with_capacity((self.cols + 1) * self.rows);
+        for row in (0..self.rows).rev() {
+            for col in 0..self.cols {
+                let c = if max == 0.0 {
+                    ' '
+                } else {
+                    let norm = self.count(col, row) / max;
+                    RAMP[((norm * (RAMP.len() - 1) as f64).round() as usize)
+                        .min(RAMP.len() - 1)]
+                };
+                out.push(c);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Histogram2d {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_and_totals() {
+        let mut h = Histogram2d::new(BBox::square(100.0), 10, 10);
+        assert!(h.add(Point::new(5.0, 5.0), 2.0));
+        assert!(h.add(Point::new(95.0, 95.0), 1.0));
+        assert!(!h.add(Point::new(150.0, 5.0), 1.0)); // outside
+        assert_eq!(h.count(0, 0), 2.0);
+        assert_eq!(h.count(9, 9), 1.0);
+        assert_eq!(h.total(), 3.0);
+        assert_eq!(h.max_count(), 2.0);
+    }
+
+    #[test]
+    fn boundary_points_clamp_into_last_bin() {
+        let mut h = Histogram2d::new(BBox::square(100.0), 4, 4);
+        assert!(h.add(Point::new(100.0, 100.0), 1.0));
+        assert_eq!(h.count(3, 3), 1.0);
+    }
+
+    #[test]
+    fn extend_counts_inside_only() {
+        let mut h = Histogram2d::new(BBox::square(10.0), 2, 2);
+        let inside = h.extend(vec![
+            Point::new(1.0, 1.0),
+            Point::new(9.0, 9.0),
+            Point::new(20.0, 0.0),
+        ]);
+        assert_eq!(inside, 2);
+        assert_eq!(h.total(), 2.0);
+    }
+
+    #[test]
+    fn render_shape_and_symbols() {
+        let mut h = Histogram2d::new(BBox::square(100.0), 5, 3);
+        h.add(Point::new(5.0, 95.0), 10.0); // top-left in display
+        let art = h.render();
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines.iter().all(|l| l.chars().count() == 5));
+        // The hottest bin renders '@' and sits on the first (north) row.
+        assert_eq!(lines[0].chars().next().unwrap(), '@');
+        // Empty histogram renders blanks.
+        let empty = Histogram2d::new(BBox::square(10.0), 3, 3);
+        assert!(empty.render().chars().all(|c| c == ' ' || c == '\n'));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive dimensions")]
+    fn zero_dims_panic() {
+        let _ = Histogram2d::new(BBox::square(10.0), 0, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn count_out_of_range_panics() {
+        let h = Histogram2d::new(BBox::square(10.0), 2, 2);
+        let _ = h.count(2, 0);
+    }
+}

@@ -1,0 +1,349 @@
+//! Peacock's two-dimensional two-sample Kolmogorov–Smirnov test.
+//!
+//! In one dimension the KS statistic compares cumulative distributions; in
+//! two dimensions there is no unique cumulative ordering, so Peacock (1983)
+//! enumerates all four quadrant orientations around candidate split points
+//! `(X, Y)` — `(x < X, y < Y)`, `(x < X, y > Y)`, `(x > X, y < Y)`,
+//! `(x > X, y > Y)` — and takes the supremum of the empirical probability
+//! difference across them. The paper (§III-D) runs this test between the
+//! historical destination distribution `H` and the live stream `G`, and maps
+//! the resulting similarity `100(1 − D)%` to a penalty-function type
+//! (§V-C): above 95% → Type II, 80–95% → Type III, below 80% → Type I.
+//!
+//! Two evaluation strategies are provided:
+//!
+//! * [`peacock_statistic`] — Peacock's original proposal evaluates the
+//!   quadrant difference on the grid of all `(x_i, y_j)` coordinate pairs
+//!   from the pooled sample (`O(n²)` split points × `O(n)` counting =
+//!   `O(n³)`, matching the complexity the paper reports);
+//! * [`ff_statistic`] — the Fasano–Franceschini (1987) variant that only
+//!   visits the `O(n)` split points located *at* sample points, which is a
+//!   tight, widely used approximation running in `O(n²)`.
+
+use esharing_geo::Point;
+
+/// Outcome of a two-sample Peacock test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ks2dResult {
+    /// The KS statistic `D = sup |H − G|` over quadrants.
+    pub statistic: f64,
+    /// Similarity `100 (1 − D)` in percent, the paper's Table IV metric.
+    pub similarity_percent: f64,
+    /// Approximate significance of `D` (probability of observing a larger
+    /// `D` under the null hypothesis), using Peacock's `Z∞` asymptotic.
+    pub p_value: f64,
+    /// Effective sample size `n1 n2 / (n1 + n2)`.
+    pub effective_n: f64,
+}
+
+/// Counts the fraction of `sample` in each of the four open quadrants
+/// around `(x, y)`.
+fn quadrant_fractions(sample: &[Point], x: f64, y: f64) -> [f64; 4] {
+    let n = sample.len() as f64;
+    let (mut q1, mut q2, mut q3, mut q4) = (0u32, 0u32, 0u32, 0u32);
+    for p in sample {
+        if p.x > x {
+            if p.y > y {
+                q1 += 1;
+            } else {
+                q4 += 1;
+            }
+        } else if p.y > y {
+            q2 += 1;
+        } else {
+            q3 += 1;
+        }
+    }
+    [
+        f64::from(q1) / n,
+        f64::from(q2) / n,
+        f64::from(q3) / n,
+        f64::from(q4) / n,
+    ]
+}
+
+fn max_quadrant_diff(a: &[Point], b: &[Point], x: f64, y: f64) -> f64 {
+    let fa = quadrant_fractions(a, x, y);
+    let fb = quadrant_fractions(b, x, y);
+    fa.iter()
+        .zip(fb.iter())
+        .map(|(u, v)| (u - v).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Peacock's exact 2-D KS statistic over all `(x_i, y_j)` split pairs from
+/// the pooled sample.
+///
+/// Runs in `O(n³)` for `n` pooled points — use [`ff_statistic`] for large
+/// samples.
+///
+/// # Panics
+///
+/// Panics if either sample is empty.
+pub fn peacock_statistic(a: &[Point], b: &[Point]) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "samples must be non-empty");
+    let xs: Vec<f64> = a.iter().chain(b.iter()).map(|p| p.x).collect();
+    let ys: Vec<f64> = a.iter().chain(b.iter()).map(|p| p.y).collect();
+    let mut d: f64 = 0.0;
+    for &x in &xs {
+        for &y in &ys {
+            d = d.max(max_quadrant_diff(a, b, x, y));
+        }
+    }
+    d
+}
+
+/// Fasano–Franceschini approximation: split points restricted to the pooled
+/// sample points themselves (`O(n²)`).
+///
+/// # Panics
+///
+/// Panics if either sample is empty.
+pub fn ff_statistic(a: &[Point], b: &[Point]) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "samples must be non-empty");
+    let mut d: f64 = 0.0;
+    for p in a.iter().chain(b.iter()) {
+        d = d.max(max_quadrant_diff(a, b, p.x, p.y));
+    }
+    d
+}
+
+/// Similarity in percent, `100 (1 − D)`, computed with the
+/// Fasano–Franceschini statistic. This is the number reported in the
+/// paper's Table IV.
+///
+/// # Panics
+///
+/// Panics if either sample is empty.
+pub fn similarity_percent(a: &[Point], b: &[Point]) -> f64 {
+    100.0 * (1.0 - ff_statistic(a, b))
+}
+
+/// Kolmogorov distribution complementary CDF `Q(λ) = 2 Σ (−1)^{k−1}
+/// e^{−2k²λ²}`, used for the asymptotic p-value.
+fn kolmogorov_q(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = sign * (-2.0 * (k as f64).powi(2) * lambda * lambda).exp();
+        sum += term;
+        if term.abs() < 1e-12 {
+            break;
+        }
+        sign = -sign;
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+/// Runs the full two-sample test with the Fasano–Franceschini statistic and
+/// Peacock's `Z∞` significance approximation.
+///
+/// # Panics
+///
+/// Panics if either sample is empty.
+pub fn peacock_test(a: &[Point], b: &[Point]) -> Ks2dResult {
+    let statistic = ff_statistic(a, b);
+    let n1 = a.len() as f64;
+    let n2 = b.len() as f64;
+    let effective_n = n1 * n2 / (n1 + n2);
+    // Peacock's empirical correction: Z_inf = Z / (1 + (0.53 - 0.9/sqrt(n)) /
+    // sqrt(n)) with Z = D sqrt(n); for the 2-D test the effective
+    // significance uses Z_inf against the 1-D Kolmogorov distribution.
+    let z = statistic * effective_n.sqrt();
+    let z_inf = z / (1.0 + (0.53 - 0.9 / effective_n.sqrt()) / effective_n.sqrt());
+    let p_value = kolmogorov_q(z_inf);
+    Ks2dResult {
+        statistic,
+        similarity_percent: 100.0 * (1.0 - statistic),
+        p_value,
+        effective_n,
+    }
+}
+
+/// Similarity regimes the paper maps to penalty-function types (§V-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimilarityClass {
+    /// Above 95% similarity.
+    VerySimilar,
+    /// Between 80% and 95%.
+    Similar,
+    /// Below 80%.
+    LessSimilar,
+}
+
+impl SimilarityClass {
+    /// Classifies a similarity percentage using the paper's thresholds.
+    ///
+    /// Appropriate for large samples (the paper's Table IV uses full days
+    /// of trips); for small streaming windows prefer
+    /// [`SimilarityClass::from_test`], which accounts for the upward bias
+    /// of the KS statistic at small `n`.
+    pub fn from_percent(similarity: f64) -> Self {
+        if similarity > 95.0 {
+            SimilarityClass::VerySimilar
+        } else if similarity >= 80.0 {
+            SimilarityClass::Similar
+        } else {
+            SimilarityClass::LessSimilar
+        }
+    }
+
+    /// Classifies a two-sample test outcome, robust to small samples:
+    ///
+    /// * not significant (`p > 0.05`) → *very similar* (no evidence of a
+    ///   shift),
+    /// * significant with a modest effect (`D < 0.5`) → *similar*,
+    /// * significant with a large effect (`D ≥ 0.5`) → *less similar*.
+    ///
+    /// The 0.5 effect-size bar is deliberately high: ordinary diurnal
+    /// rotation of demand (morning office mass vs all-day history) shows
+    /// `D ≈ 0.2–0.35` and must not count as a regime change, whereas a
+    /// genuine relocation of demand to an uncovered region (the paper's
+    /// Fig. 6(b) scenario) drives `D` towards 1.
+    pub fn from_test(result: &Ks2dResult) -> Self {
+        if result.p_value > 0.05 {
+            SimilarityClass::VerySimilar
+        } else if result.statistic < 0.5 {
+            SimilarityClass::Similar
+        } else {
+            SimilarityClass::LessSimilar
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn uniform_sample(rng: &mut StdRng, n: usize, side: f64) -> Vec<Point> {
+        (0..n)
+            .map(|_| Point::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side)))
+            .collect()
+    }
+
+    #[test]
+    fn identical_samples_give_zero() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = uniform_sample(&mut rng, 60, 100.0);
+        assert_eq!(peacock_statistic(&a, &a), 0.0);
+        assert_eq!(ff_statistic(&a, &a), 0.0);
+        assert_eq!(similarity_percent(&a, &a), 100.0);
+    }
+
+    #[test]
+    fn disjoint_samples_give_one() {
+        let a: Vec<Point> = (0..20).map(|i| Point::new(i as f64, i as f64)).collect();
+        let b: Vec<Point> = (0..20)
+            .map(|i| Point::new(1000.0 + i as f64, 1000.0 + i as f64))
+            .collect();
+        assert!(peacock_statistic(&a, &b) > 0.95);
+        assert!(ff_statistic(&a, &b) > 0.95);
+    }
+
+    #[test]
+    fn statistic_is_symmetric() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = uniform_sample(&mut rng, 40, 100.0);
+        let b = uniform_sample(&mut rng, 30, 120.0);
+        assert_eq!(peacock_statistic(&a, &b), peacock_statistic(&b, &a));
+        assert_eq!(ff_statistic(&a, &b), ff_statistic(&b, &a));
+    }
+
+    #[test]
+    fn ff_lower_bounds_peacock() {
+        // FF restricts the split points, so its supremum cannot exceed
+        // Peacock's.
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..5 {
+            let a = uniform_sample(&mut rng, 25, 100.0);
+            let b = uniform_sample(&mut rng, 25, 100.0);
+            let ff = ff_statistic(&a, &b);
+            let pk = peacock_statistic(&a, &b);
+            assert!(ff <= pk + 1e-12, "ff {ff} > peacock {pk}");
+        }
+    }
+
+    #[test]
+    fn same_distribution_small_statistic() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = uniform_sample(&mut rng, 300, 100.0);
+        let b = uniform_sample(&mut rng, 300, 100.0);
+        let d = ff_statistic(&a, &b);
+        assert!(d < 0.15, "same-distribution D should be small, got {d}");
+        let r = peacock_test(&a, &b);
+        assert!(r.p_value > 0.05, "p-value {} should not reject", r.p_value);
+    }
+
+    #[test]
+    fn shifted_distribution_detected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = uniform_sample(&mut rng, 200, 100.0);
+        let b: Vec<Point> = uniform_sample(&mut rng, 200, 100.0)
+            .into_iter()
+            .map(|p| p + Point::new(60.0, 0.0))
+            .collect();
+        let r = peacock_test(&a, &b);
+        assert!(r.statistic > 0.3, "shift should inflate D, got {}", r.statistic);
+        assert!(r.p_value < 0.01, "p-value {} should reject", r.p_value);
+    }
+
+    #[test]
+    fn statistic_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = uniform_sample(&mut rng, 50, 10.0);
+        let b = uniform_sample(&mut rng, 70, 50.0);
+        let d = peacock_statistic(&a, &b);
+        assert!((0.0..=1.0).contains(&d));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_sample_panics() {
+        let a = vec![Point::ORIGIN];
+        let _ = peacock_statistic(&a, &[]);
+    }
+
+    #[test]
+    fn kolmogorov_q_monotone() {
+        assert_eq!(kolmogorov_q(0.0), 1.0);
+        let q1 = kolmogorov_q(0.5);
+        let q2 = kolmogorov_q(1.0);
+        let q3 = kolmogorov_q(2.0);
+        assert!(q1 > q2 && q2 > q3);
+        assert!(q3 < 0.01);
+        // Known value: Q(1.0) ~ 0.27.
+        assert!((q2 - 0.27).abs() < 0.01);
+    }
+
+    #[test]
+    fn similarity_class_thresholds() {
+        assert_eq!(
+            SimilarityClass::from_percent(97.0),
+            SimilarityClass::VerySimilar
+        );
+        assert_eq!(SimilarityClass::from_percent(95.0), SimilarityClass::Similar);
+        assert_eq!(SimilarityClass::from_percent(80.0), SimilarityClass::Similar);
+        assert_eq!(
+            SimilarityClass::from_percent(79.9),
+            SimilarityClass::LessSimilar
+        );
+        assert_eq!(
+            SimilarityClass::from_percent(60.0),
+            SimilarityClass::LessSimilar
+        );
+    }
+
+    #[test]
+    fn quadrant_fractions_sum_to_one() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = uniform_sample(&mut rng, 101, 100.0);
+        let f = quadrant_fractions(&a, 50.0, 50.0);
+        let sum: f64 = f.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,46 @@
+//! # esharing-stats
+//!
+//! Statistical substrate for the E-Sharing reproduction.
+//!
+//! The paper's online placement algorithm (Algorithm 2) periodically runs
+//! **Peacock's two-dimensional Kolmogorov–Smirnov test** between the
+//! historical trip-destination distribution and the live stream, and uses
+//! the resulting similarity to pick a deviation-penalty function. This crate
+//! provides:
+//!
+//! * [`Ecdf`] — one-dimensional empirical CDFs and the classical two-sample
+//!   KS statistic,
+//! * [`ks2d`] — Peacock's 2-D two-sample test (exact reference
+//!   implementation plus the quadrant statistic evaluated at sample points),
+//! * [`samplers`] — the 2-D random request distributions used in the paper's
+//!   §V-B penalty-function study (uniform, normal, Poisson-radial),
+//! * [`metrics`] — RMSE/MAE/MAPE used by the prediction engine (Table II),
+//! * [`RunningStats`] — Welford online mean/variance for streaming
+//!   telemetry.
+//!
+//! # Examples
+//!
+//! ```
+//! use esharing_stats::ks2d;
+//! use esharing_geo::Point;
+//!
+//! let a: Vec<Point> = (0..50).map(|i| Point::new(i as f64, i as f64)).collect();
+//! let b: Vec<Point> = (0..50).map(|i| Point::new(i as f64 + 0.1, i as f64)).collect();
+//! let d = ks2d::peacock_statistic(&a, &b);
+//! assert!(d < 0.1, "nearly identical distributions have small D");
+//! assert!(ks2d::similarity_percent(&a, &b) > 90.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ecdf;
+mod histogram2d;
+pub mod ks2d;
+pub mod metrics;
+mod running;
+pub mod samplers;
+
+pub use ecdf::Ecdf;
+pub use histogram2d::Histogram2d;
+pub use running::RunningStats;

@@ -1,0 +1,126 @@
+//! Forecast error metrics.
+//!
+//! Table II of the paper compares prediction algorithms by Root Mean Square
+//! Error `RMSE(h*) = sqrt(E[(h* − h)²])` between predicted and actual
+//! request counts. MAE and MAPE are included as standard companions used in
+//! the bike-sharing prediction literature the paper builds on.
+
+/// Root mean square error between predictions and actuals.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+///
+/// # Examples
+///
+/// ```
+/// use esharing_stats::metrics::rmse;
+///
+/// assert_eq!(rmse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+/// assert_eq!(rmse(&[0.0, 0.0], &[3.0, 4.0]), (12.5f64).sqrt());
+/// ```
+pub fn rmse(predicted: &[f64], actual: &[f64]) -> f64 {
+    check_pair(predicted, actual);
+    let mse: f64 = predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a).powi(2))
+        .sum::<f64>()
+        / predicted.len() as f64;
+    mse.sqrt()
+}
+
+/// Mean absolute error.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn mae(predicted: &[f64], actual: &[f64]) -> f64 {
+    check_pair(predicted, actual);
+    predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a).abs())
+        .sum::<f64>()
+        / predicted.len() as f64
+}
+
+/// Mean absolute percentage error over entries whose actual value is
+/// non-zero; returns `None` when every actual is zero.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn mape(predicted: &[f64], actual: &[f64]) -> Option<f64> {
+    check_pair(predicted, actual);
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (p, a) in predicted.iter().zip(actual) {
+        if *a != 0.0 {
+            sum += ((p - a) / a).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        None
+    } else {
+        Some(100.0 * sum / n as f64)
+    }
+}
+
+fn check_pair(predicted: &[f64], actual: &[f64]) {
+    assert_eq!(
+        predicted.len(),
+        actual.len(),
+        "prediction and actual lengths differ"
+    );
+    assert!(!predicted.is_empty(), "metric over empty series");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmse_zero_for_perfect() {
+        assert_eq!(rmse(&[5.0, 6.0, 7.0], &[5.0, 6.0, 7.0]), 0.0);
+    }
+
+    #[test]
+    fn rmse_known_value() {
+        // errors 3 and 4 -> mse 12.5 -> rmse sqrt(12.5).
+        let r = rmse(&[0.0, 0.0], &[3.0, 4.0]);
+        assert!((r - 12.5f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rmse_at_least_mae() {
+        let p = [1.0, 5.0, 3.0, 8.0];
+        let a = [2.0, 3.0, 3.5, 4.0];
+        assert!(rmse(&p, &a) >= mae(&p, &a));
+    }
+
+    #[test]
+    fn mae_known_value() {
+        assert_eq!(mae(&[1.0, 2.0], &[2.0, 4.0]), 1.5);
+    }
+
+    #[test]
+    fn mape_skips_zero_actuals() {
+        let m = mape(&[2.0, 5.0], &[0.0, 4.0]).unwrap();
+        assert!((m - 25.0).abs() < 1e-12);
+        assert_eq!(mape(&[1.0], &[0.0]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths differ")]
+    fn mismatched_lengths_panic() {
+        let _ = rmse(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_series_panics() {
+        let _ = rmse(&[], &[]);
+    }
+}

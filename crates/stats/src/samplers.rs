@@ -1,0 +1,305 @@
+//! Two-dimensional request-distribution samplers.
+//!
+//! §V-B of the paper studies the three deviation-penalty functions on
+//! synthetic request streams drawn from *uniform*, *Poisson* and *normal*
+//! distributions, "which correspond respectively to an increasing similarity
+//! between the actual requests and the predicted requests (the offline
+//! derived parking locating at the origin)". The samplers here produce the
+//! same three shapes around a configurable center:
+//!
+//! * [`UniformField`] — arrivals anywhere in a square field (largest spread),
+//! * [`PoissonRadial`] — arrivals concentrated at a mid-range ring from the
+//!   center (radius distributed as a scaled Poisson variate),
+//! * [`Gaussian2d`] — arrivals aggregated around the center (smallest
+//!   spread).
+
+use esharing_geo::{BBox, Point};
+use rand::Rng;
+
+/// A source of random 2-D arrival points.
+///
+/// The trait is object-safe so experiment harnesses can mix samplers at
+/// runtime.
+pub trait PointSampler {
+    /// Draws one point.
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> Point;
+
+    /// Draws `n` points.
+    fn sample_n(&self, rng: &mut dyn rand::RngCore, n: usize) -> Vec<Point>
+    where
+        Self: Sized,
+    {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// Uniform arrivals over an axis-aligned field.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformField {
+    bbox: BBox,
+}
+
+impl UniformField {
+    /// Uniform sampler over `bbox`.
+    pub fn new(bbox: BBox) -> Self {
+        UniformField { bbox }
+    }
+
+    /// Uniform sampler over a centered square of the given side.
+    pub fn centered_square(center: Point, side: f64) -> Self {
+        let half = side / 2.0;
+        UniformField {
+            bbox: BBox::new(
+                center - Point::new(half, half),
+                center + Point::new(half, half),
+            ),
+        }
+    }
+
+    /// The sampled region.
+    pub fn bbox(&self) -> BBox {
+        self.bbox
+    }
+}
+
+impl PointSampler for UniformField {
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> Point {
+        Point::new(
+            rng.gen_range(self.bbox.min().x..=self.bbox.max().x),
+            rng.gen_range(self.bbox.min().y..=self.bbox.max().y),
+        )
+    }
+}
+
+/// Isotropic Gaussian arrivals around a center.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gaussian2d {
+    center: Point,
+    sigma: f64,
+}
+
+impl Gaussian2d {
+    /// Gaussian sampler with standard deviation `sigma` (meters) per axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is not positive and finite.
+    pub fn new(center: Point, sigma: f64) -> Self {
+        assert!(sigma.is_finite() && sigma > 0.0, "sigma must be positive");
+        Gaussian2d { center, sigma }
+    }
+
+    /// The distribution center.
+    pub fn center(&self) -> Point {
+        self.center
+    }
+
+    /// Per-axis standard deviation.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Draws a standard normal variate via Box–Muller.
+    fn standard_normal(rng: &mut dyn rand::RngCore) -> f64 {
+        // Avoid ln(0).
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+impl PointSampler for Gaussian2d {
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> Point {
+        let dx = Self::standard_normal(rng) * self.sigma;
+        let dy = Self::standard_normal(rng) * self.sigma;
+        self.center + Point::new(dx, dy)
+    }
+}
+
+/// Arrivals whose distance from the center follows a scaled Poisson
+/// distribution (uniform angle), concentrating mass at a mid-range ring
+/// `lambda * radial_scale` from the center — the paper's "Poisson" case.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoissonRadial {
+    center: Point,
+    lambda: f64,
+    radial_scale: f64,
+}
+
+impl PoissonRadial {
+    /// Creates a sampler with Poisson rate `lambda` and `radial_scale`
+    /// meters per Poisson count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` or `radial_scale` is not positive and finite.
+    pub fn new(center: Point, lambda: f64, radial_scale: f64) -> Self {
+        assert!(lambda.is_finite() && lambda > 0.0, "lambda must be positive");
+        assert!(
+            radial_scale.is_finite() && radial_scale > 0.0,
+            "radial_scale must be positive"
+        );
+        PoissonRadial {
+            center,
+            lambda,
+            radial_scale,
+        }
+    }
+
+    /// The distribution center.
+    pub fn center(&self) -> Point {
+        self.center
+    }
+
+    /// Expected radius of an arrival, `lambda * radial_scale`.
+    pub fn mean_radius(&self) -> f64 {
+        self.lambda * self.radial_scale
+    }
+}
+
+/// Draws a Poisson variate.
+///
+/// Uses Knuth's product method for small `lambda` and a normal
+/// approximation for `lambda > 30` where the product method underflows.
+pub fn poisson(rng: &mut dyn rand::RngCore, lambda: f64) -> u64 {
+    assert!(lambda.is_finite() && lambda >= 0.0, "lambda must be >= 0");
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda > 30.0 {
+        // Normal approximation with continuity correction.
+        let g = Gaussian2d::standard_normal(rng);
+        let v = lambda + lambda.sqrt() * g + 0.5;
+        return v.max(0.0) as u64;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen_range(0.0..1.0);
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+impl PointSampler for PoissonRadial {
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> Point {
+        let r = poisson(rng, self.lambda) as f64 * self.radial_scale;
+        let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+        self.center + Point::new(r * theta.cos(), r * theta.sin())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_stays_in_bbox() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = UniformField::new(BBox::square(1000.0));
+        for _ in 0..1000 {
+            assert!(s.bbox().contains(s.sample(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn uniform_centered_square_centered() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let c = Point::new(500.0, 500.0);
+        let s = UniformField::centered_square(c, 200.0);
+        let pts = s.sample_n(&mut rng, 4000);
+        let mean = Point::centroid(pts.iter().copied()).unwrap();
+        assert!(mean.distance(c) < 10.0, "mean {mean} too far from center");
+        for p in pts {
+            assert!((p.x - c.x).abs() <= 100.0 && (p.y - c.y).abs() <= 100.0);
+        }
+    }
+
+    #[test]
+    fn gaussian_mean_and_spread() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let c = Point::new(100.0, -50.0);
+        let s = Gaussian2d::new(c, 50.0);
+        let pts = s.sample_n(&mut rng, 8000);
+        let mean = Point::centroid(pts.iter().copied()).unwrap();
+        assert!(mean.distance(c) < 3.0);
+        let var_x: f64 =
+            pts.iter().map(|p| (p.x - c.x).powi(2)).sum::<f64>() / pts.len() as f64;
+        assert!((var_x.sqrt() - 50.0).abs() < 3.0, "sd {}", var_x.sqrt());
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma")]
+    fn gaussian_rejects_zero_sigma() {
+        let _ = Gaussian2d::new(Point::ORIGIN, 0.0);
+    }
+
+    #[test]
+    fn poisson_mean_matches_lambda() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for lambda in [0.5, 3.0, 10.0, 50.0] {
+            let n = 20_000;
+            let mean: f64 =
+                (0..n).map(|_| poisson(&mut rng, lambda) as f64).sum::<f64>() / n as f64;
+            assert!(
+                (mean - lambda).abs() < lambda.max(1.0) * 0.05,
+                "lambda {lambda}: mean {mean}"
+            );
+        }
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn poisson_radial_concentrates_at_ring() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let c = Point::new(0.0, 0.0);
+        let s = PoissonRadial::new(c, 4.0, 100.0);
+        assert_eq!(s.mean_radius(), 400.0);
+        let pts = s.sample_n(&mut rng, 8000);
+        let mean_r: f64 = pts.iter().map(|p| p.distance(c)).sum::<f64>() / pts.len() as f64;
+        assert!((mean_r - 400.0).abs() < 20.0, "mean radius {mean_r}");
+        // Mass at mid-range: nontrivially many points between 200 and 600.
+        let mid = pts
+            .iter()
+            .filter(|p| (200.0..600.0).contains(&p.distance(c)))
+            .count();
+        assert!(mid as f64 / pts.len() as f64 > 0.6);
+    }
+
+    #[test]
+    fn spread_ordering_matches_paper() {
+        // Uniform is most spread out, normal the most aggregated — that is
+        // the premise of the §V-B study.
+        let mut rng = StdRng::seed_from_u64(6);
+        let c = Point::new(500.0, 500.0);
+        let uni = UniformField::centered_square(c, 1000.0);
+        let poi = PoissonRadial::new(c, 3.0, 80.0);
+        let gau = Gaussian2d::new(c, 80.0);
+        let spread = |pts: &[Point]| -> f64 {
+            pts.iter().map(|p| p.distance(c)).sum::<f64>() / pts.len() as f64
+        };
+        let su = spread(&uni.sample_n(&mut rng, 3000));
+        let sp = spread(&poi.sample_n(&mut rng, 3000));
+        let sg = spread(&gau.sample_n(&mut rng, 3000));
+        assert!(su > sp && sp > sg, "spreads {su} {sp} {sg}");
+    }
+
+    #[test]
+    fn sampler_is_object_safe() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let samplers: Vec<Box<dyn PointSampler>> = vec![
+            Box::new(UniformField::new(BBox::square(10.0))),
+            Box::new(Gaussian2d::new(Point::ORIGIN, 1.0)),
+            Box::new(PoissonRadial::new(Point::ORIGIN, 2.0, 1.0)),
+        ];
+        for s in &samplers {
+            let p = s.sample(&mut rng);
+            assert!(p.is_finite());
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Tier-2 deep dive: incentives vs plain maintenance on the same fleet.
+//!
+//! Compares the maintenance economics of a drained fleet across incentive
+//! levels α — per-station aggregation, incentive payments, the operator's
+//! tour and the fraction of bikes recharged within a fixed shift — the
+//! machinery behind the paper's Table VI.
+//!
+//! Run with: `cargo run --release --example charging_fleet`
+
+use e_sharing::charging::{
+    tsp, ChargingCostParams, IncentiveMechanism, Operator, StationEnergy, UserModel,
+};
+use e_sharing::geo::Point;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Synthesizes a plausible evening energy state: stations on a jittered
+/// grid, each holding a Poisson-tailed count of low-battery bikes.
+fn evening_state(seed: u64) -> Vec<StationEnergy> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for gx in 0..5 {
+        for gy in 0..5 {
+            let location = Point::new(
+                gx as f64 * 600.0 + rng.gen_range(0.0..200.0),
+                gy as f64 * 600.0 + rng.gen_range(0.0..200.0),
+            );
+            // A tail: most stations hold a handful, a few hold many.
+            let low_bikes = if rng.gen_range(0.0..1.0) < 0.2 {
+                rng.gen_range(15..30)
+            } else {
+                rng.gen_range(0..8)
+            };
+            out.push(StationEnergy {
+                location,
+                low_bikes,
+                arrivals: 80,
+            });
+        }
+    }
+    out
+}
+
+fn main() {
+    let stations = evening_state(11);
+    let total_low: usize = stations.iter().map(|s| s.low_bikes).sum();
+    let with_demand = stations.iter().filter(|s| s.low_bikes > 0).count();
+    println!("evening state: {total_low} low bikes across {with_demand} of 25 stations\n");
+
+    let params = ChargingCostParams::default();
+    let operator = Operator::new(Point::ORIGIN, 4.0, 600.0, 3.0 * 3_600.0).with_skip_below(2);
+
+    println!(
+        "{:>6} {:>10} {:>10} {:>12} {:>10} {:>10} {:>10}",
+        "alpha", "relocated", "paid ($)", "sites left", "tour ($)", "charged", "route km"
+    );
+    for alpha in [0.0, 0.2, 0.4, 0.6, 0.8, 1.0] {
+        let mechanism = IncentiveMechanism::new(params, UserModel::default(), alpha, 99);
+        let outcome = mechanism.run_period(&stations);
+        let after = Operator::stations_after_incentives(&stations, &outcome);
+        let shift = operator.run_shift(&after, &params);
+        let demand: Vec<Point> = after
+            .iter()
+            .filter(|s| s.low_bikes > 2)
+            .map(|s| s.location)
+            .collect();
+        let route = if demand.is_empty() {
+            0.0
+        } else {
+            tsp::route_length(Point::ORIGIN, &demand, &tsp::solve(Point::ORIGIN, &demand))
+        };
+        println!(
+            "{alpha:>6.1} {:>10} {:>10.0} {:>12} {:>10.0} {:>9.1}% {:>10.1}",
+            outcome.relocated,
+            outcome.incentives_paid,
+            outcome.stations_needing_service(),
+            shift.tour_cost + outcome.incentives_paid,
+            100.0 * shift.charged_fraction(),
+            route / 1_000.0,
+        );
+    }
+
+    println!(
+        "\nreading: α=0 leaves the tail scattered (long route, bikes missed);\n\
+         moderate α aggregates cheaply; α=1 relocates no more but pays ~2.5x as much."
+    );
+}

@@ -1,0 +1,54 @@
+//! A two-week city simulation — the paper's full evaluation window.
+//!
+//! Replays fourteen days (the Mobike window, May 10–24) through the
+//! complete two-tier pipeline: three bootstrap days followed by eleven
+//! live days, with an incentivized maintenance period closing each day.
+//! Prints a per-day operations report and the final system metrics.
+//!
+//! Run with: `cargo run --release --example city_simulation`
+
+use e_sharing::core::{Simulation, SystemConfig};
+use e_sharing::dataset::CityConfig;
+
+fn main() {
+    let city = CityConfig {
+        trips_per_day: 1_500.0,
+        fleet_size: 800,
+        ..CityConfig::default()
+    };
+    let mut sim = Simulation::new(&city, SystemConfig::default(), 2017);
+
+    let historical_trips = sim.bootstrap_days(3);
+    println!(
+        "bootstrap: {} trips over 3 days -> {} landmark stations\n",
+        historical_trips,
+        sim.system().landmarks().len()
+    );
+
+    println!(
+        "{:>4} {:>4} {:>7} {:>9} {:>11} {:>11} {:>12}",
+        "day", "dow", "trips", "stations", "low before", "low after", "maint. cost"
+    );
+    for _ in 0..11 {
+        let d = sim.run_day();
+        let dow = e_sharing::dataset::Timestamp::from_day_hour(d.day, 0).weekday_name();
+        println!(
+            "{:>4} {:>4} {:>7} {:>9} {:>11} {:>11} {:>11.0}$",
+            d.day,
+            dow,
+            d.trips,
+            d.stations,
+            d.low_before_maintenance,
+            d.low_after_maintenance,
+            d.maintenance_cost
+        );
+    }
+
+    let report = sim.report();
+    println!("\nfinal metrics:\n{}", report.metrics);
+    println!(
+        "\nfleet state: {} bikes, {} currently low",
+        sim.fleet().len(),
+        sim.fleet().low_battery_bikes().len()
+    );
+}

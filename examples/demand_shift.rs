@@ -1,0 +1,88 @@
+//! Demand-shift scenario — the paper's motivating online case.
+//!
+//! "Events such as concerts or sports games might lead to short-time
+//! demand surge at previously unexpected locations" (§III-C). This example
+//! bootstraps the system on normal traffic, then injects a surge in a
+//! corner of the field no landmark covers, and shows the KS test detecting
+//! the shift, the penalty switching to Type I, and new stations following
+//! the crowd — then traffic returning to normal.
+//!
+//! Run with: `cargo run --release --example demand_shift`
+
+use e_sharing::geo::Point;
+use e_sharing::placement::offline::jms_greedy;
+use e_sharing::placement::online::{DeviationConfig, DeviationPenalty, OnlinePlacement};
+use e_sharing::placement::PlpInstance;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn uniform(rng: &mut StdRng, n: usize, min: Point, side: f64) -> Vec<Point> {
+    (0..n)
+        .map(|_| {
+            Point::new(
+                min.x + rng.gen_range(0.0..side),
+                min.y + rng.gen_range(0.0..side),
+            )
+        })
+        .collect()
+}
+
+fn status(alg: &DeviationPenalty, phase: &str) {
+    println!(
+        "{phase:<28} stations={:<3} opened_online={:<3} penalty={:<9} similarity={}",
+        alg.stations().len(),
+        alg.opened_online(),
+        alg.penalty_kind().to_string(),
+        alg.last_similarity()
+            .map(|s| format!("{s:.0}%"))
+            .unwrap_or_else(|| "-".into()),
+    );
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+    // Normal demand lives in the 2x2 km core of the field.
+    let core = Point::new(0.0, 0.0);
+    let history = uniform(&mut rng, 400, core, 2_000.0);
+
+    let instance = PlpInstance::with_uniform_cost(history.clone(), 5_000.0);
+    let landmarks = jms_greedy(&instance).facility_points(&instance);
+    println!("offline landmarks from history: {}\n", landmarks.len());
+
+    let mut alg = DeviationPenalty::new(
+        landmarks,
+        history,
+        DeviationConfig {
+            space_cost: 5_000.0,
+            seed: 7,
+            ..DeviationConfig::default()
+        },
+    );
+
+    // Phase 1: business as usual.
+    for p in uniform(&mut rng, 300, core, 2_000.0) {
+        alg.handle(p);
+    }
+    status(&alg, "normal traffic");
+
+    // Phase 2: a stadium event 3 km away — demand the landmarks never saw.
+    let stadium = Point::new(4_000.0, 4_000.0);
+    for p in uniform(&mut rng, 250, stadium, 500.0) {
+        alg.handle(p);
+    }
+    status(&alg, "surge at the stadium");
+    let near_stadium = alg
+        .stations()
+        .iter()
+        .filter(|s| s.x > 3_500.0 && s.y > 3_500.0)
+        .count();
+    println!("{near_stadium} stations now serve the stadium area\n");
+
+    // Phase 3: the event ends; traffic reverts.
+    for p in uniform(&mut rng, 300, core, 2_000.0) {
+        alg.handle(p);
+    }
+    status(&alg, "traffic back to normal");
+
+    println!("\nfinal cost: {}", alg.cost());
+}

@@ -1,0 +1,75 @@
+//! Quickstart: the E-Sharing pipeline in ~60 lines.
+//!
+//! Builds a synthetic city, bootstraps the offline landmarks from three
+//! days of history, streams a live day of trip requests through the
+//! deviation-penalty online algorithm, and runs one incentivized
+//! maintenance period.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use e_sharing::core::{ESharing, SystemConfig};
+use e_sharing::dataset::{CityConfig, Fleet, SyntheticCity, TripGenerator};
+use e_sharing::geo::Point;
+
+fn main() {
+    // 1. A city with POI-anchored demand and a fleet of e-bikes.
+    let city_config = CityConfig {
+        trips_per_day: 1_200.0,
+        fleet_size: 600,
+        ..CityConfig::default()
+    };
+    let city = SyntheticCity::generate(&city_config);
+    let mut generator = TripGenerator::new(&city, 42);
+    let system_config = SystemConfig::default();
+    let mut fleet = Fleet::new(600, city.bbox(), system_config.energy, 42);
+
+    // 2. Bootstrap: three days of history feed the offline 1.61-factor
+    //    placement, producing the landmark parking locations.
+    let history = generator.generate_days(0, 3);
+    let destinations: Vec<Point> = history.iter().map(|t| t.end).collect();
+    fleet.replay(history.iter());
+    let mut system = ESharing::new(system_config);
+    let landmarks = system.bootstrap(&destinations).to_vec();
+    println!(
+        "bootstrapped {} landmark stations from {} historical trips",
+        landmarks.len(),
+        destinations.len()
+    );
+
+    // 3. Live day: every trip request is decided online, guided by the
+    //    offline solution through the deviation penalty.
+    let live = generator.generate_days(3, 1);
+    let mut opened = 0usize;
+    for trip in &live {
+        let decision = system.handle_request(trip.end).expect("bootstrapped");
+        if decision.opened() {
+            opened += 1;
+        }
+        fleet.apply_trip(trip);
+    }
+    fleet.apply_idle_day();
+    println!(
+        "served {} live requests; {} new stations were established online",
+        live.len(),
+        opened
+    );
+    println!(
+        "average walk to assigned parking: {:.0} m",
+        system.metrics().avg_walk_m()
+    );
+
+    // 4. Evening maintenance: incentives aggregate the low-battery bikes,
+    //    the operator tours the remaining demand sites.
+    let low_before = fleet.low_battery_bikes().len();
+    let report = system.maintenance_period(&mut fleet).expect("bootstrapped");
+    println!(
+        "maintenance: {} low bikes -> {} sites visited, {} bikes relocated by users \
+         for ${:.0}, tour cost ${:.0}",
+        low_before,
+        report.shift.visited.len(),
+        report.incentives.relocated,
+        report.incentives.incentives_paid,
+        report.shift.tour_cost
+    );
+    println!("\nfinal metrics:\n{}", system.metrics());
+}

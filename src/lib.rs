@@ -1,0 +1,46 @@
+//! # e-sharing
+//!
+//! Facade crate for the E-Sharing reproduction — a two-tier data-driven
+//! online optimization framework for dockless electric bike sharing
+//! (Zhou et al., ICDCS 2020).
+//!
+//! This crate re-exports every member crate of the workspace under one
+//! namespace so applications can depend on a single crate:
+//!
+//! * [`geo`] — planar/geographic geometry, geohash, grids.
+//! * [`stats`] — Peacock's 2-D KS test, ECDFs, samplers, error metrics.
+//! * [`linalg`] — the dense linear algebra kernel behind the LSTM.
+//! * [`forecast`] — LSTM / MA / ARIMA demand forecasting.
+//! * [`dataset`] — the synthetic Mobike-like trip & energy workload.
+//! * [`placement`] — Tier 1: offline (1.61-factor) and online parking
+//!   location placement, including the paper's deviation-penalty algorithm.
+//! * [`charging`] — Tier 2: charging cost model, user incentives, TSP
+//!   routing for maintenance operators.
+//! * [`core`] — the end-to-end orchestration of both tiers.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use e_sharing::geo::Point;
+//! use e_sharing::placement::{PlpInstance, offline};
+//!
+//! // Four destinations in two natural clusters, uniform opening cost.
+//! let clients = vec![
+//!     Point::new(0.0, 0.0),
+//!     Point::new(10.0, 0.0),
+//!     Point::new(1000.0, 1000.0),
+//!     Point::new(1010.0, 1000.0),
+//! ];
+//! let instance = PlpInstance::with_uniform_cost(clients, 100.0);
+//! let solution = offline::jms_greedy(&instance);
+//! assert_eq!(solution.open_facilities().len(), 2);
+//! ```
+
+pub use esharing_charging as charging;
+pub use esharing_core as core;
+pub use esharing_dataset as dataset;
+pub use esharing_forecast as forecast;
+pub use esharing_geo as geo;
+pub use esharing_linalg as linalg;
+pub use esharing_placement as placement;
+pub use esharing_stats as stats;

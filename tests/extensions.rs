@@ -1,0 +1,139 @@
+//! Integration tests for the implemented extensions (DESIGN.md §6)
+//! exercised through the public facade.
+
+use e_sharing::charging::rebalance::{plan_rebalance, StationInventory};
+use e_sharing::core::events::{EventDrivenSim, TriggerPolicy};
+use e_sharing::core::SystemConfig;
+use e_sharing::dataset::{io, CityConfig, SyntheticCity, Timestamp, TripGenerator};
+use e_sharing::geo::privacy::PlanarLaplace;
+use e_sharing::geo::Point;
+use e_sharing::placement::online::{DeviationConfig, DeviationPenalty, OnlinePlacement};
+use e_sharing::placement::penalty::PolynomialPenalty;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn csv_roundtrip_feeds_the_pipeline() {
+    // Generate trips, serialize to the Mobike CSV schema, read back, and
+    // run the placement on the parsed stream.
+    let city = SyntheticCity::generate(&CityConfig {
+        trips_per_day: 400.0,
+        ..CityConfig::default()
+    });
+    let trips = TripGenerator::new(&city, 3).generate_days(0, 1);
+    let mut buf = Vec::new();
+    io::write_csv(&mut buf, &trips).expect("write");
+    let parsed = io::read_csv(buf.as_slice()).expect("read");
+    assert_eq!(parsed.len(), trips.len());
+    let destinations: Vec<Point> = parsed.iter().map(|t| t.end).collect();
+    let mut system = e_sharing::core::ESharing::new(SystemConfig::default());
+    let landmarks = system.bootstrap(&destinations);
+    assert!(!landmarks.is_empty());
+}
+
+#[test]
+fn obfuscated_stream_still_places_reasonably() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let history: Vec<Point> = (0..200)
+        .map(|_| Point::new(rng.gen_range(0.0..1_000.0), rng.gen_range(0.0..1_000.0)))
+        .collect();
+    let inst = e_sharing::placement::PlpInstance::with_uniform_cost(history.clone(), 5_000.0);
+    let landmarks = e_sharing::placement::offline::jms_greedy(&inst).facility_points(&inst);
+    let mechanism = PlanarLaplace::new(0.05).expect("valid epsilon"); // 40 m mean noise
+    let mut alg = DeviationPenalty::new(landmarks, history, DeviationConfig::default());
+    let mut true_walk = 0.0;
+    for _ in 0..200 {
+        let truth = Point::new(rng.gen_range(0.0..1_000.0), rng.gen_range(0.0..1_000.0));
+        let noisy = mechanism.obfuscate(truth, &mut rng);
+        let decision = alg.handle(noisy);
+        true_walk += truth.distance(decision.station());
+    }
+    // Mild noise must not blow up routing: average true walk stays in the
+    // same regime as the field's station spacing.
+    assert!(true_walk / 200.0 < 600.0, "avg walk {}", true_walk / 200.0);
+}
+
+#[test]
+fn polynomial_penalty_drives_online_decisions() {
+    // A custom penalty that forbids any opening makes the algorithm pure
+    // assignment; one that always permits makes it open everywhere the
+    // decision cost allows.
+    let landmarks = vec![Point::new(500.0, 500.0)];
+    let never = PolynomialPenalty::from_coefficients(vec![0.0], 1e9);
+    let mut closed = DeviationPenalty::new(
+        landmarks.clone(),
+        Vec::new(),
+        DeviationConfig {
+            auto_penalty: false,
+            custom_penalty: Some(never),
+            ..DeviationConfig::default()
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(5);
+    for _ in 0..100 {
+        let p = Point::new(rng.gen_range(0.0..1_000.0), rng.gen_range(0.0..1_000.0));
+        assert!(!closed.handle(p).opened());
+    }
+    assert_eq!(closed.stations().len(), 1);
+}
+
+#[test]
+fn rebalancer_restores_targets_inside_the_city() {
+    // Derive inventories from real station locations and imbalanced counts.
+    let mut rng = StdRng::seed_from_u64(6);
+    let locations: Vec<Point> = (0..12)
+        .map(|_| Point::new(rng.gen_range(0.0..3_000.0), rng.gen_range(0.0..3_000.0)))
+        .collect();
+    let mut inventories: Vec<StationInventory> = Vec::new();
+    let mut surplus_total = 0i64;
+    for i in 0..locations.len() {
+        let bikes = rng.gen_range(0..20usize);
+        inventories.push(StationInventory { bikes, target: 0 });
+        surplus_total += bikes as i64;
+        let _ = i;
+    }
+    // Equal targets summing to the supply.
+    let per = (surplus_total as usize) / locations.len();
+    let mut leftover = surplus_total as usize - per * locations.len();
+    for inv in inventories.iter_mut() {
+        inv.target = per + usize::from(leftover > 0);
+        leftover = leftover.saturating_sub(1);
+    }
+    let plan = plan_rebalance(Point::ORIGIN, &locations, &inventories, 8);
+    assert_eq!(plan.residual_imbalance, 0, "supply == demand must balance");
+    let after = e_sharing::charging::rebalance::apply_plan(&inventories, &plan);
+    for (inv, &bikes) in inventories.iter().zip(&after) {
+        assert_eq!(bikes, inv.target);
+    }
+}
+
+#[test]
+fn event_driven_sim_interoperates_with_forecasting() {
+    // Run the condition-based engine, then forecast the request series it
+    // produced — a full cross-extension path.
+    let mut sim = EventDrivenSim::new(
+        &CityConfig {
+            trips_per_day: 800.0,
+            fleet_size: 350,
+            ..CityConfig::default()
+        },
+        SystemConfig::default(),
+        TriggerPolicy::default(),
+        7,
+    );
+    sim.bootstrap_days(1);
+    sim.run_until(Timestamp::from_day_hour(4, 0));
+    assert!(sim.trips_processed() > 1_000);
+    // Forecast from the engine's own metrics-era demand (use the generator
+    // again for a fresh series; this checks the crates compose, not the
+    // values).
+    use e_sharing::forecast::{Forecaster, HoltWinters};
+    let city = SyntheticCity::generate(&CityConfig::default());
+    let trips = TripGenerator::new(&city, 8).generate_days(0, 4);
+    let series = e_sharing::dataset::arrivals::hourly_totals(&trips, 0, 4 * 24);
+    let mut hw = HoltWinters::hourly().expect("valid");
+    hw.fit(&series).expect("fit");
+    let f = hw.forecast(&series, 6).expect("forecast");
+    assert_eq!(f.len(), 6);
+    assert!(f.iter().all(|v| v.is_finite()));
+}

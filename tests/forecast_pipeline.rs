@@ -1,0 +1,85 @@
+//! Integration tests: dataset → forecast (the Table II pipeline).
+
+use e_sharing::dataset::{arrivals, CityConfig, SyntheticCity, Timestamp, TripGenerator};
+use e_sharing::forecast::eval::{best, ma_grid, rolling_rmse};
+use e_sharing::forecast::{Arima, Forecaster, Lstm, LstmConfig, MovingAverage};
+
+fn hourly_series(days: u64, seed: u64) -> Vec<f64> {
+    let city = SyntheticCity::generate(&CityConfig {
+        trips_per_day: 900.0,
+        ..CityConfig::default()
+    });
+    let mut generator = TripGenerator::new(&city, seed);
+    let trips = generator.generate_days(0, days);
+    arrivals::hourly_totals(&trips, 0, days * 24)
+}
+
+#[test]
+fn lstm_beats_moving_average_on_city_series() {
+    let series = hourly_series(10, 1);
+    let (train, test) = series.split_at(8 * 24);
+    let mut lstm = Lstm::new(LstmConfig {
+        hidden: 16,
+        layers: 2,
+        back: 24,
+        epochs: 50,
+        ..LstmConfig::default()
+    })
+    .expect("valid config");
+    lstm.fit(train).expect("fit");
+    let lstm_rmse = rolling_rmse(&lstm, train, test, 6).expect("rmse");
+
+    let ma_results = ma_grid(train, test, 6).expect("grid");
+    let best_ma = best(&ma_results).expect("non-empty").rmse;
+    assert!(
+        lstm_rmse < best_ma,
+        "LSTM {lstm_rmse:.1} must beat the best MA {best_ma:.1}"
+    );
+}
+
+#[test]
+fn arima_beats_moving_average_on_city_series() {
+    let series = hourly_series(10, 2);
+    let (train, test) = series.split_at(8 * 24);
+    let mut arima = Arima::new(10, 0).expect("valid orders");
+    arima.fit(train).expect("fit");
+    let arima_rmse = rolling_rmse(&arima, train, test, 6).expect("rmse");
+    let mut ma = MovingAverage::new(3).expect("valid window");
+    ma.fit(train).expect("fit");
+    let ma_rmse = rolling_rmse(&ma, train, test, 6).expect("rmse");
+    assert!(
+        arima_rmse < ma_rmse,
+        "ARIMA {arima_rmse:.1} must beat MA {ma_rmse:.1} on diurnal data"
+    );
+}
+
+#[test]
+fn per_cell_series_sum_to_totals() {
+    let city = SyntheticCity::generate(&CityConfig::default());
+    let mut generator = TripGenerator::new(&city, 3);
+    let trips = generator.generate_days(0, 2);
+    let grid = e_sharing::geo::Grid::new(100.0);
+    let top = arrivals::busiest_cells(&trips, &grid, usize::MAX);
+    let total_via_cells: u64 = top.iter().map(|&(_, c)| c).sum();
+    assert_eq!(total_via_cells as usize, trips.len());
+    let totals = arrivals::hourly_totals(&trips, 0, 48);
+    assert_eq!(totals.iter().sum::<f64>() as usize, trips.len());
+}
+
+#[test]
+fn weekend_series_differs_from_weekday() {
+    let city = SyntheticCity::generate(&CityConfig::default());
+    let mut generator = TripGenerator::new(&city, 4);
+    let trips = generator.generate_days(0, 14);
+    // Day 1 (Thu) vs day 3 (Sat): the morning commute spike must vanish.
+    let thu_start = Timestamp::from_day_hour(1, 0).hour_index();
+    let sat_start = Timestamp::from_day_hour(3, 0).hour_index();
+    let thu = arrivals::hourly_totals(&trips, thu_start, thu_start + 24);
+    let sat = arrivals::hourly_totals(&trips, sat_start, sat_start + 24);
+    let thu_morning: f64 = thu[7..10].iter().sum();
+    let sat_morning: f64 = sat[7..10].iter().sum();
+    assert!(
+        thu_morning > 1.5 * sat_morning,
+        "thu morning {thu_morning} vs sat morning {sat_morning}"
+    );
+}

@@ -1,0 +1,71 @@
+//! Integration tests: dataset → KS test (the Table IV structure).
+
+use e_sharing::dataset::{arrivals, CityConfig, SyntheticCity, Timestamp, TripGenerator};
+use e_sharing::geo::Point;
+use e_sharing::stats::ks2d::{peacock_test, similarity_percent, SimilarityClass};
+
+fn day_destinations(trips: &[e_sharing::dataset::Trip], day: u64, cap: usize) -> Vec<Point> {
+    let pts = arrivals::destinations_in_window(
+        trips,
+        Timestamp::from_day_hour(day, 0),
+        Timestamp::from_day_hour(day + 1, 0),
+    );
+    if pts.len() <= cap {
+        return pts;
+    }
+    let stride = pts.len() as f64 / cap as f64;
+    (0..cap).map(|i| pts[(i as f64 * stride) as usize]).collect()
+}
+
+#[test]
+fn weekday_pairs_more_similar_than_cross_pairs() {
+    let city = SyntheticCity::generate(&CityConfig::default());
+    let mut generator = TripGenerator::new(&city, 8);
+    let trips = generator.generate_days(0, 7);
+    // Day 1 = Thu, day 2 = Fri (weekdays); day 3 = Sat.
+    let thu = day_destinations(&trips, 1, 200);
+    let fri = day_destinations(&trips, 2, 200);
+    let sat = day_destinations(&trips, 3, 200);
+    let weekday_pair = similarity_percent(&thu, &fri);
+    let cross_pair = similarity_percent(&fri, &sat);
+    assert!(
+        weekday_pair > cross_pair + 3.0,
+        "thu-fri {weekday_pair:.1}% must clearly exceed fri-sat {cross_pair:.1}%"
+    );
+}
+
+#[test]
+fn same_day_split_reads_very_similar() {
+    let city = SyntheticCity::generate(&CityConfig::default());
+    let mut generator = TripGenerator::new(&city, 9);
+    let trips = generator.generate_days(0, 1);
+    let all = day_destinations(&trips, 0, 400);
+    let (a, b) = all.split_at(all.len() / 2);
+    // Halves of one day's stream come from the same spatial process
+    // (interleaved in time, so diurnal drift is shared).
+    let result = peacock_test(a, b);
+    assert_ne!(
+        SimilarityClass::from_test(&result),
+        SimilarityClass::LessSimilar,
+        "same-day halves misread as a distribution shift (D={:.2})",
+        result.statistic
+    );
+}
+
+#[test]
+fn relocated_demand_reads_less_similar() {
+    let city = SyntheticCity::generate(&CityConfig::default());
+    let mut generator = TripGenerator::new(&city, 10);
+    let trips = generator.generate_days(0, 1);
+    let normal = day_destinations(&trips, 0, 300);
+    let relocated: Vec<Point> = normal
+        .iter()
+        .map(|p| *p + Point::new(10_000.0, 10_000.0))
+        .collect();
+    let result = peacock_test(&normal, &relocated);
+    assert_eq!(
+        SimilarityClass::from_test(&result),
+        SimilarityClass::LessSimilar
+    );
+    assert!(result.statistic > 0.9);
+}

@@ -1,0 +1,160 @@
+//! Cross-algorithm integration tests for Tier 1 (PLP).
+
+use e_sharing::geo::Point;
+use e_sharing::placement::offline::jms_greedy;
+use e_sharing::placement::online::{
+    DeviationConfig, DeviationPenalty, Meyerson, OnlineKMeans, OnlinePlacement,
+};
+use e_sharing::placement::PlpInstance;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn uniform(n: usize, side: f64, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Point::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side)))
+        .collect()
+}
+
+/// The paper's Table V ordering on averaged random workloads:
+/// offline ≤ E-sharing < Meyerson < online k-means.
+#[test]
+fn table_v_cost_ordering_holds_on_average() {
+    const SPACE: f64 = 5_000.0;
+    let mut totals = [0.0f64; 4];
+    for seed in 0..10u64 {
+        let history = uniform(150, 1_000.0, 10_000 + seed);
+        let live = uniform(150, 1_000.0, 20_000 + seed);
+        let inst = PlpInstance::with_uniform_cost(live.clone(), SPACE);
+        let off = jms_greedy(&inst);
+        totals[0] += inst.cost_of(&off).total();
+
+        let guide_inst = PlpInstance::with_uniform_cost(history.clone(), SPACE);
+        let landmarks = jms_greedy(&guide_inst).facility_points(&guide_inst);
+        let k = landmarks.len();
+        let mut es = DeviationPenalty::new(
+            landmarks,
+            history,
+            DeviationConfig {
+                space_cost: SPACE,
+                seed,
+                ..DeviationConfig::default()
+            },
+        );
+        totals[1] += es.run(live.iter().copied()).total();
+
+        let mut mey = Meyerson::new(SPACE, seed);
+        totals[2] += mey.run(live.iter().copied()).total();
+
+        let mut km = OnlineKMeans::new(k.max(1), live.len(), SPACE, seed)
+            .with_phase_length(k.max(1));
+        totals[3] += km.run(live.iter().copied()).total();
+    }
+    let [off, es, mey, km] = totals;
+    assert!(off <= es, "offline {off} must lower-bound E-sharing {es}");
+    assert!(es < mey, "E-sharing {es} must beat Meyerson {mey}");
+    assert!(mey < km, "Meyerson {mey} must beat online k-means {km}");
+    // And the E-sharing gap to offline stays well inside the paper's band.
+    assert!(
+        es / off < 1.6,
+        "E-sharing/offline ratio {:.2} too large",
+        es / off
+    );
+}
+
+/// Theorem 1's adversarial stream: geometrically shrinking requests at
+/// (2^-i, 2^-i). The offline optimum opens one facility; any online
+/// algorithm keeps paying. We verify the *construction* — the offline cost
+/// stays bounded while Meyerson's grows with the horizon.
+#[test]
+fn theorem_1_adversarial_stream() {
+    let f = 2.0;
+    let stream: Vec<Point> = (1..40)
+        .map(|i| {
+            let c = 2.0f64.powi(-i);
+            Point::new(c, c)
+        })
+        .collect();
+    // Offline: a single facility at the first (largest) point serves all
+    // with cost bounded by 2 + sqrt(2).
+    let inst = PlpInstance::with_uniform_cost(stream.clone(), f);
+    let off = jms_greedy(&inst);
+    let off_cost = inst.cost_of(&off).total();
+    assert!(
+        off_cost <= f + std::f64::consts::SQRT_2,
+        "offline cost {off_cost} must stay bounded"
+    );
+    // The online algorithm cannot be O(1)-competitive on this family; at
+    // the very least it pays the distance stream or extra facilities.
+    let mut mey = Meyerson::new(f, 1);
+    let on_cost = mey.run(stream.iter().copied()).total();
+    assert!(on_cost >= off_cost);
+}
+
+/// The guided online algorithm defaults toward the landmarks: when live
+/// traffic exactly matches history, extra stations stay rare.
+#[test]
+fn guided_online_stays_near_landmark_count() {
+    for seed in 0..5u64 {
+        let history = uniform(200, 1_500.0, 777 + seed);
+        let inst = PlpInstance::with_uniform_cost(history.clone(), 5_000.0);
+        let landmarks = jms_greedy(&inst).facility_points(&inst);
+        let k = landmarks.len();
+        let mut es = DeviationPenalty::new(
+            landmarks,
+            history.clone(),
+            DeviationConfig {
+                space_cost: 5_000.0,
+                seed,
+                ..DeviationConfig::default()
+            },
+        );
+        for p in uniform(200, 1_500.0, 888 + seed) {
+            es.handle(p);
+        }
+        assert!(
+            es.stations().len() <= 2 * k + 2,
+            "seed {seed}: {} stations from k={k}",
+            es.stations().len()
+        );
+    }
+}
+
+/// Removing every station leaves the algorithm functional (footnote 2).
+#[test]
+fn deviation_penalty_survives_total_station_loss() {
+    let history = uniform(100, 500.0, 1);
+    let landmarks = vec![Point::new(100.0, 100.0), Point::new(400.0, 400.0)];
+    let mut es = DeviationPenalty::new(landmarks.clone(), history, DeviationConfig::default());
+    for p in &landmarks {
+        assert!(es.remove_station(*p));
+    }
+    let mut served = 0;
+    for p in uniform(50, 500.0, 2) {
+        es.handle(p);
+        served += 1;
+    }
+    assert_eq!(served, 50);
+    assert!(!es.stations().is_empty());
+}
+
+/// Online algorithms agree with their cost invariant: walking equals the
+/// sum of assigned distances, space equals stations × f.
+#[test]
+fn online_cost_invariants() {
+    const SPACE: f64 = 2_000.0;
+    let stream = uniform(300, 800.0, 3);
+
+    let mut mey = Meyerson::new(SPACE, 3);
+    let mut walking = 0.0;
+    for &p in &stream {
+        if let e_sharing::placement::online::Decision::Assigned { walking: w, .. } =
+            mey.handle(p)
+        {
+            walking += w;
+        }
+    }
+    let cost = mey.cost();
+    assert!((cost.walking - walking).abs() < 1e-9);
+    assert!((cost.space - mey.stations().len() as f64 * SPACE).abs() < 1e-9);
+}

@@ -1,0 +1,287 @@
+//! Property-based tests over the core data structures and invariants.
+
+use e_sharing::charging::{tsp, ChargingCostParams};
+use e_sharing::geo::{geohash, BBox, Grid, LatLon, NearestNeighborIndex, Point};
+use e_sharing::linalg::Matrix;
+use e_sharing::placement::offline::jms_greedy;
+use e_sharing::placement::penalty::{PenaltyFunction, PenaltyType};
+use e_sharing::placement::PlpInstance;
+use e_sharing::stats::ks2d::{ff_statistic, peacock_statistic};
+use e_sharing::stats::{Ecdf, RunningStats};
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-5_000.0..5_000.0f64, -5_000.0..5_000.0f64).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_points(max: usize) -> impl Strategy<Value = Vec<Point>> {
+    proptest::collection::vec(arb_point(), 1..max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---- geometry -------------------------------------------------------
+
+    #[test]
+    fn distance_triangle_inequality(a in arb_point(), b in arb_point(), c in arb_point()) {
+        prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-9);
+    }
+
+    #[test]
+    fn distance_symmetry_and_identity(a in arb_point(), b in arb_point()) {
+        prop_assert!((a.distance(b) - b.distance(a)).abs() < 1e-12);
+        prop_assert_eq!(a.distance(a), 0.0);
+    }
+
+    #[test]
+    fn grid_snap_within_half_diagonal(p in arb_point(), size in 1.0..500.0f64) {
+        let grid = Grid::new(size);
+        let snapped = grid.snap(p);
+        prop_assert!(p.distance(snapped) <= grid.cell_diagonal() / 2.0 + 1e-9);
+        // Idempotent.
+        prop_assert_eq!(grid.snap(snapped), snapped);
+    }
+
+    #[test]
+    fn bbox_from_points_contains_all(pts in arb_points(40)) {
+        let bbox = BBox::from_points(pts.iter().copied()).expect("non-empty");
+        for p in &pts {
+            prop_assert!(bbox.contains(*p));
+        }
+        prop_assert!(bbox.contains(bbox.center()));
+    }
+
+    #[test]
+    fn bbox_clamp_is_inside_and_idempotent(p in arb_point(), q in arb_point(), r in arb_point()) {
+        let bbox = BBox::new(p, q);
+        let clamped = bbox.clamp(r);
+        prop_assert!(bbox.contains(clamped));
+        prop_assert_eq!(bbox.clamp(clamped), clamped);
+    }
+
+    // ---- geohash --------------------------------------------------------
+
+    #[test]
+    fn geohash_roundtrip_within_cell(
+        lat in -89.9..89.9f64,
+        lon in -179.9..179.9f64,
+        precision in 1usize..=12,
+    ) {
+        let c = LatLon::new(lat, lon).expect("valid");
+        let hash = geohash::encode(c, precision).expect("encode");
+        prop_assert_eq!(hash.len(), precision);
+        let (decoded, err) = geohash::decode(&hash).expect("decode");
+        prop_assert!((decoded.lat() - lat).abs() <= err.lat_err + 1e-12);
+        prop_assert!((decoded.lon() - lon).abs() <= err.lon_err + 1e-12);
+        // Re-encoding the decoded center reproduces the hash.
+        prop_assert_eq!(geohash::encode(decoded, precision).expect("encode"), hash);
+    }
+
+    // ---- nearest-neighbour index -----------------------------------------
+
+    #[test]
+    fn nn_index_matches_brute_force(pts in arb_points(60), query in arb_point()) {
+        let mut index = NearestNeighborIndex::new(250.0);
+        for &p in &pts {
+            index.insert(p);
+        }
+        let (got, gd) = index.nearest(query).expect("non-empty");
+        let bd = pts
+            .iter()
+            .map(|p| query.distance(*p))
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!((gd - bd).abs() < 1e-9, "index {gd} vs brute {bd}");
+        prop_assert!((query.distance(got) - gd).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nn_index_len_tracks_inserts_and_removes(pts in arb_points(30)) {
+        let mut index = NearestNeighborIndex::new(100.0);
+        for &p in &pts {
+            index.insert(p);
+        }
+        prop_assert_eq!(index.len(), pts.len());
+        for &p in &pts {
+            prop_assert!(index.remove(p));
+        }
+        prop_assert!(index.is_empty());
+    }
+
+    // ---- statistics -------------------------------------------------------
+
+    #[test]
+    fn ecdf_is_monotone_cdf(values in proptest::collection::vec(-1e6..1e6f64, 1..60)) {
+        let ecdf = Ecdf::new(values.clone()).expect("finite values");
+        prop_assert_eq!(ecdf.eval(f64::MIN), 0.0);
+        prop_assert_eq!(ecdf.eval(ecdf.max()), 1.0);
+        let probe = [-1e7, -10.0, 0.0, 10.0, 1e7];
+        for w in probe.windows(2) {
+            prop_assert!(ecdf.eval(w[0]) <= ecdf.eval(w[1]) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn running_stats_merge_equals_sequential(
+        a in proptest::collection::vec(-1e3..1e3f64, 1..50),
+        b in proptest::collection::vec(-1e3..1e3f64, 1..50),
+    ) {
+        let sequential: RunningStats = a.iter().chain(b.iter()).copied().collect();
+        let mut left: RunningStats = a.iter().copied().collect();
+        let right: RunningStats = b.iter().copied().collect();
+        left.merge(&right);
+        prop_assert_eq!(left.count(), sequential.count());
+        prop_assert!((left.mean() - sequential.mean()).abs() < 1e-9);
+        prop_assert!(
+            (left.population_variance() - sequential.population_variance()).abs() < 1e-6
+        );
+    }
+
+    #[test]
+    fn ks_statistic_bounds_and_symmetry(
+        a in arb_points(25),
+        b in arb_points(25),
+    ) {
+        let d = ff_statistic(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&d));
+        prop_assert!((d - ff_statistic(&b, &a)).abs() < 1e-12);
+        // FF restricts Peacock's split points, so it never exceeds it.
+        prop_assert!(d <= peacock_statistic(&a, &b) + 1e-12);
+        // Identical samples are indistinguishable.
+        prop_assert_eq!(ff_statistic(&a, &a), 0.0);
+    }
+
+    // ---- linear algebra ---------------------------------------------------
+
+    #[test]
+    fn matvec_is_linear(
+        rows in 1usize..6,
+        cols in 1usize..6,
+        seed in 0u64..1000,
+        alpha in -3.0..3.0f64,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let m = Matrix::xavier(rows, cols, &mut rng);
+        let x: Vec<f64> = (0..cols).map(|i| i as f64 - 1.5).collect();
+        let ax = m.matvec(&x);
+        let scaled: Vec<f64> = x.iter().map(|v| v * alpha).collect();
+        let a_scaled = m.matvec(&scaled);
+        for (u, v) in a_scaled.iter().zip(&ax) {
+            prop_assert!((u - alpha * v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn transpose_involution_preserves_norm(rows in 1usize..7, cols in 1usize..7, seed in 0u64..1000) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let m = Matrix::xavier(rows, cols, &mut rng);
+        let t = m.transpose();
+        prop_assert_eq!(t.rows(), cols);
+        prop_assert!((m.frobenius_norm() - t.frobenius_norm()).abs() < 1e-12);
+        prop_assert_eq!(t.transpose(), m);
+    }
+
+    // ---- penalty functions -------------------------------------------------
+
+    #[test]
+    fn penalties_stay_in_unit_interval_and_decline(
+        tolerance in 10.0..1_000.0f64,
+        c1 in 0.0..5_000.0f64,
+        c2 in 0.0..5_000.0f64,
+    ) {
+        for kind in [PenaltyType::None, PenaltyType::TypeI, PenaltyType::TypeII, PenaltyType::TypeIII] {
+            let p = PenaltyFunction::new(kind, tolerance);
+            let (lo, hi) = if c1 <= c2 { (c1, c2) } else { (c2, c1) };
+            prop_assert!((0.0..=1.0).contains(&p.g(lo)));
+            prop_assert!(p.g(hi) <= p.g(lo) + 1e-12, "{kind:?} not monotone");
+            prop_assert!(p.derivative(lo) <= 1e-12, "{kind:?} derivative positive");
+        }
+    }
+
+    // ---- facility location ---------------------------------------------------
+
+    #[test]
+    fn jms_solution_is_feasible_and_nearest_assigned(
+        pts in arb_points(25),
+        opening in 10.0..20_000.0f64,
+    ) {
+        let inst = PlpInstance::with_uniform_cost(pts, opening);
+        let sol = jms_greedy(&inst);
+        prop_assert!(!sol.open.is_empty());
+        prop_assert_eq!(sol.assignment.len(), inst.len());
+        for (client, &fac) in sol.assignment.iter().enumerate() {
+            prop_assert!(sol.open.contains(&fac));
+            let assigned = inst.clients()[fac].distance(inst.clients()[client]);
+            for &o in &sol.open {
+                prop_assert!(
+                    inst.clients()[o].distance(inst.clients()[client]) >= assigned - 1e-9
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn jms_within_factor_of_single_facility_bound(pts in arb_points(20), opening in 10.0..20_000.0f64) {
+        let inst = PlpInstance::with_uniform_cost(pts, opening);
+        let greedy = inst.cost_of(&jms_greedy(&inst)).total();
+        // The best single-facility solution upper-bounds OPT, so the
+        // 1.61-approximation guarantee transfers: greedy <= 1.61 x OPT
+        // <= 1.61 x best_single. (Greedy CAN slightly exceed best_single
+        // itself — its cluster-serving pick is not always the 1-median.)
+        let best_single = (0..inst.len())
+            .map(|i| inst.cost_of(&inst.assign_nearest(&[i])).total())
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!(greedy <= 1.61 * best_single + 1e-9);
+    }
+
+    // ---- charging -------------------------------------------------------------
+
+    #[test]
+    fn eq10_equals_positional_sum(
+        loads in proptest::collection::vec(0usize..30, 1..20),
+        q in 0.0..200.0f64,
+        d in 0.0..20.0f64,
+        b in 0.0..10.0f64,
+    ) {
+        let params = ChargingCostParams::new(q, d, b);
+        let by_position: f64 = loads
+            .iter()
+            .enumerate()
+            .map(|(t, &l)| params.station_cost(l, t))
+            .sum();
+        let closed_form = params.total_cost(loads.len(), loads.iter().sum());
+        prop_assert!((by_position - closed_form).abs() < 1e-6);
+    }
+
+    #[test]
+    fn savings_ratio_monotone_in_m(n in 2usize..40, q in 0.1..100.0f64, d in 0.1..20.0f64) {
+        let params = ChargingCostParams::new(q, d, 2.0);
+        for m in 1..n {
+            prop_assert!(params.savings_ratio(n, m) > params.savings_ratio(n, m + 1) - 1e-12);
+        }
+        prop_assert_eq!(params.savings_ratio(n, n), 0.0);
+    }
+
+    #[test]
+    fn two_opt_never_longer_than_nearest_neighbor(pts in arb_points(15)) {
+        let depot = Point::ORIGIN;
+        let nn = tsp::nearest_neighbor(depot, &pts);
+        let improved = tsp::two_opt(depot, &pts, &nn);
+        let nn_len = tsp::route_length(depot, &pts, &nn);
+        let improved_len = tsp::route_length(depot, &pts, &improved);
+        prop_assert!(improved_len <= nn_len + 1e-9);
+        // Both remain permutations (route_length validates).
+    }
+
+    #[test]
+    fn held_karp_optimal_among_heuristics(pts in arb_points(8)) {
+        let depot = Point::ORIGIN;
+        let exact = tsp::route_length(depot, &pts, &tsp::held_karp(depot, &pts));
+        let nn = tsp::nearest_neighbor(depot, &pts);
+        let two = tsp::two_opt(depot, &pts, &nn);
+        prop_assert!(exact <= tsp::route_length(depot, &pts, &nn) + 1e-9);
+        prop_assert!(exact <= tsp::route_length(depot, &pts, &two) + 1e-9);
+    }
+}

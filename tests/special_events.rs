@@ -1,0 +1,81 @@
+//! End-to-end test of the paper's motivating scenario: a special event
+//! creates a demand surge at an uncovered location; the online algorithm
+//! detects the shift and follows it.
+
+use e_sharing::core::{ESharing, SystemConfig};
+use e_sharing::dataset::{CityConfig, SpecialEvent, SyntheticCity, TripGenerator};
+use e_sharing::geo::Point;
+
+#[test]
+fn stadium_event_gets_coverage_online() {
+    let city = SyntheticCity::generate(&CityConfig {
+        trips_per_day: 1_200.0,
+        ..CityConfig::default()
+    });
+    // Venue in a corner of the field POIs avoid (the generator keeps POIs
+    // away from edges).
+    let venue = Point::new(2_950.0, 2_950.0);
+
+    // Bootstrap on two ordinary days.
+    let mut generator = TripGenerator::new(&city, 11);
+    let history = generator.generate_days(0, 2);
+    let mut system = ESharing::new(SystemConfig::default());
+    system.bootstrap(&history.iter().map(|t| t.end).collect::<Vec<_>>());
+    let covered_before = system
+        .stations()
+        .iter()
+        .filter(|s| s.distance(venue) < 400.0)
+        .count();
+
+    // A big evening event on day 2.
+    generator.add_event(SpecialEvent {
+        location: venue,
+        day: 2,
+        start_hour: 18,
+        duration_h: 4,
+        arrivals_per_hour: 150.0,
+        scatter: 100.0,
+    });
+    let live = generator.generate_days(2, 1);
+    let mut venue_walks = Vec::new();
+    for trip in &live {
+        let decision = system.handle_request(trip.end).expect("bootstrapped");
+        if trip.end.distance(venue) < 300.0 {
+            let walk = match decision {
+                e_sharing::placement::online::Decision::Assigned { walking, .. } => walking,
+                e_sharing::placement::online::Decision::Opened { .. } => 0.0,
+            };
+            venue_walks.push(walk);
+        }
+    }
+    assert!(
+        venue_walks.len() > 300,
+        "surge volume {} too small for the test to be meaningful",
+        venue_walks.len()
+    );
+
+    let covered_after = system
+        .stations()
+        .iter()
+        .filter(|s| s.distance(venue) < 400.0)
+        .count();
+    assert!(
+        covered_after > covered_before,
+        "no station followed the event ({covered_before} -> {covered_after})"
+    );
+    // Late surge arrivals walk far less than the distance to the nearest
+    // pre-event landmark.
+    let tail_mean: f64 = venue_walks[venue_walks.len() - 100..]
+        .iter()
+        .sum::<f64>()
+        / 100.0;
+    let nearest_landmark = system
+        .landmarks()
+        .iter()
+        .map(|l| l.distance(venue))
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        tail_mean < nearest_landmark,
+        "late surge arrivals walk {tail_mean:.0} m, landmarks are {nearest_landmark:.0} m away"
+    );
+}

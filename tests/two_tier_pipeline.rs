@@ -1,0 +1,118 @@
+//! End-to-end integration tests of the full two-tier pipeline.
+
+use e_sharing::core::{ESharing, Simulation, SystemConfig};
+use e_sharing::dataset::{CityConfig, Fleet, SyntheticCity, TripGenerator};
+use e_sharing::geo::Point;
+
+fn small_city() -> CityConfig {
+    CityConfig {
+        trips_per_day: 700.0,
+        fleet_size: 400,
+        ..CityConfig::default()
+    }
+}
+
+#[test]
+fn simulation_runs_a_week() {
+    let mut sim = Simulation::new(&small_city(), SystemConfig::default(), 3);
+    sim.bootstrap_days(2);
+    let mut total_trips = 0usize;
+    for _ in 0..5 {
+        let day = sim.run_day();
+        total_trips += day.trips;
+        assert!(day.stations >= sim.system().landmarks().len());
+        assert!(day.low_after_maintenance <= day.low_before_maintenance);
+    }
+    let report = sim.report();
+    assert_eq!(report.metrics.requests_served as usize, total_trips);
+    assert_eq!(report.days.len(), 5);
+    assert!(report.metrics.placement.total() > 0.0);
+    assert!(report.metrics.maintenance_periods == 5);
+    // The fleet must not collapse: maintenance keeps most bikes charged.
+    let low = sim.fleet().low_battery_bikes().len();
+    assert!(
+        low < sim.fleet().len() / 2,
+        "{low} of {} bikes low after a maintained week",
+        sim.fleet().len()
+    );
+}
+
+#[test]
+fn metrics_accumulate_across_days() {
+    let mut sim = Simulation::new(&small_city(), SystemConfig::default(), 4);
+    sim.bootstrap_days(1);
+    let day1 = sim.run_day();
+    let m1 = *sim.system().metrics();
+    let day2 = sim.run_day();
+    let m2 = *sim.system().metrics();
+    assert_eq!(
+        m2.requests_served - m1.requests_served,
+        day2.trips as u64
+    );
+    assert!(m2.placement.walking >= m1.placement.walking);
+    assert!(m2.maintenance_cost > m1.maintenance_cost);
+    assert!(day1.trips > 0 && day2.trips > 0);
+}
+
+#[test]
+fn weekday_demand_exceeds_night_in_stream() {
+    // The synthetic workload drives the pipeline with realistic diurnal
+    // structure; sanity-check it end to end through the generator.
+    let city = SyntheticCity::generate(&small_city());
+    let mut generator = TripGenerator::new(&city, 5);
+    let trips = generator.generate_days(0, 1); // Wednesday
+    let morning = trips
+        .iter()
+        .filter(|t| (7..10).contains(&t.start_time.hour_of_day()))
+        .count();
+    let night = trips
+        .iter()
+        .filter(|t| (2..5).contains(&t.start_time.hour_of_day()))
+        .count();
+    assert!(morning > 3 * night.max(1));
+}
+
+#[test]
+fn orchestrator_bootstrap_is_idempotent_per_window() {
+    // Bootstrapping twice with the same data yields the same landmarks.
+    let history: Vec<Point> = (0..300)
+        .map(|i| Point::new((i % 17) as f64 * 150.0, (i % 23) as f64 * 120.0))
+        .collect();
+    let mut a = ESharing::new(SystemConfig::default());
+    let mut b = ESharing::new(SystemConfig::default());
+    assert_eq!(a.bootstrap(&history), b.bootstrap(&history));
+}
+
+#[test]
+fn alpha_zero_pays_no_incentives() {
+    let cfg = SystemConfig {
+        alpha: 0.0,
+        ..SystemConfig::default()
+    };
+    let city = SyntheticCity::generate(&small_city());
+    let mut generator = TripGenerator::new(&city, 6);
+    let trips = generator.generate_days(0, 2);
+    let mut system = ESharing::new(cfg);
+    system.bootstrap(&trips.iter().map(|t| t.end).collect::<Vec<_>>());
+    let mut fleet = Fleet::new(400, city.bbox(), system.config().energy, 6);
+    fleet.replay(trips.iter());
+    let report = system.maintenance_period(&mut fleet).unwrap();
+    assert_eq!(report.incentives.incentives_paid, 0.0);
+    assert_eq!(report.incentives.relocated, 0);
+    assert_eq!(system.metrics().incentives_paid, 0.0);
+}
+
+#[test]
+fn station_energy_accounts_every_low_bike() {
+    let city = SyntheticCity::generate(&small_city());
+    let mut generator = TripGenerator::new(&city, 7);
+    let trips = generator.generate_days(0, 2);
+    let mut system = ESharing::new(SystemConfig::default());
+    system.bootstrap(&trips.iter().map(|t| t.end).collect::<Vec<_>>());
+    let mut fleet = Fleet::new(400, city.bbox(), system.config().energy, 7);
+    fleet.replay(trips.iter());
+    let stations = system.station_energy(&fleet).unwrap();
+    let attributed: usize = stations.iter().map(|s| s.low_bikes).sum();
+    assert_eq!(attributed, fleet.low_battery_bikes().len());
+    assert_eq!(stations.len(), system.stations().len());
+}
