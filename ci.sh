@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Local CI: formatting, lints, the full test suite, and a smoke experiment
+# run. Mirrors what a hosted pipeline would run; fails fast on the first
+# broken step.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test"
+cargo build --release
+cargo test --workspace -q
+
+echo "==> smoke: one experiment binary end to end"
+cargo run --release -p esharing-bench --bin exp_table4
+
+echo "CI OK"

@@ -2,9 +2,10 @@
 //! scaling in n (the paper's O(N³)), and the per-request throughput of the
 //! three online algorithms.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+use esharing_bench::PerfEmitter;
 use esharing_geo::Point;
-use esharing_placement::offline::jms_greedy;
+use esharing_placement::offline::{jms_greedy, jms_greedy_reference};
 use esharing_placement::online::{
     DeviationConfig, DeviationPenalty, Meyerson, OnlineKMeans, OnlinePlacement,
 };
@@ -69,5 +70,28 @@ fn bench_online(c: &mut Criterion) {
     group.finish();
 }
 
+/// Perf-trajectory emission: times the cached-cost parallel greedy against
+/// the sequential reference at increasing sizes and writes
+/// `BENCH_placement.json` at the repo root (see `esharing_bench::perf`).
+fn perf_trajectory() {
+    let mut perf = PerfEmitter::new("placement");
+    for (n, iters) in [(50usize, 9), (100, 7), (200, 5), (400, 3)] {
+        let instance = PlpInstance::with_uniform_cost(uniform(n, 1_000.0, 1), 5_000.0);
+        perf.measure("jms_greedy", n, iters, || black_box(jms_greedy(&instance)));
+        perf.measure("jms_greedy_reference", n, iters, || {
+            black_box(jms_greedy_reference(&instance))
+        });
+    }
+    match perf.write() {
+        Ok(path) => eprintln!("perf trajectory written to {}", path.display()),
+        Err(e) => eprintln!("perf trajectory emission failed: {e}"),
+    }
+}
+
 criterion_group!(benches, bench_offline, bench_online);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+    perf_trajectory();
+}

@@ -2,9 +2,12 @@
 //! cites as O(n³) for Peacock's exact enumeration vs the O(n²)
 //! Fasano–Franceschini variant used in the streaming loop.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use esharing_bench::PerfEmitter;
 use esharing_geo::Point;
-use esharing_stats::ks2d::{ff_statistic, peacock_statistic, peacock_test};
+use esharing_stats::ks2d::{
+    ff_statistic, ff_statistic_naive, peacock_statistic, peacock_statistic_naive, peacock_test,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
@@ -41,5 +44,35 @@ fn bench_ks(c: &mut Criterion) {
     group.finish();
 }
 
+/// Perf-trajectory emission: times the rank-based KS kernels against their
+/// naive oracles at increasing sizes and writes `BENCH_stats.json` at the
+/// repo root (see `esharing_bench::perf`).
+fn perf_trajectory() {
+    let mut perf = PerfEmitter::new("stats");
+    for (n, iters) in [(60usize, 9), (120, 7), (240, 5), (480, 3)] {
+        let a = sample(n, 1);
+        let b = sample(n, 2);
+        perf.measure("peacock_statistic", n, iters, || {
+            black_box(peacock_statistic(&a, &b))
+        });
+        perf.measure("peacock_statistic_naive", n, iters, || {
+            black_box(peacock_statistic_naive(&a, &b))
+        });
+        perf.measure("ff_statistic", n, iters, || black_box(ff_statistic(&a, &b)));
+        perf.measure("ff_statistic_naive", n, iters, || {
+            black_box(ff_statistic_naive(&a, &b))
+        });
+    }
+    match perf.write() {
+        Ok(path) => eprintln!("perf trajectory written to {}", path.display()),
+        Err(e) => eprintln!("perf trajectory emission failed: {e}"),
+    }
+}
+
 criterion_group!(benches, bench_ks);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+    perf_trajectory();
+}

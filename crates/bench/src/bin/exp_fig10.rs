@@ -8,7 +8,7 @@
 //! frontier. Panel (b) repeats the exercise with landmarks derived from
 //! LSTM-predicted per-cell demand instead of the actual history.
 
-use esharing_bench::Table;
+use esharing_bench::{PerfEmitter, Table};
 use esharing_dataset::{arrivals, CityConfig, SyntheticCity, Timestamp, TripGenerator};
 use esharing_forecast::{Forecaster, Lstm, LstmConfig};
 use esharing_geo::{Grid, Point};
@@ -17,6 +17,7 @@ use esharing_placement::online::{
     DeviationConfig, DeviationPenalty, Meyerson, OnlineKMeans, OnlinePlacement,
 };
 use esharing_placement::PlpInstance;
+use std::time::Instant;
 
 const SPACE_COST: f64 = 10_000.0;
 const NEIGHBORHOOD: f64 = 1_000.0;
@@ -129,11 +130,14 @@ fn predicted_landmarks(sample: &Sample) -> Vec<Point> {
 }
 
 fn main() {
+    let mut perf = PerfEmitter::new("exp_fig10");
+    let t0 = Instant::now();
     let city = SyntheticCity::generate(&CityConfig {
         trips_per_day: 2_000.0,
         ..CityConfig::default()
     });
     let samples = collect_samples(&city, 14);
+    perf.record_duration("generate_samples", samples.len(), t0.elapsed());
     println!(
         "Fig. 10 — total cost vs # parking over {} sampled 1 km neighbourhoods (f = {SPACE_COST} m)\n",
         samples.len()
@@ -152,6 +156,7 @@ fn main() {
             "esharing cost".into(),
         ]);
         let mut sums = [0.0f64; 8];
+        let t0 = Instant::now();
         for (idx, sample) in samples.iter().enumerate() {
             // Offline upper bound: sees the live stream itself.
             let grid = Grid::new(100.0);
@@ -215,6 +220,15 @@ fn main() {
                 format!("{:.0}", es_cost.total()),
             ]);
         }
+        perf.record_duration(
+            if use_prediction {
+                "panel_predicted"
+            } else {
+                "panel_actual"
+            },
+            samples.len(),
+            t0.elapsed(),
+        );
         let n = samples.len() as f64;
         println!("{panel}:\n{t}");
         println!(
@@ -234,4 +248,8 @@ fn main() {
          more than E-sharing, and E-sharing tracks the near-optimal offline frontier\n\
          (within ~20% with actual and ~25% with predicted requests)."
     );
+    match perf.write() {
+        Ok(path) => eprintln!("perf trajectory written to {}", path.display()),
+        Err(e) => eprintln!("perf trajectory emission failed: {e}"),
+    }
 }

@@ -18,7 +18,7 @@
 //! extra. The harness replays a 7-day historical window into the offline
 //! pipeline and streams the following 3 test days.
 
-use esharing_bench::Table;
+use esharing_bench::{PerfEmitter, Table};
 use esharing_dataset::{arrivals, CityConfig, SyntheticCity, Timestamp, TripGenerator};
 use esharing_forecast::{Forecaster, Lstm, LstmConfig};
 use esharing_geo::{Grid, Point};
@@ -27,6 +27,7 @@ use esharing_placement::online::{
     DeviationConfig, DeviationPenalty, Meyerson, OnlineKMeans, OnlinePlacement,
 };
 use esharing_placement::{PlacementCost, PlpInstance};
+use std::time::Instant;
 
 const SPACE_COST: f64 = 10_000.0;
 
@@ -58,6 +59,8 @@ fn row(t: &mut Table, name: &str, stations: f64, cost: PlacementCost) {
 }
 
 fn main() {
+    let mut perf = PerfEmitter::new("exp_table5");
+    let t0 = Instant::now();
     let city = SyntheticCity::generate(&CityConfig {
         trips_per_day: 220.0,
         ..CityConfig::default()
@@ -75,6 +78,7 @@ fn main() {
         .filter(|t| t.start_time >= split)
         .map(|t| t.end)
         .collect();
+    perf.record_duration("generate_workload", trips.len(), t0.elapsed());
     println!(
         "Table V — algorithm comparison: {} historical destinations guide the online\n\
          algorithms; {} live requests are streamed (f = {SPACE_COST} m; costs in km)\n",
@@ -96,20 +100,28 @@ fn main() {
     live_centroids.sort_by_key(|c| std::cmp::Reverse(c.1));
     live_centroids.truncate(250);
     let live_inst = PlpInstance::from_weighted_centroids(&live_centroids, SPACE_COST);
+    let t0 = Instant::now();
     let off = jms_greedy(&live_inst);
+    perf.record_duration("offline_jms", live_centroids.len(), t0.elapsed());
     let off_cost = live_inst.cost_of(&off);
     row(&mut t, "Offline*", off.open_facilities().len() as f64, off_cost);
 
     // Meyerson.
     let mut mey = Meyerson::new(SPACE_COST, 1);
+    let t0 = Instant::now();
     let mey_cost = mey.run(live.iter().copied());
+    perf.record_duration("meyerson", live.len(), t0.elapsed());
     row(&mut t, "Meyerson", mey.stations().len() as f64, mey_cost);
 
     // Online k-means.
+    let t0 = Instant::now();
     let landmarks = landmarks_for(&history, 3.0 / 7.0);
+    perf.record_duration("landmarks_offline_jms", history.len(), t0.elapsed());
     let k = landmarks.len();
     let mut km = OnlineKMeans::new(k.max(1), live.len(), SPACE_COST, 1).with_phase_length(k.max(1));
+    let t0 = Instant::now();
     let km_cost = km.run(live.iter().copied());
+    perf.record_duration("online_kmeans", live.len(), t0.elapsed());
     row(&mut t, "Online k-means", km.stations().len() as f64, km_cost);
 
     // E-sharing with actual history.
@@ -122,7 +134,9 @@ fn main() {
             ..DeviationConfig::default()
         },
     );
+    let t0 = Instant::now();
     let es_cost = es.run(live.iter().copied());
+    perf.record_duration("esharing_actual", live.len(), t0.elapsed());
     row(&mut t, "E-sharing (actual)", es.stations().len() as f64, es_cost);
 
     // E-sharing with predicted demand: forecast each heavy cell's hourly
@@ -137,6 +151,7 @@ fn main() {
         .filter(|t| t.start_time < split)
         .cloned()
         .collect();
+    let t0 = Instant::now();
     let mut predicted_centroids = Vec::with_capacity(hist_centroids.len());
     for (idx, &(centroid, weight)) in hist_centroids.iter().enumerate() {
         // Per-cell LSTM for the 40 heaviest cells (the bulk of the mass);
@@ -165,6 +180,7 @@ fn main() {
         };
         predicted_centroids.push((centroid, (predicted_weight.round() as u64).max(1)));
     }
+    perf.record_duration("lstm_prediction", hist_centroids.len(), t0.elapsed());
     let pred_inst = PlpInstance::from_weighted_centroids(&predicted_centroids, SPACE_COST);
     let pred_landmarks = jms_greedy(&pred_inst).facility_points(&pred_inst);
     let mut esp = DeviationPenalty::new(
@@ -176,7 +192,9 @@ fn main() {
             ..DeviationConfig::default()
         },
     );
+    let t0 = Instant::now();
     let esp_cost = esp.run(live.iter().copied());
+    perf.record_duration("esharing_predicted", live.len(), t0.elapsed());
     row(
         &mut t,
         "E-sharing (predicted)",
@@ -199,4 +217,8 @@ fn main() {
     println!(
         "average walking distance per user: {avg_walk:.0} m (paper: ~180 m, a 2-minute walk)"
     );
+    match perf.write() {
+        Ok(path) => eprintln!("perf trajectory written to {}", path.display()),
+        Err(e) => eprintln!("perf trajectory emission failed: {e}"),
+    }
 }

@@ -1,0 +1,240 @@
+//! Machine-readable perf-trajectory emitter.
+//!
+//! Every Criterion bench group and headline experiment binary writes a
+//! `BENCH_<name>.json` file at the repository root summarising its hot-path
+//! timings (median wall-clock nanoseconds, instance size, derived
+//! throughput). The files are committed with each PR so the performance
+//! trajectory of the kernels can be diffed across revisions without
+//! re-running the benches.
+//!
+//! The JSON is emitted by hand — the workspace deliberately carries no JSON
+//! dependency — and kept flat so `jq`-style tooling and plain diffing both
+//! work:
+//!
+//! ```json
+//! {
+//!   "bench": "placement",
+//!   "generated_unix_ms": 1722945712345,
+//!   "threads": 8,
+//!   "records": [
+//!     { "name": "jms_greedy", "instance_size": 400, "iters": 5,
+//!       "median_ns": 1234567, "throughput_per_s": 324.1 }
+//!   ]
+//! }
+//! ```
+//!
+//! Speedups are read by comparing a fast kernel's row against its
+//! `*_reference` row at the same `instance_size`.
+
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+/// One timed kernel at one instance size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfRecord {
+    /// Kernel or phase name (e.g. `jms_greedy`, `offline_solve`).
+    pub name: String,
+    /// Problem-size parameter the timing was taken at (clients, sample
+    /// points, …); `0` when not meaningful.
+    pub instance_size: usize,
+    /// Number of timed iterations the median was taken over.
+    pub iters: usize,
+    /// Median wall-clock nanoseconds per iteration.
+    pub median_ns: u128,
+    /// `instance_size` elements per second at the median, when
+    /// `instance_size > 0`.
+    pub throughput_per_s: Option<f64>,
+}
+
+/// Collects [`PerfRecord`]s and writes `BENCH_<name>.json` at the repo root.
+#[derive(Debug)]
+pub struct PerfEmitter {
+    bench: String,
+    records: Vec<PerfRecord>,
+}
+
+impl PerfEmitter {
+    /// New emitter for the bench group `bench` (names the output file).
+    pub fn new(bench: &str) -> Self {
+        PerfEmitter {
+            bench: bench.to_string(),
+            records: Vec::new(),
+        }
+    }
+
+    /// Times `f` over `iters` runs (after one untimed warm-up) and records
+    /// the median. Returns the median duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iters` is zero.
+    pub fn measure<T, F: FnMut() -> T>(
+        &mut self,
+        name: &str,
+        instance_size: usize,
+        iters: usize,
+        mut f: F,
+    ) -> Duration {
+        assert!(iters > 0, "need at least one timed iteration");
+        std::hint::black_box(f());
+        let mut times: Vec<Duration> = (0..iters)
+            .map(|_| {
+                let t0 = Instant::now();
+                std::hint::black_box(f());
+                t0.elapsed()
+            })
+            .collect();
+        times.sort_unstable();
+        let median = times[times.len() / 2];
+        self.push(name, instance_size, iters, median);
+        median
+    }
+
+    /// Records an externally measured duration (e.g. a whole experiment
+    /// phase timed once).
+    pub fn record_duration(&mut self, name: &str, instance_size: usize, elapsed: Duration) {
+        self.push(name, instance_size, 1, elapsed);
+    }
+
+    fn push(&mut self, name: &str, instance_size: usize, iters: usize, median: Duration) {
+        let median_ns = median.as_nanos();
+        let throughput_per_s = if instance_size > 0 && median_ns > 0 {
+            Some(instance_size as f64 / median.as_secs_f64())
+        } else {
+            None
+        };
+        self.records.push(PerfRecord {
+            name: name.to_string(),
+            instance_size,
+            iters,
+            median_ns,
+            throughput_per_s,
+        });
+    }
+
+    /// The records collected so far.
+    pub fn records(&self) -> &[PerfRecord] {
+        &self.records
+    }
+
+    /// Serialises the records to the flat JSON document described in the
+    /// module docs.
+    pub fn to_json(&self) -> String {
+        let now_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis())
+            .unwrap_or(0);
+        let threads = esharing_stats::parallel::num_threads();
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"bench\": {},\n", json_string(&self.bench)));
+        out.push_str(&format!("  \"generated_unix_ms\": {now_ms},\n"));
+        out.push_str(&format!("  \"threads\": {threads},\n"));
+        out.push_str("  \"records\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            let throughput = match r.throughput_per_s {
+                Some(t) if t.is_finite() => format!("{t:.1}"),
+                _ => "null".to_string(),
+            };
+            out.push_str(&format!(
+                "    {{ \"name\": {}, \"instance_size\": {}, \"iters\": {}, \"median_ns\": {}, \"throughput_per_s\": {} }}{}\n",
+                json_string(&r.name),
+                r.instance_size,
+                r.iters,
+                r.median_ns,
+                throughput,
+                if i + 1 < self.records.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes `BENCH_<bench>.json` at the repository root and returns the
+    /// path written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let path = repo_root().join(format!("BENCH_{}.json", self.bench));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+/// The workspace root: two levels above this crate's manifest, falling back
+/// to the current directory when the compile-time path no longer exists
+/// (e.g. a relocated binary).
+fn repo_root() -> PathBuf {
+    let compiled = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    if compiled.is_dir() {
+        compiled.canonicalize().unwrap_or(compiled)
+    } else {
+        PathBuf::from(".")
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_records_median() {
+        let mut emitter = PerfEmitter::new("unit");
+        let d = emitter.measure("spin", 100, 3, || {
+            std::hint::black_box((0..1000).sum::<u64>())
+        });
+        assert!(d.as_nanos() > 0);
+        assert_eq!(emitter.records().len(), 1);
+        let r = &emitter.records()[0];
+        assert_eq!(r.name, "spin");
+        assert_eq!(r.instance_size, 100);
+        assert_eq!(r.iters, 3);
+        assert!(r.throughput_per_s.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let mut emitter = PerfEmitter::new("unit");
+        emitter.record_duration("phase_a", 0, Duration::from_micros(1500));
+        emitter.record_duration("phase_b", 42, Duration::from_micros(2500));
+        let json = emitter.to_json();
+        assert!(json.contains("\"bench\": \"unit\""));
+        assert!(json.contains("\"name\": \"phase_a\""));
+        assert!(json.contains("\"median_ns\": 1500000"));
+        assert!(json.contains("\"instance_size\": 42"));
+        // phase_a has no size -> null throughput; phase_b has one.
+        assert!(json.contains("\"throughput_per_s\": null"));
+        assert_eq!(json.matches("{ \"name\":").count(), 2);
+    }
+
+    #[test]
+    fn json_escapes_names() {
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("tab\there"), "\"tab\\there\"");
+    }
+
+    #[test]
+    fn repo_root_exists() {
+        assert!(repo_root().is_dir());
+    }
+}

@@ -8,6 +8,7 @@
 
 use crate::{Arima, Forecaster, ForecastError, Lstm, LstmConfig, MovingAverage};
 use esharing_stats::metrics::rmse;
+use esharing_stats::parallel;
 
 /// RMSE of `model` on `test`, forecasting `horizon` steps ahead from each
 /// rolling origin. The model must already be fitted on training data; the
@@ -67,23 +68,30 @@ pub fn lstm_grid(
     horizon: usize,
     base: &LstmConfig,
 ) -> Result<Vec<EvalResult>, ForecastError> {
-    let mut out = Vec::new();
+    let mut configs = Vec::new();
     for layers in [1usize, 2, 3] {
         for back in [24usize, 12, 6, 3, 1] {
-            let cfg = LstmConfig {
-                layers,
-                back,
-                ..base.clone()
-            };
-            let mut model = Lstm::new(cfg)?;
-            model.fit(train)?;
-            out.push(EvalResult {
-                model: model.name(),
-                rmse: rolling_rmse(&model, train, test, horizon)?,
-            });
+            configs.push((layers, back));
         }
     }
-    Ok(out)
+    // Each configuration trains an independent model from its own seed, so
+    // the fifteen fits fan out across worker threads; results come back in
+    // grid order, identical to the sequential sweep.
+    let results = parallel::par_map(configs.len(), 1, |idx| -> Result<EvalResult, ForecastError> {
+        let (layers, back) = configs[idx];
+        let cfg = LstmConfig {
+            layers,
+            back,
+            ..base.clone()
+        };
+        let mut model = Lstm::new(cfg)?;
+        model.fit(train)?;
+        Ok(EvalResult {
+            model: model.name(),
+            rmse: rolling_rmse(&model, train, test, horizon)?,
+        })
+    });
+    results.into_iter().collect()
 }
 
 /// Evaluates every MA configuration of Table II: `wz ∈ {1..5}`.
@@ -115,18 +123,22 @@ pub fn arima_grid(
     test: &[f64],
     horizon: usize,
 ) -> Result<Vec<EvalResult>, ForecastError> {
-    let mut out = Vec::new();
+    let mut configs = Vec::new();
     for d in [0usize, 1, 2] {
         for p in [2usize, 4, 6, 8, 10] {
-            let mut model = Arima::new(p, d)?;
-            model.fit(train)?;
-            out.push(EvalResult {
-                model: model.name(),
-                rmse: rolling_rmse(&model, train, test, horizon)?,
-            });
+            configs.push((p, d));
         }
     }
-    Ok(out)
+    let results = parallel::par_map(configs.len(), 1, |idx| -> Result<EvalResult, ForecastError> {
+        let (p, d) = configs[idx];
+        let mut model = Arima::new(p, d)?;
+        model.fit(train)?;
+        Ok(EvalResult {
+            model: model.name(),
+            rmse: rolling_rmse(&model, train, test, horizon)?,
+        })
+    });
+    results.into_iter().collect()
 }
 
 /// The best (lowest-RMSE) result of a grid.

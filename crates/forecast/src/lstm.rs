@@ -185,9 +185,12 @@ impl LstmLayer {
     fn step(&self, x: &[f64], h_prev: &[f64], c_prev: &[f64]) -> (Vec<f64>, StepCache) {
         debug_assert_eq!(x.len(), self.in_dim);
         let h = self.hidden;
-        let mut z = self.w.value.matvec(x);
-        vecops::add_assign(&mut z, &self.u.value.matvec(h_prev));
-        vecops::add_assign(&mut z, &self.b.value);
+        // Fused gate pre-activation: one pass over W and U per gate row,
+        // bit-identical to the matvec + add_assign sequence it replaces.
+        let z = self
+            .w
+            .value
+            .gate_matvec(x, &self.u.value, h_prev, &self.b.value);
         let i: Vec<f64> = z[0..h].iter().map(|&v| sigmoid(v)).collect();
         let f: Vec<f64> = z[h..2 * h].iter().map(|&v| sigmoid(v)).collect();
         let g: Vec<f64> = z[2 * h..3 * h].iter().map(|&v| v.tanh()).collect();

@@ -153,9 +153,8 @@ impl Matrix {
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
         let mut out = vec![0.0; self.rows];
-        for r in 0..self.rows {
-            let row = &self.data[r * self.cols..(r + 1) * self.cols];
-            out[r] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        for (o, row) in out.iter_mut().zip(self.data.chunks_exact(self.cols)) {
+            *o = row.iter().zip(x).map(|(a, b)| a * b).sum();
         }
         out
     }
@@ -169,9 +168,7 @@ impl Matrix {
     pub fn matvec_transposed(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.rows, "matvec_transposed dimension mismatch");
         let mut out = vec![0.0; self.cols];
-        for r in 0..self.rows {
-            let row = &self.data[r * self.cols..(r + 1) * self.cols];
-            let xr = x[r];
+        for (&xr, row) in x.iter().zip(self.data.chunks_exact(self.cols)) {
             for (o, a) in out.iter_mut().zip(row) {
                 *o += a * xr;
             }
@@ -179,12 +176,51 @@ impl Matrix {
         out
     }
 
-    /// Matrix product `self * other`.
+    /// Matrix product `self * other`, blocked over the inner and output
+    /// column dimensions so each output tile and the matching `other` row
+    /// segments stay cache-resident across the inner loop.
+    ///
+    /// For every output entry the `k`-contributions still accumulate in
+    /// ascending order, so the result is bit-identical to
+    /// [`Matrix::matmul_reference`].
     ///
     /// # Panics
     ///
     /// Panics if `self.cols() != other.rows()`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        const BLOCK: usize = 64;
+        assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
+        let (m, inner, ncols) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, ncols);
+        for kk in (0..inner).step_by(BLOCK) {
+            let kend = (kk + BLOCK).min(inner);
+            for jj in (0..ncols).step_by(BLOCK) {
+                let jend = (jj + BLOCK).min(ncols);
+                for r in 0..m {
+                    let arow = &self.data[r * inner..(r + 1) * inner];
+                    let trow = &mut out.data[r * ncols + jj..r * ncols + jend];
+                    for (k, &a) in arow.iter().enumerate().take(kend).skip(kk) {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let orow = &other.data[k * ncols + jj..k * ncols + jend];
+                        for (t, &o) in trow.iter_mut().zip(orow) {
+                            *t += a * o;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Naive triple-loop matrix product, retained as the oracle for the
+    /// blocked [`Matrix::matmul`] equivalence tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.rows()`.
+    pub fn matmul_reference(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
         let mut out = Matrix::zeros(self.rows, other.cols);
         for r in 0..self.rows {
@@ -203,6 +239,55 @@ impl Matrix {
         out
     }
 
+    /// Matrix product against a transposed right-hand side, `self * otherᵀ`,
+    /// computed as row–row dot products so both operands stream in row-major
+    /// order with no strided access and no materialized transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.cols()`.
+    pub fn matmul_transposed(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_transposed dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for r in 0..self.rows {
+            let arow = &self.data[r * self.cols..(r + 1) * self.cols];
+            let trow = &mut out.data[r * other.rows..(r + 1) * other.rows];
+            for (t, c) in trow.iter_mut().zip(0..other.rows) {
+                let brow = &other.data[c * other.cols..(c + 1) * other.cols];
+                *t = arow.iter().zip(brow).map(|(a, b)| a * b).sum();
+            }
+        }
+        out
+    }
+
+    /// Fused gate pre-activation `self * x + u * h + b`, the LSTM hot path:
+    /// one pass over both weight matrices per output element, with no
+    /// intermediate vectors.
+    ///
+    /// Each element is computed as `dot(w_row, x) + dot(u_row, h) + b[r]`
+    /// with the same left-to-right association as the unfused
+    /// `matvec`/`add_assign` sequence, so results are bit-identical to the
+    /// three-pass formulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any dimension mismatch.
+    pub fn gate_matvec(&self, x: &[f64], u: &Matrix, h: &[f64], b: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "gate_matvec input mismatch");
+        assert_eq!(h.len(), u.cols, "gate_matvec recurrent mismatch");
+        assert_eq!(self.rows, u.rows, "gate_matvec weight row mismatch");
+        assert_eq!(b.len(), self.rows, "gate_matvec bias mismatch");
+        let mut out = vec![0.0; self.rows];
+        for (r, o) in out.iter_mut().enumerate() {
+            let wrow = &self.data[r * self.cols..(r + 1) * self.cols];
+            let urow = &u.data[r * u.cols..(r + 1) * u.cols];
+            let wx: f64 = wrow.iter().zip(x).map(|(a, v)| a * v).sum();
+            let uh: f64 = urow.iter().zip(h).map(|(a, v)| a * v).sum();
+            *o = wx + uh + b[r];
+        }
+        out
+    }
+
     /// The transpose.
     pub fn transpose(&self) -> Matrix {
         Matrix::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
@@ -217,9 +302,8 @@ impl Matrix {
     pub fn add_outer(&mut self, u: &[f64], v: &[f64], scale: f64) {
         assert_eq!(u.len(), self.rows, "outer-product row mismatch");
         assert_eq!(v.len(), self.cols, "outer-product col mismatch");
-        for r in 0..self.rows {
-            let ur = u[r] * scale;
-            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+        for (&ur, row) in u.iter().zip(self.data.chunks_exact_mut(self.cols)) {
+            let ur = ur * scale;
             for (t, &vc) in row.iter_mut().zip(v) {
                 *t += ur * vc;
             }
@@ -460,5 +544,57 @@ mod tests {
     fn display_shows_dims() {
         let m = Matrix::zeros(2, 2);
         assert!(m.to_string().contains("2x2"));
+    }
+
+    #[test]
+    fn blocked_matmul_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(6);
+        // Dimensions straddling the 64-wide block boundary, plus skinny
+        // and degenerate shapes.
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 2), (17, 64, 9), (70, 65, 130), (128, 100, 1)] {
+            let a = Matrix::xavier(m, k, &mut rng);
+            let b = Matrix::xavier(k, n, &mut rng);
+            assert_eq!(a.matmul(&b), a.matmul_reference(&b), "{m}x{k}x{n}");
+        }
+        // Sparse input exercises the zero-skip in both kernels.
+        let a = Matrix::from_fn(20, 70, |r, c| if (r + c) % 3 == 0 { 1.5 } else { 0.0 });
+        let b = Matrix::xavier(70, 20, &mut rng);
+        assert_eq!(a.matmul(&b), a.matmul_reference(&b));
+    }
+
+    #[test]
+    fn matmul_transposed_matches_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = Matrix::xavier(9, 13, &mut rng);
+        let b = Matrix::xavier(6, 13, &mut rng);
+        let fused = a.matmul_transposed(&b);
+        let explicit = a.matmul_reference(&b.transpose());
+        assert_eq!(fused.rows(), 9);
+        assert_eq!(fused.cols(), 6);
+        for r in 0..9 {
+            for c in 0..6 {
+                assert!((fused.get(r, c) - explicit.get(r, c)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn gate_matvec_matches_unfused_sequence() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let w = Matrix::xavier(12, 5, &mut rng);
+        let u = Matrix::xavier(12, 3, &mut rng);
+        let x: Vec<f64> = (0..5).map(|i| (i as f64).sin()).collect();
+        let h: Vec<f64> = (0..3).map(|i| (i as f64).cos()).collect();
+        let b: Vec<f64> = (0..12).map(|i| i as f64 * 0.1 - 0.5).collect();
+        let fused = w.gate_matvec(&x, &u, &h, &b);
+        let mut unfused = w.matvec(&x);
+        let uh = u.matvec(&h);
+        for ((z, &a), &bias) in unfused.iter_mut().zip(&uh).zip(&b) {
+            *z += a;
+            *z += bias;
+        }
+        // Bit-identical, not merely close: the LSTM forward pass must not
+        // change under the fusion.
+        assert_eq!(fused, unfused);
     }
 }

@@ -18,13 +18,46 @@
 //! connected; a final pass drops facilities that lost all their clients to
 //! switches and reassigns every client to its nearest open facility (both
 //! steps only reduce cost).
+//!
+//! Both implementations stop each site's prefix scan with the standard JMS
+//! rule: the prefix-average sequence is unimodal in `k` (costs are scanned
+//! in ascending order, so once the next cost is at least the current
+//! average the average can never decrease again), so the scan breaks at the
+//! first `k` whose successor cost reaches the running average.
+//!
+//! Two implementations are provided:
+//!
+//! * [`jms_greedy`] — the production path. It precomputes the weighted
+//!   cost matrix and the per-site client ordering **once** (so the round
+//!   loop never recomputes a `Point::distance` or sorts anything), carries
+//!   each client's current connection cost across rounds, and computes
+//!   every site's switching credit in one sparse client-major scatter pass
+//!   over per-client *column* orderings (each connected client touches only
+//!   the sites cheaper than its current connection, instead of every site
+//!   rescanning every client). The per-site argmin scan fans out over
+//!   `crossbeam` scoped threads. Ties break to the lowest site index and
+//!   per-chunk winners merge in site order, so the selected `(site,
+//!   prefix)` is the first strict minimum of exactly the same candidate
+//!   sequence the reference scans — fixed-seed runs are bit-identical at
+//!   any thread count.
+//! * [`jms_greedy_reference`] — the naive sequential loop (recomputes
+//!   costs, rescans every client for credits, and re-sorts inside the
+//!   round loop), retained as the oracle for the equivalence test-suite.
 
 use crate::{PlpInstance, Solution};
+use esharing_stats::parallel;
 
 /// Runs Algorithm 1 on `instance` and returns the greedy solution.
 ///
-/// Runs in `O(n³ log n)` time for `n` clients, matching the `O(N³)` bound
-/// stated in the paper.
+/// Cache-aware and data-parallel: `O(n² log n)` one-off precomputation
+/// (cost matrix + per-site row orderings + per-client column orderings),
+/// then each selection round is a sort-free scan — `O(n²)` worst case,
+/// typically far less because switching credits are gathered sparsely
+/// (each connected client touches only the sites cheaper than its current
+/// connection) and each site's prefix scan breaks at the unimodal JMS
+/// stopping point — split across worker threads. Produces exactly the
+/// same solution as [`jms_greedy_reference`] — same facilities, same
+/// assignment — for every thread count.
 ///
 /// # Examples
 ///
@@ -41,6 +74,208 @@ use crate::{PlpInstance, Solution};
 /// assert_eq!(solution.open_facilities().len(), 2);
 /// ```
 pub fn jms_greedy(instance: &PlpInstance) -> Solution {
+    let n = instance.len();
+
+    // Weighted connection-cost matrix, row per site: cost[site * n + client].
+    // Computed once with the exact arithmetic of `connection_cost`, so every
+    // cached read matches what the reference recomputes in its inner loops.
+    let cost: Vec<f64> = parallel::map_chunks(n, 8, |sites| {
+        let mut block = Vec::with_capacity(sites.len() * n);
+        for site in sites {
+            for client in 0..n {
+                block.push(instance.connection_cost(site, client));
+            }
+        }
+        block
+    })
+    .concat();
+
+    // Per-site client ordering by (cost, client index) — the canonical
+    // ascending-cost order every round's prefix scan and the deployment
+    // step walk, computed once instead of re-sorted per round. Flat
+    // row-major layout: order[site * n..(site + 1) * n].
+    // Sorting (cost, index) pairs keeps every comparison memory-sequential
+    // (no per-comparison gather back into the matrix).
+    let pair_cmp = |a: &(f64, u32), b: &(f64, u32)| {
+        a.0.partial_cmp(&b.0)
+            .expect("finite costs")
+            .then(a.1.cmp(&b.1))
+    };
+    // `live[site]` starts as the full ordering and is lazily compacted to
+    // the still-unconnected subsequence as rounds connect clients.
+    let mut live: Vec<Vec<u32>> = parallel::map_chunks(n, 4, |sites| {
+        let mut block = Vec::with_capacity(sites.len());
+        let mut keyed: Vec<(f64, u32)> = Vec::with_capacity(n);
+        for site in sites {
+            let row = &cost[site * n..(site + 1) * n];
+            keyed.clear();
+            keyed.extend(row.iter().copied().zip(0..n as u32));
+            keyed.sort_unstable_by(pair_cmp);
+            block.push(keyed.iter().map(|&(_, client)| client).collect());
+        }
+        block
+    })
+    .concat();
+
+    // Per-client column ordering by (cost, site index), with the costs
+    // materialized alongside so the credit scatter pass reads sequentially.
+    // Flat client-major layout: col_*[client * n..(client + 1) * n].
+    let (col_cost, col_site): (Vec<f64>, Vec<u32>) = {
+        let chunks = parallel::map_chunks(n, 4, |clients| {
+            let mut costs_block = Vec::with_capacity(clients.len() * n);
+            let mut sites_block = Vec::with_capacity(clients.len() * n);
+            let mut keyed: Vec<(f64, u32)> = Vec::with_capacity(n);
+            for client in clients {
+                keyed.clear();
+                keyed.extend((0..n as u32).map(|s| (cost[s as usize * n + client], s)));
+                keyed.sort_unstable_by(pair_cmp);
+                costs_block.extend(keyed.iter().map(|&(c, _)| c));
+                sites_block.extend(keyed.iter().map(|&(_, s)| s));
+            }
+            (costs_block, sites_block)
+        });
+        let mut costs = Vec::with_capacity(n * n);
+        let mut sites = Vec::with_capacity(n * n);
+        for (c, s) in chunks {
+            costs.extend_from_slice(&c);
+            sites.extend_from_slice(&s);
+        }
+        (costs, sites)
+    };
+
+    let mut connected: Vec<Option<usize>> = vec![None; n]; // client -> facility
+    let mut conn_cost: Vec<f64> = vec![f64::INFINITY; n]; // cached c(i', j)
+    let mut open = vec![false; n];
+    let mut connected_list: Vec<usize> = Vec::new(); // ascending client index
+    let mut unconnected_count = n;
+    let mut credit = vec![0.0f64; n];
+    let mut compacted_len = n;
+
+    while unconnected_count > 0 {
+        // Switching credits for every site in one sparse scatter pass:
+        // each connected client walks the prefix of its column ordering
+        // that is cheaper than its current connection. Clients are visited
+        // in ascending index order, so each `credit[site]` accumulates
+        // exactly the reference's term sequence — identical f64 sums.
+        credit.fill(0.0);
+        for &j in &connected_list {
+            let limit = conn_cost[j];
+            let by_cost = &col_cost[j * n..(j + 1) * n];
+            let by_site = &col_site[j * n..(j + 1) * n];
+            for (c, &site) in by_cost.iter().zip(by_site) {
+                if *c >= limit {
+                    break;
+                }
+                credit[site as usize] += limit - c;
+            }
+        }
+
+        // Per-site argmin scan, fanned out over site chunks. Workers only
+        // read shared state; each returns its chunk's first strict minimum
+        // and the chunk winners merge in site order below, reproducing the
+        // sequential first-minimum tie-break (lowest site, then smallest
+        // prefix) bit-for-bit.
+        let chunk_best = parallel::map_chunks(n, 16, |sites| {
+            let mut best: Option<(f64, usize, usize)> = None; // (ratio, site, prefix)
+            for site in sites {
+                let row = &cost[site * n..(site + 1) * n];
+                let effective_f = if open[site] {
+                    0.0
+                } else {
+                    instance.opening_costs()[site]
+                };
+                // Optimal unconnected prefix by ascending connection cost:
+                // walk the precomputed ordering, skipping connected clients,
+                // stopping with the unimodal JMS prefix rule.
+                let mut running = effective_f - credit[site];
+                let mut k = 0usize;
+                let mut last_ratio = f64::INFINITY;
+                for &j in &live[site] {
+                    let j = j as usize;
+                    if connected[j].is_some() {
+                        continue;
+                    }
+                    let c = row[j];
+                    if k > 0 && c >= last_ratio {
+                        break;
+                    }
+                    running += c;
+                    k += 1;
+                    let ratio = running / k as f64;
+                    if best.map_or(true, |(b, _, _)| ratio < b) {
+                        best = Some((ratio, site, k));
+                    }
+                    last_ratio = ratio;
+                    if k == unconnected_count {
+                        break;
+                    }
+                }
+            }
+            best
+        });
+        let mut best: Option<(f64, usize, usize)> = None;
+        for cand in chunk_best.into_iter().flatten() {
+            if best.map_or(true, |(b, _, _)| cand.0 < b) {
+                best = Some(cand);
+            }
+        }
+        let (_, site, prefix) = best.expect("unconnected set is non-empty");
+
+        // Deploy: connect the `prefix` cheapest unconnected clients —
+        // reusing the per-site ordering computed during precomputation
+        // instead of cloning and re-sorting the unconnected set — and
+        // switch every connected client that saves by moving.
+        open[site] = true;
+        let row = &cost[site * n..(site + 1) * n];
+        let mut taken = 0usize;
+        for &j in &live[site] {
+            if taken == prefix {
+                break;
+            }
+            let j = j as usize;
+            if connected[j].is_none() {
+                connected[j] = Some(site);
+                conn_cost[j] = row[j];
+                unconnected_count -= 1;
+                taken += 1;
+            }
+        }
+        for &j in &connected_list {
+            if row[j] < conn_cost[j] {
+                connected[j] = Some(site);
+                conn_cost[j] = row[j];
+            }
+        }
+        connected_list = (0..n).filter(|&j| connected[j].is_some()).collect();
+
+        // Compact the per-site orderings once the unconnected set has
+        // halved: `retain` keeps the surviving entries in the same relative
+        // (cost, index) order, so later scans see exactly the subsequence
+        // they would have reached by skipping — amortized `O(n²)` total.
+        if unconnected_count * 2 <= compacted_len {
+            for l in live.iter_mut() {
+                l.retain(|&j| connected[j as usize].is_none());
+            }
+            compacted_len = unconnected_count;
+        }
+    }
+
+    // Keep only facilities still serving someone, then let every client
+    // take its nearest open facility (both steps are cost-non-increasing).
+    let mut serving = vec![false; n];
+    for conn in connected.iter().flatten() {
+        serving[*conn] = true;
+    }
+    let open_sites: Vec<usize> = (0..n).filter(|&i| open[i] && serving[i]).collect();
+    instance.assign_nearest(&open_sites)
+}
+
+/// Naive sequential reference for [`jms_greedy`]: recomputes connection
+/// costs and re-sorts the unconnected set inside the round loop, exactly as
+/// Algorithm 1 is written — `O(n³ log n)` for `n` clients, matching the
+/// `O(N³)` bound stated in the paper. Retained as the oracle for the
+/// equivalence test-suite and the speedup benchmarks.
+pub fn jms_greedy_reference(instance: &PlpInstance) -> Solution {
     let n = instance.len();
     let mut connected: Vec<Option<usize>> = vec![None; n]; // client -> facility
     let mut open = vec![false; n];
@@ -72,17 +307,25 @@ pub fn jms_greedy(instance: &PlpInstance) -> Solution {
                 .collect();
             costs.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite costs"));
             let mut running = effective_f - credit;
+            let mut last_ratio = f64::INFINITY;
             for (k, c) in costs.iter().enumerate() {
+                // Unimodal JMS prefix rule: averages can only rise from here.
+                if k > 0 && *c >= last_ratio {
+                    break;
+                }
                 running += c;
                 let ratio = running / (k + 1) as f64;
                 if best.map_or(true, |(b, _, _)| ratio < b) {
                     best = Some((ratio, site, k + 1));
                 }
+                last_ratio = ratio;
             }
         }
         let (_, site, prefix) = best.expect("unconnected set is non-empty");
         // Deploy: connect the `prefix` cheapest unconnected clients and
-        // switch every connected client that saves by moving.
+        // switch every connected client that saves by moving. Cost ties
+        // break by client index — the same canonical order the fast path's
+        // precomputed per-site ordering uses.
         open[site] = true;
         let mut ordered: Vec<usize> = unconnected.clone();
         ordered.sort_unstable_by(|&a, &b| {
@@ -90,6 +333,7 @@ pub fn jms_greedy(instance: &PlpInstance) -> Solution {
                 .connection_cost(site, a)
                 .partial_cmp(&instance.connection_cost(site, b))
                 .expect("finite costs")
+                .then(a.cmp(&b))
         });
         for &client in ordered.iter().take(prefix) {
             connected[client] = Some(site);
@@ -127,6 +371,20 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         (0..n)
             .map(|_| Point::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side)))
+            .collect()
+    }
+
+    /// Points on a small integer lattice: duplicate points and exact cost
+    /// ties are the norm, exercising every tie-break path.
+    fn lattice_points(n: usize, side: u32, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                Point::new(
+                    f64::from(rng.gen_range(0..side)) * 100.0,
+                    f64::from(rng.gen_range(0..side)) * 100.0,
+                )
+            })
             .collect()
     }
 
@@ -265,5 +523,46 @@ mod tests {
             "total cost {} outside Fig 4(a) band",
             cost.total()
         );
+    }
+
+    #[test]
+    fn fast_path_matches_reference_on_random_instances() {
+        for seed in 0..8 {
+            let n = 20 + 5 * seed as usize;
+            let clients = uniform_points(n, 1000.0, 200 + seed);
+            for f in [1e-3, 150.0, 5000.0, 1e7] {
+                let inst = PlpInstance::with_uniform_cost(clients.clone(), f);
+                assert_eq!(
+                    jms_greedy(&inst),
+                    jms_greedy_reference(&inst),
+                    "seed {seed} f {f}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fast_path_matches_reference_with_ties() {
+        // Lattice instances are riddled with duplicate points and exact
+        // cost ties; the canonical (cost, client-index) / lowest-site
+        // tie-breaks must agree between the two paths.
+        for seed in 0..6 {
+            let clients = lattice_points(30, 4, 300 + seed);
+            let inst = PlpInstance::with_uniform_cost(clients, 250.0);
+            assert_eq!(jms_greedy(&inst), jms_greedy_reference(&inst), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn fast_path_matches_reference_weighted() {
+        for seed in 0..4 {
+            let mut rng = StdRng::seed_from_u64(400 + seed);
+            let n = 25;
+            let clients = uniform_points(n, 800.0, 500 + seed);
+            let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5..20.0)).collect();
+            let openings: Vec<f64> = (0..n).map(|_| rng.gen_range(50.0..2000.0)).collect();
+            let inst = PlpInstance::new(clients, weights, openings);
+            assert_eq!(jms_greedy(&inst), jms_greedy_reference(&inst), "seed {seed}");
+        }
     }
 }

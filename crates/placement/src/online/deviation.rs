@@ -29,7 +29,7 @@ use super::{Decision, OnlinePlacement};
 use crate::penalty::{PenaltyFunction, PenaltyType, PolynomialPenalty};
 use crate::PlacementCost;
 use esharing_geo::{NearestNeighborIndex, Point};
-use esharing_stats::ks2d::{peacock_test, SimilarityClass};
+use esharing_stats::ks2d::{RankedSample, SimilarityClass};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
@@ -135,7 +135,9 @@ pub struct DeviationPenalty {
     a: usize,
     doubling_period: usize,
     index: NearestNeighborIndex,
-    history: Vec<Point>,
+    /// Historical sample `H` with its KS rank structures precomputed once;
+    /// every periodic test reuses them and only ranks the live window.
+    history: RankedSample,
     window: VecDeque<Point>,
     rng: StdRng,
     cost: PlacementCost,
@@ -189,7 +191,8 @@ impl DeviationPenalty {
             index.insert(p);
             cost.space += cfg.space_cost;
         }
-        // Subsample the history to bound the KS test cost.
+        // Subsample the history to bound the KS test cost, then rank it
+        // once — the periodic tests reuse the sorted structures.
         let mut history = history;
         if history.len() > cfg.history_cap {
             let stride = history.len() as f64 / cfg.history_cap as f64;
@@ -197,6 +200,7 @@ impl DeviationPenalty {
                 .map(|i| history[(i as f64 * stride) as usize])
                 .collect();
         }
+        let history = RankedSample::new(&history);
         let doubling_period = ((cfg.beta * k as f64).ceil() as usize).max(1);
         let window_cap = cfg.ks_window;
         DeviationPenalty {
@@ -265,7 +269,7 @@ impl DeviationPenalty {
             return;
         }
         let current: Vec<Point> = self.window.iter().copied().collect();
-        let test = peacock_test(&self.history, &current);
+        let test = self.history.peacock_test_against(&current);
         self.last_similarity = Some(test.similarity_percent);
         let class = SimilarityClass::from_test(&test);
         self.penalty = self.penalty.with_kind(PenaltyType::for_similarity(class));

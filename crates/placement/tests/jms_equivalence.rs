@@ -1,0 +1,81 @@
+//! Property-based equivalence between the cached-cost parallel JMS greedy
+//! and the sequential reference implementation.
+//!
+//! The fast path replicates the reference's floating-point operation order
+//! (credit sums in client-index order, prefix sums in canonical
+//! `(cost, index)` order, first-strict-minimum site selection), so the two
+//! must return *identical* solutions — same facilities, same assignment —
+//! and therefore identical costs, on every instance. Asserted exactly.
+
+use esharing_geo::Point;
+use esharing_placement::offline::{jms_greedy, jms_greedy_reference};
+use esharing_placement::PlpInstance;
+use proptest::prelude::*;
+
+fn continuous(raw: &[(f64, f64)]) -> Vec<Point> {
+    raw.iter().map(|&(x, y)| Point::new(x, y)).collect()
+}
+
+/// Integer-lattice coordinates: duplicate clients produce tied connection
+/// costs and tied per-round ratios, exercising the canonical tie-breaks.
+fn lattice(raw: &[(u32, u32)]) -> Vec<Point> {
+    raw.iter()
+        .map(|&(x, y)| Point::new(f64::from(x) * 100.0, f64::from(y) * 100.0))
+        .collect()
+}
+
+fn assert_equivalent(inst: &PlpInstance) -> Result<(), TestCaseError> {
+    let fast = jms_greedy(inst);
+    let reference = jms_greedy_reference(inst);
+    prop_assert_eq!(&fast, &reference);
+    let fast_cost = inst.cost_of(&fast);
+    let ref_cost = inst.cost_of(&reference);
+    prop_assert_eq!(fast_cost.walking, ref_cost.walking);
+    prop_assert_eq!(fast_cost.space, ref_cost.space);
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn fast_matches_reference_uniform(
+        pts in proptest::collection::vec((0.0f64..1_000.0, 0.0f64..1_000.0), 1..32),
+        f in 1.0f64..20_000.0,
+    ) {
+        let inst = PlpInstance::with_uniform_cost(continuous(&pts), f);
+        assert_equivalent(&inst)?;
+    }
+
+    #[test]
+    fn fast_matches_reference_lattice_ties(
+        pts in proptest::collection::vec((0u32..4, 0u32..4), 1..32),
+        f in 1.0f64..5_000.0,
+    ) {
+        let inst = PlpInstance::with_uniform_cost(lattice(&pts), f);
+        assert_equivalent(&inst)?;
+    }
+
+    #[test]
+    fn fast_matches_reference_weighted(
+        raw in proptest::collection::vec(
+            (0.0f64..1_000.0, 0.0f64..1_000.0, 0.5f64..20.0, 100.0f64..10_000.0),
+            1..28,
+        ),
+    ) {
+        let clients: Vec<Point> = raw.iter().map(|&(x, y, _, _)| Point::new(x, y)).collect();
+        let weights: Vec<f64> = raw.iter().map(|&(_, _, w, _)| w).collect();
+        let openings: Vec<f64> = raw.iter().map(|&(_, _, _, f)| f).collect();
+        let inst = PlpInstance::new(clients, weights, openings);
+        assert_equivalent(&inst)?;
+    }
+
+    #[test]
+    fn fast_matches_reference_extreme_opening_costs(
+        pts in proptest::collection::vec((0.0f64..1_000.0, 0.0f64..1_000.0), 1..24),
+        tiny in prop::bool::ANY,
+    ) {
+        // f ≈ 0 opens a facility per distinct location; huge f opens one.
+        let f = if tiny { 1e-6 } else { 1e9 };
+        let inst = PlpInstance::with_uniform_cost(continuous(&pts), f);
+        assert_equivalent(&inst)?;
+    }
+}

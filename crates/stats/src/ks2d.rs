@@ -10,16 +10,30 @@
 //! the resulting similarity `100(1 − D)%` to a penalty-function type
 //! (§V-C): above 95% → Type II, 80–95% → Type III, below 80% → Type I.
 //!
-//! Two evaluation strategies are provided:
+//! Two evaluation strategies are provided, each in a fast rank-based form
+//! and a naive reference form:
 //!
 //! * [`peacock_statistic`] — Peacock's original proposal evaluates the
 //!   quadrant difference on the grid of all `(x_i, y_j)` coordinate pairs
-//!   from the pooled sample (`O(n²)` split points × `O(n)` counting =
-//!   `O(n³)`, matching the complexity the paper reports);
+//!   from the pooled sample. The naive form ([`peacock_statistic_naive`])
+//!   recounts all `n` points at each of the `O(n²)` split pairs — the
+//!   `O(n³)` complexity the paper reports. The fast form sorts each
+//!   coordinate once, builds a 2-D prefix-count matrix over the pooled
+//!   coordinate ranks per sample, answers every quadrant count in `O(1)`
+//!   by inclusion–exclusion, and sweeps the `O(n²)` grid in parallel
+//!   chunks — `O(n²)` total, bit-identical to the naive supremum.
 //! * [`ff_statistic`] — the Fasano–Franceschini (1987) variant that only
-//!   visits the `O(n)` split points located *at* sample points, which is a
-//!   tight, widely used approximation running in `O(n²)`.
+//!   visits the `O(n)` split points located *at* sample points. The naive
+//!   form ([`ff_statistic_naive`]) is `O(n²)`; the fast form sweeps the
+//!   split points in x-order while maintaining per-sample Fenwick trees
+//!   over the pooled y-ranks, giving `O(n log n)` with integer counts
+//!   identical to the naive quadrant counts.
+//!
+//! For streaming use, [`RankedSample`] precomputes the sorted structures of
+//! a fixed sample once (the deviation monitor's historical distribution) so
+//! repeated tests against fresh windows skip re-sorting the history.
 
+use crate::parallel;
 use esharing_geo::Point;
 
 /// Outcome of a two-sample Peacock test.
@@ -71,16 +85,328 @@ fn max_quadrant_diff(a: &[Point], b: &[Point], x: f64, y: f64) -> f64 {
         .fold(0.0, f64::max)
 }
 
+/// Largest quadrant-fraction difference given the integer quadrant counts
+/// `[q1, q2, q3, q4]` of each sample. Divides each count by its sample size
+/// with exactly the arithmetic of [`quadrant_fractions`], so rank-based
+/// counting reproduces the naive statistic bit-for-bit.
+#[inline]
+fn quad_count_diff(qa: [u32; 4], qb: [u32; 4], na: f64, nb: f64) -> f64 {
+    let mut d = 0.0f64;
+    for k in 0..4 {
+        d = d.max((f64::from(qa[k]) / na - f64::from(qb[k]) / nb).abs());
+    }
+    d
+}
+
+/// Number of values in the sorted slice that are `<= v`.
+#[inline]
+fn count_le(sorted: &[f64], v: f64) -> usize {
+    sorted.partition_point(|&s| s <= v)
+}
+
+/// 2-D prefix-count matrix of one sample over pooled coordinate ranks.
+///
+/// `le(i, j)` returns the number of sample points with `x <= xs[i-1]` and
+/// `y <= ys[j-1]` in `O(1)`, where `xs`/`ys` are the sorted unique pooled
+/// coordinates the grid was built against.
+struct PrefixGrid {
+    nx: usize,
+    ny: usize,
+    n: u32,
+    cum: Vec<u32>,
+}
+
+impl PrefixGrid {
+    fn new(sample: &[Point], xs: &[f64], ys: &[f64]) -> Self {
+        let (nx, ny) = (xs.len(), ys.len());
+        let stride = ny + 1;
+        let mut cum = vec![0u32; (nx + 1) * stride];
+        for p in sample {
+            let rx = count_le(xs, p.x);
+            let ry = count_le(ys, p.y);
+            debug_assert!(rx >= 1 && ry >= 1, "sample coordinate missing from pool");
+            cum[rx * stride + ry] += 1;
+        }
+        for i in 1..=nx {
+            for j in 1..=ny {
+                cum[i * stride + j] += cum[i * stride + j - 1];
+            }
+        }
+        for i in 1..=nx {
+            for j in 0..=ny {
+                cum[i * stride + j] += cum[(i - 1) * stride + j];
+            }
+        }
+        PrefixGrid {
+            nx,
+            ny,
+            n: sample.len() as u32,
+            cum,
+        }
+    }
+
+    #[inline]
+    fn le(&self, i: usize, j: usize) -> u32 {
+        self.cum[i * (self.ny + 1) + j]
+    }
+
+    /// Quadrant counts `[q1, q2, q3, q4]` around the split point
+    /// `(xs[i-1], ys[j-1])` by inclusion–exclusion.
+    #[inline]
+    fn quadrants(&self, i: usize, j: usize) -> [u32; 4] {
+        let q3 = self.le(i, j);
+        let col = self.le(i, self.ny);
+        let row = self.le(self.nx, j);
+        // `n + q3` first: `n - col - row` alone can underflow u32.
+        [self.n + q3 - col - row, col - q3, q3, row - q3]
+    }
+}
+
+/// Fenwick (binary indexed) tree of integer counts over 1-based ranks.
+struct Fenwick {
+    tree: Vec<u32>,
+}
+
+impl Fenwick {
+    fn new(n: usize) -> Self {
+        Fenwick {
+            tree: vec![0; n + 1],
+        }
+    }
+
+    /// Adds one occurrence at rank `i` (1-based).
+    #[inline]
+    fn add(&mut self, mut i: usize) {
+        while i < self.tree.len() {
+            self.tree[i] += 1;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Number of occurrences with rank `<= i`.
+    #[inline]
+    fn prefix(&self, mut i: usize) -> u32 {
+        let mut s = 0;
+        while i > 0 {
+            s += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+}
+
+fn sorted_by_total(values: impl Iterator<Item = f64>) -> Vec<f64> {
+    let mut v: Vec<f64> = values.collect();
+    v.sort_unstable_by(f64::total_cmp);
+    v
+}
+
+/// Merges two sorted coordinate lists into the sorted list of distinct
+/// values (the pooled rank space).
+fn merge_unique(a: &[f64], b: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() || j < b.len() {
+        let v = match (a.get(i), b.get(j)) {
+            (Some(&x), Some(&y)) => {
+                if f64::total_cmp(&x, &y).is_le() {
+                    x
+                } else {
+                    y
+                }
+            }
+            (Some(&x), None) => x,
+            (None, Some(&y)) => y,
+            (None, None) => unreachable!(),
+        };
+        while i < a.len() && a[i] == v {
+            i += 1;
+        }
+        while j < b.len() && b[j] == v {
+            j += 1;
+        }
+        out.push(v);
+    }
+    out
+}
+
+/// A sample with its sorted rank structures precomputed, so repeated 2-D KS
+/// tests against it skip the per-test sort of this side.
+///
+/// The deviation monitor holds its (fixed) historical distribution as a
+/// `RankedSample` and tests each streaming window against it; only the
+/// window — typically much smaller than the history — is sorted per test.
+#[derive(Debug, Clone)]
+pub struct RankedSample {
+    points: Vec<Point>,
+    by_x: Vec<Point>,
+    ys: Vec<f64>,
+}
+
+impl RankedSample {
+    /// Builds the rank structures for `points` (`O(n log n)`).
+    pub fn new(points: &[Point]) -> Self {
+        let mut by_x = points.to_vec();
+        by_x.sort_unstable_by(|p, q| {
+            f64::total_cmp(&p.x, &q.x).then(f64::total_cmp(&p.y, &q.y))
+        });
+        let ys = sorted_by_total(points.iter().map(|p| p.y));
+        RankedSample {
+            points: points.to_vec(),
+            by_x,
+            ys,
+        }
+    }
+
+    /// The sample in its original order.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Number of points in the sample.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Fasano–Franceschini statistic against another ranked sample in
+    /// `O(n log n)`, bit-identical to [`ff_statistic_naive`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either sample is empty.
+    pub fn ff_statistic(&self, other: &RankedSample) -> f64 {
+        assert!(
+            !self.is_empty() && !other.is_empty(),
+            "samples must be non-empty"
+        );
+        let uy = merge_unique(&self.ys, &other.ys);
+        let mut fen_a = Fenwick::new(uy.len());
+        let mut fen_b = Fenwick::new(uy.len());
+        let (na_u, nb_u) = (self.len() as u32, other.len() as u32);
+        let (na, nb) = (self.len() as f64, other.len() as f64);
+        let (ax, bx) = (&self.by_x, &other.by_x);
+        let (mut ia, mut ib) = (0usize, 0usize);
+        let mut group: Vec<f64> = Vec::new();
+        let mut d = 0.0f64;
+        // Sweep split points in x-order; all points sharing a split's x value
+        // enter the Fenwick trees before any quadrant query at that x, which
+        // preserves the `x <= X` semantics of the naive count.
+        while ia < ax.len() || ib < bx.len() {
+            let x = match (ax.get(ia), bx.get(ib)) {
+                (Some(p), Some(q)) => {
+                    if p.x <= q.x {
+                        p.x
+                    } else {
+                        q.x
+                    }
+                }
+                (Some(p), None) => p.x,
+                (None, Some(q)) => q.x,
+                (None, None) => unreachable!(),
+            };
+            group.clear();
+            while ia < ax.len() && ax[ia].x == x {
+                fen_a.add(count_le(&uy, ax[ia].y));
+                group.push(ax[ia].y);
+                ia += 1;
+            }
+            while ib < bx.len() && bx[ib].x == x {
+                fen_b.add(count_le(&uy, bx[ib].y));
+                group.push(bx[ib].y);
+                ib += 1;
+            }
+            let (cxa, cxb) = (ia as u32, ib as u32);
+            for &y in &group {
+                let ry = count_le(&uy, y);
+                let q3a = fen_a.prefix(ry);
+                let q3b = fen_b.prefix(ry);
+                let cya = count_le(&self.ys, y) as u32;
+                let cyb = count_le(&other.ys, y) as u32;
+                let qa = [na_u + q3a - cxa - cya, cxa - q3a, q3a, cya - q3a];
+                let qb = [nb_u + q3b - cxb - cyb, cxb - q3b, q3b, cyb - q3b];
+                d = d.max(quad_count_diff(qa, qb, na, nb));
+            }
+        }
+        d
+    }
+
+    /// Full two-sample test against another ranked sample (fast FF
+    /// statistic + Peacock's `Z∞` significance).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either sample is empty.
+    pub fn peacock_test(&self, other: &RankedSample) -> Ks2dResult {
+        test_from_statistic(self.ff_statistic(other), self.len(), other.len())
+    }
+
+    /// Convenience: ranks `window` on the fly and runs
+    /// [`RankedSample::peacock_test`] against it. This is the streaming
+    /// entry point — the receiver's (historical) ranks are reused across
+    /// calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either sample is empty.
+    pub fn peacock_test_against(&self, window: &[Point]) -> Ks2dResult {
+        self.peacock_test(&RankedSample::new(window))
+    }
+}
+
 /// Peacock's exact 2-D KS statistic over all `(x_i, y_j)` split pairs from
 /// the pooled sample.
 ///
-/// Runs in `O(n³)` for `n` pooled points — use [`ff_statistic`] for large
-/// samples.
+/// Rank-based: sorts each coordinate once, builds per-sample 2-D
+/// prefix-count matrices over the pooled unique coordinate ranks, and sweeps
+/// the split grid in parallel with `O(1)` quadrant counts — `O(n²)` time and
+/// memory for `n` pooled points, bit-identical to
+/// [`peacock_statistic_naive`].
 ///
 /// # Panics
 ///
 /// Panics if either sample is empty.
 pub fn peacock_statistic(a: &[Point], b: &[Point]) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "samples must be non-empty");
+    let mut xs = sorted_by_total(a.iter().chain(b.iter()).map(|p| p.x));
+    xs.dedup();
+    let mut ys = sorted_by_total(a.iter().chain(b.iter()).map(|p| p.y));
+    ys.dedup();
+    let ga = PrefixGrid::new(a, &xs, &ys);
+    let gb = PrefixGrid::new(b, &xs, &ys);
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    // Each worker scans a contiguous band of x-ranks; the supremum of
+    // exactly-computed values is invariant to chunk boundaries, so the
+    // result is identical for every thread count.
+    let maxes = parallel::map_chunks(xs.len(), 8, |range| {
+        let mut d = 0.0f64;
+        for i in range {
+            for j in 1..=ys.len() {
+                d = d.max(quad_count_diff(
+                    ga.quadrants(i + 1, j),
+                    gb.quadrants(i + 1, j),
+                    na,
+                    nb,
+                ));
+            }
+        }
+        d
+    });
+    maxes.into_iter().fold(0.0, f64::max)
+}
+
+/// Naive `O(n³)` reference for [`peacock_statistic`]: recounts every point
+/// at each pooled `(x_i, y_j)` split pair. Retained for equivalence tests
+/// and benchmarks.
+///
+/// # Panics
+///
+/// Panics if either sample is empty.
+pub fn peacock_statistic_naive(a: &[Point], b: &[Point]) -> f64 {
     assert!(!a.is_empty() && !b.is_empty(), "samples must be non-empty");
     let xs: Vec<f64> = a.iter().chain(b.iter()).map(|p| p.x).collect();
     let ys: Vec<f64> = a.iter().chain(b.iter()).map(|p| p.y).collect();
@@ -94,12 +420,27 @@ pub fn peacock_statistic(a: &[Point], b: &[Point]) -> f64 {
 }
 
 /// Fasano–Franceschini approximation: split points restricted to the pooled
-/// sample points themselves (`O(n²)`).
+/// sample points themselves. Rank-based `O(n log n)` (x-ordered sweep with
+/// Fenwick-tree y-counts), bit-identical to [`ff_statistic_naive`].
+///
+/// When one side is tested repeatedly (the streaming deviation monitor),
+/// build a [`RankedSample`] for it once and use
+/// [`RankedSample::ff_statistic`] to skip re-sorting that side.
 ///
 /// # Panics
 ///
 /// Panics if either sample is empty.
 pub fn ff_statistic(a: &[Point], b: &[Point]) -> f64 {
+    RankedSample::new(a).ff_statistic(&RankedSample::new(b))
+}
+
+/// Naive `O(n²)` reference for [`ff_statistic`]: recounts every point at
+/// each pooled sample point. Retained for equivalence tests and benchmarks.
+///
+/// # Panics
+///
+/// Panics if either sample is empty.
+pub fn ff_statistic_naive(a: &[Point], b: &[Point]) -> f64 {
     assert!(!a.is_empty() && !b.is_empty(), "samples must be non-empty");
     let mut d: f64 = 0.0;
     for p in a.iter().chain(b.iter()) {
@@ -138,20 +479,14 @@ fn kolmogorov_q(lambda: f64) -> f64 {
     (2.0 * sum).clamp(0.0, 1.0)
 }
 
-/// Runs the full two-sample test with the Fasano–Franceschini statistic and
-/// Peacock's `Z∞` significance approximation.
-///
-/// # Panics
-///
-/// Panics if either sample is empty.
-pub fn peacock_test(a: &[Point], b: &[Point]) -> Ks2dResult {
-    let statistic = ff_statistic(a, b);
-    let n1 = a.len() as f64;
-    let n2 = b.len() as f64;
+/// Builds the [`Ks2dResult`] from a statistic and the two sample sizes
+/// using Peacock's `Z∞` empirical correction: `Z_inf = Z / (1 + (0.53 -
+/// 0.9/sqrt(n)) / sqrt(n))` with `Z = D sqrt(n)`, scored against the 1-D
+/// Kolmogorov distribution.
+fn test_from_statistic(statistic: f64, n1: usize, n2: usize) -> Ks2dResult {
+    let n1 = n1 as f64;
+    let n2 = n2 as f64;
     let effective_n = n1 * n2 / (n1 + n2);
-    // Peacock's empirical correction: Z_inf = Z / (1 + (0.53 - 0.9/sqrt(n)) /
-    // sqrt(n)) with Z = D sqrt(n); for the 2-D test the effective
-    // significance uses Z_inf against the 1-D Kolmogorov distribution.
     let z = statistic * effective_n.sqrt();
     let z_inf = z / (1.0 + (0.53 - 0.9 / effective_n.sqrt()) / effective_n.sqrt());
     let p_value = kolmogorov_q(z_inf);
@@ -161,6 +496,16 @@ pub fn peacock_test(a: &[Point], b: &[Point]) -> Ks2dResult {
         p_value,
         effective_n,
     }
+}
+
+/// Runs the full two-sample test with the (fast) Fasano–Franceschini
+/// statistic and Peacock's `Z∞` significance approximation.
+///
+/// # Panics
+///
+/// Panics if either sample is empty.
+pub fn peacock_test(a: &[Point], b: &[Point]) -> Ks2dResult {
+    test_from_statistic(ff_statistic(a, b), a.len(), b.len())
 }
 
 /// Similarity regimes the paper maps to penalty-function types (§V-C).
@@ -223,6 +568,19 @@ mod tests {
     fn uniform_sample(rng: &mut StdRng, n: usize, side: f64) -> Vec<Point> {
         (0..n)
             .map(|_| Point::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side)))
+            .collect()
+    }
+
+    /// Points on a small integer lattice: duplicate coordinates and
+    /// duplicate points are the norm, exercising every tie-handling path.
+    fn lattice_sample(rng: &mut StdRng, n: usize, side: u32) -> Vec<Point> {
+        (0..n)
+            .map(|_| {
+                Point::new(
+                    f64::from(rng.gen_range(0..side)),
+                    f64::from(rng.gen_range(0..side)),
+                )
+            })
             .collect()
     }
 
@@ -309,6 +667,13 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_sample_panics_ff() {
+        let a = vec![Point::ORIGIN];
+        let _ = ff_statistic(&a, &[]);
+    }
+
+    #[test]
     fn kolmogorov_q_monotone() {
         assert_eq!(kolmogorov_q(0.0), 1.0);
         let q1 = kolmogorov_q(0.5);
@@ -345,5 +710,87 @@ mod tests {
         let f = quadrant_fractions(&a, 50.0, 50.0);
         let sum: f64 = f.iter().sum();
         assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fast_ff_matches_naive_on_random_samples() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for case in 0..20 {
+            let na = rng.gen_range(1..80);
+            let nb = rng.gen_range(1..80);
+            let (a, b) = if case % 2 == 0 {
+                (
+                    uniform_sample(&mut rng, na, 100.0),
+                    uniform_sample(&mut rng, nb, 120.0),
+                )
+            } else {
+                (
+                    lattice_sample(&mut rng, na, 5),
+                    lattice_sample(&mut rng, nb, 5),
+                )
+            };
+            let fast = ff_statistic(&a, &b);
+            let naive = ff_statistic_naive(&a, &b);
+            assert_eq!(fast, naive, "case {case}: fast {fast} vs naive {naive}");
+        }
+    }
+
+    #[test]
+    fn fast_peacock_matches_naive_on_random_samples() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for case in 0..12 {
+            let na = rng.gen_range(1..30);
+            let nb = rng.gen_range(1..30);
+            let (a, b) = if case % 2 == 0 {
+                (
+                    uniform_sample(&mut rng, na, 50.0),
+                    uniform_sample(&mut rng, nb, 60.0),
+                )
+            } else {
+                (
+                    lattice_sample(&mut rng, na, 4),
+                    lattice_sample(&mut rng, nb, 4),
+                )
+            };
+            let fast = peacock_statistic(&a, &b);
+            let naive = peacock_statistic_naive(&a, &b);
+            assert_eq!(fast, naive, "case {case}: fast {fast} vs naive {naive}");
+        }
+    }
+
+    #[test]
+    fn ranked_sample_reuse_matches_one_shot() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let history = uniform_sample(&mut rng, 150, 100.0);
+        let ranked = RankedSample::new(&history);
+        for _ in 0..5 {
+            let window = uniform_sample(&mut rng, 40, 100.0);
+            let reused = ranked.peacock_test_against(&window);
+            let fresh = peacock_test(&history, &window);
+            assert_eq!(reused.statistic, fresh.statistic);
+            assert_eq!(reused.p_value, fresh.p_value);
+        }
+    }
+
+    #[test]
+    fn single_point_samples() {
+        let a = vec![Point::new(1.0, 2.0)];
+        let b = vec![Point::new(1.0, 2.0)];
+        assert_eq!(ff_statistic(&a, &b), ff_statistic_naive(&a, &b));
+        assert_eq!(peacock_statistic(&a, &b), peacock_statistic_naive(&a, &b));
+        let c = vec![Point::new(3.0, -1.0)];
+        assert_eq!(ff_statistic(&a, &c), ff_statistic_naive(&a, &c));
+        assert_eq!(peacock_statistic(&a, &c), peacock_statistic_naive(&a, &c));
+    }
+
+    #[test]
+    fn all_identical_points_tie_storm() {
+        let a = vec![Point::new(2.0, 2.0); 17];
+        let mut b = vec![Point::new(2.0, 2.0); 9];
+        assert_eq!(ff_statistic(&a, &b), 0.0);
+        assert_eq!(peacock_statistic(&a, &b), 0.0);
+        b.push(Point::new(2.0, 3.0));
+        assert_eq!(ff_statistic(&a, &b), ff_statistic_naive(&a, &b));
+        assert_eq!(peacock_statistic(&a, &b), peacock_statistic_naive(&a, &b));
     }
 }

@@ -38,6 +38,7 @@ mod ecdf;
 mod histogram2d;
 pub mod ks2d;
 pub mod metrics;
+pub mod parallel;
 mod running;
 pub mod samplers;
 

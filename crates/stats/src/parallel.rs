@@ -1,0 +1,157 @@
+//! Deterministic fork–join helpers built on `crossbeam` scoped threads.
+//!
+//! The hot kernels in this workspace (offline JMS greedy, the 2-D KS grid
+//! sweep, the LSTM grid search) all fan the same shape of work out: split an
+//! index range into contiguous chunks, run each chunk on a worker, and merge
+//! the per-chunk results **in chunk order** so the outcome is bit-identical
+//! regardless of thread count or scheduling. This module centralises that
+//! pattern so every crate parallelises the same way, with no dependency
+//! beyond the already-approved `crossbeam`.
+//!
+//! The worker count defaults to [`std::thread::available_parallelism`] and
+//! can be pinned with the `ESHARING_THREADS` environment variable (useful
+//! for benchmarking scaling curves or forcing sequential execution with
+//! `ESHARING_THREADS=1`).
+
+use std::ops::Range;
+
+/// Number of worker threads to use for parallel sweeps.
+///
+/// Reads the `ESHARING_THREADS` environment variable (clamped to ≥ 1);
+/// falls back to [`std::thread::available_parallelism`], then to 1.
+pub fn num_threads() -> usize {
+    match std::env::var("ESHARING_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => default_threads(),
+        },
+        Err(_) => default_threads(),
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Splits `0..len` into at most `chunks` contiguous, non-empty ranges
+/// covering the whole interval in order.
+pub fn chunk_ranges(len: usize, chunks: usize) -> Vec<Range<usize>> {
+    let chunks = chunks.clamp(1, len.max(1));
+    let size = len.div_ceil(chunks);
+    let mut out = Vec::with_capacity(chunks);
+    let mut start = 0;
+    while start < len {
+        let end = (start + size).min(len);
+        out.push(start..end);
+        start = end;
+    }
+    if out.is_empty() {
+        out.push(0..0);
+    }
+    out
+}
+
+/// Runs `work` over contiguous chunks of `0..len` on a scoped thread pool
+/// and returns the per-chunk results **in chunk order**.
+///
+/// `min_chunk` bounds the smallest chunk worth shipping to a worker; inputs
+/// smaller than `2 * min_chunk` (or a worker count of 1) run inline on the
+/// calling thread, so small instances pay no spawning overhead.
+///
+/// Determinism: chunk boundaries depend only on `len` and the worker count,
+/// and results are joined in chunk order, so any reduction that is invariant
+/// to *where* chunk boundaries fall (e.g. an exact integer count, a max over
+/// exactly-computed values, or a first-minimum scan merged in index order)
+/// yields bit-identical output for every thread count.
+///
+/// # Panics
+///
+/// Propagates panics from worker threads.
+pub fn map_chunks<T, F>(len: usize, min_chunk: usize, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    let workers = num_threads()
+        .min(len / min_chunk.max(1))
+        .clamp(1, len.max(1));
+    if workers <= 1 {
+        return vec![work(0..len)];
+    }
+    let ranges = chunk_ranges(len, workers);
+    let work = &work;
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|r| scope.spawn(move |_| work(r)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope failed")
+}
+
+/// Parallel index map: computes `f(i)` for every `i in 0..n` and returns the
+/// results in index order. `min_chunk` as in [`map_chunks`].
+pub fn par_map<T, F>(n: usize, min_chunk: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    map_chunks(n, min_chunk, |r| r.map(&f).collect::<Vec<T>>())
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for len in [0usize, 1, 2, 7, 64, 100, 101] {
+            for chunks in [1usize, 2, 3, 8, 200] {
+                let ranges = chunk_ranges(len, chunks);
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "gap at len={len} chunks={chunks}");
+                    assert!(r.end > r.start || len == 0);
+                    next = r.end;
+                }
+                assert_eq!(next, len);
+                assert!(ranges.len() <= chunks.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_matches_sequential() {
+        let got = par_map(257, 1, |i| i * i);
+        let want: Vec<usize> = (0..257).map(|i| i * i).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn map_chunks_preserves_chunk_order() {
+        let sums = map_chunks(1000, 1, |r| r.sum::<usize>());
+        let total: usize = sums.iter().sum();
+        assert_eq!(total, 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        assert_eq!(par_map(0, 1, |i| i), Vec::<usize>::new());
+        let out = map_chunks(0, 1, |r| r.len());
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn num_threads_is_at_least_one() {
+        assert!(num_threads() >= 1);
+    }
+}

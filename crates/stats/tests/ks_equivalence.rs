@@ -1,0 +1,87 @@
+//! Property-based equivalence between the rank-based 2-D KS kernels and
+//! their naive quadrant-counting oracles.
+//!
+//! The fast paths are engineered to produce the *same integer quadrant
+//! counts* and then perform the *same f64 arithmetic* as the naive loops,
+//! so every property here asserts exact equality — no tolerances.
+
+use esharing_geo::Point;
+use esharing_stats::ks2d::{
+    ff_statistic, ff_statistic_naive, peacock_statistic, peacock_statistic_naive, RankedSample,
+};
+use proptest::prelude::*;
+
+fn continuous(raw: &[(f64, f64)]) -> Vec<Point> {
+    raw.iter().map(|&(x, y)| Point::new(x, y)).collect()
+}
+
+/// Integer-lattice coordinates: duplicate-heavy, exercising the tie paths
+/// (shared ranks, equal-x Fenwick groups, repeated split points).
+fn lattice(raw: &[(u32, u32)]) -> Vec<Point> {
+    raw.iter()
+        .map(|&(x, y)| Point::new(f64::from(x) * 125.0, f64::from(y) * 125.0))
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn ff_matches_naive_continuous(
+        a in proptest::collection::vec((0.0f64..1_000.0, 0.0f64..1_000.0), 1..50),
+        b in proptest::collection::vec((0.0f64..1_000.0, 0.0f64..1_000.0), 1..50),
+    ) {
+        let (a, b) = (continuous(&a), continuous(&b));
+        prop_assert_eq!(ff_statistic(&a, &b), ff_statistic_naive(&a, &b));
+    }
+
+    #[test]
+    fn ff_matches_naive_lattice(
+        a in proptest::collection::vec((0u32..5, 0u32..5), 1..40),
+        b in proptest::collection::vec((0u32..5, 0u32..5), 1..40),
+    ) {
+        let (a, b) = (lattice(&a), lattice(&b));
+        prop_assert_eq!(ff_statistic(&a, &b), ff_statistic_naive(&a, &b));
+    }
+
+    #[test]
+    fn peacock_matches_naive_continuous(
+        a in proptest::collection::vec((0.0f64..1_000.0, 0.0f64..1_000.0), 1..40),
+        b in proptest::collection::vec((0.0f64..1_000.0, 0.0f64..1_000.0), 1..40),
+    ) {
+        let (a, b) = (continuous(&a), continuous(&b));
+        prop_assert_eq!(peacock_statistic(&a, &b), peacock_statistic_naive(&a, &b));
+    }
+
+    #[test]
+    fn peacock_matches_naive_lattice(
+        a in proptest::collection::vec((0u32..5, 0u32..5), 1..40),
+        b in proptest::collection::vec((0u32..5, 0u32..5), 1..40),
+    ) {
+        let (a, b) = (lattice(&a), lattice(&b));
+        prop_assert_eq!(peacock_statistic(&a, &b), peacock_statistic_naive(&a, &b));
+    }
+
+    #[test]
+    fn ranked_sample_reuse_matches_one_shot(
+        hist in proptest::collection::vec((0.0f64..1_000.0, 0.0f64..1_000.0), 1..40),
+        w1 in proptest::collection::vec((0u32..5, 0u32..5), 1..30),
+        w2 in proptest::collection::vec((0.0f64..1_000.0, 0.0f64..1_000.0), 1..30),
+    ) {
+        // A RankedSample built once and tested against successive windows
+        // (the DeviationPenalty streaming pattern) must match fresh
+        // one-shot tests exactly. The test statistic is the FF variant
+        // (split points at sample points), per the `peacock_test` contract.
+        let hist = continuous(&hist);
+        let ranked = RankedSample::new(&hist);
+        for window in [lattice(&w1), continuous(&w2)] {
+            let reused = ranked.peacock_test_against(&window);
+            let fresh = RankedSample::new(&hist)
+                .peacock_test(&RankedSample::new(&window));
+            prop_assert_eq!(reused.statistic, fresh.statistic);
+            prop_assert_eq!(reused.p_value, fresh.p_value);
+            prop_assert_eq!(
+                reused.statistic,
+                ff_statistic_naive(&hist, &window)
+            );
+        }
+    }
+}
