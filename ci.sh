@@ -18,4 +18,7 @@ cargo test --workspace -q
 echo "==> smoke: one experiment binary end to end"
 cargo run --release -p esharing-bench --bin exp_table4
 
+echo "==> smoke: serving engine at 1 shard and 4 shards"
+cargo run --release -p esharing-bench --bin exp_engine -- --smoke --shards 1,4
+
 echo "CI OK"

@@ -24,7 +24,8 @@
 //! * [`Simulation`] — binds a [`SyntheticCity`] workload to the
 //!   orchestrator and replays whole days,
 //! * [`server`] — a concurrent request server demonstrating deployment of
-//!   the same pipeline behind channels.
+//!   the same pipeline behind channels. For horizontal scale, the
+//!   `esharing-engine` crate shards this pipeline across city zones.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -3,6 +3,8 @@
 use esharing_placement::PlacementCost;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
 
 /// Running totals across the lifetime of an [`ESharing`](crate::ESharing)
 /// instance.
@@ -47,6 +49,41 @@ impl SystemMetrics {
     }
 }
 
+/// Merging: every field of [`SystemMetrics`] is a running *sum*, so
+/// per-shard metrics from a partitioned deployment combine by plain
+/// addition, and the derived averages ([`SystemMetrics::avg_walk_m`],
+/// [`SystemMetrics::charged_fraction`]) recompute correctly from the merged
+/// sums. This is what lets the sharded engine report fleet-level totals
+/// that match a single instance having served the merged stream.
+impl Add for SystemMetrics {
+    type Output = SystemMetrics;
+
+    fn add(self, rhs: SystemMetrics) -> SystemMetrics {
+        SystemMetrics {
+            placement: self.placement + rhs.placement,
+            requests_served: self.requests_served + rhs.requests_served,
+            maintenance_cost: self.maintenance_cost + rhs.maintenance_cost,
+            incentives_paid: self.incentives_paid + rhs.incentives_paid,
+            bikes_charged: self.bikes_charged + rhs.bikes_charged,
+            bikes_missed: self.bikes_missed + rhs.bikes_missed,
+            operator_distance_m: self.operator_distance_m + rhs.operator_distance_m,
+            maintenance_periods: self.maintenance_periods + rhs.maintenance_periods,
+        }
+    }
+}
+
+impl AddAssign for SystemMetrics {
+    fn add_assign(&mut self, rhs: SystemMetrics) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sum for SystemMetrics {
+    fn sum<I: Iterator<Item = SystemMetrics>>(iter: I) -> Self {
+        iter.fold(SystemMetrics::default(), Add::add)
+    }
+}
+
 impl fmt::Display for SystemMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "requests served : {}", self.requests_served)?;
@@ -86,6 +123,81 @@ mod tests {
         };
         assert_eq!(m.avg_walk_m(), 100.0);
         assert_eq!(m.charged_fraction(), 0.75);
+    }
+
+    #[test]
+    fn merge_sums_every_field() {
+        let a = SystemMetrics {
+            placement: PlacementCost::new(100.0, 20.0),
+            requests_served: 4,
+            maintenance_cost: 7.5,
+            incentives_paid: 2.5,
+            bikes_charged: 3,
+            bikes_missed: 1,
+            operator_distance_m: 900.0,
+            maintenance_periods: 1,
+        };
+        let b = SystemMetrics {
+            placement: PlacementCost::new(50.0, 10.0),
+            requests_served: 6,
+            maintenance_cost: 1.5,
+            incentives_paid: 0.5,
+            bikes_charged: 2,
+            bikes_missed: 2,
+            operator_distance_m: 100.0,
+            maintenance_periods: 2,
+        };
+        let m = a + b;
+        assert_eq!(m.placement, PlacementCost::new(150.0, 30.0));
+        assert_eq!(m.requests_served, 10);
+        assert_eq!(m.maintenance_cost, 9.0);
+        assert_eq!(m.incentives_paid, 3.0);
+        assert_eq!(m.bikes_charged, 5);
+        assert_eq!(m.bikes_missed, 3);
+        assert_eq!(m.operator_distance_m, 1000.0);
+        assert_eq!(m.maintenance_periods, 3);
+        // Averages recompute from the merged sums, not from averaging the
+        // per-part averages.
+        assert_eq!(m.avg_walk_m(), 150.0 / 10.0);
+        assert_eq!(m.charged_fraction(), 5.0 / 8.0);
+        let mut acc = a;
+        acc += b;
+        assert_eq!(acc, m);
+        assert_eq!([a, b].into_iter().sum::<SystemMetrics>(), m);
+        assert_eq!(
+            std::iter::empty::<SystemMetrics>().sum::<SystemMetrics>(),
+            SystemMetrics::default()
+        );
+    }
+
+    #[test]
+    fn shard_metrics_merge_matches_merged_stream() {
+        // Aggregation invariant behind the sharded engine: running two
+        // disjoint request streams through two independent accumulators and
+        // summing the metrics equals accumulating the merged stream in one.
+        let streams: [&[(f64, u64)]; 2] = [
+            &[(120.0, 1), (80.0, 1), (250.0, 1)],
+            &[(40.0, 1), (310.0, 1)],
+        ];
+        let mut per_shard = Vec::new();
+        let mut merged_stream = SystemMetrics::default();
+        for stream in streams {
+            let mut shard = SystemMetrics::default();
+            for &(walk, served) in stream {
+                let delta = SystemMetrics {
+                    placement: PlacementCost::new(walk, 0.0),
+                    requests_served: served,
+                    ..SystemMetrics::default()
+                };
+                shard += delta;
+                merged_stream += delta;
+            }
+            per_shard.push(shard);
+        }
+        let fleet: SystemMetrics = per_shard.into_iter().sum();
+        assert_eq!(fleet, merged_stream);
+        assert_eq!(fleet.requests_served, 5);
+        assert_eq!(fleet.avg_walk_m(), 800.0 / 5.0);
     }
 
     #[test]

@@ -99,6 +99,18 @@ impl ESharing {
             .unwrap_or_default()
     }
 
+    /// The KS similarity (percent) the online algorithm measured at its
+    /// last periodic two-sample test, if one has run. Per-shard deployments
+    /// surface this so a fleet aggregator can show each zone's drift.
+    pub fn last_similarity(&self) -> Option<f64> {
+        self.online.as_ref().and_then(|o| o.last_similarity())
+    }
+
+    /// Stations the online algorithm opened beyond the offline landmarks.
+    pub fn opened_online(&self) -> usize {
+        self.online.as_ref().map_or(0, |o| o.opened_online())
+    }
+
     /// Runs the offline pipeline on a window of historical destinations:
     /// grid binning → candidate filtering → 1.61-factor placement — then
     /// arms the online algorithm with the resulting landmarks. Returns the
@@ -331,6 +343,13 @@ mod tests {
         assert_eq!(m.requests_served, 100);
         assert!(m.placement.total() > 0.0);
         assert!(m.avg_walk_m() < 1000.0);
+        assert_eq!(
+            sys.stations().len(),
+            sys.landmarks().len() + sys.opened_online()
+        );
+        if let Some(sim) = sys.last_similarity() {
+            assert!((0.0..=100.0).contains(&sim));
+        }
     }
 
     #[test]

@@ -7,6 +7,12 @@
 //! channel, so many client threads can submit concurrently while decisions
 //! stay strictly serialized (the online algorithm is inherently
 //! sequential — each decision depends on all earlier ones).
+//!
+//! One worker is a hard throughput ceiling: every decision in the city
+//! funnels through a single thread. The sharded serving engine
+//! (`esharing-engine`) lifts that ceiling by partitioning the city into
+//! zones and running one instance of this same pipeline per zone; with a
+//! single shard it reproduces this server's decisions bit-identically.
 
 use crate::ESharing;
 use crossbeam::channel::{bounded, Sender};
@@ -14,8 +20,12 @@ use esharing_geo::Point;
 use esharing_placement::online::Decision;
 use esharing_placement::PlacementCost;
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 enum Command {
     Request {
@@ -28,8 +38,42 @@ enum Command {
     Shutdown,
 }
 
-/// A point-in-time view of the server state.
+/// Error returned when submitting to a server whose worker has shut down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerClosed;
+
+impl fmt::Display for ServerClosed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "the request server has shut down")
+    }
+}
+
+impl Error for ServerClosed {}
+
+/// Tuning knobs for a [`RequestServer`] worker.
 #[derive(Debug, Clone, PartialEq)]
+pub struct ServerConfig {
+    /// Bounded command-queue depth; submitters block once it fills.
+    pub queue_capacity: usize,
+    /// Emulated downstream work per request (auth, persistence, push
+    /// notification — latency the real backend would spend off-CPU). The
+    /// worker sleeps this long before each decision, so it bounds a single
+    /// worker's throughput at `1 / service_delay` regardless of core
+    /// count. Zero (the default) disables the emulation.
+    pub service_delay: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            queue_capacity: 1024,
+            service_delay: Duration::ZERO,
+        }
+    }
+}
+
+/// A point-in-time view of the server state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServerSnapshot {
     /// Open stations at snapshot time.
     pub stations: Vec<Point>,
@@ -49,31 +93,31 @@ pub struct ServerHandle {
 impl ServerHandle {
     /// Submits a trip destination and waits for the decision.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the server has been shut down.
-    pub fn submit(&self, destination: Point) -> Decision {
+    /// Returns [`ServerClosed`] if the server has been shut down.
+    pub fn submit(&self, destination: Point) -> Result<Decision, ServerClosed> {
         let (reply_tx, reply_rx) = bounded(1);
         self.tx
             .send(Command::Request {
                 destination,
                 reply: reply_tx,
             })
-            .expect("server is running");
-        reply_rx.recv().expect("server replies")
+            .map_err(|_| ServerClosed)?;
+        reply_rx.recv().map_err(|_| ServerClosed)
     }
 
     /// Fetches a state snapshot.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the server has been shut down.
-    pub fn snapshot(&self) -> ServerSnapshot {
+    /// Returns [`ServerClosed`] if the server has been shut down.
+    pub fn snapshot(&self) -> Result<ServerSnapshot, ServerClosed> {
         let (reply_tx, reply_rx) = bounded(1);
         self.tx
             .send(Command::Snapshot { reply: reply_tx })
-            .expect("server is running");
-        reply_rx.recv().expect("server replies")
+            .map_err(|_| ServerClosed)?;
+        reply_rx.recv().map_err(|_| ServerClosed)
     }
 }
 
@@ -87,25 +131,40 @@ pub struct RequestServer {
 }
 
 impl RequestServer {
-    /// Starts the server around a bootstrapped system.
+    /// Starts the server around a bootstrapped system with default tuning.
     ///
     /// # Panics
     ///
     /// Panics if the system has not been bootstrapped (the worker would
     /// reject every request).
     pub fn start(system: ESharing) -> Self {
+        Self::start_with(system, ServerConfig::default())
+    }
+
+    /// Starts the server with explicit [`ServerConfig`] tuning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system has not been bootstrapped or the queue
+    /// capacity is zero.
+    pub fn start_with(system: ESharing, config: ServerConfig) -> Self {
         assert!(
             !system.landmarks().is_empty(),
             "bootstrap the system before starting the server"
         );
-        let (tx, rx) = bounded::<Command>(1024);
+        assert!(config.queue_capacity > 0, "queue capacity must be positive");
+        let (tx, rx) = bounded::<Command>(config.queue_capacity);
         let accepted = Arc::new(Mutex::new(0u64));
         let accepted_worker = Arc::clone(&accepted);
+        let service_delay = config.service_delay;
         let worker = std::thread::spawn(move || {
             let mut system = system;
             while let Ok(cmd) = rx.recv() {
                 match cmd {
                     Command::Request { destination, reply } => {
+                        if !service_delay.is_zero() {
+                            std::thread::sleep(service_delay);
+                        }
                         let decision = system
                             .handle_request(destination)
                             .expect("server system is bootstrapped");
@@ -190,11 +249,13 @@ mod tests {
         let server = RequestServer::start(bootstrapped_system(1));
         let handle = server.handle();
         for i in 0..50 {
-            let d = handle.submit(Point::new((i * 17 % 1000) as f64, (i * 31 % 1000) as f64));
+            let d = handle
+                .submit(Point::new((i * 17 % 1000) as f64, (i * 31 % 1000) as f64))
+                .unwrap();
             let _ = d.station();
         }
         assert_eq!(server.accepted(), 50);
-        let snap = handle.snapshot();
+        let snap = handle.snapshot().unwrap();
         assert_eq!(snap.requests_served, 50);
         assert!(!snap.stations.is_empty());
         let system = server.shutdown();
@@ -212,7 +273,7 @@ mod tests {
                 for _ in 0..25 {
                     let p =
                         Point::new(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0));
-                    let _ = handle.submit(p);
+                    let _ = handle.submit(p).unwrap();
                 }
             }));
         }
@@ -220,16 +281,47 @@ mod tests {
             j.join().unwrap();
         }
         assert_eq!(server.accepted(), 100);
-        let snap = server.handle().snapshot();
+        let snap = server.handle().snapshot().unwrap();
         assert_eq!(snap.requests_served, 100);
         assert!(snap.placement.total() > 0.0);
+    }
+
+    #[test]
+    fn submit_after_shutdown_errors() {
+        let server = RequestServer::start(bootstrapped_system(5));
+        let handle = server.handle();
+        assert!(handle.submit(Point::new(1.0, 1.0)).is_ok());
+        let _ = server.shutdown();
+        assert_eq!(handle.submit(Point::new(2.0, 2.0)), Err(ServerClosed));
+        assert_eq!(handle.snapshot(), Err(ServerClosed));
+    }
+
+    #[test]
+    fn service_delay_bounds_throughput() {
+        let server = RequestServer::start_with(
+            bootstrapped_system(6),
+            ServerConfig {
+                service_delay: Duration::from_millis(2),
+                ..ServerConfig::default()
+            },
+        );
+        let handle = server.handle();
+        let t0 = std::time::Instant::now();
+        for _ in 0..5 {
+            handle.submit(Point::new(10.0, 10.0)).unwrap();
+        }
+        assert!(
+            t0.elapsed() >= Duration::from_millis(10),
+            "5 requests at 2 ms each must take >= 10 ms"
+        );
+        assert_eq!(server.accepted(), 5);
     }
 
     #[test]
     fn drop_shuts_down_cleanly() {
         let server = RequestServer::start(bootstrapped_system(3));
         let handle = server.handle();
-        handle.submit(Point::new(1.0, 1.0));
+        handle.submit(Point::new(1.0, 1.0)).unwrap();
         drop(server); // must not hang or leak the worker
     }
 

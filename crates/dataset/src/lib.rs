@@ -48,4 +48,4 @@ mod trips;
 pub use city::{CityConfig, Poi, PoiCategory, SyntheticCity};
 pub use energy::{BikeState, EnergyModel, Fleet};
 pub use time::{Timestamp, HOURS_PER_DAY, SECONDS_PER_DAY, SECONDS_PER_HOUR};
-pub use trips::{SpecialEvent, Trip, TripGenerator};
+pub use trips::{destinations, SpecialEvent, Trip, TripGenerator};

@@ -64,6 +64,13 @@ impl Trip {
     }
 }
 
+/// Extracts the drop-off stream the placement algorithms serve, in trip
+/// order. Replay drivers (the sharded engine's load generator, the
+/// simulation) feed this to an online server one destination at a time.
+pub fn destinations(trips: &[Trip]) -> Vec<Point> {
+    trips.iter().map(|t| t.end).collect()
+}
+
 /// A temporary demand surge at an otherwise quiet location — the paper's
 /// motivating scenario for the online algorithm: "events such as concerts
 /// or sports games might lead to short-time demand surge at previously
@@ -390,6 +397,15 @@ mod tests {
         assert!(!e.active_at(3, 22));
         assert!(!e.active_at(3, 19));
         assert!(!e.active_at(4, 20));
+    }
+
+    #[test]
+    fn destinations_extracts_end_points_in_order() {
+        let city = small_city();
+        let trips = TripGenerator::new(&city, 9).generate_days(0, 1);
+        let dests = destinations(&trips);
+        assert_eq!(dests.len(), trips.len());
+        assert!(dests.iter().zip(&trips).all(|(d, t)| *d == t.end));
     }
 
     #[test]

@@ -1,0 +1,180 @@
+//! Fleet-level aggregation of per-shard state.
+//!
+//! Every field of [`SystemMetrics`] is a running sum, so per-shard metrics
+//! merge by addition (see `esharing-core`'s `Add` impl) and the derived
+//! averages recompute correctly from the merged sums. Snapshots merge the
+//! same way: station sets concatenate (zones are disjoint), costs and
+//! counters add.
+
+use esharing_core::server::ServerSnapshot;
+use esharing_core::SystemMetrics;
+use esharing_geo::Point;
+use serde::{Deserialize, Serialize};
+
+/// One shard's state at snapshot time, decorated with router-side data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardSnapshot {
+    /// Shard index.
+    pub shard: usize,
+    /// The zone's representative point (rectangle center / Voronoi
+    /// anchor).
+    pub anchor: Point,
+    /// The shard worker's server view (stations, placement cost, served).
+    pub server: ServerSnapshot,
+    /// The shard's full metric sums.
+    pub metrics: SystemMetrics,
+    /// KS similarity (percent) at the shard's last periodic drift test.
+    pub last_similarity: Option<f64>,
+    /// Requests the router shed for this shard (mailbox full).
+    pub shed: u64,
+}
+
+/// The whole fleet: per-shard parts plus their merged totals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineSnapshot {
+    /// Per-shard state, in shard order.
+    pub shards: Vec<ShardSnapshot>,
+    /// Union of the shards' server views.
+    pub fleet: ServerSnapshot,
+    /// Sum of the shards' metrics.
+    pub metrics: SystemMetrics,
+    /// Sum of the shards' shed counts.
+    pub shed_total: u64,
+}
+
+impl EngineSnapshot {
+    /// Merges per-shard snapshots into fleet totals.
+    pub fn from_shards(shards: Vec<ShardSnapshot>) -> Self {
+        let fleet = merge_server_snapshots(shards.iter().map(|s| &s.server));
+        let metrics = shards.iter().map(|s| s.metrics).sum();
+        let shed_total = shards.iter().map(|s| s.shed).sum();
+        EngineSnapshot {
+            shards,
+            fleet,
+            metrics,
+            shed_total,
+        }
+    }
+
+    /// Serialises the snapshot to a flat JSON document (hand-emitted; the
+    /// workspace deliberately carries no JSON dependency) suitable for
+    /// dumping alongside `BENCH_engine.json`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!(
+            "  \"fleet\": {{ \"stations\": {}, \"requests_served\": {}, \"walking_m\": {:.1}, \"space_m\": {:.1}, \"shed\": {} }},\n",
+            self.fleet.stations.len(),
+            self.fleet.requests_served,
+            self.fleet.placement.walking,
+            self.fleet.placement.space,
+            self.shed_total,
+        ));
+        out.push_str("  \"shards\": [\n");
+        for (i, s) in self.shards.iter().enumerate() {
+            let similarity = match s.last_similarity {
+                Some(v) if v.is_finite() => format!("{v:.1}"),
+                _ => "null".to_string(),
+            };
+            out.push_str(&format!(
+                "    {{ \"shard\": {}, \"anchor\": [{:.1}, {:.1}], \"stations\": {}, \"requests_served\": {}, \"walking_m\": {:.1}, \"space_m\": {:.1}, \"similarity_percent\": {}, \"shed\": {} }}{}\n",
+                s.shard,
+                s.anchor.x,
+                s.anchor.y,
+                s.server.stations.len(),
+                s.server.requests_served,
+                s.server.placement.walking,
+                s.server.placement.space,
+                similarity,
+                s.shed,
+                if i + 1 < self.shards.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Merges server snapshots: stations concatenate (disjoint zones), costs
+/// and counters sum.
+pub fn merge_server_snapshots<'a, I>(parts: I) -> ServerSnapshot
+where
+    I: IntoIterator<Item = &'a ServerSnapshot>,
+{
+    let mut merged = ServerSnapshot {
+        stations: Vec::new(),
+        placement: esharing_placement::PlacementCost::ZERO,
+        requests_served: 0,
+    };
+    for part in parts {
+        merged.stations.extend_from_slice(&part.stations);
+        merged.placement = merged.placement + part.placement;
+        merged.requests_served += part.requests_served;
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esharing_placement::PlacementCost;
+
+    fn shard(i: usize, stations: usize, served: u64, walk: f64, shed: u64) -> ShardSnapshot {
+        let server = ServerSnapshot {
+            stations: (0..stations)
+                .map(|s| Point::new(i as f64 * 1000.0 + s as f64, 0.0))
+                .collect(),
+            placement: PlacementCost::new(walk, stations as f64 * 100.0),
+            requests_served: served,
+        };
+        ShardSnapshot {
+            shard: i,
+            anchor: Point::new(i as f64 * 1000.0, 0.0),
+            server,
+            metrics: SystemMetrics {
+                placement: PlacementCost::new(walk, stations as f64 * 100.0),
+                requests_served: served,
+                ..SystemMetrics::default()
+            },
+            last_similarity: if i == 0 { Some(92.5) } else { None },
+            shed,
+        }
+    }
+
+    #[test]
+    fn fleet_totals_are_sums_of_parts() {
+        let snap = EngineSnapshot::from_shards(vec![
+            shard(0, 3, 40, 1200.0, 2),
+            shard(1, 2, 60, 800.0, 0),
+        ]);
+        assert_eq!(snap.fleet.stations.len(), 5);
+        assert_eq!(snap.fleet.requests_served, 100);
+        assert_eq!(snap.fleet.placement, PlacementCost::new(2000.0, 500.0));
+        assert_eq!(snap.metrics.requests_served, 100);
+        assert_eq!(snap.metrics.avg_walk_m(), 20.0);
+        assert_eq!(snap.shed_total, 2);
+    }
+
+    #[test]
+    fn merge_of_empty_is_zero() {
+        let merged = merge_server_snapshots(std::iter::empty());
+        assert!(merged.stations.is_empty());
+        assert_eq!(merged.requests_served, 0);
+        assert_eq!(merged.placement, PlacementCost::ZERO);
+    }
+
+    #[test]
+    fn json_dump_is_flat_and_complete() {
+        let snap = EngineSnapshot::from_shards(vec![
+            shard(0, 3, 40, 1200.0, 2),
+            shard(1, 2, 60, 800.0, 0),
+        ]);
+        let json = snap.to_json();
+        assert!(json.contains("\"fleet\""));
+        assert!(json.contains("\"requests_served\": 100"));
+        assert!(json.contains("\"similarity_percent\": 92.5"));
+        assert!(json.contains("\"similarity_percent\": null"));
+        assert!(json.contains("\"shed\": 2"));
+        assert_eq!(json.matches("\"shard\":").count(), 2);
+    }
+}

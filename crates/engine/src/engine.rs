@@ -1,0 +1,591 @@
+//! The sharded serving engine: router, admission control, lifecycle.
+
+use crate::aggregate::{EngineSnapshot, ShardSnapshot};
+use crate::shard::{self, Command};
+use crate::shard_map::ShardMap;
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use esharing_core::{ESharing, SystemConfig};
+use esharing_geo::{BBox, Grid, Point};
+use esharing_placement::online::Decision;
+use esharing_placement::{offline, PlpInstance};
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How the engine partitions the city into shard zones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Partition {
+    /// Equal-area rectangles over the historical bounding box.
+    UniformGrid,
+    /// Voronoi cells anchored on the offline solution's landmarks,
+    /// clustered down to the shard count (demand-balanced).
+    LandmarkVoronoi,
+}
+
+/// Engine construction and tuning knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    /// Requested shard count (the realized count can be lower when a
+    /// [`Partition::LandmarkVoronoi`] map finds fewer landmarks).
+    pub shards: usize,
+    /// Zone geometry.
+    pub partition: Partition,
+    /// Bounded mailbox depth per shard; [`Engine::submit`] sheds to a
+    /// [`EngineDecision::Degraded`] once a shard's mailbox fills.
+    pub mailbox_capacity: usize,
+    /// Emulated downstream service time per request (off-CPU latency:
+    /// persistence, push notification). Each shard worker models one
+    /// downstream FIFO pipe with this deterministic service time: queued
+    /// requests issue back-to-back, and the worker computes decisions
+    /// inside the fetch window. The single-worker
+    /// [`RequestServer`](esharing_core::server::RequestServer) given the
+    /// same `service_delay` emulates the same downstream by blocking its
+    /// only thread on each call — the throughput comparison measures that
+    /// architectural difference. Zero disables the emulation.
+    pub service_delay: Duration,
+    /// Shards whose zone holds fewer historical points than this bootstrap
+    /// on the nearest `min_shard_history` points to their anchor instead,
+    /// so sparse zones still get a valid offline solution.
+    pub min_shard_history: usize,
+    /// The per-shard system configuration. Shard `i` reseeds its
+    /// stochastic components with `seed ^ i`, so shard 0 of a one-shard
+    /// engine is bit-identical to a plain `ESharing` on the same config.
+    pub system: SystemConfig,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            shards: 4,
+            partition: Partition::LandmarkVoronoi,
+            mailbox_capacity: 1024,
+            service_delay: Duration::ZERO,
+            min_shard_history: 32,
+            system: SystemConfig::default(),
+        }
+    }
+}
+
+impl EngineConfig {
+    fn validate(&self) {
+        assert!(self.shards > 0, "need at least one shard");
+        assert!(self.mailbox_capacity > 0, "mailbox capacity must be positive");
+        assert!(self.min_shard_history > 0, "min shard history must be positive");
+        self.system.validate();
+    }
+}
+
+/// Error returned when the engine's workers have shut down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineClosed;
+
+impl fmt::Display for EngineClosed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "the serving engine has shut down")
+    }
+}
+
+impl Error for EngineClosed {}
+
+/// The outcome of one request routed through the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EngineDecision {
+    /// The shard served the request.
+    Served {
+        /// Serving shard.
+        shard: usize,
+        /// The online algorithm's decision.
+        decision: Decision,
+    },
+    /// The shard's mailbox was full; admission control shed the request
+    /// instead of blocking. The user is directed to the shard's nearest
+    /// *offline* landmark — a valid parking that needs no state update —
+    /// and the shard's online state never sees the request.
+    Degraded {
+        /// Overloaded shard.
+        shard: usize,
+        /// Nearest offline landmark to the destination.
+        fallback: Point,
+    },
+}
+
+impl EngineDecision {
+    /// The shard the request routed to.
+    pub fn shard(&self) -> usize {
+        match *self {
+            EngineDecision::Served { shard, .. } | EngineDecision::Degraded { shard, .. } => {
+                shard
+            }
+        }
+    }
+
+    /// Whether admission control shed the request.
+    pub fn degraded(&self) -> bool {
+        matches!(self, EngineDecision::Degraded { .. })
+    }
+}
+
+/// Admission result of a fire-and-forget submit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Queued on `shard`; the decision will land in its metrics.
+    Accepted {
+        /// Receiving shard.
+        shard: usize,
+    },
+    /// Shed by admission control (mailbox full).
+    Shed {
+        /// Overloaded shard.
+        shard: usize,
+    },
+}
+
+struct ShardSlot {
+    tx: Sender<Command>,
+    worker: Option<JoinHandle<ESharing>>,
+    /// The zone's offline landmarks, cached router-side for degraded-mode
+    /// fallbacks (immutable after bootstrap).
+    landmarks: Vec<Point>,
+    shed: AtomicU64,
+}
+
+/// The zone-sharded serving engine.
+///
+/// Partitions the city with a [`ShardMap`], bootstraps one independent
+/// [`ESharing`] pipeline per zone on that zone's slice of history, and
+/// routes live destinations to their zone's worker over bounded mailboxes.
+/// All methods take `&self`, so any number of client threads can share one
+/// engine reference.
+///
+/// # Examples
+///
+/// ```
+/// use esharing_engine::{Engine, EngineConfig, Partition};
+/// use esharing_geo::Point;
+///
+/// let history: Vec<Point> = (0..400)
+///     .map(|i| Point::new((i % 20) as f64 * 150.0, (i / 20) as f64 * 150.0))
+///     .collect();
+/// let engine = Engine::start(
+///     &history,
+///     EngineConfig {
+///         shards: 4,
+///         partition: Partition::UniformGrid,
+///         ..EngineConfig::default()
+///     },
+/// );
+/// let outcome = engine.submit(Point::new(310.0, 310.0)).unwrap();
+/// assert!(!outcome.degraded());
+/// let snapshot = engine.snapshot().unwrap();
+/// assert_eq!(snapshot.metrics.requests_served, 1);
+/// let _systems = engine.shutdown();
+/// ```
+pub struct Engine {
+    map: ShardMap,
+    shards: Vec<ShardSlot>,
+}
+
+impl Engine {
+    /// Partitions `history`, bootstraps one system per shard, and spawns
+    /// the workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `history` is empty or the configuration is invalid.
+    pub fn start(history: &[Point], cfg: EngineConfig) -> Self {
+        cfg.validate();
+        assert!(!history.is_empty(), "historical window must be non-empty");
+        let map = Self::build_map(history, &cfg);
+        let shard_count = map.shard_count();
+        // Slice the history by zone, preserving stream order within each.
+        let mut parts: Vec<Vec<Point>> = vec![Vec::new(); shard_count];
+        for &p in history {
+            parts[map.shard_of(p)].push(p);
+        }
+        let shards = parts
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut part)| {
+                if part.len() < cfg.min_shard_history {
+                    part = nearest_points(history, map.anchor(i), cfg.min_shard_history);
+                }
+                let mut system_cfg = cfg.system.clone();
+                system_cfg.seed ^= i as u64;
+                system_cfg.deviation.seed ^= i as u64;
+                let mut system = ESharing::new(system_cfg);
+                system.bootstrap(&part);
+                let landmarks = system.landmarks().to_vec();
+                let (tx, rx) = bounded::<Command>(cfg.mailbox_capacity);
+                let worker = shard::spawn(system, rx, cfg.service_delay);
+                ShardSlot {
+                    tx,
+                    worker: Some(worker),
+                    landmarks,
+                    shed: AtomicU64::new(0),
+                }
+            })
+            .collect();
+        Engine { map, shards }
+    }
+
+    fn build_map(history: &[Point], cfg: &EngineConfig) -> ShardMap {
+        match cfg.partition {
+            Partition::UniformGrid => {
+                let bbox = BBox::from_points(history.iter().copied())
+                    .expect("non-empty history has a bounding box");
+                ShardMap::uniform(bbox, cfg.shards)
+            }
+            Partition::LandmarkVoronoi => {
+                // The same offline pipeline the orchestrator bootstraps
+                // with, run once globally to place the shard anchors where
+                // the demand is.
+                let grid = Grid::new(cfg.system.grid_cell_m);
+                let mut centroids = grid.weighted_centroids(history.iter().copied());
+                centroids.sort_by_key(|c| std::cmp::Reverse(c.1));
+                centroids.truncate(cfg.system.max_candidate_cells);
+                let instance =
+                    PlpInstance::from_weighted_centroids(&centroids, cfg.system.space_cost_m);
+                let solution = offline::jms_greedy(&instance);
+                let landmarks = solution.facility_points(&instance);
+                ShardMap::voronoi_over_landmarks(&landmarks, cfg.shards)
+            }
+        }
+    }
+
+    /// The destination → shard map in force.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Realized shard count.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Submits a destination and waits for the decision. Never blocks on
+    /// an overloaded shard: if the shard's mailbox is full the request is
+    /// shed immediately with [`EngineDecision::Degraded`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineClosed`] if the engine has shut down.
+    pub fn submit(&self, destination: Point) -> Result<EngineDecision, EngineClosed> {
+        // A thread has at most one request in flight (submit blocks until
+        // the decision lands), so the reply channel is provably empty
+        // between calls — reuse one per thread instead of allocating a
+        // fresh channel on every request. This keeps the engine's hot
+        // path allocation-free after the first call.
+        thread_local! {
+            static REPLY: (Sender<Decision>, Receiver<Decision>) = bounded(1);
+        }
+        let shard = self.map.shard_of(destination);
+        let slot = &self.shards[shard];
+        REPLY.with(|(reply_tx, reply_rx)| {
+            match slot.tx.try_send(Command::Request {
+                destination,
+                reply: Some(reply_tx.clone()),
+                arrival: Instant::now(),
+            }) {
+                Ok(()) => {
+                    let decision = reply_rx.recv().map_err(|_| EngineClosed)?;
+                    Ok(EngineDecision::Served { shard, decision })
+                }
+                Err(TrySendError::Full(_)) => {
+                    slot.shed.fetch_add(1, Ordering::Relaxed);
+                    Ok(EngineDecision::Degraded {
+                        shard,
+                        fallback: nearest_landmark(&slot.landmarks, destination),
+                    })
+                }
+                Err(TrySendError::Disconnected(_)) => Err(EngineClosed),
+            }
+        })
+    }
+
+    /// Fire-and-forget submit: queues the request without waiting for the
+    /// decision (it still lands in the shard's metrics), shedding if the
+    /// shard's mailbox is full. This is the load-generator path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineClosed`] if the engine has shut down.
+    pub fn submit_nowait(&self, destination: Point) -> Result<Admission, EngineClosed> {
+        let shard = self.map.shard_of(destination);
+        let slot = &self.shards[shard];
+        match slot.tx.try_send(Command::Request {
+            destination,
+            reply: None,
+            arrival: Instant::now(),
+        }) {
+            Ok(()) => Ok(Admission::Accepted { shard }),
+            Err(TrySendError::Full(_)) => {
+                slot.shed.fetch_add(1, Ordering::Relaxed);
+                Ok(Admission::Shed { shard })
+            }
+            Err(TrySendError::Disconnected(_)) => Err(EngineClosed),
+        }
+    }
+
+    /// Requests shed so far by `shard`'s admission control.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn shed(&self, shard: usize) -> u64 {
+        self.shards[shard].shed.load(Ordering::Relaxed)
+    }
+
+    /// Requests shed so far across all shards.
+    pub fn shed_total(&self) -> u64 {
+        self.shards.iter().map(|s| s.shed.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Collects a consistent-enough fleet snapshot: each shard is probed
+    /// through its own mailbox (so per-shard state is internally
+    /// consistent), then the parts are merged into fleet totals. The probe
+    /// queues behind in-flight requests; it blocks until the shard drains
+    /// to it, applying ordinary backpressure rather than shedding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineClosed`] if the engine has shut down.
+    pub fn snapshot(&self) -> Result<EngineSnapshot, EngineClosed> {
+        let mut shards = Vec::with_capacity(self.shards.len());
+        for (i, slot) in self.shards.iter().enumerate() {
+            let (reply_tx, reply_rx) = bounded(1);
+            slot.tx
+                .send(Command::Snapshot { reply: reply_tx })
+                .map_err(|_| EngineClosed)?;
+            let state = reply_rx.recv().map_err(|_| EngineClosed)?;
+            shards.push(ShardSnapshot {
+                shard: i,
+                anchor: self.map.anchor(i),
+                server: state.server,
+                metrics: state.metrics,
+                last_similarity: state.last_similarity,
+                shed: slot.shed.load(Ordering::Relaxed),
+            });
+        }
+        Ok(EngineSnapshot::from_shards(shards))
+    }
+
+    /// Stops every worker and returns the final per-shard systems, in
+    /// shard order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panicked.
+    pub fn shutdown(mut self) -> Vec<ESharing> {
+        self.shards
+            .iter_mut()
+            .map(|slot| {
+                let _ = slot.tx.send(Command::Shutdown);
+                slot.worker
+                    .take()
+                    .expect("worker present until shutdown")
+                    .join()
+                    .expect("shard worker must not panic")
+            })
+            .collect()
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        for slot in &mut self.shards {
+            if let Some(worker) = slot.worker.take() {
+                let _ = slot.tx.send(Command::Shutdown);
+                let _ = worker.join();
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("shards", &self.shards.len())
+            .field("map", &self.map)
+            .field("shed_total", &self.shed_total())
+            .finish()
+    }
+}
+
+/// The `count` nearest points of `history` to `anchor`, stable on ties.
+fn nearest_points(history: &[Point], anchor: Point, count: usize) -> Vec<Point> {
+    let mut indexed: Vec<(f64, usize)> = history
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.distance_squared(anchor), i))
+        .collect();
+    indexed.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+    indexed
+        .into_iter()
+        .take(count)
+        .map(|(_, i)| history[i])
+        .collect()
+}
+
+/// Nearest offline landmark to `destination` (landmark sets are small and
+/// immutable, so a linear scan beats an index here).
+fn nearest_landmark(landmarks: &[Point], destination: Point) -> Point {
+    let mut best = landmarks[0];
+    let mut best_d = f64::INFINITY;
+    for &l in landmarks {
+        let d = l.distance_squared(destination);
+        if d < best_d {
+            best = l;
+            best_d = d;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clustered_history() -> Vec<Point> {
+        // Four tight demand clusters in a 2 km field.
+        let centers = [
+            Point::new(300.0, 300.0),
+            Point::new(1700.0, 300.0),
+            Point::new(300.0, 1700.0),
+            Point::new(1700.0, 1700.0),
+        ];
+        let mut out = Vec::new();
+        for i in 0..400 {
+            let c = centers[i % 4];
+            let jitter = Point::new(((i * 37) % 100) as f64, ((i * 53) % 100) as f64);
+            out.push(c + jitter);
+        }
+        out
+    }
+
+    #[test]
+    fn start_partitions_and_serves() {
+        let engine = Engine::start(
+            &clustered_history(),
+            EngineConfig {
+                shards: 4,
+                partition: Partition::UniformGrid,
+                ..EngineConfig::default()
+            },
+        );
+        assert_eq!(engine.shard_count(), 4);
+        for i in 0..200 {
+            let p = Point::new(((i * 97) % 2000) as f64, ((i * 31) % 2000) as f64);
+            let d = engine.submit(p).unwrap();
+            assert!(!d.degraded());
+            assert_eq!(d.shard(), engine.map().shard_of(p));
+        }
+        let snap = engine.snapshot().unwrap();
+        assert_eq!(snap.metrics.requests_served, 200);
+        assert_eq!(snap.shed_total, 0);
+        let systems = engine.shutdown();
+        assert_eq!(systems.len(), 4);
+        let served: u64 = systems.iter().map(|s| s.metrics().requests_served).sum();
+        assert_eq!(served, 200);
+    }
+
+    #[test]
+    fn voronoi_partition_balances_clustered_demand() {
+        let engine = Engine::start(
+            &clustered_history(),
+            EngineConfig {
+                shards: 4,
+                partition: Partition::LandmarkVoronoi,
+                ..EngineConfig::default()
+            },
+        );
+        // Landmark-derived anchors must split the four clusters apart.
+        assert!(engine.shard_count() >= 2);
+        let shards: Vec<usize> = clustered_history()
+            .iter()
+            .map(|&p| engine.map().shard_of(p))
+            .collect();
+        let mut counts = vec![0usize; engine.shard_count()];
+        for &s in &shards {
+            counts[s] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        assert!(
+            max <= 400 * 3 / 4,
+            "one shard swallowed the city: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn sparse_zone_bootstraps_from_nearest_history() {
+        // Nearly all history in one corner; the two far-corner sentinels
+        // stretch the grid so three zones end up (almost) empty — they
+        // must still come up and serve from nearest-history bootstraps.
+        let mut history: Vec<Point> = (0..120)
+            .map(|i| Point::new(((i * 13) % 300) as f64, ((i * 7) % 300) as f64))
+            .collect();
+        history.push(Point::new(2000.0, 2000.0));
+        history.push(Point::new(1999.0, 1.0));
+        let engine = Engine::start(
+            &history,
+            EngineConfig {
+                shards: 4,
+                partition: Partition::UniformGrid,
+                ..EngineConfig::default()
+            },
+        );
+        let d = engine.submit(Point::new(1900.0, 1900.0)).unwrap();
+        assert!(!d.degraded());
+    }
+
+    #[test]
+    fn submit_after_shutdown_reports_closed() {
+        let history = clustered_history();
+        let engine = Engine::start(
+            &history,
+            EngineConfig {
+                shards: 2,
+                partition: Partition::UniformGrid,
+                ..EngineConfig::default()
+            },
+        );
+        // Extract the slots' senders by shutting down, then observe the
+        // error path through a second engine handle shape: easiest is to
+        // check that a cloned sender reports disconnect after shutdown.
+        let tx = engine.shards[0].tx.clone();
+        let _ = engine.shutdown();
+        let (reply_tx, _reply_rx) = bounded(1);
+        assert!(tx
+            .try_send(Command::Request {
+                destination: Point::ORIGIN,
+                reply: Some(reply_tx),
+                arrival: Instant::now(),
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn nearest_helpers_are_stable() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(20.0, 0.0),
+        ];
+        assert_eq!(
+            nearest_points(&pts, Point::new(11.0, 0.0), 2),
+            vec![Point::new(10.0, 0.0), Point::new(20.0, 0.0)]
+        );
+        assert_eq!(
+            nearest_landmark(&pts, Point::new(19.0, 0.0)),
+            Point::new(20.0, 0.0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_history_rejected() {
+        let _ = Engine::start(&[], EngineConfig::default());
+    }
+}

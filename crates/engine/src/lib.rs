@@ -1,0 +1,47 @@
+//! # esharing-engine
+//!
+//! The sharded serving engine: zone-partitioned online placement behind a
+//! backpressured router, with replay-driven load generation.
+//!
+//! The paper's deployment (Fig. 3) streams app requests into a server
+//! backend; `esharing-core`'s `RequestServer` reproduces that shape with
+//! **one** worker thread owning the whole city — correct, but a hard
+//! throughput ceiling, because the online algorithm serializes every
+//! decision. Dockless fleets are spatially partitionable, though: capacity
+//! allocation and station-location work routinely treats the city as
+//! independent zones. This crate exploits exactly that decomposition:
+//!
+//! * a [`ShardMap`] partitions the city — uniform grid, or Voronoi cells
+//!   anchored on the offline solution's landmarks (demand-balanced) — and
+//!   routes each destination to its zone in O(zones) arithmetic;
+//! * each shard is an independent worker thread owning a full `ESharing`
+//!   pipeline for its zone (offline landmarks, deviation-penalty online
+//!   placement, its own `RankedSample` KS drift monitor) behind a
+//!   **bounded** mailbox;
+//! * the [`Engine`] router applies admission control: a full mailbox sheds
+//!   the request to a [`EngineDecision::Degraded`] fallback (the zone's
+//!   nearest offline landmark) instead of blocking the caller;
+//! * an aggregator merges per-shard snapshots and metrics into fleet
+//!   totals ([`EngineSnapshot`]), exploiting that every metric is a sum;
+//! * a [`replay`](crate::replay::replay) driver feeds recorded trip
+//!   streams into either backend at a configurable offered rate and
+//!   reports throughput and latency percentiles.
+//!
+//! Per-zone semantics are unchanged: each shard runs the paper's
+//! Algorithm 2 verbatim on its zone's stream, and an engine with a single
+//! shard reproduces the single-worker server's decisions **bit-identically**
+//! (`tests/equivalence.rs` asserts this on a 2 000-request replay).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aggregate;
+mod engine;
+pub mod replay;
+mod shard;
+mod shard_map;
+
+pub use aggregate::{merge_server_snapshots, EngineSnapshot, ShardSnapshot};
+pub use engine::{Admission, Engine, EngineClosed, EngineConfig, EngineDecision, Partition};
+pub use replay::{LatencySummary, ReplayConfig, ReplayReport, RequestSink, SinkOutcome};
+pub use shard_map::ShardMap;

@@ -1,0 +1,346 @@
+//! Replay-driven load generation.
+//!
+//! Feeds recorded destination streams (e.g. `esharing-dataset` trip
+//! drop-offs) into any request sink — the sharded [`Engine`] or the
+//! single-worker `RequestServer` — from a configurable number of client
+//! threads at a configurable offered rate, and reports throughput plus the
+//! client-observed latency distribution. The same driver runs both
+//! backends, so engine-vs-server comparisons use identical workloads.
+
+use crate::engine::{Engine, EngineClosed, EngineDecision};
+use esharing_core::server::ServerHandle;
+use esharing_dataset::Trip;
+use esharing_geo::Point;
+use esharing_stats::RunningStats;
+use std::time::{Duration, Instant};
+
+/// What a sink did with one replayed request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SinkOutcome {
+    /// Decision made by the online algorithm.
+    Served,
+    /// Shed by admission control (engine degraded mode).
+    Degraded,
+    /// The sink has shut down; the driver stops this client.
+    Closed,
+}
+
+/// Anything the replay driver can push destinations into.
+pub trait RequestSink: Sync {
+    /// Serves one destination, blocking until the sink resolves it.
+    fn serve(&self, destination: Point) -> SinkOutcome;
+}
+
+impl RequestSink for Engine {
+    fn serve(&self, destination: Point) -> SinkOutcome {
+        match self.submit(destination) {
+            Ok(EngineDecision::Served { .. }) => SinkOutcome::Served,
+            Ok(EngineDecision::Degraded { .. }) => SinkOutcome::Degraded,
+            Err(EngineClosed) => SinkOutcome::Closed,
+        }
+    }
+}
+
+impl RequestSink for ServerHandle {
+    fn serve(&self, destination: Point) -> SinkOutcome {
+        match self.submit(destination) {
+            Ok(_) => SinkOutcome::Served,
+            Err(_) => SinkOutcome::Closed,
+        }
+    }
+}
+
+/// Load-generation knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayConfig {
+    /// Concurrent client threads; the destination stream is dealt to them
+    /// round-robin, so the max in-flight request count equals `clients`.
+    pub clients: usize,
+    /// Offered request rate across all clients, requests/second. `None`
+    /// replays as fast as the sink absorbs (closed-loop).
+    pub rate_per_s: Option<f64>,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        ReplayConfig {
+            clients: 4,
+            rate_per_s: None,
+        }
+    }
+}
+
+/// Client-observed latency distribution, microseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Requests measured.
+    pub count: u64,
+    /// Mean latency.
+    pub mean_us: f64,
+    /// Median.
+    pub p50_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// Worst observed.
+    pub max_us: u64,
+}
+
+impl LatencySummary {
+    fn from_sorted(sorted_us: &[u64]) -> Self {
+        if sorted_us.is_empty() {
+            return LatencySummary {
+                count: 0,
+                mean_us: 0.0,
+                p50_us: 0,
+                p99_us: 0,
+                max_us: 0,
+            };
+        }
+        let mut stats = RunningStats::new();
+        for &v in sorted_us {
+            stats.push(v as f64);
+        }
+        LatencySummary {
+            count: sorted_us.len() as u64,
+            mean_us: stats.mean(),
+            p50_us: percentile(sorted_us, 0.50),
+            p99_us: percentile(sorted_us, 0.99),
+            max_us: *sorted_us.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Outcome of one replay run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayReport {
+    /// Destinations offered to the sink.
+    pub submitted: u64,
+    /// Requests the online algorithm decided.
+    pub served: u64,
+    /// Requests shed to degraded mode.
+    pub degraded: u64,
+    /// Requests lost to a closed sink.
+    pub closed: u64,
+    /// Wall-clock of the whole replay.
+    pub elapsed: Duration,
+    /// Client-observed latency distribution over served + degraded
+    /// requests.
+    pub latency: LatencySummary,
+}
+
+impl ReplayReport {
+    /// Served requests per second of wall-clock — the headline throughput.
+    pub fn served_per_s(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            0.0
+        } else {
+            self.served as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+}
+
+/// Replays `destinations` into `sink` from [`ReplayConfig::clients`]
+/// threads, pacing to [`ReplayConfig::rate_per_s`] when set.
+///
+/// # Panics
+///
+/// Panics if `clients` is zero.
+pub fn replay<S: RequestSink + ?Sized>(
+    sink: &S,
+    destinations: &[Point],
+    cfg: &ReplayConfig,
+) -> ReplayReport {
+    assert!(cfg.clients > 0, "need at least one client");
+    let clients = cfg.clients.min(destinations.len()).max(1);
+    // Per-client send period realizing the aggregate offered rate.
+    let period = cfg
+        .rate_per_s
+        .map(|r| Duration::from_secs_f64(clients as f64 / r.max(f64::MIN_POSITIVE)));
+    let t0 = Instant::now();
+    let parts: Vec<ClientPart> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut part = ClientPart::default();
+                    for (k, dest) in destinations
+                        .iter()
+                        .skip(c)
+                        .step_by(clients)
+                        .copied()
+                        .enumerate()
+                    {
+                        if let Some(period) = period {
+                            // Open-loop pacing against the shared clock so
+                            // a slow sink accumulates queueing delay
+                            // instead of silently lowering the rate.
+                            let due = period.mul_f64(k as f64 + c as f64 / clients as f64);
+                            if let Some(wait) = due.checked_sub(t0.elapsed()) {
+                                std::thread::sleep(wait);
+                            }
+                        }
+                        part.submitted += 1;
+                        let sent = Instant::now();
+                        match sink.serve(dest) {
+                            SinkOutcome::Served => part.served += 1,
+                            SinkOutcome::Degraded => part.degraded += 1,
+                            SinkOutcome::Closed => {
+                                part.closed += 1;
+                                break;
+                            }
+                        }
+                        part.latencies_us.push(sent.elapsed().as_micros() as u64);
+                    }
+                    part
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("replay client must not panic"))
+            .collect()
+    });
+    let elapsed = t0.elapsed();
+    let mut all_latencies = Vec::new();
+    let mut report = ReplayReport {
+        submitted: 0,
+        served: 0,
+        degraded: 0,
+        closed: 0,
+        elapsed,
+        latency: LatencySummary::from_sorted(&[]),
+    };
+    for part in parts {
+        report.submitted += part.submitted;
+        report.served += part.served;
+        report.degraded += part.degraded;
+        report.closed += part.closed;
+        all_latencies.extend(part.latencies_us);
+    }
+    all_latencies.sort_unstable();
+    report.latency = LatencySummary::from_sorted(&all_latencies);
+    report
+}
+
+/// Replays a trip stream's drop-off destinations (the paper's live request
+/// feed) into `sink`.
+pub fn replay_trips<S: RequestSink + ?Sized>(
+    sink: &S,
+    trips: &[Trip],
+    cfg: &ReplayConfig,
+) -> ReplayReport {
+    replay(sink, &esharing_dataset::destinations(trips), cfg)
+}
+
+#[derive(Default)]
+struct ClientPart {
+    submitted: u64,
+    served: u64,
+    degraded: u64,
+    closed: u64,
+    latencies_us: Vec<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{EngineConfig, Partition};
+
+    fn grid_history() -> Vec<Point> {
+        (0..300)
+            .map(|i| Point::new(((i * 41) % 1000) as f64, ((i * 17) % 1000) as f64))
+            .collect()
+    }
+
+    fn stream(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| Point::new(((i * 29) % 1000) as f64, ((i * 43) % 1000) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn closed_loop_replay_accounts_for_every_request() {
+        let engine = Engine::start(
+            &grid_history(),
+            EngineConfig {
+                shards: 2,
+                partition: Partition::UniformGrid,
+                ..EngineConfig::default()
+            },
+        );
+        let dests = stream(400);
+        let report = replay(&engine, &dests, &ReplayConfig::default());
+        assert_eq!(report.submitted, 400);
+        assert_eq!(report.served + report.degraded + report.closed, 400);
+        assert_eq!(report.closed, 0);
+        assert!(report.served_per_s() > 0.0);
+        assert_eq!(report.latency.count, report.served + report.degraded);
+        assert!(report.latency.p50_us <= report.latency.p99_us);
+        assert!(report.latency.p99_us <= report.latency.max_us);
+        let snap = engine.snapshot().unwrap();
+        assert_eq!(snap.metrics.requests_served, report.served);
+    }
+
+    #[test]
+    fn rate_limited_replay_respects_offered_rate() {
+        let engine = Engine::start(&grid_history(), EngineConfig::default());
+        let dests = stream(100);
+        let report = replay(
+            &engine,
+            &dests,
+            &ReplayConfig {
+                clients: 2,
+                rate_per_s: Some(2_000.0),
+            },
+        );
+        // 100 requests at 2k/s must take at least ~50 ms of wall-clock
+        // (generous lower bound for scheduler slop).
+        assert!(
+            report.elapsed >= Duration::from_millis(40),
+            "rate limiter ran too fast: {:?}",
+            report.elapsed
+        );
+        assert_eq!(report.served, 100);
+    }
+
+    #[test]
+    fn replay_drives_the_plain_request_server_too() {
+        use esharing_core::server::RequestServer;
+        use esharing_core::{ESharing, SystemConfig};
+        let mut system = ESharing::new(SystemConfig::default());
+        system.bootstrap(&grid_history());
+        let server = RequestServer::start(system);
+        let handle = server.handle();
+        let report = replay(&handle, &stream(200), &ReplayConfig::default());
+        assert_eq!(report.served, 200);
+        assert_eq!(report.degraded, 0);
+        let _ = server.shutdown();
+        // After shutdown the driver reports closed instead of hanging.
+        let after = replay(&handle, &stream(8), &ReplayConfig { clients: 1, rate_per_s: None });
+        assert_eq!(after.closed, 1);
+        assert_eq!(after.served, 0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 0.0), 1);
+        assert_eq!(percentile(&v, 0.5), 50);
+        assert_eq!(percentile(&v, 0.99), 99);
+        assert_eq!(percentile(&v, 1.0), 100);
+        let single = [7u64];
+        assert_eq!(percentile(&single, 0.99), 7);
+    }
+
+    #[test]
+    fn empty_latency_summary_is_zeroed() {
+        let s = LatencySummary::from_sorted(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.max_us, 0);
+    }
+}

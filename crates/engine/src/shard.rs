@@ -1,0 +1,153 @@
+//! One shard: a worker thread owning an independent [`ESharing`] instance.
+//!
+//! Each shard is the single-worker request server of `esharing-core`
+//! re-instantiated for one zone of the city: it owns its own offline
+//! landmark solution, its own deviation-penalty online placement state,
+//! and its own `RankedSample` KS drift monitor (inside the
+//! [`DeviationPenalty`](esharing_placement::online::DeviationPenalty) the
+//! orchestrator arms at bootstrap). Commands arrive over a **bounded**
+//! mailbox — the queue depth is the engine's backpressure signal: the
+//! router sheds load once it fills instead of letting submitters block.
+
+use crossbeam::channel::{Receiver, Sender};
+use esharing_core::server::ServerSnapshot;
+use esharing_core::{ESharing, SystemMetrics};
+use esharing_geo::Point;
+use esharing_placement::online::Decision;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Commands a shard worker serves, in strict arrival order.
+pub(crate) enum Command {
+    /// One trip destination. `reply: None` is fire-and-forget (the load
+    /// generator's asynchronous mode); the decision still lands in the
+    /// shard metrics. `arrival` is stamped by the router at submit time:
+    /// the emulated downstream pipe cannot start a request's fetch before
+    /// the request existed.
+    Request {
+        destination: Point,
+        reply: Option<Sender<Decision>>,
+        arrival: Instant,
+    },
+    /// State probe.
+    Snapshot { reply: Sender<WorkerState> },
+    /// Drain and stop.
+    Shutdown,
+}
+
+/// A worker's reply to a snapshot probe (the engine aggregator decorates
+/// it with router-side data — shard id, anchor, shed count).
+#[derive(Debug, Clone)]
+pub(crate) struct WorkerState {
+    pub server: ServerSnapshot,
+    pub metrics: SystemMetrics,
+    pub last_similarity: Option<f64>,
+}
+
+/// A request whose emulated downstream fetch (`service_delay`) is in
+/// flight: its fetch completes at `due`, and the worker's CPU is free to
+/// retire the previous request inside that window.
+struct InFetch {
+    destination: Point,
+    reply: Option<Sender<Decision>>,
+    due: Instant,
+}
+
+/// Spawns the worker thread for one shard. `service_delay` emulates
+/// per-request downstream latency (see `EngineConfig::service_delay`).
+///
+/// The emulated downstream is a FIFO pipe with deterministic service time
+/// `service_delay` per request — the textbook single-server queue. A
+/// request's fetch is issued at `max(pipe_free, arrival)` and completes
+/// `service_delay` later, so queued requests issue back-to-back exactly
+/// like ops on a busy real connection; the worker thread's own scheduling
+/// jitter delays only the harvest (reply latency), never the pipe's
+/// schedule. This is the architectural contrast with the single-worker
+/// `RequestServer`, which blocks its only thread on each downstream call
+/// and therefore pays wake-up latency and decision compute serially per
+/// request.
+///
+/// The loop is a two-stage software pipeline: at most one request sits in
+/// its fetch stage, and the previous request's decision is computed inside
+/// that window, so the shard's CPU work hides behind the delay instead of
+/// adding to it. A request is always retired before any command that
+/// arrived after it is acted on, so decisions — and every shard state
+/// update — happen in strict arrival order, exactly as in the unpipelined
+/// single-worker server.
+pub(crate) fn spawn(
+    mut system: ESharing,
+    rx: Receiver<Command>,
+    service_delay: Duration,
+) -> JoinHandle<ESharing> {
+    std::thread::spawn(move || {
+        // When the emulated downstream pipe finishes its current fetch.
+        let mut pipe_free = Instant::now();
+        let mut in_fetch: Option<InFetch> = None;
+        loop {
+            // Stage 1: wait for the in-fetch request's completion time.
+            if let Some(f) = &in_fetch {
+                let now = Instant::now();
+                if f.due > now {
+                    std::thread::sleep(f.due - now);
+                }
+            }
+            // Admit the next command before retiring, so a queued
+            // request's fetch issues as early as possible. Block only
+            // when the pipeline is empty; `None` means disconnected.
+            let next = if in_fetch.is_some() {
+                match rx.try_recv() {
+                    Ok(cmd) => Some(Some(cmd)),
+                    Err(crossbeam::channel::TryRecvError::Empty) => Some(None),
+                    Err(crossbeam::channel::TryRecvError::Disconnected) => None,
+                }
+            } else {
+                match rx.recv() {
+                    Ok(cmd) => Some(Some(cmd)),
+                    Err(_) => None,
+                }
+            };
+            // Stage 2: retire the matured request (decision + reply).
+            if let Some(f) = in_fetch.take() {
+                let decision = system
+                    .handle_request(f.destination)
+                    .expect("shard systems are bootstrapped at engine start");
+                if let Some(reply) = f.reply {
+                    // A dropped reply receiver means the client gave up.
+                    let _ = reply.send(decision);
+                }
+            }
+            match next {
+                None => break,
+                Some(None) => {}
+                Some(Some(Command::Request {
+                    destination,
+                    reply,
+                    arrival,
+                })) => {
+                    // The pipe starts this fetch the instant it is free —
+                    // or at arrival, if it sat idle.
+                    let due = pipe_free.max(arrival) + service_delay;
+                    pipe_free = due;
+                    in_fetch = Some(InFetch {
+                        destination,
+                        reply,
+                        due,
+                    });
+                }
+                Some(Some(Command::Snapshot { reply })) => {
+                    let _ = reply.send(WorkerState {
+                        server: ServerSnapshot {
+                            stations: system.stations(),
+                            placement: system.metrics().placement,
+                            requests_served: system.metrics().requests_served,
+                        },
+                        metrics: *system.metrics(),
+                        last_similarity: system.last_similarity(),
+                    });
+                }
+                Some(Some(Command::Shutdown)) => break,
+            }
+        }
+        system
+    })
+}

@@ -1,0 +1,320 @@
+//! Destination → shard routing.
+//!
+//! The engine's router must place every incoming destination on a shard
+//! with a few nanoseconds of work and no shared mutable state. Two
+//! partition geometries cover the practical cases:
+//!
+//! * **Uniform grid** — the city bounding box is cut into `rows × cols`
+//!   rectangles, one shard per rectangle. Cheap and oblivious to demand;
+//!   good when demand is spatially even or unknown.
+//! * **k-landmark Voronoi** — shard anchors are derived from the offline
+//!   solution's landmark stations (clustered down to the requested shard
+//!   count with a deterministic k-means), and a destination routes to its
+//!   nearest anchor. This balances shards by *demand* rather than area,
+//!   because the offline landmarks already concentrate where trips end.
+//!
+//! Both geometries are pure functions of their construction inputs, so
+//! every router thread can share one immutable map.
+
+use esharing_geo::{BBox, Point};
+use serde::{Deserialize, Serialize};
+
+/// An immutable destination → shard partition of the city.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ShardMap {
+    /// `rows × cols` rectangles over the city bounding box.
+    Grid {
+        /// The partitioned field; outside points clamp to the boundary.
+        bbox: BBox,
+        /// Vertical cuts.
+        rows: usize,
+        /// Horizontal cuts.
+        cols: usize,
+    },
+    /// Nearest-anchor (Voronoi) routing.
+    Voronoi {
+        /// One anchor per shard.
+        anchors: Vec<Point>,
+    },
+}
+
+impl ShardMap {
+    /// A uniform grid over `bbox` with exactly `shards` rectangles, using
+    /// the factorization of `shards` closest to a square (a prime count
+    /// degenerates to strips).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn uniform(bbox: BBox, shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        let mut rows = 1;
+        let mut r = 1usize;
+        while r * r <= shards {
+            if shards % r == 0 {
+                rows = r;
+            }
+            r += 1;
+        }
+        ShardMap::Grid {
+            bbox,
+            rows,
+            cols: shards / rows,
+        }
+    }
+
+    /// Voronoi routing over explicit anchors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `anchors` is empty.
+    pub fn voronoi(anchors: Vec<Point>) -> Self {
+        assert!(!anchors.is_empty(), "need at least one anchor");
+        ShardMap::Voronoi { anchors }
+    }
+
+    /// Voronoi anchors derived from the offline solution: the landmark
+    /// stations are clustered down to (at most) `shards` anchors with a
+    /// deterministic k-means (farthest-first seeding, Lloyd refinement,
+    /// first-index tie-breaks — no RNG). With `landmarks.len() <= shards`
+    /// every landmark anchors its own shard, so the realized shard count
+    /// ([`ShardMap::shard_count`]) can be lower than requested.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `landmarks` is empty or `shards` is zero.
+    pub fn voronoi_over_landmarks(landmarks: &[Point], shards: usize) -> Self {
+        assert!(!landmarks.is_empty(), "need at least one landmark");
+        assert!(shards > 0, "need at least one shard");
+        if landmarks.len() <= shards {
+            return ShardMap::Voronoi {
+                anchors: landmarks.to_vec(),
+            };
+        }
+        // Farthest-first seeding: start nearest the landmark centroid, then
+        // repeatedly take the landmark farthest from every chosen anchor.
+        let centroid = landmarks
+            .iter()
+            .fold(Point::ORIGIN, |acc, &p| acc + p)
+            / landmarks.len() as f64;
+        let first = argmin_by(landmarks, |p| p.distance_squared(centroid));
+        let mut anchors = vec![landmarks[first]];
+        while anchors.len() < shards {
+            let next = argmin_by(landmarks, |p| {
+                // argmin of negated min-distance == farthest point.
+                -anchors
+                    .iter()
+                    .map(|a| p.distance_squared(*a))
+                    .fold(f64::INFINITY, f64::min)
+            });
+            anchors.push(landmarks[next]);
+        }
+        // Lloyd refinement over the landmark set.
+        for _ in 0..20 {
+            let mut sums = vec![Point::ORIGIN; anchors.len()];
+            let mut counts = vec![0usize; anchors.len()];
+            for &p in landmarks {
+                let c = argmin_by(&anchors, |a| a.distance_squared(p));
+                sums[c] = sums[c] + p;
+                counts[c] += 1;
+            }
+            let mut moved = false;
+            for (i, anchor) in anchors.iter_mut().enumerate() {
+                if counts[i] == 0 {
+                    continue; // empty cluster keeps its seed
+                }
+                let mean = sums[i] / counts[i] as f64;
+                if mean != *anchor {
+                    *anchor = mean;
+                    moved = true;
+                }
+            }
+            if !moved {
+                break;
+            }
+        }
+        ShardMap::Voronoi { anchors }
+    }
+
+    /// Number of shards this map routes to.
+    pub fn shard_count(&self) -> usize {
+        match self {
+            ShardMap::Grid { rows, cols, .. } => rows * cols,
+            ShardMap::Voronoi { anchors } => anchors.len(),
+        }
+    }
+
+    /// The shard serving `destination`. Total: every point maps somewhere
+    /// (grid clamps to the boundary, Voronoi takes the nearest anchor).
+    pub fn shard_of(&self, destination: Point) -> usize {
+        match self {
+            ShardMap::Grid { bbox, rows, cols } => {
+                let p = bbox.clamp(destination);
+                let col = axis_bin(p.x, bbox.min().x, bbox.width(), *cols);
+                let row = axis_bin(p.y, bbox.min().y, bbox.height(), *rows);
+                row * cols + col
+            }
+            ShardMap::Voronoi { anchors } => {
+                argmin_by(anchors, |a| a.distance_squared(destination))
+            }
+        }
+    }
+
+    /// A representative point of `shard`'s zone (rectangle center / anchor)
+    /// — what degraded-mode fallbacks and empty-history top-ups key off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn anchor(&self, shard: usize) -> Point {
+        match self {
+            ShardMap::Grid { bbox, rows, cols } => {
+                assert!(shard < rows * cols, "shard {shard} out of range");
+                let row = shard / cols;
+                let col = shard % cols;
+                let w = bbox.width() / *cols as f64;
+                let h = bbox.height() / *rows as f64;
+                bbox.min() + Point::new((col as f64 + 0.5) * w, (row as f64 + 0.5) * h)
+            }
+            ShardMap::Voronoi { anchors } => anchors[shard],
+        }
+    }
+}
+
+/// Index of the minimum of `key` over `items`; first index wins ties.
+fn argmin_by<T, F: Fn(&T) -> f64>(items: &[T], key: F) -> usize {
+    let mut best = 0;
+    let mut best_key = f64::INFINITY;
+    for (i, item) in items.iter().enumerate() {
+        let k = key(item);
+        if k < best_key {
+            best = i;
+            best_key = k;
+        }
+    }
+    best
+}
+
+/// Bin `x` into `bins` equal intervals of `[min, min + extent)`, clamped.
+fn axis_bin(x: f64, min: f64, extent: f64, bins: usize) -> usize {
+    if extent <= 0.0 || bins <= 1 {
+        return 0;
+    }
+    (((x - min) / extent * bins as f64) as usize).min(bins - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_grid_factors_near_square() {
+        let bbox = BBox::square(1000.0);
+        match ShardMap::uniform(bbox, 8) {
+            ShardMap::Grid { rows, cols, .. } => {
+                assert_eq!((rows, cols), (2, 4));
+            }
+            _ => panic!("expected grid"),
+        }
+        match ShardMap::uniform(bbox, 7) {
+            ShardMap::Grid { rows, cols, .. } => assert_eq!((rows, cols), (1, 7)),
+            _ => panic!("expected grid"),
+        }
+        assert_eq!(ShardMap::uniform(bbox, 1).shard_count(), 1);
+    }
+
+    #[test]
+    fn grid_routing_covers_all_shards_and_clamps() {
+        let map = ShardMap::uniform(BBox::square(1000.0), 4);
+        assert_eq!(map.shard_count(), 4);
+        let mut seen = vec![false; 4];
+        for i in 0..40 {
+            for j in 0..40 {
+                let p = Point::new(i as f64 * 25.0, j as f64 * 25.0);
+                seen[map.shard_of(p)] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Outside points clamp instead of panicking.
+        assert_eq!(map.shard_of(Point::new(-50.0, -50.0)), 0);
+        assert_eq!(
+            map.shard_of(Point::new(5000.0, 5000.0)),
+            map.shard_count() - 1
+        );
+    }
+
+    #[test]
+    fn grid_anchor_lies_in_its_own_shard() {
+        for shards in [1, 2, 4, 6, 8, 9] {
+            let map = ShardMap::uniform(BBox::square(900.0), shards);
+            for s in 0..map.shard_count() {
+                assert_eq!(map.shard_of(map.anchor(s)), s, "shards={shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn voronoi_routes_to_nearest_anchor() {
+        let anchors = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1000.0, 0.0),
+            Point::new(500.0, 900.0),
+        ];
+        let map = ShardMap::voronoi(anchors.clone());
+        assert_eq!(map.shard_count(), 3);
+        for (i, &a) in anchors.iter().enumerate() {
+            assert_eq!(map.shard_of(a), i);
+            assert_eq!(map.anchor(i), a);
+        }
+        assert_eq!(map.shard_of(Point::new(990.0, 10.0)), 1);
+    }
+
+    #[test]
+    fn voronoi_over_landmarks_keeps_small_sets_verbatim() {
+        let landmarks = vec![Point::new(100.0, 100.0), Point::new(900.0, 900.0)];
+        let map = ShardMap::voronoi_over_landmarks(&landmarks, 8);
+        assert_eq!(map.shard_count(), 2);
+        assert_eq!(map.anchor(0), landmarks[0]);
+    }
+
+    #[test]
+    fn voronoi_over_landmarks_clusters_deterministically() {
+        // Two tight landmark clusters must yield one anchor per cluster.
+        let mut landmarks = Vec::new();
+        for i in 0..5 {
+            landmarks.push(Point::new(i as f64 * 10.0, 0.0));
+            landmarks.push(Point::new(2000.0 + i as f64 * 10.0, 2000.0));
+        }
+        let a = ShardMap::voronoi_over_landmarks(&landmarks, 2);
+        let b = ShardMap::voronoi_over_landmarks(&landmarks, 2);
+        assert_eq!(a, b);
+        assert_eq!(a.shard_count(), 2);
+        assert_ne!(
+            a.shard_of(Point::new(0.0, 0.0)),
+            a.shard_of(Point::new(2000.0, 2000.0))
+        );
+        // Anchors sit inside their clusters, not between them.
+        for s in 0..2 {
+            let p = a.anchor(s);
+            assert!(p.x < 100.0 || p.x > 1900.0, "anchor drifted: {p:?}");
+        }
+    }
+
+    #[test]
+    fn degenerate_bbox_routes_everything_to_shard_zero() {
+        let map = ShardMap::uniform(BBox::new(Point::ORIGIN, Point::ORIGIN), 4);
+        assert_eq!(map.shard_of(Point::new(123.0, 456.0)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = ShardMap::uniform(BBox::square(10.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one anchor")]
+    fn empty_anchors_rejected() {
+        let _ = ShardMap::voronoi(Vec::new());
+    }
+}

@@ -1,0 +1,226 @@
+//! Engine ↔ single-worker server equivalence and overload behavior.
+//!
+//! The contract that makes the sharded engine trustworthy:
+//!
+//! 1. with one shard and the same seed it is the `RequestServer`,
+//!    decision for decision, bit for bit;
+//! 2. with many shards the fleet aggregates are exactly the sums of the
+//!    per-shard parts;
+//! 3. an overloaded shard sheds instead of blocking, and the shed count
+//!    surfaces in the aggregated snapshot.
+
+use esharing_core::server::RequestServer;
+use esharing_core::{ESharing, SystemConfig};
+use esharing_engine::{Engine, EngineConfig, EngineDecision, Partition};
+use esharing_geo::Point;
+use esharing_placement::online::Decision;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+fn uniform_points(n: usize, side: f64, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Point::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side)))
+        .collect()
+}
+
+/// Serves `stream` through a fresh single-worker `RequestServer`.
+fn server_decisions(
+    history: &[Point],
+    stream: &[Point],
+    cfg: &SystemConfig,
+) -> (Vec<Decision>, ESharing) {
+    let mut system = ESharing::new(cfg.clone());
+    system.bootstrap(history);
+    let server = RequestServer::start(system);
+    let handle = server.handle();
+    let decisions = stream
+        .iter()
+        .map(|&p| handle.submit(p).expect("server is running"))
+        .collect();
+    (decisions, server.shutdown())
+}
+
+/// Serves `stream` through a one-shard engine with `partition` geometry.
+fn engine_decisions(
+    history: &[Point],
+    stream: &[Point],
+    cfg: &SystemConfig,
+    partition: Partition,
+) -> (Vec<Decision>, Vec<ESharing>) {
+    let engine = Engine::start(
+        history,
+        EngineConfig {
+            shards: 1,
+            partition,
+            system: cfg.clone(),
+            ..EngineConfig::default()
+        },
+    );
+    let decisions = stream
+        .iter()
+        .map(|&p| match engine.submit(p).expect("engine is running") {
+            EngineDecision::Served { shard, decision } => {
+                assert_eq!(shard, 0);
+                decision
+            }
+            EngineDecision::Degraded { .. } => {
+                panic!("sequential submits must never overflow the mailbox")
+            }
+        })
+        .collect();
+    (decisions, engine.shutdown())
+}
+
+#[test]
+fn one_shard_engine_is_bit_identical_to_request_server() {
+    let history = uniform_points(500, 3_000.0, 11);
+    let stream = uniform_points(2_000, 3_000.0, 12);
+    let cfg = SystemConfig::default();
+    let (expected, server_system) = server_decisions(&history, &stream, &cfg);
+    for partition in [Partition::UniformGrid, Partition::LandmarkVoronoi] {
+        let (got, mut systems) = engine_decisions(&history, &stream, &cfg, partition);
+        // Exact equality — decisions carry f64 stations and walking costs,
+        // and every one of the 2 000 must match bit for bit.
+        assert_eq!(got, expected, "decision divergence under {partition:?}");
+        assert_eq!(systems.len(), 1);
+        let system = systems.pop().expect("one shard");
+        assert_eq!(system.metrics().placement, server_system.metrics().placement);
+        assert_eq!(
+            system.metrics().requests_served,
+            server_system.metrics().requests_served
+        );
+        assert_eq!(system.stations(), server_system.stations());
+    }
+}
+
+#[test]
+fn fleet_snapshot_is_the_sum_of_its_shards() {
+    let history = uniform_points(600, 2_000.0, 21);
+    let stream = uniform_points(500, 2_000.0, 22);
+    let engine = Engine::start(
+        &history,
+        EngineConfig {
+            shards: 4,
+            partition: Partition::UniformGrid,
+            system: SystemConfig::default(),
+            ..EngineConfig::default()
+        },
+    );
+    for &p in &stream {
+        let d = engine.submit(p).expect("engine is running");
+        assert!(!d.degraded());
+    }
+    let snap = engine.snapshot().expect("engine is running");
+    assert_eq!(snap.fleet.requests_served, 500);
+    assert_eq!(
+        snap.shards
+            .iter()
+            .map(|s| s.server.requests_served)
+            .sum::<u64>(),
+        500
+    );
+    assert_eq!(
+        snap.fleet.stations.len(),
+        snap.shards.iter().map(|s| s.server.stations.len()).sum()
+    );
+    let walking: f64 = snap.shards.iter().map(|s| s.server.placement.walking).sum();
+    assert_eq!(snap.fleet.placement.walking, walking);
+    assert_eq!(snap.metrics, snap.shards.iter().map(|s| s.metrics).sum());
+    assert_eq!(snap.shed_total, 0);
+    // The shutdown systems tell the same story as the snapshot.
+    let systems = engine.shutdown();
+    let served: u64 = systems.iter().map(|s| s.metrics().requests_served).sum();
+    assert_eq!(served, 500);
+}
+
+#[test]
+fn hot_shard_sheds_instead_of_blocking() {
+    let history = uniform_points(600, 2_000.0, 31);
+    let engine = Engine::start(
+        &history,
+        EngineConfig {
+            shards: 4,
+            partition: Partition::UniformGrid,
+            mailbox_capacity: 2,
+            // Slow zone worker: 2 ms of emulated downstream latency per
+            // request, so a burst must overflow the 2-deep mailbox.
+            service_delay: Duration::from_millis(2),
+            system: SystemConfig::default(),
+            ..EngineConfig::default()
+        },
+    );
+    let hot = Point::new(100.0, 100.0);
+    let hot_shard = engine.map().shard_of(hot);
+    let mut accepted = 0u64;
+    let mut shed = 0u64;
+    for _ in 0..200 {
+        match engine.submit_nowait(hot).expect("engine is running") {
+            esharing_engine::Admission::Accepted { shard } => {
+                assert_eq!(shard, hot_shard);
+                accepted += 1;
+            }
+            esharing_engine::Admission::Shed { shard } => {
+                assert_eq!(shard, hot_shard);
+                shed += 1;
+            }
+        }
+    }
+    assert!(shed > 0, "200-deep burst into a 2-deep mailbox must shed");
+    assert!(accepted > 0, "the mailbox accepts up to its bound");
+    assert_eq!(engine.shed(hot_shard), shed);
+    assert_eq!(engine.shed_total(), shed);
+    // Top the mailbox back up (the worker drains while we assert), then
+    // check that a synchronous submit against the full hot shard degrades
+    // immediately instead of blocking the caller.
+    loop {
+        match engine.submit_nowait(hot).expect("engine is running") {
+            esharing_engine::Admission::Accepted { .. } => accepted += 1,
+            esharing_engine::Admission::Shed { .. } => {
+                shed += 1;
+                break;
+            }
+        }
+    }
+    let d = engine.submit(hot).expect("engine is running");
+    match d {
+        EngineDecision::Degraded { shard, fallback } => {
+            assert_eq!(shard, hot_shard);
+            assert!(fallback.x.is_finite() && fallback.y.is_finite());
+        }
+        EngineDecision::Served { .. } => {
+            panic!("hot shard has a full mailbox; submit must shed")
+        }
+    }
+    // Other zones keep serving while the hot one drains.
+    let cold = Point::new(1_900.0, 1_900.0);
+    assert_ne!(engine.map().shard_of(cold), hot_shard);
+    assert!(!engine.submit(cold).expect("engine is running").degraded());
+    // The snapshot probe queues behind the backlog (backpressure, not
+    // deadlock) and reports the shed count in the aggregate.
+    let snap = engine.snapshot().expect("engine is running");
+    assert_eq!(snap.shed_total, shed + 1);
+    assert_eq!(snap.metrics.requests_served, accepted + 1);
+    let _ = engine.shutdown();
+}
+
+#[test]
+fn realized_shard_count_follows_landmarks() {
+    // A tiny city yields few landmarks; a Voronoi engine asked for many
+    // shards realizes only as many zones as it has anchors.
+    let history = uniform_points(80, 400.0, 41);
+    let engine = Engine::start(
+        &history,
+        EngineConfig {
+            shards: 64,
+            partition: Partition::LandmarkVoronoi,
+            system: SystemConfig::default(),
+            ..EngineConfig::default()
+        },
+    );
+    assert!(engine.shard_count() <= 64);
+    assert!(engine.shard_count() >= 1);
+    let d = engine.submit(Point::new(200.0, 200.0)).unwrap();
+    assert!(!d.degraded());
+}

@@ -24,9 +24,10 @@ pub use meyerson::Meyerson;
 
 use crate::PlacementCost;
 use esharing_geo::Point;
+use serde::{Deserialize, Serialize};
 
 /// The outcome of one online request.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum Decision {
     /// A new parking was established at the request's destination.
     Opened {

@@ -37,7 +37,8 @@ fn main() {
             for _ in 0..REQUESTS_PER_CLIENT {
                 let destination =
                     Point::new(rng.gen_range(0.0..3_000.0), rng.gen_range(0.0..3_000.0));
-                if handle.submit(destination).opened() {
+                let decision = handle.submit(destination).expect("server is running");
+                if decision.opened() {
                     opened += 1;
                 }
             }
@@ -47,7 +48,7 @@ fn main() {
     let opened: usize = clients.into_iter().map(|c| c.join().expect("client")).sum();
     let elapsed = started.elapsed();
 
-    let snapshot = server.handle().snapshot();
+    let snapshot = server.handle().snapshot().expect("server is running");
     println!(
         "served {} requests from {CLIENTS} threads in {:.1} ms ({:.0} req/s)",
         snapshot.requests_served,

@@ -1,0 +1,69 @@
+//! Sharded serving demo: one day of city demand through 1, 2 and 8 zones.
+//!
+//! Bootstraps the engine on day-0 drop-offs, then replays day 1 through
+//! engines of increasing shard counts with the same emulated downstream
+//! latency per request. With one worker every request serializes behind
+//! that latency; zone shards overlap it, so requests/sec climbs with the
+//! shard count while the fleet-level placement economics stay comparable.
+//!
+//! Run with: `cargo run --release --example sharded_city`
+
+use e_sharing::dataset::{destinations, CityConfig, SyntheticCity, TripGenerator};
+use e_sharing::engine::replay::{replay_trips, ReplayConfig};
+use e_sharing::engine::{Engine, EngineConfig, Partition};
+use std::time::Duration;
+
+fn main() {
+    let city = SyntheticCity::generate(&CityConfig::default());
+    let mut gen = TripGenerator::new(&city, 2017);
+    let history = destinations(&gen.generate_days(0, 1));
+    let day1 = gen.generate_days(1, 1);
+    println!(
+        "bootstrap: {} historical drop-offs; replaying {} day-1 trips\n",
+        history.len(),
+        day1.len()
+    );
+
+    let delay = Duration::from_micros(250);
+    let clients = 16;
+    let mut base_rate = None;
+    for shards in [1usize, 2, 8] {
+        let engine = Engine::start(
+            &history,
+            EngineConfig {
+                shards,
+                partition: Partition::LandmarkVoronoi,
+                service_delay: delay,
+                ..EngineConfig::default()
+            },
+        );
+        let report = replay_trips(
+            &engine,
+            &day1,
+            &ReplayConfig {
+                clients,
+                rate_per_s: None,
+            },
+        );
+        let snapshot = engine.snapshot().expect("engine is running");
+        let rate = report.served_per_s();
+        let speedup = rate / *base_rate.get_or_insert(rate);
+        println!(
+            "{:>2} zone(s): {:>6.0} req/s ({speedup:.2}x)  p99 {:>5.2} ms  degraded {:>3}  \
+             stations {:>3}  avg walk {:>3.0} m",
+            engine.shard_count(),
+            rate,
+            report.latency.p99_us as f64 / 1_000.0,
+            report.degraded,
+            snapshot.fleet.stations.len(),
+            snapshot.metrics.avg_walk_m(),
+        );
+        let _ = engine.shutdown();
+    }
+    println!(
+        "\neach zone runs the paper's online algorithm independently on its own\n\
+         demand stream; the {} µs per-request service latency is emulated\n\
+         identically at every shard count, so the speedup is pure overlap.",
+        delay.as_micros()
+    );
+}

@@ -17,6 +17,9 @@
 //! * [`charging`] — Tier 2: charging cost model, user incentives, TSP
 //!   routing for maintenance operators.
 //! * [`core`] — the end-to-end orchestration of both tiers.
+//! * [`engine`] — the zone-sharded serving engine: partitioned online
+//!   placement behind a backpressured router, with replay-driven load
+//!   generation.
 //!
 //! # Quickstart
 //!
@@ -39,6 +42,7 @@
 pub use esharing_charging as charging;
 pub use esharing_core as core;
 pub use esharing_dataset as dataset;
+pub use esharing_engine as engine;
 pub use esharing_forecast as forecast;
 pub use esharing_geo as geo;
 pub use esharing_linalg as linalg;
