@@ -15,10 +15,33 @@ echo "==> tier-1: cargo build --release && cargo test"
 cargo build --release
 cargo test --workspace -q
 
+echo "==> property oracles: flat-grid index and incremental KS window"
+cargo test --release -p esharing-geo --test index_equivalence -q
+cargo test --release -p esharing-stats --test ks_equivalence -q
+
 echo "==> smoke: one experiment binary end to end"
 cargo run --release -p esharing-bench --bin exp_table4
 
+# Smoke artifacts land in a temp dir (ESHARING_BENCH_DIR) so the committed
+# BENCH_*.json trajectory files are never clobbered by a CI run; the run
+# then fails if the emitted JSON is missing the latency telemetry rows.
+BENCH_TMP="$(mktemp -d)"
+trap 'rm -rf "$BENCH_TMP"' EXIT
+
 echo "==> smoke: serving engine at 1 shard and 4 shards"
-cargo run --release -p esharing-bench --bin exp_engine -- --smoke --shards 1,4
+ESHARING_BENCH_DIR="$BENCH_TMP" \
+  cargo run --release -p esharing-bench --bin exp_engine -- --smoke --shards 1,4
+for row in request_server_p50 request_server_p999 engine_s4_p999 engine_s4_shard0_p999; do
+  grep -q "\"$row\"" "$BENCH_TMP/BENCH_engine.json" \
+    || { echo "BENCH_engine.json lacks latency row $row"; exit 1; }
+done
+
+echo "==> smoke: decision-latency bench (one timed iteration)"
+ESHARING_BENCH_DIR="$BENCH_TMP" ESHARING_BENCH_SMOKE=1 \
+  cargo bench -p esharing-bench --bench placement
+for row in deviation_handle deviation_handle_reference_index; do
+  grep -q "\"$row\"" "$BENCH_TMP/BENCH_placement.json" \
+    || { echo "BENCH_placement.json lacks latency row $row"; exit 1; }
+done
 
 echo "CI OK"

@@ -1,18 +1,27 @@
 //! Criterion benches for the PLP solvers: the offline 1.61-factor greedy
-//! scaling in n (the paper's O(N³)), and the per-request throughput of the
-//! three online algorithms.
+//! scaling in n (the paper's O(N³)), the per-request throughput of the
+//! three online algorithms, and the decision-path latency of
+//! `DeviationPenalty::handle` at city scale (10 000 stations) against the
+//! same algorithm over the B-tree reference index — the row pair that
+//! quantifies what the flat-hash-grid index buys on the serving path.
+//!
+//! Setting `ESHARING_BENCH_SMOKE` skips the Criterion groups and emits the
+//! perf trajectory with one timed iteration per row (CI smoke mode;
+//! combine with `ESHARING_BENCH_DIR` to redirect the JSON).
 
 use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use esharing_bench::PerfEmitter;
-use esharing_geo::Point;
+use esharing_geo::{NearestNeighborIndex, NearestNeighborIndexReference, Point, SpatialIndex};
 use esharing_placement::offline::{jms_greedy, jms_greedy_reference};
 use esharing_placement::online::{
-    DeviationConfig, DeviationPenalty, Meyerson, OnlineKMeans, OnlinePlacement,
+    DeviationConfig, DeviationPenalty, DeviationPenaltyCore, Meyerson, OnlineKMeans,
+    OnlinePlacement,
 };
 use esharing_placement::PlpInstance;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 
 fn uniform(n: usize, side: f64, seed: u64) -> Vec<Point> {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -70,18 +79,90 @@ fn bench_online(c: &mut Criterion) {
     group.finish();
 }
 
+/// Median wall-clock of streaming `stream` through a freshly constructed
+/// `DeviationPenaltyCore<I>`. Construction (including the `O(k²)` minimum
+/// landmark-spacing scan) happens outside the timed region: this measures
+/// the serving path — `handle` — alone.
+fn median_handle_elapsed<I: SpatialIndex>(
+    landmarks: &[Point],
+    history: &[Point],
+    stream: &[Point],
+    iters: usize,
+) -> Duration {
+    let run = || {
+        let mut alg = DeviationPenaltyCore::<I>::new(
+            landmarks.to_vec(),
+            history.to_vec(),
+            DeviationConfig {
+                space_cost: 5_000.0,
+                seed: 7,
+                ..DeviationConfig::default()
+            },
+        );
+        let t0 = Instant::now();
+        for &p in stream {
+            black_box(alg.handle(p));
+        }
+        t0.elapsed()
+    };
+    run(); // warm-up
+    let mut times: Vec<Duration> = (0..iters.max(1)).map(|_| run()).collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
 /// Perf-trajectory emission: times the cached-cost parallel greedy against
-/// the sequential reference at increasing sizes and writes
-/// `BENCH_placement.json` at the repo root (see `esharing_bench::perf`).
-fn perf_trajectory() {
+/// the sequential reference at increasing sizes (including the n = 50
+/// small-instance regime, where `jms_greedy` now delegates to the
+/// reference loop), plus the `DeviationPenalty::handle` decision-path
+/// latency at 10 000 stations over the flat-hash-grid index vs. the B-tree
+/// reference index, and writes `BENCH_placement.json` at the repo root
+/// (see `esharing_bench::perf`). `smoke` drops to one timed iteration per
+/// row.
+fn perf_trajectory(smoke: bool) {
+    let iters = |full: usize| if smoke { 1 } else { full };
     let mut perf = PerfEmitter::new("placement");
-    for (n, iters) in [(50usize, 9), (100, 7), (200, 5), (400, 3)] {
+    // Process warm-up: the first timed block otherwise absorbs the cold
+    // start (allocator, frequency ramp) and skews the smallest-n rows.
+    let warm = PlpInstance::with_uniform_cost(uniform(50, 1_000.0, 1), 5_000.0);
+    for _ in 0..if smoke { 3 } else { 20 } {
+        black_box(jms_greedy(&warm));
+        black_box(jms_greedy_reference(&warm));
+    }
+    for (n, full) in [(50usize, 9), (100, 7), (200, 5), (400, 3)] {
         let instance = PlpInstance::with_uniform_cost(uniform(n, 1_000.0, 1), 5_000.0);
-        perf.measure("jms_greedy", n, iters, || black_box(jms_greedy(&instance)));
-        perf.measure("jms_greedy_reference", n, iters, || {
+        perf.measure("jms_greedy", n, iters(full), || {
+            black_box(jms_greedy(&instance))
+        });
+        perf.measure("jms_greedy_reference", n, iters(full), || {
             black_box(jms_greedy_reference(&instance))
         });
     }
+
+    // Decision-path latency at city scale: identical seeds, streams and
+    // config on both index backends, so every run replays the exact same
+    // decision sequence and only the nearest-parking index differs.
+    let stations = uniform(10_000, 50_000.0, 4);
+    let history = uniform(2_000, 50_000.0, 5);
+    let stream = uniform(5_000, 50_000.0, 6);
+    let flat =
+        median_handle_elapsed::<NearestNeighborIndex>(&stations, &history, &stream, iters(5));
+    perf.record_duration("deviation_handle", stream.len(), flat);
+    let reference = median_handle_elapsed::<NearestNeighborIndexReference>(
+        &stations,
+        &history,
+        &stream,
+        iters(5),
+    );
+    perf.record_duration("deviation_handle_reference_index", stream.len(), reference);
+    eprintln!(
+        "decision latency, 10k stations x {} requests: flat grid {:.1} ms vs reference {:.1} ms ({:.2}x)",
+        stream.len(),
+        flat.as_secs_f64() * 1_000.0,
+        reference.as_secs_f64() * 1_000.0,
+        reference.as_secs_f64() / flat.as_secs_f64().max(f64::MIN_POSITIVE),
+    );
+
     match perf.write() {
         Ok(path) => eprintln!("perf trajectory written to {}", path.display()),
         Err(e) => eprintln!("perf trajectory emission failed: {e}"),
@@ -91,7 +172,10 @@ fn perf_trajectory() {
 criterion_group!(benches, bench_offline, bench_online);
 
 fn main() {
-    benches();
-    Criterion::default().configure_from_args().final_summary();
-    perf_trajectory();
+    let smoke = std::env::var_os("ESHARING_BENCH_SMOKE").is_some();
+    if !smoke {
+        benches();
+        Criterion::default().configure_from_args().final_summary();
+    }
+    perf_trajectory(smoke);
 }

@@ -1,4 +1,4 @@
-//! Ablation studies over the design choices called out in `DESIGN.md` §6.
+//! Ablation studies over the design choices called out in `DESIGN.md` §7.
 //!
 //! 1. KS-switched penalty vs each fixed type under a mid-run regime change
 //!    (validates the §V-C switching rule);

@@ -13,9 +13,12 @@
 //! sees an equal share (peak-capacity workload; zone counts nest, so the
 //! same stream is balanced for 1, 2, 4 and 8 shards).
 //!
-//! Emits `BENCH_engine.json` at the repo root (throughput plus p50/p99
-//! client latency per backend) and dumps the final fleet snapshot of the
-//! widest engine run to `results/engine_snapshot.json`.
+//! Emits `BENCH_engine.json` at the repo root (throughput plus
+//! p50/p99/p99.9 client latency per backend, and per-shard worker-side
+//! arrival → decision quantiles from the shard latency histograms) and
+//! dumps the final fleet snapshot of the widest engine run to
+//! `results/engine_snapshot.json`. Setting `ESHARING_BENCH_DIR` redirects
+//! the JSON (including in `--smoke` mode, which otherwise skips it).
 //!
 //! Usage: `exp_engine [--smoke] [--requests N] [--delay-us D]
 //!                    [--clients C] [--shards S1,S2,...]`
@@ -164,6 +167,11 @@ fn record(emitter: &mut PerfEmitter, name: &str, report: &ReplayReport) {
         0,
         Duration::from_micros(report.latency.p99_us),
     );
+    emitter.record_duration(
+        &format!("{name}_p999"),
+        0,
+        Duration::from_micros(report.latency.p999_us),
+    );
 }
 
 fn main() {
@@ -195,6 +203,7 @@ fn main() {
         "speedup".into(),
         "p50 ms".into(),
         "p99 ms".into(),
+        "p99.9 ms".into(),
         "degraded".into(),
     ]);
 
@@ -207,6 +216,7 @@ fn main() {
         "1.00x".into(),
         format!("{:.2}", base.latency.p50_us as f64 / 1_000.0),
         format!("{:.2}", base.latency.p99_us as f64 / 1_000.0),
+        format!("{:.2}", base.latency.p999_us as f64 / 1_000.0),
         format!("{}", base.degraded),
     ]);
 
@@ -226,16 +236,35 @@ fn main() {
         record(&mut emitter, &name, &report);
         let rate = report.served_per_s();
         table.row(vec![
-            name,
+            name.clone(),
             format!("{rate:.0}"),
             format!("{:.2}x", rate / base_rate),
             format!("{:.2}", report.latency.p50_us as f64 / 1_000.0),
             format!("{:.2}", report.latency.p99_us as f64 / 1_000.0),
+            format!("{:.2}", report.latency.p999_us as f64 / 1_000.0),
             format!("{}", report.degraded),
         ]);
+        // Worker-side arrival → decision quantiles, per shard, from the
+        // shard histograms (the client-side summary above includes reply
+        // transit; these isolate the serving path).
+        let snapshot = engine.snapshot().expect("engine is running");
+        for s in &snapshot.shards {
+            let lat = &s.server.latency;
+            for (suffix, ns) in [
+                ("p50", lat.p50_ns()),
+                ("p99", lat.p99_ns()),
+                ("p999", lat.p999_ns()),
+            ] {
+                emitter.record_duration(
+                    &format!("{name}_shard{}_{suffix}", s.shard),
+                    0,
+                    Duration::from_nanos(ns),
+                );
+            }
+        }
         if shards >= widest {
             widest = shards;
-            widest_snapshot = engine.snapshot().ok();
+            widest_snapshot = Some(snapshot);
         }
         let _ = engine.shutdown();
     }
@@ -248,12 +277,16 @@ fn main() {
         args.delay.as_micros()
     );
 
-    if args.smoke {
+    if args.smoke && std::env::var_os("ESHARING_BENCH_DIR").is_none() {
         println!("smoke mode: skipping BENCH_engine.json / snapshot dump");
         return;
     }
     let path = emitter.write().expect("write BENCH_engine.json");
     println!("wrote {}", path.display());
+    if args.smoke {
+        println!("smoke mode: skipping snapshot dump");
+        return;
+    }
     if let Some(snapshot) = widest_snapshot {
         let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
         let out = dir.join("engine_snapshot.json");

@@ -150,14 +150,21 @@ impl PerfEmitter {
         out
     }
 
-    /// Writes `BENCH_<bench>.json` at the repository root and returns the
-    /// path written.
+    /// Writes `BENCH_<bench>.json` and returns the path written.
+    ///
+    /// The file lands at the repository root, or in `$ESHARING_BENCH_DIR`
+    /// when that variable is set — which is how CI smoke runs emit (and
+    /// then validate) the JSON without clobbering the committed trajectory
+    /// files.
     ///
     /// # Errors
     ///
     /// Propagates filesystem errors.
     pub fn write(&self) -> std::io::Result<PathBuf> {
-        let path = repo_root().join(format!("BENCH_{}.json", self.bench));
+        let dir = std::env::var_os("ESHARING_BENCH_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(repo_root);
+        let path = dir.join(format!("BENCH_{}.json", self.bench));
         std::fs::write(&path, self.to_json())?;
         Ok(path)
     }

@@ -39,7 +39,7 @@ mod simulation;
 
 pub use config::SystemConfig;
 pub use events::{EventDrivenSim, TriggerPolicy};
-pub use metrics::SystemMetrics;
+pub use metrics::{LatencyHistogram, SystemMetrics};
 pub use orchestrator::{ESharing, MaintenanceReport, NotBootstrapped};
 pub use simulation::{Simulation, SimulationReport};
 

@@ -14,6 +14,7 @@
 //! zones and running one instance of this same pipeline per zone; with a
 //! single shard it reproduces this server's decisions bit-identically.
 
+use crate::metrics::LatencyHistogram;
 use crate::ESharing;
 use crossbeam::channel::{bounded, Sender};
 use esharing_geo::Point;
@@ -25,12 +26,21 @@ use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 enum Command {
     Request {
         destination: Point,
         reply: Sender<Decision>,
+        /// Stamped at submit time; the worker measures arrival → decision.
+        arrival: Instant,
+    },
+    /// A whole client batch moved through the queue as one command: one
+    /// send, one reply, decisions in input order.
+    Batch {
+        destinations: Vec<Point>,
+        reply: Sender<Vec<Decision>>,
+        arrival: Instant,
     },
     Snapshot {
         reply: Sender<ServerSnapshot>,
@@ -81,6 +91,9 @@ pub struct ServerSnapshot {
     pub placement: PlacementCost,
     /// Requests served so far.
     pub requests_served: u64,
+    /// Arrival → decision latency of every request served so far
+    /// (includes queueing and the emulated downstream delay).
+    pub latency: LatencyHistogram,
 }
 
 /// Handle for submitting requests to a running server. Cheap to clone;
@@ -102,6 +115,34 @@ impl ServerHandle {
             .send(Command::Request {
                 destination,
                 reply: reply_tx,
+                arrival: Instant::now(),
+            })
+            .map_err(|_| ServerClosed)?;
+        reply_rx.recv().map_err(|_| ServerClosed)
+    }
+
+    /// Submits a whole batch of destinations and waits for all decisions,
+    /// returned in input order.
+    ///
+    /// The batch crosses the command queue as *one* message and comes back
+    /// as one reply, so a client that already holds many requests pays two
+    /// channel operations total instead of two per request. Decisions are
+    /// bit-identical to submitting the same destinations one by one — the
+    /// worker serves batch items through the same serialized path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerClosed`] if the server has been shut down.
+    pub fn submit_batch(&self, destinations: Vec<Point>) -> Result<Vec<Decision>, ServerClosed> {
+        if destinations.is_empty() {
+            return Ok(Vec::new());
+        }
+        let (reply_tx, reply_rx) = bounded(1);
+        self.tx
+            .send(Command::Batch {
+                destinations,
+                reply: reply_tx,
+                arrival: Instant::now(),
             })
             .map_err(|_| ServerClosed)?;
         reply_rx.recv().map_err(|_| ServerClosed)
@@ -159,24 +200,50 @@ impl RequestServer {
         let service_delay = config.service_delay;
         let worker = std::thread::spawn(move || {
             let mut system = system;
+            let mut latency = LatencyHistogram::new();
             while let Ok(cmd) = rx.recv() {
                 match cmd {
-                    Command::Request { destination, reply } => {
+                    Command::Request {
+                        destination,
+                        reply,
+                        arrival,
+                    } => {
                         if !service_delay.is_zero() {
                             std::thread::sleep(service_delay);
                         }
                         let decision = system
                             .handle_request(destination)
                             .expect("server system is bootstrapped");
+                        latency.record(arrival.elapsed());
                         *accepted_worker.lock() += 1;
                         // A dropped reply receiver is fine: client gave up.
                         let _ = reply.send(decision);
+                    }
+                    Command::Batch {
+                        destinations,
+                        reply,
+                        arrival,
+                    } => {
+                        let mut decisions = Vec::with_capacity(destinations.len());
+                        for destination in destinations {
+                            if !service_delay.is_zero() {
+                                std::thread::sleep(service_delay);
+                            }
+                            let decision = system
+                                .handle_request(destination)
+                                .expect("server system is bootstrapped");
+                            latency.record(arrival.elapsed());
+                            *accepted_worker.lock() += 1;
+                            decisions.push(decision);
+                        }
+                        let _ = reply.send(decisions);
                     }
                     Command::Snapshot { reply } => {
                         let _ = reply.send(ServerSnapshot {
                             stations: system.stations(),
                             placement: system.metrics().placement,
                             requests_served: system.metrics().requests_served,
+                            latency: latency.clone(),
                         });
                     }
                     Command::Shutdown => break,
@@ -315,6 +382,42 @@ mod tests {
             "5 requests at 2 ms each must take >= 10 ms"
         );
         assert_eq!(server.accepted(), 5);
+    }
+
+    #[test]
+    fn batched_submit_matches_sequential() {
+        let mut rng = StdRng::seed_from_u64(40);
+        let stream: Vec<Point> = (0..300)
+            .map(|_| Point::new(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0)))
+            .collect();
+        let sequential = RequestServer::start(bootstrapped_system(41));
+        let handle = sequential.handle();
+        let expected: Vec<Decision> = stream
+            .iter()
+            .map(|&p| handle.submit(p).unwrap())
+            .collect();
+        let batched = RequestServer::start(bootstrapped_system(41));
+        let got = batched.handle().submit_batch(stream).unwrap();
+        // Bit-for-bit: decisions carry f64 stations and walking costs.
+        assert_eq!(got, expected);
+        assert_eq!(batched.accepted(), 300);
+        assert!(batched.handle().submit_batch(Vec::new()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn snapshot_reports_latency_telemetry() {
+        let server = RequestServer::start(bootstrapped_system(42));
+        let handle = server.handle();
+        for i in 0..40 {
+            handle
+                .submit(Point::new((i * 13 % 1000) as f64, (i * 29 % 1000) as f64))
+                .unwrap();
+        }
+        let snap = handle.snapshot().unwrap();
+        assert_eq!(snap.latency.count(), 40);
+        assert!(snap.latency.p50_ns() > 0);
+        assert!(snap.latency.p999_ns() >= snap.latency.p50_ns());
+        assert!(snap.latency.max_ns() >= snap.latency.p999_ns());
     }
 
     #[test]

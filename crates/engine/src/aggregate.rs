@@ -7,7 +7,7 @@
 //! counters add.
 
 use esharing_core::server::ServerSnapshot;
-use esharing_core::SystemMetrics;
+use esharing_core::{LatencyHistogram, SystemMetrics};
 use esharing_geo::Point;
 use serde::{Deserialize, Serialize};
 
@@ -63,12 +63,13 @@ impl EngineSnapshot {
         let mut out = String::new();
         out.push_str("{\n");
         out.push_str(&format!(
-            "  \"fleet\": {{ \"stations\": {}, \"requests_served\": {}, \"walking_m\": {:.1}, \"space_m\": {:.1}, \"shed\": {} }},\n",
+            "  \"fleet\": {{ \"stations\": {}, \"requests_served\": {}, \"walking_m\": {:.1}, \"space_m\": {:.1}, \"shed\": {}, {} }},\n",
             self.fleet.stations.len(),
             self.fleet.requests_served,
             self.fleet.placement.walking,
             self.fleet.placement.space,
             self.shed_total,
+            latency_json(&self.fleet.latency),
         ));
         out.push_str("  \"shards\": [\n");
         for (i, s) in self.shards.iter().enumerate() {
@@ -77,7 +78,7 @@ impl EngineSnapshot {
                 _ => "null".to_string(),
             };
             out.push_str(&format!(
-                "    {{ \"shard\": {}, \"anchor\": [{:.1}, {:.1}], \"stations\": {}, \"requests_served\": {}, \"walking_m\": {:.1}, \"space_m\": {:.1}, \"similarity_percent\": {}, \"shed\": {} }}{}\n",
+                "    {{ \"shard\": {}, \"anchor\": [{:.1}, {:.1}], \"stations\": {}, \"requests_served\": {}, \"walking_m\": {:.1}, \"space_m\": {:.1}, \"similarity_percent\": {}, \"shed\": {}, {} }}{}\n",
                 s.shard,
                 s.anchor.x,
                 s.anchor.y,
@@ -87,6 +88,7 @@ impl EngineSnapshot {
                 s.server.placement.space,
                 similarity,
                 s.shed,
+                latency_json(&s.server.latency),
                 if i + 1 < self.shards.len() { "," } else { "" },
             ));
         }
@@ -95,8 +97,23 @@ impl EngineSnapshot {
     }
 }
 
-/// Merges server snapshots: stations concatenate (disjoint zones), costs
-/// and counters sum.
+/// Decision-latency quantile fields for the hand-emitted JSON dump.
+/// Bucketed quantiles (12.5% resolution) in microseconds; see
+/// [`LatencyHistogram`].
+fn latency_json(latency: &LatencyHistogram) -> String {
+    format!(
+        "\"latency_count\": {}, \"latency_p50_us\": {:.1}, \"latency_p99_us\": {:.1}, \"latency_p999_us\": {:.1}",
+        latency.count(),
+        latency.p50_ns() as f64 / 1_000.0,
+        latency.p99_ns() as f64 / 1_000.0,
+        latency.p999_ns() as f64 / 1_000.0,
+    )
+}
+
+/// Merges server snapshots: stations concatenate (disjoint zones), costs,
+/// counters and latency histograms sum — merging the histograms *before*
+/// taking quantiles is what keeps fleet percentiles honest (averaging
+/// per-shard percentiles is not a percentile).
 pub fn merge_server_snapshots<'a, I>(parts: I) -> ServerSnapshot
 where
     I: IntoIterator<Item = &'a ServerSnapshot>,
@@ -105,11 +122,13 @@ where
         stations: Vec::new(),
         placement: esharing_placement::PlacementCost::ZERO,
         requests_served: 0,
+        latency: LatencyHistogram::new(),
     };
     for part in parts {
         merged.stations.extend_from_slice(&part.stations);
         merged.placement = merged.placement + part.placement;
         merged.requests_served += part.requests_served;
+        merged.latency += part.latency.clone();
     }
     merged
 }
@@ -120,12 +139,17 @@ mod tests {
     use esharing_placement::PlacementCost;
 
     fn shard(i: usize, stations: usize, served: u64, walk: f64, shed: u64) -> ShardSnapshot {
+        let mut latency = LatencyHistogram::new();
+        for r in 0..served {
+            latency.record_ns((r + 1) * 10_000 * (i as u64 + 1));
+        }
         let server = ServerSnapshot {
             stations: (0..stations)
                 .map(|s| Point::new(i as f64 * 1000.0 + s as f64, 0.0))
                 .collect(),
             placement: PlacementCost::new(walk, stations as f64 * 100.0),
             requests_served: served,
+            latency,
         };
         ShardSnapshot {
             shard: i,
@@ -153,6 +177,17 @@ mod tests {
         assert_eq!(snap.metrics.requests_served, 100);
         assert_eq!(snap.metrics.avg_walk_m(), 20.0);
         assert_eq!(snap.shed_total, 2);
+        // The fleet histogram is the sum of the parts, not an average of
+        // their quantiles.
+        assert_eq!(snap.fleet.latency.count(), 100);
+        assert_eq!(
+            snap.fleet.latency,
+            snap.shards
+                .iter()
+                .map(|s| s.server.latency.clone())
+                .sum::<LatencyHistogram>()
+        );
+        assert!(snap.fleet.latency.p999_ns() >= snap.fleet.latency.p50_ns());
     }
 
     #[test]
@@ -176,5 +211,10 @@ mod tests {
         assert!(json.contains("\"similarity_percent\": null"));
         assert!(json.contains("\"shed\": 2"));
         assert_eq!(json.matches("\"shard\":").count(), 2);
+        // Latency fields appear for the fleet and for every shard.
+        assert_eq!(json.matches("\"latency_p50_us\":").count(), 3);
+        assert_eq!(json.matches("\"latency_p99_us\":").count(), 3);
+        assert_eq!(json.matches("\"latency_p999_us\":").count(), 3);
+        assert!(json.contains("\"latency_count\": 100"));
     }
 }

@@ -81,6 +81,10 @@ pub struct LatencySummary {
     pub p50_us: u64,
     /// 99th percentile.
     pub p99_us: u64,
+    /// 99.9th percentile — the deep tail; meaningful once roughly a
+    /// thousand requests have been measured (below that it degenerates to
+    /// the maximum).
+    pub p999_us: u64,
     /// Worst observed.
     pub max_us: u64,
 }
@@ -93,6 +97,7 @@ impl LatencySummary {
                 mean_us: 0.0,
                 p50_us: 0,
                 p99_us: 0,
+                p999_us: 0,
                 max_us: 0,
             };
         }
@@ -105,6 +110,7 @@ impl LatencySummary {
             mean_us: stats.mean(),
             p50_us: percentile(sorted_us, 0.50),
             p99_us: percentile(sorted_us, 0.99),
+            p999_us: percentile(sorted_us, 0.999),
             max_us: *sorted_us.last().expect("non-empty"),
         }
     }
@@ -281,7 +287,8 @@ mod tests {
         assert!(report.served_per_s() > 0.0);
         assert_eq!(report.latency.count, report.served + report.degraded);
         assert!(report.latency.p50_us <= report.latency.p99_us);
-        assert!(report.latency.p99_us <= report.latency.max_us);
+        assert!(report.latency.p99_us <= report.latency.p999_us);
+        assert!(report.latency.p999_us <= report.latency.max_us);
         let snap = engine.snapshot().unwrap();
         assert_eq!(snap.metrics.requests_served, report.served);
     }

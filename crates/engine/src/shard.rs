@@ -11,7 +11,7 @@
 
 use crossbeam::channel::{Receiver, Sender};
 use esharing_core::server::ServerSnapshot;
-use esharing_core::{ESharing, SystemMetrics};
+use esharing_core::{ESharing, LatencyHistogram, SystemMetrics};
 use esharing_geo::Point;
 use esharing_placement::online::Decision;
 use std::thread::JoinHandle;
@@ -27,6 +27,16 @@ pub(crate) enum Command {
     Request {
         destination: Point,
         reply: Option<Sender<Decision>>,
+        arrival: Instant,
+    },
+    /// A router-grouped sub-batch: every destination already routes to
+    /// this shard, in the submitter's order. One mailbox slot, one reply
+    /// carrying the decisions in input order. Each item still occupies the
+    /// emulated downstream pipe for a full `service_delay`, exactly as if
+    /// it had arrived as its own [`Command::Request`].
+    Batch {
+        destinations: Vec<Point>,
+        reply: Sender<Vec<Decision>>,
         arrival: Instant,
     },
     /// State probe.
@@ -51,6 +61,7 @@ struct InFetch {
     destination: Point,
     reply: Option<Sender<Decision>>,
     due: Instant,
+    arrival: Instant,
 }
 
 /// Spawns the worker thread for one shard. `service_delay` emulates
@@ -83,6 +94,8 @@ pub(crate) fn spawn(
         // When the emulated downstream pipe finishes its current fetch.
         let mut pipe_free = Instant::now();
         let mut in_fetch: Option<InFetch> = None;
+        // Arrival → decision latency of every request this shard retires.
+        let mut latency = LatencyHistogram::new();
         loop {
             // Stage 1: wait for the in-fetch request's completion time.
             if let Some(f) = &in_fetch {
@@ -111,6 +124,7 @@ pub(crate) fn spawn(
                 let decision = system
                     .handle_request(f.destination)
                     .expect("shard systems are bootstrapped at engine start");
+                latency.record(f.arrival.elapsed());
                 if let Some(reply) = f.reply {
                     // A dropped reply receiver means the client gave up.
                     let _ = reply.send(decision);
@@ -132,7 +146,35 @@ pub(crate) fn spawn(
                         destination,
                         reply,
                         due,
+                        arrival,
                     });
+                }
+                Some(Some(Command::Batch {
+                    destinations,
+                    reply,
+                    arrival,
+                })) => {
+                    // Every item runs through the same pipe schedule it
+                    // would have seen as an individual request: fetches
+                    // issue back-to-back, decisions retire in order. The
+                    // pipeline register stays empty across a batch — the
+                    // in-fetch request (if any) was retired above, before
+                    // this command was acted on.
+                    let mut decisions = Vec::with_capacity(destinations.len());
+                    for destination in destinations {
+                        let due = pipe_free.max(arrival) + service_delay;
+                        pipe_free = due;
+                        let now = Instant::now();
+                        if due > now {
+                            std::thread::sleep(due - now);
+                        }
+                        let decision = system
+                            .handle_request(destination)
+                            .expect("shard systems are bootstrapped at engine start");
+                        latency.record(arrival.elapsed());
+                        decisions.push(decision);
+                    }
+                    let _ = reply.send(decisions);
                 }
                 Some(Some(Command::Snapshot { reply })) => {
                     let _ = reply.send(WorkerState {
@@ -140,6 +182,7 @@ pub(crate) fn spawn(
                             stations: system.stations(),
                             placement: system.metrics().placement,
                             requests_served: system.metrics().requests_served,
+                            latency: latency.clone(),
                         },
                         metrics: *system.metrics(),
                         last_similarity: system.last_similarity(),

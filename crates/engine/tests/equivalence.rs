@@ -96,6 +96,53 @@ fn one_shard_engine_is_bit_identical_to_request_server() {
 }
 
 #[test]
+fn batched_submit_is_bit_identical_to_sequential() {
+    let history = uniform_points(500, 3_000.0, 51);
+    let stream = uniform_points(2_000, 3_000.0, 52);
+    let cfg = EngineConfig {
+        shards: 4,
+        partition: Partition::UniformGrid,
+        system: SystemConfig::default(),
+        ..EngineConfig::default()
+    };
+    // Sequential one-at-a-time submits are the reference.
+    let sequential = Engine::start(&history, cfg.clone());
+    let expected: Vec<EngineDecision> = stream
+        .iter()
+        .map(|&p| sequential.submit(p).expect("engine is running"))
+        .collect();
+    // One big batch through an identically-configured fresh engine.
+    let engine = Engine::start(&history, cfg.clone());
+    let got = engine.submit_batch(&stream).expect("engine is running");
+    assert_eq!(got, expected, "whole-stream batch diverged");
+    drop(engine);
+    // Mixed traffic: uneven batch chunks interleaved with single submits
+    // must replay the exact same decision sequence.
+    let engine = Engine::start(&history, cfg);
+    let mut got = Vec::with_capacity(stream.len());
+    let mut rest = &stream[..];
+    let mut chunk = 1usize;
+    while !rest.is_empty() {
+        let take = chunk.min(rest.len());
+        if chunk % 3 == 0 {
+            for &p in &rest[..take] {
+                got.push(engine.submit(p).expect("engine is running"));
+            }
+        } else {
+            got.extend(engine.submit_batch(&rest[..take]).expect("engine is running"));
+        }
+        rest = &rest[take..];
+        chunk = chunk % 7 + 1;
+    }
+    assert_eq!(got, expected, "chunked batch traffic diverged");
+    // Latency telemetry covered every served request.
+    let snap = engine.snapshot().expect("engine is running");
+    assert_eq!(snap.fleet.latency.count(), stream.len() as u64);
+    assert!(snap.fleet.latency.p999_ns() >= snap.fleet.latency.p50_ns());
+    assert!(engine.submit_batch(&[]).expect("engine is running").is_empty());
+}
+
+#[test]
 fn fleet_snapshot_is_the_sum_of_its_shards() {
     let history = uniform_points(600, 2_000.0, 21);
     let stream = uniform_points(500, 2_000.0, 22);

@@ -1,21 +1,133 @@
-//! A bucket-grid nearest-neighbour index.
+//! Grid-bucketed nearest-neighbour indexes.
 //!
 //! The online placement algorithms repeatedly ask "which established parking
 //! is closest to this destination?" for every streamed request. A linear
-//! scan is O(|P|) per query; this index hashes parking locations into grid
-//! buckets and searches outward ring by ring, giving near-O(1) queries for
+//! scan is O(|P|) per query; these indexes hash parking locations into grid
+//! buckets and search outward ring by ring, giving near-O(1) queries for
 //! the spatially uniform workloads in the paper.
+//!
+//! Two implementations share identical query semantics:
+//!
+//! * [`NearestNeighborIndex`] — the serving-path implementation: an
+//!   open-addressed flat hash grid (linear probing over a power-of-two
+//!   table of cells) whose points live in struct-of-arrays coordinate
+//!   pools threaded into per-cell chains. `insert`, `remove` and `nearest`
+//!   touch no allocator once the table and pools have grown to working-set
+//!   size, and [`NearestNeighborIndex::within_into`] reuses an internal
+//!   scratch buffer so range queries are allocation-free too.
+//! * [`NearestNeighborIndexReference`] — the original `BTreeMap<Cell,
+//!   Vec<Point>>` bucket store, kept as the equivalence oracle (the same
+//!   pattern as `jms_greedy_reference`): simple enough to audit, slow
+//!   enough to never tempt the hot path.
+//!
+//! Both resolve ties identically — see [`candidate_cmp`] — so every query
+//! has exactly one correct answer and the proptest suite in
+//! `tests/index_equivalence.rs` can demand bitwise-equal results under
+//! random interleavings of inserts, removes and queries.
 
 use crate::{Cell, Grid, Point};
+use std::cmp::Ordering;
 use std::collections::BTreeMap;
+
+/// Rings scanned cell-by-cell before falling back to a full bucket scan.
+const MAX_RING_SCAN: u64 = 32;
+
+/// Total order on `(point, distance)` candidates: nearer first, ties broken
+/// by `x` then `y` (both via `f64::total_cmp`).
+///
+/// This is the tie-breaking rule both index implementations apply to
+/// `nearest` (the minimum under this order wins) and `within` (results are
+/// sorted ascending under it), so replay determinism never depends on
+/// bucket iteration order or removal history.
+#[inline]
+pub fn candidate_cmp(a: (Point, f64), b: (Point, f64)) -> Ordering {
+    a.1.total_cmp(&b.1)
+        .then_with(|| a.0.x.total_cmp(&b.0.x))
+        .then_with(|| a.0.y.total_cmp(&b.0.y))
+}
+
+/// Whether candidate `(p, d)` beats the current best under [`candidate_cmp`].
+#[inline]
+fn better(p: Point, d: f64, best: Option<(Point, f64)>) -> bool {
+    match best {
+        None => true,
+        Some(b) => candidate_cmp((p, d), b) == Ordering::Less,
+    }
+}
+
+/// Sorts `(distance, point)` pairs ascending under [`candidate_cmp`].
+#[inline]
+fn sort_candidates(v: &mut [(f64, Point)]) {
+    v.sort_unstable_by(|a, b| candidate_cmp((a.1, a.0), (b.1, b.0)));
+}
+
+/// Walks the perimeter cells of the Chebyshev ring at distance `ring`
+/// around `center` (the center cell itself for `ring == 0`).
+fn for_each_ring_cell<F: FnMut(Cell)>(center: Cell, ring: u64, mut f: F) {
+    let r = ring as i64;
+    if r == 0 {
+        f(center);
+        return;
+    }
+    for col in (center.col - r)..=(center.col + r) {
+        f(Cell::new(col, center.row - r));
+        f(Cell::new(col, center.row + r));
+    }
+    for row in (center.row - r + 1)..=(center.row + r - 1) {
+        f(Cell::new(center.col - r, row));
+        f(Cell::new(center.col + r, row));
+    }
+}
+
+/// The behavioural contract shared by both index implementations, so
+/// latency-critical consumers (and their benchmarks) can be written once
+/// and instantiated against either backend.
+pub trait SpatialIndex {
+    /// Creates an index with the given bucket size in meters.
+    fn with_bucket_size(bucket_size: f64) -> Self;
+    /// Number of indexed points.
+    fn len(&self) -> usize;
+    /// Whether the index holds no points.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Inserts a point (duplicates allowed).
+    fn insert(&mut self, p: Point);
+    /// Removes one occurrence of `p`; `true` if a point was removed.
+    fn remove(&mut self, p: Point) -> bool;
+    /// Exact nearest neighbour under [`candidate_cmp`].
+    fn nearest(&self, query: Point) -> Option<(Point, f64)>;
+    /// All points within `radius` (inclusive), ascending by
+    /// [`candidate_cmp`].
+    fn within(&self, query: Point, radius: f64) -> Vec<Point>;
+    /// Every indexed point, in an order deterministic for a fixed history
+    /// of operations.
+    fn points(&self) -> Vec<Point>;
+}
+
+// ---------------------------------------------------------------------------
+// Flat hash grid
+// ---------------------------------------------------------------------------
+
+/// Table-slot sentinel: no cell claims this slot.
+const VACANT: u32 = u32::MAX;
+/// Table-slot sentinel: a cell claims this slot but its chain is empty
+/// (all of its points were removed).
+const NO_POINTS: u32 = u32::MAX - 1;
+/// Point-pool chain terminator.
+const NIL: u32 = u32::MAX;
 
 /// A dynamic nearest-neighbour index over planar points.
 ///
 /// Supports insertion, removal (the paper removes a station from `P` when
-/// customers pick up all its e-bikes), and exact nearest-neighbour queries.
-/// Iteration order is deterministic (buckets are kept in a `BTreeMap` and
-/// points in insertion order within a bucket), so algorithms built on the
-/// index replay identically for a fixed seed.
+/// customers pick up all its e-bikes), and exact nearest-neighbour queries
+/// with the deterministic tie-break of [`candidate_cmp`], so algorithms
+/// built on the index replay identically for a fixed seed.
+///
+/// Internally an open-addressed hash table maps grid cells to chains of
+/// point slots stored struct-of-arrays (`px`/`py`/`next`); removed slots
+/// recycle through a free list, so the steady-state serving loop performs
+/// no heap allocation.
 ///
 /// # Examples
 ///
@@ -32,8 +144,44 @@ use std::collections::BTreeMap;
 #[derive(Debug, Clone)]
 pub struct NearestNeighborIndex {
     grid: Grid,
-    buckets: BTreeMap<Cell, Vec<Point>>,
+    /// Open-addressed cell table (power-of-two capacity, linear probing).
+    /// `cells[i]` is meaningful only where `heads[i] != VACANT`.
+    cells: Vec<Cell>,
+    /// Chain head per table slot, or a sentinel (`VACANT` / `NO_POINTS`).
+    heads: Vec<u32>,
+    /// `capacity - 1`, for masked probing.
+    mask: usize,
+    /// Slots claimed by a cell, including stale `NO_POINTS` entries.
+    slots_used: usize,
+    /// Slots whose chain holds at least one point.
+    live_cells: usize,
+    /// Struct-of-arrays point pool; `next` doubles as the free-list link.
+    px: Vec<f64>,
+    py: Vec<f64>,
+    next: Vec<u32>,
+    /// Free-list head into the pool.
+    free: u32,
     len: usize,
+    /// Bounding box over cells that ever held a point (never shrinks, so
+    /// it is a conservative bound for ring-scan termination).
+    bounds: Option<(Cell, Cell)>,
+    /// Reusable `(distance, point)` scratch for ring scans in
+    /// [`Self::within_into`].
+    scratch: Vec<(f64, Point)>,
+}
+
+#[inline]
+fn hash_cell(cell: Cell) -> u64 {
+    // Two odd multiplicative mixes folded through a splitmix64 finalizer:
+    // cells are tiny consecutive integers, so the finalizer does the work
+    // of spreading them across the table.
+    let mut h = (cell.col as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h ^= (cell.row as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^ (h >> 31)
 }
 
 impl NearestNeighborIndex {
@@ -44,7 +192,394 @@ impl NearestNeighborIndex {
     ///
     /// Panics if `bucket_size` is not strictly positive and finite.
     pub fn new(bucket_size: f64) -> Self {
+        const INITIAL_CAPACITY: usize = 16;
         NearestNeighborIndex {
+            grid: Grid::new(bucket_size),
+            cells: vec![Cell::new(0, 0); INITIAL_CAPACITY],
+            heads: vec![VACANT; INITIAL_CAPACITY],
+            mask: INITIAL_CAPACITY - 1,
+            slots_used: 0,
+            live_cells: 0,
+            px: Vec::new(),
+            py: Vec::new(),
+            next: Vec::new(),
+            free: NIL,
+            len: 0,
+            bounds: None,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Number of indexed points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Table slot holding `cell`, if the cell has ever claimed one.
+    #[inline]
+    fn find_slot(&self, cell: Cell) -> Option<usize> {
+        let mut i = hash_cell(cell) as usize & self.mask;
+        loop {
+            match self.heads[i] {
+                VACANT => return None,
+                _ if self.cells[i] == cell => return Some(i),
+                _ => i = (i + 1) & self.mask,
+            }
+        }
+    }
+
+    /// Chain head for `cell`, or `NIL` when the cell holds no points.
+    #[inline]
+    fn chain_head(&self, cell: Cell) -> u32 {
+        match self.find_slot(cell) {
+            Some(i) if self.heads[i] != NO_POINTS => self.heads[i],
+            _ => NIL,
+        }
+    }
+
+    /// Rebuilds the cell table, dropping stale `NO_POINTS` entries, with
+    /// room for at least one more cell. Chains are untouched — only the
+    /// slots referencing them move.
+    fn rebuild_table(&mut self) {
+        let capacity = ((self.live_cells + 1) * 2).next_power_of_two().max(16);
+        let mut cells = vec![Cell::new(0, 0); capacity];
+        let mut heads = vec![VACANT; capacity];
+        let mask = capacity - 1;
+        for i in 0..=self.mask {
+            let head = self.heads[i];
+            if head == VACANT || head == NO_POINTS {
+                continue;
+            }
+            let cell = self.cells[i];
+            let mut j = hash_cell(cell) as usize & mask;
+            while heads[j] != VACANT {
+                j = (j + 1) & mask;
+            }
+            cells[j] = cell;
+            heads[j] = head;
+        }
+        self.cells = cells;
+        self.heads = heads;
+        self.mask = mask;
+        self.slots_used = self.live_cells;
+    }
+
+    /// Finds `cell`'s slot, claiming a vacant one (rehashing first if the
+    /// table is past 7/8 load) when the cell is new.
+    fn slot_for_insert(&mut self, cell: Cell) -> usize {
+        if (self.slots_used + 1) * 8 > (self.mask + 1) * 7 {
+            self.rebuild_table();
+        }
+        let mut i = hash_cell(cell) as usize & self.mask;
+        loop {
+            match self.heads[i] {
+                VACANT => {
+                    self.cells[i] = cell;
+                    self.heads[i] = NO_POINTS;
+                    self.slots_used += 1;
+                    return i;
+                }
+                _ if self.cells[i] == cell => return i,
+                _ => i = (i + 1) & self.mask,
+            }
+        }
+    }
+
+    /// Inserts a point. Duplicate points are allowed and count separately.
+    pub fn insert(&mut self, p: Point) {
+        debug_assert!(p.is_finite(), "cannot index non-finite point");
+        let cell = self.grid.cell_of(p);
+        // Claim a pool slot: recycle from the free list when possible.
+        let slot = if self.free != NIL {
+            let s = self.free as usize;
+            self.free = self.next[s];
+            self.px[s] = p.x;
+            self.py[s] = p.y;
+            s as u32
+        } else {
+            self.px.push(p.x);
+            self.py.push(p.y);
+            self.next.push(NIL);
+            assert!(self.px.len() < NO_POINTS as usize, "index full");
+            (self.px.len() - 1) as u32
+        };
+        let ti = self.slot_for_insert(cell);
+        let head = self.heads[ti];
+        if head == NO_POINTS {
+            self.live_cells += 1;
+            self.next[slot as usize] = NIL;
+        } else {
+            self.next[slot as usize] = head;
+        }
+        self.heads[ti] = slot;
+        self.len += 1;
+        self.bounds = Some(match self.bounds {
+            None => (cell, cell),
+            Some((lo, hi)) => (
+                Cell::new(lo.col.min(cell.col), lo.row.min(cell.row)),
+                Cell::new(hi.col.max(cell.col), hi.row.max(cell.row)),
+            ),
+        });
+    }
+
+    /// Removes one occurrence of `p`. Returns `true` if a point was removed.
+    pub fn remove(&mut self, p: Point) -> bool {
+        if self.len == 0 {
+            return false;
+        }
+        let cell = self.grid.cell_of(p);
+        let Some(ti) = self.find_slot(cell) else {
+            return false;
+        };
+        if self.heads[ti] == NO_POINTS {
+            return false;
+        }
+        let mut idx = self.heads[ti];
+        let mut prev = NIL;
+        while idx != NIL {
+            let i = idx as usize;
+            if Point::new(self.px[i], self.py[i]) == p {
+                let after = self.next[i];
+                if prev == NIL {
+                    self.heads[ti] = if after == NIL { NO_POINTS } else { after };
+                    if after == NIL {
+                        self.live_cells -= 1;
+                    }
+                } else {
+                    self.next[prev as usize] = after;
+                }
+                self.next[i] = self.free;
+                self.free = idx;
+                self.len -= 1;
+                return true;
+            }
+            prev = idx;
+            idx = self.next[i];
+        }
+        false
+    }
+
+    /// Scans one ring's cells, folding their points into `best`.
+    fn scan_ring(&self, center: Cell, ring: u64, query: Point, best: &mut Option<(Point, f64)>) {
+        for_each_ring_cell(center, ring, |cell| {
+            let mut idx = self.chain_head(cell);
+            while idx != NIL {
+                let i = idx as usize;
+                let p = Point::new(self.px[i], self.py[i]);
+                let d = query.distance(p);
+                if better(p, d, *best) {
+                    *best = Some((p, d));
+                }
+                idx = self.next[i];
+            }
+        });
+    }
+
+    /// Exact nearest neighbour of `query` with its distance, or `None` when
+    /// the index is empty. Ties resolve per [`candidate_cmp`].
+    ///
+    /// Searches buckets in growing Chebyshev rings around the query cell and
+    /// stops once the closest found point is provably nearer than anything
+    /// in the unexplored rings. For very sparse indexes (points thousands of
+    /// cells apart) the ring scan is abandoned after a fixed budget in
+    /// favour of a direct scan over the occupied buckets, keeping the worst
+    /// case at O(n).
+    pub fn nearest(&self, query: Point) -> Option<(Point, f64)> {
+        if self.is_empty() {
+            return None;
+        }
+        let center = self.grid.cell_of(query);
+        let cell_size = self.grid.cell_size();
+        let max_ring = self.max_ring_bound(center);
+        let mut best: Option<(Point, f64)> = None;
+        let mut ring: u64 = 0;
+        loop {
+            // Any point in a ring at Chebyshev distance r is at least
+            // (r - 1) * cell_size away from the query, so equidistant
+            // candidates are always fully enumerated before we stop.
+            if let Some((_, best_d)) = best {
+                if ring >= 1 && (ring as f64 - 1.0) * cell_size > best_d {
+                    return best;
+                }
+            }
+            if ring > MAX_RING_SCAN {
+                // Sparse index: enumerate occupied buckets directly.
+                return self.nearest_brute(query);
+            }
+            self.scan_ring(center, ring, query, &mut best);
+            ring += 1;
+            // Beyond the bounding ring of all buckets there is nothing
+            // left to explore.
+            if ring > max_ring + 1 {
+                return best;
+            }
+        }
+    }
+
+    /// Linear scan over every indexed point.
+    fn nearest_brute(&self, query: Point) -> Option<(Point, f64)> {
+        let mut best = None;
+        for p in self.iter() {
+            let d = query.distance(p);
+            if better(p, d, best) {
+                best = Some((p, d));
+            }
+        }
+        best
+    }
+
+    /// All indexed points within `radius` of `query` (inclusive), ascending
+    /// by [`candidate_cmp`] — nearest first, ties by `x` then `y`.
+    pub fn within(&self, query: Point, radius: f64) -> Vec<Point> {
+        let mut tmp = Vec::new();
+        let mut out = Vec::new();
+        self.collect_within(query, radius, &mut tmp, &mut out);
+        out
+    }
+
+    /// [`Self::within`] into a caller buffer, reusing the index's internal
+    /// scratch: the steady-state range query performs no allocation once
+    /// `out` and the scratch have grown to working-set size.
+    pub fn within_into(&mut self, query: Point, radius: f64, out: &mut Vec<Point>) {
+        let mut tmp = std::mem::take(&mut self.scratch);
+        self.collect_within(query, radius, &mut tmp, out);
+        self.scratch = tmp;
+    }
+
+    fn collect_within(
+        &self,
+        query: Point,
+        radius: f64,
+        tmp: &mut Vec<(f64, Point)>,
+        out: &mut Vec<Point>,
+    ) {
+        tmp.clear();
+        out.clear();
+        if radius < 0.0 || self.is_empty() {
+            return;
+        }
+        let rings = (radius / self.grid.cell_size()).ceil() as u64 + 1;
+        let center = self.grid.cell_of(query);
+        for ring in 0..=rings {
+            for_each_ring_cell(center, ring, |cell| {
+                let mut idx = self.chain_head(cell);
+                while idx != NIL {
+                    let i = idx as usize;
+                    let p = Point::new(self.px[i], self.py[i]);
+                    let d = query.distance(p);
+                    if d <= radius {
+                        tmp.push((d, p));
+                    }
+                    idx = self.next[i];
+                }
+            });
+        }
+        sort_candidates(tmp);
+        out.extend(tmp.iter().map(|&(_, p)| p));
+    }
+
+    /// Iterates over all indexed points. The order is deterministic for a
+    /// fixed history of operations (table order, then chain order), but
+    /// unspecified otherwise.
+    pub fn iter(&self) -> impl Iterator<Item = Point> + '_ {
+        self.heads
+            .iter()
+            .filter(|&&head| head != VACANT && head != NO_POINTS)
+            .flat_map(move |&head| ChainIter { idx: head, index: self })
+    }
+
+    /// Conservative upper bound on the Chebyshev ring distance from
+    /// `center` to any occupied cell.
+    fn max_ring_bound(&self, center: Cell) -> u64 {
+        match self.bounds {
+            None => 0,
+            Some((lo, hi)) => {
+                let dc = center.col.abs_diff(lo.col).max(center.col.abs_diff(hi.col));
+                let dr = center.row.abs_diff(lo.row).max(center.row.abs_diff(hi.row));
+                dc.max(dr)
+            }
+        }
+    }
+}
+
+struct ChainIter<'a> {
+    idx: u32,
+    index: &'a NearestNeighborIndex,
+}
+
+impl Iterator for ChainIter<'_> {
+    type Item = Point;
+
+    fn next(&mut self) -> Option<Point> {
+        if self.idx == NIL {
+            return None;
+        }
+        let i = self.idx as usize;
+        self.idx = self.index.next[i];
+        Some(Point::new(self.index.px[i], self.index.py[i]))
+    }
+}
+
+impl SpatialIndex for NearestNeighborIndex {
+    fn with_bucket_size(bucket_size: f64) -> Self {
+        NearestNeighborIndex::new(bucket_size)
+    }
+
+    fn len(&self) -> usize {
+        self.len()
+    }
+
+    fn insert(&mut self, p: Point) {
+        self.insert(p);
+    }
+
+    fn remove(&mut self, p: Point) -> bool {
+        self.remove(p)
+    }
+
+    fn nearest(&self, query: Point) -> Option<(Point, f64)> {
+        self.nearest(query)
+    }
+
+    fn within(&self, query: Point, radius: f64) -> Vec<Point> {
+        self.within(query, radius)
+    }
+
+    fn points(&self) -> Vec<Point> {
+        self.iter().collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reference oracle
+// ---------------------------------------------------------------------------
+
+/// The original `BTreeMap`-bucketed index, retained as the equivalence
+/// oracle for [`NearestNeighborIndex`] (the flat hash grid) — same grid
+/// geometry, same ring-scan search, same [`candidate_cmp`] tie-break, but
+/// built from std collections with per-bucket `Vec`s.
+#[derive(Debug, Clone)]
+pub struct NearestNeighborIndexReference {
+    grid: Grid,
+    buckets: BTreeMap<Cell, Vec<Point>>,
+    len: usize,
+}
+
+impl NearestNeighborIndexReference {
+    /// Creates an index with the given bucket size in meters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_size` is not strictly positive and finite.
+    pub fn new(bucket_size: f64) -> Self {
+        NearestNeighborIndexReference {
             grid: Grid::new(bucket_size),
             buckets: BTreeMap::new(),
             len: 0,
@@ -87,113 +622,117 @@ impl NearestNeighborIndex {
     }
 
     /// Exact nearest neighbour of `query` with its distance, or `None` when
-    /// the index is empty.
-    ///
-    /// Searches buckets in growing Chebyshev rings around the query cell and
-    /// stops once the closest found point is provably nearer than anything
-    /// in the unexplored rings. For very sparse indexes (points thousands of
-    /// cells apart) the ring scan is abandoned after a fixed budget in
-    /// favour of a direct scan over the occupied buckets, keeping the worst
-    /// case at O(n).
+    /// the index is empty. Ties resolve per [`candidate_cmp`].
     pub fn nearest(&self, query: Point) -> Option<(Point, f64)> {
         if self.is_empty() {
             return None;
         }
-        /// Rings scanned cell-by-cell before falling back to a bucket scan.
-        const MAX_RING_SCAN: u64 = 32;
         let center = self.grid.cell_of(query);
         let cell_size = self.grid.cell_size();
-        let max_ring = self.max_ring(center);
+        let max_ring = self
+            .buckets
+            .keys()
+            .map(|&c| c.ring_distance(center))
+            .max()
+            .unwrap_or(0);
         let mut best: Option<(Point, f64)> = None;
         let mut ring: u64 = 0;
         loop {
-            // Any point in a ring at Chebyshev distance r is at least
-            // (r - 1) * cell_size away from the query.
             if let Some((_, best_d)) = best {
                 if ring >= 1 && (ring as f64 - 1.0) * cell_size > best_d {
                     return best;
                 }
             }
             if ring > MAX_RING_SCAN {
-                // Sparse index: enumerate occupied buckets directly.
                 return self.nearest_brute(query);
             }
-            self.for_each_ring_cell(center, ring, |cell| {
+            for_each_ring_cell(center, ring, |cell| {
                 if let Some(bucket) = self.buckets.get(&cell) {
                     for &p in bucket {
                         let d = query.distance(p);
-                        if best.map_or(true, |(_, bd)| d < bd) {
+                        if better(p, d, best) {
                             best = Some((p, d));
                         }
                     }
                 }
             });
             ring += 1;
-            // Beyond the bounding ring of all buckets there is nothing
-            // left to explore.
             if ring > max_ring + 1 {
                 return best;
             }
         }
     }
 
-    /// Linear scan over every indexed point.
     fn nearest_brute(&self, query: Point) -> Option<(Point, f64)> {
-        self.iter()
-            .map(|p| (p, query.distance(p)))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+        let mut best = None;
+        for p in self.iter() {
+            let d = query.distance(p);
+            if better(p, d, best) {
+                best = Some((p, d));
+            }
+        }
+        best
     }
 
-    /// All indexed points within `radius` of `query` (inclusive), in
-    /// arbitrary order.
+    /// All indexed points within `radius` of `query` (inclusive), ascending
+    /// by [`candidate_cmp`].
     pub fn within(&self, query: Point, radius: f64) -> Vec<Point> {
-        let mut out = Vec::new();
+        let mut tmp = Vec::new();
         if radius < 0.0 {
-            return out;
+            return Vec::new();
         }
         let rings = (radius / self.grid.cell_size()).ceil() as u64 + 1;
         let center = self.grid.cell_of(query);
         for ring in 0..=rings {
-            self.for_each_ring_cell(center, ring, |cell| {
+            for_each_ring_cell(center, ring, |cell| {
                 if let Some(bucket) = self.buckets.get(&cell) {
                     for &p in bucket {
-                        if query.distance(p) <= radius {
-                            out.push(p);
+                        let d = query.distance(p);
+                        if d <= radius {
+                            tmp.push((d, p));
                         }
                     }
                 }
             });
         }
-        out
+        sort_candidates(&mut tmp);
+        tmp.into_iter().map(|(_, p)| p).collect()
     }
 
-    /// Iterates over all indexed points.
+    /// Iterates over all indexed points (bucket order, then insertion order
+    /// within a bucket, modulo `swap_remove` perturbation).
     pub fn iter(&self) -> impl Iterator<Item = Point> + '_ {
         self.buckets.values().flatten().copied()
     }
+}
 
-    fn max_ring(&self, center: Cell) -> u64 {
-        self.buckets
-            .keys()
-            .map(|&c| c.ring_distance(center))
-            .max()
-            .unwrap_or(0)
+impl SpatialIndex for NearestNeighborIndexReference {
+    fn with_bucket_size(bucket_size: f64) -> Self {
+        NearestNeighborIndexReference::new(bucket_size)
     }
 
-    fn for_each_ring_cell<F: FnMut(Cell)>(&self, center: Cell, ring: u64, mut f: F) {
-        let r = ring as i64;
-        if r == 0 {
-            f(center);
-            return;
-        }
-        for col in (center.col - r)..=(center.col + r) {
-            f(Cell::new(col, center.row - r));
-            f(Cell::new(col, center.row + r));
-        }
-        for row in (center.row - r + 1)..=(center.row + r - 1) {
-            f(Cell::new(center.col - r, row));
-            f(Cell::new(center.col + r, row));
-        }
+    fn len(&self) -> usize {
+        self.len()
+    }
+
+    fn insert(&mut self, p: Point) {
+        self.insert(p);
+    }
+
+    fn remove(&mut self, p: Point) -> bool {
+        self.remove(p)
+    }
+
+    fn nearest(&self, query: Point) -> Option<(Point, f64)> {
+        self.nearest(query)
+    }
+
+    fn within(&self, query: Point, radius: f64) -> Vec<Point> {
+        self.within(query, radius)
+    }
+
+    fn points(&self) -> Vec<Point> {
+        self.iter().collect()
     }
 }
 
@@ -204,10 +743,14 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn brute_nearest(points: &[Point], q: Point) -> Option<(Point, f64)> {
-        points
-            .iter()
-            .map(|&p| (p, q.distance(p)))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        let mut best = None;
+        for &p in points {
+            let d = q.distance(p);
+            if better(p, d, best) {
+                best = Some((p, d));
+            }
+        }
+        best
     }
 
     #[test]
@@ -240,12 +783,9 @@ mod tests {
         for _ in 0..200 {
             let q = Point::new(rng.gen_range(-500.0..3500.0), rng.gen_range(-500.0..3500.0));
             let (gp, gd) = idx.nearest(q).unwrap();
-            let (_, bd) = brute_nearest(&pts, q).unwrap();
-            assert!(
-                (gd - bd).abs() < 1e-9,
-                "index distance {gd} != brute {bd} for query {q}"
-            );
-            assert!((q.distance(gp) - gd).abs() < 1e-9);
+            let (bp, bd) = brute_nearest(&pts, q).unwrap();
+            assert_eq!(gp, bp, "query {q}");
+            assert_eq!(gd.to_bits(), bd.to_bits(), "query {q}");
         }
     }
 
@@ -276,6 +816,63 @@ mod tests {
     }
 
     #[test]
+    fn equidistant_tie_breaks_on_coordinates() {
+        // Four points at exactly the same distance from the query: the
+        // smallest (x, y) under total order must win, in every
+        // implementation, regardless of insertion order.
+        let q = Point::new(0.0, 0.0);
+        let pts = [
+            Point::new(3.0, 4.0),
+            Point::new(-3.0, 4.0),
+            Point::new(4.0, -3.0),
+            Point::new(-4.0, -3.0),
+        ];
+        let mut orders = vec![pts.to_vec()];
+        let mut rev = pts.to_vec();
+        rev.reverse();
+        orders.push(rev);
+        for order in orders {
+            let mut idx = NearestNeighborIndex::new(100.0);
+            let mut oracle = NearestNeighborIndexReference::new(100.0);
+            for &p in &order {
+                idx.insert(p);
+                oracle.insert(p);
+            }
+            assert_eq!(idx.nearest(q).unwrap().0, Point::new(-4.0, -3.0));
+            assert_eq!(oracle.nearest(q).unwrap().0, Point::new(-4.0, -3.0));
+        }
+    }
+
+    #[test]
+    fn within_is_sorted_by_distance_then_coordinates() {
+        let mut idx = NearestNeighborIndex::new(100.0);
+        let pts = [
+            Point::new(0.0, 5.0),
+            Point::new(5.0, 0.0),
+            Point::new(-5.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(30.0, 0.0),
+        ];
+        for &p in &pts {
+            idx.insert(p);
+        }
+        let got = idx.within(Point::ORIGIN, 10.0);
+        assert_eq!(
+            got,
+            vec![
+                Point::new(1.0, 1.0),
+                Point::new(-5.0, 0.0),
+                Point::new(0.0, 5.0),
+                Point::new(5.0, 0.0),
+            ]
+        );
+        // The allocation-free path returns the same thing.
+        let mut buf = Vec::new();
+        idx.within_into(Point::ORIGIN, 10.0, &mut buf);
+        assert_eq!(buf, got);
+    }
+
+    #[test]
     fn within_radius_matches_filter() {
         let mut rng = StdRng::seed_from_u64(7);
         let mut idx = NearestNeighborIndex::new(100.0);
@@ -287,12 +884,15 @@ mod tests {
         }
         let q = Point::new(500.0, 500.0);
         for radius in [0.0, 50.0, 200.0, 2000.0] {
-            let mut got = idx.within(q, radius);
-            let mut expected: Vec<Point> =
-                pts.iter().copied().filter(|p| q.distance(*p) <= radius).collect();
-            let key = |p: &Point| (p.x.to_bits(), p.y.to_bits());
-            got.sort_by_key(key);
-            expected.sort_by_key(key);
+            let got = idx.within(q, radius);
+            let mut expected: Vec<(f64, Point)> = pts
+                .iter()
+                .copied()
+                .filter(|p| q.distance(*p) <= radius)
+                .map(|p| (q.distance(p), p))
+                .collect();
+            sort_candidates(&mut expected);
+            let expected: Vec<Point> = expected.into_iter().map(|(_, p)| p).collect();
             assert_eq!(got, expected, "radius {radius}");
         }
     }
@@ -323,7 +923,7 @@ mod tests {
             let (gp, gd) = idx.nearest(q).unwrap();
             let (bp, bd) = brute_nearest(&pts, q).unwrap();
             assert_eq!(gp, bp);
-            assert!((gd - bd).abs() < 1e-9);
+            assert_eq!(gd.to_bits(), bd.to_bits());
         }
         assert!(
             start.elapsed().as_secs() < 5,
@@ -337,5 +937,56 @@ mod tests {
         let mut idx = NearestNeighborIndex::new(100.0);
         idx.insert(Point::ORIGIN);
         assert!(idx.within(Point::ORIGIN, -1.0).is_empty());
+    }
+
+    #[test]
+    fn heavy_churn_matches_reference() {
+        // Deterministic insert/remove/query churn across enough cells to
+        // force several table rebuilds and a long free list.
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut idx = NearestNeighborIndex::new(75.0);
+        let mut oracle = NearestNeighborIndexReference::new(75.0);
+        let mut alive: Vec<Point> = Vec::new();
+        for step in 0..4_000 {
+            let roll: f64 = rng.gen_range(0.0..1.0);
+            if roll < 0.6 || alive.len() < 4 {
+                let p = Point::new(
+                    rng.gen_range(-4000.0..4000.0),
+                    rng.gen_range(-4000.0..4000.0),
+                );
+                idx.insert(p);
+                oracle.insert(p);
+                alive.push(p);
+            } else {
+                let k = rng.gen_range(0..alive.len());
+                let p = alive.swap_remove(k);
+                assert!(idx.remove(p), "step {step}");
+                assert!(oracle.remove(p), "step {step}");
+            }
+            assert_eq!(idx.len(), oracle.len());
+            if step % 16 == 0 {
+                let q = Point::new(
+                    rng.gen_range(-5000.0..5000.0),
+                    rng.gen_range(-5000.0..5000.0),
+                );
+                let a = idx.nearest(q);
+                let b = oracle.nearest(q);
+                match (a, b) {
+                    (None, None) => {}
+                    (Some((pa, da)), Some((pb, db))) => {
+                        assert_eq!(pa, pb, "step {step}");
+                        assert_eq!(da.to_bits(), db.to_bits(), "step {step}");
+                    }
+                    other => panic!("step {step}: mismatch {other:?}"),
+                }
+                assert_eq!(idx.within(q, 500.0), oracle.within(q, 500.0), "step {step}");
+            }
+        }
+        let mut a: Vec<Point> = SpatialIndex::points(&idx);
+        let mut b: Vec<Point> = SpatialIndex::points(&oracle);
+        let key = |p: &Point| (p.x.to_bits(), p.y.to_bits());
+        a.sort_by_key(key);
+        b.sort_by_key(key);
+        assert_eq!(a, b);
     }
 }

@@ -14,8 +14,10 @@
 //!   the Mobike dataset the paper evaluates on,
 //! * [`Grid`] — uniform binning of points into cells and back to centroids,
 //! * [`BBox`] — axis-aligned bounding boxes,
-//! * [`NearestNeighborIndex`] — a bucket-grid index for nearest-parking
-//!   queries issued by the online placement algorithms.
+//! * [`NearestNeighborIndex`] — an allocation-free flat-hash-grid index for
+//!   the nearest-parking queries issued by the online placement algorithms
+//!   (with [`NearestNeighborIndexReference`], the simple `BTreeMap` bucket
+//!   store, retained as its equivalence oracle).
 //!
 //! # Examples
 //!
@@ -46,6 +48,8 @@ pub mod privacy;
 pub use bbox::BBox;
 pub use error::GeoError;
 pub use grid::{Cell, Grid};
-pub use index::NearestNeighborIndex;
+pub use index::{
+    candidate_cmp, NearestNeighborIndex, NearestNeighborIndexReference, SpatialIndex,
+};
 pub use latlon::{LatLon, LocalProjection};
 pub use point::Point;

@@ -1,0 +1,129 @@
+//! Property-based equivalence between the flat-hash-grid
+//! [`NearestNeighborIndex`] and its `BTreeMap` oracle
+//! [`NearestNeighborIndexReference`].
+//!
+//! Both implementations promise identical, deterministically tie-broken
+//! answers — `nearest` minimizes and `within` sorts under the shared
+//! `candidate_cmp` order — so every property asserts exact equality on
+//! points and bit equality on distances, under random interleavings of
+//! inserts, removes and queries.
+
+use esharing_geo::{NearestNeighborIndex, NearestNeighborIndexReference, Point};
+use proptest::prelude::*;
+
+/// One step of an interleaved workload. Coordinates are quantized to a
+/// lattice so removes hit live points and ties actually occur.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(Point),
+    Remove(Point),
+    Nearest(Point),
+    Within(Point, f64),
+}
+
+fn lattice_point(col: i8, row: i8) -> Point {
+    Point::new(f64::from(col) * 60.0, f64::from(row) * 60.0)
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let point = (-20i8..20, -20i8..20).prop_map(|(c, r)| lattice_point(c, r));
+    prop_oneof![
+        4 => point.clone().prop_map(Op::Insert),
+        2 => point.clone().prop_map(Op::Remove),
+        2 => point.clone().prop_map(Op::Nearest),
+        1 => (point, 0.0f64..500.0).prop_map(|(p, r)| Op::Within(p, r)),
+    ]
+}
+
+fn assert_nearest_equal(got: Option<(Point, f64)>, want: Option<(Point, f64)>, ctx: &str) {
+    match (got, want) {
+        (None, None) => {}
+        (Some((gp, gd)), Some((wp, wd))) => {
+            assert_eq!(gp, wp, "{ctx}: nearest point diverged");
+            assert_eq!(gd.to_bits(), wd.to_bits(), "{ctx}: nearest distance diverged");
+        }
+        other => panic!("{ctx}: nearest presence diverged: {other:?}"),
+    }
+}
+
+proptest! {
+    /// Random interleavings of inserts, removes, nearest and within queries
+    /// produce identical results from both implementations at every step.
+    #[test]
+    fn interleaved_ops_match_reference(
+        bucket in prop_oneof![Just(40.0f64), Just(100.0), Just(350.0)],
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+    ) {
+        let mut fast = NearestNeighborIndex::new(bucket);
+        let mut oracle = NearestNeighborIndexReference::new(bucket);
+        for (step, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Insert(p) => {
+                    fast.insert(p);
+                    oracle.insert(p);
+                }
+                Op::Remove(p) => {
+                    prop_assert_eq!(fast.remove(p), oracle.remove(p), "step {}", step);
+                }
+                Op::Nearest(q) => {
+                    assert_nearest_equal(fast.nearest(q), oracle.nearest(q), &format!("step {step}"));
+                }
+                Op::Within(q, r) => {
+                    prop_assert_eq!(fast.within(q, r), oracle.within(q, r), "step {}", step);
+                }
+            }
+            prop_assert_eq!(fast.len(), oracle.len(), "step {}", step);
+        }
+        // Final state holds the same multiset of points.
+        let key = |p: &Point| (p.x.to_bits(), p.y.to_bits());
+        let mut a: Vec<Point> = fast.iter().collect();
+        let mut b: Vec<Point> = oracle.iter().collect();
+        a.sort_by_key(key);
+        b.sort_by_key(key);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Continuous coordinates (no engineered ties): nearest and within stay
+    /// bit-identical across implementations.
+    #[test]
+    fn continuous_queries_match_reference(
+        pts in proptest::collection::vec((0.0f64..2_000.0, 0.0f64..2_000.0), 1..200),
+        queries in proptest::collection::vec((-200.0f64..2_200.0, -200.0f64..2_200.0), 1..20),
+        radius in 0.0f64..800.0,
+    ) {
+        let mut fast = NearestNeighborIndex::new(90.0);
+        let mut oracle = NearestNeighborIndexReference::new(90.0);
+        for &(x, y) in &pts {
+            fast.insert(Point::new(x, y));
+            oracle.insert(Point::new(x, y));
+        }
+        for &(x, y) in &queries {
+            let q = Point::new(x, y);
+            assert_nearest_equal(fast.nearest(q), oracle.nearest(q), "query");
+            prop_assert_eq!(fast.within(q, radius), oracle.within(q, radius));
+        }
+    }
+
+    /// Removing every other point (including duplicates) keeps the two
+    /// implementations in lockstep through the whole drain.
+    #[test]
+    fn drain_matches_reference(
+        pts in proptest::collection::vec((-8i8..8, -8i8..8), 1..80),
+    ) {
+        let mut fast = NearestNeighborIndex::new(70.0);
+        let mut oracle = NearestNeighborIndexReference::new(70.0);
+        let pts: Vec<Point> = pts.iter().map(|&(c, r)| lattice_point(c, r)).collect();
+        for &p in &pts {
+            fast.insert(p);
+            oracle.insert(p);
+        }
+        for (i, &p) in pts.iter().enumerate() {
+            prop_assert!(fast.remove(p));
+            prop_assert!(oracle.remove(p));
+            let q = Point::new(5.0, -5.0);
+            assert_nearest_equal(fast.nearest(q), oracle.nearest(q), &format!("drain {i}"));
+        }
+        prop_assert!(fast.is_empty());
+        prop_assert!(fast.nearest(Point::ORIGIN).is_none());
+    }
+}

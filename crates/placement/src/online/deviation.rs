@@ -28,11 +28,10 @@
 use super::{Decision, OnlinePlacement};
 use crate::penalty::{PenaltyFunction, PenaltyType, PolynomialPenalty};
 use crate::PlacementCost;
-use esharing_geo::{NearestNeighborIndex, Point};
-use esharing_stats::ks2d::{RankedSample, SimilarityClass};
+use esharing_geo::{NearestNeighborIndex, Point, SpatialIndex};
+use esharing_stats::ks2d::{IncrementalWindow, RankedSample, SimilarityClass};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::VecDeque;
 
 /// Configuration for [`DeviationPenalty`].
 #[derive(Debug, Clone, PartialEq)]
@@ -122,8 +121,16 @@ impl DeviationConfig {
 /// let d = alg.handle(Point::new(251.0, 252.0));
 /// assert!(!d.opened()); // a destination on a landmark never opens anew
 /// ```
+pub type DeviationPenalty = DeviationPenaltyCore<NearestNeighborIndex>;
+
+/// [`DeviationPenalty`] generic over its nearest-parking index backend.
+///
+/// Production code uses the [`DeviationPenalty`] alias (the flat-hash-grid
+/// [`NearestNeighborIndex`]); the decision-latency benchmark instantiates
+/// the same algorithm over `NearestNeighborIndexReference` to measure what
+/// the index engineering buys on the serving path.
 #[derive(Debug)]
-pub struct DeviationPenalty {
+pub struct DeviationPenaltyCore<I: SpatialIndex> {
     cfg: DeviationConfig,
     /// Offline parking count `k = |P|`.
     k: usize,
@@ -134,11 +141,13 @@ pub struct DeviationPenalty {
     /// Requests since the last doubling.
     a: usize,
     doubling_period: usize,
-    index: NearestNeighborIndex,
+    index: I,
     /// Historical sample `H` with its KS rank structures precomputed once;
     /// every periodic test reuses them and only ranks the live window.
     history: RankedSample,
-    window: VecDeque<Point>,
+    /// Live sample `G`: a FIFO window whose KS rank structures are
+    /// maintained incrementally, so the periodic test never re-sorts it.
+    window: IncrementalWindow,
     rng: StdRng,
     cost: PlacementCost,
     opened_online: usize,
@@ -149,7 +158,7 @@ pub struct DeviationPenalty {
     shift_streak: u32,
 }
 
-impl DeviationPenalty {
+impl<I: SpatialIndex> DeviationPenaltyCore<I> {
     /// Creates the algorithm from the offline landmark set and the
     /// historical destination sample `H` the landmarks were computed from.
     ///
@@ -185,7 +194,7 @@ impl DeviationPenalty {
             f_dec_initial.is_finite() && f_dec_initial > 0.0,
             "initial decision cost must be positive"
         );
-        let mut index = NearestNeighborIndex::new(cfg.tolerance.max(50.0));
+        let mut index = I::with_bucket_size(cfg.tolerance.max(50.0));
         let mut cost = PlacementCost::ZERO;
         for &p in &landmarks {
             index.insert(p);
@@ -202,8 +211,7 @@ impl DeviationPenalty {
         }
         let history = RankedSample::new(&history);
         let doubling_period = ((cfg.beta * k as f64).ceil() as usize).max(1);
-        let window_cap = cfg.ks_window;
-        DeviationPenalty {
+        DeviationPenaltyCore {
             penalty: PenaltyFunction::new(cfg.initial_penalty, cfg.tolerance),
             f_dec: f_dec_initial,
             f_dec_initial,
@@ -211,7 +219,7 @@ impl DeviationPenalty {
             doubling_period,
             index,
             history,
-            window: VecDeque::with_capacity(window_cap),
+            window: IncrementalWindow::new(),
             rng: StdRng::seed_from_u64(cfg.seed),
             cost,
             opened_online: 0,
@@ -248,6 +256,12 @@ impl DeviationPenalty {
         self.last_similarity
     }
 
+    /// Number of recent destinations currently held in the live KS window
+    /// `G`. Read-only: probing it never perturbs the monitor state.
+    pub fn window_len(&self) -> usize {
+        self.window.len()
+    }
+
     /// Removes a station (footnote 2: "when customers pick up all the
     /// E-bikes from a station … the station is removed from P"). The
     /// algorithm can re-establish it later from new requests. Returns
@@ -268,8 +282,7 @@ impl DeviationPenalty {
         if !self.cfg.auto_penalty || self.history.is_empty() || self.window.len() < min_window {
             return;
         }
-        let current: Vec<Point> = self.window.iter().copied().collect();
-        let test = self.history.peacock_test_against(&current);
+        let test = self.history.peacock_test_window(&mut self.window);
         self.last_similarity = Some(test.similarity_percent);
         let class = SimilarityClass::from_test(&test);
         self.penalty = self.penalty.with_kind(PenaltyType::for_similarity(class));
@@ -288,19 +301,27 @@ impl DeviationPenalty {
             self.shift_streak = 0;
         }
     }
-}
 
-impl OnlinePlacement for DeviationPenalty {
-    fn handle(&mut self, destination: Point) -> Decision {
-        // Track the live sample G.
+    /// Monitor bookkeeping for one arrival: slides the live KS window `G`
+    /// and advances the doubling counter. Returns whether the periodic
+    /// update is due after this arrival.
+    ///
+    /// Kept separate from [`Self::decide`] so the monitor state is touched
+    /// exactly once per served request — a read-only probe of the decision
+    /// math can never perturb the window or the doubling schedule.
+    fn record_arrival(&mut self, destination: Point) -> bool {
         if self.window.len() == self.cfg.ks_window {
             self.window.pop_front();
         }
         self.window.push_back(destination);
         self.a += 1;
-        let due = self.a >= self.doubling_period;
+        self.a >= self.doubling_period
+    }
 
-        let decision = match self.index.nearest(destination) {
+    /// The opening decision proper (Algorithm 2 lines 7–12): nearest
+    /// established parking, penalty-weighted coin flip, cost accounting.
+    fn decide(&mut self, destination: Point) -> Decision {
+        match self.index.nearest(destination) {
             None => {
                 // All stations were removed; re-establish at the request.
                 self.index.insert(destination);
@@ -331,7 +352,14 @@ impl OnlinePlacement for DeviationPenalty {
                     }
                 }
             }
-        };
+        }
+    }
+}
+
+impl<I: SpatialIndex> OnlinePlacement for DeviationPenaltyCore<I> {
+    fn handle(&mut self, destination: Point) -> Decision {
+        let due = self.record_arrival(destination);
+        let decision = self.decide(destination);
         if due {
             self.periodic_update();
         }
@@ -339,7 +367,7 @@ impl OnlinePlacement for DeviationPenalty {
     }
 
     fn stations(&self) -> Vec<Point> {
-        self.index.iter().collect()
+        self.index.points()
     }
 
     fn cost(&self) -> PlacementCost {

@@ -18,7 +18,7 @@ mod deviation;
 mod kmeans;
 mod meyerson;
 
-pub use deviation::{DeviationConfig, DeviationPenalty};
+pub use deviation::{DeviationConfig, DeviationPenalty, DeviationPenaltyCore};
 pub use kmeans::OnlineKMeans;
 pub use meyerson::Meyerson;
 

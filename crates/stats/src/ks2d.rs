@@ -31,10 +31,16 @@
 //!
 //! For streaming use, [`RankedSample`] precomputes the sorted structures of
 //! a fixed sample once (the deviation monitor's historical distribution) so
-//! repeated tests against fresh windows skip re-sorting the history.
+//! repeated tests against fresh windows skip re-sorting the history, and
+//! [`IncrementalWindow`] maintains the *window's* rank structures under
+//! FIFO churn — `O(log n)` per push/pop — so the periodic test stops
+//! re-ranking the live window from scratch as well
+//! ([`RankedSample::peacock_test_window`]).
 
 use crate::parallel;
 use esharing_geo::Point;
+use std::cmp::Ordering;
+use std::collections::VecDeque;
 
 /// Outcome of a two-sample Peacock test.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -284,55 +290,7 @@ impl RankedSample {
             !self.is_empty() && !other.is_empty(),
             "samples must be non-empty"
         );
-        let uy = merge_unique(&self.ys, &other.ys);
-        let mut fen_a = Fenwick::new(uy.len());
-        let mut fen_b = Fenwick::new(uy.len());
-        let (na_u, nb_u) = (self.len() as u32, other.len() as u32);
-        let (na, nb) = (self.len() as f64, other.len() as f64);
-        let (ax, bx) = (&self.by_x, &other.by_x);
-        let (mut ia, mut ib) = (0usize, 0usize);
-        let mut group: Vec<f64> = Vec::new();
-        let mut d = 0.0f64;
-        // Sweep split points in x-order; all points sharing a split's x value
-        // enter the Fenwick trees before any quadrant query at that x, which
-        // preserves the `x <= X` semantics of the naive count.
-        while ia < ax.len() || ib < bx.len() {
-            let x = match (ax.get(ia), bx.get(ib)) {
-                (Some(p), Some(q)) => {
-                    if p.x <= q.x {
-                        p.x
-                    } else {
-                        q.x
-                    }
-                }
-                (Some(p), None) => p.x,
-                (None, Some(q)) => q.x,
-                (None, None) => unreachable!(),
-            };
-            group.clear();
-            while ia < ax.len() && ax[ia].x == x {
-                fen_a.add(count_le(&uy, ax[ia].y));
-                group.push(ax[ia].y);
-                ia += 1;
-            }
-            while ib < bx.len() && bx[ib].x == x {
-                fen_b.add(count_le(&uy, bx[ib].y));
-                group.push(bx[ib].y);
-                ib += 1;
-            }
-            let (cxa, cxb) = (ia as u32, ib as u32);
-            for &y in &group {
-                let ry = count_le(&uy, y);
-                let q3a = fen_a.prefix(ry);
-                let q3b = fen_b.prefix(ry);
-                let cya = count_le(&self.ys, y) as u32;
-                let cyb = count_le(&other.ys, y) as u32;
-                let qa = [na_u + q3a - cxa - cya, cxa - q3a, q3a, cya - q3a];
-                let qb = [nb_u + q3b - cxb - cyb, cxb - q3b, q3b, cyb - q3b];
-                d = d.max(quad_count_diff(qa, qb, na, nb));
-            }
-        }
-        d
+        ff_statistic_ranked(&self.by_x, &self.ys, &other.by_x, &other.ys)
     }
 
     /// Full two-sample test against another ranked sample (fast FF
@@ -355,6 +313,348 @@ impl RankedSample {
     /// Panics if either sample is empty.
     pub fn peacock_test_against(&self, window: &[Point]) -> Ks2dResult {
         self.peacock_test(&RankedSample::new(window))
+    }
+
+    /// The streaming fast path: tests against an [`IncrementalWindow`]
+    /// whose rank structures are already maintained, so nothing on either
+    /// side is sorted per call — the window's ordered contents are dumped
+    /// (`O(n)`, no comparisons, into buffers owned by the window) straight
+    /// into the same sweep kernel [`RankedSample::ff_statistic`] uses.
+    /// Bit-identical to `self.peacock_test_against(window points)` by
+    /// construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either sample is empty.
+    pub fn peacock_test_window(&self, window: &mut IncrementalWindow) -> Ks2dResult {
+        assert!(
+            !self.is_empty() && !window.is_empty(),
+            "samples must be non-empty"
+        );
+        window.fill_scratch();
+        let d = ff_statistic_ranked(&self.by_x, &self.ys, &window.sx, &window.sy);
+        test_from_statistic(d, self.len(), window.len())
+    }
+}
+
+/// The Fasano–Franceschini sweep over two pre-ranked samples, each given as
+/// (points sorted by `(x, y)` under `total_cmp`, y-values sorted under
+/// `total_cmp`). [`RankedSample::ff_statistic`] and
+/// [`RankedSample::peacock_test_window`] both land here, so any producer of
+/// identical rank slices gets bit-identical statistics.
+fn ff_statistic_ranked(ax: &[Point], a_ys: &[f64], bx: &[Point], b_ys: &[f64]) -> f64 {
+    let uy = merge_unique(a_ys, b_ys);
+    let mut fen_a = Fenwick::new(uy.len());
+    let mut fen_b = Fenwick::new(uy.len());
+    let (na_u, nb_u) = (ax.len() as u32, bx.len() as u32);
+    let (na, nb) = (ax.len() as f64, bx.len() as f64);
+    let (mut ia, mut ib) = (0usize, 0usize);
+    let mut group: Vec<f64> = Vec::new();
+    let mut d = 0.0f64;
+    // Sweep split points in x-order; all points sharing a split's x value
+    // enter the Fenwick trees before any quadrant query at that x, which
+    // preserves the `x <= X` semantics of the naive count.
+    while ia < ax.len() || ib < bx.len() {
+        let x = match (ax.get(ia), bx.get(ib)) {
+            (Some(p), Some(q)) => {
+                if p.x <= q.x {
+                    p.x
+                } else {
+                    q.x
+                }
+            }
+            (Some(p), None) => p.x,
+            (None, Some(q)) => q.x,
+            (None, None) => unreachable!(),
+        };
+        group.clear();
+        while ia < ax.len() && ax[ia].x == x {
+            fen_a.add(count_le(&uy, ax[ia].y));
+            group.push(ax[ia].y);
+            ia += 1;
+        }
+        while ib < bx.len() && bx[ib].x == x {
+            fen_b.add(count_le(&uy, bx[ib].y));
+            group.push(bx[ib].y);
+            ib += 1;
+        }
+        let (cxa, cxb) = (ia as u32, ib as u32);
+        for &y in &group {
+            let ry = count_le(&uy, y);
+            let q3a = fen_a.prefix(ry);
+            let q3b = fen_b.prefix(ry);
+            let cya = count_le(a_ys, y) as u32;
+            let cyb = count_le(b_ys, y) as u32;
+            let qa = [na_u + q3a - cxa - cya, cxa - q3a, q3a, cya - q3a];
+            let qb = [nb_u + q3b - cxb - cyb, cxb - q3b, q3b, cyb - q3b];
+            d = d.max(quad_count_diff(qa, qb, na, nb));
+        }
+    }
+    d
+}
+
+// ---------------------------------------------------------------------------
+// Incremental FIFO window
+// ---------------------------------------------------------------------------
+
+/// Node-pool sentinel for the ordered multiset.
+const TREAP_NIL: u32 = u32::MAX;
+
+#[inline]
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[derive(Debug, Clone)]
+struct TreapNode<T> {
+    key: T,
+    pri: u64,
+    left: u32,
+    right: u32,
+}
+
+/// An ordered multiset with `O(log n)` expected insert and remove-by-value:
+/// a treap over a node pool (indices, free list — no per-node boxes) whose
+/// priorities come from a deterministic counter hash, so the tree shape —
+/// and therefore every downstream traversal — replays identically for a
+/// fixed operation sequence.
+#[derive(Debug, Clone)]
+struct OrderedMultiset<T: Copy> {
+    nodes: Vec<TreapNode<T>>,
+    free: Vec<u32>,
+    root: u32,
+    len: usize,
+    counter: u64,
+    cmp: fn(&T, &T) -> Ordering,
+}
+
+impl<T: Copy> OrderedMultiset<T> {
+    fn new(cmp: fn(&T, &T) -> Ordering) -> Self {
+        OrderedMultiset {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: TREAP_NIL,
+            len: 0,
+            counter: 0,
+            cmp,
+        }
+    }
+
+    /// Joins two treaps where every key in `a` precedes every key in `b`.
+    fn join(&mut self, a: u32, b: u32) -> u32 {
+        if a == TREAP_NIL {
+            return b;
+        }
+        if b == TREAP_NIL {
+            return a;
+        }
+        if self.nodes[a as usize].pri > self.nodes[b as usize].pri {
+            let r = self.nodes[a as usize].right;
+            let merged = self.join(r, b);
+            self.nodes[a as usize].right = merged;
+            a
+        } else {
+            let l = self.nodes[b as usize].left;
+            let merged = self.join(a, l);
+            self.nodes[b as usize].left = merged;
+            b
+        }
+    }
+
+    /// Splits into `(keys < key, keys >= key)` when `le` is false, or
+    /// `(keys <= key, keys > key)` when `le` is true.
+    fn split(&mut self, t: u32, key: &T, le: bool) -> (u32, u32) {
+        if t == TREAP_NIL {
+            return (TREAP_NIL, TREAP_NIL);
+        }
+        let ord = (self.cmp)(&self.nodes[t as usize].key, key);
+        let goes_left = if le { ord.is_le() } else { ord.is_lt() };
+        if goes_left {
+            let r = self.nodes[t as usize].right;
+            let (a, b) = self.split(r, key, le);
+            self.nodes[t as usize].right = a;
+            (t, b)
+        } else {
+            let l = self.nodes[t as usize].left;
+            let (a, b) = self.split(l, key, le);
+            self.nodes[t as usize].left = b;
+            (a, t)
+        }
+    }
+
+    fn insert(&mut self, key: T) {
+        let pri = splitmix64(self.counter);
+        self.counter += 1;
+        let node = TreapNode {
+            key,
+            pri,
+            left: TREAP_NIL,
+            right: TREAP_NIL,
+        };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.nodes[i as usize] = node;
+                i
+            }
+            None => {
+                self.nodes.push(node);
+                (self.nodes.len() - 1) as u32
+            }
+        };
+        let (l, r) = self.split(self.root, &key, false);
+        let left = self.join(l, idx);
+        self.root = self.join(left, r);
+        self.len += 1;
+    }
+
+    /// Removes one occurrence of `key`; `true` if one was present.
+    fn remove(&mut self, key: &T) -> bool {
+        let (l, rest) = self.split(self.root, key, false);
+        let (eq, r) = self.split(rest, key, true);
+        let removed = if eq == TREAP_NIL {
+            false
+        } else {
+            // Drop the equal-run's root: with duplicates every equal node
+            // carries an identical key, so which one dies is unobservable.
+            let n = &self.nodes[eq as usize];
+            let (el, er) = (n.left, n.right);
+            self.free.push(eq);
+            let rejoined = self.join(el, er);
+            let with_l = self.join(l, rejoined);
+            self.root = self.join(with_l, r);
+            self.len -= 1;
+            true
+        };
+        if !removed {
+            let with_l = self.join(l, eq);
+            self.root = self.join(with_l, r);
+        }
+        removed
+    }
+
+    /// Appends the keys in sorted order to `out`.
+    fn fill_inorder(&self, out: &mut Vec<T>) {
+        self.fill_rec(self.root, out);
+    }
+
+    fn fill_rec(&self, t: u32, out: &mut Vec<T>) {
+        if t == TREAP_NIL {
+            return;
+        }
+        let n = &self.nodes[t as usize];
+        let (l, r) = (n.left, n.right);
+        self.fill_rec(l, out);
+        out.push(self.nodes[t as usize].key);
+        self.fill_rec(r, out);
+    }
+}
+
+fn cmp_point_xy(p: &Point, q: &Point) -> Ordering {
+    f64::total_cmp(&p.x, &q.x).then(f64::total_cmp(&p.y, &q.y))
+}
+
+/// A FIFO window of points whose 2-D KS rank structures are maintained
+/// incrementally: [`IncrementalWindow::push_back`] and
+/// [`IncrementalWindow::pop_front`] update the x- and y-rank orders in
+/// `O(log n)` each, so the deviation monitor's periodic test
+/// ([`RankedSample::peacock_test_window`]) never re-sorts the live window.
+///
+/// The maintained orders are exactly those of
+/// [`RankedSample::new`] applied to the window's points, so the test result
+/// is bit-identical to the batch path:
+///
+/// ```
+/// use esharing_geo::Point;
+/// use esharing_stats::ks2d::{IncrementalWindow, RankedSample};
+///
+/// let history: Vec<Point> = (0..40)
+///     .map(|i| Point::new(f64::from(i % 7) * 10.0, f64::from(i % 5) * 10.0))
+///     .collect();
+/// let ranked = RankedSample::new(&history);
+/// let mut window = IncrementalWindow::new();
+/// for p in &history[..20] {
+///     window.push_back(*p);
+/// }
+/// window.pop_front();
+/// let batch: Vec<Point> = window.iter().collect();
+/// let incremental = ranked.peacock_test_window(&mut window);
+/// assert_eq!(incremental, ranked.peacock_test_against(&batch));
+/// ```
+#[derive(Debug, Clone)]
+pub struct IncrementalWindow {
+    deque: VecDeque<Point>,
+    by_x: OrderedMultiset<Point>,
+    ys: OrderedMultiset<f64>,
+    /// Scratch slices handed to the sweep kernel; refilled per test,
+    /// allocation-free once grown to window size.
+    sx: Vec<Point>,
+    sy: Vec<f64>,
+}
+
+impl IncrementalWindow {
+    /// Creates an empty window.
+    pub fn new() -> Self {
+        IncrementalWindow {
+            deque: VecDeque::new(),
+            by_x: OrderedMultiset::new(cmp_point_xy),
+            ys: OrderedMultiset::new(f64::total_cmp),
+            sx: Vec::new(),
+            sy: Vec::new(),
+        }
+    }
+
+    /// Number of points currently in the window.
+    pub fn len(&self) -> usize {
+        self.deque.len()
+    }
+
+    /// Whether the window holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.deque.is_empty()
+    }
+
+    /// Appends a point at the back (newest side) of the window.
+    pub fn push_back(&mut self, p: Point) {
+        self.deque.push_back(p);
+        self.by_x.insert(p);
+        self.ys.insert(p.y);
+    }
+
+    /// Removes and returns the oldest point, or `None` when empty.
+    pub fn pop_front(&mut self) -> Option<Point> {
+        let p = self.deque.pop_front()?;
+        let removed = self.by_x.remove(&p);
+        debug_assert!(removed, "rank structure out of sync with deque");
+        let removed = self.ys.remove(&p.y);
+        debug_assert!(removed, "y ranks out of sync with deque");
+        Some(p)
+    }
+
+    /// The window's points in arrival order (oldest first).
+    pub fn iter(&self) -> impl Iterator<Item = Point> + '_ {
+        self.deque.iter().copied()
+    }
+
+    /// Dumps the maintained orders into the scratch slices consumed by
+    /// [`RankedSample::peacock_test_window`].
+    fn fill_scratch(&mut self) {
+        let mut sx = std::mem::take(&mut self.sx);
+        sx.clear();
+        self.by_x.fill_inorder(&mut sx);
+        self.sx = sx;
+        let mut sy = std::mem::take(&mut self.sy);
+        sy.clear();
+        self.ys.fill_inorder(&mut sy);
+        self.sy = sy;
+    }
+}
+
+impl Default for IncrementalWindow {
+    fn default() -> Self {
+        IncrementalWindow::new()
     }
 }
 
@@ -781,6 +1081,65 @@ mod tests {
         let c = vec![Point::new(3.0, -1.0)];
         assert_eq!(ff_statistic(&a, &c), ff_statistic_naive(&a, &c));
         assert_eq!(peacock_statistic(&a, &c), peacock_statistic_naive(&a, &c));
+    }
+
+    #[test]
+    fn incremental_window_is_fifo() {
+        let mut w = IncrementalWindow::new();
+        assert!(w.is_empty());
+        assert_eq!(w.pop_front(), None);
+        for i in 0..5 {
+            w.push_back(Point::new(f64::from(i), f64::from(-i)));
+        }
+        assert_eq!(w.len(), 5);
+        assert_eq!(w.pop_front(), Some(Point::new(0.0, 0.0)));
+        assert_eq!(w.pop_front(), Some(Point::new(1.0, -1.0)));
+        assert_eq!(w.len(), 3);
+        let order: Vec<Point> = w.iter().collect();
+        assert_eq!(
+            order,
+            vec![
+                Point::new(2.0, -2.0),
+                Point::new(3.0, -3.0),
+                Point::new(4.0, -4.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn incremental_window_matches_batch_under_churn() {
+        // Stream a capped FIFO window (the deviation-monitor pattern) and
+        // compare the incremental test against the batch re-rank at every
+        // step where the window is non-empty. Lattice points force
+        // duplicate x-runs, duplicate y-ranks and duplicate whole points
+        // through the treaps.
+        let mut rng = StdRng::seed_from_u64(21);
+        let history = lattice_sample(&mut rng, 120, 6);
+        let ranked = RankedSample::new(&history);
+        let mut w = IncrementalWindow::new();
+        let mut mirror: VecDeque<Point> = VecDeque::new();
+        for step in 0..400 {
+            let p = Point::new(
+                f64::from(rng.gen_range(0u32..6)),
+                f64::from(rng.gen_range(0u32..6)),
+            );
+            w.push_back(p);
+            mirror.push_back(p);
+            if mirror.len() > 37 {
+                assert_eq!(w.pop_front(), mirror.pop_front());
+            }
+            if step % 7 == 0 {
+                let batch: Vec<Point> = mirror.iter().copied().collect();
+                let fast = ranked.peacock_test_window(&mut w);
+                let slow = ranked.peacock_test_against(&batch);
+                assert_eq!(fast, slow, "step {step}");
+                assert_eq!(
+                    fast.statistic,
+                    ff_statistic_naive(&history, &batch),
+                    "step {step}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -7,9 +7,11 @@
 
 use esharing_geo::Point;
 use esharing_stats::ks2d::{
-    ff_statistic, ff_statistic_naive, peacock_statistic, peacock_statistic_naive, RankedSample,
+    ff_statistic, ff_statistic_naive, peacock_statistic, peacock_statistic_naive,
+    IncrementalWindow, RankedSample,
 };
 use proptest::prelude::*;
+use std::collections::VecDeque;
 
 fn continuous(raw: &[(f64, f64)]) -> Vec<Point> {
     raw.iter().map(|&(x, y)| Point::new(x, y)).collect()
@@ -82,6 +84,39 @@ proptest! {
                 reused.statistic,
                 ff_statistic_naive(&hist, &window)
             );
+        }
+    }
+
+    /// The incremental FIFO window must reproduce the batch re-rank test
+    /// bit-for-bit (statistic AND p-value) at every point of a random
+    /// push/pop schedule, including after the window wraps its cap many
+    /// times. Lattice coordinates drive duplicates through the treap
+    /// equal-runs.
+    #[test]
+    fn incremental_window_matches_batch_rerank(
+        hist in proptest::collection::vec((0u32..6, 0u32..6), 5..60),
+        stream in proptest::collection::vec((0u32..6, 0u32..6), 1..150),
+        cap in 3usize..40,
+    ) {
+        let hist = lattice(&hist);
+        let ranked = RankedSample::new(&hist);
+        let mut fast = IncrementalWindow::new();
+        let mut mirror: VecDeque<Point> = VecDeque::new();
+        for (step, p) in lattice(&stream).into_iter().enumerate() {
+            fast.push_back(p);
+            mirror.push_back(p);
+            if mirror.len() > cap {
+                prop_assert_eq!(fast.pop_front(), mirror.pop_front());
+            }
+            prop_assert_eq!(fast.len(), mirror.len());
+            if step % 5 == 0 {
+                let batch: Vec<Point> = mirror.iter().copied().collect();
+                let incremental = ranked.peacock_test_window(&mut fast);
+                let rerank = ranked.peacock_test_against(&batch);
+                prop_assert_eq!(incremental.statistic, rerank.statistic, "step {}", step);
+                prop_assert_eq!(incremental.p_value, rerank.p_value, "step {}", step);
+                prop_assert_eq!(incremental.statistic, ff_statistic_naive(&hist, &batch));
+            }
         }
     }
 }

@@ -1,4 +1,4 @@
-//! Integration tests for the implemented extensions (DESIGN.md §7)
+//! Integration tests for the implemented extensions (DESIGN.md §8)
 //! exercised through the public facade.
 
 use e_sharing::charging::rebalance::{plan_rebalance, StationInventory};
