@@ -28,12 +28,22 @@ cargo run --release -p esharing-bench --bin exp_table4
 BENCH_TMP="$(mktemp -d)"
 trap 'rm -rf "$BENCH_TMP"' EXIT
 
-echo "==> smoke: serving engine at 1 shard and 4 shards"
+echo "==> smoke: serving engine at 1 shard and 4 shards (+ live telemetry scrape)"
 ESHARING_BENCH_DIR="$BENCH_TMP" \
-  cargo run --release -p esharing-bench --bin exp_engine -- --smoke --shards 1,4
-for row in request_server_p50 request_server_p999 engine_s4_p999 engine_s4_shard0_p999; do
+  cargo run --release -p esharing-bench --bin exp_engine -- --smoke --serve --shards 1,4
+for row in request_server_p50 request_server_p999 engine_s4_p90 engine_s4_p999 \
+           engine_s4_shard0_p90 engine_s4_shard0_p999 \
+           engine_s1_telemetry_on_p50 engine_s1_telemetry_off_p50; do
   grep -q "\"$row\"" "$BENCH_TMP/BENCH_engine.json" \
     || { echo "BENCH_engine.json lacks latency row $row"; exit 1; }
+done
+
+# The --serve run scraped its own /metrics mid-run; the payload must carry
+# the decision, shed and KS-drift metric families end to end.
+for family in esharing_decisions_total esharing_sheds_total \
+              esharing_ks_d_statistic esharing_decision_stage_ns; do
+  grep -q "$family" "$BENCH_TMP/telemetry_scrape.prom" \
+    || { echo "telemetry scrape lacks metric family $family"; exit 1; }
 done
 
 echo "==> smoke: decision-latency bench (one timed iteration)"

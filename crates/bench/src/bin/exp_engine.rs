@@ -14,13 +14,21 @@
 //! same stream is balanced for 1, 2, 4 and 8 shards).
 //!
 //! Emits `BENCH_engine.json` at the repo root (throughput plus
-//! p50/p99/p99.9 client latency per backend, and per-shard worker-side
+//! p50/p90/p99/p99.9 client latency per backend, and per-shard worker-side
 //! arrival → decision quantiles from the shard latency histograms) and
 //! dumps the final fleet snapshot of the widest engine run to
 //! `results/engine_snapshot.json`. Setting `ESHARING_BENCH_DIR` redirects
 //! the JSON (including in `--smoke` mode, which otherwise skips it).
 //!
-//! Usage: `exp_engine [--smoke] [--requests N] [--delay-us D]
+//! Every run also measures telemetry overhead: the same stream replayed
+//! through 1-shard engines with telemetry on and off must land within 5%
+//! on client-observed decision p50 (the binary fails otherwise). With
+//! `--serve`, the widest engine run additionally exposes its live
+//! telemetry over HTTP, scrapes its own `/metrics` endpoint while the
+//! engine is still up, verifies the decision/shed/KS-drift families are
+//! present, and writes the payload to `telemetry_scrape.prom`.
+//!
+//! Usage: `exp_engine [--smoke] [--serve] [--requests N] [--delay-us D]
 //!                    [--clients C] [--shards S1,S2,...]`
 //!
 //! `--smoke` shrinks the run and skips the artifact writes (CI mode).
@@ -31,8 +39,9 @@ use esharing_core::server::{RequestServer, ServerConfig};
 use esharing_core::{ESharing, SystemConfig};
 use esharing_dataset::{destinations, CityConfig, SyntheticCity, TripGenerator};
 use esharing_engine::replay::{replay, ReplayConfig, ReplayReport};
-use esharing_engine::{Engine, EngineConfig, Partition, ShardMap};
+use esharing_engine::{http_get, Engine, EngineConfig, Partition, ShardMap, TelemetryConfig};
 use esharing_geo::{BBox, Point};
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// The stream is balanced across this many grid zones; the shard counts
@@ -41,6 +50,7 @@ const BALANCE_ZONES: usize = 8;
 
 struct Args {
     smoke: bool,
+    serve: bool,
     requests: usize,
     delay: Duration,
     clients: usize,
@@ -50,6 +60,7 @@ struct Args {
 fn parse_args() -> Args {
     let mut args = Args {
         smoke: false,
+        serve: false,
         requests: 4_000,
         delay: Duration::from_micros(300),
         clients: 16,
@@ -57,10 +68,7 @@ fn parse_args() -> Args {
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |flag: &str| {
-            it.next()
-                .unwrap_or_else(|| panic!("{flag} needs a value"))
-        };
+        let mut value = |flag: &str| it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
         match flag.as_str() {
             "--smoke" => {
                 args.smoke = true;
@@ -68,6 +76,7 @@ fn parse_args() -> Args {
                 args.clients = 8;
                 args.delay = Duration::from_micros(200);
             }
+            "--serve" => args.serve = true,
             "--requests" => args.requests = value("--requests").parse().expect("--requests N"),
             "--delay-us" => {
                 args.delay =
@@ -157,21 +166,110 @@ fn start_engine(history: &[Point], shards: usize, delay: Duration) -> Engine {
 
 fn record(emitter: &mut PerfEmitter, name: &str, report: &ReplayReport) {
     emitter.record_duration(name, report.served as usize, report.elapsed);
-    emitter.record_duration(
-        &format!("{name}_p50"),
-        0,
-        Duration::from_micros(report.latency.p50_us),
-    );
-    emitter.record_duration(
-        &format!("{name}_p99"),
-        0,
-        Duration::from_micros(report.latency.p99_us),
-    );
-    emitter.record_duration(
-        &format!("{name}_p999"),
-        0,
-        Duration::from_micros(report.latency.p999_us),
-    );
+    for (suffix, us) in [
+        ("p50", report.latency.p50_us),
+        ("p90", report.latency.p90_us),
+        ("p99", report.latency.p99_us),
+        ("p999", report.latency.p999_us),
+    ] {
+        emitter.record_duration(&format!("{name}_{suffix}"), 0, Duration::from_micros(us));
+    }
+}
+
+/// Instrumented-vs-uninstrumented decision p50: replays the same stream
+/// through two fresh 1-shard engines — telemetry fully on (counters,
+/// journal, sampled stage tracing) vs disabled — and requires the
+/// client-observed p50s to land within 5% of each other. The telemetry
+/// hot path must stay invisible next to the emulated downstream fetch.
+/// Scheduler noise can breach the bound on a loaded box, so up to three
+/// fresh pairs are measured before the check fails; the passing (or last)
+/// pair is recorded in the perf trajectory.
+fn assert_telemetry_overhead(
+    emitter: &mut PerfEmitter,
+    history: &[Point],
+    stream: &[Point],
+    delay: Duration,
+    clients: usize,
+) {
+    const TOLERANCE: f64 = 0.05;
+    const ATTEMPTS: usize = 3;
+    let run = |telemetry: TelemetryConfig| {
+        let engine = Engine::start(
+            history,
+            EngineConfig {
+                shards: 1,
+                partition: Partition::UniformGrid,
+                service_delay: delay,
+                telemetry,
+                ..EngineConfig::default()
+            },
+        );
+        let report = replay(
+            &engine,
+            stream,
+            &ReplayConfig {
+                clients,
+                rate_per_s: None,
+            },
+        );
+        let _ = engine.shutdown();
+        report.latency.p50_us
+    };
+    let (mut on, mut off) = (0u64, 0u64);
+    for attempt in 1..=ATTEMPTS {
+        on = run(TelemetryConfig::default());
+        off = run(TelemetryConfig::disabled());
+        let diff = (on as f64 - off as f64).abs() / off.max(1) as f64;
+        if diff <= TOLERANCE {
+            println!(
+                "telemetry overhead: decision p50 {on} µs instrumented vs {off} µs bare \
+                 ({:+.2}% — within the 5% budget)",
+                100.0 * (on as f64 - off as f64) / off.max(1) as f64
+            );
+            break;
+        }
+        assert!(
+            attempt < ATTEMPTS,
+            "telemetry overhead breached the 5% decision-p50 budget on {ATTEMPTS} \
+             consecutive pairs: instrumented {on} µs vs bare {off} µs ({:+.1}%)",
+            100.0 * (on as f64 - off as f64) / off.max(1) as f64
+        );
+        println!("telemetry overhead: pair {attempt} noisy ({on} µs vs {off} µs), re-measuring");
+    }
+    emitter.record_duration("engine_s1_telemetry_on_p50", 0, Duration::from_micros(on));
+    emitter.record_duration("engine_s1_telemetry_off_p50", 0, Duration::from_micros(off));
+}
+
+/// Scrapes the live engine's `/metrics`, fails unless the decision, shed
+/// and KS-drift families are present, and writes the payload to
+/// `telemetry_scrape.prom` (in `$ESHARING_BENCH_DIR` when set, else the
+/// repo root) for the CI grep.
+fn scrape_and_dump(engine: &Engine) {
+    let server = engine
+        .serve_telemetry("127.0.0.1:0")
+        .expect("bind telemetry responder");
+    let (status, body) = http_get(server.addr(), "/metrics").expect("self-scrape");
+    assert_eq!(status, 200, "telemetry scrape failed: {body}");
+    for family in [
+        "esharing_decisions_total",
+        "esharing_sheds_total",
+        "esharing_ks_d_statistic",
+        "esharing_decision_stage_ns",
+    ] {
+        assert!(body.contains(family), "telemetry scrape lacks {family}");
+    }
+    let dir = std::env::var_os("ESHARING_BENCH_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."));
+    let path = dir.join("telemetry_scrape.prom");
+    match std::fs::write(&path, &body) {
+        Ok(()) => println!(
+            "scraped live /metrics ({} bytes) -> {}",
+            body.len(),
+            path.display()
+        ),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
 }
 
 fn main() {
@@ -202,6 +300,7 @@ fn main() {
         "req/s".into(),
         "speedup".into(),
         "p50 ms".into(),
+        "p90 ms".into(),
         "p99 ms".into(),
         "p99.9 ms".into(),
         "degraded".into(),
@@ -215,6 +314,7 @@ fn main() {
         format!("{base_rate:.0}"),
         "1.00x".into(),
         format!("{:.2}", base.latency.p50_us as f64 / 1_000.0),
+        format!("{:.2}", base.latency.p90_us as f64 / 1_000.0),
         format!("{:.2}", base.latency.p99_us as f64 / 1_000.0),
         format!("{:.2}", base.latency.p999_us as f64 / 1_000.0),
         format!("{}", base.degraded),
@@ -240,10 +340,17 @@ fn main() {
             format!("{rate:.0}"),
             format!("{:.2}x", rate / base_rate),
             format!("{:.2}", report.latency.p50_us as f64 / 1_000.0),
+            format!("{:.2}", report.latency.p90_us as f64 / 1_000.0),
             format!("{:.2}", report.latency.p99_us as f64 / 1_000.0),
             format!("{:.2}", report.latency.p999_us as f64 / 1_000.0),
             format!("{}", report.degraded),
         ]);
+        // The widest configuration doubles as the scrape target: its
+        // /metrics endpoint is hit while the engine is still live, just
+        // after the replay drained.
+        if args.serve && Some(&shards) == args.shards.iter().max() {
+            scrape_and_dump(&engine);
+        }
         // Worker-side arrival → decision quantiles, per shard, from the
         // shard histograms (the client-side summary above includes reply
         // transit; these isolate the serving path).
@@ -252,6 +359,7 @@ fn main() {
             let lat = &s.server.latency;
             for (suffix, ns) in [
                 ("p50", lat.p50_ns()),
+                ("p90", lat.p90_ns()),
                 ("p99", lat.p99_ns()),
                 ("p999", lat.p999_ns()),
             ] {
@@ -276,6 +384,8 @@ fn main() {
          window), so requests/sec scales with the shard count.",
         args.delay.as_micros()
     );
+
+    assert_telemetry_overhead(&mut emitter, &history, &stream, args.delay, args.clients);
 
     if args.smoke && std::env::var_os("ESHARING_BENCH_DIR").is_none() {
         println!("smoke mode: skipping BENCH_engine.json / snapshot dump");

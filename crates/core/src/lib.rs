@@ -36,12 +36,18 @@ mod metrics;
 mod orchestrator;
 pub mod server;
 mod simulation;
+pub mod telemetry;
 
 pub use config::SystemConfig;
 pub use events::{EventDrivenSim, TriggerPolicy};
 pub use metrics::{LatencyHistogram, SystemMetrics};
 pub use orchestrator::{ESharing, MaintenanceReport, NotBootstrapped};
 pub use simulation::{Simulation, SimulationReport};
+pub use telemetry::{TelemetryProbe, WorkerTelemetry};
+
+// Re-exported so serving layers and binaries can configure telemetry
+// without a direct `esharing-telemetry` dependency.
+pub use esharing_telemetry::TelemetryConfig;
 
 // Re-exported for convenience so binaries need only depend on the core.
 pub use esharing_dataset::SyntheticCity;

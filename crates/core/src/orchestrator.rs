@@ -1,10 +1,14 @@
 //! The two-tier orchestrator.
 
 use crate::{SystemConfig, SystemMetrics};
-use esharing_charging::{IncentiveMechanism, IncentiveOutcome, Operator, ShiftReport, StationEnergy};
+use esharing_charging::{
+    IncentiveMechanism, IncentiveOutcome, Operator, ShiftReport, StationEnergy,
+};
 use esharing_dataset::Fleet;
 use esharing_geo::{Grid, Point};
-use esharing_placement::online::{Decision, DeviationPenalty, OnlinePlacement};
+use esharing_placement::online::{
+    Decision, DeviationPenalty, HandleTrace, OnlinePlacement, PlacementEvent,
+};
 use esharing_placement::{offline, PlpInstance};
 use std::error::Error;
 use std::fmt;
@@ -15,7 +19,10 @@ pub struct NotBootstrapped;
 
 impl fmt::Display for NotBootstrapped {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "E-Sharing must be bootstrapped with historical data first")
+        write!(
+            f,
+            "E-Sharing must be bootstrapped with historical data first"
+        )
     }
 }
 
@@ -129,8 +136,7 @@ impl ESharing {
         // Keep the most popular candidate cells.
         centroids.sort_by_key(|c| std::cmp::Reverse(c.1));
         centroids.truncate(self.config.max_candidate_cells);
-        let instance =
-            PlpInstance::from_weighted_centroids(&centroids, self.config.space_cost_m);
+        let instance = PlpInstance::from_weighted_centroids(&centroids, self.config.space_cost_m);
         let solution = offline::jms_greedy(&instance);
         self.landmarks = solution.facility_points(&instance);
         let online = DeviationPenalty::new(
@@ -160,6 +166,56 @@ impl ESharing {
             );
         self.metrics.requests_served += 1;
         Ok(decision)
+    }
+
+    /// [`ESharing::handle_request`] through the traced decision path:
+    /// identical state updates and a bit-identical decision, plus the
+    /// per-stage wall-clock breakdown. The serving layers call this for
+    /// sampled requests only — every trace costs a handful of extra clock
+    /// reads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotBootstrapped`] before [`ESharing::bootstrap`].
+    pub fn handle_request_traced(
+        &mut self,
+        destination: Point,
+    ) -> Result<(Decision, HandleTrace), NotBootstrapped> {
+        let online = self.online.as_mut().ok_or(NotBootstrapped)?;
+        let before = online.cost();
+        let (decision, trace) = online.handle_traced(destination);
+        let after = online.cost();
+        self.metrics.placement = self.metrics.placement
+            + esharing_placement::PlacementCost::new(
+                after.walking - before.walking,
+                after.space - before.space,
+            );
+        self.metrics.requests_served += 1;
+        Ok((decision, trace))
+    }
+
+    /// Moves every placement event buffered since the last drain into
+    /// `out`, oldest first (no-op before bootstrap).
+    pub fn take_placement_events(&mut self, out: &mut Vec<PlacementEvent>) {
+        if let Some(online) = self.online.as_mut() {
+            online.take_events(out);
+        }
+    }
+
+    /// Placement events discarded because nothing drained the bounded
+    /// buffer (zero for instrumented deployments that drain per request).
+    pub fn placement_events_dropped(&self) -> u64 {
+        self.online.as_ref().map_or(0, |o| o.events_dropped())
+    }
+
+    /// The online algorithm's current decision-making opening cost `f`.
+    pub fn decision_cost(&self) -> Option<f64> {
+        self.online.as_ref().map(|o| o.decision_cost())
+    }
+
+    /// Cost-doubling epochs the online algorithm has completed.
+    pub fn epoch(&self) -> u64 {
+        self.online.as_ref().map_or(0, |o| o.epoch())
     }
 
     /// Summarizes the fleet's low-battery bikes per station.
@@ -246,7 +302,10 @@ impl ESharing {
             }
         }
         let after = Operator::stations_after_incentives(&stations, &outcome);
-        let shift = self.config.operator.run_shift(&after, &self.config.charging);
+        let shift = self
+            .config
+            .operator
+            .run_shift(&after, &self.config.charging);
         // Recharge the bikes at visited stations.
         for &idx in &shift.visited {
             let loc = after[idx].location;
@@ -309,10 +368,7 @@ mod tests {
     #[test]
     fn request_before_bootstrap_fails() {
         let mut sys = ESharing::new(small_config());
-        assert_eq!(
-            sys.handle_request(Point::ORIGIN),
-            Err(NotBootstrapped)
-        );
+        assert_eq!(sys.handle_request(Point::ORIGIN), Err(NotBootstrapped));
         assert!(sys.stations().is_empty());
         assert!(sys.landmarks().is_empty());
     }
@@ -432,6 +488,43 @@ mod tests {
             moderate < full,
             "alpha=0.4 cost {moderate} should beat alpha=1.0 cost {full}"
         );
+    }
+
+    #[test]
+    fn traced_requests_match_untraced() {
+        // The traced path must be observation-only: interleaving traced
+        // and untraced requests reproduces the plain run bit-for-bit.
+        let history = uniform_points(300, 1000.0, 21);
+        let stream = uniform_points(200, 1000.0, 22);
+        let mut plain = ESharing::new(small_config());
+        plain.bootstrap(&history);
+        let mut traced = ESharing::new(small_config());
+        traced.bootstrap(&history);
+        let mut drained = Vec::new();
+        for (i, &p) in stream.iter().enumerate() {
+            let d1 = plain.handle_request(p).unwrap();
+            let d2 = if i % 5 == 0 {
+                traced.handle_request_traced(p).unwrap().0
+            } else {
+                traced.handle_request(p).unwrap()
+            };
+            assert_eq!(d1, d2);
+            traced.take_placement_events(&mut drained);
+        }
+        assert_eq!(plain.metrics(), traced.metrics());
+        assert_eq!(traced.placement_events_dropped(), 0);
+        let opened = drained
+            .iter()
+            .filter(|e| matches!(e, PlacementEvent::Opened { .. }))
+            .count();
+        assert_eq!(opened, traced.opened_online());
+        assert!(traced.decision_cost().unwrap() > 0.0);
+        assert!(traced.epoch() > 0);
+        // Before bootstrap all the telemetry accessors stay inert.
+        let fresh = ESharing::new(small_config());
+        assert_eq!(fresh.decision_cost(), None);
+        assert_eq!(fresh.epoch(), 0);
+        assert_eq!(fresh.placement_events_dropped(), 0);
     }
 
     #[test]

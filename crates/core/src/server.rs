@@ -15,11 +15,13 @@
 //! single shard it reproduces this server's decisions bit-identically.
 
 use crate::metrics::LatencyHistogram;
+use crate::telemetry::{TelemetryProbe, WorkerTelemetry};
 use crate::ESharing;
 use crossbeam::channel::{bounded, Sender};
 use esharing_geo::Point;
 use esharing_placement::online::Decision;
 use esharing_placement::PlacementCost;
+use esharing_telemetry::TelemetryConfig;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::error::Error;
@@ -44,6 +46,11 @@ enum Command {
     },
     Snapshot {
         reply: Sender<ServerSnapshot>,
+    },
+    /// Telemetry probe: registry snapshot + drained journal (empty when
+    /// the server runs with telemetry disabled).
+    Telemetry {
+        reply: Sender<TelemetryProbe>,
     },
     Shutdown,
 }
@@ -71,6 +78,10 @@ pub struct ServerConfig {
     /// worker's throughput at `1 / service_delay` regardless of core
     /// count. Zero (the default) disables the emulation.
     pub service_delay: Duration,
+    /// Telemetry: metrics registry, event journal, and sampled decision
+    /// tracing on the worker. Enabled by default (tracing is sampled, so
+    /// the decision path pays a few counter increments per request).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for ServerConfig {
@@ -78,6 +89,7 @@ impl Default for ServerConfig {
         ServerConfig {
             queue_capacity: 1024,
             service_delay: Duration::ZERO,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -160,6 +172,21 @@ impl ServerHandle {
             .map_err(|_| ServerClosed)?;
         reply_rx.recv().map_err(|_| ServerClosed)
     }
+
+    /// Fetches the worker's telemetry: a registry snapshot plus the
+    /// journal events recorded since the previous probe. Empty when the
+    /// server runs with telemetry disabled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerClosed`] if the server has been shut down.
+    pub fn telemetry(&self) -> Result<TelemetryProbe, ServerClosed> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.tx
+            .send(Command::Telemetry { reply: reply_tx })
+            .map_err(|_| ServerClosed)?;
+        reply_rx.recv().map_err(|_| ServerClosed)
+    }
 }
 
 /// The server: owns the worker thread.
@@ -198,9 +225,13 @@ impl RequestServer {
         let accepted = Arc::new(Mutex::new(0u64));
         let accepted_worker = Arc::clone(&accepted);
         let service_delay = config.service_delay;
+        let telemetry_cfg = config.telemetry;
         let worker = std::thread::spawn(move || {
             let mut system = system;
             let mut latency = LatencyHistogram::new();
+            let mut telemetry = telemetry_cfg
+                .enabled
+                .then(|| WorkerTelemetry::new(&telemetry_cfg, Instant::now()));
             while let Ok(cmd) = rx.recv() {
                 match cmd {
                     Command::Request {
@@ -208,13 +239,35 @@ impl RequestServer {
                         reply,
                         arrival,
                     } => {
+                        // Sampled tracing: decide before the decision, and
+                        // measure the mailbox wait at dequeue (now) only
+                        // for traced requests — the clock reads are the
+                        // cost the sampling bounds.
+                        let mailbox_ns = telemetry
+                            .as_mut()
+                            .and_then(|t| t.should_trace().then(|| elapsed_ns(arrival)));
                         if !service_delay.is_zero() {
                             std::thread::sleep(service_delay);
                         }
-                        let decision = system
-                            .handle_request(destination)
-                            .expect("server system is bootstrapped");
-                        latency.record(arrival.elapsed());
+                        let (decision, trace) = match mailbox_ns {
+                            Some(wait_ns) => {
+                                let (decision, tr) = system
+                                    .handle_request_traced(destination)
+                                    .expect("server system is bootstrapped");
+                                (decision, Some((wait_ns, tr)))
+                            }
+                            None => (
+                                system
+                                    .handle_request(destination)
+                                    .expect("server system is bootstrapped"),
+                                None,
+                            ),
+                        };
+                        let latency_ns = elapsed_ns(arrival);
+                        latency.record_ns(latency_ns);
+                        if let Some(t) = telemetry.as_mut() {
+                            t.on_decision(&mut system, &decision, latency_ns, trace);
+                        }
                         *accepted_worker.lock() += 1;
                         // A dropped reply receiver is fine: client gave up.
                         let _ = reply.send(decision);
@@ -226,13 +279,31 @@ impl RequestServer {
                     } => {
                         let mut decisions = Vec::with_capacity(destinations.len());
                         for destination in destinations {
+                            let mailbox_ns = telemetry
+                                .as_mut()
+                                .and_then(|t| t.should_trace().then(|| elapsed_ns(arrival)));
                             if !service_delay.is_zero() {
                                 std::thread::sleep(service_delay);
                             }
-                            let decision = system
-                                .handle_request(destination)
-                                .expect("server system is bootstrapped");
-                            latency.record(arrival.elapsed());
+                            let (decision, trace) = match mailbox_ns {
+                                Some(wait_ns) => {
+                                    let (decision, tr) = system
+                                        .handle_request_traced(destination)
+                                        .expect("server system is bootstrapped");
+                                    (decision, Some((wait_ns, tr)))
+                                }
+                                None => (
+                                    system
+                                        .handle_request(destination)
+                                        .expect("server system is bootstrapped"),
+                                    None,
+                                ),
+                            };
+                            let latency_ns = elapsed_ns(arrival);
+                            latency.record_ns(latency_ns);
+                            if let Some(t) = telemetry.as_mut() {
+                                t.on_decision(&mut system, &decision, latency_ns, trace);
+                            }
                             *accepted_worker.lock() += 1;
                             decisions.push(decision);
                         }
@@ -245,6 +316,16 @@ impl RequestServer {
                             requests_served: system.metrics().requests_served,
                             latency: latency.clone(),
                         });
+                    }
+                    Command::Telemetry { reply } => {
+                        let probe = match telemetry.as_mut() {
+                            Some(t) => {
+                                t.observe_maintenance(system.metrics());
+                                t.probe()
+                            }
+                            None => TelemetryProbe::empty(),
+                        };
+                        let _ = reply.send(probe);
                     }
                     Command::Shutdown => break,
                 }
@@ -283,6 +364,11 @@ impl RequestServer {
             .join()
             .expect("worker thread must not panic")
     }
+}
+
+/// Nanoseconds elapsed since `t`, saturating at `u64::MAX`.
+fn elapsed_ns(t: Instant) -> u64 {
+    t.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
 }
 
 impl Drop for RequestServer {
@@ -338,8 +424,7 @@ mod tests {
             joins.push(std::thread::spawn(move || {
                 let mut rng = StdRng::seed_from_u64(100 + t);
                 for _ in 0..25 {
-                    let p =
-                        Point::new(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0));
+                    let p = Point::new(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0));
                     let _ = handle.submit(p).unwrap();
                 }
             }));
@@ -392,16 +477,17 @@ mod tests {
             .collect();
         let sequential = RequestServer::start(bootstrapped_system(41));
         let handle = sequential.handle();
-        let expected: Vec<Decision> = stream
-            .iter()
-            .map(|&p| handle.submit(p).unwrap())
-            .collect();
+        let expected: Vec<Decision> = stream.iter().map(|&p| handle.submit(p).unwrap()).collect();
         let batched = RequestServer::start(bootstrapped_system(41));
         let got = batched.handle().submit_batch(stream).unwrap();
         // Bit-for-bit: decisions carry f64 stations and walking costs.
         assert_eq!(got, expected);
         assert_eq!(batched.accepted(), 300);
-        assert!(batched.handle().submit_batch(Vec::new()).unwrap().is_empty());
+        assert!(batched
+            .handle()
+            .submit_batch(Vec::new())
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -418,6 +504,98 @@ mod tests {
         assert!(snap.latency.p50_ns() > 0);
         assert!(snap.latency.p999_ns() >= snap.latency.p50_ns());
         assert!(snap.latency.max_ns() >= snap.latency.p999_ns());
+    }
+
+    #[test]
+    fn telemetry_probe_reports_exact_counters_and_sampled_stages() {
+        let server = RequestServer::start_with(
+            bootstrapped_system(50),
+            ServerConfig {
+                telemetry: TelemetryConfig {
+                    sample_every: 4,
+                    ..TelemetryConfig::default()
+                },
+                ..ServerConfig::default()
+            },
+        );
+        let handle = server.handle();
+        for i in 0..40 {
+            handle
+                .submit(Point::new((i * 13 % 1000) as f64, (i * 29 % 1000) as f64))
+                .unwrap();
+        }
+        let probe = handle.telemetry().unwrap();
+        assert_eq!(probe.registry.counter_total("esharing_decisions_total"), 40);
+        assert_eq!(
+            probe
+                .registry
+                .histogram_total("esharing_decision_latency_ns")
+                .count(),
+            40
+        );
+        // 1-in-4 sampling over 40 requests: 10 traces x 4 stages.
+        assert_eq!(
+            probe
+                .registry
+                .histogram_total("esharing_decision_stage_ns")
+                .count(),
+            40
+        );
+        assert!(probe.registry.gauge("esharing_stations_open").unwrap() > 0.0);
+        // Counters survive the journal drain; a second probe stays exact.
+        let again = handle.telemetry().unwrap();
+        assert_eq!(again.registry.counter_total("esharing_decisions_total"), 40);
+        assert!(again.events.is_empty());
+        let _ = server.shutdown();
+    }
+
+    #[test]
+    fn telemetry_disabled_serves_and_probes_empty() {
+        let server = RequestServer::start_with(
+            bootstrapped_system(51),
+            ServerConfig {
+                telemetry: TelemetryConfig::disabled(),
+                ..ServerConfig::default()
+            },
+        );
+        let handle = server.handle();
+        for i in 0..10 {
+            handle.submit(Point::new(i as f64, i as f64)).unwrap();
+        }
+        let probe = handle.telemetry().unwrap();
+        assert!(probe.registry.is_empty());
+        assert!(probe.events.is_empty());
+        assert_eq!(server.accepted(), 10);
+    }
+
+    #[test]
+    fn telemetry_sampling_does_not_change_decisions() {
+        // Aggressive 1-in-1 tracing must reproduce the untraced run
+        // bit-for-bit (the traced path only adds clock reads).
+        let mut rng = StdRng::seed_from_u64(60);
+        let stream: Vec<Point> = (0..300)
+            .map(|_| Point::new(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0)))
+            .collect();
+        let plain = RequestServer::start_with(
+            bootstrapped_system(61),
+            ServerConfig {
+                telemetry: TelemetryConfig::disabled(),
+                ..ServerConfig::default()
+            },
+        );
+        let expected = plain.handle().submit_batch(stream.clone()).unwrap();
+        let traced = RequestServer::start_with(
+            bootstrapped_system(61),
+            ServerConfig {
+                telemetry: TelemetryConfig {
+                    sample_every: 1,
+                    ..TelemetryConfig::default()
+                },
+                ..ServerConfig::default()
+            },
+        );
+        let got = traced.handle().submit_batch(stream).unwrap();
+        assert_eq!(got, expected);
     }
 
     #[test]

@@ -1,0 +1,439 @@
+//! Worker-side telemetry glue: one [`WorkerTelemetry`] per serving thread.
+//!
+//! The serving layers (`server::RequestServer`'s worker, the engine's
+//! shard workers) each own one `WorkerTelemetry`: a lock-free
+//! [`Registry`] of pre-registered counters/gauges/histograms plus a
+//! bounded [`EventJournal`], updated inline on the decision path. Because
+//! the worker thread is the single owner, every update is a plain `&mut`
+//! store — no atomics, no locks — and cross-thread visibility happens
+//! only at probe time, when the worker replies to a probe command with a
+//! [`TelemetryProbe`] (a registry snapshot plus the drained journal).
+//!
+//! Decision *tracing* (per-stage wall-clock breakdown) costs extra clock
+//! reads, so it is sampled: [`WorkerTelemetry::should_trace`] returns
+//! `true` for every `sample_every`-th request and the worker switches to
+//! [`ESharing::handle_request_traced`] — bit-identical decisions, plus a
+//! [`HandleTrace`]. Everything else (counters, event draining, gauge
+//! stores) is O(1) per request and runs unsampled, so scraped totals are
+//! exact.
+
+use crate::{ESharing, SystemMetrics};
+use esharing_placement::online::{Decision, HandleTrace, PlacementEvent};
+use esharing_placement::penalty::PenaltyType;
+use esharing_telemetry::{
+    CounterId, Event, EventJournal, EventKind, GaugeId, HistogramId, MergeMode, Registry,
+    RegistrySnapshot, TelemetryConfig,
+};
+use std::time::Instant;
+
+/// The paper's penalty-type number (0 = no penalty), stable across the
+/// journal's serialized form.
+pub fn penalty_code(p: PenaltyType) -> u8 {
+    match p {
+        PenaltyType::None => 0,
+        PenaltyType::TypeI => 1,
+        PenaltyType::TypeII => 2,
+        PenaltyType::TypeIII => 3,
+    }
+}
+
+/// A worker's reply to a telemetry probe: the metric state at probe time
+/// plus every journal event recorded since the previous probe.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TelemetryProbe {
+    /// Counter/gauge/histogram samples (copy; the worker keeps counting).
+    pub registry: RegistrySnapshot,
+    /// Journal events drained by this probe, oldest first.
+    pub events: Vec<Event>,
+    /// Events the journal overwrote before any probe drained them.
+    pub events_dropped: u64,
+}
+
+impl TelemetryProbe {
+    /// The probe of a worker running with telemetry disabled.
+    pub fn empty() -> Self {
+        TelemetryProbe::default()
+    }
+}
+
+/// Per-worker telemetry state: registry, typed handles, journal, and the
+/// trace-sampling countdown. See the module docs.
+#[derive(Debug)]
+pub struct WorkerTelemetry {
+    registry: Registry,
+    journal: EventJournal,
+    sample_period: u32,
+    countdown: u32,
+    /// Reused drain buffer so per-request event collection stays
+    /// allocation-free.
+    event_buf: Vec<PlacementEvent>,
+    maintenance_seen: u64,
+    decisions: CounterId,
+    parkings_opened: CounterId,
+    epochs: CounterId,
+    ks_tests: CounterId,
+    penalty_switches: CounterId,
+    maintenance_dispatches: CounterId,
+    stations_open: GaugeId,
+    decision_cost: GaugeId,
+    ks_d: GaugeId,
+    ks_similarity: GaugeId,
+    walking_cost: GaugeId,
+    space_cost: GaugeId,
+    decision_latency: HistogramId,
+    stage_mailbox: HistogramId,
+    stage_nn: HistogramId,
+    stage_penalty: HistogramId,
+    stage_ks: HistogramId,
+}
+
+impl WorkerTelemetry {
+    /// Registers every metric this worker will ever touch. `epoch` is the
+    /// journal's timestamp origin; pass the same instant to every worker
+    /// of a fleet so their events merge into one comparable timeline.
+    pub fn new(config: &TelemetryConfig, epoch: Instant) -> Self {
+        let mut r = Registry::new();
+        let decisions = r.counter(
+            "esharing_decisions_total",
+            "Online placement decisions served.",
+        );
+        let parkings_opened = r.counter(
+            "esharing_parkings_opened_total",
+            "Parking locations opened by the online algorithm.",
+        );
+        let epochs = r.counter(
+            "esharing_epochs_total",
+            "Cost-doubling epochs crossed (decision cost f doubled).",
+        );
+        let ks_tests = r.counter(
+            "esharing_ks_tests_total",
+            "Periodic 2-D KS re-tests completed.",
+        );
+        let penalty_switches = r.counter(
+            "esharing_penalty_switches_total",
+            "Penalty-type transitions driven by KS test outcomes.",
+        );
+        let maintenance_dispatches = r.counter(
+            "esharing_maintenance_dispatches_total",
+            "Tier-2 maintenance periods dispatched.",
+        );
+        let stations_open = r.gauge(
+            "esharing_stations_open",
+            "Open parking locations (landmarks + online additions).",
+            MergeMode::Sum,
+        );
+        let decision_cost = r.gauge(
+            "esharing_decision_cost",
+            "Current decision-making opening cost f.",
+            MergeMode::PerShard,
+        );
+        let ks_d = r.gauge(
+            "esharing_ks_d_statistic",
+            "Peacock D-statistic at the last KS re-test.",
+            MergeMode::PerShard,
+        );
+        let ks_similarity = r.gauge(
+            "esharing_ks_similarity_percent",
+            "Similarity 100*(1-D) percent at the last KS re-test.",
+            MergeMode::PerShard,
+        );
+        let walking_cost = r.gauge(
+            "esharing_walking_cost_m",
+            "Accumulated walking cost, meters.",
+            MergeMode::Sum,
+        );
+        let space_cost = r.gauge(
+            "esharing_space_cost_m",
+            "Accumulated space-occupation cost, meters.",
+            MergeMode::Sum,
+        );
+        let decision_latency = r.histogram(
+            "esharing_decision_latency_ns",
+            "Arrival-to-decision latency, nanoseconds.",
+        );
+        let stage = |r: &mut Registry, stage: &str| {
+            r.histogram_with(
+                "esharing_decision_stage_ns",
+                "Sampled per-stage decision-path timings, nanoseconds.",
+                &[("stage", stage)],
+            )
+        };
+        let stage_mailbox = stage(&mut r, "mailbox_wait");
+        let stage_nn = stage(&mut r, "nn_lookup");
+        let stage_penalty = stage(&mut r, "penalty_eval");
+        let stage_ks = stage(&mut r, "ks_window");
+        WorkerTelemetry {
+            registry: r,
+            journal: EventJournal::new(config.journal_capacity, epoch),
+            sample_period: config.sample_period(),
+            countdown: 0,
+            event_buf: Vec::with_capacity(esharing_placement::online::EVENT_BUFFER_CAP),
+            maintenance_seen: 0,
+            decisions,
+            parkings_opened,
+            epochs,
+            ks_tests,
+            penalty_switches,
+            maintenance_dispatches,
+            stations_open,
+            decision_cost,
+            ks_d,
+            ks_similarity,
+            walking_cost,
+            space_cost,
+            decision_latency,
+            stage_mailbox,
+            stage_nn,
+            stage_penalty,
+            stage_ks,
+        }
+    }
+
+    /// Whether the next request should run the traced decision path.
+    /// Returns `true` once every `sample_every` calls, starting with the
+    /// first.
+    pub fn should_trace(&mut self) -> bool {
+        if self.countdown == 0 {
+            self.countdown = self.sample_period - 1;
+            true
+        } else {
+            self.countdown -= 1;
+            false
+        }
+    }
+
+    /// Accounts one served decision: exact counters and gauges, journal
+    /// events drained from the placement layer, and — when `trace` is
+    /// present — the sampled per-stage timings (`trace.0` is the mailbox
+    /// wait in nanoseconds, measured by the serving layer at dequeue).
+    pub fn on_decision(
+        &mut self,
+        system: &mut ESharing,
+        decision: &Decision,
+        latency_ns: u64,
+        trace: Option<(u64, HandleTrace)>,
+    ) {
+        self.registry.inc(self.decisions);
+        if decision.opened() {
+            self.registry.inc(self.parkings_opened);
+        }
+        self.registry.observe_ns(self.decision_latency, latency_ns);
+        if let Some((mailbox_ns, tr)) = trace {
+            self.registry.observe_ns(self.stage_mailbox, mailbox_ns);
+            self.registry.observe_ns(self.stage_nn, tr.nn_lookup_ns);
+            self.registry
+                .observe_ns(self.stage_penalty, tr.penalty_eval_ns);
+            self.registry.observe_ns(self.stage_ks, tr.ks_window_ns);
+        }
+        system.take_placement_events(&mut self.event_buf);
+        for ev in self.event_buf.drain(..) {
+            match ev {
+                PlacementEvent::Opened { station } => {
+                    self.journal.record(EventKind::ParkingOpened {
+                        x: station.x,
+                        y: station.y,
+                    });
+                }
+                PlacementEvent::EpochCrossed {
+                    epoch,
+                    decision_cost,
+                } => {
+                    self.registry.inc(self.epochs);
+                    self.journal.record(EventKind::EpochCrossed {
+                        epoch,
+                        decision_cost,
+                    });
+                }
+                PlacementEvent::KsTest {
+                    d_statistic,
+                    similarity_percent,
+                    penalty_before,
+                    penalty_after,
+                } => {
+                    self.registry.inc(self.ks_tests);
+                    self.registry.set(self.ks_d, d_statistic);
+                    self.registry.set(self.ks_similarity, similarity_percent);
+                    if penalty_before != penalty_after {
+                        self.registry.inc(self.penalty_switches);
+                    }
+                    self.journal.record(EventKind::KsTest {
+                        d_statistic,
+                        similarity_percent,
+                        penalty_before: penalty_code(penalty_before),
+                        penalty_after: penalty_code(penalty_after),
+                    });
+                }
+            }
+        }
+        self.registry.set(
+            self.stations_open,
+            (system.landmarks().len() + system.opened_online()) as f64,
+        );
+        if let Some(f) = system.decision_cost() {
+            self.registry.set(self.decision_cost, f);
+        }
+        let placement = system.metrics().placement;
+        self.registry.set(self.walking_cost, placement.walking);
+        self.registry.set(self.space_cost, placement.space);
+    }
+
+    /// Catches the dispatch counter and journal up with the system's
+    /// maintenance-period count (Tier-2 runs outside the request path, so
+    /// workers reconcile by diffing rather than observing the dispatch).
+    pub fn observe_maintenance(&mut self, metrics: &SystemMetrics) {
+        while self.maintenance_seen < metrics.maintenance_periods {
+            self.maintenance_seen += 1;
+            self.registry.inc(self.maintenance_dispatches);
+            self.journal.record(EventKind::MaintenanceDispatch {
+                period: self.maintenance_seen,
+                total_cost: metrics.maintenance_cost,
+            });
+        }
+    }
+
+    /// Snapshots the registry and drains the journal.
+    pub fn probe(&mut self) -> TelemetryProbe {
+        TelemetryProbe {
+            registry: self.registry.snapshot(),
+            events: self.journal.drain(),
+            events_dropped: self.journal.dropped(),
+        }
+    }
+
+    /// Read access to the live registry (tests, in-process dashboards).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SystemConfig;
+    use esharing_geo::Point;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn bootstrapped(seed: u64) -> ESharing {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let history: Vec<Point> = (0..300)
+            .map(|_| Point::new(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0)))
+            .collect();
+        let mut sys = ESharing::new(SystemConfig::default());
+        sys.bootstrap(&history);
+        sys
+    }
+
+    #[test]
+    fn sampling_countdown_fires_every_nth() {
+        let mut wt = WorkerTelemetry::new(
+            &TelemetryConfig {
+                sample_every: 4,
+                ..TelemetryConfig::default()
+            },
+            Instant::now(),
+        );
+        let fired: Vec<bool> = (0..9).map(|_| wt.should_trace()).collect();
+        assert_eq!(
+            fired,
+            vec![true, false, false, false, true, false, false, false, true]
+        );
+    }
+
+    #[test]
+    fn decisions_counted_exactly_and_traces_sampled() {
+        let mut sys = bootstrapped(1);
+        let mut wt = WorkerTelemetry::new(
+            &TelemetryConfig {
+                sample_every: 4,
+                ..TelemetryConfig::default()
+            },
+            Instant::now(),
+        );
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..40 {
+            let p = Point::new(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0));
+            let traced = wt.should_trace();
+            if traced {
+                let (d, tr) = sys.handle_request_traced(p).unwrap();
+                wt.on_decision(&mut sys, &d, 1_000, Some((500, tr)));
+            } else {
+                let d = sys.handle_request(p).unwrap();
+                wt.on_decision(&mut sys, &d, 1_000, None);
+            }
+        }
+        let probe = wt.probe();
+        assert_eq!(probe.registry.counter_total("esharing_decisions_total"), 40);
+        assert_eq!(
+            probe
+                .registry
+                .counter_total("esharing_parkings_opened_total"),
+            sys.opened_online() as u64
+        );
+        // 40 requests at 1-in-4 sampling: 10 traces, 4 stage series each.
+        let stages = probe.registry.histogram_total("esharing_decision_stage_ns");
+        assert_eq!(stages.count(), 40);
+        assert_eq!(
+            probe
+                .registry
+                .histogram_total("esharing_decision_latency_ns")
+                .count(),
+            40
+        );
+        let stations = probe.registry.gauge("esharing_stations_open").unwrap();
+        assert_eq!(
+            stations as usize,
+            sys.landmarks().len() + sys.opened_online()
+        );
+        // Epoch crossings journal and count: 40 requests / (beta*k) each.
+        assert_eq!(
+            probe.registry.counter_total("esharing_epochs_total"),
+            sys.epoch()
+        );
+        assert!(probe
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::EpochCrossed { .. })));
+        assert_eq!(probe.events_dropped, 0);
+        // A second probe starts from an empty journal but keeps counters.
+        let again = wt.probe();
+        assert!(again.events.is_empty());
+        assert_eq!(again.registry.counter_total("esharing_decisions_total"), 40);
+    }
+
+    #[test]
+    fn maintenance_dispatches_reconcile_by_diffing() {
+        let mut wt = WorkerTelemetry::new(&TelemetryConfig::default(), Instant::now());
+        let metrics = SystemMetrics {
+            maintenance_periods: 3,
+            maintenance_cost: 123.5,
+            ..SystemMetrics::default()
+        };
+        wt.observe_maintenance(&metrics);
+        wt.observe_maintenance(&metrics); // idempotent
+        let probe = wt.probe();
+        assert_eq!(
+            probe
+                .registry
+                .counter_total("esharing_maintenance_dispatches_total"),
+            3
+        );
+        let periods: Vec<u64> = probe
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::MaintenanceDispatch { period, .. } => Some(period),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(periods, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn penalty_codes_are_stable() {
+        assert_eq!(penalty_code(PenaltyType::None), 0);
+        assert_eq!(penalty_code(PenaltyType::TypeI), 1);
+        assert_eq!(penalty_code(PenaltyType::TypeII), 2);
+        assert_eq!(penalty_code(PenaltyType::TypeIII), 3);
+    }
+}

@@ -4,11 +4,18 @@
 //! merge by addition (see `esharing-core`'s `Add` impl) and the derived
 //! averages recompute correctly from the merged sums. Snapshots merge the
 //! same way: station sets concatenate (zones are disjoint), costs and
-//! counters add.
+//! counters add. Telemetry merges through the same algebra — worker
+//! registries fold with [`RegistrySnapshot::fleet_sum`], and the
+//! exposition layer renders the fleet totals next to shard-labelled
+//! per-worker series.
 
 use esharing_core::server::ServerSnapshot;
 use esharing_core::{LatencyHistogram, SystemMetrics};
 use esharing_geo::Point;
+use esharing_telemetry::{
+    render_prometheus, snapshot_families, EventRecord, MergeMode, MetricFamily, Registry,
+    RegistrySnapshot,
+};
 use serde::{Deserialize, Serialize};
 
 /// One shard's state at snapshot time, decorated with router-side data.
@@ -27,6 +34,12 @@ pub struct ShardSnapshot {
     pub last_similarity: Option<f64>,
     /// Requests the router shed for this shard (mailbox full).
     pub shed: u64,
+    /// Mailbox depth the router observed at this shard's most recent
+    /// shed (0 until the first shed).
+    pub last_shed_depth: u64,
+    /// The worker's telemetry registry at probe time (empty when the
+    /// engine runs with telemetry disabled).
+    pub registry: RegistrySnapshot,
 }
 
 /// The whole fleet: per-shard parts plus their merged totals.
@@ -40,20 +53,73 @@ pub struct EngineSnapshot {
     pub metrics: SystemMetrics,
     /// Sum of the shards' shed counts.
     pub shed_total: u64,
+    /// Fleet-merged metric samples: worker registries summed, the
+    /// orchestrator metrics bridged in, and the router's shed counter.
+    /// Empty when telemetry is disabled.
+    pub registry: RegistrySnapshot,
+    /// Merged, time-ordered recent event history (bounded; filled by
+    /// `Engine::snapshot`).
+    pub events: Vec<EventRecord>,
+    /// Events lost to journal/log bounds before this snapshot.
+    pub events_dropped: u64,
 }
 
 impl EngineSnapshot {
-    /// Merges per-shard snapshots into fleet totals.
+    /// Merges per-shard snapshots into fleet totals. `events` /
+    /// `events_dropped` start empty; the engine fills them from its
+    /// fleet event log after probing.
     pub fn from_shards(shards: Vec<ShardSnapshot>) -> Self {
         let fleet = merge_server_snapshots(shards.iter().map(|s| &s.server));
-        let metrics = shards.iter().map(|s| s.metrics).sum();
+        let metrics: SystemMetrics = shards.iter().map(|s| s.metrics).sum();
         let shed_total = shards.iter().map(|s| s.shed).sum();
+        let registry = if shards.iter().any(|s| !s.registry.is_empty()) {
+            let mut registry = RegistrySnapshot::fleet_sum(shards.iter().map(|s| &s.registry));
+            // Bridge the orchestrator running sums in, minus the
+            // placement costs the workers already publish live (a Sum
+            // merge would double them).
+            let mut bridged = metrics;
+            bridged.placement = esharing_placement::PlacementCost::ZERO;
+            registry.merge_from(&bridged.registry_snapshot());
+            registry.merge_from(&router_registry(&shards));
+            registry
+        } else {
+            RegistrySnapshot::default()
+        };
         EngineSnapshot {
             shards,
             fleet,
             metrics,
             shed_total,
+            registry,
+            events: Vec::new(),
+            events_dropped: 0,
         }
+    }
+
+    /// Renders the snapshot as metric families: the fleet registry's
+    /// totals first, then every shard's registry stamped with a `shard`
+    /// label (including the per-shard KS drift gauges, which only make
+    /// sense under that label). Empty when telemetry is disabled.
+    pub fn to_families(&self) -> Vec<MetricFamily> {
+        if self.registry.is_empty() {
+            return Vec::new();
+        }
+        let labelled: Vec<RegistrySnapshot> = self
+            .shards
+            .iter()
+            .filter(|s| !s.registry.is_empty())
+            .map(|s| s.registry.with_label("shard", &s.shard.to_string()))
+            .collect();
+        let mut parts: Vec<&RegistrySnapshot> = Vec::with_capacity(labelled.len() + 1);
+        parts.push(&self.registry);
+        parts.extend(labelled.iter());
+        snapshot_families(&parts)
+    }
+
+    /// The snapshot in Prometheus text exposition format — exactly what
+    /// the engine's `/metrics` endpoint serves.
+    pub fn to_prometheus(&self) -> String {
+        render_prometheus(&self.to_families())
     }
 
     /// Serialises the snapshot to a flat JSON document (hand-emitted; the
@@ -63,12 +129,13 @@ impl EngineSnapshot {
         let mut out = String::new();
         out.push_str("{\n");
         out.push_str(&format!(
-            "  \"fleet\": {{ \"stations\": {}, \"requests_served\": {}, \"walking_m\": {:.1}, \"space_m\": {:.1}, \"shed\": {}, {} }},\n",
+            "  \"fleet\": {{ \"stations\": {}, \"requests_served\": {}, \"walking_m\": {:.1}, \"space_m\": {:.1}, \"shed\": {}, \"events_dropped\": {}, {} }},\n",
             self.fleet.stations.len(),
             self.fleet.requests_served,
             self.fleet.placement.walking,
             self.fleet.placement.space,
             self.shed_total,
+            self.events_dropped,
             latency_json(&self.fleet.latency),
         ));
         out.push_str("  \"shards\": [\n");
@@ -78,7 +145,7 @@ impl EngineSnapshot {
                 _ => "null".to_string(),
             };
             out.push_str(&format!(
-                "    {{ \"shard\": {}, \"anchor\": [{:.1}, {:.1}], \"stations\": {}, \"requests_served\": {}, \"walking_m\": {:.1}, \"space_m\": {:.1}, \"similarity_percent\": {}, \"shed\": {}, {} }}{}\n",
+                "    {{ \"shard\": {}, \"anchor\": [{:.1}, {:.1}], \"stations\": {}, \"requests_served\": {}, \"walking_m\": {:.1}, \"space_m\": {:.1}, \"similarity_percent\": {}, \"shed\": {}, \"shed_last_queue_depth\": {}, {} }}{}\n",
                 s.shard,
                 s.anchor.x,
                 s.anchor.y,
@@ -88,6 +155,7 @@ impl EngineSnapshot {
                 s.server.placement.space,
                 similarity,
                 s.shed,
+                s.last_shed_depth,
                 latency_json(&s.server.latency),
                 if i + 1 < self.shards.len() { "," } else { "" },
             ));
@@ -97,14 +165,39 @@ impl EngineSnapshot {
     }
 }
 
+/// Router-side series: the shed counter and last-observed shed depth,
+/// one labelled sample per shard.
+fn router_registry(shards: &[ShardSnapshot]) -> RegistrySnapshot {
+    let mut r = Registry::new();
+    for s in shards {
+        let shard_label = s.shard.to_string();
+        let labels = [("shard", shard_label.as_str())];
+        let c = r.counter_with(
+            "esharing_sheds_total",
+            "Requests shed by admission control (shard mailbox full).",
+            &labels,
+        );
+        r.add(c, s.shed);
+        let g = r.gauge_with(
+            "esharing_shed_last_queue_depth",
+            "Mailbox depth the router observed at the most recent shed.",
+            MergeMode::Sum,
+            &labels,
+        );
+        r.set(g, s.last_shed_depth as f64);
+    }
+    r.snapshot()
+}
+
 /// Decision-latency quantile fields for the hand-emitted JSON dump.
 /// Bucketed quantiles (12.5% resolution) in microseconds; see
 /// [`LatencyHistogram`].
 fn latency_json(latency: &LatencyHistogram) -> String {
     format!(
-        "\"latency_count\": {}, \"latency_p50_us\": {:.1}, \"latency_p99_us\": {:.1}, \"latency_p999_us\": {:.1}",
+        "\"latency_count\": {}, \"latency_p50_us\": {:.1}, \"latency_p90_us\": {:.1}, \"latency_p99_us\": {:.1}, \"latency_p999_us\": {:.1}",
         latency.count(),
         latency.p50_ns() as f64 / 1_000.0,
+        latency.p90_ns() as f64 / 1_000.0,
         latency.p99_ns() as f64 / 1_000.0,
         latency.p999_ns() as f64 / 1_000.0,
     )
@@ -151,6 +244,11 @@ mod tests {
             requests_served: served,
             latency,
         };
+        let mut reg = Registry::new();
+        let c = reg.counter("esharing_decisions_total", "decisions");
+        reg.add(c, served);
+        let g = reg.gauge("esharing_ks_d_statistic", "drift", MergeMode::PerShard);
+        reg.set(g, 0.1 * (i as f64 + 1.0));
         ShardSnapshot {
             shard: i,
             anchor: Point::new(i as f64 * 1000.0, 0.0),
@@ -162,6 +260,8 @@ mod tests {
             },
             last_similarity: if i == 0 { Some(92.5) } else { None },
             shed,
+            last_shed_depth: if shed > 0 { 7 } else { 0 },
+            registry: reg.snapshot(),
         }
     }
 
@@ -191,6 +291,38 @@ mod tests {
     }
 
     #[test]
+    fn registry_merges_workers_bridge_and_router() {
+        let snap = EngineSnapshot::from_shards(vec![
+            shard(0, 3, 40, 1200.0, 2),
+            shard(1, 2, 60, 800.0, 0),
+        ]);
+        // Worker counters fold across shards.
+        assert_eq!(snap.registry.counter_total("esharing_decisions_total"), 100);
+        // The orchestrator bridge rides in (requests served, walking cost
+        // from the live worker gauges only — not double-counted).
+        assert_eq!(snap.registry.counter_total("esharing_requests_total"), 100);
+        // These synthetic worker registries carry no walking gauge, and
+        // the bridge zeroes placement (workers own it live): no doubling.
+        assert_eq!(snap.registry.gauge("esharing_walking_cost_m"), Some(0.0));
+        // Router shed series carry shard labels and sum to the total.
+        assert_eq!(snap.registry.counter_total("esharing_sheds_total"), 2);
+        // Per-shard drift gauges are absent from the fleet totals (they
+        // only make sense under a shard label) but present in families.
+        assert_eq!(snap.registry.gauge("esharing_ks_d_statistic"), None);
+        let families = snap.to_families();
+        let drift = families
+            .iter()
+            .find(|f| f.name == "esharing_ks_d_statistic")
+            .expect("drift family present");
+        assert_eq!(drift.samples.len(), 2);
+        let prom = snap.to_prometheus();
+        assert!(prom.contains("# TYPE esharing_decisions_total counter"));
+        assert!(prom.contains("esharing_sheds_total{shard=\"0\"} 2"));
+        assert!(prom.contains("esharing_decisions_total{shard=\"1\"} 60"));
+        assert!(prom.contains("esharing_shed_last_queue_depth{shard=\"0\"} 7"));
+    }
+
+    #[test]
     fn merge_of_empty_is_zero() {
         let merged = merge_server_snapshots(std::iter::empty());
         assert!(merged.stations.is_empty());
@@ -210,9 +342,11 @@ mod tests {
         assert!(json.contains("\"similarity_percent\": 92.5"));
         assert!(json.contains("\"similarity_percent\": null"));
         assert!(json.contains("\"shed\": 2"));
+        assert!(json.contains("\"shed_last_queue_depth\": 7"));
         assert_eq!(json.matches("\"shard\":").count(), 2);
         // Latency fields appear for the fleet and for every shard.
         assert_eq!(json.matches("\"latency_p50_us\":").count(), 3);
+        assert_eq!(json.matches("\"latency_p90_us\":").count(), 3);
         assert_eq!(json.matches("\"latency_p99_us\":").count(), 3);
         assert_eq!(json.matches("\"latency_p999_us\":").count(), 3);
         assert!(json.contains("\"latency_count\": 100"));

@@ -4,14 +4,18 @@ use crate::aggregate::{EngineSnapshot, ShardSnapshot};
 use crate::shard::{self, Command};
 use crate::shard_map::ShardMap;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
-use esharing_core::{ESharing, SystemConfig};
+use esharing_core::{ESharing, SystemConfig, TelemetryProbe, WorkerTelemetry};
 use esharing_geo::{BBox, Grid, Point};
 use esharing_placement::online::Decision;
 use esharing_placement::{offline, PlpInstance};
+use esharing_telemetry::{
+    Event, EventJournal, EventKind, EventLog, MetricsServer, Scrape, ScrapeSource, TelemetryConfig,
+};
 use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -50,6 +54,10 @@ pub struct EngineConfig {
     /// on the nearest `min_shard_history` points to their anchor instead,
     /// so sparse zones still get a valid offline solution.
     pub min_shard_history: usize,
+    /// Per-worker telemetry: metrics registry, event journal, and sampled
+    /// decision tracing. Every shard worker gets its own instance sharing
+    /// one epoch instant, so journal timestamps are fleet-comparable.
+    pub telemetry: TelemetryConfig,
     /// The per-shard system configuration. Shard `i` reseeds its
     /// stochastic components with `seed ^ i`, so shard 0 of a one-shard
     /// engine is bit-identical to a plain `ESharing` on the same config.
@@ -64,6 +72,7 @@ impl Default for EngineConfig {
             mailbox_capacity: 1024,
             service_delay: Duration::ZERO,
             min_shard_history: 32,
+            telemetry: TelemetryConfig::default(),
             system: SystemConfig::default(),
         }
     }
@@ -72,8 +81,14 @@ impl Default for EngineConfig {
 impl EngineConfig {
     fn validate(&self) {
         assert!(self.shards > 0, "need at least one shard");
-        assert!(self.mailbox_capacity > 0, "mailbox capacity must be positive");
-        assert!(self.min_shard_history > 0, "min shard history must be positive");
+        assert!(
+            self.mailbox_capacity > 0,
+            "mailbox capacity must be positive"
+        );
+        assert!(
+            self.min_shard_history > 0,
+            "min shard history must be positive"
+        );
         self.system.validate();
     }
 }
@@ -116,9 +131,7 @@ impl EngineDecision {
     /// The shard the request routed to.
     pub fn shard(&self) -> usize {
         match *self {
-            EngineDecision::Served { shard, .. } | EngineDecision::Degraded { shard, .. } => {
-                shard
-            }
+            EngineDecision::Served { shard, .. } | EngineDecision::Degraded { shard, .. } => shard,
         }
     }
 
@@ -145,11 +158,92 @@ pub enum Admission {
 
 struct ShardSlot {
     tx: Sender<Command>,
-    worker: Option<JoinHandle<ESharing>>,
     /// The zone's offline landmarks, cached router-side for degraded-mode
     /// fallbacks (immutable after bootstrap).
     landmarks: Vec<Point>,
     shed: AtomicU64,
+    /// Mailbox depth the router observed at the most recent shed.
+    last_shed_depth: AtomicU64,
+    /// Commands currently in the mailbox (router increments before
+    /// `try_send`, the worker decrements on dequeue). The stub channel
+    /// carries no `len()`, so the router mirrors the depth itself — this
+    /// is what the shed journal records as `queue_depth`.
+    inflight: Arc<AtomicU64>,
+}
+
+/// State shared between the router handle and the telemetry scrape
+/// source, so an HTTP scrape can probe the fleet without holding the
+/// engine itself.
+struct EngineShared {
+    map: ShardMap,
+    shards: Vec<ShardSlot>,
+    telemetry_enabled: bool,
+    /// Router-side journal for shed events (workers never see shed
+    /// requests). Submitting threads contend on this only when a shed
+    /// actually happens — the accept path never locks it.
+    shed_journal: Mutex<EventJournal>,
+    /// Fleet-wide merged event log, fed by snapshot probes.
+    events: Mutex<EventLog>,
+}
+
+impl EngineShared {
+    /// Admission bookkeeping for `count` shed requests against `shard`:
+    /// counter, last-seen depth, and one journal event per request.
+    fn note_shed(&self, shard: usize, count: u64, depth: u64) {
+        let slot = &self.shards[shard];
+        slot.shed.fetch_add(count, Ordering::Relaxed);
+        slot.last_shed_depth.store(depth, Ordering::Relaxed);
+        if self.telemetry_enabled {
+            let mut journal = self.shed_journal.lock().expect("shed journal not poisoned");
+            for _ in 0..count {
+                journal.record(EventKind::ShardShed { queue_depth: depth });
+            }
+        }
+    }
+
+    /// Probes every shard through its mailbox and merges the parts. See
+    /// [`Engine::snapshot`].
+    fn snapshot(&self) -> Result<EngineSnapshot, EngineClosed> {
+        let mut shards = Vec::with_capacity(self.shards.len());
+        let mut batches: Vec<(Option<usize>, Vec<Event>)> = Vec::new();
+        let mut journals_dropped = 0u64;
+        for (i, slot) in self.shards.iter().enumerate() {
+            let (reply_tx, reply_rx) = bounded(1);
+            slot.tx
+                .send(Command::Snapshot { reply: reply_tx })
+                .map_err(|_| EngineClosed)?;
+            let state = reply_rx.recv().map_err(|_| EngineClosed)?;
+            let probe = state.telemetry.unwrap_or_else(TelemetryProbe::empty);
+            journals_dropped += probe.events_dropped;
+            if !probe.events.is_empty() {
+                batches.push((Some(i), probe.events));
+            }
+            shards.push(ShardSnapshot {
+                shard: i,
+                anchor: self.map.anchor(i),
+                server: state.server,
+                metrics: state.metrics,
+                last_similarity: state.last_similarity,
+                shed: slot.shed.load(Ordering::Relaxed),
+                last_shed_depth: slot.last_shed_depth.load(Ordering::Relaxed),
+                registry: probe.registry,
+            });
+        }
+        {
+            let mut journal = self.shed_journal.lock().expect("shed journal not poisoned");
+            journals_dropped += journal.dropped();
+            let drained = journal.drain();
+            if !drained.is_empty() {
+                batches.push((None, drained));
+            }
+        }
+        let mut snap = EngineSnapshot::from_shards(shards);
+        let mut log = self.events.lock().expect("event log not poisoned");
+        log.absorb(batches);
+        snap.events = log.records().to_vec();
+        snap.events_dropped = journals_dropped + log.dropped();
+        Ok(snap)
+    }
 }
 
 /// The zone-sharded serving engine.
@@ -184,8 +278,8 @@ struct ShardSlot {
 /// let _systems = engine.shutdown();
 /// ```
 pub struct Engine {
-    map: ShardMap,
-    shards: Vec<ShardSlot>,
+    shared: Arc<EngineShared>,
+    workers: Vec<Option<JoinHandle<ESharing>>>,
 }
 
 impl Engine {
@@ -200,35 +294,59 @@ impl Engine {
         assert!(!history.is_empty(), "historical window must be non-empty");
         let map = Self::build_map(history, &cfg);
         let shard_count = map.shard_count();
+        // One epoch instant for the whole fleet: every journal (shard
+        // workers and the router's shed journal) timestamps against it,
+        // so drained events merge into one comparable timeline.
+        let epoch = Instant::now();
         // Slice the history by zone, preserving stream order within each.
         let mut parts: Vec<Vec<Point>> = vec![Vec::new(); shard_count];
         for &p in history {
             parts[map.shard_of(p)].push(p);
         }
-        let shards = parts
-            .into_iter()
-            .enumerate()
-            .map(|(i, mut part)| {
-                if part.len() < cfg.min_shard_history {
-                    part = nearest_points(history, map.anchor(i), cfg.min_shard_history);
-                }
-                let mut system_cfg = cfg.system.clone();
-                system_cfg.seed ^= i as u64;
-                system_cfg.deviation.seed ^= i as u64;
-                let mut system = ESharing::new(system_cfg);
-                system.bootstrap(&part);
-                let landmarks = system.landmarks().to_vec();
-                let (tx, rx) = bounded::<Command>(cfg.mailbox_capacity);
-                let worker = shard::spawn(system, rx, cfg.service_delay);
-                ShardSlot {
-                    tx,
-                    worker: Some(worker),
-                    landmarks,
-                    shed: AtomicU64::new(0),
-                }
-            })
-            .collect();
-        Engine { map, shards }
+        let mut slots = Vec::with_capacity(shard_count);
+        let mut workers = Vec::with_capacity(shard_count);
+        for (i, mut part) in parts.into_iter().enumerate() {
+            if part.len() < cfg.min_shard_history {
+                part = nearest_points(history, map.anchor(i), cfg.min_shard_history);
+            }
+            let mut system_cfg = cfg.system.clone();
+            system_cfg.seed ^= i as u64;
+            system_cfg.deviation.seed ^= i as u64;
+            let mut system = ESharing::new(system_cfg);
+            system.bootstrap(&part);
+            let landmarks = system.landmarks().to_vec();
+            let (tx, rx) = bounded::<Command>(cfg.mailbox_capacity);
+            let telemetry = cfg
+                .telemetry
+                .enabled
+                .then(|| WorkerTelemetry::new(&cfg.telemetry, epoch));
+            let inflight = Arc::new(AtomicU64::new(0));
+            let worker = shard::spawn(
+                system,
+                rx,
+                cfg.service_delay,
+                telemetry,
+                Arc::clone(&inflight),
+            );
+            slots.push(ShardSlot {
+                tx,
+                landmarks,
+                shed: AtomicU64::new(0),
+                last_shed_depth: AtomicU64::new(0),
+                inflight,
+            });
+            workers.push(Some(worker));
+        }
+        let shared = Arc::new(EngineShared {
+            map,
+            shards: slots,
+            telemetry_enabled: cfg.telemetry.enabled,
+            shed_journal: Mutex::new(EventJournal::new(cfg.telemetry.journal_capacity, epoch)),
+            events: Mutex::new(EventLog::new(
+                cfg.telemetry.journal_capacity * (shard_count + 1),
+            )),
+        });
+        Engine { shared, workers }
     }
 
     fn build_map(history: &[Point], cfg: &EngineConfig) -> ShardMap {
@@ -257,12 +375,12 @@ impl Engine {
 
     /// The destination → shard map in force.
     pub fn map(&self) -> &ShardMap {
-        &self.map
+        &self.shared.map
     }
 
     /// Realized shard count.
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.shared.shards.len()
     }
 
     /// Submits a destination and waits for the decision. Never blocks on
@@ -281,8 +399,9 @@ impl Engine {
         thread_local! {
             static REPLY: (Sender<Decision>, Receiver<Decision>) = bounded(1);
         }
-        let shard = self.map.shard_of(destination);
-        let slot = &self.shards[shard];
+        let shard = self.shared.map.shard_of(destination);
+        let slot = &self.shared.shards[shard];
+        slot.inflight.fetch_add(1, Ordering::Relaxed);
         REPLY.with(|(reply_tx, reply_rx)| {
             match slot.tx.try_send(Command::Request {
                 destination,
@@ -294,13 +413,17 @@ impl Engine {
                     Ok(EngineDecision::Served { shard, decision })
                 }
                 Err(TrySendError::Full(_)) => {
-                    slot.shed.fetch_add(1, Ordering::Relaxed);
+                    let prev = slot.inflight.fetch_sub(1, Ordering::Relaxed);
+                    self.shared.note_shed(shard, 1, prev.saturating_sub(1));
                     Ok(EngineDecision::Degraded {
                         shard,
                         fallback: nearest_landmark(&slot.landmarks, destination),
                     })
                 }
-                Err(TrySendError::Disconnected(_)) => Err(EngineClosed),
+                Err(TrySendError::Disconnected(_)) => {
+                    slot.inflight.fetch_sub(1, Ordering::Relaxed);
+                    Err(EngineClosed)
+                }
             }
         })
     }
@@ -330,9 +453,9 @@ impl Engine {
         destinations: &[Point],
     ) -> Result<Vec<EngineDecision>, EngineClosed> {
         // Group by shard, keeping each shard's items in submission order.
-        let mut groups: Vec<Vec<(usize, Point)>> = vec![Vec::new(); self.shards.len()];
+        let mut groups: Vec<Vec<(usize, Point)>> = vec![Vec::new(); self.shared.shards.len()];
         for (i, &p) in destinations.iter().enumerate() {
-            groups[self.map.shard_of(p)].push((i, p));
+            groups[self.shared.map.shard_of(p)].push((i, p));
         }
         let mut out: Vec<Option<EngineDecision>> = vec![None; destinations.len()];
         // Dispatch every sub-batch before collecting any reply, so the
@@ -342,10 +465,11 @@ impl Engine {
             if group.is_empty() {
                 continue;
             }
-            let slot = &self.shards[shard];
+            let slot = &self.shared.shards[shard];
             let idxs: Vec<usize> = group.iter().map(|&(i, _)| i).collect();
             let pts: Vec<Point> = group.iter().map(|&(_, p)| p).collect();
             let (reply_tx, reply_rx) = bounded(1);
+            slot.inflight.fetch_add(1, Ordering::Relaxed);
             match slot.tx.try_send(Command::Batch {
                 destinations: pts,
                 reply: reply_tx,
@@ -353,7 +477,9 @@ impl Engine {
             }) {
                 Ok(()) => pending.push((shard, reply_rx, idxs)),
                 Err(TrySendError::Full(_)) => {
-                    slot.shed.fetch_add(group.len() as u64, Ordering::Relaxed);
+                    let prev = slot.inflight.fetch_sub(1, Ordering::Relaxed);
+                    self.shared
+                        .note_shed(shard, group.len() as u64, prev.saturating_sub(1));
                     for (i, p) in group {
                         out[i] = Some(EngineDecision::Degraded {
                             shard,
@@ -361,7 +487,10 @@ impl Engine {
                         });
                     }
                 }
-                Err(TrySendError::Disconnected(_)) => return Err(EngineClosed),
+                Err(TrySendError::Disconnected(_)) => {
+                    slot.inflight.fetch_sub(1, Ordering::Relaxed);
+                    return Err(EngineClosed);
+                }
             }
         }
         for (shard, reply_rx, idxs) in pending {
@@ -385,8 +514,9 @@ impl Engine {
     ///
     /// Returns [`EngineClosed`] if the engine has shut down.
     pub fn submit_nowait(&self, destination: Point) -> Result<Admission, EngineClosed> {
-        let shard = self.map.shard_of(destination);
-        let slot = &self.shards[shard];
+        let shard = self.shared.map.shard_of(destination);
+        let slot = &self.shared.shards[shard];
+        slot.inflight.fetch_add(1, Ordering::Relaxed);
         match slot.tx.try_send(Command::Request {
             destination,
             reply: None,
@@ -394,10 +524,14 @@ impl Engine {
         }) {
             Ok(()) => Ok(Admission::Accepted { shard }),
             Err(TrySendError::Full(_)) => {
-                slot.shed.fetch_add(1, Ordering::Relaxed);
+                let prev = slot.inflight.fetch_sub(1, Ordering::Relaxed);
+                self.shared.note_shed(shard, 1, prev.saturating_sub(1));
                 Ok(Admission::Shed { shard })
             }
-            Err(TrySendError::Disconnected(_)) => Err(EngineClosed),
+            Err(TrySendError::Disconnected(_)) => {
+                slot.inflight.fetch_sub(1, Ordering::Relaxed);
+                Err(EngineClosed)
+            }
         }
     }
 
@@ -407,12 +541,16 @@ impl Engine {
     ///
     /// Panics if `shard` is out of range.
     pub fn shed(&self, shard: usize) -> u64 {
-        self.shards[shard].shed.load(Ordering::Relaxed)
+        self.shared.shards[shard].shed.load(Ordering::Relaxed)
     }
 
     /// Requests shed so far across all shards.
     pub fn shed_total(&self) -> u64 {
-        self.shards.iter().map(|s| s.shed.load(Ordering::Relaxed)).sum()
+        self.shared
+            .shards
+            .iter()
+            .map(|s| s.shed.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Collects a consistent-enough fleet snapshot: each shard is probed
@@ -421,27 +559,37 @@ impl Engine {
     /// queues behind in-flight requests; it blocks until the shard drains
     /// to it, applying ordinary backpressure rather than shedding.
     ///
+    /// Each probe also drains the shards' event journals into the
+    /// engine's bounded fleet log, so [`EngineSnapshot::events`] carries
+    /// the merged, time-ordered recent history regardless of which caller
+    /// (snapshot or HTTP scrape) probed last.
+    ///
     /// # Errors
     ///
     /// Returns [`EngineClosed`] if the engine has shut down.
     pub fn snapshot(&self) -> Result<EngineSnapshot, EngineClosed> {
-        let mut shards = Vec::with_capacity(self.shards.len());
-        for (i, slot) in self.shards.iter().enumerate() {
-            let (reply_tx, reply_rx) = bounded(1);
-            slot.tx
-                .send(Command::Snapshot { reply: reply_tx })
-                .map_err(|_| EngineClosed)?;
-            let state = reply_rx.recv().map_err(|_| EngineClosed)?;
-            shards.push(ShardSnapshot {
-                shard: i,
-                anchor: self.map.anchor(i),
-                server: state.server,
-                metrics: state.metrics,
-                last_similarity: state.last_similarity,
-                shed: slot.shed.load(Ordering::Relaxed),
-            });
+        self.shared.snapshot()
+    }
+
+    /// A detached scrape source for the telemetry HTTP responder. Holds
+    /// only a weak reference: once the engine is dropped or shut down,
+    /// scrapes return `None` and the responder answers 503.
+    pub fn scrape_source(&self) -> EngineScrapeSource {
+        EngineScrapeSource {
+            shared: Arc::downgrade(&self.shared),
         }
-        Ok(EngineSnapshot::from_shards(shards))
+    }
+
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and serves this engine's
+    /// telemetry over HTTP (`/metrics` Prometheus text, `/metrics.json`,
+    /// `/events`) for as long as the returned server lives. The engine
+    /// remains fully usable; scrapes ride the ordinary snapshot path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn serve_telemetry(&self, addr: &str) -> std::io::Result<MetricsServer> {
+        MetricsServer::start(addr, Arc::new(self.scrape_source()))
     }
 
     /// Stops every worker and returns the final per-shard systems, in
@@ -451,11 +599,12 @@ impl Engine {
     ///
     /// Panics if a worker thread panicked.
     pub fn shutdown(mut self) -> Vec<ESharing> {
-        self.shards
+        self.workers
             .iter_mut()
-            .map(|slot| {
+            .zip(&self.shared.shards)
+            .map(|(worker, slot)| {
                 let _ = slot.tx.send(Command::Shutdown);
-                slot.worker
+                worker
                     .take()
                     .expect("worker present until shutdown")
                     .join()
@@ -467,8 +616,8 @@ impl Engine {
 
 impl Drop for Engine {
     fn drop(&mut self) {
-        for slot in &mut self.shards {
-            if let Some(worker) = slot.worker.take() {
+        for (worker, slot) in self.workers.iter_mut().zip(&self.shared.shards) {
+            if let Some(worker) = worker.take() {
                 let _ = slot.tx.send(Command::Shutdown);
                 let _ = worker.join();
             }
@@ -479,10 +628,31 @@ impl Drop for Engine {
 impl fmt::Debug for Engine {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Engine")
-            .field("shards", &self.shards.len())
-            .field("map", &self.map)
+            .field("shards", &self.shared.shards.len())
+            .field("map", &self.shared.map)
             .field("shed_total", &self.shed_total())
             .finish()
+    }
+}
+
+/// [`ScrapeSource`] over a weak engine reference, so the HTTP responder
+/// never keeps a shut-down engine alive. Obtained from
+/// [`Engine::scrape_source`]; consumed by
+/// [`MetricsServer`](esharing_telemetry::MetricsServer) (usually via
+/// [`Engine::serve_telemetry`]).
+pub struct EngineScrapeSource {
+    shared: Weak<EngineShared>,
+}
+
+impl ScrapeSource for EngineScrapeSource {
+    fn scrape(&self) -> Option<Scrape> {
+        let shared = self.shared.upgrade()?;
+        let snap = shared.snapshot().ok()?;
+        Some(Scrape {
+            families: snap.to_families(),
+            events: snap.events,
+            events_dropped: snap.events_dropped,
+        })
     }
 }
 
@@ -557,6 +727,9 @@ mod tests {
         let snap = engine.snapshot().unwrap();
         assert_eq!(snap.metrics.requests_served, 200);
         assert_eq!(snap.shed_total, 0);
+        // Telemetry rides along: the scraped decision counter equals the
+        // fleet metric total exactly (counters are unsampled).
+        assert_eq!(snap.registry.counter_total("esharing_decisions_total"), 200);
         let systems = engine.shutdown();
         assert_eq!(systems.len(), 4);
         let served: u64 = systems.iter().map(|s| s.metrics().requests_served).sum();
@@ -626,7 +799,7 @@ mod tests {
         // Extract the slots' senders by shutting down, then observe the
         // error path through a second engine handle shape: easiest is to
         // check that a cloned sender reports disconnect after shutdown.
-        let tx = engine.shards[0].tx.clone();
+        let tx = engine.shared.shards[0].tx.clone();
         let _ = engine.shutdown();
         let (reply_tx, _reply_rx) = bounded(1);
         assert!(tx
@@ -636,6 +809,95 @@ mod tests {
                 arrival: Instant::now(),
             })
             .is_err());
+    }
+
+    #[test]
+    fn overload_sheds_with_depth_and_journal() {
+        // One shard with a tiny mailbox and a slow downstream: the flood
+        // of fire-and-forget submits must shed, record the observed queue
+        // depth, and journal every shed.
+        let engine = Engine::start(
+            &clustered_history(),
+            EngineConfig {
+                shards: 1,
+                partition: Partition::UniformGrid,
+                mailbox_capacity: 2,
+                service_delay: Duration::from_millis(5),
+                ..EngineConfig::default()
+            },
+        );
+        let mut shed = 0u64;
+        for i in 0..30 {
+            let p = Point::new(((i * 97) % 2000) as f64, ((i * 31) % 2000) as f64);
+            if let Admission::Shed { shard } = engine.submit_nowait(p).unwrap() {
+                assert_eq!(shard, 0);
+                shed += 1;
+            }
+        }
+        assert!(shed > 0, "a 2-deep mailbox must shed under a 30-burst");
+        assert_eq!(engine.shed(0), shed);
+        assert_eq!(engine.shed_total(), shed);
+        let snap = engine.snapshot().unwrap();
+        assert_eq!(snap.shed_total, shed);
+        assert_eq!(snap.shards[0].shed, shed);
+        // The router saw a full mailbox: depth at shed time is bounded by
+        // the capacity (the worker may dequeue concurrently, so it can
+        // read lower, never higher).
+        assert!(snap.shards[0].last_shed_depth <= 2);
+        assert_eq!(snap.registry.counter_total("esharing_sheds_total"), shed);
+        // Every shed journalled router-side, with the observed depth.
+        let shed_events: Vec<u64> = snap
+            .events
+            .iter()
+            .filter(|r| r.shard.is_none())
+            .filter_map(|r| match r.event.kind {
+                EventKind::ShardShed { queue_depth } => Some(queue_depth),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(shed_events.len() as u64, shed);
+        assert!(shed_events.iter().all(|&d| d <= 2));
+    }
+
+    #[test]
+    fn disabled_telemetry_yields_empty_registry_and_events() {
+        let engine = Engine::start(
+            &clustered_history(),
+            EngineConfig {
+                shards: 2,
+                partition: Partition::UniformGrid,
+                telemetry: TelemetryConfig::disabled(),
+                ..EngineConfig::default()
+            },
+        );
+        for i in 0..50 {
+            let p = Point::new(((i * 97) % 2000) as f64, ((i * 31) % 2000) as f64);
+            engine.submit(p).unwrap();
+        }
+        let snap = engine.snapshot().unwrap();
+        assert_eq!(snap.metrics.requests_served, 50);
+        assert!(snap.registry.is_empty());
+        assert!(snap.events.is_empty());
+        assert_eq!(snap.events_dropped, 0);
+        assert!(snap.to_families().is_empty());
+    }
+
+    #[test]
+    fn scrape_source_outlives_engine_as_503() {
+        let engine = Engine::start(
+            &clustered_history(),
+            EngineConfig {
+                shards: 1,
+                partition: Partition::UniformGrid,
+                ..EngineConfig::default()
+            },
+        );
+        engine.submit(Point::new(500.0, 500.0)).unwrap();
+        let source = engine.scrape_source();
+        let scrape = source.scrape().expect("live engine scrapes");
+        assert!(!scrape.families.is_empty());
+        drop(engine);
+        assert!(source.scrape().is_none(), "dropped engine must scrape None");
     }
 
     #[test]

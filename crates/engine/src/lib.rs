@@ -25,7 +25,12 @@
 //!   totals ([`EngineSnapshot`]), exploiting that every metric is a sum;
 //! * a [`replay`](crate::replay::replay) driver feeds recorded trip
 //!   streams into either backend at a configurable offered rate and
-//!   reports throughput and latency percentiles.
+//!   reports throughput and latency percentiles;
+//! * telemetry rides the whole stack: each shard worker owns a metrics
+//!   registry and event journal (`esharing-telemetry`), the aggregator
+//!   merges them fleet-wide, and [`Engine::serve_telemetry`] exposes the
+//!   live run over HTTP (`/metrics` Prometheus text, `/metrics.json`,
+//!   `/events`) — scrapeable mid-flight.
 //!
 //! Per-zone semantics are unchanged: each shard runs the paper's
 //! Algorithm 2 verbatim on its zone's stream, and an engine with a single
@@ -42,6 +47,9 @@ mod shard;
 mod shard_map;
 
 pub use aggregate::{merge_server_snapshots, EngineSnapshot, ShardSnapshot};
-pub use engine::{Admission, Engine, EngineClosed, EngineConfig, EngineDecision, Partition};
+pub use engine::{
+    Admission, Engine, EngineClosed, EngineConfig, EngineDecision, EngineScrapeSource, Partition,
+};
+pub use esharing_telemetry::{http_get, MetricsServer, TelemetryConfig};
 pub use replay::{LatencySummary, ReplayConfig, ReplayReport, RequestSink, SinkOutcome};
 pub use shard_map::ShardMap;

@@ -79,6 +79,8 @@ pub struct LatencySummary {
     pub mean_us: f64,
     /// Median.
     pub p50_us: u64,
+    /// 90th percentile — the first tail quantile operators alert on.
+    pub p90_us: u64,
     /// 99th percentile.
     pub p99_us: u64,
     /// 99.9th percentile — the deep tail; meaningful once roughly a
@@ -96,6 +98,7 @@ impl LatencySummary {
                 count: 0,
                 mean_us: 0.0,
                 p50_us: 0,
+                p90_us: 0,
                 p99_us: 0,
                 p999_us: 0,
                 max_us: 0,
@@ -109,6 +112,7 @@ impl LatencySummary {
             count: sorted_us.len() as u64,
             mean_us: stats.mean(),
             p50_us: percentile(sorted_us, 0.50),
+            p90_us: percentile(sorted_us, 0.90),
             p99_us: percentile(sorted_us, 0.99),
             p999_us: percentile(sorted_us, 0.999),
             max_us: *sorted_us.last().expect("non-empty"),
@@ -286,7 +290,8 @@ mod tests {
         assert_eq!(report.closed, 0);
         assert!(report.served_per_s() > 0.0);
         assert_eq!(report.latency.count, report.served + report.degraded);
-        assert!(report.latency.p50_us <= report.latency.p99_us);
+        assert!(report.latency.p50_us <= report.latency.p90_us);
+        assert!(report.latency.p90_us <= report.latency.p99_us);
         assert!(report.latency.p99_us <= report.latency.p999_us);
         assert!(report.latency.p999_us <= report.latency.max_us);
         let snap = engine.snapshot().unwrap();
@@ -328,7 +333,14 @@ mod tests {
         assert_eq!(report.degraded, 0);
         let _ = server.shutdown();
         // After shutdown the driver reports closed instead of hanging.
-        let after = replay(&handle, &stream(8), &ReplayConfig { clients: 1, rate_per_s: None });
+        let after = replay(
+            &handle,
+            &stream(8),
+            &ReplayConfig {
+                clients: 1,
+                rate_per_s: None,
+            },
+        );
         assert_eq!(after.closed, 1);
         assert_eq!(after.served, 0);
     }

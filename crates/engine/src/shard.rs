@@ -8,12 +8,19 @@
 //! orchestrator arms at bootstrap). Commands arrive over a **bounded**
 //! mailbox — the queue depth is the engine's backpressure signal: the
 //! router sheds load once it fills instead of letting submitters block.
+//!
+//! Each worker also owns a [`WorkerTelemetry`]: exact counters and the
+//! event journal update on every decision, per-stage tracing runs on the
+//! sampled requests, and a [`Command::Snapshot`] probe carries the
+//! registry snapshot plus drained journal back to the aggregator.
 
 use crossbeam::channel::{Receiver, Sender};
 use esharing_core::server::ServerSnapshot;
-use esharing_core::{ESharing, LatencyHistogram, SystemMetrics};
+use esharing_core::{ESharing, LatencyHistogram, SystemMetrics, TelemetryProbe, WorkerTelemetry};
 use esharing_geo::Point;
 use esharing_placement::online::Decision;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -52,6 +59,9 @@ pub(crate) struct WorkerState {
     pub server: ServerSnapshot,
     pub metrics: SystemMetrics,
     pub last_similarity: Option<f64>,
+    /// Registry snapshot + drained journal; `None` when the engine runs
+    /// with telemetry disabled.
+    pub telemetry: Option<TelemetryProbe>,
 }
 
 /// A request whose emulated downstream fetch (`service_delay`) is in
@@ -62,6 +72,13 @@ struct InFetch {
     reply: Option<Sender<Decision>>,
     due: Instant,
     arrival: Instant,
+    /// `Some(queue wait)` when this request drew the trace sample at admit
+    /// time; it then retires through the traced decision path.
+    mailbox_wait_ns: Option<u64>,
+}
+
+fn elapsed_ns(since: Instant) -> u64 {
+    since.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
 }
 
 /// Spawns the worker thread for one shard. `service_delay` emulates
@@ -85,10 +102,17 @@ struct InFetch {
 /// arrived after it is acted on, so decisions — and every shard state
 /// update — happen in strict arrival order, exactly as in the unpipelined
 /// single-worker server.
+///
+/// `inflight` mirrors the mailbox depth in commands: the router increments
+/// it before `try_send`, the worker decrements on dequeue, and the
+/// router reads it at shed time to journal the queue depth it collided
+/// with.
 pub(crate) fn spawn(
     mut system: ESharing,
     rx: Receiver<Command>,
     service_delay: Duration,
+    mut telemetry: Option<WorkerTelemetry>,
+    inflight: Arc<AtomicU64>,
 ) -> JoinHandle<ESharing> {
     std::thread::spawn(move || {
         // When the emulated downstream pipe finishes its current fetch.
@@ -121,10 +145,25 @@ pub(crate) fn spawn(
             };
             // Stage 2: retire the matured request (decision + reply).
             if let Some(f) = in_fetch.take() {
-                let decision = system
-                    .handle_request(f.destination)
-                    .expect("shard systems are bootstrapped at engine start");
-                latency.record(f.arrival.elapsed());
+                let (decision, trace) = match f.mailbox_wait_ns {
+                    Some(wait_ns) => {
+                        let (d, tr) = system
+                            .handle_request_traced(f.destination)
+                            .expect("shard systems are bootstrapped at engine start");
+                        (d, Some((wait_ns, tr)))
+                    }
+                    None => (
+                        system
+                            .handle_request(f.destination)
+                            .expect("shard systems are bootstrapped at engine start"),
+                        None,
+                    ),
+                };
+                let latency_ns = elapsed_ns(f.arrival);
+                latency.record_ns(latency_ns);
+                if let Some(t) = telemetry.as_mut() {
+                    t.on_decision(&mut system, &decision, latency_ns, trace);
+                }
                 if let Some(reply) = f.reply {
                     // A dropped reply receiver means the client gave up.
                     let _ = reply.send(decision);
@@ -138,6 +177,12 @@ pub(crate) fn spawn(
                     reply,
                     arrival,
                 })) => {
+                    inflight.fetch_sub(1, Ordering::Relaxed);
+                    // Sample the trace decision at admit time, where the
+                    // queue wait (arrival → dequeue) is observable.
+                    let mailbox_wait_ns = telemetry
+                        .as_mut()
+                        .and_then(|t| t.should_trace().then(|| elapsed_ns(arrival)));
                     // The pipe starts this fetch the instant it is free —
                     // or at arrival, if it sat idle.
                     let due = pipe_free.max(arrival) + service_delay;
@@ -147,6 +192,7 @@ pub(crate) fn spawn(
                         reply,
                         due,
                         arrival,
+                        mailbox_wait_ns,
                     });
                 }
                 Some(Some(Command::Batch {
@@ -154,6 +200,10 @@ pub(crate) fn spawn(
                     reply,
                     arrival,
                 })) => {
+                    inflight.fetch_sub(1, Ordering::Relaxed);
+                    // One queue wait for the whole sub-batch: it crossed
+                    // the mailbox as one command.
+                    let batch_wait_ns = elapsed_ns(arrival);
                     // Every item runs through the same pipe schedule it
                     // would have seen as an individual request: fetches
                     // issue back-to-back, decisions retire in order. The
@@ -168,15 +218,37 @@ pub(crate) fn spawn(
                         if due > now {
                             std::thread::sleep(due - now);
                         }
-                        let decision = system
-                            .handle_request(destination)
-                            .expect("shard systems are bootstrapped at engine start");
-                        latency.record(arrival.elapsed());
+                        let traced = telemetry.as_mut().is_some_and(|t| t.should_trace());
+                        let (decision, trace) = if traced {
+                            let (d, tr) = system
+                                .handle_request_traced(destination)
+                                .expect("shard systems are bootstrapped at engine start");
+                            (d, Some((batch_wait_ns, tr)))
+                        } else {
+                            (
+                                system
+                                    .handle_request(destination)
+                                    .expect("shard systems are bootstrapped at engine start"),
+                                None,
+                            )
+                        };
+                        let latency_ns = elapsed_ns(arrival);
+                        latency.record_ns(latency_ns);
+                        if let Some(t) = telemetry.as_mut() {
+                            t.on_decision(&mut system, &decision, latency_ns, trace);
+                        }
                         decisions.push(decision);
                     }
                     let _ = reply.send(decisions);
                 }
                 Some(Some(Command::Snapshot { reply })) => {
+                    let probe = telemetry.as_mut().map(|t| {
+                        // Tier-2 maintenance runs outside the request
+                        // path; reconcile its dispatch counter at probe
+                        // time.
+                        t.observe_maintenance(system.metrics());
+                        t.probe()
+                    });
                     let _ = reply.send(WorkerState {
                         server: ServerSnapshot {
                             stations: system.stations(),
@@ -186,6 +258,7 @@ pub(crate) fn spawn(
                         },
                         metrics: *system.metrics(),
                         last_similarity: system.last_similarity(),
+                        telemetry: probe,
                     });
                 }
                 Some(Some(Command::Shutdown)) => break,

@@ -93,10 +93,8 @@ impl ShardMap {
         }
         // Farthest-first seeding: start nearest the landmark centroid, then
         // repeatedly take the landmark farthest from every chosen anchor.
-        let centroid = landmarks
-            .iter()
-            .fold(Point::ORIGIN, |acc, &p| acc + p)
-            / landmarks.len() as f64;
+        let centroid =
+            landmarks.iter().fold(Point::ORIGIN, |acc, &p| acc + p) / landmarks.len() as f64;
         let first = argmin_by(landmarks, |p| p.distance_squared(centroid));
         let mut anchors = vec![landmarks[first]];
         while anchors.len() < shards {

@@ -1,0 +1,111 @@
+//! End-to-end telemetry: a replay-driven engine scraped over HTTP while
+//! the load is in flight, then reconciled against the final snapshot.
+
+use esharing_engine::replay::{replay, ReplayConfig};
+use esharing_engine::{Engine, EngineConfig, Partition};
+use esharing_geo::Point;
+use esharing_telemetry::http_get;
+use std::net::SocketAddr;
+
+fn history() -> Vec<Point> {
+    (0..400)
+        .map(|i| Point::new(((i * 41) % 1600) as f64, ((i * 17) % 1600) as f64))
+        .collect()
+}
+
+fn stream(n: usize) -> Vec<Point> {
+    (0..n)
+        .map(|i| Point::new(((i * 29) % 1600) as f64, ((i * 43) % 1600) as f64))
+        .collect()
+}
+
+/// The value of an unlabelled (fleet-total) sample in Prometheus text.
+fn prom_value(body: &str, family: &str) -> Option<f64> {
+    body.lines().find_map(|l| {
+        let mut parts = l.split_whitespace();
+        if parts.next() != Some(family) {
+            return None;
+        }
+        parts.next()?.parse().ok()
+    })
+}
+
+#[test]
+fn live_engine_scrapes_mid_flight_and_reconciles_with_snapshot() {
+    let engine = Engine::start(
+        &history(),
+        EngineConfig {
+            shards: 2,
+            partition: Partition::UniformGrid,
+            // Stretch the run so the mid-flight scrape reliably lands
+            // while clients are still submitting.
+            service_delay: std::time::Duration::from_micros(200),
+            ..EngineConfig::default()
+        },
+    );
+    let server = engine.serve_telemetry("127.0.0.1:0").expect("bind");
+    let addr: SocketAddr = server.addr();
+
+    // Scrape while the replay is running: the endpoint must answer 200
+    // with the decision/shed/drift families present mid-flight.
+    let destinations = stream(1500);
+    let report = std::thread::scope(|scope| {
+        let handle = scope.spawn(|| replay(&engine, &destinations, &ReplayConfig::default()));
+        let mut saw_mid_flight = false;
+        for _ in 0..50 {
+            let (status, body) = http_get(addr, "/metrics").expect("mid-flight scrape");
+            assert_eq!(status, 200);
+            if !handle.is_finished() && body.contains("esharing_decisions_total") {
+                assert!(body.contains("# TYPE esharing_decisions_total counter"));
+                assert!(body.contains("esharing_sheds_total"));
+                saw_mid_flight = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        let report = handle.join().expect("replay");
+        assert!(
+            saw_mid_flight || report.served > 0,
+            "never managed a mid-flight scrape"
+        );
+        report
+    });
+    assert_eq!(report.served + report.degraded, 1500);
+
+    // Post-load: scraped totals must equal the final snapshot exactly.
+    let snapshot = engine.snapshot().expect("snapshot");
+    let (status, prom) = http_get(addr, "/metrics").expect("final scrape");
+    assert_eq!(status, 200);
+    let decisions = prom_value(&prom, "esharing_decisions_total").expect("decisions family");
+    assert_eq!(decisions as u64, snapshot.metrics.requests_served);
+    assert_eq!(decisions as u64, report.served);
+    let sheds = prom_value(&prom, "esharing_sheds_total").unwrap_or(0.0);
+    assert_eq!(sheds as u64, snapshot.shed_total);
+    // Stage timing summaries are sampled but must exist with counts.
+    assert!(prom.contains("esharing_decision_stage_ns"), "{prom}");
+    assert!(prom.contains("esharing_decision_latency_ns_count"));
+    // Parking-open events flow end to end: counter matches the snapshot
+    // registry and the event log carries typed records.
+    let opened = prom_value(&prom, "esharing_parkings_opened_total").expect("openings family");
+    assert_eq!(
+        opened as u64,
+        snapshot
+            .registry
+            .counter_total("esharing_parkings_opened_total")
+    );
+
+    let (status, json) = http_get(addr, "/metrics.json").expect("json scrape");
+    assert_eq!(status, 200);
+    assert!(json.contains("\"esharing_decisions_total\""));
+
+    let (status, events) = http_get(addr, "/events").expect("events scrape");
+    assert_eq!(status, 200);
+    assert!(events.contains("\"events\": ["));
+
+    // The scrape endpoint answers 503 once the engine is gone, and the
+    // responder itself stays up.
+    drop(engine);
+    let (status, _) = http_get(addr, "/metrics").expect("post-shutdown scrape");
+    assert_eq!(status, 503);
+    drop(server);
+}

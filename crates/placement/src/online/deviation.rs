@@ -32,6 +32,70 @@ use esharing_geo::{NearestNeighborIndex, Point, SpatialIndex};
 use esharing_stats::ks2d::{IncrementalWindow, RankedSample, SimilarityClass};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Observability events emitted by [`DeviationPenaltyCore`] as it runs.
+///
+/// The algorithm buffers at most [`EVENT_BUFFER_CAP`] undrained events
+/// (newer ones are counted in
+/// [`DeviationPenaltyCore::events_dropped`] instead of growing the
+/// buffer), so an uninstrumented caller — the offline experiment binaries,
+/// plain simulations — pays one bounded `Vec` and nothing per request.
+/// Instrumented callers drain with [`DeviationPenaltyCore::take_events`]
+/// after each handled request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PlacementEvent {
+    /// A new parking opened online.
+    Opened {
+        /// Where it opened (== the triggering destination).
+        station: Point,
+    },
+    /// The cost-doubling schedule advanced.
+    EpochCrossed {
+        /// Doubling epochs completed since bootstrap (1-based).
+        epoch: u64,
+        /// The decision cost `f` after this doubling.
+        decision_cost: f64,
+    },
+    /// A periodic 2-D KS re-test ran (it only runs once the live window
+    /// has filled enough to be meaningful).
+    KsTest {
+        /// Peacock D-statistic between history `H` and live window `G`.
+        d_statistic: f64,
+        /// Similarity `100·(1 − D)` percent.
+        similarity_percent: f64,
+        /// Penalty type in force before the test.
+        penalty_before: PenaltyType,
+        /// Penalty type selected by the test.
+        penalty_after: PenaltyType,
+    },
+}
+
+/// Undrained-event bound for [`PlacementEvent`] buffering.
+pub const EVENT_BUFFER_CAP: usize = 64;
+
+/// Per-stage wall-clock breakdown of one traced
+/// [`DeviationPenaltyCore::handle_traced`] call. Stages follow the
+/// decision path in order; their sum is the in-algorithm cost of the
+/// request (mailbox wait and reply transit are measured by the serving
+/// layer, not here).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HandleTrace {
+    /// Sliding the live KS window + doubling counter, plus the periodic
+    /// update (doubling, KS test, penalty switch) when one was due.
+    pub ks_window_ns: u64,
+    /// Nearest-established-parking lookup in the spatial index.
+    pub nn_lookup_ns: u64,
+    /// Penalty evaluation, the opening coin flip, and cost accounting.
+    pub penalty_eval_ns: u64,
+}
+
+impl HandleTrace {
+    /// Total traced nanoseconds across all stages.
+    pub fn total_ns(&self) -> u64 {
+        self.ks_window_ns + self.nn_lookup_ns + self.penalty_eval_ns
+    }
+}
 
 /// Configuration for [`DeviationPenalty`].
 #[derive(Debug, Clone, PartialEq)]
@@ -99,7 +163,10 @@ impl DeviationConfig {
             self.tolerance.is_finite() && self.tolerance > 0.0,
             "tolerance must be positive"
         );
-        assert!(self.ks_window >= 10, "KS window must hold at least 10 points");
+        assert!(
+            self.ks_window >= 10,
+            "KS window must hold at least 10 points"
+        );
         assert!(self.history_cap >= 10, "history cap must be at least 10");
     }
 }
@@ -156,6 +223,12 @@ pub struct DeviationPenaltyCore<I: SpatialIndex> {
     /// the decision-cost reset requires two in a row so one noisy window
     /// cannot flood the field with stations.
     shift_streak: u32,
+    /// Doubling epochs completed.
+    epoch: u64,
+    /// Undrained observability events, bounded at [`EVENT_BUFFER_CAP`].
+    events: Vec<PlacementEvent>,
+    /// Events discarded because the buffer was full (nobody draining).
+    events_dropped: u64,
 }
 
 impl<I: SpatialIndex> DeviationPenaltyCore<I> {
@@ -225,6 +298,9 @@ impl<I: SpatialIndex> DeviationPenaltyCore<I> {
             opened_online: 0,
             last_similarity: None,
             shift_streak: 0,
+            epoch: 0,
+            events: Vec::with_capacity(EVENT_BUFFER_CAP),
+            events_dropped: 0,
             k,
             cfg,
         }
@@ -262,6 +338,30 @@ impl<I: SpatialIndex> DeviationPenaltyCore<I> {
         self.window.len()
     }
 
+    /// Doubling epochs completed since bootstrap.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Moves every buffered [`PlacementEvent`] into `out`, oldest first.
+    pub fn take_events(&mut self, out: &mut Vec<PlacementEvent>) {
+        out.append(&mut self.events);
+    }
+
+    /// Events discarded because the buffer hit [`EVENT_BUFFER_CAP`]
+    /// without being drained.
+    pub fn events_dropped(&self) -> u64 {
+        self.events_dropped
+    }
+
+    fn emit(&mut self, event: PlacementEvent) {
+        if self.events.len() < EVENT_BUFFER_CAP {
+            self.events.push(event);
+        } else {
+            self.events_dropped += 1;
+        }
+    }
+
     /// Removes a station (footnote 2: "when customers pick up all the
     /// E-bikes from a station … the station is removed from P"). The
     /// algorithm can re-establish it later from new requests. Returns
@@ -276,6 +376,11 @@ impl<I: SpatialIndex> DeviationPenaltyCore<I> {
     fn periodic_update(&mut self) {
         self.a = 0;
         self.f_dec *= 2.0;
+        self.epoch += 1;
+        self.emit(PlacementEvent::EpochCrossed {
+            epoch: self.epoch,
+            decision_cost: self.f_dec,
+        });
         // The KS statistic on a handful of points is pure noise; wait for
         // a reasonably filled window before drawing conclusions.
         let min_window = (self.cfg.ks_window / 4).max(30);
@@ -285,7 +390,14 @@ impl<I: SpatialIndex> DeviationPenaltyCore<I> {
         let test = self.history.peacock_test_window(&mut self.window);
         self.last_similarity = Some(test.similarity_percent);
         let class = SimilarityClass::from_test(&test);
+        let penalty_before = self.penalty.kind();
         self.penalty = self.penalty.with_kind(PenaltyType::for_similarity(class));
+        self.emit(PlacementEvent::KsTest {
+            d_statistic: test.statistic,
+            similarity_percent: test.similarity_percent,
+            penalty_before,
+            penalty_after: self.penalty.kind(),
+        });
         if class == SimilarityClass::LessSimilar {
             self.shift_streak += 1;
             // Distribution shift confirmed by two consecutive tests:
@@ -321,15 +433,33 @@ impl<I: SpatialIndex> DeviationPenaltyCore<I> {
     /// The opening decision proper (Algorithm 2 lines 7–12): nearest
     /// established parking, penalty-weighted coin flip, cost accounting.
     fn decide(&mut self, destination: Point) -> Decision {
-        match self.index.nearest(destination) {
+        let nearest = self.index.nearest(destination);
+        self.decide_from(destination, nearest)
+    }
+
+    /// Opens a parking at `destination`: index insert, space-cost
+    /// accounting, event emission.
+    fn open_at(&mut self, destination: Point) -> Decision {
+        self.index.insert(destination);
+        self.cost.space += self.cfg.space_cost;
+        self.opened_online += 1;
+        self.emit(PlacementEvent::Opened {
+            station: destination,
+        });
+        Decision::Opened {
+            station: destination,
+        }
+    }
+
+    /// Second half of [`Self::decide`], taking the index lookup result as
+    /// input — split so [`Self::handle_traced`] can time the lookup and
+    /// the penalty evaluation as separate stages while running the exact
+    /// same operations.
+    fn decide_from(&mut self, destination: Point, nearest: Option<(Point, f64)>) -> Decision {
+        match nearest {
             None => {
                 // All stations were removed; re-establish at the request.
-                self.index.insert(destination);
-                self.cost.space += self.cfg.space_cost;
-                self.opened_online += 1;
-                Decision::Opened {
-                    station: destination,
-                }
+                self.open_at(destination)
             }
             Some((nearest, c)) => {
                 let g = match &self.cfg.custom_penalty {
@@ -338,12 +468,7 @@ impl<I: SpatialIndex> DeviationPenaltyCore<I> {
                 };
                 let prob = (g * c / self.f_dec).min(1.0);
                 if c > 0.0 && self.rng.gen_range(0.0..1.0) < prob {
-                    self.index.insert(destination);
-                    self.cost.space += self.cfg.space_cost;
-                    self.opened_online += 1;
-                    Decision::Opened {
-                        station: destination,
-                    }
+                    self.open_at(destination)
                 } else {
                     self.cost.walking += c;
                     Decision::Assigned {
@@ -353,6 +478,38 @@ impl<I: SpatialIndex> DeviationPenaltyCore<I> {
                 }
             }
         }
+    }
+
+    /// [`OnlinePlacement::handle`] with a per-stage wall-clock breakdown.
+    ///
+    /// Runs the identical operations in the identical order as the
+    /// untraced path — decisions and all algorithm state are bit-identical
+    /// (asserted by `traced_handle_is_bit_identical`); the only extra work
+    /// is a handful of monotonic clock reads, which is why the serving
+    /// layers call this on a sampled subset of requests.
+    pub fn handle_traced(&mut self, destination: Point) -> (Decision, HandleTrace) {
+        fn since(t: Instant) -> u64 {
+            t.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+        }
+        let mut trace = HandleTrace::default();
+        let t0 = Instant::now();
+        let due = self.record_arrival(destination);
+        trace.ks_window_ns = since(t0);
+        let t1 = Instant::now();
+        let nearest = self.index.nearest(destination);
+        trace.nn_lookup_ns = since(t1);
+        let t2 = Instant::now();
+        let decision = self.decide_from(destination, nearest);
+        trace.penalty_eval_ns = since(t2);
+        if due {
+            // The periodic KS re-test and penalty switch belong to the
+            // monitor stage: they are the expensive tail of the window
+            // bookkeeping, not of the per-request decision math.
+            let t3 = Instant::now();
+            self.periodic_update();
+            trace.ks_window_ns += since(t3);
+        }
+        (decision, trace)
     }
 }
 
@@ -404,11 +561,7 @@ mod tests {
 
     #[test]
     fn landmarks_pay_space_cost_upfront() {
-        let alg = DeviationPenalty::new(
-            grid_landmarks(),
-            Vec::new(),
-            DeviationConfig::default(),
-        );
+        let alg = DeviationPenalty::new(grid_landmarks(), Vec::new(), DeviationConfig::default());
         assert_eq!(alg.cost().space, 5.0 * 5000.0);
         assert_eq!(alg.cost().walking, 0.0);
         assert_eq!(alg.stations().len(), 5);
@@ -417,11 +570,8 @@ mod tests {
 
     #[test]
     fn request_on_landmark_never_opens() {
-        let mut alg = DeviationPenalty::new(
-            grid_landmarks(),
-            Vec::new(),
-            DeviationConfig::default(),
-        );
+        let mut alg =
+            DeviationPenalty::new(grid_landmarks(), Vec::new(), DeviationConfig::default());
         for _ in 0..100 {
             let d = alg.handle(Point::new(250.0, 250.0));
             assert!(!d.opened());
@@ -561,11 +711,8 @@ mod tests {
     #[test]
     fn station_removal_and_reestablishment() {
         let landmarks = grid_landmarks();
-        let mut alg = DeviationPenalty::new(
-            landmarks.clone(),
-            Vec::new(),
-            DeviationConfig::default(),
-        );
+        let mut alg =
+            DeviationPenalty::new(landmarks.clone(), Vec::new(), DeviationConfig::default());
         for &p in &landmarks {
             assert!(alg.remove_station(p));
         }
@@ -615,6 +762,126 @@ mod tests {
     }
 
     #[test]
+    fn traced_handle_is_bit_identical() {
+        // The traced path must make the same decisions and leave the same
+        // algorithm state as the untraced one — exact equality, including
+        // the RNG stream and f64 cost sums.
+        let history = uniform_stream(200, 900.0, 31);
+        let stream = uniform_stream(400, 900.0, 32);
+        let mk = || {
+            DeviationPenalty::new(
+                grid_landmarks(),
+                history.clone(),
+                DeviationConfig {
+                    seed: 77,
+                    ..DeviationConfig::default()
+                },
+            )
+        };
+        let mut plain = mk();
+        let mut traced = mk();
+        for (i, &p) in stream.iter().enumerate() {
+            let d1 = plain.handle(p);
+            // Interleave traced and untraced calls on the traced instance
+            // the way a sampling server does.
+            let d2 = if i % 3 == 0 {
+                let (d, trace) = traced.handle_traced(p);
+                let _ = trace.total_ns();
+                d
+            } else {
+                traced.handle(p)
+            };
+            assert_eq!(d1, d2, "decision diverged at request {i}");
+        }
+        assert_eq!(plain.cost(), traced.cost());
+        assert_eq!(plain.stations(), traced.stations());
+        assert_eq!(plain.decision_cost(), traced.decision_cost());
+        assert_eq!(plain.last_similarity(), traced.last_similarity());
+        assert_eq!(plain.epoch(), traced.epoch());
+    }
+
+    #[test]
+    fn events_report_openings_epochs_and_ks_tests() {
+        let history = uniform_stream(200, 800.0, 41);
+        let mut alg = DeviationPenalty::new(
+            grid_landmarks(),
+            history,
+            DeviationConfig {
+                seed: 43,
+                ..DeviationConfig::default()
+            },
+        );
+        let mut events = Vec::new();
+        let mut opened_seen = 0usize;
+        let mut last_epoch = 0u64;
+        for p in uniform_stream(300, 800.0, 44) {
+            let d = alg.handle(p);
+            let before = events.len();
+            alg.take_events(&mut events);
+            // Draining every request keeps the buffer well under its cap.
+            assert!(events.len() - before <= 3);
+            for e in &events[before..] {
+                match *e {
+                    PlacementEvent::Opened { station } => {
+                        opened_seen += 1;
+                        assert_eq!(station, d.station());
+                        assert!(d.opened());
+                    }
+                    PlacementEvent::EpochCrossed {
+                        epoch,
+                        decision_cost,
+                    } => {
+                        assert_eq!(epoch, last_epoch + 1);
+                        last_epoch = epoch;
+                        assert!(decision_cost > 0.0);
+                    }
+                    PlacementEvent::KsTest {
+                        d_statistic,
+                        similarity_percent,
+                        ..
+                    } => {
+                        assert!((0.0..=1.0).contains(&d_statistic));
+                        assert!((0.0..=100.0).contains(&similarity_percent));
+                    }
+                }
+            }
+        }
+        assert_eq!(opened_seen, alg.opened_online());
+        assert_eq!(last_epoch, alg.epoch());
+        // 300 requests / (β·k = 5) doublings happened.
+        assert_eq!(alg.epoch(), 60);
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, PlacementEvent::KsTest { .. })),
+            "no KS test event over 300 requests"
+        );
+        assert_eq!(alg.events_dropped(), 0);
+    }
+
+    #[test]
+    fn undrained_events_bounded_and_counted() {
+        let history = uniform_stream(200, 800.0, 51);
+        let mut alg = DeviationPenalty::new(
+            grid_landmarks(),
+            history,
+            DeviationConfig {
+                seed: 53,
+                ..DeviationConfig::default()
+            },
+        );
+        // Nobody drains: a long stream must not grow the buffer past its
+        // cap, and the overflow must be visible.
+        for p in uniform_stream(2_000, 800.0, 54) {
+            alg.handle(p);
+        }
+        let mut events = Vec::new();
+        alg.take_events(&mut events);
+        assert_eq!(events.len(), EVENT_BUFFER_CAP);
+        assert!(alg.events_dropped() > 0);
+    }
+
+    #[test]
     fn cost_accounting_consistent() {
         let history = uniform_stream(100, 600.0, 15);
         let mut alg = DeviationPenalty::new(
@@ -633,9 +900,6 @@ mod tests {
             }
         }
         assert_eq!(alg.cost(), expected);
-        assert_eq!(
-            alg.stations().len(),
-            alg.k() + alg.opened_online()
-        );
+        assert_eq!(alg.stations().len(), alg.k() + alg.opened_online());
     }
 }

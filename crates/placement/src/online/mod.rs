@@ -18,7 +18,10 @@ mod deviation;
 mod kmeans;
 mod meyerson;
 
-pub use deviation::{DeviationConfig, DeviationPenalty, DeviationPenaltyCore};
+pub use deviation::{
+    DeviationConfig, DeviationPenalty, DeviationPenaltyCore, HandleTrace, PlacementEvent,
+    EVENT_BUFFER_CAP,
+};
 pub use kmeans::OnlineKMeans;
 pub use meyerson::Meyerson;
 

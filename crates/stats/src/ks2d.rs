@@ -253,9 +253,7 @@ impl RankedSample {
     /// Builds the rank structures for `points` (`O(n log n)`).
     pub fn new(points: &[Point]) -> Self {
         let mut by_x = points.to_vec();
-        by_x.sort_unstable_by(|p, q| {
-            f64::total_cmp(&p.x, &q.x).then(f64::total_cmp(&p.y, &q.y))
-        });
+        by_x.sort_unstable_by(|p, q| f64::total_cmp(&p.x, &q.x).then(f64::total_cmp(&p.y, &q.y)));
         let ys = sorted_by_total(points.iter().map(|p| p.y));
         RankedSample {
             points: points.to_vec(),
@@ -857,6 +855,24 @@ impl SimilarityClass {
             SimilarityClass::LessSimilar
         }
     }
+
+    /// Stable snake_case label for telemetry and logs (`very_similar`,
+    /// `similar`, `less_similar`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SimilarityClass::VerySimilar => "very_similar",
+            SimilarityClass::Similar => "similar",
+            SimilarityClass::LessSimilar => "less_similar",
+        }
+    }
+}
+
+impl Ks2dResult {
+    /// The similarity regime this test outcome falls in
+    /// ([`SimilarityClass::from_test`]).
+    pub fn class(&self) -> SimilarityClass {
+        SimilarityClass::from_test(self)
+    }
 }
 
 #[cfg(test)]
@@ -864,6 +880,21 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn similarity_class_labels_and_result_class() {
+        assert_eq!(SimilarityClass::VerySimilar.as_str(), "very_similar");
+        assert_eq!(SimilarityClass::Similar.as_str(), "similar");
+        assert_eq!(SimilarityClass::LessSimilar.as_str(), "less_similar");
+        let result = Ks2dResult {
+            statistic: 0.7,
+            similarity_percent: 30.0,
+            p_value: 0.001,
+            effective_n: 100.0,
+        };
+        assert_eq!(result.class(), SimilarityClass::LessSimilar);
+        assert_eq!(result.class(), SimilarityClass::from_test(&result));
+    }
 
     fn uniform_sample(rng: &mut StdRng, n: usize, side: f64) -> Vec<Point> {
         (0..n)
@@ -946,7 +977,11 @@ mod tests {
             .map(|p| p + Point::new(60.0, 0.0))
             .collect();
         let r = peacock_test(&a, &b);
-        assert!(r.statistic > 0.3, "shift should inflate D, got {}", r.statistic);
+        assert!(
+            r.statistic > 0.3,
+            "shift should inflate D, got {}",
+            r.statistic
+        );
         assert!(r.p_value < 0.01, "p-value {} should reject", r.p_value);
     }
 
@@ -991,8 +1026,14 @@ mod tests {
             SimilarityClass::from_percent(97.0),
             SimilarityClass::VerySimilar
         );
-        assert_eq!(SimilarityClass::from_percent(95.0), SimilarityClass::Similar);
-        assert_eq!(SimilarityClass::from_percent(80.0), SimilarityClass::Similar);
+        assert_eq!(
+            SimilarityClass::from_percent(95.0),
+            SimilarityClass::Similar
+        );
+        assert_eq!(
+            SimilarityClass::from_percent(80.0),
+            SimilarityClass::Similar
+        );
         assert_eq!(
             SimilarityClass::from_percent(79.9),
             SimilarityClass::LessSimilar

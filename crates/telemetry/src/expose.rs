@@ -1,0 +1,528 @@
+//! Exposition: registry snapshots → Prometheus text format and JSON.
+//!
+//! The workspace deliberately carries no JSON/HTTP dependency, so both
+//! formats are emitted by hand, kept flat, and covered by shape tests.
+//! Histograms are exposed Prometheus-`summary`-style (pre-computed
+//! quantiles plus `_sum`/`_count`) because the log-bucketed
+//! [`LatencyHistogram`](crate::LatencyHistogram) already bounds quantile
+//! error at 12.5% and a few quantile series scrape far smaller than ~300
+//! cumulative buckets per shard.
+
+use crate::journal::{Event, EventKind, EventRecord};
+use crate::registry::{MetricSample, RegistrySnapshot};
+use crate::LatencyHistogram;
+use serde::{Deserialize, Serialize};
+
+/// Exposition type of a family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FamilyKind {
+    /// Monotone counter.
+    Counter,
+    /// Instantaneous value.
+    Gauge,
+    /// Quantile summary rendered from a latency histogram.
+    Summary,
+}
+
+impl FamilyKind {
+    fn prom(self) -> &'static str {
+        match self {
+            FamilyKind::Counter => "counter",
+            FamilyKind::Gauge => "gauge",
+            FamilyKind::Summary => "summary",
+        }
+    }
+}
+
+/// One rendered sample within a family.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FamilySample {
+    /// Label pairs.
+    pub labels: Vec<(String, String)>,
+    /// The value.
+    pub value: SampleValue,
+}
+
+/// Value of a rendered sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SampleValue {
+    /// Counter value.
+    Int(u64),
+    /// Gauge value.
+    Float(f64),
+    /// Histogram summary: observation count, nanosecond sum, and
+    /// `(quantile, value_ns)` pairs.
+    Summary {
+        /// Observations recorded.
+        count: u64,
+        /// Saturating nanosecond sum.
+        sum_ns: u64,
+        /// Pre-computed quantiles, ascending.
+        quantiles: Vec<(f64, u64)>,
+    },
+}
+
+/// A named metric family with its samples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricFamily {
+    /// Family name (shared by every sample).
+    pub name: String,
+    /// `# HELP` text.
+    pub help: String,
+    /// Exposition type.
+    pub kind: FamilyKind,
+    /// Samples, in first-seen order.
+    pub samples: Vec<FamilySample>,
+}
+
+/// The quantiles a histogram exposes as a summary.
+const SUMMARY_QUANTILES: [f64; 4] = [0.5, 0.9, 0.99, 0.999];
+
+fn summary_value(h: &LatencyHistogram) -> SampleValue {
+    SampleValue::Summary {
+        count: h.count(),
+        sum_ns: h.sum_ns(),
+        quantiles: SUMMARY_QUANTILES
+            .iter()
+            .map(|&q| (q, h.quantile_ns(q)))
+            .collect(),
+    }
+}
+
+fn push_sample<T: Clone>(
+    families: &mut Vec<MetricFamily>,
+    kind: FamilyKind,
+    sample: &MetricSample<T>,
+    value: SampleValue,
+) {
+    let fam = match families
+        .iter_mut()
+        .find(|f| f.name == sample.name && f.kind == kind)
+    {
+        Some(f) => f,
+        None => {
+            families.push(MetricFamily {
+                name: sample.name.clone(),
+                help: sample.help.clone(),
+                kind,
+                samples: Vec::new(),
+            });
+            families.last_mut().expect("just pushed")
+        }
+    };
+    fam.samples.push(FamilySample {
+        labels: sample.labels.clone(),
+        value,
+    });
+}
+
+/// Groups the samples of one or more registry snapshots into named
+/// families, preserving first-seen order. Pass the fleet-merged snapshot
+/// first and shard-labelled snapshots after it so fleet totals lead each
+/// family.
+pub fn snapshot_families(snaps: &[&RegistrySnapshot]) -> Vec<MetricFamily> {
+    let mut families = Vec::new();
+    for snap in snaps {
+        for s in &snap.counters {
+            push_sample(
+                &mut families,
+                FamilyKind::Counter,
+                s,
+                SampleValue::Int(s.value),
+            );
+        }
+        for s in &snap.gauges {
+            push_sample(
+                &mut families,
+                FamilyKind::Gauge,
+                s,
+                SampleValue::Float(s.value),
+            );
+        }
+        for s in &snap.histograms {
+            push_sample(
+                &mut families,
+                FamilyKind::Summary,
+                s,
+                summary_value(&s.value),
+            );
+        }
+    }
+    families
+}
+
+fn prom_escape(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn prom_labels(labels: &[(String, String)], extra: Option<(&str, String)>) -> String {
+    let mut pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", prom_escape(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{}\"", prom_escape(&v)));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+fn prom_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".into()
+    } else if v.is_infinite() {
+        if v > 0.0 {
+            "+Inf".into()
+        } else {
+            "-Inf".into()
+        }
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders families in the Prometheus text exposition format (v0.0.4).
+pub fn render_prometheus(families: &[MetricFamily]) -> String {
+    let mut out = String::new();
+    for fam in families {
+        out.push_str(&format!(
+            "# HELP {} {}\n# TYPE {} {}\n",
+            fam.name,
+            fam.help.replace('\n', " "),
+            fam.name,
+            fam.kind.prom()
+        ));
+        for s in &fam.samples {
+            match &s.value {
+                SampleValue::Int(v) => {
+                    out.push_str(&format!(
+                        "{}{} {v}\n",
+                        fam.name,
+                        prom_labels(&s.labels, None)
+                    ));
+                }
+                SampleValue::Float(v) => {
+                    out.push_str(&format!(
+                        "{}{} {}\n",
+                        fam.name,
+                        prom_labels(&s.labels, None),
+                        prom_f64(*v)
+                    ));
+                }
+                SampleValue::Summary {
+                    count,
+                    sum_ns,
+                    quantiles,
+                } => {
+                    for &(q, v) in quantiles {
+                        out.push_str(&format!(
+                            "{}{} {v}\n",
+                            fam.name,
+                            prom_labels(&s.labels, Some(("quantile", format!("{q}"))))
+                        ));
+                    }
+                    let plain = prom_labels(&s.labels, None);
+                    out.push_str(&format!("{}_sum{plain} {sum_ns}\n", fam.name));
+                    out.push_str(&format!("{}_count{plain} {count}\n", fam.name));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Escapes a string into a JSON literal (including quotes).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+fn json_labels(labels: &[(String, String)]) -> String {
+    let pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}: {}", json_string(k), json_string(v)))
+        .collect();
+    format!("{{{}}}", pairs.join(", "))
+}
+
+/// Renders families as a flat JSON document:
+/// `{"families": [{"name", "kind", "help", "samples": [...]}]}`.
+pub fn render_json(families: &[MetricFamily]) -> String {
+    let mut out = String::from("{\n  \"families\": [\n");
+    for (i, fam) in families.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"name\": {}, \"kind\": {}, \"help\": {}, \"samples\": [\n",
+            json_string(&fam.name),
+            json_string(fam.kind.prom()),
+            json_string(&fam.help)
+        ));
+        for (j, s) in fam.samples.iter().enumerate() {
+            let body = match &s.value {
+                SampleValue::Int(v) => format!("\"value\": {v}"),
+                SampleValue::Float(v) => format!("\"value\": {}", json_f64(*v)),
+                SampleValue::Summary {
+                    count,
+                    sum_ns,
+                    quantiles,
+                } => {
+                    let qs: Vec<String> = quantiles
+                        .iter()
+                        .map(|(q, v)| format!("{}: {v}", json_string(&format!("{q}"))))
+                        .collect();
+                    format!(
+                        "\"count\": {count}, \"sum_ns\": {sum_ns}, \"quantiles\": {{{}}}",
+                        qs.join(", ")
+                    )
+                }
+            };
+            out.push_str(&format!(
+                "      {{ \"labels\": {}, {body} }}{}\n",
+                json_labels(&s.labels),
+                if j + 1 < fam.samples.len() { "," } else { "" }
+            ));
+        }
+        out.push_str(&format!(
+            "    ] }}{}\n",
+            if i + 1 < families.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn event_kind_json(kind: &EventKind) -> (&'static str, String) {
+    match kind {
+        EventKind::ParkingOpened { x, y } => (
+            "parking_opened",
+            format!("\"x\": {}, \"y\": {}", json_f64(*x), json_f64(*y)),
+        ),
+        EventKind::EpochCrossed {
+            epoch,
+            decision_cost,
+        } => (
+            "epoch_crossed",
+            format!(
+                "\"epoch\": {epoch}, \"decision_cost\": {}",
+                json_f64(*decision_cost)
+            ),
+        ),
+        EventKind::KsTest {
+            d_statistic,
+            similarity_percent,
+            penalty_before,
+            penalty_after,
+        } => (
+            "ks_test",
+            format!(
+                "\"d_statistic\": {}, \"similarity_percent\": {}, \"penalty_before\": {penalty_before}, \"penalty_after\": {penalty_after}",
+                json_f64(*d_statistic),
+                json_f64(*similarity_percent)
+            ),
+        ),
+        EventKind::ShardShed { queue_depth } => {
+            ("shard_shed", format!("\"queue_depth\": {queue_depth}"))
+        }
+        EventKind::MaintenanceDispatch { period, total_cost } => (
+            "maintenance_dispatch",
+            format!(
+                "\"period\": {period}, \"total_cost\": {}",
+                json_f64(*total_cost)
+            ),
+        ),
+    }
+}
+
+fn event_json(shard: Option<usize>, ev: &Event) -> String {
+    let shard = match shard {
+        Some(s) => s.to_string(),
+        None => "null".into(),
+    };
+    let (kind, fields) = event_kind_json(&ev.kind);
+    format!(
+        "{{ \"shard\": {shard}, \"seq\": {}, \"t_ns\": {}, \"kind\": {}, {fields} }}",
+        ev.seq,
+        ev.t_ns,
+        json_string(kind)
+    )
+}
+
+/// Renders a merged event log as JSON:
+/// `{"dropped": N, "events": [{"shard", "seq", "t_ns", "kind", ...}]}`.
+pub fn render_events_json(records: &[EventRecord], dropped: u64) -> String {
+    let mut out = format!("{{\n  \"dropped\": {dropped},\n  \"events\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {}{}\n",
+            event_json(r.shard, &r.event),
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{MergeMode, Registry, RegistrySnapshot};
+
+    fn sample_registry() -> Registry {
+        let mut r = Registry::new();
+        let c = r.counter("esharing_decisions_total", "Decisions served");
+        r.add(c, 42);
+        let g = r.gauge("esharing_ks_d_statistic", "Peacock D", MergeMode::PerShard);
+        r.set(g, 0.125);
+        let h = r.histogram("esharing_decision_latency_ns", "Decision latency");
+        r.observe_ns(h, 1_000);
+        r.observe_ns(h, 2_000);
+        r
+    }
+
+    #[test]
+    fn families_group_across_snapshots() {
+        let r = sample_registry();
+        let fleet = r.snapshot();
+        let shard = r.snapshot().with_label("shard", "0");
+        let fams = snapshot_families(&[&fleet, &shard]);
+        assert_eq!(fams.len(), 3);
+        let decisions = &fams[0];
+        assert_eq!(decisions.name, "esharing_decisions_total");
+        assert_eq!(decisions.samples.len(), 2);
+        assert_eq!(decisions.samples[0].labels.len(), 0);
+        assert_eq!(decisions.samples[1].labels[0].1, "0");
+    }
+
+    #[test]
+    fn prometheus_text_shape() {
+        let fams = snapshot_families(&[&sample_registry().snapshot().with_label("shard", "3")]);
+        let text = render_prometheus(&fams);
+        assert!(text.contains("# TYPE esharing_decisions_total counter"));
+        assert!(text.contains("esharing_decisions_total{shard=\"3\"} 42"));
+        assert!(text.contains("# TYPE esharing_ks_d_statistic gauge"));
+        assert!(text.contains("esharing_ks_d_statistic{shard=\"3\"} 0.125"));
+        assert!(text.contains("# TYPE esharing_decision_latency_ns summary"));
+        assert!(text.contains("{shard=\"3\",quantile=\"0.5\"}"));
+        assert!(text.contains("esharing_decision_latency_ns_sum{shard=\"3\"} 3000"));
+        assert!(text.contains("esharing_decision_latency_ns_count{shard=\"3\"} 2"));
+        // Every non-comment line is `name{labels} value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert_eq!(line.split(' ').count(), 2, "bad exposition line: {line}");
+        }
+    }
+
+    #[test]
+    fn prometheus_escapes_label_values() {
+        let mut r = Registry::new();
+        r.counter_with("c", "h", &[("path", "a\"b\\c\nd")]);
+        let text = render_prometheus(&snapshot_families(&[&r.snapshot()]));
+        assert!(text.contains("path=\"a\\\"b\\\\c\\nd\""));
+    }
+
+    #[test]
+    fn json_shape() {
+        let fams = snapshot_families(&[&sample_registry().snapshot()]);
+        let json = render_json(&fams);
+        assert!(json.contains("\"name\": \"esharing_decisions_total\""));
+        assert!(json.contains("\"kind\": \"counter\""));
+        assert!(json.contains("\"value\": 42"));
+        assert!(json.contains("\"kind\": \"summary\""));
+        assert!(json.contains("\"count\": 2"));
+        assert!(json.contains("\"sum_ns\": 3000"));
+        assert!(json.contains("\"0.999\""));
+        // Balanced braces (cheap well-formedness check).
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced JSON: {json}"
+        );
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty_documents() {
+        let fams = snapshot_families(&[&RegistrySnapshot::default()]);
+        assert!(fams.is_empty());
+        assert_eq!(render_prometheus(&fams), "");
+        assert!(render_json(&fams).contains("\"families\": [\n  ]"));
+    }
+
+    #[test]
+    fn events_json_covers_every_kind() {
+        let kinds = [
+            EventKind::ParkingOpened { x: 1.0, y: 2.0 },
+            EventKind::EpochCrossed {
+                epoch: 3,
+                decision_cost: 4.0,
+            },
+            EventKind::KsTest {
+                d_statistic: 0.1,
+                similarity_percent: 90.0,
+                penalty_before: 2,
+                penalty_after: 3,
+            },
+            EventKind::ShardShed { queue_depth: 7 },
+            EventKind::MaintenanceDispatch {
+                period: 1,
+                total_cost: 12.5,
+            },
+        ];
+        let records: Vec<EventRecord> = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &kind)| EventRecord {
+                shard: if i == 3 { None } else { Some(i) },
+                event: Event {
+                    seq: i as u64,
+                    t_ns: i as u64 * 10,
+                    kind,
+                },
+            })
+            .collect();
+        let json = render_events_json(&records, 5);
+        assert!(json.contains("\"dropped\": 5"));
+        for kind in [
+            "parking_opened",
+            "epoch_crossed",
+            "ks_test",
+            "shard_shed",
+            "maintenance_dispatch",
+        ] {
+            assert!(json.contains(kind), "missing {kind}: {json}");
+        }
+        assert!(json.contains("\"shard\": null"));
+        assert!(json.contains("\"d_statistic\": 0.1"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

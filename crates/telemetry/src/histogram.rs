@@ -1,0 +1,337 @@
+//! Log-bucketed latency histogram.
+//!
+//! Lived in `esharing-core::metrics` through PR 3; moved here so the
+//! registry, the exposition layer, and core can all share one
+//! implementation (core re-exports it, so `esharing_core::LatencyHistogram`
+//! keeps working).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+use std::time::Duration;
+
+/// Sub-bucket resolution of [`LatencyHistogram`]: each power-of-two octave
+/// is split into `2^3 = 8` sub-buckets, bounding the relative quantile
+/// error at `1/8 = 12.5%`.
+const LAT_SUB_BITS: u32 = 3;
+const LAT_SUB: u64 = 1 << LAT_SUB_BITS;
+/// Values at or above `2^(LAT_MAX_EXP + 1)` ns (≈ 36 min) clamp into the
+/// last bucket — far beyond any decision latency this system can produce.
+const LAT_MAX_EXP: u32 = 40;
+/// Total bucket count: `LAT_SUB` exact linear buckets for 0..8 ns plus 8
+/// sub-buckets for each octave `2^3 ..= 2^40`.
+const LAT_BUCKETS: usize =
+    LAT_SUB as usize + (LAT_MAX_EXP - LAT_SUB_BITS + 1) as usize * LAT_SUB as usize;
+
+/// A log-bucketed latency histogram for decision-path telemetry.
+///
+/// Nanosecond durations land in buckets whose width is at most 1/8 of
+/// their value (`2^3` sub-buckets per power-of-two octave; values below
+/// 8 ns get exact one-nanosecond buckets), so every reported quantile is
+/// within 12.5% of the true order statistic while the whole structure is
+/// a few hundred counters. Recording is O(1) and allocation-free once the
+/// bucket vector has grown past the largest observed value.
+///
+/// Histograms are running sums: per-shard histograms from a partitioned
+/// deployment merge by addition and the quantiles recompute correctly from
+/// the merged counts — which is exactly what averaging per-shard
+/// percentiles would get wrong.
+///
+/// Quantiles use the nearest-rank convention and report the bucket's
+/// *upper* bound, so `p99()` never understates the tail.
+///
+/// # Examples
+///
+/// ```
+/// use esharing_telemetry::LatencyHistogram;
+/// use std::time::Duration;
+///
+/// let mut h = LatencyHistogram::new();
+/// for us in [100u64, 200, 300, 400, 10_000] {
+///     h.record(Duration::from_micros(us));
+/// }
+/// assert_eq!(h.count(), 5);
+/// // The p50 bucket contains the true median (300 µs) within 12.5%.
+/// let p50 = h.p50_ns() as f64;
+/// assert!((p50 - 300_000.0).abs() / 300_000.0 <= 0.125);
+/// // The outlier dominates the max but not the median.
+/// assert!(h.max_ns() >= 10_000_000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    /// Bucket counters, grown on demand to the highest observed bucket
+    /// (never shrunk), so empty and low-latency histograms serialize
+    /// compactly.
+    buckets: Vec<u64>,
+    count: u64,
+    sum_ns: u64,
+    max_ns: u64,
+}
+
+/// Bucket index for a nanosecond value.
+fn lat_bucket_of(ns: u64) -> usize {
+    if ns < LAT_SUB {
+        return ns as usize;
+    }
+    let exp = 63 - u64::leading_zeros(ns);
+    if exp > LAT_MAX_EXP {
+        return LAT_BUCKETS - 1;
+    }
+    let sub = (ns >> (exp - LAT_SUB_BITS)) & (LAT_SUB - 1);
+    LAT_SUB as usize + ((exp - LAT_SUB_BITS) as usize) * LAT_SUB as usize + sub as usize
+}
+
+/// Inclusive upper bound (ns) of bucket `idx`.
+fn lat_bucket_upper(idx: usize) -> u64 {
+    if idx < LAT_SUB as usize {
+        return idx as u64;
+    }
+    let o = (idx - LAT_SUB as usize) as u32;
+    let exp = LAT_SUB_BITS + o / LAT_SUB as u32;
+    let sub = u64::from(o % LAT_SUB as u32);
+    let width = 1u64 << (exp - LAT_SUB_BITS);
+    (1u64 << exp) + (sub + 1) * width - 1
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, latency: Duration) {
+        self.record_ns(latency.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Records one observation given directly in nanoseconds.
+    pub fn record_ns(&mut self, ns: u64) {
+        let idx = lat_bucket_of(ns);
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum_ns = self.sum_ns.saturating_add(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether anything has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The largest observation, exact (not bucketed), in nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Sum of all observations in nanoseconds (saturating), as exposition
+    /// formats report alongside the count.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns
+    }
+
+    /// Mean latency in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`) in nanoseconds, nearest-rank over
+    /// the bucket counts, reported as the holding bucket's upper bound
+    /// (within 12.5% of the true order statistic). Returns 0 when empty.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Never report past the true maximum: the last occupied
+                // bucket's upper bound can overshoot it.
+                return lat_bucket_upper(idx).min(self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+
+    /// Median latency in nanoseconds.
+    pub fn p50_ns(&self) -> u64 {
+        self.quantile_ns(0.50)
+    }
+
+    /// 90th-percentile latency in nanoseconds.
+    pub fn p90_ns(&self) -> u64 {
+        self.quantile_ns(0.90)
+    }
+
+    /// 99th-percentile latency in nanoseconds.
+    pub fn p99_ns(&self) -> u64 {
+        self.quantile_ns(0.99)
+    }
+
+    /// 99.9th-percentile latency in nanoseconds — the deep-tail figure;
+    /// meaningful once roughly a thousand observations have landed (below
+    /// that it degenerates to the maximum).
+    pub fn p999_ns(&self) -> u64 {
+        self.quantile_ns(0.999)
+    }
+}
+
+impl Add for LatencyHistogram {
+    type Output = LatencyHistogram;
+
+    fn add(mut self, rhs: LatencyHistogram) -> LatencyHistogram {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for LatencyHistogram {
+    fn add_assign(&mut self, rhs: LatencyHistogram) {
+        if rhs.buckets.len() > self.buckets.len() {
+            self.buckets.resize(rhs.buckets.len(), 0);
+        }
+        for (dst, src) in self.buckets.iter_mut().zip(&rhs.buckets) {
+            *dst += src;
+        }
+        self.count += rhs.count;
+        self.sum_ns = self.sum_ns.saturating_add(rhs.sum_ns);
+        self.max_ns = self.max_ns.max(rhs.max_ns);
+    }
+}
+
+impl Sum for LatencyHistogram {
+    fn sum<I: Iterator<Item = LatencyHistogram>>(iter: I) -> Self {
+        iter.fold(LatencyHistogram::default(), Add::add)
+    }
+}
+
+impl fmt::Display for LatencyHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} p50={:.1}µs p90={:.1}µs p99={:.1}µs p99.9={:.1}µs max={:.1}µs",
+            self.count,
+            self.p50_ns() as f64 / 1_000.0,
+            self.p90_ns() as f64 / 1_000.0,
+            self.p99_ns() as f64 / 1_000.0,
+            self.p999_ns() as f64 / 1_000.0,
+            self.max_ns as f64 / 1_000.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_empty_is_zero() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50_ns(), 0);
+        assert_eq!(h.p999_ns(), 0);
+        assert_eq!(h.max_ns(), 0);
+        assert_eq!(h.sum_ns(), 0);
+        assert_eq!(h.mean_ns(), 0.0);
+    }
+
+    #[test]
+    fn latency_small_values_are_exact() {
+        // Below 8 ns the buckets are one nanosecond wide: quantiles exact.
+        let mut h = LatencyHistogram::new();
+        for ns in [0u64, 1, 2, 3, 4, 5, 6, 7] {
+            h.record_ns(ns);
+        }
+        assert_eq!(h.p50_ns(), 3);
+        assert_eq!(h.quantile_ns(1.0), 7);
+        assert_eq!(h.max_ns(), 7);
+        assert_eq!(h.sum_ns(), 28);
+    }
+
+    #[test]
+    fn latency_quantiles_within_relative_error_bound() {
+        // Deterministic skewed values across many octaves: every reported
+        // quantile must sit within 12.5% above the true order statistic.
+        let mut values: Vec<u64> = (1..=2_000u64).map(|i| i * i * 37 + 13).collect();
+        let mut h = LatencyHistogram::new();
+        for &v in &values {
+            h.record_ns(v);
+        }
+        values.sort_unstable();
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            let truth = values[rank - 1];
+            let got = h.quantile_ns(q);
+            assert!(got >= truth, "q={q}: bucket upper bound below truth");
+            assert!(
+                got as f64 <= truth as f64 * 1.125,
+                "q={q}: {got} overshoots {truth} by more than 12.5%"
+            );
+        }
+        assert_eq!(h.quantile_ns(1.0), *values.last().unwrap());
+    }
+
+    #[test]
+    fn latency_merge_equals_combined_records() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut both = LatencyHistogram::new();
+        for i in 0..500u64 {
+            let v = i * 977 + 11;
+            if i % 3 == 0 {
+                a.record_ns(v);
+            } else {
+                b.record_ns(v);
+            }
+            both.record_ns(v);
+        }
+        let merged = a.clone() + b.clone();
+        assert_eq!(merged, both);
+        assert_eq!(merged.p99_ns(), both.p99_ns());
+        let mut acc = a.clone();
+        acc += b.clone();
+        assert_eq!(acc, both);
+        assert_eq!([a, b].into_iter().sum::<LatencyHistogram>(), both);
+        assert_eq!(
+            std::iter::empty::<LatencyHistogram>().sum::<LatencyHistogram>(),
+            LatencyHistogram::default()
+        );
+    }
+
+    #[test]
+    fn latency_extreme_values_clamp_without_panic() {
+        let mut h = LatencyHistogram::new();
+        h.record_ns(u64::MAX);
+        h.record(Duration::from_secs(3_600));
+        h.record_ns(0);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max_ns(), u64::MAX);
+        // The clamped bucket still reports no higher than the true max.
+        assert!(h.quantile_ns(1.0) <= h.max_ns());
+    }
+
+    #[test]
+    fn latency_display_reports_microseconds() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_micros(250));
+        let s = h.to_string();
+        assert!(s.contains("n=1"), "{s}");
+        assert!(s.contains("p99.9"), "{s}");
+    }
+}

@@ -1,0 +1,293 @@
+//! Tiny std-only HTTP exposition server.
+//!
+//! One `TcpListener` accept loop on a background thread, serving
+//! point-in-time [`Scrape`]s pulled from a [`ScrapeSource`] (the engine's
+//! telemetry probe). This is deliberately not a web framework: requests
+//! are parsed to the first line, responses are `Connection: close`, and
+//! the whole thing exists so `curl`/Prometheus can watch a live replay
+//! run. Shutdown uses a poison-pill self-connect to unblock `accept`.
+
+use crate::expose::{render_events_json, render_json, render_prometheus, MetricFamily};
+use crate::journal::EventRecord;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A point-in-time view of the whole system: metric families plus the
+/// merged event log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scrape {
+    /// Metric families (fleet totals first, then shard-labelled series).
+    pub families: Vec<MetricFamily>,
+    /// Merged, time-ordered event records.
+    pub events: Vec<EventRecord>,
+    /// Events lost to journal/log bounds before this scrape.
+    pub events_dropped: u64,
+}
+
+/// Something that can produce a [`Scrape`] on demand. Returning `None`
+/// means the system has shut down; the server answers 503.
+pub trait ScrapeSource: Send + Sync {
+    /// Produce a current scrape, or `None` if the source is gone.
+    fn scrape(&self) -> Option<Scrape>;
+}
+
+/// Background HTTP responder exposing a [`ScrapeSource`].
+///
+/// Routes: `/metrics` (Prometheus text), `/metrics.json` (JSON),
+/// `/events` (JSON event log), `/` (plain-text index).
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and starts
+    /// serving `source`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn start(addr: &str, source: Arc<dyn ScrapeSource>) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("esharing-metrics-http".into())
+            .spawn(move || serve_loop(listener, source, stop2))
+            .expect("spawn metrics http thread");
+        Ok(MetricsServer {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (resolves the actual port for `:0` binds).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the thread. Idempotent; also runs
+    /// on drop.
+    pub fn shutdown(&mut self) {
+        if let Some(thread) = self.thread.take() {
+            self.stop.store(true, Ordering::SeqCst);
+            // Poison pill: unblock the accept call.
+            let _ = TcpStream::connect(self.addr);
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_loop(listener: TcpListener, source: Arc<dyn ScrapeSource>, stop: Arc<AtomicBool>) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(mut stream) = stream else { continue };
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+        let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+        let Some(path) = read_request_path(&mut stream) else {
+            continue;
+        };
+        let (status, content_type, body) = respond(&path, source.as_ref());
+        let _ = write_response(&mut stream, status, content_type, &body);
+    }
+}
+
+/// Reads the request head and returns the request-target of the first
+/// line (`GET /metrics HTTP/1.1` → `/metrics`).
+fn read_request_path(stream: &mut TcpStream) -> Option<String> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8 * 1024 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let first = head.lines().next()?;
+    let mut parts = first.split_whitespace();
+    let method = parts.next()?;
+    let path = parts.next()?;
+    if method != "GET" {
+        return None;
+    }
+    Some(path.to_string())
+}
+
+fn respond(path: &str, source: &dyn ScrapeSource) -> (u16, &'static str, String) {
+    // Strip any query string: scrapers add ?format= and friends.
+    let path = path.split('?').next().unwrap_or(path);
+    match path {
+        "/" => (
+            200,
+            "text/plain; charset=utf-8",
+            "esharing telemetry\n\n/metrics       Prometheus text format\n/metrics.json  JSON metric families\n/events        JSON event journal\n"
+                .into(),
+        ),
+        "/metrics" | "/metrics.json" | "/events" => match source.scrape() {
+            None => (503, "text/plain; charset=utf-8", "engine shut down\n".into()),
+            Some(scrape) => match path {
+                "/metrics" => (
+                    200,
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    render_prometheus(&scrape.families),
+                ),
+                "/metrics.json" => (
+                    200,
+                    "application/json",
+                    render_json(&scrape.families),
+                ),
+                _ => (
+                    200,
+                    "application/json",
+                    render_events_json(&scrape.events, scrape.events_dropped),
+                ),
+            },
+        },
+        _ => (404, "text/plain; charset=utf-8", "not found\n".into()),
+    }
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        404 => "Not Found",
+        503 => "Service Unavailable",
+        _ => "Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Minimal blocking HTTP GET against the metrics server (tests, CI smoke,
+/// and `exp_engine`'s self-scrape all use this instead of depending on an
+/// HTTP client).
+///
+/// Returns `(status, body)`.
+///
+/// # Errors
+///
+/// Propagates connect/read/write failures and malformed responses.
+pub fn http_get<A: ToSocketAddrs>(addr: A, path: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.write_all(
+        format!("GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n").as_bytes(),
+    )?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed status line")
+        })?;
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{MergeMode, Registry};
+    use std::sync::Mutex;
+
+    struct FixedSource {
+        scrape: Mutex<Option<Scrape>>,
+    }
+
+    impl ScrapeSource for FixedSource {
+        fn scrape(&self) -> Option<Scrape> {
+            self.scrape.lock().unwrap().clone()
+        }
+    }
+
+    fn demo_scrape() -> Scrape {
+        let mut r = Registry::new();
+        let c = r.counter("esharing_decisions_total", "decisions");
+        r.add(c, 9);
+        let g = r.gauge("esharing_ks_d_statistic", "d", MergeMode::PerShard);
+        r.set(g, 0.5);
+        Scrape {
+            families: crate::expose::snapshot_families(&[&r.snapshot()]),
+            events: Vec::new(),
+            events_dropped: 0,
+        }
+    }
+
+    #[test]
+    fn serves_metrics_json_events_and_404() {
+        let source = Arc::new(FixedSource {
+            scrape: Mutex::new(Some(demo_scrape())),
+        });
+        let mut server = MetricsServer::start("127.0.0.1:0", source.clone()).expect("bind");
+        let addr = server.addr();
+
+        let (status, body) = http_get(addr, "/metrics").expect("scrape");
+        assert_eq!(status, 200);
+        assert!(body.contains("esharing_decisions_total 9"), "{body}");
+        assert!(body.contains("# TYPE esharing_ks_d_statistic gauge"));
+
+        let (status, body) = http_get(addr, "/metrics.json").expect("json");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"value\": 9"));
+
+        let (status, body) = http_get(addr, "/events").expect("events");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"events\": ["));
+
+        let (status, _) = http_get(addr, "/metrics?format=prometheus").expect("query");
+        assert_eq!(status, 200);
+
+        let (status, _) = http_get(addr, "/nope").expect("404");
+        assert_eq!(status, 404);
+
+        let (status, body) = http_get(addr, "/").expect("index");
+        assert_eq!(status, 200);
+        assert!(body.contains("/metrics"));
+
+        // Source gone -> 503, and the server survives to answer it.
+        *source.scrape.lock().unwrap() = None;
+        let (status, _) = http_get(addr, "/metrics").expect("503");
+        assert_eq!(status, 503);
+
+        server.shutdown();
+        server.shutdown(); // idempotent; also exercised again by drop
+    }
+}

@@ -1,0 +1,369 @@
+//! Bounded structured event journal.
+//!
+//! Each shard worker owns one [`EventJournal`]: a fixed-capacity ring
+//! buffer of typed [`Event`]s. Recording is O(1) and allocation-free once
+//! the ring has filled its pre-reserved capacity — when the ring is full
+//! the oldest entry is overwritten and counted in
+//! [`EventJournal::dropped`], so a quiet scrape cadence degrades to "most
+//! recent N events" rather than unbounded memory.
+//!
+//! Every event carries a per-journal sequence number and a nanosecond
+//! timestamp taken against a shared epoch `Instant` (the engine start), so
+//! events drained from different shards are comparable and merge into one
+//! fleet-wide ordered log ([`merge_event_batches`] /
+//! [`EventLog::absorb`]).
+
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Typed fleet events. Variants carry the scalar context an operator needs
+/// to interpret the transition without replaying the run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// The online algorithm opened a parking location at `(x, y)`.
+    ParkingOpened {
+        /// Easting of the new station, meters.
+        x: f64,
+        /// Northing of the new station, meters.
+        y: f64,
+    },
+    /// The cost-doubling schedule advanced: the per-opening decision cost
+    /// doubled into epoch `epoch`.
+    EpochCrossed {
+        /// Doubling epochs completed since bootstrap.
+        epoch: u64,
+        /// The new per-opening decision cost `f_dec`.
+        decision_cost: f64,
+    },
+    /// A periodic 2-D KS re-test completed.
+    KsTest {
+        /// Peacock D-statistic of live window vs. history.
+        d_statistic: f64,
+        /// Derived similarity percentage.
+        similarity_percent: f64,
+        /// Penalty type in force before the test (paper type number;
+        /// 0 = none).
+        penalty_before: u8,
+        /// Penalty type selected by the test.
+        penalty_after: u8,
+    },
+    /// The router shed a request for a full shard.
+    ShardShed {
+        /// Requests in the shard mailbox when the shed happened.
+        queue_depth: u64,
+    },
+    /// A tier-2 maintenance period dispatched operators.
+    MaintenanceDispatch {
+        /// Maintenance periods completed so far.
+        period: u64,
+        /// Cumulative maintenance cost in dollars.
+        total_cost: f64,
+    },
+}
+
+/// One journal entry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Per-journal sequence number, starting at 0.
+    pub seq: u64,
+    /// Nanoseconds since the journal's epoch.
+    pub t_ns: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Fixed-capacity ring of [`Event`]s. See the module docs.
+#[derive(Debug, Clone)]
+pub struct EventJournal {
+    buf: Vec<Event>,
+    cap: usize,
+    /// Index of the oldest entry once the ring has wrapped.
+    head: usize,
+    next_seq: u64,
+    dropped: u64,
+    epoch: Instant,
+}
+
+impl EventJournal {
+    /// A journal holding at most `capacity` events (clamped to ≥ 1),
+    /// timestamping against `epoch`. The buffer is reserved up front so
+    /// recording never allocates.
+    pub fn new(capacity: usize, epoch: Instant) -> Self {
+        let cap = capacity.max(1);
+        EventJournal {
+            buf: Vec::with_capacity(cap),
+            cap,
+            head: 0,
+            next_seq: 0,
+            dropped: 0,
+            epoch,
+        }
+    }
+
+    /// Records `kind` now.
+    pub fn record(&mut self, kind: EventKind) {
+        let t_ns = self.epoch.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.record_at(t_ns, kind);
+    }
+
+    /// Records `kind` at an explicit timestamp (tests; replaying external
+    /// clocks).
+    pub fn record_at(&mut self, t_ns: u64, kind: EventKind) {
+        let ev = Event {
+            seq: self.next_seq,
+            t_ns,
+            kind,
+        };
+        self.next_seq += 1;
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Events currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Maximum events held.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Events overwritten before being drained.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Events ever recorded (drained + held + dropped).
+    pub fn total_recorded(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The journal's epoch instant (shared across shards for comparable
+    /// timestamps).
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// Drains every held event, oldest first, into `out`. The ring keeps
+    /// its reserved capacity.
+    pub fn drain_into(&mut self, out: &mut Vec<Event>) {
+        out.extend(self.buf[self.head..].iter().copied());
+        out.extend(self.buf[..self.head].iter().copied());
+        self.buf.clear();
+        self.head = 0;
+    }
+
+    /// [`EventJournal::drain_into`] returning a fresh vector.
+    pub fn drain(&mut self) -> Vec<Event> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        self.drain_into(&mut out);
+        out
+    }
+}
+
+/// A shard-attributed event in the fleet-wide merged log. `shard` is
+/// `None` for router-side events (sheds are journalled by the submitting
+/// thread, not a shard worker).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EventRecord {
+    /// Originating shard, or `None` for the router.
+    pub shard: Option<usize>,
+    /// The event itself (sequence numbers are per source).
+    pub event: Event,
+}
+
+fn record_key(r: &EventRecord) -> (u64, usize, u64) {
+    (r.event.t_ns, r.shard.unwrap_or(usize::MAX), r.event.seq)
+}
+
+/// Merges per-source drained batches into one log ordered by
+/// `(t_ns, shard, seq)`. Each source's own order (its sequence numbers)
+/// is preserved because timestamps are nondecreasing per source and ties
+/// break on `seq`.
+pub fn merge_event_batches(batches: Vec<(Option<usize>, Vec<Event>)>) -> Vec<EventRecord> {
+    let mut out: Vec<EventRecord> = batches
+        .into_iter()
+        .flat_map(|(shard, events)| {
+            events
+                .into_iter()
+                .map(move |event| EventRecord { shard, event })
+        })
+        .collect();
+    out.sort_by_key(record_key);
+    out
+}
+
+/// Aggregator-side accumulation of merged events, bounded to the newest
+/// `capacity` records.
+#[derive(Debug, Clone)]
+pub struct EventLog {
+    records: Vec<EventRecord>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl EventLog {
+    /// A log keeping the newest `capacity` records (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        EventLog {
+            records: Vec::new(),
+            cap: capacity.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// Merges freshly drained per-source batches ([`merge_event_batches`])
+    /// and appends them; oldest records fall off the front once the bound
+    /// is hit. Successive absorbs stay globally ordered because each
+    /// source drains completely every time, so later batches only carry
+    /// later timestamps.
+    pub fn absorb(&mut self, batches: Vec<(Option<usize>, Vec<Event>)>) {
+        self.records.extend(merge_event_batches(batches));
+        if self.records.len() > self.cap {
+            let excess = self.records.len() - self.cap;
+            self.records.drain(..excess);
+            self.dropped += excess as u64;
+        }
+    }
+
+    /// The retained records, oldest first.
+    pub fn records(&self) -> &[EventRecord] {
+        &self.records
+    }
+
+    /// Records discarded to honour the bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shed(depth: u64) -> EventKind {
+        EventKind::ShardShed { queue_depth: depth }
+    }
+
+    #[test]
+    fn ring_wraps_overwriting_oldest() {
+        let mut j = EventJournal::new(3, Instant::now());
+        for i in 0..5u64 {
+            j.record_at(i * 10, shed(i));
+        }
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.capacity(), 3);
+        assert_eq!(j.dropped(), 2);
+        assert_eq!(j.total_recorded(), 5);
+        let drained = j.drain();
+        // Oldest two (seq 0, 1) were overwritten; the survivors come out
+        // oldest-first with contiguous sequence numbers.
+        let seqs: Vec<u64> = drained.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+        let times: Vec<u64> = drained.iter().map(|e| e.t_ns).collect();
+        assert_eq!(times, vec![20, 30, 40]);
+        assert!(j.is_empty());
+        // Draining resets the ring but not the counters.
+        j.record_at(99, shed(9));
+        assert_eq!(j.drain()[0].seq, 5);
+        assert_eq!(j.dropped(), 2);
+    }
+
+    #[test]
+    fn ring_below_capacity_keeps_everything() {
+        let mut j = EventJournal::new(8, Instant::now());
+        j.record(shed(1));
+        j.record(shed(2));
+        assert_eq!(j.dropped(), 0);
+        let drained = j.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(drained[0].t_ns <= drained[1].t_ns);
+        assert_eq!([drained[0].seq, drained[1].seq], [0, 1]);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut j = EventJournal::new(0, Instant::now());
+        j.record_at(1, shed(0));
+        j.record_at(2, shed(1));
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.drain()[0].seq, 1);
+    }
+
+    #[test]
+    fn cross_shard_merge_orders_by_time_then_shard_then_seq() {
+        let epoch = Instant::now();
+        let mut a = EventJournal::new(8, epoch);
+        let mut b = EventJournal::new(8, epoch);
+        let mut router = EventJournal::new(8, epoch);
+        a.record_at(10, shed(0));
+        a.record_at(30, shed(1));
+        b.record_at(20, shed(2));
+        b.record_at(30, shed(3)); // same instant as shard 0's second event
+        router.record_at(5, shed(4));
+        let merged = merge_event_batches(vec![
+            (Some(1), b.drain()),
+            (None, router.drain()),
+            (Some(0), a.drain()),
+        ]);
+        let order: Vec<(u64, Option<usize>)> =
+            merged.iter().map(|r| (r.event.t_ns, r.shard)).collect();
+        assert_eq!(
+            order,
+            vec![
+                (5, None),
+                (10, Some(0)),
+                (20, Some(1)),
+                (30, Some(0)), // tie on t_ns: lower shard id first
+                (30, Some(1)),
+            ]
+        );
+        // Per-source sequence order survives the merge.
+        let shard0: Vec<u64> = merged
+            .iter()
+            .filter(|r| r.shard == Some(0))
+            .map(|r| r.event.seq)
+            .collect();
+        assert_eq!(shard0, vec![0, 1]);
+    }
+
+    #[test]
+    fn event_log_bounds_and_counts_drops() {
+        let mut log = EventLog::new(3);
+        log.absorb(vec![(
+            Some(0),
+            (0..5u64)
+                .map(|i| Event {
+                    seq: i,
+                    t_ns: i,
+                    kind: shed(i),
+                })
+                .collect(),
+        )]);
+        assert_eq!(log.records().len(), 3);
+        assert_eq!(log.dropped(), 2);
+        assert_eq!(log.records()[0].event.seq, 2);
+        // A later absorb appends after the retained tail.
+        log.absorb(vec![(
+            Some(1),
+            vec![Event {
+                seq: 0,
+                t_ns: 100,
+                kind: shed(9),
+            }],
+        )]);
+        assert_eq!(log.records().len(), 3);
+        assert_eq!(log.records().last().unwrap().shard, Some(1));
+    }
+}

@@ -1,0 +1,108 @@
+//! Fleet telemetry for the E-Sharing serving system.
+//!
+//! Four pieces, layered bottom-up:
+//!
+//! 1. [`LatencyHistogram`] — the log-bucketed mergeable histogram
+//!    (formerly `esharing-core::metrics`; core re-exports it).
+//! 2. [`registry`] — a single-owner metrics registry: counters, gauges,
+//!    and histograms behind typed `Copy` handles, updated with plain
+//!    `&mut` writes on the worker thread and merged fleet-wide at
+//!    snapshot time.
+//! 3. [`journal`] — a bounded per-shard structured event journal (typed
+//!    events, sequence numbers, shared-epoch timestamps) with k-way
+//!    ordered cross-shard merging.
+//! 4. [`expose`] / [`http`] — Prometheus-text and JSON rendering plus a
+//!    tiny std-only `TcpListener` responder so a live engine run can be
+//!    scraped mid-flight.
+//!
+//! The crate sits below `esharing-core` and depends only on `serde`, so
+//! every layer of the system (placement, core, engine, benches) can emit
+//! into it without dependency cycles.
+
+#![warn(missing_docs)]
+
+pub mod expose;
+mod histogram;
+pub mod http;
+pub mod journal;
+pub mod registry;
+
+pub use expose::{
+    render_events_json, render_json, render_prometheus, snapshot_families, FamilyKind,
+    FamilySample, MetricFamily, SampleValue,
+};
+pub use histogram::LatencyHistogram;
+pub use http::{http_get, MetricsServer, Scrape, ScrapeSource};
+pub use journal::{merge_event_batches, Event, EventJournal, EventKind, EventLog, EventRecord};
+pub use registry::{
+    CounterId, GaugeId, HistogramId, MergeMode, MetricSample, Registry, RegistrySnapshot,
+};
+
+use serde::{Deserialize, Serialize};
+
+/// Telemetry knobs shared by the request server and the engine shards.
+///
+/// Instrumentation is designed to be cheap enough to leave on: registry
+/// updates are `&mut` vector writes and journal records are O(1) ring
+/// stores. The only per-request work that costs real time — reading the
+/// clock around each decision stage — is *sampled*: one request in
+/// [`TelemetryConfig::sample_every`] runs the traced decision path, the
+/// rest run the untraced one.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TelemetryConfig {
+    /// Master switch. Disabled skips registry/journal work entirely
+    /// (snapshots then carry no telemetry sections).
+    pub enabled: bool,
+    /// Trace one request in `sample_every` with per-stage timings
+    /// (clamped to ≥ 1; 1 traces everything).
+    pub sample_every: u32,
+    /// Per-shard event-journal ring capacity.
+    pub journal_capacity: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            enabled: true,
+            sample_every: 32,
+            journal_capacity: 1024,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// Telemetry fully off (for overhead A/B runs).
+    pub fn disabled() -> Self {
+        TelemetryConfig {
+            enabled: false,
+            ..TelemetryConfig::default()
+        }
+    }
+
+    /// The sampling period, clamped to ≥ 1.
+    pub fn sample_period(&self) -> u32 {
+        self.sample_every.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_on_and_sampled() {
+        let c = TelemetryConfig::default();
+        assert!(c.enabled);
+        assert!(c.sample_every > 1, "default must sample, not trace all");
+        assert!(c.journal_capacity >= 64);
+        assert!(!TelemetryConfig::disabled().enabled);
+        assert_eq!(
+            TelemetryConfig {
+                sample_every: 0,
+                ..TelemetryConfig::default()
+            }
+            .sample_period(),
+            1
+        );
+    }
+}

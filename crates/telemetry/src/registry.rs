@@ -1,0 +1,430 @@
+//! Lock-cheap metrics registry.
+//!
+//! A [`Registry`] is owned by exactly one worker thread (a shard worker, a
+//! request-server worker, a simulation loop), so every update is a plain
+//! `&mut` field write — no atomics, no locks, no hashing on the hot path.
+//! Metrics are registered once at startup and updated through typed index
+//! handles ([`CounterId`], [`GaugeId`], [`HistogramId`]) that are `Copy`
+//! and resolve to a vector slot.
+//!
+//! Cross-thread visibility happens at *snapshot* time: the owner produces
+//! a [`RegistrySnapshot`] (a plain value), ships it over a channel, and
+//! the aggregator merges per-shard snapshots into fleet totals with
+//! [`RegistrySnapshot::fleet_sum`] — the same merge-by-addition discipline
+//! the rest of the system uses for `SystemMetrics` and
+//! [`LatencyHistogram`].
+
+use crate::LatencyHistogram;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// How a sample combines when per-shard snapshots merge into fleet totals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MergeMode {
+    /// Running sum: fleet value is the sum over shards (counters,
+    /// histograms, additive gauges like open-station counts or cost
+    /// totals).
+    Sum,
+    /// Instantaneous per-shard reading with no meaningful fleet sum (a KS
+    /// D-statistic, a cost threshold). Dropped from fleet totals; exposed
+    /// per shard under a `shard` label instead.
+    PerShard,
+}
+
+/// One exported sample: a metric name, its help text, its label pairs, and
+/// the value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricSample<T> {
+    /// Metric family name (e.g. `esharing_decisions_total`).
+    pub name: String,
+    /// One-line description carried into `# HELP` exposition.
+    pub help: String,
+    /// Label pairs, in registration order.
+    pub labels: Vec<(String, String)>,
+    /// Fleet-merge behaviour.
+    pub merge: MergeMode,
+    /// The sampled value.
+    pub value: T,
+}
+
+impl<T> MetricSample<T> {
+    fn key_matches(&self, other: &MetricSample<T>) -> bool {
+        self.name == other.name && self.labels == other.labels
+    }
+}
+
+/// Typed handle to a registered counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Typed handle to a registered gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Typed handle to a registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+/// Single-owner metrics registry. See the module docs for the threading
+/// model.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    counters: Vec<MetricSample<u64>>,
+    gauges: Vec<MetricSample<f64>>,
+    histograms: Vec<MetricSample<LatencyHistogram>>,
+}
+
+fn owned_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Registers (or finds) a counter named `name`. Registration is
+    /// idempotent per `(name, labels)` key, so bridges can re-register
+    /// without duplicating series.
+    pub fn counter(&mut self, name: &str, help: &str) -> CounterId {
+        self.counter_with(name, help, &[])
+    }
+
+    /// [`Registry::counter`] with label pairs.
+    pub fn counter_with(&mut self, name: &str, help: &str, labels: &[(&str, &str)]) -> CounterId {
+        let labels = owned_labels(labels);
+        if let Some(i) = self
+            .counters
+            .iter()
+            .position(|s| s.name == name && s.labels == labels)
+        {
+            return CounterId(i);
+        }
+        self.counters.push(MetricSample {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels,
+            merge: MergeMode::Sum,
+            value: 0,
+        });
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Registers (or finds) a gauge.
+    pub fn gauge(&mut self, name: &str, help: &str, merge: MergeMode) -> GaugeId {
+        self.gauge_with(name, help, merge, &[])
+    }
+
+    /// [`Registry::gauge`] with label pairs.
+    pub fn gauge_with(
+        &mut self,
+        name: &str,
+        help: &str,
+        merge: MergeMode,
+        labels: &[(&str, &str)],
+    ) -> GaugeId {
+        let labels = owned_labels(labels);
+        if let Some(i) = self
+            .gauges
+            .iter()
+            .position(|s| s.name == name && s.labels == labels)
+        {
+            return GaugeId(i);
+        }
+        self.gauges.push(MetricSample {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels,
+            merge,
+            value: 0.0,
+        });
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Registers (or finds) a latency histogram.
+    pub fn histogram(&mut self, name: &str, help: &str) -> HistogramId {
+        self.histogram_with(name, help, &[])
+    }
+
+    /// [`Registry::histogram`] with label pairs.
+    pub fn histogram_with(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+    ) -> HistogramId {
+        let labels = owned_labels(labels);
+        if let Some(i) = self
+            .histograms
+            .iter()
+            .position(|s| s.name == name && s.labels == labels)
+        {
+            return HistogramId(i);
+        }
+        self.histograms.push(MetricSample {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels,
+            merge: MergeMode::Sum,
+            value: LatencyHistogram::new(),
+        });
+        HistogramId(self.histograms.len() - 1)
+    }
+
+    /// Increments a counter by one.
+    #[inline]
+    pub fn inc(&mut self, id: CounterId) {
+        self.counters[id.0].value += 1;
+    }
+
+    /// Adds `n` to a counter.
+    #[inline]
+    pub fn add(&mut self, id: CounterId, n: u64) {
+        self.counters[id.0].value += n;
+    }
+
+    /// Raises a counter to the absolute value `v` if it is below it —
+    /// keeps the counter monotone while letting snapshot-time bridges
+    /// inject externally accumulated totals.
+    #[inline]
+    pub fn raise_to(&mut self, id: CounterId, v: u64) {
+        let c = &mut self.counters[id.0].value;
+        *c = (*c).max(v);
+    }
+
+    /// Current counter value.
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        self.counters[id.0].value
+    }
+
+    /// Sets a gauge.
+    #[inline]
+    pub fn set(&mut self, id: GaugeId, v: f64) {
+        self.gauges[id.0].value = v;
+    }
+
+    /// Current gauge value.
+    pub fn gauge_value(&self, id: GaugeId) -> f64 {
+        self.gauges[id.0].value
+    }
+
+    /// Records a duration into a histogram.
+    #[inline]
+    pub fn observe(&mut self, id: HistogramId, d: Duration) {
+        self.histograms[id.0].value.record(d);
+    }
+
+    /// Records nanoseconds into a histogram.
+    #[inline]
+    pub fn observe_ns(&mut self, id: HistogramId, ns: u64) {
+        self.histograms[id.0].value.record_ns(ns);
+    }
+
+    /// Read access to a registered histogram.
+    pub fn histogram_ref(&self, id: HistogramId) -> &LatencyHistogram {
+        &self.histograms[id.0].value
+    }
+
+    /// Number of registered series across all three kinds.
+    pub fn series(&self) -> usize {
+        self.counters.len() + self.gauges.len() + self.histograms.len()
+    }
+
+    /// A point-in-time copy of every registered series.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            histograms: self.histograms.clone(),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Registry`]: plain data, safe to ship across
+/// threads and merge fleet-wide.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RegistrySnapshot {
+    /// Counter samples in registration order.
+    pub counters: Vec<MetricSample<u64>>,
+    /// Gauge samples in registration order.
+    pub gauges: Vec<MetricSample<f64>>,
+    /// Histogram samples in registration order.
+    pub histograms: Vec<MetricSample<LatencyHistogram>>,
+}
+
+impl RegistrySnapshot {
+    /// No series at all.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Returns a copy with `(key, value)` appended to every sample's
+    /// labels — how the aggregator stamps shard ids onto per-shard series.
+    pub fn with_label(&self, key: &str, value: &str) -> RegistrySnapshot {
+        let mut out = self.clone();
+        let pair = (key.to_string(), value.to_string());
+        for s in &mut out.counters {
+            s.labels.push(pair.clone());
+        }
+        for s in &mut out.gauges {
+            s.labels.push(pair.clone());
+        }
+        for s in &mut out.histograms {
+            s.labels.push(pair.clone());
+        }
+        out
+    }
+
+    /// Merges `other` into `self` by `(name, labels)` key: counters and
+    /// histograms add, [`MergeMode::Sum`] gauges add, and
+    /// [`MergeMode::PerShard`] gauges are skipped (they only make sense
+    /// under a shard label, which [`RegistrySnapshot::with_label`]
+    /// provides on the unmerged copies). Unknown keys append, preserving
+    /// first-seen order.
+    pub fn merge_from(&mut self, other: &RegistrySnapshot) {
+        for s in &other.counters {
+            if let Some(dst) = self.counters.iter_mut().find(|d| d.key_matches(s)) {
+                dst.value += s.value;
+            } else {
+                self.counters.push(s.clone());
+            }
+        }
+        for s in &other.gauges {
+            if s.merge == MergeMode::PerShard {
+                continue;
+            }
+            if let Some(dst) = self.gauges.iter_mut().find(|d| d.key_matches(s)) {
+                dst.value += s.value;
+            } else {
+                self.gauges.push(s.clone());
+            }
+        }
+        for s in &other.histograms {
+            if let Some(dst) = self.histograms.iter_mut().find(|d| d.key_matches(s)) {
+                dst.value += s.value.clone();
+            } else {
+                self.histograms.push(s.clone());
+            }
+        }
+    }
+
+    /// Fleet totals across shards: the merge-by-addition fold of
+    /// [`RegistrySnapshot::merge_from`] over all parts.
+    pub fn fleet_sum<'a, I: IntoIterator<Item = &'a RegistrySnapshot>>(parts: I) -> Self {
+        let mut out = RegistrySnapshot::default();
+        for p in parts {
+            out.merge_from(p);
+        }
+        out
+    }
+
+    /// Sum of every counter sample named `name` (any labels).
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.value)
+            .sum()
+    }
+
+    /// First gauge sample named `name`, if registered.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|s| s.name == name).map(|s| s.value)
+    }
+
+    /// Merged histogram over every sample named `name` (any labels).
+    pub fn histogram_total(&self, name: &str) -> LatencyHistogram {
+        self.histograms
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.value.clone())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_per_key() {
+        let mut r = Registry::new();
+        let a = r.counter("hits", "hits");
+        let b = r.counter("hits", "hits");
+        assert_eq!(a, b);
+        let c = r.counter_with("hits", "hits", &[("stage", "nn")]);
+        assert_ne!(a, c);
+        r.inc(a);
+        r.add(c, 5);
+        assert_eq!(r.counter_value(a), 1);
+        assert_eq!(r.counter_value(c), 5);
+        assert_eq!(r.series(), 2);
+    }
+
+    #[test]
+    fn raise_to_is_monotone() {
+        let mut r = Registry::new();
+        let c = r.counter("dropped", "dropped");
+        r.raise_to(c, 7);
+        r.raise_to(c, 3);
+        assert_eq!(r.counter_value(c), 7);
+    }
+
+    #[test]
+    fn gauges_and_histograms_roundtrip() {
+        let mut r = Registry::new();
+        let g = r.gauge("ks_d", "d stat", MergeMode::PerShard);
+        r.set(g, 0.25);
+        assert_eq!(r.gauge_value(g), 0.25);
+        let h = r.histogram("lat_ns", "latency");
+        r.observe_ns(h, 1_000);
+        r.observe(h, Duration::from_micros(2));
+        assert_eq!(r.histogram_ref(h).count(), 2);
+        let snap = r.snapshot();
+        assert_eq!(snap.gauge("ks_d"), Some(0.25));
+        assert_eq!(snap.histogram_total("lat_ns").count(), 2);
+    }
+
+    #[test]
+    fn fleet_sum_adds_counters_and_histograms_drops_pershard_gauges() {
+        let shard = |decisions: u64, stations: f64, d: f64, ns: u64| {
+            let mut r = Registry::new();
+            let c = r.counter("decisions", "n");
+            r.add(c, decisions);
+            let g = r.gauge("stations", "open", MergeMode::Sum);
+            r.set(g, stations);
+            let p = r.gauge("ks_d", "d", MergeMode::PerShard);
+            r.set(p, d);
+            let h = r.histogram("lat", "ns");
+            r.observe_ns(h, ns);
+            r.snapshot()
+        };
+        let a = shard(3, 10.0, 0.1, 100);
+        let b = shard(5, 20.0, 0.9, 300);
+        let fleet = RegistrySnapshot::fleet_sum([&a, &b]);
+        assert_eq!(fleet.counter_total("decisions"), 8);
+        assert_eq!(fleet.gauge("stations"), Some(30.0));
+        assert_eq!(fleet.gauge("ks_d"), None, "PerShard gauges must not sum");
+        let h = fleet.histogram_total("lat");
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max_ns(), 300);
+    }
+
+    #[test]
+    fn with_label_disambiguates_shards_in_fleet_merge() {
+        let mut r = Registry::new();
+        let c = r.counter("decisions", "n");
+        r.add(c, 2);
+        let a = r.snapshot().with_label("shard", "0");
+        let b = r.snapshot().with_label("shard", "1");
+        let fleet = RegistrySnapshot::fleet_sum([&a, &b]);
+        // Different labels -> distinct series, both kept.
+        assert_eq!(fleet.counters.len(), 2);
+        assert_eq!(fleet.counter_total("decisions"), 4);
+        assert_eq!(a.counters[0].labels, vec![("shard".into(), "0".into())]);
+    }
+}

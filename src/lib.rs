@@ -20,6 +20,9 @@
 //! * [`engine`] — the zone-sharded serving engine: partitioned online
 //!   placement behind a backpressured router, with replay-driven load
 //!   generation.
+//! * [`telemetry`] — the observability kernel: metrics registry, bounded
+//!   event journal, latency histograms, and the Prometheus/JSON scrape
+//!   server the engine exposes via `Engine::serve_telemetry`.
 //!
 //! # Quickstart
 //!
@@ -48,3 +51,4 @@ pub use esharing_geo as geo;
 pub use esharing_linalg as linalg;
 pub use esharing_placement as placement;
 pub use esharing_stats as stats;
+pub use esharing_telemetry as telemetry;
