@@ -33,15 +33,46 @@ ESHARING_BENCH_DIR="$BENCH_TMP" \
   cargo run --release -p esharing-bench --bin exp_engine -- --smoke --serve --shards 1,4
 for row in request_server_p50 request_server_p999 engine_s4_p90 engine_s4_p999 \
            engine_s4_shard0_p90 engine_s4_shard0_p999 \
+           engine_s1_decision_p50 engine_s1_decision_p99 \
+           engine_s4_decision_p50 engine_s4_decision_p99 \
            engine_s1_telemetry_on_p50 engine_s1_telemetry_off_p50; do
   grep -q "\"$row\"" "$BENCH_TMP/BENCH_engine.json" \
     || { echo "BENCH_engine.json lacks latency row $row"; exit 1; }
 done
 
+# The binary already aborts when instrumentation costs more than the budget,
+# but re-derive the check from the emitted rows so a stale or hand-edited
+# artifact cannot slip through: instrumented p50 may exceed the bare p50 by
+# at most 5%, or by 1 µs when the absolute gap is inside clock noise.
+awk -F'median_ns": ' '
+  /"engine_s1_telemetry_on_p50"/  { split($2, a, ","); on  = a[1] }
+  /"engine_s1_telemetry_off_p50"/ { split($2, a, ","); off = a[1] }
+  END {
+    if (on == "" || off == "") { print "telemetry overhead rows missing"; exit 1 }
+    if (on > off * 1.05 && on - off > 1000) {
+      printf "telemetry overhead p50 %.0f ns vs %.0f ns bare exceeds 5%% budget\n", on, off
+      exit 1
+    }
+  }' "$BENCH_TMP/BENCH_engine.json"
+
+# The mailbox lane stays behind --mailbox-fallback as the measured baseline
+# and as the reference implementation for the equivalence suite; make sure
+# it still serves end to end and emits the same decision-latency rows.
+echo "==> smoke: mailbox fallback lane (--mailbox-fallback)"
+BENCH_TMP_MB="$BENCH_TMP/mailbox"
+mkdir -p "$BENCH_TMP_MB"
+ESHARING_BENCH_DIR="$BENCH_TMP_MB" \
+  cargo run --release -p esharing-bench --bin exp_engine -- --smoke --mailbox-fallback --shards 1
+for row in engine_s1_p50 engine_s1_decision_p50; do
+  grep -q "\"$row\"" "$BENCH_TMP_MB/BENCH_engine.json" \
+    || { echo "mailbox-fallback BENCH_engine.json lacks latency row $row"; exit 1; }
+done
+
 # The --serve run scraped its own /metrics mid-run; the payload must carry
 # the decision, shed and KS-drift metric families end to end.
 for family in esharing_decisions_total esharing_sheds_total \
-              esharing_ks_d_statistic esharing_decision_stage_ns; do
+              esharing_ks_d_statistic esharing_decision_stage_ns \
+              esharing_pending_downstream; do
   grep -q "$family" "$BENCH_TMP/telemetry_scrape.prom" \
     || { echo "telemetry scrape lacks metric family $family"; exit 1; }
 done

@@ -5,30 +5,39 @@
 //! off-CPU service time per request (persistence, push notification). The
 //! single-worker server blocks its only thread on each call, so every
 //! request pays the delay, the thread wake-up latency, and the decision
-//! compute serially. Each engine shard instead drives its own downstream
-//! channel as a FIFO pipe — queued requests issue back-to-back and the
-//! decision compute hides inside the fetch window — and sharding
-//! multiplies the channels. The replay stream is real day-1 drop-offs,
-//! interleaved round-robin across the 8-way grid zones so every shard
-//! sees an equal share (peak-capacity workload; zone counts nest, so the
-//! same stream is balanced for 1, 2, 4 and 8 shards).
+//! compute serially. On the engine's default shared-nothing fast path the
+//! submitting client decides **inline** under the shard's seat and only
+//! the downstream fetch drains asynchronously through the shard's bounded
+//! ring, so the client never pays a thread handoff at all;
+//! `--mailbox-fallback` instead runs the original one-worker-per-shard
+//! crossbeam-mailbox architecture, keeping the mailbox tax measurable as a
+//! baseline. The replay stream is real day-1 drop-offs, interleaved
+//! round-robin across the 8-way grid zones so every shard sees an equal
+//! share (peak-capacity workload; zone counts nest, so the same stream is
+//! balanced for 1, 2, 4 and 8 shards).
 //!
 //! Emits `BENCH_engine.json` at the repo root (throughput plus
-//! p50/p90/p99/p99.9 client latency per backend, and per-shard worker-side
-//! arrival → decision quantiles from the shard latency histograms) and
-//! dumps the final fleet snapshot of the widest engine run to
-//! `results/engine_snapshot.json`. Setting `ESHARING_BENCH_DIR` redirects
-//! the JSON (including in `--smoke` mode, which otherwise skips it).
+//! p50/p90/p99/p99.9 client latency per backend, worker-side fleet
+//! arrival → decision quantiles per engine width — the
+//! `engine_s{N}_decision_p50/p90/p99` rows — and per-shard worker-side
+//! quantiles from the shard latency histograms) and dumps the final fleet
+//! snapshot of the widest engine run to `results/engine_snapshot.json`.
+//! Setting `ESHARING_BENCH_DIR` redirects the JSON (including in
+//! `--smoke` mode, which otherwise skips it).
 //!
 //! Every run also measures telemetry overhead: the same stream replayed
-//! through 1-shard engines with telemetry on and off must land within 5%
-//! on client-observed decision p50 (the binary fails otherwise). With
-//! `--serve`, the widest engine run additionally exposes its live
-//! telemetry over HTTP, scrapes its own `/metrics` endpoint while the
-//! engine is still up, verifies the decision/shed/KS-drift families are
-//! present, and writes the payload to `telemetry_scrape.prom`.
+//! through 1-shard engines with telemetry on and off, three pairs,
+//! median-of-3 client-observed decision p50s must land within 5% (plus a
+//! 1 µs clock-noise floor — the fast path decides in single-digit
+//! microseconds, where sub-microsecond jitter swamps a 5% relative bound;
+//! the binary fails otherwise). With `--serve`, the widest engine run
+//! additionally exposes its live telemetry over HTTP, scrapes its own
+//! `/metrics` endpoint while the engine is still up, verifies the
+//! decision/shed/KS-drift families are present, and writes the payload to
+//! `telemetry_scrape.prom`.
 //!
-//! Usage: `exp_engine [--smoke] [--serve] [--requests N] [--delay-us D]
+//! Usage: `exp_engine [--smoke] [--serve] [--mailbox-fallback]
+//!                    [--requests N] [--delay-us D]
 //!                    [--clients C] [--shards S1,S2,...]`
 //!
 //! `--smoke` shrinks the run and skips the artifact writes (CI mode).
@@ -39,7 +48,9 @@ use esharing_core::server::{RequestServer, ServerConfig};
 use esharing_core::{ESharing, SystemConfig};
 use esharing_dataset::{destinations, CityConfig, SyntheticCity, TripGenerator};
 use esharing_engine::replay::{replay, ReplayConfig, ReplayReport};
-use esharing_engine::{http_get, Engine, EngineConfig, Partition, ShardMap, TelemetryConfig};
+use esharing_engine::{
+    http_get, DecisionPath, Engine, EngineConfig, Partition, ShardMap, TelemetryConfig,
+};
 use esharing_geo::{BBox, Point};
 use std::path::PathBuf;
 use std::time::Duration;
@@ -51,6 +62,7 @@ const BALANCE_ZONES: usize = 8;
 struct Args {
     smoke: bool,
     serve: bool,
+    path: DecisionPath,
     requests: usize,
     delay: Duration,
     clients: usize,
@@ -61,6 +73,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         smoke: false,
         serve: false,
+        path: DecisionPath::SyncShared,
         requests: 4_000,
         delay: Duration::from_micros(300),
         clients: 16,
@@ -77,6 +90,7 @@ fn parse_args() -> Args {
                 args.delay = Duration::from_micros(200);
             }
             "--serve" => args.serve = true,
+            "--mailbox-fallback" => args.path = DecisionPath::Mailbox,
             "--requests" => args.requests = value("--requests").parse().expect("--requests N"),
             "--delay-us" => {
                 args.delay =
@@ -151,17 +165,22 @@ fn run_server(
     report
 }
 
-fn start_engine(history: &[Point], shards: usize, delay: Duration) -> Engine {
+fn start_engine(history: &[Point], shards: usize, delay: Duration, path: DecisionPath) -> Engine {
     Engine::start(
         history,
         EngineConfig {
             shards,
             partition: Partition::UniformGrid,
+            decision_path: path,
             service_delay: delay,
             system: SystemConfig::default(),
             ..EngineConfig::default()
         },
     )
+}
+
+fn micros(us: f64) -> Duration {
+    Duration::from_nanos((us * 1_000.0).round() as u64)
 }
 
 fn record(emitter: &mut PerfEmitter, name: &str, report: &ReplayReport) {
@@ -172,33 +191,36 @@ fn record(emitter: &mut PerfEmitter, name: &str, report: &ReplayReport) {
         ("p99", report.latency.p99_us),
         ("p999", report.latency.p999_us),
     ] {
-        emitter.record_duration(&format!("{name}_{suffix}"), 0, Duration::from_micros(us));
+        emitter.record_duration(&format!("{name}_{suffix}"), 0, micros(us));
     }
 }
 
 /// Instrumented-vs-uninstrumented decision p50: replays the same stream
-/// through two fresh 1-shard engines — telemetry fully on (counters,
-/// journal, sampled stage tracing) vs disabled — and requires the
-/// client-observed p50s to land within 5% of each other. The telemetry
-/// hot path must stay invisible next to the emulated downstream fetch.
-/// Scheduler noise can breach the bound on a loaded box, so up to three
-/// fresh pairs are measured before the check fails; the passing (or last)
-/// pair is recorded in the perf trajectory.
+/// through fresh 1-shard engines — telemetry fully on (counters, journal,
+/// sampled stage tracing) vs disabled — three pairs, and requires the
+/// **median** client-observed p50s to land within 5% of each other (or
+/// within a 1 µs absolute floor: the fast path decides in single-digit
+/// microseconds, where one scheduler hiccup is a double-digit relative
+/// swing). The telemetry hot path must stay invisible on the decision
+/// path.
 fn assert_telemetry_overhead(
     emitter: &mut PerfEmitter,
     history: &[Point],
     stream: &[Point],
     delay: Duration,
     clients: usize,
+    path: DecisionPath,
 ) {
     const TOLERANCE: f64 = 0.05;
-    const ATTEMPTS: usize = 3;
+    const NOISE_FLOOR_US: f64 = 1.0;
+    const PAIRS: usize = 3;
     let run = |telemetry: TelemetryConfig| {
         let engine = Engine::start(
             history,
             EngineConfig {
                 shards: 1,
                 partition: Partition::UniformGrid,
+                decision_path: path,
                 service_delay: delay,
                 telemetry,
                 ..EngineConfig::default()
@@ -215,29 +237,38 @@ fn assert_telemetry_overhead(
         let _ = engine.shutdown();
         report.latency.p50_us
     };
-    let (mut on, mut off) = (0u64, 0u64);
-    for attempt in 1..=ATTEMPTS {
-        on = run(TelemetryConfig::default());
-        off = run(TelemetryConfig::disabled());
-        let diff = (on as f64 - off as f64).abs() / off.max(1) as f64;
-        if diff <= TOLERANCE {
-            println!(
-                "telemetry overhead: decision p50 {on} µs instrumented vs {off} µs bare \
-                 ({:+.2}% — within the 5% budget)",
-                100.0 * (on as f64 - off as f64) / off.max(1) as f64
-            );
-            break;
-        }
-        assert!(
-            attempt < ATTEMPTS,
-            "telemetry overhead breached the 5% decision-p50 budget on {ATTEMPTS} \
-             consecutive pairs: instrumented {on} µs vs bare {off} µs ({:+.1}%)",
-            100.0 * (on as f64 - off as f64) / off.max(1) as f64
-        );
-        println!("telemetry overhead: pair {attempt} noisy ({on} µs vs {off} µs), re-measuring");
+    let median3 = |mut v: [f64; PAIRS]| {
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        v[PAIRS / 2]
+    };
+    let mut ons = [0.0f64; PAIRS];
+    let mut offs = [0.0f64; PAIRS];
+    for i in 0..PAIRS {
+        // Interleave the arms so slow drift (thermal, competing load)
+        // biases both the same way.
+        ons[i] = run(TelemetryConfig::default());
+        offs[i] = run(TelemetryConfig::disabled());
     }
-    emitter.record_duration("engine_s1_telemetry_on_p50", 0, Duration::from_micros(on));
-    emitter.record_duration("engine_s1_telemetry_off_p50", 0, Duration::from_micros(off));
+    let (on, off) = (median3(ons), median3(offs));
+    let rel = (on - off) / off.max(f64::MIN_POSITIVE);
+    assert!(
+        rel <= TOLERANCE || (on - off) <= NOISE_FLOOR_US,
+        "telemetry overhead breached the 5% decision-p50 budget (median of {PAIRS} pairs): \
+         instrumented {on:.2} µs vs bare {off:.2} µs ({:+.1}%)",
+        100.0 * rel
+    );
+    println!(
+        "telemetry overhead: decision p50 {on:.2} µs instrumented vs {off:.2} µs bare \
+         ({:+.2}% — within the {}, median of {PAIRS} pairs)",
+        100.0 * rel,
+        if rel <= TOLERANCE {
+            "5% budget"
+        } else {
+            "1 µs clock-noise floor"
+        }
+    );
+    emitter.record_duration("engine_s1_telemetry_on_p50", 0, micros(on));
+    emitter.record_duration("engine_s1_telemetry_off_p50", 0, micros(off));
 }
 
 /// Scrapes the live engine's `/metrics`, fails unless the decision, shed
@@ -288,10 +319,15 @@ fn main() {
     let map = ShardMap::uniform(bbox, BALANCE_ZONES);
     let stream = balanced_stream(&mut gen, &map, args.requests);
     println!(
-        "engine scaling — {} replayed requests, {} clients, {} µs emulated service delay",
+        "engine scaling — {} replayed requests, {} clients, {} µs emulated service delay, \
+         {} decision path",
         stream.len(),
         args.clients,
-        args.delay.as_micros()
+        args.delay.as_micros(),
+        match args.path {
+            DecisionPath::SyncShared => "shared-nothing fast",
+            DecisionPath::Mailbox => "mailbox-fallback",
+        }
     );
 
     let mut emitter = PerfEmitter::new("engine");
@@ -313,17 +349,17 @@ fn main() {
         "request_server".into(),
         format!("{base_rate:.0}"),
         "1.00x".into(),
-        format!("{:.2}", base.latency.p50_us as f64 / 1_000.0),
-        format!("{:.2}", base.latency.p90_us as f64 / 1_000.0),
-        format!("{:.2}", base.latency.p99_us as f64 / 1_000.0),
-        format!("{:.2}", base.latency.p999_us as f64 / 1_000.0),
+        format!("{:.2}", base.latency.p50_us / 1_000.0),
+        format!("{:.2}", base.latency.p90_us / 1_000.0),
+        format!("{:.2}", base.latency.p99_us / 1_000.0),
+        format!("{:.2}", base.latency.p999_us / 1_000.0),
         format!("{}", base.degraded),
     ]);
 
     let mut widest_snapshot = None;
     let mut widest = 0usize;
     for &shards in &args.shards {
-        let engine = start_engine(&history, shards, args.delay);
+        let engine = start_engine(&history, shards, args.delay, args.path);
         let report = replay(
             &engine,
             &stream,
@@ -339,10 +375,10 @@ fn main() {
             name.clone(),
             format!("{rate:.0}"),
             format!("{:.2}x", rate / base_rate),
-            format!("{:.2}", report.latency.p50_us as f64 / 1_000.0),
-            format!("{:.2}", report.latency.p90_us as f64 / 1_000.0),
-            format!("{:.2}", report.latency.p99_us as f64 / 1_000.0),
-            format!("{:.2}", report.latency.p999_us as f64 / 1_000.0),
+            format!("{:.2}", report.latency.p50_us / 1_000.0),
+            format!("{:.2}", report.latency.p90_us / 1_000.0),
+            format!("{:.2}", report.latency.p99_us / 1_000.0),
+            format!("{:.2}", report.latency.p999_us / 1_000.0),
             format!("{}", report.degraded),
         ]);
         // The widest configuration doubles as the scrape target: its
@@ -351,10 +387,19 @@ fn main() {
         if args.serve && Some(&shards) == args.shards.iter().max() {
             scrape_and_dump(&engine);
         }
-        // Worker-side arrival → decision quantiles, per shard, from the
-        // shard histograms (the client-side summary above includes reply
-        // transit; these isolate the serving path).
+        // Worker-side arrival → decision quantiles from the merged fleet
+        // histogram (the client-side summary above includes routing and
+        // admission; these isolate the serving path) …
         let snapshot = engine.snapshot().expect("engine is running");
+        let fleet = &snapshot.fleet.latency;
+        for (suffix, ns) in [
+            ("decision_p50", fleet.p50_ns()),
+            ("decision_p90", fleet.p90_ns()),
+            ("decision_p99", fleet.p99_ns()),
+        ] {
+            emitter.record_duration(&format!("{name}_{suffix}"), 0, Duration::from_nanos(ns));
+        }
+        // … and per shard, from the shard histograms.
         for s in &snapshot.shards {
             let lat = &s.server.latency;
             for (suffix, ns) in [
@@ -377,15 +422,30 @@ fn main() {
         let _ = engine.shutdown();
     }
     println!("{table}");
-    println!(
-        "the single worker blocks on every {} µs downstream call, paying wake-up\n\
-         latency and decision compute serially; each shard pipelines its own\n\
-         downstream channel (back-to-back issue, compute hidden in the fetch\n\
-         window), so requests/sec scales with the shard count.",
-        args.delay.as_micros()
-    );
+    match args.path {
+        DecisionPath::SyncShared => println!(
+            "the single worker blocks on every {} µs downstream call, paying wake-up\n\
+             latency and decision compute serially; on the shared-nothing fast path\n\
+             clients decide inline under the shard seat while each shard's drain\n\
+             worker pipelines the downstream ring (back-to-back issue, compute\n\
+             hidden in the fetch window), so no request ever pays a thread handoff.",
+            args.delay.as_micros()
+        ),
+        DecisionPath::Mailbox => println!(
+            "mailbox fallback: every request pays the enqueue → worker wake-up →\n\
+             reply round trip; this is the measured baseline the fast path is\n\
+             judged against.",
+        ),
+    }
 
-    assert_telemetry_overhead(&mut emitter, &history, &stream, args.delay, args.clients);
+    assert_telemetry_overhead(
+        &mut emitter,
+        &history,
+        &stream,
+        args.delay,
+        args.clients,
+        args.path,
+    );
 
     if args.smoke && std::env::var_os("ESHARING_BENCH_DIR").is_none() {
         println!("smoke mode: skipping BENCH_engine.json / snapshot dump");

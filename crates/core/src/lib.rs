@@ -43,7 +43,7 @@ pub use events::{EventDrivenSim, TriggerPolicy};
 pub use metrics::{LatencyHistogram, SystemMetrics};
 pub use orchestrator::{ESharing, MaintenanceReport, NotBootstrapped};
 pub use simulation::{Simulation, SimulationReport};
-pub use telemetry::{TelemetryProbe, WorkerTelemetry};
+pub use telemetry::{QueuePath, ServeTrace, TelemetryProbe, WorkerTelemetry};
 
 // Re-exported so serving layers and binaries can configure telemetry
 // without a direct `esharing-telemetry` dependency.

@@ -7,7 +7,7 @@ use esharing_charging::{
 use esharing_dataset::Fleet;
 use esharing_geo::{Grid, Point};
 use esharing_placement::online::{
-    Decision, DeviationPenalty, HandleTrace, OnlinePlacement, PlacementEvent,
+    Decision, DecisionView, DeviationPenalty, HandleTrace, OnlinePlacement, PlacementEvent,
 };
 use esharing_placement::{offline, PlpInstance};
 use std::error::Error;
@@ -116,6 +116,14 @@ impl ESharing {
     /// Stations the online algorithm opened beyond the offline landmarks.
     pub fn opened_online(&self) -> usize {
         self.online.as_ref().map_or(0, |o| o.opened_online())
+    }
+
+    /// A copyable [`DecisionView`] of the online algorithm's observable
+    /// state, or `None` before bootstrap. Cheap and side-effect free; the
+    /// sharded engine republishes this through a lock-free cell after every
+    /// decision so monitoring reads never enter the serving path.
+    pub fn decision_view(&self) -> Option<DecisionView> {
+        self.online.as_ref().map(|o| o.decision_view())
     }
 
     /// Runs the offline pipeline on a window of historical destinations:

@@ -15,7 +15,7 @@
 //! single shard it reproduces this server's decisions bit-identically.
 
 use crate::metrics::LatencyHistogram;
-use crate::telemetry::{TelemetryProbe, WorkerTelemetry};
+use crate::telemetry::{ServeTrace, TelemetryProbe, WorkerTelemetry};
 use crate::ESharing;
 use crossbeam::channel::{bounded, Sender};
 use esharing_geo::Point;
@@ -254,7 +254,7 @@ impl RequestServer {
                                 let (decision, tr) = system
                                     .handle_request_traced(destination)
                                     .expect("server system is bootstrapped");
-                                (decision, Some((wait_ns, tr)))
+                                (decision, Some(ServeTrace::mailbox(wait_ns, tr)))
                             }
                             None => (
                                 system
@@ -290,7 +290,7 @@ impl RequestServer {
                                     let (decision, tr) = system
                                         .handle_request_traced(destination)
                                         .expect("server system is bootstrapped");
-                                    (decision, Some((wait_ns, tr)))
+                                    (decision, Some(ServeTrace::mailbox(wait_ns, tr)))
                                 }
                                 None => (
                                     system

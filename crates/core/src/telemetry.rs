@@ -56,6 +56,59 @@ impl TelemetryProbe {
     }
 }
 
+/// Which queueing substrate carried a traced request to its decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueuePath {
+    /// The crossbeam mailbox: the request waited in the shard's channel
+    /// until the worker dequeued it (`mailbox_wait` stage).
+    Mailbox,
+    /// The shared-nothing fast path: the caller acquired the shard seat
+    /// and decided inline (`seat_acquire` stage, plus `ring_enqueue` for
+    /// the downstream-ring publication).
+    Seat,
+}
+
+/// Serving-layer timing context attached to a sampled decision: how the
+/// request reached the decision math and how long each serving stage took.
+/// The in-algorithm stages ride along in [`ServeTrace::stages`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeTrace {
+    /// Nanoseconds spent reaching the decision math: mailbox wait
+    /// (dequeue-observed) or seat acquisition (lock wait), per `path`.
+    pub queue_ns: u64,
+    /// Which substrate carried the request.
+    pub path: QueuePath,
+    /// Fast path only: nanoseconds spent claiming and publishing the
+    /// downstream-ring slot. `None` on the mailbox path, where the ring
+    /// does not exist.
+    pub enqueue_ns: Option<u64>,
+    /// The in-algorithm per-stage breakdown.
+    pub stages: HandleTrace,
+}
+
+impl ServeTrace {
+    /// A trace observed on the mailbox path (`queue_ns` = mailbox wait).
+    pub fn mailbox(queue_ns: u64, stages: HandleTrace) -> Self {
+        ServeTrace {
+            queue_ns,
+            path: QueuePath::Mailbox,
+            enqueue_ns: None,
+            stages,
+        }
+    }
+
+    /// A trace observed on the shared-nothing fast path
+    /// (`queue_ns` = seat acquisition, `enqueue_ns` = ring publication).
+    pub fn seat(queue_ns: u64, enqueue_ns: u64, stages: HandleTrace) -> Self {
+        ServeTrace {
+            queue_ns,
+            path: QueuePath::Seat,
+            enqueue_ns: Some(enqueue_ns),
+            stages,
+        }
+    }
+}
+
 /// Per-worker telemetry state: registry, typed handles, journal, and the
 /// trace-sampling countdown. See the module docs.
 #[derive(Debug)]
@@ -82,6 +135,8 @@ pub struct WorkerTelemetry {
     space_cost: GaugeId,
     decision_latency: HistogramId,
     stage_mailbox: HistogramId,
+    stage_seat: HistogramId,
+    stage_ring: HistogramId,
     stage_nn: HistogramId,
     stage_penalty: HistogramId,
     stage_ks: HistogramId,
@@ -159,6 +214,8 @@ impl WorkerTelemetry {
             )
         };
         let stage_mailbox = stage(&mut r, "mailbox_wait");
+        let stage_seat = stage(&mut r, "seat_acquire");
+        let stage_ring = stage(&mut r, "ring_enqueue");
         let stage_nn = stage(&mut r, "nn_lookup");
         let stage_penalty = stage(&mut r, "penalty_eval");
         let stage_ks = stage(&mut r, "ks_window");
@@ -183,6 +240,8 @@ impl WorkerTelemetry {
             space_cost,
             decision_latency,
             stage_mailbox,
+            stage_seat,
+            stage_ring,
             stage_nn,
             stage_penalty,
             stage_ks,
@@ -204,22 +263,31 @@ impl WorkerTelemetry {
 
     /// Accounts one served decision: exact counters and gauges, journal
     /// events drained from the placement layer, and — when `trace` is
-    /// present — the sampled per-stage timings (`trace.0` is the mailbox
-    /// wait in nanoseconds, measured by the serving layer at dequeue).
+    /// present — the sampled per-stage timings. The [`ServeTrace`] names
+    /// the queueing substrate, so the mailbox path observes `mailbox_wait`
+    /// while the shared-nothing fast path observes `seat_acquire` (and
+    /// `ring_enqueue` when the downstream-ring publication was timed).
     pub fn on_decision(
         &mut self,
         system: &mut ESharing,
         decision: &Decision,
         latency_ns: u64,
-        trace: Option<(u64, HandleTrace)>,
+        trace: Option<ServeTrace>,
     ) {
         self.registry.inc(self.decisions);
         if decision.opened() {
             self.registry.inc(self.parkings_opened);
         }
         self.registry.observe_ns(self.decision_latency, latency_ns);
-        if let Some((mailbox_ns, tr)) = trace {
-            self.registry.observe_ns(self.stage_mailbox, mailbox_ns);
+        if let Some(st) = trace {
+            match st.path {
+                QueuePath::Mailbox => self.registry.observe_ns(self.stage_mailbox, st.queue_ns),
+                QueuePath::Seat => self.registry.observe_ns(self.stage_seat, st.queue_ns),
+            }
+            if let Some(ring_ns) = st.enqueue_ns {
+                self.registry.observe_ns(self.stage_ring, ring_ns);
+            }
+            let tr = st.stages;
             self.registry.observe_ns(self.stage_nn, tr.nn_lookup_ns);
             self.registry
                 .observe_ns(self.stage_penalty, tr.penalty_eval_ns);
@@ -356,7 +424,7 @@ mod tests {
             let traced = wt.should_trace();
             if traced {
                 let (d, tr) = sys.handle_request_traced(p).unwrap();
-                wt.on_decision(&mut sys, &d, 1_000, Some((500, tr)));
+                wt.on_decision(&mut sys, &d, 1_000, Some(ServeTrace::mailbox(500, tr)));
             } else {
                 let d = sys.handle_request(p).unwrap();
                 wt.on_decision(&mut sys, &d, 1_000, None);
@@ -399,6 +467,35 @@ mod tests {
         let again = wt.probe();
         assert!(again.events.is_empty());
         assert_eq!(again.registry.counter_total("esharing_decisions_total"), 40);
+    }
+
+    #[test]
+    fn seat_path_traces_observe_fast_path_stages() {
+        let mut sys = bootstrapped(7);
+        let mut wt = WorkerTelemetry::new(&TelemetryConfig::default(), Instant::now());
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..3 {
+            let p = Point::new(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0));
+            let (d, tr) = sys.handle_request_traced(p).unwrap();
+            wt.on_decision(&mut sys, &d, 900, Some(ServeTrace::seat(120, 80, tr)));
+        }
+        let probe = wt.probe();
+        let count_of = |stage: &str| {
+            probe
+                .registry
+                .histograms
+                .iter()
+                .find(|s| {
+                    s.name == "esharing_decision_stage_ns"
+                        && s.labels.iter().any(|(_, v)| v == stage)
+                })
+                .map(|s| s.value.count())
+                .unwrap_or(0)
+        };
+        assert_eq!(count_of("seat_acquire"), 3);
+        assert_eq!(count_of("ring_enqueue"), 3);
+        assert_eq!(count_of("mailbox_wait"), 0);
+        assert_eq!(count_of("nn_lookup"), 3);
     }
 
     #[test]

@@ -32,11 +32,15 @@ pub struct ShardSnapshot {
     pub metrics: SystemMetrics,
     /// KS similarity (percent) at the shard's last periodic drift test.
     pub last_similarity: Option<f64>,
-    /// Requests the router shed for this shard (mailbox full).
+    /// Requests the router shed for this shard (pending queue full).
     pub shed: u64,
-    /// Mailbox depth the router observed at this shard's most recent
-    /// shed (0 until the first shed).
+    /// Pending-queue depth the router observed at this shard's most
+    /// recent shed (0 until the first shed): downstream-ring occupancy on
+    /// the fast path, the mailbox-depth mirror on the fallback.
     pub last_shed_depth: u64,
+    /// Jobs pending downstream at probe time — ring occupancy (queued
+    /// plus in-fetch) on the fast path, mailbox depth on the fallback.
+    pub pending_downstream: u64,
     /// The worker's telemetry registry at probe time (empty when the
     /// engine runs with telemetry disabled).
     pub registry: RegistrySnapshot,
@@ -145,7 +149,7 @@ impl EngineSnapshot {
                 _ => "null".to_string(),
             };
             out.push_str(&format!(
-                "    {{ \"shard\": {}, \"anchor\": [{:.1}, {:.1}], \"stations\": {}, \"requests_served\": {}, \"walking_m\": {:.1}, \"space_m\": {:.1}, \"similarity_percent\": {}, \"shed\": {}, \"shed_last_queue_depth\": {}, {} }}{}\n",
+                "    {{ \"shard\": {}, \"anchor\": [{:.1}, {:.1}], \"stations\": {}, \"requests_served\": {}, \"walking_m\": {:.1}, \"space_m\": {:.1}, \"similarity_percent\": {}, \"shed\": {}, \"shed_last_queue_depth\": {}, \"pending_downstream\": {}, {} }}{}\n",
                 s.shard,
                 s.anchor.x,
                 s.anchor.y,
@@ -156,6 +160,7 @@ impl EngineSnapshot {
                 similarity,
                 s.shed,
                 s.last_shed_depth,
+                s.pending_downstream,
                 latency_json(&s.server.latency),
                 if i + 1 < self.shards.len() { "," } else { "" },
             ));
@@ -174,17 +179,24 @@ fn router_registry(shards: &[ShardSnapshot]) -> RegistrySnapshot {
         let labels = [("shard", shard_label.as_str())];
         let c = r.counter_with(
             "esharing_sheds_total",
-            "Requests shed by admission control (shard mailbox full).",
+            "Requests shed by admission control (shard pending queue full).",
             &labels,
         );
         r.add(c, s.shed);
         let g = r.gauge_with(
             "esharing_shed_last_queue_depth",
-            "Mailbox depth the router observed at the most recent shed.",
+            "Pending-queue depth (downstream-ring occupancy, or mailbox depth on the fallback path) observed at the most recent shed.",
             MergeMode::Sum,
             &labels,
         );
         r.set(g, s.last_shed_depth as f64);
+        let p = r.gauge_with(
+            "esharing_pending_downstream",
+            "Jobs pending downstream at probe time (ring occupancy or mailbox depth).",
+            MergeMode::Sum,
+            &labels,
+        );
+        r.set(p, s.pending_downstream as f64);
     }
     r.snapshot()
 }
@@ -261,6 +273,7 @@ mod tests {
             last_similarity: if i == 0 { Some(92.5) } else { None },
             shed,
             last_shed_depth: if shed > 0 { 7 } else { 0 },
+            pending_downstream: if shed > 0 { 1 } else { 0 },
             registry: reg.snapshot(),
         }
     }
@@ -320,6 +333,7 @@ mod tests {
         assert!(prom.contains("esharing_sheds_total{shard=\"0\"} 2"));
         assert!(prom.contains("esharing_decisions_total{shard=\"1\"} 60"));
         assert!(prom.contains("esharing_shed_last_queue_depth{shard=\"0\"} 7"));
+        assert!(prom.contains("esharing_pending_downstream{shard=\"0\"} 1"));
     }
 
     #[test]
@@ -343,6 +357,7 @@ mod tests {
         assert!(json.contains("\"similarity_percent\": null"));
         assert!(json.contains("\"shed\": 2"));
         assert!(json.contains("\"shed_last_queue_depth\": 7"));
+        assert!(json.contains("\"pending_downstream\": 1"));
         assert_eq!(json.matches("\"shard\":").count(), 2);
         // Latency fields appear for the fleet and for every shard.
         assert_eq!(json.matches("\"latency_p50_us\":").count(), 3);

@@ -1,0 +1,400 @@
+//! Lock-free substrate of the shared-nothing decision path.
+//!
+//! The mailbox architecture pays a thread handoff (enqueue, worker
+//! wake-up, reply, caller wake-up) on every request — DESIGN.md §5
+//! measured that round trip at ~360µs p50 against <2µs of decision
+//! compute. The fast path removes the handoff entirely: the caller
+//! thread decides **inline** under the shard's seat (see
+//! `engine::SeatState`), and the only cross-thread traffic left is
+//!
+//! * the [`DownstreamRing`] — a bounded lock-free ring carrying one
+//!   emulated-downstream job per accepted request to the shard's drain
+//!   worker, whose occupancy doubles as the admission-control signal
+//!   (ring full ⇒ shed), and
+//! * the [`DecisionViewCell`] — a seqlock-published copy of the shard's
+//!   observable decision state, so monitoring reads never touch the
+//!   serving path.
+//!
+//! Both are written in safe code only (the crate forbids `unsafe`): the
+//! ring stores its payload in atomics, Vyukov-style, with a per-slot
+//! sequence number carrying the publication handshake.
+
+use esharing_placement::online::DecisionView;
+use esharing_placement::penalty::PenaltyType;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One ring slot: the sequence word drives the claim/publish/free
+/// handshake, the payload is the request's arrival time in nanoseconds
+/// since the engine epoch (all the drain worker needs to schedule the
+/// emulated downstream fetch).
+struct RingSlot {
+    /// `pos` ⇒ free for the producer claiming position `pos`;
+    /// `pos + 1` ⇒ published, ready for the consumer at position `pos`;
+    /// `pos + capacity` ⇒ freed, i.e. free for position `pos + capacity`.
+    seq: AtomicU64,
+    arrival_ns: AtomicU64,
+}
+
+/// Bounded MPSC ring between submitting threads and a shard's drain
+/// worker, with per-slot sequence numbers (Vyukov's bounded queue, used
+/// single-consumer).
+///
+/// Producers claim a position with one CAS on `enqueue_pos`, fill the
+/// payload, and publish by storing `pos + 1` into the slot's sequence
+/// word. The single consumer ([`DownstreamRing::peek`] /
+/// [`DownstreamRing::advance`]) holds each job through its emulated
+/// downstream fetch and frees the slot only afterwards, so
+/// [`DownstreamRing::occupancy`] counts queued **and** in-fetch jobs —
+/// exactly the "pending mutations" depth the shed journal reports.
+pub(crate) struct DownstreamRing {
+    slots: Box<[RingSlot]>,
+    cap: u64,
+    /// Next position a producer will claim.
+    enqueue_pos: AtomicU64,
+    /// Next position the consumer will free. Written only by the
+    /// consumer; producers read it for occupancy.
+    dequeue_pos: AtomicU64,
+}
+
+impl DownstreamRing {
+    /// A ring holding at most `capacity` pending jobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero capacity.
+    pub(crate) fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        let slots: Vec<RingSlot> = (0..capacity as u64)
+            .map(|i| RingSlot {
+                seq: AtomicU64::new(i),
+                arrival_ns: AtomicU64::new(0),
+            })
+            .collect();
+        DownstreamRing {
+            slots: slots.into_boxed_slice(),
+            cap: capacity as u64,
+            enqueue_pos: AtomicU64::new(0),
+            dequeue_pos: AtomicU64::new(0),
+        }
+    }
+
+    /// Jobs currently pending: claimed-but-unfreed positions, which
+    /// includes the job whose emulated fetch is in flight.
+    pub(crate) fn occupancy(&self) -> u64 {
+        let enq = self.enqueue_pos.load(Ordering::Relaxed);
+        let deq = self.dequeue_pos.load(Ordering::Relaxed);
+        enq.saturating_sub(deq)
+    }
+
+    /// Whether no job is pending.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.occupancy() == 0
+    }
+
+    /// Claims one slot and publishes `arrival_ns` into it.
+    ///
+    /// Returns the occupancy the producer observed on failure — the
+    /// depth admission control journals for the shed.
+    pub(crate) fn try_claim(&self, arrival_ns: u64) -> Result<(), u64> {
+        loop {
+            let pos = self.enqueue_pos.load(Ordering::Relaxed);
+            let slot = &self.slots[(pos % self.cap) as usize];
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq == pos {
+                if self
+                    .enqueue_pos
+                    .compare_exchange_weak(pos, pos + 1, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    slot.arrival_ns.store(arrival_ns, Ordering::Relaxed);
+                    slot.seq.store(pos + 1, Ordering::Release);
+                    return Ok(());
+                }
+                // Lost the race for this position; retry at the new one.
+            } else if seq < pos {
+                // The slot still holds a job `cap` positions back: full.
+                return Err(self.occupancy());
+            }
+            // seq > pos: another producer advanced enqueue_pos; retry.
+        }
+    }
+
+    /// Claims `n` consecutive slots as one unit and publishes
+    /// `arrival_ns` into each — all or nothing, matching the router's
+    /// whole-sub-batch shed semantics.
+    ///
+    /// Correctness of the single probe: the consumer frees slots in
+    /// position order, so if the *last* slot of the candidate range is
+    /// free for its position, every earlier one is too.
+    ///
+    /// Returns the observed occupancy on failure. `n` larger than the
+    /// capacity always fails.
+    pub(crate) fn try_claim_batch(&self, n: u64, arrival_ns: u64) -> Result<(), u64> {
+        assert!(n > 0, "batch claim needs at least one slot");
+        if n > self.cap {
+            return Err(self.occupancy());
+        }
+        loop {
+            let pos = self.enqueue_pos.load(Ordering::Relaxed);
+            let last = pos + n - 1;
+            let slot = &self.slots[(last % self.cap) as usize];
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq == last {
+                if self
+                    .enqueue_pos
+                    .compare_exchange_weak(pos, pos + n, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    // Publish in position order: the consumer unblocks on
+                    // the first slot and walks forward.
+                    for p in pos..pos + n {
+                        let s = &self.slots[(p % self.cap) as usize];
+                        s.arrival_ns.store(arrival_ns, Ordering::Relaxed);
+                        s.seq.store(p + 1, Ordering::Release);
+                    }
+                    return Ok(());
+                }
+            } else if seq < last {
+                return Err(self.occupancy());
+            }
+        }
+    }
+
+    /// Consumer: the arrival stamp of the oldest pending job, if one is
+    /// published. Does **not** free the slot — the job stays counted in
+    /// the occupancy until [`DownstreamRing::advance`], which is what
+    /// keeps the in-fetch job visible to admission control.
+    pub(crate) fn peek(&self) -> Option<u64> {
+        let pos = self.dequeue_pos.load(Ordering::Relaxed);
+        let slot = &self.slots[(pos % self.cap) as usize];
+        if slot.seq.load(Ordering::Acquire) == pos + 1 {
+            Some(slot.arrival_ns.load(Ordering::Relaxed))
+        } else {
+            None
+        }
+    }
+
+    /// Consumer: frees the slot last returned by [`DownstreamRing::peek`]
+    /// and advances to the next position.
+    pub(crate) fn advance(&self) {
+        let pos = self.dequeue_pos.load(Ordering::Relaxed);
+        let slot = &self.slots[(pos % self.cap) as usize];
+        debug_assert_eq!(
+            slot.seq.load(Ordering::Acquire),
+            pos + 1,
+            "advance without a published job"
+        );
+        slot.seq.store(pos + self.cap, Ordering::Release);
+        self.dequeue_pos.store(pos + 1, Ordering::Release);
+    }
+}
+
+const PENALTY_NONE: u64 = 0;
+const PENALTY_I: u64 = 1;
+const PENALTY_II: u64 = 2;
+const PENALTY_III: u64 = 3;
+
+fn encode_penalty(p: PenaltyType) -> u64 {
+    match p {
+        PenaltyType::None => PENALTY_NONE,
+        PenaltyType::TypeI => PENALTY_I,
+        PenaltyType::TypeII => PENALTY_II,
+        PenaltyType::TypeIII => PENALTY_III,
+    }
+}
+
+fn decode_penalty(code: u64) -> PenaltyType {
+    match code {
+        PENALTY_NONE => PenaltyType::None,
+        PENALTY_I => PenaltyType::TypeI,
+        PENALTY_II => PenaltyType::TypeII,
+        _ => PenaltyType::TypeIII,
+    }
+}
+
+/// Seqlock-published copy of a shard's [`DecisionView`].
+///
+/// The decider (holding the shard seat) republishes after every decision;
+/// any thread may read without blocking the serving path. The version
+/// word is odd while a publication is in progress; readers retry until
+/// they observe the same even version before and after loading the
+/// fields. All fields are relaxed atomics — the version word's
+/// acquire/release pair orders them.
+pub(crate) struct DecisionViewCell {
+    /// 0 = never published; odd = publication in progress.
+    version: AtomicU64,
+    decision_cost: AtomicU64,
+    penalty: AtomicU64,
+    stations: AtomicU64,
+    opened_online: AtomicU64,
+    epoch: AtomicU64,
+    window_len: AtomicU64,
+    /// `f64` bits; NaN encodes "no KS test has run yet".
+    last_similarity: AtomicU64,
+}
+
+impl DecisionViewCell {
+    pub(crate) fn new() -> Self {
+        DecisionViewCell {
+            version: AtomicU64::new(0),
+            decision_cost: AtomicU64::new(0),
+            penalty: AtomicU64::new(PENALTY_NONE),
+            stations: AtomicU64::new(0),
+            opened_online: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
+            window_len: AtomicU64::new(0),
+            last_similarity: AtomicU64::new(f64::NAN.to_bits()),
+        }
+    }
+
+    /// Publishes `view`, bumping the version to the next even value.
+    /// Single-writer: callers serialize through the shard seat.
+    pub(crate) fn publish(&self, view: &DecisionView) {
+        let v = self.version.load(Ordering::Relaxed);
+        self.version.store(v + 1, Ordering::Release);
+        self.decision_cost
+            .store(view.decision_cost.to_bits(), Ordering::Relaxed);
+        self.penalty
+            .store(encode_penalty(view.penalty), Ordering::Relaxed);
+        self.stations.store(view.stations as u64, Ordering::Relaxed);
+        self.opened_online
+            .store(view.opened_online as u64, Ordering::Relaxed);
+        self.epoch.store(view.epoch, Ordering::Relaxed);
+        self.window_len
+            .store(view.window_len as u64, Ordering::Relaxed);
+        let sim = view.last_similarity.unwrap_or(f64::NAN);
+        self.last_similarity.store(sim.to_bits(), Ordering::Relaxed);
+        self.version.store(v + 2, Ordering::Release);
+    }
+
+    /// A consistent copy of the last published view, or `None` before the
+    /// first publication. Lock-free; retries while a publication is in
+    /// flight.
+    pub(crate) fn read(&self) -> Option<DecisionView> {
+        loop {
+            let v1 = self.version.load(Ordering::Acquire);
+            if v1 == 0 {
+                return None;
+            }
+            if v1 % 2 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let decision_cost = f64::from_bits(self.decision_cost.load(Ordering::Relaxed));
+            let penalty = decode_penalty(self.penalty.load(Ordering::Relaxed));
+            let stations = self.stations.load(Ordering::Relaxed) as usize;
+            let opened_online = self.opened_online.load(Ordering::Relaxed) as usize;
+            let epoch = self.epoch.load(Ordering::Relaxed);
+            let window_len = self.window_len.load(Ordering::Relaxed) as usize;
+            let sim = f64::from_bits(self.last_similarity.load(Ordering::Relaxed));
+            let v2 = self.version.load(Ordering::Acquire);
+            if v1 == v2 {
+                return Some(DecisionView {
+                    decision_cost,
+                    penalty,
+                    stations,
+                    opened_online,
+                    epoch,
+                    window_len,
+                    last_similarity: (!sim.is_nan()).then_some(sim),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn ring_claims_until_full_then_sheds_with_depth() {
+        let ring = DownstreamRing::new(3);
+        assert!(ring.is_empty());
+        for i in 0..3 {
+            assert_eq!(ring.try_claim(i), Ok(()));
+        }
+        assert_eq!(ring.occupancy(), 3);
+        assert_eq!(ring.try_claim(99), Err(3));
+        // Peek sees the oldest job but keeps it counted until advance.
+        assert_eq!(ring.peek(), Some(0));
+        assert_eq!(ring.occupancy(), 3);
+        ring.advance();
+        assert_eq!(ring.occupancy(), 2);
+        assert_eq!(ring.try_claim(3), Ok(()));
+        // FIFO across the wrap.
+        assert_eq!(ring.peek(), Some(1));
+        ring.advance();
+        assert_eq!(ring.peek(), Some(2));
+        ring.advance();
+        assert_eq!(ring.peek(), Some(3));
+        ring.advance();
+        assert!(ring.is_empty());
+        assert_eq!(ring.peek(), None);
+    }
+
+    #[test]
+    fn ring_batch_claim_is_all_or_nothing() {
+        let ring = DownstreamRing::new(4);
+        assert_eq!(ring.try_claim_batch(3, 7), Ok(()));
+        assert_eq!(ring.occupancy(), 3);
+        // Two more don't fit next to three pending.
+        assert_eq!(ring.try_claim_batch(2, 8), Err(3));
+        assert_eq!(ring.occupancy(), 3, "failed batch must not claim slots");
+        assert_eq!(ring.try_claim_batch(1, 8), Ok(()));
+        // Larger than capacity can never fit.
+        let empty = DownstreamRing::new(2);
+        assert_eq!(empty.try_claim_batch(3, 0), Err(0));
+    }
+
+    #[test]
+    fn ring_concurrent_producers_lose_no_jobs() {
+        let ring = Arc::new(DownstreamRing::new(1024));
+        let producers = 4;
+        let per_producer = 200u64;
+        std::thread::scope(|scope| {
+            for t in 0..producers {
+                let ring = Arc::clone(&ring);
+                scope.spawn(move || {
+                    for i in 0..per_producer {
+                        ring.try_claim(t * per_producer + i).expect("ring sized");
+                    }
+                });
+            }
+        });
+        let mut seen = Vec::new();
+        while let Some(v) = ring.peek() {
+            seen.push(v);
+            ring.advance();
+        }
+        assert_eq!(seen.len() as u64, producers * per_producer);
+        seen.sort_unstable();
+        let want: Vec<u64> = (0..producers * per_producer).collect();
+        assert_eq!(seen, want, "every claimed job must surface exactly once");
+    }
+
+    #[test]
+    fn view_cell_round_trips_and_reports_unpublished() {
+        let cell = DecisionViewCell::new();
+        assert_eq!(cell.read(), None);
+        let view = DecisionView {
+            decision_cost: 123.5,
+            penalty: PenaltyType::TypeIII,
+            stations: 17,
+            opened_online: 3,
+            epoch: 9,
+            window_len: 200,
+            last_similarity: Some(87.5),
+        };
+        cell.publish(&view);
+        assert_eq!(cell.read(), Some(view));
+        let newer = DecisionView {
+            last_similarity: None,
+            epoch: 10,
+            ..view
+        };
+        cell.publish(&newer);
+        assert_eq!(cell.read(), Some(newer));
+    }
+}

@@ -14,13 +14,19 @@
 //! * a [`ShardMap`] partitions the city — uniform grid, or Voronoi cells
 //!   anchored on the offline solution's landmarks (demand-balanced) — and
 //!   routes each destination to its zone in O(zones) arithmetic;
-//! * each shard is an independent worker thread owning a full `ESharing`
-//!   pipeline for its zone (offline landmarks, deviation-penalty online
-//!   placement, its own `RankedSample` KS drift monitor) behind a
-//!   **bounded** mailbox;
-//! * the [`Engine`] router applies admission control: a full mailbox sheds
-//!   the request to a [`EngineDecision::Degraded`] fallback (the zone's
-//!   nearest offline landmark) instead of blocking the caller;
+//! * each shard owns a full `ESharing` pipeline for its zone (offline
+//!   landmarks, deviation-penalty online placement, its own `RankedSample`
+//!   KS drift monitor). On the default shared-nothing fast path
+//!   ([`DecisionPath::SyncShared`]) the submitting thread decides
+//!   **inline** under the shard's seat — no mailbox, no reply channel, no
+//!   thread handoff — while the emulated downstream fetch drains through a
+//!   bounded lock-free ring on a per-shard worker; the original
+//!   one-worker-per-shard mailbox architecture remains available as
+//!   [`DecisionPath::Mailbox`] for baseline comparison;
+//! * the [`Engine`] router applies admission control: a full pending queue
+//!   (ring or mailbox) sheds the request to a
+//!   [`EngineDecision::Degraded`] fallback (the zone's nearest offline
+//!   landmark) instead of blocking the caller;
 //! * an aggregator merges per-shard snapshots and metrics into fleet
 //!   totals ([`EngineSnapshot`]), exploiting that every metric is a sum;
 //! * a [`replay`](crate::replay::replay) driver feeds recorded trip
@@ -42,13 +48,15 @@
 
 mod aggregate;
 mod engine;
+mod fastpath;
 pub mod replay;
 mod shard;
 mod shard_map;
 
 pub use aggregate::{merge_server_snapshots, EngineSnapshot, ShardSnapshot};
 pub use engine::{
-    Admission, Engine, EngineClosed, EngineConfig, EngineDecision, EngineScrapeSource, Partition,
+    Admission, DecisionPath, Engine, EngineClosed, EngineConfig, EngineDecision,
+    EngineScrapeSource, Partition,
 };
 pub use esharing_telemetry::{http_get, MetricsServer, TelemetryConfig};
 pub use replay::{LatencySummary, ReplayConfig, ReplayReport, RequestSink, SinkOutcome};

@@ -70,7 +70,11 @@ impl Default for ReplayConfig {
     }
 }
 
-/// Client-observed latency distribution, microseconds.
+/// Client-observed latency distribution, microseconds. Measured at
+/// nanosecond resolution — the fast path decides in single-digit
+/// microseconds, where whole-microsecond sampling would quantize the whole
+/// distribution into a handful of values — and reported as fractional
+/// microseconds.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LatencySummary {
     /// Requests measured.
@@ -78,44 +82,44 @@ pub struct LatencySummary {
     /// Mean latency.
     pub mean_us: f64,
     /// Median.
-    pub p50_us: u64,
+    pub p50_us: f64,
     /// 90th percentile — the first tail quantile operators alert on.
-    pub p90_us: u64,
+    pub p90_us: f64,
     /// 99th percentile.
-    pub p99_us: u64,
+    pub p99_us: f64,
     /// 99.9th percentile — the deep tail; meaningful once roughly a
     /// thousand requests have been measured (below that it degenerates to
     /// the maximum).
-    pub p999_us: u64,
+    pub p999_us: f64,
     /// Worst observed.
-    pub max_us: u64,
+    pub max_us: f64,
 }
 
 impl LatencySummary {
-    fn from_sorted(sorted_us: &[u64]) -> Self {
-        if sorted_us.is_empty() {
+    fn from_sorted(sorted_ns: &[u64]) -> Self {
+        if sorted_ns.is_empty() {
             return LatencySummary {
                 count: 0,
                 mean_us: 0.0,
-                p50_us: 0,
-                p90_us: 0,
-                p99_us: 0,
-                p999_us: 0,
-                max_us: 0,
+                p50_us: 0.0,
+                p90_us: 0.0,
+                p99_us: 0.0,
+                p999_us: 0.0,
+                max_us: 0.0,
             };
         }
         let mut stats = RunningStats::new();
-        for &v in sorted_us {
+        for &v in sorted_ns {
             stats.push(v as f64);
         }
         LatencySummary {
-            count: sorted_us.len() as u64,
-            mean_us: stats.mean(),
-            p50_us: percentile(sorted_us, 0.50),
-            p90_us: percentile(sorted_us, 0.90),
-            p99_us: percentile(sorted_us, 0.99),
-            p999_us: percentile(sorted_us, 0.999),
-            max_us: *sorted_us.last().expect("non-empty"),
+            count: sorted_ns.len() as u64,
+            mean_us: stats.mean() / 1_000.0,
+            p50_us: percentile(sorted_ns, 0.50) as f64 / 1_000.0,
+            p90_us: percentile(sorted_ns, 0.90) as f64 / 1_000.0,
+            p99_us: percentile(sorted_ns, 0.99) as f64 / 1_000.0,
+            p999_us: percentile(sorted_ns, 0.999) as f64 / 1_000.0,
+            max_us: *sorted_ns.last().expect("non-empty") as f64 / 1_000.0,
         }
     }
 }
@@ -204,7 +208,8 @@ pub fn replay<S: RequestSink + ?Sized>(
                                 break;
                             }
                         }
-                        part.latencies_us.push(sent.elapsed().as_micros() as u64);
+                        part.latencies_ns
+                            .push(sent.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
                     }
                     part
                 })
@@ -230,7 +235,7 @@ pub fn replay<S: RequestSink + ?Sized>(
         report.served += part.served;
         report.degraded += part.degraded;
         report.closed += part.closed;
-        all_latencies.extend(part.latencies_us);
+        all_latencies.extend(part.latencies_ns);
     }
     all_latencies.sort_unstable();
     report.latency = LatencySummary::from_sorted(&all_latencies);
@@ -253,7 +258,7 @@ struct ClientPart {
     served: u64,
     degraded: u64,
     closed: u64,
-    latencies_us: Vec<u64>,
+    latencies_ns: Vec<u64>,
 }
 
 #[cfg(test)]
@@ -360,6 +365,16 @@ mod tests {
     fn empty_latency_summary_is_zeroed() {
         let s = LatencySummary::from_sorted(&[]);
         assert_eq!(s.count, 0);
-        assert_eq!(s.max_us, 0);
+        assert_eq!(s.max_us, 0.0);
+    }
+
+    #[test]
+    fn latency_summary_keeps_sub_microsecond_resolution() {
+        // 250 ns and 750 ns must not both collapse to 0 µs.
+        let s = LatencySummary::from_sorted(&[250, 750]);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.p50_us, 0.25);
+        assert_eq!(s.max_us, 0.75);
+        assert_eq!(s.mean_us, 0.5);
     }
 }

@@ -14,12 +14,15 @@
 //! sampled requests, and a [`Command::Snapshot`] probe carries the
 //! registry snapshot plus drained journal back to the aggregator.
 
+use crate::fastpath::DownstreamRing;
 use crossbeam::channel::{Receiver, Sender};
 use esharing_core::server::ServerSnapshot;
-use esharing_core::{ESharing, LatencyHistogram, SystemMetrics, TelemetryProbe, WorkerTelemetry};
+use esharing_core::{
+    ESharing, LatencyHistogram, ServeTrace, SystemMetrics, TelemetryProbe, WorkerTelemetry,
+};
 use esharing_geo::Point;
 use esharing_placement::online::Decision;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -62,6 +65,78 @@ pub(crate) struct WorkerState {
     /// Registry snapshot + drained journal; `None` when the engine runs
     /// with telemetry disabled.
     pub telemetry: Option<TelemetryProbe>,
+}
+
+/// Spawns the drain worker of a fast-path shard: the only thread-side
+/// work left once decisions run inline on the caller, which is emulating
+/// the downstream FIFO pipe for every accepted request.
+///
+/// The worker peeks the oldest ring job, sleeps until its fetch completes
+/// at `max(pipe_free, arrival) + service_delay` (the same deterministic
+/// single-server queue the mailbox worker models), and only **then**
+/// frees the slot — so the ring occupancy the router sheds against counts
+/// queued *and* in-fetch jobs, exactly like the mailbox depth used to.
+///
+/// Harvesting is deliberately coarse: the pipe schedule (`pipe_free_ns`)
+/// is pure arithmetic over arrival stamps, so *when* the worker wakes
+/// never moves a fetch's completion time — it only delays freeing the
+/// slot. The worker therefore sleeps in quanta of at least
+/// [`HARVEST_QUANTUM`], then batch-advances every job already matured.
+/// On a host with fewer cores than shards this is the difference between
+/// one scheduler wake-up per job and one per quantum; the clients doing
+/// inline decisions keep the CPU instead of the drain fleet.
+///
+/// An empty ring backs the worker off in three stages (spin → yield →
+/// sleep), keeping the idle fleet cheap without adding latency to a busy
+/// shard. The worker exits once `stop` is set *and* the ring has drained,
+/// so shutdown never strands a pending job.
+pub(crate) fn spawn_fast(
+    ring: Arc<DownstreamRing>,
+    stop: Arc<AtomicBool>,
+    service_delay: Duration,
+    epoch: Instant,
+) -> JoinHandle<()> {
+    /// Minimum drain sleep: bounds ring-occupancy staleness (a matured
+    /// job can linger in a slot this long) while capping each worker at
+    /// ~1k wake-ups/s regardless of `service_delay`.
+    const HARVEST_QUANTUM_NS: u64 = 1_000_000;
+    std::thread::spawn(move || {
+        let delay_ns = service_delay.as_nanos().min(u128::from(u64::MAX)) as u64;
+        // When the emulated pipe finishes its current fetch, in
+        // nanoseconds since the engine epoch.
+        let mut pipe_free_ns = 0u64;
+        let mut idle = 0u32;
+        loop {
+            match ring.peek() {
+                Some(arrival_ns) => {
+                    idle = 0;
+                    let due = pipe_free_ns.max(arrival_ns) + delay_ns;
+                    pipe_free_ns = due;
+                    if delay_ns > 0 {
+                        let now = elapsed_ns(epoch);
+                        if due > now {
+                            let wait = (due - now).max(HARVEST_QUANTUM_NS);
+                            std::thread::sleep(Duration::from_nanos(wait));
+                        }
+                    }
+                    ring.advance();
+                }
+                None => {
+                    if stop.load(Ordering::Acquire) && ring.is_empty() {
+                        break;
+                    }
+                    idle = idle.saturating_add(1);
+                    if idle < 16 {
+                        std::hint::spin_loop();
+                    } else if idle < 32 {
+                        std::thread::yield_now();
+                    } else {
+                        std::thread::sleep(Duration::from_nanos(HARVEST_QUANTUM_NS));
+                    }
+                }
+            }
+        }
+    })
 }
 
 /// A request whose emulated downstream fetch (`service_delay`) is in
@@ -150,7 +225,7 @@ pub(crate) fn spawn(
                         let (d, tr) = system
                             .handle_request_traced(f.destination)
                             .expect("shard systems are bootstrapped at engine start");
-                        (d, Some((wait_ns, tr)))
+                        (d, Some(ServeTrace::mailbox(wait_ns, tr)))
                     }
                     None => (
                         system
@@ -223,7 +298,7 @@ pub(crate) fn spawn(
                             let (d, tr) = system
                                 .handle_request_traced(destination)
                                 .expect("shard systems are bootstrapped at engine start");
-                            (d, Some((batch_wait_ns, tr)))
+                            (d, Some(ServeTrace::mailbox(batch_wait_ns, tr)))
                         } else {
                             (
                                 system

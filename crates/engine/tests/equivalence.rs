@@ -11,7 +11,7 @@
 
 use esharing_core::server::RequestServer;
 use esharing_core::{ESharing, SystemConfig};
-use esharing_engine::{Engine, EngineConfig, EngineDecision, Partition};
+use esharing_engine::{DecisionPath, Engine, EngineConfig, EngineDecision, Partition};
 use esharing_geo::Point;
 use esharing_placement::online::Decision;
 use rand::rngs::StdRng;
@@ -42,18 +42,21 @@ fn server_decisions(
     (decisions, server.shutdown())
 }
 
-/// Serves `stream` through a one-shard engine with `partition` geometry.
+/// Serves `stream` through a one-shard engine with `partition` geometry
+/// over the given serving substrate.
 fn engine_decisions(
     history: &[Point],
     stream: &[Point],
     cfg: &SystemConfig,
     partition: Partition,
+    path: DecisionPath,
 ) -> (Vec<Decision>, Vec<ESharing>) {
     let engine = Engine::start(
         history,
         EngineConfig {
             shards: 1,
             partition,
+            decision_path: path,
             system: cfg.clone(),
             ..EngineConfig::default()
         },
@@ -66,7 +69,7 @@ fn engine_decisions(
                 decision
             }
             EngineDecision::Degraded { .. } => {
-                panic!("sequential submits must never overflow the mailbox")
+                panic!("sequential submits must never overflow the pending queue")
             }
         })
         .collect();
@@ -79,19 +82,30 @@ fn one_shard_engine_is_bit_identical_to_request_server() {
     let stream = uniform_points(2_000, 3_000.0, 12);
     let cfg = SystemConfig::default();
     let (expected, server_system) = server_decisions(&history, &stream, &cfg);
+    // Both zone geometries, on both serving substrates: the sync-read
+    // fast path must replay the mailbox path — and the single-worker
+    // server — decision for decision, bit for bit.
     for partition in [Partition::UniformGrid, Partition::LandmarkVoronoi] {
-        let (got, mut systems) = engine_decisions(&history, &stream, &cfg, partition);
-        // Exact equality — decisions carry f64 stations and walking costs,
-        // and every one of the 2 000 must match bit for bit.
-        assert_eq!(got, expected, "decision divergence under {partition:?}");
-        assert_eq!(systems.len(), 1);
-        let system = systems.pop().expect("one shard");
-        assert_eq!(system.metrics().placement, server_system.metrics().placement);
-        assert_eq!(
-            system.metrics().requests_served,
-            server_system.metrics().requests_served
-        );
-        assert_eq!(system.stations(), server_system.stations());
+        for path in [DecisionPath::SyncShared, DecisionPath::Mailbox] {
+            let (got, mut systems) = engine_decisions(&history, &stream, &cfg, partition, path);
+            // Exact equality — decisions carry f64 stations and walking
+            // costs, and every one of the 2 000 must match bit for bit.
+            assert_eq!(
+                got, expected,
+                "decision divergence under {partition:?}/{path:?}"
+            );
+            assert_eq!(systems.len(), 1);
+            let system = systems.pop().expect("one shard");
+            assert_eq!(
+                system.metrics().placement,
+                server_system.metrics().placement
+            );
+            assert_eq!(
+                system.metrics().requests_served,
+                server_system.metrics().requests_served
+            );
+            assert_eq!(system.stations(), server_system.stations());
+        }
     }
 }
 
@@ -129,7 +143,11 @@ fn batched_submit_is_bit_identical_to_sequential() {
                 got.push(engine.submit(p).expect("engine is running"));
             }
         } else {
-            got.extend(engine.submit_batch(&rest[..take]).expect("engine is running"));
+            got.extend(
+                engine
+                    .submit_batch(&rest[..take])
+                    .expect("engine is running"),
+            );
         }
         rest = &rest[take..];
         chunk = chunk % 7 + 1;
@@ -139,7 +157,10 @@ fn batched_submit_is_bit_identical_to_sequential() {
     let snap = engine.snapshot().expect("engine is running");
     assert_eq!(snap.fleet.latency.count(), stream.len() as u64);
     assert!(snap.fleet.latency.p999_ns() >= snap.fleet.latency.p50_ns());
-    assert!(engine.submit_batch(&[]).expect("engine is running").is_empty());
+    assert!(engine
+        .submit_batch(&[])
+        .expect("engine is running")
+        .is_empty());
 }
 
 #[test]
@@ -190,9 +211,9 @@ fn hot_shard_sheds_instead_of_blocking() {
         EngineConfig {
             shards: 4,
             partition: Partition::UniformGrid,
-            mailbox_capacity: 2,
-            // Slow zone worker: 2 ms of emulated downstream latency per
-            // request, so a burst must overflow the 2-deep mailbox.
+            queue_capacity: 2,
+            // Slow downstream: 2 ms of emulated fetch latency per
+            // request, so a burst must overflow the 2-deep ring.
             service_delay: Duration::from_millis(2),
             system: SystemConfig::default(),
             ..EngineConfig::default()
@@ -214,13 +235,13 @@ fn hot_shard_sheds_instead_of_blocking() {
             }
         }
     }
-    assert!(shed > 0, "200-deep burst into a 2-deep mailbox must shed");
-    assert!(accepted > 0, "the mailbox accepts up to its bound");
+    assert!(shed > 0, "200-deep burst into a 2-deep queue must shed");
+    assert!(accepted > 0, "the queue accepts up to its bound");
     assert_eq!(engine.shed(hot_shard), shed);
     assert_eq!(engine.shed_total(), shed);
-    // Top the mailbox back up (the worker drains while we assert), then
-    // check that a synchronous submit against the full hot shard degrades
-    // immediately instead of blocking the caller.
+    // Top the queue back up (the drain worker frees slots while we
+    // assert), then check that a synchronous submit against the full hot
+    // shard degrades immediately instead of blocking the caller.
     loop {
         match engine.submit_nowait(hot).expect("engine is running") {
             esharing_engine::Admission::Accepted { .. } => accepted += 1,
@@ -237,7 +258,7 @@ fn hot_shard_sheds_instead_of_blocking() {
             assert!(fallback.x.is_finite() && fallback.y.is_finite());
         }
         EngineDecision::Served { .. } => {
-            panic!("hot shard has a full mailbox; submit must shed")
+            panic!("hot shard has a full queue; submit must shed")
         }
     }
     // Other zones keep serving while the hot one drains.
@@ -250,6 +271,77 @@ fn hot_shard_sheds_instead_of_blocking() {
     assert_eq!(snap.shed_total, shed + 1);
     assert_eq!(snap.metrics.requests_served, accepted + 1);
     let _ = engine.shutdown();
+}
+
+#[test]
+fn concurrent_clients_lose_no_mutations() {
+    // Many client threads hammer the fast path while a reader interleaves
+    // lock-free decision-view reads and full snapshots. Every submit is a
+    // state mutation, so the accounting at the end proves no mutation was
+    // lost or double-applied across seqlock publications and epoch flips.
+    const CLIENTS: usize = 4;
+    const PER_CLIENT: usize = 500;
+    let history = uniform_points(600, 2_000.0, 61);
+    let streams: Vec<Vec<Point>> = (0..CLIENTS)
+        .map(|c| uniform_points(PER_CLIENT, 2_000.0, 62 + c as u64))
+        .collect();
+    let engine = Engine::start(
+        &history,
+        EngineConfig {
+            shards: 2,
+            partition: Partition::UniformGrid,
+            system: SystemConfig::default(),
+            ..EngineConfig::default()
+        },
+    );
+    let total = (CLIENTS * PER_CLIENT) as u64;
+    std::thread::scope(|s| {
+        let engine = &engine;
+        for stream in &streams {
+            s.spawn(move || {
+                // submit() blocks per call, so each client's requests hit
+                // its shard in this exact per-client order.
+                for &p in stream {
+                    let d = engine.submit(p).expect("engine is running");
+                    assert!(!d.degraded(), "default queue depth must not shed");
+                }
+            });
+        }
+        s.spawn(|| {
+            // Reads must never block the writers or observe torn state:
+            // published views are internally consistent and epochs only
+            // move forward.
+            let mut last_epoch = vec![0u64; engine.shard_count()];
+            for _ in 0..50 {
+                for (shard, last) in last_epoch.iter_mut().enumerate() {
+                    if let Some(v) = engine.decision_view(shard) {
+                        assert!(v.decision_cost.is_finite() && v.decision_cost >= 0.0);
+                        assert!(v.opened_online <= v.stations);
+                        assert!(v.epoch >= *last, "epoch went backwards");
+                        *last = v.epoch;
+                    }
+                }
+                let snap = engine.snapshot().expect("engine is running");
+                assert!(snap.metrics.requests_served <= total);
+                std::thread::yield_now();
+            }
+        });
+    });
+    let snap = engine.snapshot().expect("engine is running");
+    assert_eq!(
+        snap.metrics.requests_served, total,
+        "a lost or double-applied mutation would skew the served count"
+    );
+    assert_eq!(snap.fleet.latency.count(), total);
+    assert_eq!(snap.shed_total, 0);
+    // The final published views agree with the authoritative seat state.
+    for shard in 0..engine.shard_count() {
+        let v = engine.decision_view(shard).expect("every shard served");
+        assert_eq!(v.stations, snap.shards[shard].server.stations.len());
+    }
+    let systems = engine.shutdown();
+    let served: u64 = systems.iter().map(|s| s.metrics().requests_served).sum();
+    assert_eq!(served, total);
 }
 
 #[test]

@@ -190,34 +190,61 @@ impl DeviationConfig {
 /// ```
 pub type DeviationPenalty = DeviationPenaltyCore<NearestNeighborIndex>;
 
-/// [`DeviationPenalty`] generic over its nearest-parking index backend.
-///
-/// Production code uses the [`DeviationPenalty`] alias (the flat-hash-grid
-/// [`NearestNeighborIndex`]); the decision-latency benchmark instantiates
-/// the same algorithm over `NearestNeighborIndexReference` to measure what
-/// the index engineering buys on the serving path.
+/// A plain-old-data snapshot of the decision-path state, cheap to copy
+/// and publish across threads (the sharded engine republishes one per
+/// decision through a seqlock-style cell so monitoring reads never touch
+/// the serving path).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecisionView {
+    /// Current decision-making opening cost `f`.
+    pub decision_cost: f64,
+    /// Penalty type in force.
+    pub penalty: PenaltyType,
+    /// Established parkings (landmarks + online additions).
+    pub stations: usize,
+    /// Stations opened online so far.
+    pub opened_online: usize,
+    /// Doubling epochs completed.
+    pub epoch: u64,
+    /// Points currently held in the live KS window `G`.
+    pub window_len: usize,
+    /// KS similarity percent at the last periodic test, if any ran.
+    pub last_similarity: Option<f64>,
+}
+
+/// The request-path half of the algorithm: everything a single decision
+/// reads *and writes* — the spatial index, the penalty function, the
+/// opening cost, the RNG and the cost accumulators. Mutated on every
+/// served request, so it must be owned by whichever thread is deciding.
 #[derive(Debug)]
-pub struct DeviationPenaltyCore<I: SpatialIndex> {
-    cfg: DeviationConfig,
+struct DecisionState<I: SpatialIndex> {
     /// Offline parking count `k = |P|`.
     k: usize,
     penalty: PenaltyFunction,
     /// Decision-making opening cost (doubles over time).
     f_dec: f64,
     f_dec_initial: f64,
+    index: I,
+    rng: StdRng,
+    cost: PlacementCost,
+    opened_online: usize,
+}
+
+/// The monitor half: the KS drift machinery and the doubling schedule.
+/// Touched once per arrival (window slide + counter) and in bulk at the
+/// periodic update; never read by the decision math itself, which is what
+/// lets a serving layer account it as a separate stage.
+#[derive(Debug)]
+struct MonitorState {
     /// Requests since the last doubling.
     a: usize,
     doubling_period: usize,
-    index: I,
     /// Historical sample `H` with its KS rank structures precomputed once;
     /// every periodic test reuses them and only ranks the live window.
     history: RankedSample,
     /// Live sample `G`: a FIFO window whose KS rank structures are
     /// maintained incrementally, so the periodic test never re-sorts it.
     window: IncrementalWindow,
-    rng: StdRng,
-    cost: PlacementCost,
-    opened_online: usize,
     last_similarity: Option<f64>,
     /// Consecutive periodic tests that reported a *less similar* regime;
     /// the decision-cost reset requires two in a row so one noisy window
@@ -225,6 +252,24 @@ pub struct DeviationPenaltyCore<I: SpatialIndex> {
     shift_streak: u32,
     /// Doubling epochs completed.
     epoch: u64,
+}
+
+/// [`DeviationPenalty`] generic over its nearest-parking index backend.
+///
+/// Production code uses the [`DeviationPenalty`] alias (the flat-hash-grid
+/// [`NearestNeighborIndex`]); the decision-latency benchmark instantiates
+/// the same algorithm over `NearestNeighborIndexReference` to measure what
+/// the index engineering buys on the serving path.
+///
+/// Internally the state is split into the request-path [`DecisionState`]
+/// and the monitor-path [`MonitorState`] (see their docs); the split keeps
+/// the write sets of the two paths disjoint and gives serving layers a
+/// copyable [`DecisionView`] to publish for lock-free monitoring reads.
+#[derive(Debug)]
+pub struct DeviationPenaltyCore<I: SpatialIndex> {
+    cfg: DeviationConfig,
+    decision: DecisionState<I>,
+    monitor: MonitorState,
     /// Undrained observability events, bounded at [`EVENT_BUFFER_CAP`].
     events: Vec<PlacementEvent>,
     /// Events discarded because the buffer was full (nobody draining).
@@ -285,62 +330,83 @@ impl<I: SpatialIndex> DeviationPenaltyCore<I> {
         let history = RankedSample::new(&history);
         let doubling_period = ((cfg.beta * k as f64).ceil() as usize).max(1);
         DeviationPenaltyCore {
-            penalty: PenaltyFunction::new(cfg.initial_penalty, cfg.tolerance),
-            f_dec: f_dec_initial,
-            f_dec_initial,
-            a: 0,
-            doubling_period,
-            index,
-            history,
-            window: IncrementalWindow::new(),
-            rng: StdRng::seed_from_u64(cfg.seed),
-            cost,
-            opened_online: 0,
-            last_similarity: None,
-            shift_streak: 0,
-            epoch: 0,
+            decision: DecisionState {
+                k,
+                penalty: PenaltyFunction::new(cfg.initial_penalty, cfg.tolerance),
+                f_dec: f_dec_initial,
+                f_dec_initial,
+                index,
+                rng: StdRng::seed_from_u64(cfg.seed),
+                cost,
+                opened_online: 0,
+            },
+            monitor: MonitorState {
+                a: 0,
+                doubling_period,
+                history,
+                window: IncrementalWindow::new(),
+                last_similarity: None,
+                shift_streak: 0,
+                epoch: 0,
+            },
             events: Vec::with_capacity(EVENT_BUFFER_CAP),
             events_dropped: 0,
-            k,
             cfg,
         }
     }
 
     /// The offline parking count `k` guiding the algorithm.
     pub fn k(&self) -> usize {
-        self.k
+        self.decision.k
     }
 
     /// The currently active penalty type.
     pub fn penalty_kind(&self) -> PenaltyType {
-        self.penalty.kind()
+        self.decision.penalty.kind()
     }
 
     /// The current decision-making opening cost.
     pub fn decision_cost(&self) -> f64 {
-        self.f_dec
+        self.decision.f_dec
     }
 
     /// Stations opened online (excluding the offline landmarks).
     pub fn opened_online(&self) -> usize {
-        self.opened_online
+        self.decision.opened_online
     }
 
     /// The KS similarity (percent) measured at the last periodic test, if
     /// any has run.
     pub fn last_similarity(&self) -> Option<f64> {
-        self.last_similarity
+        self.monitor.last_similarity
     }
 
     /// Number of recent destinations currently held in the live KS window
     /// `G`. Read-only: probing it never perturbs the monitor state.
     pub fn window_len(&self) -> usize {
-        self.window.len()
+        self.monitor.window.len()
     }
 
     /// Doubling epochs completed since bootstrap.
     pub fn epoch(&self) -> u64 {
-        self.epoch
+        self.monitor.epoch
+    }
+
+    /// A copyable snapshot of the observable decision/monitor state.
+    ///
+    /// Cheap (a handful of scalar loads), never perturbs any algorithm
+    /// state, and safe to publish through a lock-free cell — this is what
+    /// the sharded engine exposes for monitoring reads off the hot path.
+    pub fn decision_view(&self) -> DecisionView {
+        DecisionView {
+            decision_cost: self.decision.f_dec,
+            penalty: self.decision.penalty.kind(),
+            stations: self.decision.index.len(),
+            opened_online: self.decision.opened_online,
+            epoch: self.monitor.epoch,
+            window_len: self.monitor.window.len(),
+            last_similarity: self.monitor.last_similarity,
+        }
     }
 
     /// Moves every buffered [`PlacementEvent`] into `out`, oldest first.
@@ -368,49 +434,60 @@ impl<I: SpatialIndex> DeviationPenaltyCore<I> {
     /// whether the station existed. The space cost already paid is not
     /// refunded.
     pub fn remove_station(&mut self, station: Point) -> bool {
-        self.index.remove(station)
+        self.decision.index.remove(station)
     }
 
     /// Runs the periodic maintenance due every `⌈β·k⌉` requests: doubling
     /// `f`, the KS test, and the penalty switch.
     fn periodic_update(&mut self) {
-        self.a = 0;
-        self.f_dec *= 2.0;
-        self.epoch += 1;
-        self.emit(PlacementEvent::EpochCrossed {
-            epoch: self.epoch,
-            decision_cost: self.f_dec,
-        });
+        self.monitor.a = 0;
+        self.decision.f_dec *= 2.0;
+        self.monitor.epoch += 1;
+        let crossed = PlacementEvent::EpochCrossed {
+            epoch: self.monitor.epoch,
+            decision_cost: self.decision.f_dec,
+        };
+        self.emit(crossed);
         // The KS statistic on a handful of points is pure noise; wait for
         // a reasonably filled window before drawing conclusions.
         let min_window = (self.cfg.ks_window / 4).max(30);
-        if !self.cfg.auto_penalty || self.history.is_empty() || self.window.len() < min_window {
+        if !self.cfg.auto_penalty
+            || self.monitor.history.is_empty()
+            || self.monitor.window.len() < min_window
+        {
             return;
         }
-        let test = self.history.peacock_test_window(&mut self.window);
-        self.last_similarity = Some(test.similarity_percent);
+        let test = self
+            .monitor
+            .history
+            .peacock_test_window(&mut self.monitor.window);
+        self.monitor.last_similarity = Some(test.similarity_percent);
         let class = SimilarityClass::from_test(&test);
-        let penalty_before = self.penalty.kind();
-        self.penalty = self.penalty.with_kind(PenaltyType::for_similarity(class));
-        self.emit(PlacementEvent::KsTest {
+        let penalty_before = self.decision.penalty.kind();
+        self.decision.penalty = self
+            .decision
+            .penalty
+            .with_kind(PenaltyType::for_similarity(class));
+        let ks_event = PlacementEvent::KsTest {
             d_statistic: test.statistic,
             similarity_percent: test.similarity_percent,
             penalty_before,
-            penalty_after: self.penalty.kind(),
-        });
+            penalty_after: self.decision.penalty.kind(),
+        };
+        self.emit(ks_event);
         if class == SimilarityClass::LessSimilar {
-            self.shift_streak += 1;
+            self.monitor.shift_streak += 1;
             // Distribution shift confirmed by two consecutive tests:
             // re-enable opening so the algorithm can follow the new demand
             // region (see module docs, choice 2). The reset fires once per
             // shift episode — while the divergence persists the cost
             // resumes its normal doubling, so the burst of new stations is
             // bounded by roughly one landmark-set's worth.
-            if self.shift_streak == 2 {
-                self.f_dec = self.f_dec_initial;
+            if self.monitor.shift_streak == 2 {
+                self.decision.f_dec = self.decision.f_dec_initial;
             }
         } else {
-            self.shift_streak = 0;
+            self.monitor.shift_streak = 0;
         }
     }
 
@@ -422,27 +499,27 @@ impl<I: SpatialIndex> DeviationPenaltyCore<I> {
     /// exactly once per served request — a read-only probe of the decision
     /// math can never perturb the window or the doubling schedule.
     fn record_arrival(&mut self, destination: Point) -> bool {
-        if self.window.len() == self.cfg.ks_window {
-            self.window.pop_front();
+        if self.monitor.window.len() == self.cfg.ks_window {
+            self.monitor.window.pop_front();
         }
-        self.window.push_back(destination);
-        self.a += 1;
-        self.a >= self.doubling_period
+        self.monitor.window.push_back(destination);
+        self.monitor.a += 1;
+        self.monitor.a >= self.monitor.doubling_period
     }
 
     /// The opening decision proper (Algorithm 2 lines 7–12): nearest
     /// established parking, penalty-weighted coin flip, cost accounting.
     fn decide(&mut self, destination: Point) -> Decision {
-        let nearest = self.index.nearest(destination);
+        let nearest = self.decision.index.nearest(destination);
         self.decide_from(destination, nearest)
     }
 
     /// Opens a parking at `destination`: index insert, space-cost
     /// accounting, event emission.
     fn open_at(&mut self, destination: Point) -> Decision {
-        self.index.insert(destination);
-        self.cost.space += self.cfg.space_cost;
-        self.opened_online += 1;
+        self.decision.index.insert(destination);
+        self.decision.cost.space += self.cfg.space_cost;
+        self.decision.opened_online += 1;
         self.emit(PlacementEvent::Opened {
             station: destination,
         });
@@ -464,13 +541,13 @@ impl<I: SpatialIndex> DeviationPenaltyCore<I> {
             Some((nearest, c)) => {
                 let g = match &self.cfg.custom_penalty {
                     Some(poly) if !self.cfg.auto_penalty => poly.g(c),
-                    _ => self.penalty.g(c),
+                    _ => self.decision.penalty.g(c),
                 };
-                let prob = (g * c / self.f_dec).min(1.0);
-                if c > 0.0 && self.rng.gen_range(0.0..1.0) < prob {
+                let prob = (g * c / self.decision.f_dec).min(1.0);
+                if c > 0.0 && self.decision.rng.gen_range(0.0..1.0) < prob {
                     self.open_at(destination)
                 } else {
-                    self.cost.walking += c;
+                    self.decision.cost.walking += c;
                     Decision::Assigned {
                         station: nearest,
                         walking: c,
@@ -496,7 +573,7 @@ impl<I: SpatialIndex> DeviationPenaltyCore<I> {
         let due = self.record_arrival(destination);
         trace.ks_window_ns = since(t0);
         let t1 = Instant::now();
-        let nearest = self.index.nearest(destination);
+        let nearest = self.decision.index.nearest(destination);
         trace.nn_lookup_ns = since(t1);
         let t2 = Instant::now();
         let decision = self.decide_from(destination, nearest);
@@ -524,11 +601,11 @@ impl<I: SpatialIndex> OnlinePlacement for DeviationPenaltyCore<I> {
     }
 
     fn stations(&self) -> Vec<Point> {
-        self.index.points()
+        self.decision.index.points()
     }
 
     fn cost(&self) -> PlacementCost {
-        self.cost
+        self.decision.cost
     }
 
     fn name(&self) -> String {
