@@ -35,10 +35,24 @@ for row in request_server_p50 request_server_p999 engine_s4_p90 engine_s4_p999 \
            engine_s4_shard0_p90 engine_s4_shard0_p999 \
            engine_s1_decision_p50 engine_s1_decision_p99 \
            engine_s4_decision_p50 engine_s4_decision_p99 \
-           engine_s1_telemetry_on_p50 engine_s1_telemetry_off_p50; do
+           engine_s1_telemetry_on_p50 engine_s1_telemetry_off_p50 \
+           flood_static flood_static_shed flood_elastic flood_elastic_shed \
+           flood_elastic_shards; do
   grep -q "\"$row\"" "$BENCH_TMP/BENCH_engine.json" \
     || { echo "BENCH_engine.json lacks latency row $row"; exit 1; }
 done
+
+# Elastic-lifecycle smokes: a shard killed mid-stream must recover from its
+# checkpoint + WAL suffix and reconverge bit-identically (both decision
+# paths), and a live split/merge under concurrent load must not drop a
+# single in-flight request. The split-under-load *flood* (shed relief vs a
+# static baseline) already ran — and self-asserted — inside the exp_engine
+# smoke above; these two cover the correctness side.
+echo "==> smoke: lifecycle kill-and-recover + split-under-load"
+cargo test --release -p esharing-engine --test lifecycle -q \
+  kill_at_random_point_reconverges_bit_identically
+cargo test --release -p esharing-engine --test lifecycle -q \
+  split_and_merge_drop_no_in_flight_requests
 
 # The binary already aborts when instrumentation costs more than the budget,
 # but re-derive the check from the emitted rows so a stale or hand-edited
@@ -72,7 +86,8 @@ done
 # the decision, shed and KS-drift metric families end to end.
 for family in esharing_decisions_total esharing_sheds_total \
               esharing_ks_d_statistic esharing_decision_stage_ns \
-              esharing_pending_downstream; do
+              esharing_pending_downstream \
+              esharing_shards_active esharing_lifecycle_ops_total; do
   grep -q "$family" "$BENCH_TMP/telemetry_scrape.prom" \
     || { echo "telemetry scrape lacks metric family $family"; exit 1; }
 done

@@ -49,7 +49,8 @@ use esharing_core::{ESharing, SystemConfig};
 use esharing_dataset::{destinations, CityConfig, SyntheticCity, TripGenerator};
 use esharing_engine::replay::{replay, ReplayConfig, ReplayReport};
 use esharing_engine::{
-    http_get, DecisionPath, Engine, EngineConfig, Partition, ShardMap, TelemetryConfig,
+    http_get, DecisionPath, Engine, EngineConfig, LifecycleConfig, Partition, ShardMap,
+    TelemetryConfig,
 };
 use esharing_geo::{BBox, Point};
 use std::path::PathBuf;
@@ -271,6 +272,156 @@ fn assert_telemetry_overhead(
     emitter.record_duration("engine_s1_telemetry_off_p50", 0, micros(off));
 }
 
+/// What one arm of the hot-zone flood produced.
+struct FloodOutcome {
+    served: u64,
+    shed: u64,
+    decision_p50_ns: u64,
+    shards_end: usize,
+    splits: u64,
+}
+
+/// Drop-offs landing in zone 0 of a 2-way grid: a single-shard hotspot
+/// with enough internal spread that a median split has demand on both
+/// sides of the cut.
+fn hot_stream(gen: &mut TripGenerator, bbox: BBox, n: usize) -> Vec<Point> {
+    let map = ShardMap::uniform(bbox, 2);
+    let mut out = Vec::with_capacity(n);
+    for day in 14..60 {
+        for p in destinations(&gen.generate_days(day, 1)) {
+            if map.shard_of(p) == 0 {
+                out.push(p);
+                if out.len() == n {
+                    return out;
+                }
+            }
+        }
+    }
+    panic!("46 days of trips produced fewer than {n} zone-0 drop-offs");
+}
+
+/// One flood arm: a paced single-client overload aimed entirely at zone 0
+/// of a 2-shard engine with a deliberately shallow (32-deep) downstream
+/// ring and a 500 µs emulated fetch. `elastic` enables the lifecycle
+/// subsystem and pumps [`Engine::lifecycle_tick`] every 256 offers so the
+/// policy can split the hot shard; the static arm runs the identical
+/// overload against the fixed shard set.
+fn run_flood(history: &[Point], hot: &[Point], elastic: bool) -> FloodOutcome {
+    let engine = Engine::start(
+        history,
+        EngineConfig {
+            shards: 2,
+            partition: Partition::UniformGrid,
+            decision_path: DecisionPath::SyncShared,
+            queue_capacity: 32,
+            service_delay: Duration::from_micros(500),
+            telemetry: TelemetryConfig::disabled(),
+            lifecycle: LifecycleConfig {
+                enabled: elastic,
+                ..LifecycleConfig::default()
+            },
+            ..EngineConfig::default()
+        },
+    );
+    for (i, &p) in hot.iter().enumerate() {
+        let _ = engine.submit_nowait(p).expect("engine is open");
+        if elastic && i % 256 == 255 {
+            let _ = engine.lifecycle_tick().expect("lifecycle is enabled");
+        }
+        // ~10k offers/s against 2k drains/s per shard: a 5x overload on
+        // the hot shard until (in the elastic arm) splits add capacity.
+        std::thread::sleep(Duration::from_micros(100));
+    }
+    let snapshot = engine.snapshot().expect("engine is running");
+    let outcome = FloodOutcome {
+        served: snapshot.metrics.requests_served,
+        shed: snapshot.shed_total,
+        decision_p50_ns: snapshot.fleet.latency.p50_ns(),
+        shards_end: snapshot.shards_active,
+        splits: snapshot.lifecycle.splits,
+    };
+    let _ = engine.shutdown();
+    outcome
+}
+
+/// Static-vs-elastic hot-zone flood: identical overload, identical
+/// pacing; the only difference is whether the lifecycle policy may split
+/// the hot shard. Fails the run unless elastic sheds strictly less and
+/// decision p50 does not regress (beyond a generous noise margin — the
+/// inline decision is microseconds; the comparison is overload relief,
+/// not decision speed).
+fn flood_experiment(emitter: &mut PerfEmitter, history: &[Point], hot: &[Point]) {
+    let static_arm = run_flood(history, hot, false);
+    let elastic_arm = run_flood(history, hot, true);
+    let pct = |o: &FloodOutcome| 100.0 * o.shed as f64 / hot.len() as f64;
+    println!(
+        "hot-zone flood ({} offers at ~10k/s into zone 0 of 2):\n\
+         \x20 flood_static : served {:6}, shed {:6} ({:5.1}%), decision p50 {:6.1} µs, {} shards\n\
+         \x20 flood_elastic: served {:6}, shed {:6} ({:5.1}%), decision p50 {:6.1} µs, {} shards ({} splits)",
+        hot.len(),
+        static_arm.served,
+        static_arm.shed,
+        pct(&static_arm),
+        static_arm.decision_p50_ns as f64 / 1_000.0,
+        static_arm.shards_end,
+        elastic_arm.served,
+        elastic_arm.shed,
+        pct(&elastic_arm),
+        elastic_arm.decision_p50_ns as f64 / 1_000.0,
+        elastic_arm.shards_end,
+        elastic_arm.splits,
+    );
+    assert!(
+        elastic_arm.shed < static_arm.shed,
+        "elastic lifecycle must shed strictly less than the static baseline \
+         (elastic {} vs static {})",
+        elastic_arm.shed,
+        static_arm.shed
+    );
+    assert!(
+        elastic_arm.splits >= 1,
+        "the flood must actually trip the split policy"
+    );
+    // Non-regression, not a race: splits shrink each shard's station set,
+    // so the inline decision should not get slower. 1.5x + 100 µs absorbs
+    // scheduler noise at microsecond scales.
+    let (s_p50, e_p50) = (
+        static_arm.decision_p50_ns as f64,
+        elastic_arm.decision_p50_ns as f64,
+    );
+    assert!(
+        e_p50 <= s_p50 * 1.5 + 100_000.0,
+        "elastic decision p50 regressed: {e_p50:.0} ns vs static {s_p50:.0} ns"
+    );
+    emitter.record_duration("flood_static", static_arm.served as usize, Duration::ZERO);
+    emitter.record_duration(
+        "flood_static_shed",
+        static_arm.shed as usize,
+        Duration::ZERO,
+    );
+    emitter.record_duration(
+        "flood_static_decision_p50",
+        0,
+        Duration::from_nanos(static_arm.decision_p50_ns),
+    );
+    emitter.record_duration("flood_elastic", elastic_arm.served as usize, Duration::ZERO);
+    emitter.record_duration(
+        "flood_elastic_shed",
+        elastic_arm.shed as usize,
+        Duration::ZERO,
+    );
+    emitter.record_duration(
+        "flood_elastic_decision_p50",
+        0,
+        Duration::from_nanos(elastic_arm.decision_p50_ns),
+    );
+    emitter.record_duration(
+        "flood_elastic_shards",
+        elastic_arm.shards_end,
+        Duration::ZERO,
+    );
+}
+
 /// Scrapes the live engine's `/metrics`, fails unless the decision, shed
 /// and KS-drift families are present, and writes the payload to
 /// `telemetry_scrape.prom` (in `$ESHARING_BENCH_DIR` when set, else the
@@ -446,6 +597,16 @@ fn main() {
         args.clients,
         args.path,
     );
+
+    // Elastic-lifecycle flood (fast path only: split/merge are
+    // shared-nothing operations; the mailbox baseline has no seats to
+    // retire).
+    if args.path == DecisionPath::SyncShared {
+        let hot = hot_stream(&mut gen, bbox, if args.smoke { 1_500 } else { 6_000 });
+        flood_experiment(&mut emitter, &history, &hot);
+    } else {
+        println!("mailbox fallback: skipping the elastic-lifecycle flood (fast path only)");
+    }
 
     if args.smoke && std::env::var_os("ESHARING_BENCH_DIR").is_none() {
         println!("smoke mode: skipping BENCH_engine.json / snapshot dump");

@@ -41,7 +41,7 @@ pub mod telemetry;
 pub use config::SystemConfig;
 pub use events::{EventDrivenSim, TriggerPolicy};
 pub use metrics::{LatencyHistogram, SystemMetrics};
-pub use orchestrator::{ESharing, MaintenanceReport, NotBootstrapped};
+pub use orchestrator::{ESharing, MaintenanceReport, NotBootstrapped, SystemCheckpoint};
 pub use simulation::{Simulation, SimulationReport};
 pub use telemetry::{QueuePath, ServeTrace, TelemetryProbe, WorkerTelemetry};
 

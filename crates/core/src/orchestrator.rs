@@ -7,7 +7,8 @@ use esharing_charging::{
 use esharing_dataset::Fleet;
 use esharing_geo::{Grid, Point};
 use esharing_placement::online::{
-    Decision, DecisionView, DeviationPenalty, HandleTrace, OnlinePlacement, PlacementEvent,
+    Decision, DecisionView, DeviationCheckpoint, DeviationPenalty, HandleTrace, OnlinePlacement,
+    PlacementEvent,
 };
 use esharing_placement::{offline, PlpInstance};
 use std::error::Error;
@@ -27,6 +28,21 @@ impl fmt::Display for NotBootstrapped {
 }
 
 impl Error for NotBootstrapped {}
+
+/// A complete image of a bootstrapped [`ESharing`]'s mutable state: the
+/// landmark set, the accumulated metrics, and the online algorithm's
+/// [`DeviationCheckpoint`]. Together with the [`SystemConfig`] the system
+/// ran under, [`ESharing::restore`] rebuilds an instance whose subsequent
+/// decisions are bit-identical.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemCheckpoint {
+    /// Offline landmark stations.
+    pub landmarks: Vec<Point>,
+    /// Accumulated system metrics at checkpoint time.
+    pub metrics: SystemMetrics,
+    /// The online algorithm's full state image.
+    pub deviation: DeviationCheckpoint,
+}
 
 /// Report of one Tier-2 maintenance period.
 #[derive(Debug, Clone, PartialEq)]
@@ -155,6 +171,41 @@ impl ESharing {
         self.metrics.placement = self.metrics.placement + online.cost();
         self.online = Some(online);
         &self.landmarks
+    }
+
+    /// Captures a [`SystemCheckpoint`] of the complete mutable state, or
+    /// `None` before bootstrap. The instance is untouched.
+    pub fn checkpoint(&self) -> Option<SystemCheckpoint> {
+        let online = self.online.as_ref()?;
+        Some(SystemCheckpoint {
+            landmarks: self.landmarks.clone(),
+            metrics: self.metrics,
+            deviation: online.checkpoint(),
+        })
+    }
+
+    /// Rebuilds a bootstrapped system from a checkpoint.
+    ///
+    /// `config` supplies the non-checkpointed knobs and would normally be
+    /// the config the checkpointed system ran with; the deviation seed is
+    /// overwritten by the checkpoint's RNG position (see
+    /// [`DeviationPenaltyCore::restore`](esharing_placement::online::DeviationPenaltyCore::restore)).
+    /// The restored system's next decisions are bit-identical to what the
+    /// original would have made.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or the checkpoint is
+    /// internally inconsistent.
+    pub fn restore(config: SystemConfig, ckpt: SystemCheckpoint) -> Self {
+        config.validate();
+        let online = DeviationPenalty::restore(ckpt.deviation, config.deviation.clone());
+        ESharing {
+            config,
+            online: Some(online),
+            landmarks: ckpt.landmarks,
+            metrics: ckpt.metrics,
+        }
     }
 
     /// Handles one live trip request (Tier 1, Algorithm 2).
@@ -533,6 +584,35 @@ mod tests {
         assert_eq!(fresh.decision_cost(), None);
         assert_eq!(fresh.epoch(), 0);
         assert_eq!(fresh.placement_events_dropped(), 0);
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_bit_identically() {
+        let history = uniform_points(300, 1000.0, 31);
+        let stream = uniform_points(200, 1000.0, 32);
+        let mut sys = ESharing::new(small_config());
+        sys.bootstrap(&history);
+        let mut drained = Vec::new();
+        for &p in &stream[..120] {
+            sys.handle_request(p).unwrap();
+            sys.take_placement_events(&mut drained);
+        }
+        let ckpt = sys.checkpoint().unwrap();
+        let mut restored = ESharing::restore(small_config(), ckpt.clone());
+        assert_eq!(restored.checkpoint().unwrap(), ckpt);
+        for &p in &stream[120..] {
+            assert_eq!(
+                sys.handle_request(p).unwrap(),
+                restored.handle_request(p).unwrap()
+            );
+            sys.take_placement_events(&mut drained);
+            restored.take_placement_events(&mut drained);
+        }
+        assert_eq!(sys.metrics(), restored.metrics());
+        assert_eq!(sys.stations(), restored.stations());
+        assert_eq!(sys.checkpoint(), restored.checkpoint());
+        // Un-bootstrapped systems have nothing to checkpoint.
+        assert!(ESharing::new(small_config()).checkpoint().is_none());
     }
 
     #[test]

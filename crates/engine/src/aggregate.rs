@@ -9,6 +9,7 @@
 //! exposition layer renders the fleet totals next to shard-labelled
 //! per-worker series.
 
+use crate::lifecycle::LifecycleOps;
 use esharing_core::server::ServerSnapshot;
 use esharing_core::{LatencyHistogram, SystemMetrics};
 use esharing_geo::Point;
@@ -66,6 +67,12 @@ pub struct EngineSnapshot {
     pub events: Vec<EventRecord>,
     /// Events lost to journal/log bounds before this snapshot.
     pub events_dropped: u64,
+    /// Shards currently serving (total slots minus killed ones awaiting
+    /// recovery). Defaults to the slot count; the engine overwrites it.
+    pub shards_active: usize,
+    /// Lifetime lifecycle-operation totals (filled by `Engine::snapshot`;
+    /// all zero while the lifecycle subsystem is disabled).
+    pub lifecycle: LifecycleOps,
 }
 
 impl EngineSnapshot {
@@ -89,6 +96,7 @@ impl EngineSnapshot {
         } else {
             RegistrySnapshot::default()
         };
+        let shards_active = shards.len();
         EngineSnapshot {
             shards,
             fleet,
@@ -97,6 +105,8 @@ impl EngineSnapshot {
             registry,
             events: Vec::new(),
             events_dropped: 0,
+            shards_active,
+            lifecycle: LifecycleOps::default(),
         }
     }
 
@@ -133,13 +143,18 @@ impl EngineSnapshot {
         let mut out = String::new();
         out.push_str("{\n");
         out.push_str(&format!(
-            "  \"fleet\": {{ \"stations\": {}, \"requests_served\": {}, \"walking_m\": {:.1}, \"space_m\": {:.1}, \"shed\": {}, \"events_dropped\": {}, {} }},\n",
+            "  \"fleet\": {{ \"stations\": {}, \"requests_served\": {}, \"walking_m\": {:.1}, \"space_m\": {:.1}, \"shed\": {}, \"events_dropped\": {}, \"shards_active\": {}, \"lifecycle_splits\": {}, \"lifecycle_merges\": {}, \"lifecycle_recovers\": {}, \"lifecycle_checkpoints\": {}, {} }},\n",
             self.fleet.stations.len(),
             self.fleet.requests_served,
             self.fleet.placement.walking,
             self.fleet.placement.space,
             self.shed_total,
             self.events_dropped,
+            self.shards_active,
+            self.lifecycle.splits,
+            self.lifecycle.merges,
+            self.lifecycle.recovers,
+            self.lifecycle.checkpoints,
             latency_json(&self.fleet.latency),
         ));
         out.push_str("  \"shards\": [\n");
@@ -168,6 +183,34 @@ impl EngineSnapshot {
         out.push_str("  ]\n}\n");
         out
     }
+}
+
+/// Lifecycle series for `/metrics`: the active-shard gauge plus one
+/// `esharing_lifecycle_ops_total{op=...}` counter per operation kind.
+/// Every label is emitted even at zero, so dashboards (and the CI greps)
+/// see the full family the moment telemetry is on, lifecycle or not.
+pub(crate) fn lifecycle_registry(shards_active: u64, ops: &LifecycleOps) -> RegistrySnapshot {
+    let mut r = Registry::new();
+    let g = r.gauge(
+        "esharing_shards_active",
+        "Shards currently serving (excludes killed shards awaiting recovery).",
+        MergeMode::Sum,
+    );
+    r.set(g, shards_active as f64);
+    for (op, count) in [
+        ("split", ops.splits),
+        ("merge", ops.merges),
+        ("recover", ops.recovers),
+        ("checkpoint", ops.checkpoints),
+    ] {
+        let c = r.counter_with(
+            "esharing_lifecycle_ops_total",
+            "Lifecycle operations completed since engine start.",
+            &[("op", op)],
+        );
+        r.add(c, count);
+    }
+    r.snapshot()
 }
 
 /// Router-side series: the shed counter and last-observed shed depth,

@@ -1,13 +1,16 @@
 //! The sharded serving engine: router, admission control, lifecycle.
 
 use crate::aggregate::{EngineSnapshot, ShardSnapshot};
+use crate::checkpoint::encode_checkpoint;
 use crate::fastpath::{DecisionViewCell, DownstreamRing};
+use crate::lifecycle::{LifecycleConfig, OpCounters, PolicyState};
 use crate::shard::{self, Command, WorkerState};
 use crate::shard_map::ShardMap;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use esharing_core::server::ServerSnapshot;
 use esharing_core::{
-    ESharing, LatencyHistogram, ServeTrace, SystemConfig, TelemetryProbe, WorkerTelemetry,
+    ESharing, LatencyHistogram, ServeTrace, SystemConfig, SystemMetrics, TelemetryProbe,
+    WorkerTelemetry,
 };
 use esharing_geo::{BBox, Grid, Point};
 use esharing_placement::online::{Decision, DecisionView};
@@ -23,7 +26,7 @@ use std::sync::{Arc, Mutex, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-fn elapsed_ns(since: Instant) -> u64 {
+pub(crate) fn elapsed_ns(since: Instant) -> u64 {
     since.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
 }
 
@@ -61,7 +64,9 @@ pub enum DecisionPath {
 #[derive(Debug, Clone, PartialEq)]
 pub struct EngineConfig {
     /// Requested shard count (the realized count can be lower when a
-    /// [`Partition::LandmarkVoronoi`] map finds fewer landmarks).
+    /// [`Partition::LandmarkVoronoi`] map finds fewer landmarks, and
+    /// changes at runtime once the lifecycle subsystem splits or merges
+    /// zones).
     pub shards: usize,
     /// Zone geometry.
     pub partition: Partition,
@@ -89,6 +94,12 @@ pub struct EngineConfig {
     /// decision tracing. Every shard worker gets its own instance sharing
     /// one epoch instant, so journal timestamps are fleet-comparable.
     pub telemetry: TelemetryConfig,
+    /// Elastic shard lifecycle: checkpointing cadence, write-ahead
+    /// logging, and the hot/cold thresholds that drive live split/merge.
+    /// Disabled by default — a disabled lifecycle carries zero request-
+    /// path cost and the control methods return
+    /// [`LifecycleDisabled`](crate::lifecycle::LifecycleError::LifecycleDisabled).
+    pub lifecycle: LifecycleConfig,
     /// The per-shard system configuration. Shard `i` reseeds its
     /// stochastic components with `seed ^ i`, so shard 0 of a one-shard
     /// engine is bit-identical to a plain `ESharing` on the same config.
@@ -105,6 +116,7 @@ impl Default for EngineConfig {
             service_delay: Duration::ZERO,
             min_shard_history: 32,
             telemetry: TelemetryConfig::default(),
+            lifecycle: LifecycleConfig::default(),
             system: SystemConfig::default(),
         }
     }
@@ -118,6 +130,7 @@ impl EngineConfig {
             self.min_shard_history > 0,
             "min shard history must be positive"
         );
+        self.lifecycle.validate();
         self.system.validate();
     }
 }
@@ -144,10 +157,11 @@ pub enum EngineDecision {
         /// The online algorithm's decision.
         decision: Decision,
     },
-    /// The shard's mailbox was full; admission control shed the request
-    /// instead of blocking. The user is directed to the shard's nearest
-    /// *offline* landmark — a valid parking that needs no state update —
-    /// and the shard's online state never sees the request.
+    /// The shard's mailbox was full (or the shard is awaiting recovery);
+    /// admission control shed the request instead of blocking. The user
+    /// is directed to the shard's nearest *offline* landmark — a valid
+    /// parking that needs no state update — and the shard's online state
+    /// never sees the request.
     Degraded {
         /// Overloaded shard.
         shard: usize,
@@ -187,16 +201,21 @@ pub enum Admission {
 
 /// The decision-owning state of a fast-path shard: taken (briefly) by
 /// whichever submitting thread is deciding. `system` becomes `None` at
-/// shutdown, which is how later submits learn the engine closed.
+/// shutdown, which is how later submits learn the engine closed; `moved`
+/// flips when a lifecycle operation (split/merge/kill) retires the seat,
+/// telling blocked submitters to reload the router table and retry.
 pub(crate) struct SeatState {
     pub(crate) system: Option<ESharing>,
     pub(crate) telemetry: Option<WorkerTelemetry>,
     /// Arrival → decision latency of every request this shard served.
     pub(crate) latency: LatencyHistogram,
+    /// Set (under the seat lock) when this seat's shard was retired by a
+    /// lifecycle operation — the state lives elsewhere now.
+    pub(crate) moved: bool,
 }
 
 /// Per-shard serving substrate, per [`DecisionPath`].
-enum ShardLane {
+pub(crate) enum ShardLane {
     /// Shared-nothing fast path: decisions run inline on the caller under
     /// `seat`; accepted requests enqueue one downstream job on `ring`.
     /// The seat state is boxed so the lane enum stays small next to the
@@ -219,60 +238,127 @@ enum ShardLane {
         /// counts its own occupancy.
         inflight: Arc<AtomicU64>,
     },
+    /// A killed shard awaiting [`Engine::recover_shard`]: submits shed to
+    /// the zone's offline landmarks (service degrades, it never stops).
+    Dead,
 }
 
-struct ShardSlot {
-    lane: ShardLane,
+pub(crate) struct ShardSlot {
+    pub(crate) lane: ShardLane,
     /// The zone's offline landmarks, cached router-side for degraded-mode
-    /// fallbacks (immutable after bootstrap).
-    landmarks: Vec<Point>,
-    shed: AtomicU64,
+    /// fallbacks (immutable for the slot's lifetime).
+    pub(crate) landmarks: Vec<Point>,
+    pub(crate) shed: AtomicU64,
     /// Pending-queue depth the router observed at the most recent shed:
     /// ring occupancy (queued + in-fetch jobs) on the fast path, mailbox
     /// depth on the fallback.
-    last_shed_depth: AtomicU64,
+    pub(crate) last_shed_depth: AtomicU64,
     /// Seqlock-published [`DecisionView`], republished after every fast-
     /// path decision. Never published by the mailbox lane.
-    view: DecisionViewCell,
+    pub(crate) view: DecisionViewCell,
+    /// The shard's write-ahead log of admitted requests, present when the
+    /// lifecycle subsystem is enabled. Entries are appended in apply
+    /// order (under the seat on the fast path, by the worker on the
+    /// mailbox path), so replaying the suffix past a checkpoint's
+    /// high-water sequence reproduces the shard bit-identically.
+    pub(crate) wal: Option<Arc<Mutex<EventJournal>>>,
+    /// The shard's most recent encoded [`ShardCheckpoint`]
+    /// (crate::checkpoint::ShardCheckpoint), the recovery source after a
+    /// kill.
+    pub(crate) checkpoint: Mutex<Option<Vec<u8>>>,
+    /// WAL sequence covered by the stored checkpoint.
+    pub(crate) wal_high_water: AtomicU64,
+    /// The shard's worker thread (drain worker on the fast path, mailbox
+    /// worker on the fallback); `None` on dead slots and after shutdown.
+    pub(crate) worker: Mutex<Option<WorkerHandle>>,
 }
 
 impl ShardSlot {
     /// Jobs currently pending downstream: ring occupancy on the fast
-    /// path, the mailbox-depth mirror on the fallback.
-    fn pending(&self) -> u64 {
+    /// path, the mailbox-depth mirror on the fallback, zero on a dead
+    /// slot.
+    pub(crate) fn pending(&self) -> u64 {
         match &self.lane {
             ShardLane::Fast { ring, .. } => ring.occupancy(),
             ShardLane::Mailbox { inflight, .. } => inflight.load(Ordering::Relaxed),
+            ShardLane::Dead => 0,
         }
     }
+
+    /// Whether the slot is serving (not awaiting recovery).
+    pub(crate) fn alive(&self) -> bool {
+        !matches!(self.lane, ShardLane::Dead)
+    }
+}
+
+/// Everything a submit needs to route: the zone map and the slots it
+/// indexes into. Lifecycle operations build a new table and swap the
+/// `Arc` atomically under [`EngineShared::table`], so routers always see
+/// map and slots move together.
+pub(crate) struct RouterTable {
+    pub(crate) map: ShardMap,
+    pub(crate) shards: Vec<Arc<ShardSlot>>,
+}
+
+/// What a fast-path serve attempt observed.
+enum FastServe {
+    /// Decision (or shed) completed on this slot.
+    Done(EngineDecision),
+    /// The seat was retired by a lifecycle operation mid-flight; reload
+    /// the router table and retry.
+    Moved,
 }
 
 /// State shared between the router handle and the telemetry scrape
 /// source, so an HTTP scrape can probe the fleet without holding the
 /// engine itself.
-struct EngineShared {
-    map: ShardMap,
-    shards: Vec<ShardSlot>,
-    telemetry_enabled: bool,
+pub(crate) struct EngineShared {
+    /// The current router table; swapped wholesale by lifecycle
+    /// operations. Submits lock only long enough to clone the `Arc`.
+    pub(crate) table: Mutex<Arc<RouterTable>>,
+    /// Flipped once at shutdown: every entry point checks it first and
+    /// reports [`EngineClosed`] instead of touching retired lanes.
+    pub(crate) closed: AtomicBool,
+    /// The engine configuration, kept for lifecycle operations that
+    /// build new shards at runtime (split, recover).
+    pub(crate) cfg: EngineConfig,
+    pub(crate) telemetry_enabled: bool,
     /// Trace-sampling period, mirrored router-side so the fast path can
     /// decide sampling before touching the seat (or any clock).
-    sample_period: u64,
+    pub(crate) sample_period: u64,
     /// Timestamp origin shared by every journal and by the downstream
     /// ring's arrival stamps.
-    epoch: Instant,
+    pub(crate) epoch: Instant,
     /// Router-side journal for shed events (workers never see shed
-    /// requests). Submitting threads contend on this only when a shed
-    /// actually happens — the accept path never locks it.
-    shed_journal: Mutex<EventJournal>,
+    /// requests) and for lifecycle transitions
+    /// (split/merge/recover). Submitting threads contend on this only
+    /// when a shed actually happens — the accept path never locks it.
+    pub(crate) shed_journal: Mutex<EventJournal>,
     /// Fleet-wide merged event log, fed by snapshot probes.
-    events: Mutex<EventLog>,
+    pub(crate) events: Mutex<EventLog>,
+    /// Serializes lifecycle operations (split/merge/kill/recover/
+    /// checkpoint/tick) and holds the policy's hysteresis state.
+    pub(crate) gate: Mutex<PolicyState>,
+    /// Lifetime counters of lifecycle operations, for `/metrics`.
+    pub(crate) ops: OpCounters,
 }
 
 impl EngineShared {
-    /// Admission bookkeeping for `count` shed requests against `shard`:
+    /// The current router table.
+    pub(crate) fn table(&self) -> Arc<RouterTable> {
+        Arc::clone(&self.table.lock().expect("router table not poisoned"))
+    }
+
+    /// Publishes a new router table. Callers (lifecycle operations) hold
+    /// the retired seats across this call, so blocked submitters wake to
+    /// a table that no longer routes to them.
+    pub(crate) fn swap_table(&self, next: Arc<RouterTable>) {
+        *self.table.lock().expect("router table not poisoned") = next;
+    }
+
+    /// Admission bookkeeping for `count` shed requests against `slot`:
     /// counter, last-seen depth, and one journal event per request.
-    fn note_shed(&self, shard: usize, count: u64, depth: u64) {
-        let slot = &self.shards[shard];
+    fn note_shed(&self, slot: &ShardSlot, count: u64, depth: u64) {
         slot.shed.fetch_add(count, Ordering::Relaxed);
         slot.last_shed_depth.store(depth, Ordering::Relaxed);
         if self.telemetry_enabled {
@@ -283,12 +369,16 @@ impl EngineShared {
         }
     }
 
-    /// Fast-path inline service of one destination on `shard`: claim a
+    /// Fast-path inline service of one destination on `slot`: claim a
     /// downstream-ring slot (shedding **before** any state mutation if
-    /// the ring is full), take the seat, decide, account, republish the
-    /// shard's [`DecisionView`].
-    fn serve_fast(&self, shard: usize, destination: Point) -> Result<EngineDecision, EngineClosed> {
-        let slot = &self.shards[shard];
+    /// the ring is full), take the seat, decide, account, append the WAL
+    /// entry, republish the shard's [`DecisionView`].
+    fn serve_fast(
+        &self,
+        slot: &ShardSlot,
+        shard: usize,
+        destination: Point,
+    ) -> Result<FastServe, EngineClosed> {
         let ShardLane::Fast {
             ring,
             seat,
@@ -306,17 +396,23 @@ impl EngineShared {
         if let Err(occupancy) = ring.try_claim(elapsed_ns(self.epoch)) {
             // Shed before touching the seat: a degraded request must
             // leave the shard's online state untouched.
-            self.note_shed(shard, 1, occupancy);
-            return Ok(EngineDecision::Degraded {
+            self.note_shed(slot, 1, occupancy);
+            return Ok(FastServe::Done(EngineDecision::Degraded {
                 shard,
                 fallback: nearest_landmark(&slot.landmarks, destination),
-            });
+            }));
         }
         let ring_ns = t_ring.map(elapsed_ns);
         let t_seat = traced.then(Instant::now);
         let mut seat = seat.lock().expect("seat not poisoned");
         let seat_ns = t_seat.map(elapsed_ns);
         let state = &mut *seat;
+        if state.moved {
+            // A lifecycle operation retired this seat while we waited; the
+            // ring claim drains harmlessly (the old drain worker empties
+            // its ring before stopping).
+            return Ok(FastServe::Moved);
+        }
         let system = state.system.as_mut().ok_or(EngineClosed)?;
         let (decision, trace) = match (ring_ns, seat_ns) {
             (Some(ring_ns), Some(seat_ns)) => {
@@ -332,6 +428,14 @@ impl EngineShared {
                 None,
             ),
         };
+        if let Some(wal) = &slot.wal {
+            wal.lock()
+                .expect("wal not poisoned")
+                .record(EventKind::RequestAdmitted {
+                    x: destination.x,
+                    y: destination.y,
+                });
+        }
         let latency_ns = elapsed_ns(arrival);
         state.latency.record_ns(latency_ns);
         if let Some(t) = state.telemetry.as_mut() {
@@ -339,70 +443,125 @@ impl EngineShared {
         }
         slot.view
             .publish(&system.decision_view().expect("bootstrapped system"));
-        Ok(EngineDecision::Served { shard, decision })
+        Ok(FastServe::Done(EngineDecision::Served { shard, decision }))
     }
 
-    /// Routes one destination; see [`Engine::submit`].
-    fn submit(&self, destination: Point) -> Result<EngineDecision, EngineClosed> {
-        let shard = self.map.shard_of(destination);
-        let slot = &self.shards[shard];
-        match &slot.lane {
-            ShardLane::Fast { .. } => self.serve_fast(shard, destination),
-            ShardLane::Mailbox { tx, inflight } => {
-                // A thread has at most one request in flight (submit
-                // blocks until the decision lands), so the reply channel
-                // is provably empty between calls — reuse one per thread
-                // instead of allocating a fresh channel on every request.
-                thread_local! {
-                    static REPLY: (Sender<Decision>, Receiver<Decision>) = bounded(1);
-                }
-                inflight.fetch_add(1, Ordering::Relaxed);
-                REPLY.with(|(reply_tx, reply_rx)| {
-                    match tx.try_send(Command::Request {
-                        destination,
-                        reply: Some(reply_tx.clone()),
-                        arrival: Instant::now(),
-                    }) {
-                        Ok(()) => {
-                            let decision = reply_rx.recv().map_err(|_| EngineClosed)?;
-                            Ok(EngineDecision::Served { shard, decision })
+    /// Routes one destination; see [`Engine::submit`]. Retries through a
+    /// fresh router table whenever a lifecycle operation moves the shard
+    /// mid-flight, so in-flight requests survive splits and merges.
+    pub(crate) fn submit(&self, destination: Point) -> Result<EngineDecision, EngineClosed> {
+        loop {
+            if self.closed.load(Ordering::Acquire) {
+                return Err(EngineClosed);
+            }
+            let table = self.table();
+            let shard = table.map.shard_of(destination);
+            let slot = &table.shards[shard];
+            match &slot.lane {
+                ShardLane::Fast { .. } => match self.serve_fast(slot, shard, destination)? {
+                    FastServe::Done(decision) => return Ok(decision),
+                    FastServe::Moved => {
+                        std::thread::yield_now();
+                        continue;
+                    }
+                },
+                ShardLane::Mailbox { tx, inflight } => {
+                    // A thread has at most one request in flight (submit
+                    // blocks until the decision lands), so the reply channel
+                    // is provably empty between calls — reuse one per thread
+                    // instead of allocating a fresh channel on every request.
+                    thread_local! {
+                        static REPLY: (Sender<Decision>, Receiver<Decision>) = bounded(1);
+                    }
+                    inflight.fetch_add(1, Ordering::Relaxed);
+                    let outcome = REPLY.with(|(reply_tx, reply_rx)| {
+                        match tx.try_send(Command::Request {
+                            destination,
+                            reply: Some(reply_tx.clone()),
+                            arrival: Instant::now(),
+                        }) {
+                            Ok(()) => match reply_rx.recv() {
+                                Ok(decision) => {
+                                    Some(Ok(EngineDecision::Served { shard, decision }))
+                                }
+                                // The worker left without answering: either
+                                // shutdown or a lifecycle kill. Distinguish
+                                // by the closed flag and retry the latter.
+                                Err(_) => {
+                                    if self.closed.load(Ordering::Acquire) {
+                                        Some(Err(EngineClosed))
+                                    } else {
+                                        None
+                                    }
+                                }
+                            },
+                            Err(TrySendError::Full(_)) => {
+                                let prev = inflight.fetch_sub(1, Ordering::Relaxed);
+                                self.note_shed(slot, 1, prev.saturating_sub(1));
+                                Some(Ok(EngineDecision::Degraded {
+                                    shard,
+                                    fallback: nearest_landmark(&slot.landmarks, destination),
+                                }))
+                            }
+                            Err(TrySendError::Disconnected(_)) => {
+                                inflight.fetch_sub(1, Ordering::Relaxed);
+                                if self.closed.load(Ordering::Acquire) {
+                                    Some(Err(EngineClosed))
+                                } else {
+                                    None
+                                }
+                            }
                         }
-                        Err(TrySendError::Full(_)) => {
-                            let prev = inflight.fetch_sub(1, Ordering::Relaxed);
-                            self.note_shed(shard, 1, prev.saturating_sub(1));
-                            Ok(EngineDecision::Degraded {
-                                shard,
-                                fallback: nearest_landmark(&slot.landmarks, destination),
-                            })
-                        }
-                        Err(TrySendError::Disconnected(_)) => {
-                            inflight.fetch_sub(1, Ordering::Relaxed);
-                            Err(EngineClosed)
+                    });
+                    match outcome {
+                        Some(result) => return result,
+                        None => {
+                            std::thread::yield_now();
+                            continue;
                         }
                     }
-                })
+                }
+                ShardLane::Dead => {
+                    self.note_shed(slot, 1, 0);
+                    return Ok(EngineDecision::Degraded {
+                        shard,
+                        fallback: nearest_landmark(&slot.landmarks, destination),
+                    });
+                }
             }
         }
     }
 
     /// Routes a batch; see [`Engine::submit_batch`].
-    fn submit_batch(&self, destinations: &[Point]) -> Result<Vec<EngineDecision>, EngineClosed> {
+    pub(crate) fn submit_batch(
+        &self,
+        destinations: &[Point],
+    ) -> Result<Vec<EngineDecision>, EngineClosed> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(EngineClosed);
+        }
+        let table = self.table();
         // Group by shard, keeping each shard's items in submission order.
-        let mut groups: Vec<Vec<(usize, Point)>> = vec![Vec::new(); self.shards.len()];
+        let mut groups: Vec<Vec<(usize, Point)>> = vec![Vec::new(); table.shards.len()];
         for (i, &p) in destinations.iter().enumerate() {
-            groups[self.map.shard_of(p)].push((i, p));
+            groups[table.map.shard_of(p)].push((i, p));
         }
         let mut out: Vec<Option<EngineDecision>> = vec![None; destinations.len()];
         // Mailbox lanes: dispatch every sub-batch before collecting any
         // reply, so those shards work concurrently while fast-lane groups
         // are served inline below.
-        let mut pending: Vec<(usize, Receiver<Vec<Decision>>, Vec<usize>)> = Vec::new();
+        type PendingReply = (usize, Receiver<Vec<Decision>>, Vec<(usize, Point)>);
+        let mut pending: Vec<PendingReply> = Vec::new();
         let mut inline: Vec<(usize, Vec<(usize, Point)>)> = Vec::new();
+        // Groups whose shard moved (or whose worker died to a lifecycle
+        // kill) mid-batch: re-submitted item by item through the ordinary
+        // retry path at the end.
+        let mut resubmit: Vec<(usize, Point)> = Vec::new();
         for (shard, group) in groups.into_iter().enumerate() {
             if group.is_empty() {
                 continue;
             }
-            let slot = &self.shards[shard];
+            let slot = &table.shards[shard];
             match &slot.lane {
                 ShardLane::Fast { ring, .. } => {
                     // Claim the whole sub-batch's downstream slots as one
@@ -411,7 +570,7 @@ impl EngineShared {
                     match ring.try_claim_batch(group.len() as u64, elapsed_ns(self.epoch)) {
                         Ok(()) => inline.push((shard, group)),
                         Err(occupancy) => {
-                            self.note_shed(shard, group.len() as u64, occupancy);
+                            self.note_shed(slot, group.len() as u64, occupancy);
                             for (i, p) in group {
                                 out[i] = Some(EngineDecision::Degraded {
                                     shard,
@@ -422,7 +581,6 @@ impl EngineShared {
                     }
                 }
                 ShardLane::Mailbox { tx, inflight } => {
-                    let idxs: Vec<usize> = group.iter().map(|&(i, _)| i).collect();
                     let pts: Vec<Point> = group.iter().map(|&(_, p)| p).collect();
                     let (reply_tx, reply_rx) = bounded(1);
                     inflight.fetch_add(1, Ordering::Relaxed);
@@ -431,10 +589,10 @@ impl EngineShared {
                         reply: reply_tx,
                         arrival: Instant::now(),
                     }) {
-                        Ok(()) => pending.push((shard, reply_rx, idxs)),
+                        Ok(()) => pending.push((shard, reply_rx, group)),
                         Err(TrySendError::Full(_)) => {
                             let prev = inflight.fetch_sub(1, Ordering::Relaxed);
-                            self.note_shed(shard, group.len() as u64, prev.saturating_sub(1));
+                            self.note_shed(slot, group.len() as u64, prev.saturating_sub(1));
                             for (i, p) in group {
                                 out[i] = Some(EngineDecision::Degraded {
                                     shard,
@@ -444,8 +602,20 @@ impl EngineShared {
                         }
                         Err(TrySendError::Disconnected(_)) => {
                             inflight.fetch_sub(1, Ordering::Relaxed);
-                            return Err(EngineClosed);
+                            if self.closed.load(Ordering::Acquire) {
+                                return Err(EngineClosed);
+                            }
+                            resubmit.extend(group);
                         }
+                    }
+                }
+                ShardLane::Dead => {
+                    self.note_shed(slot, group.len() as u64, 0);
+                    for (i, p) in group {
+                        out[i] = Some(EngineDecision::Degraded {
+                            shard,
+                            fallback: nearest_landmark(&slot.landmarks, p),
+                        });
                     }
                 }
             }
@@ -453,34 +623,60 @@ impl EngineShared {
         // Serve the fast-lane groups inline: one seat acquisition per
         // shard, decisions in submission order.
         for (shard, group) in inline {
-            let slot = &self.shards[shard];
+            let slot = &table.shards[shard];
             let ShardLane::Fast { seat, .. } = &slot.lane else {
                 unreachable!("inline groups come from fast lanes");
             };
             let arrival = Instant::now();
-            let mut seat = seat.lock().expect("seat not poisoned");
-            let state = &mut *seat;
-            let system = state.system.as_mut().ok_or(EngineClosed)?;
-            for (i, p) in group {
-                let decision = system
-                    .handle_request(p)
-                    .expect("shard systems are bootstrapped at engine start");
-                let latency_ns = elapsed_ns(arrival);
-                state.latency.record_ns(latency_ns);
-                if let Some(t) = state.telemetry.as_mut() {
-                    t.on_decision(system, &decision, latency_ns, None);
+            {
+                let mut seat = seat.lock().expect("seat not poisoned");
+                let state = &mut *seat;
+                if state.moved {
+                    // The group's ring claims drain harmlessly on the
+                    // retired ring; route the items through the retry
+                    // path one by one.
+                    resubmit.extend(group);
+                    continue;
                 }
-                out[i] = Some(EngineDecision::Served { shard, decision });
+                let system = state.system.as_mut().ok_or(EngineClosed)?;
+                for (i, p) in group {
+                    let decision = system
+                        .handle_request(p)
+                        .expect("shard systems are bootstrapped at engine start");
+                    if let Some(wal) = &slot.wal {
+                        wal.lock()
+                            .expect("wal not poisoned")
+                            .record(EventKind::RequestAdmitted { x: p.x, y: p.y });
+                    }
+                    let latency_ns = elapsed_ns(arrival);
+                    state.latency.record_ns(latency_ns);
+                    if let Some(t) = state.telemetry.as_mut() {
+                        t.on_decision(system, &decision, latency_ns, None);
+                    }
+                    out[i] = Some(EngineDecision::Served { shard, decision });
+                }
+                slot.view
+                    .publish(&system.decision_view().expect("bootstrapped system"));
             }
-            slot.view
-                .publish(&system.decision_view().expect("bootstrapped system"));
         }
-        for (shard, reply_rx, idxs) in pending {
-            let decisions = reply_rx.recv().map_err(|_| EngineClosed)?;
-            debug_assert_eq!(decisions.len(), idxs.len());
-            for (i, decision) in idxs.into_iter().zip(decisions) {
-                out[i] = Some(EngineDecision::Served { shard, decision });
+        for (shard, reply_rx, group) in pending {
+            match reply_rx.recv() {
+                Ok(decisions) => {
+                    debug_assert_eq!(decisions.len(), group.len());
+                    for ((i, _), decision) in group.into_iter().zip(decisions) {
+                        out[i] = Some(EngineDecision::Served { shard, decision });
+                    }
+                }
+                Err(_) => {
+                    if self.closed.load(Ordering::Acquire) {
+                        return Err(EngineClosed);
+                    }
+                    resubmit.extend(group);
+                }
             }
+        }
+        for (i, p) in resubmit {
+            out[i] = Some(self.submit(p)?);
         }
         Ok(out
             .into_iter()
@@ -489,51 +685,77 @@ impl EngineShared {
     }
 
     /// Fire-and-forget admission; see [`Engine::submit_nowait`].
-    fn submit_nowait(&self, destination: Point) -> Result<Admission, EngineClosed> {
-        let shard = self.map.shard_of(destination);
-        let slot = &self.shards[shard];
-        match &slot.lane {
-            ShardLane::Fast { .. } => {
-                // The fast path's decision is synchronous either way; the
-                // caller merely discards it. Admission is still decided
-                // by the downstream ring.
-                match self.serve_fast(shard, destination)? {
-                    EngineDecision::Served { .. } => Ok(Admission::Accepted { shard }),
-                    EngineDecision::Degraded { .. } => Ok(Admission::Shed { shard }),
-                }
+    pub(crate) fn submit_nowait(&self, destination: Point) -> Result<Admission, EngineClosed> {
+        loop {
+            if self.closed.load(Ordering::Acquire) {
+                return Err(EngineClosed);
             }
-            ShardLane::Mailbox { tx, inflight } => {
-                inflight.fetch_add(1, Ordering::Relaxed);
-                match tx.try_send(Command::Request {
-                    destination,
-                    reply: None,
-                    arrival: Instant::now(),
-                }) {
-                    Ok(()) => Ok(Admission::Accepted { shard }),
-                    Err(TrySendError::Full(_)) => {
-                        let prev = inflight.fetch_sub(1, Ordering::Relaxed);
-                        self.note_shed(shard, 1, prev.saturating_sub(1));
-                        Ok(Admission::Shed { shard })
+            let table = self.table();
+            let shard = table.map.shard_of(destination);
+            let slot = &table.shards[shard];
+            match &slot.lane {
+                ShardLane::Fast { .. } => {
+                    // The fast path's decision is synchronous either way; the
+                    // caller merely discards it. Admission is still decided
+                    // by the downstream ring.
+                    match self.serve_fast(slot, shard, destination)? {
+                        FastServe::Done(EngineDecision::Served { .. }) => {
+                            return Ok(Admission::Accepted { shard })
+                        }
+                        FastServe::Done(EngineDecision::Degraded { .. }) => {
+                            return Ok(Admission::Shed { shard })
+                        }
+                        FastServe::Moved => {
+                            std::thread::yield_now();
+                            continue;
+                        }
                     }
-                    Err(TrySendError::Disconnected(_)) => {
-                        inflight.fetch_sub(1, Ordering::Relaxed);
-                        Err(EngineClosed)
+                }
+                ShardLane::Mailbox { tx, inflight } => {
+                    inflight.fetch_add(1, Ordering::Relaxed);
+                    match tx.try_send(Command::Request {
+                        destination,
+                        reply: None,
+                        arrival: Instant::now(),
+                    }) {
+                        Ok(()) => return Ok(Admission::Accepted { shard }),
+                        Err(TrySendError::Full(_)) => {
+                            let prev = inflight.fetch_sub(1, Ordering::Relaxed);
+                            self.note_shed(slot, 1, prev.saturating_sub(1));
+                            return Ok(Admission::Shed { shard });
+                        }
+                        Err(TrySendError::Disconnected(_)) => {
+                            inflight.fetch_sub(1, Ordering::Relaxed);
+                            if self.closed.load(Ordering::Acquire) {
+                                return Err(EngineClosed);
+                            }
+                            std::thread::yield_now();
+                            continue;
+                        }
                     }
+                }
+                ShardLane::Dead => {
+                    self.note_shed(slot, 1, 0);
+                    return Ok(Admission::Shed { shard });
                 }
             }
         }
     }
 
     /// The last-published [`DecisionView`] of `shard`, or `None` before
-    /// its first fast-path decision (the mailbox lane never publishes).
-    fn decision_view(&self, shard: usize) -> Option<DecisionView> {
-        self.shards[shard].view.read()
+    /// its first fast-path decision, on a dead slot, or after shutdown.
+    pub(crate) fn decision_view(&self, shard: usize) -> Option<DecisionView> {
+        if self.closed.load(Ordering::Acquire) {
+            return None;
+        }
+        self.table().shards[shard].view.read()
     }
 
     /// Probes every shard — through the seat on fast lanes, through the
     /// mailbox on fallback lanes — and merges the parts. See
-    /// [`Engine::snapshot`].
-    fn snapshot(&self) -> Result<EngineSnapshot, EngineClosed> {
+    /// [`Engine::snapshot`]. Restarts on a fresh table if a lifecycle
+    /// operation moves a shard mid-probe.
+    pub(crate) fn snapshot(&self) -> Result<EngineSnapshot, EngineClosed> {
         // Snapshot probes are serialized per thread, so the mailbox reply
         // channel is provably empty between calls — reuse one per thread
         // instead of allocating `bounded(1)` per probe (satellite of the
@@ -541,73 +763,120 @@ impl EngineShared {
         thread_local! {
             static PROBE_REPLY: (Sender<WorkerState>, Receiver<WorkerState>) = bounded(1);
         }
-        let mut shards = Vec::with_capacity(self.shards.len());
-        let mut batches: Vec<(Option<usize>, Vec<Event>)> = Vec::new();
-        let mut journals_dropped = 0u64;
-        for (i, slot) in self.shards.iter().enumerate() {
-            let state = match &slot.lane {
-                ShardLane::Fast { seat, .. } => {
-                    let mut seat = seat.lock().expect("seat not poisoned");
-                    let state = &mut *seat;
-                    let system = state.system.as_mut().ok_or(EngineClosed)?;
-                    let probe = state.telemetry.as_mut().map(|t| {
-                        // Tier-2 maintenance runs outside the request
-                        // path; reconcile its dispatch counter at probe
-                        // time.
-                        t.observe_maintenance(system.metrics());
-                        t.probe()
-                    });
-                    WorkerState {
-                        server: ServerSnapshot {
-                            stations: system.stations(),
-                            placement: system.metrics().placement,
-                            requests_served: system.metrics().requests_served,
-                            latency: state.latency.clone(),
-                        },
-                        metrics: *system.metrics(),
-                        last_similarity: system.last_similarity(),
-                        telemetry: probe,
+        'attempt: loop {
+            if self.closed.load(Ordering::Acquire) {
+                return Err(EngineClosed);
+            }
+            let table = self.table();
+            let mut shards = Vec::with_capacity(table.shards.len());
+            let mut batches: Vec<(Option<usize>, Vec<Event>)> = Vec::new();
+            let mut journals_dropped = 0u64;
+            for (i, slot) in table.shards.iter().enumerate() {
+                let state = match &slot.lane {
+                    ShardLane::Fast { seat, .. } => {
+                        let mut seat = seat.lock().expect("seat not poisoned");
+                        let state = &mut *seat;
+                        if state.moved {
+                            std::thread::yield_now();
+                            continue 'attempt;
+                        }
+                        let system = state.system.as_mut().ok_or(EngineClosed)?;
+                        let probe = state.telemetry.as_mut().map(|t| {
+                            // Tier-2 maintenance runs outside the request
+                            // path; reconcile its dispatch counter at probe
+                            // time.
+                            t.observe_maintenance(system.metrics());
+                            t.probe()
+                        });
+                        WorkerState {
+                            server: ServerSnapshot {
+                                stations: system.stations(),
+                                placement: system.metrics().placement,
+                                requests_served: system.metrics().requests_served,
+                                latency: state.latency.clone(),
+                            },
+                            metrics: *system.metrics(),
+                            last_similarity: system.last_similarity(),
+                            telemetry: probe,
+                        }
                     }
+                    ShardLane::Mailbox { tx, .. } => {
+                        let probed = PROBE_REPLY.with(|(reply_tx, reply_rx)| {
+                            tx.send(Command::Snapshot {
+                                reply: reply_tx.clone(),
+                            })
+                            .ok()?;
+                            reply_rx.recv().ok()
+                        });
+                        match probed {
+                            Some(state) => state,
+                            None => {
+                                if self.closed.load(Ordering::Acquire) {
+                                    return Err(EngineClosed);
+                                }
+                                // Lifecycle kill between table load and
+                                // probe: retry on the fresh table.
+                                std::thread::yield_now();
+                                continue 'attempt;
+                            }
+                        }
+                    }
+                    // A dead shard reports zeros (its durable state lives
+                    // in the stored checkpoint + WAL) plus the carried
+                    // router-side counters below.
+                    ShardLane::Dead => WorkerState {
+                        server: ServerSnapshot {
+                            stations: Vec::new(),
+                            placement: esharing_placement::PlacementCost::ZERO,
+                            requests_served: 0,
+                            latency: LatencyHistogram::new(),
+                        },
+                        metrics: SystemMetrics::default(),
+                        last_similarity: None,
+                        telemetry: None,
+                    },
+                };
+                let probe = state.telemetry.unwrap_or_else(TelemetryProbe::empty);
+                journals_dropped += probe.events_dropped;
+                if !probe.events.is_empty() {
+                    batches.push((Some(i), probe.events));
                 }
-                ShardLane::Mailbox { tx, .. } => PROBE_REPLY.with(|(reply_tx, reply_rx)| {
-                    tx.send(Command::Snapshot {
-                        reply: reply_tx.clone(),
-                    })
-                    .map_err(|_| EngineClosed)?;
-                    reply_rx.recv().map_err(|_| EngineClosed)
-                })?,
-            };
-            let probe = state.telemetry.unwrap_or_else(TelemetryProbe::empty);
-            journals_dropped += probe.events_dropped;
-            if !probe.events.is_empty() {
-                batches.push((Some(i), probe.events));
+                shards.push(ShardSnapshot {
+                    shard: i,
+                    anchor: table.map.anchor(i),
+                    server: state.server,
+                    metrics: state.metrics,
+                    last_similarity: state.last_similarity,
+                    shed: slot.shed.load(Ordering::Relaxed),
+                    last_shed_depth: slot.last_shed_depth.load(Ordering::Relaxed),
+                    pending_downstream: slot.pending(),
+                    registry: probe.registry,
+                });
             }
-            shards.push(ShardSnapshot {
-                shard: i,
-                anchor: self.map.anchor(i),
-                server: state.server,
-                metrics: state.metrics,
-                last_similarity: state.last_similarity,
-                shed: slot.shed.load(Ordering::Relaxed),
-                last_shed_depth: slot.last_shed_depth.load(Ordering::Relaxed),
-                pending_downstream: slot.pending(),
-                registry: probe.registry,
-            });
-        }
-        {
-            let mut journal = self.shed_journal.lock().expect("shed journal not poisoned");
-            journals_dropped += journal.dropped();
-            let drained = journal.drain();
-            if !drained.is_empty() {
-                batches.push((None, drained));
+            {
+                let mut journal = self.shed_journal.lock().expect("shed journal not poisoned");
+                journals_dropped += journal.dropped();
+                let drained = journal.drain();
+                if !drained.is_empty() {
+                    batches.push((None, drained));
+                }
             }
+            let mut snap = EngineSnapshot::from_shards(shards);
+            snap.shards_active = table.shards.iter().filter(|s| s.alive()).count();
+            snap.lifecycle = self.ops.totals();
+            if self.telemetry_enabled {
+                snap.registry
+                    .merge_from(&crate::aggregate::lifecycle_registry(
+                        snap.shards_active as u64,
+                        &snap.lifecycle,
+                    ));
+            }
+            let mut log = self.events.lock().expect("event log not poisoned");
+            log.absorb(batches);
+            snap.events = log.records().to_vec();
+            snap.events_dropped = journals_dropped + log.dropped();
+            return Ok(snap);
         }
-        let mut snap = EngineSnapshot::from_shards(shards);
-        let mut log = self.events.lock().expect("event log not poisoned");
-        log.absorb(batches);
-        snap.events = log.records().to_vec();
-        snap.events_dropped = journals_dropped + log.dropped();
-        Ok(snap)
     }
 }
 
@@ -618,6 +887,13 @@ impl EngineShared {
 /// routes live destinations to their zone's worker over bounded mailboxes.
 /// All methods take `&self`, so any number of client threads can share one
 /// engine reference.
+///
+/// With [`EngineConfig::lifecycle`] enabled the shard set is *elastic*:
+/// shards checkpoint their full decision state, journal admitted requests
+/// to a write-ahead log, and can be split, merged, killed, and recovered
+/// live — see the lifecycle methods ([`Engine::split_shard`],
+/// [`Engine::merge_shards`], [`Engine::kill_shard`],
+/// [`Engine::recover_shard`], [`Engine::lifecycle_tick`]).
 ///
 /// # Examples
 ///
@@ -643,12 +919,11 @@ impl EngineShared {
 /// let _systems = engine.shutdown();
 /// ```
 pub struct Engine {
-    shared: Arc<EngineShared>,
-    workers: Vec<Option<WorkerHandle>>,
+    pub(crate) shared: Arc<EngineShared>,
 }
 
 /// Per-shard worker thread handle, matching the shard's [`ShardLane`].
-enum WorkerHandle {
+pub(crate) enum WorkerHandle {
     /// Mailbox worker: owns its system and returns it at shutdown.
     Mailbox(JoinHandle<ESharing>),
     /// Fast-path drain worker: paces the emulated downstream ring; the
@@ -657,6 +932,80 @@ enum WorkerHandle {
         handle: JoinHandle<()>,
         stop: Arc<AtomicBool>,
     },
+}
+
+/// Everything needed to bring one shard slot online: the (restored or
+/// freshly bootstrapped) system plus the counters and durability state it
+/// carries over from a previous incarnation.
+pub(crate) struct SlotSpec {
+    pub(crate) system: ESharing,
+    pub(crate) latency: LatencyHistogram,
+    pub(crate) landmarks: Vec<Point>,
+    pub(crate) shed: u64,
+    pub(crate) last_shed_depth: u64,
+    pub(crate) wal: Option<Arc<Mutex<EventJournal>>>,
+    pub(crate) checkpoint: Option<Vec<u8>>,
+    pub(crate) wal_high_water: u64,
+}
+
+/// Builds a live slot for `spec` per the configured decision path,
+/// spawning its worker thread.
+pub(crate) fn spawn_slot(cfg: &EngineConfig, epoch: Instant, spec: SlotSpec) -> Arc<ShardSlot> {
+    let telemetry = cfg
+        .telemetry
+        .enabled
+        .then(|| WorkerTelemetry::new(&cfg.telemetry, epoch));
+    let (lane, worker) = match cfg.decision_path {
+        DecisionPath::SyncShared => {
+            let ring = Arc::new(DownstreamRing::new(cfg.queue_capacity));
+            let stop = Arc::new(AtomicBool::new(false));
+            let handle = shard::spawn_fast(
+                Arc::clone(&ring),
+                Arc::clone(&stop),
+                cfg.service_delay,
+                epoch,
+            );
+            let lane = ShardLane::Fast {
+                ring,
+                seat: Mutex::new(Box::new(SeatState {
+                    system: Some(spec.system),
+                    telemetry,
+                    latency: spec.latency,
+                    moved: false,
+                })),
+                trace_tick: AtomicU64::new(0),
+            };
+            (lane, WorkerHandle::Fast { handle, stop })
+        }
+        DecisionPath::Mailbox => {
+            let (tx, rx) = bounded::<Command>(cfg.queue_capacity);
+            let inflight = Arc::new(AtomicU64::new(0));
+            let handle = shard::spawn(
+                spec.system,
+                rx,
+                cfg.service_delay,
+                telemetry,
+                Arc::clone(&inflight),
+                spec.wal.clone(),
+                spec.latency,
+            );
+            (
+                ShardLane::Mailbox { tx, inflight },
+                WorkerHandle::Mailbox(handle),
+            )
+        }
+    };
+    Arc::new(ShardSlot {
+        lane,
+        landmarks: spec.landmarks,
+        shed: AtomicU64::new(spec.shed),
+        last_shed_depth: AtomicU64::new(spec.last_shed_depth),
+        view: DecisionViewCell::new(),
+        wal: spec.wal,
+        checkpoint: Mutex::new(spec.checkpoint),
+        wal_high_water: AtomicU64::new(spec.wal_high_water),
+        worker: Mutex::new(Some(worker)),
+    })
 }
 
 impl Engine {
@@ -682,7 +1031,6 @@ impl Engine {
             parts[map.shard_of(p)].push(p);
         }
         let mut slots = Vec::with_capacity(shard_count);
-        let mut workers = Vec::with_capacity(shard_count);
         for (i, mut part) in parts.into_iter().enumerate() {
             if part.len() < cfg.min_shard_history {
                 part = nearest_points(history, map.anchor(i), cfg.min_shard_history);
@@ -693,60 +1041,38 @@ impl Engine {
             let mut system = ESharing::new(system_cfg);
             system.bootstrap(&part);
             let landmarks = system.landmarks().to_vec();
-            let telemetry = cfg
-                .telemetry
-                .enabled
-                .then(|| WorkerTelemetry::new(&cfg.telemetry, epoch));
-            let (lane, worker) = match cfg.decision_path {
-                DecisionPath::SyncShared => {
-                    let ring = Arc::new(DownstreamRing::new(cfg.queue_capacity));
-                    let stop = Arc::new(AtomicBool::new(false));
-                    let handle = shard::spawn_fast(
-                        Arc::clone(&ring),
-                        Arc::clone(&stop),
-                        cfg.service_delay,
-                        epoch,
-                    );
-                    let lane = ShardLane::Fast {
-                        ring,
-                        seat: Mutex::new(Box::new(SeatState {
-                            system: Some(system),
-                            telemetry,
-                            latency: LatencyHistogram::new(),
-                        })),
-                        trace_tick: AtomicU64::new(0),
-                    };
-                    (lane, WorkerHandle::Fast { handle, stop })
-                }
-                DecisionPath::Mailbox => {
-                    let (tx, rx) = bounded::<Command>(cfg.queue_capacity);
-                    let inflight = Arc::new(AtomicU64::new(0));
-                    let handle = shard::spawn(
-                        system,
-                        rx,
-                        cfg.service_delay,
-                        telemetry,
-                        Arc::clone(&inflight),
-                    );
-                    (
-                        ShardLane::Mailbox { tx, inflight },
-                        WorkerHandle::Mailbox(handle),
-                    )
-                }
+            // With the lifecycle enabled every shard starts durable: a
+            // fresh WAL plus an immediate checkpoint, so a kill at *any*
+            // later point can recover by replaying the full WAL suffix.
+            let (wal, checkpoint) = if cfg.lifecycle.enabled {
+                let wal = Arc::new(Mutex::new(EventJournal::new(
+                    cfg.lifecycle.wal_capacity,
+                    epoch,
+                )));
+                let initial = encode_checkpoint(&system, &LatencyHistogram::new(), 0);
+                (Some(wal), initial)
+            } else {
+                (None, None)
             };
-            slots.push(ShardSlot {
-                lane,
-                landmarks,
-                shed: AtomicU64::new(0),
-                last_shed_depth: AtomicU64::new(0),
-                view: DecisionViewCell::new(),
-            });
-            workers.push(Some(worker));
+            slots.push(spawn_slot(
+                &cfg,
+                epoch,
+                SlotSpec {
+                    system,
+                    latency: LatencyHistogram::new(),
+                    landmarks,
+                    shed: 0,
+                    last_shed_depth: 0,
+                    wal,
+                    checkpoint,
+                    wal_high_water: 0,
+                },
+            ));
         }
         let sample_period = u64::from(cfg.telemetry.sample_period()).max(1);
         let shared = Arc::new(EngineShared {
-            map,
-            shards: slots,
+            table: Mutex::new(Arc::new(RouterTable { map, shards: slots })),
+            closed: AtomicBool::new(false),
             telemetry_enabled: cfg.telemetry.enabled,
             sample_period,
             epoch,
@@ -754,8 +1080,11 @@ impl Engine {
             events: Mutex::new(EventLog::new(
                 cfg.telemetry.journal_capacity * (shard_count + 1),
             )),
+            gate: Mutex::new(PolicyState::default()),
+            ops: OpCounters::default(),
+            cfg,
         });
-        Engine { shared, workers }
+        Engine { shared }
     }
 
     fn build_map(history: &[Point], cfg: &EngineConfig) -> ShardMap {
@@ -782,14 +1111,16 @@ impl Engine {
         }
     }
 
-    /// The destination → shard map in force.
-    pub fn map(&self) -> &ShardMap {
-        &self.shared.map
+    /// The destination → shard map in force at call time. Owned, because
+    /// lifecycle operations swap the live table: the returned map is a
+    /// consistent snapshot that later splits/merges do not mutate.
+    pub fn map(&self) -> ShardMap {
+        self.shared.table().map.clone()
     }
 
-    /// Realized shard count.
+    /// Realized shard count (dead slots included until recovered).
     pub fn shard_count(&self) -> usize {
-        self.shared.shards.len()
+        self.shared.table().shards.len()
     }
 
     /// Submits a destination and waits for the decision. Never blocks on
@@ -799,7 +1130,10 @@ impl Engine {
     ///
     /// On the default [`DecisionPath::SyncShared`] the decision is
     /// computed **inline on the calling thread** under the shard's seat —
-    /// no thread handoff, no reply channel.
+    /// no thread handoff, no reply channel. If a lifecycle operation
+    /// (split/merge/kill) retires the shard mid-flight the submit
+    /// transparently reroutes through the new table; requests are never
+    /// dropped by an elastic transition.
     ///
     /// # Errors
     ///
@@ -853,8 +1187,9 @@ impl Engine {
 
     /// The last [`DecisionView`] `shard` published through its seqlock
     /// cell — a lock-free monitoring read that never touches the seat.
-    /// `None` until the shard's first fast-path decision (the mailbox
-    /// fallback never publishes).
+    /// `None` until the shard's first fast-path decision, while the shard
+    /// is dead, or after the engine shut down (the mailbox fallback never
+    /// publishes).
     ///
     /// # Panics
     ///
@@ -869,12 +1204,15 @@ impl Engine {
     ///
     /// Panics if `shard` is out of range.
     pub fn shed(&self, shard: usize) -> u64 {
-        self.shared.shards[shard].shed.load(Ordering::Relaxed)
+        self.shared.table().shards[shard]
+            .shed
+            .load(Ordering::Relaxed)
     }
 
     /// Requests shed so far across all shards.
     pub fn shed_total(&self) -> u64 {
         self.shared
+            .table()
             .shards
             .iter()
             .map(|s| s.shed.load(Ordering::Relaxed))
@@ -921,47 +1259,60 @@ impl Engine {
     }
 
     /// Stops every worker and returns the final per-shard systems, in
-    /// shard order.
+    /// shard order. Dead (killed, unrecovered) shards contribute nothing;
+    /// their durable state remains in their checkpoints.
     ///
     /// # Panics
     ///
     /// Panics if a worker thread panicked.
-    pub fn shutdown(mut self) -> Vec<ESharing> {
-        self.workers
-            .iter_mut()
-            .zip(&self.shared.shards)
-            .map(|(worker, slot)| {
-                let worker = worker.take().expect("worker present until shutdown");
-                match (worker, &slot.lane) {
-                    (WorkerHandle::Mailbox(handle), ShardLane::Mailbox { tx, .. }) => {
-                        let _ = tx.send(Command::Shutdown);
-                        handle.join().expect("shard worker must not panic")
-                    }
-                    (WorkerHandle::Fast { handle, stop }, ShardLane::Fast { seat, .. }) => {
-                        // The drain worker exits once the ring is empty,
-                        // so joining it first guarantees every accepted
-                        // request's downstream fetch completed.
-                        stop.store(true, Ordering::Release);
-                        handle.join().expect("shard drain worker must not panic");
-                        // Taking the system out of the seat is what makes
-                        // later submits observe `EngineClosed`.
+    pub fn shutdown(self) -> Vec<ESharing> {
+        self.shared.closed.store(true, Ordering::Release);
+        // Waits for any in-flight lifecycle operation, and blocks new
+        // ones (they check `closed` under this gate).
+        let _gate = self.shared.gate.lock();
+        let table = self.shared.table();
+        let mut out = Vec::with_capacity(table.shards.len());
+        for slot in &table.shards {
+            let worker = slot.worker.lock().expect("worker slot not poisoned").take();
+            match (worker, &slot.lane) {
+                (Some(WorkerHandle::Mailbox(handle)), ShardLane::Mailbox { tx, .. }) => {
+                    let _ = tx.send(Command::Shutdown);
+                    out.push(handle.join().expect("shard worker must not panic"));
+                }
+                (Some(WorkerHandle::Fast { handle, stop }), ShardLane::Fast { seat, .. }) => {
+                    // The drain worker exits once the ring is empty,
+                    // so joining it first guarantees every accepted
+                    // request's downstream fetch completed.
+                    stop.store(true, Ordering::Release);
+                    handle.join().expect("shard drain worker must not panic");
+                    // Taking the system out of the seat closes the seat
+                    // for shared handles already past the closed check.
+                    out.push(
                         seat.lock()
                             .expect("seat not poisoned")
                             .system
                             .take()
-                            .expect("system present until shutdown")
-                    }
-                    _ => unreachable!("worker handle kind always matches its lane"),
+                            .expect("system present until shutdown"),
+                    );
                 }
-            })
-            .collect()
+                (None, ShardLane::Dead) => {}
+                _ => unreachable!("worker handle kind always matches its lane"),
+            }
+        }
+        out
     }
 }
 
 impl Drop for Engine {
     fn drop(&mut self) {
-        for (worker, slot) in self.workers.iter_mut().zip(&self.shared.shards) {
-            match (worker.take(), &slot.lane) {
+        self.shared.closed.store(true, Ordering::Release);
+        // Hold the gate if possible (ignore poisoning — drop must not
+        // panic) so no lifecycle operation races the teardown.
+        let _gate = self.shared.gate.lock();
+        let table = self.shared.table();
+        for slot in &table.shards {
+            let worker = slot.worker.lock().ok().and_then(|mut w| w.take());
+            match (worker, &slot.lane) {
                 (Some(WorkerHandle::Mailbox(handle)), ShardLane::Mailbox { tx, .. }) => {
                     let _ = tx.send(Command::Shutdown);
                     let _ = handle.join();
@@ -983,9 +1334,10 @@ impl Drop for Engine {
 
 impl fmt::Debug for Engine {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let table = self.shared.table();
         f.debug_struct("Engine")
-            .field("shards", &self.shared.shards.len())
-            .field("map", &self.shared.map)
+            .field("shards", &table.shards.len())
+            .field("map", &table.map)
             .field("shed_total", &self.shed_total())
             .finish()
     }
@@ -1029,7 +1381,7 @@ fn nearest_points(history: &[Point], anchor: Point, count: usize) -> Vec<Point> 
 
 /// Nearest offline landmark to `destination` (landmark sets are small and
 /// immutable, so a linear scan beats an index here).
-fn nearest_landmark(landmarks: &[Point], destination: Point) -> Point {
+pub(crate) fn nearest_landmark(landmarks: &[Point], destination: Point) -> Point {
     let mut best = landmarks[0];
     let mut best_d = f64::INFINITY;
     for &l in landmarks {
@@ -1083,9 +1435,17 @@ mod tests {
         let snap = engine.snapshot().unwrap();
         assert_eq!(snap.metrics.requests_served, 200);
         assert_eq!(snap.shed_total, 0);
+        assert_eq!(snap.shards_active, 4);
         // Telemetry rides along: the scraped decision counter equals the
         // fleet metric total exactly (counters are unsampled).
         assert_eq!(snap.registry.counter_total("esharing_decisions_total"), 200);
+        // The lifecycle families are exported even while the subsystem is
+        // disabled, so dashboards need no conditional wiring.
+        assert_eq!(snap.registry.gauge("esharing_shards_active"), Some(4.0));
+        assert_eq!(
+            snap.registry.counter_total("esharing_lifecycle_ops_total"),
+            0
+        );
         let systems = engine.shutdown();
         assert_eq!(systems.len(), 4);
         let served: u64 = systems.iter().map(|s| s.metrics().requests_served).sum();
@@ -1104,9 +1464,10 @@ mod tests {
         );
         // Landmark-derived anchors must split the four clusters apart.
         assert!(engine.shard_count() >= 2);
+        let map = engine.map();
         let shards: Vec<usize> = clustered_history()
             .iter()
-            .map(|&p| engine.map().shard_of(p))
+            .map(|&p| map.shard_of(p))
             .collect();
         let mut counts = vec![0usize; engine.shard_count()];
         for &s in &shards {
@@ -1142,7 +1503,13 @@ mod tests {
     }
 
     #[test]
-    fn submit_after_shutdown_reports_closed() {
+    fn every_entry_point_reports_closed_after_shutdown() {
+        // The post-shutdown audit: submit, submit_batch, submit_nowait,
+        // decision_view, and telemetry scrapes must all return clean
+        // errors — no panic, no hang, no stale data — on both decision
+        // paths, and must keep doing so long past `queue_capacity` calls
+        // (a closed fast lane must not leak downstream-ring slots into a
+        // `Degraded` verdict).
         for path in [DecisionPath::SyncShared, DecisionPath::Mailbox] {
             let history = clustered_history();
             let engine = Engine::start(
@@ -1151,21 +1518,36 @@ mod tests {
                     shards: 2,
                     partition: Partition::UniformGrid,
                     decision_path: path,
+                    queue_capacity: 4,
                     ..EngineConfig::default()
                 },
             );
+            engine.submit(Point::new(300.0, 300.0)).unwrap();
+            assert!(engine.decision_view(0).is_some() || path == DecisionPath::Mailbox);
             // A second handle onto the shared router state (this is what a
             // scrape source holds). After shutdown every entry point must
             // report closed rather than panic or hang.
             let shared = Arc::clone(&engine.shared);
+            let scrape = engine.scrape_source();
             let _ = engine.shutdown();
-            assert_eq!(shared.submit(Point::ORIGIN), Err(EngineClosed), "{path:?}");
+            for _ in 0..16 {
+                // > queue_capacity iterations: exhausting a leaked ring
+                // would surface here as a Degraded instead of the error.
+                assert_eq!(shared.submit(Point::ORIGIN), Err(EngineClosed), "{path:?}");
+                assert_eq!(
+                    shared.submit_nowait(Point::ORIGIN),
+                    Err(EngineClosed),
+                    "{path:?}"
+                );
+            }
             assert_eq!(
-                shared.submit_nowait(Point::ORIGIN),
+                shared.submit_batch(&[Point::ORIGIN, Point::new(1900.0, 1900.0)]),
                 Err(EngineClosed),
                 "{path:?}"
             );
+            assert_eq!(shared.decision_view(0), None, "{path:?}");
             assert!(shared.snapshot().is_err(), "{path:?}");
+            assert!(scrape.scrape().is_none(), "{path:?} scrape must 503");
         }
     }
 

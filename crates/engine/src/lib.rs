@@ -36,7 +36,15 @@
 //!   registry and event journal (`esharing-telemetry`), the aggregator
 //!   merges them fleet-wide, and [`Engine::serve_telemetry`] exposes the
 //!   live run over HTTP (`/metrics` Prometheus text, `/metrics.json`,
-//!   `/events`) — scrapeable mid-flight.
+//!   `/events`) — scrapeable mid-flight;
+//! * with [`LifecycleConfig`] enabled the shard set is **elastic**: shards
+//!   checkpoint their full decision state ([`ShardCheckpoint`]), journal
+//!   admitted requests to a per-shard write-ahead log, split under load /
+//!   merge when idle (zones bisected or retargeted live, router table
+//!   swapped atomically, in-flight requests rerouted — never dropped), and
+//!   recover from a kill by checkpoint restore + WAL-suffix replay,
+//!   reconverging bit-identically with an unkilled run (see the
+//!   [`lifecycle`](crate::lifecycle) module).
 //!
 //! Per-zone semantics are unchanged: each shard runs the paper's
 //! Algorithm 2 verbatim on its zone's stream, and an engine with a single
@@ -47,17 +55,21 @@
 #![warn(missing_docs)]
 
 mod aggregate;
+mod checkpoint;
 mod engine;
 mod fastpath;
+pub mod lifecycle;
 pub mod replay;
 mod shard;
 mod shard_map;
 
 pub use aggregate::{merge_server_snapshots, EngineSnapshot, ShardSnapshot};
+pub use checkpoint::{CheckpointError, ShardCheckpoint};
 pub use engine::{
     Admission, DecisionPath, Engine, EngineClosed, EngineConfig, EngineDecision,
     EngineScrapeSource, Partition,
 };
 pub use esharing_telemetry::{http_get, MetricsServer, TelemetryConfig};
+pub use lifecycle::{LifecycleAction, LifecycleConfig, LifecycleError, LifecycleOps};
 pub use replay::{LatencySummary, ReplayConfig, ReplayReport, RequestSink, SinkOutcome};
-pub use shard_map::ShardMap;
+pub use shard_map::{Axis, ShardMap, ZoneNode};

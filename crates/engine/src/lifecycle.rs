@@ -1,0 +1,1087 @@
+//! Elastic shard lifecycle: live split/merge, checkpointing, and
+//! journal-replay failover.
+//!
+//! With [`LifecycleConfig::enabled`] the engine's shard set stops being
+//! fixed at start time:
+//!
+//! * every shard journals each admitted request to a bounded per-shard
+//!   **write-ahead log** and periodically stores an encoded
+//!   [`ShardCheckpoint`](crate::ShardCheckpoint) of its full decision
+//!   state;
+//! * a hot shard can be **split** live — its zone bisected at the median
+//!   of observed demand, its stations/window/history partitioned by point
+//!   membership, a new seat and drain ring spawned, and the router table
+//!   swapped atomically — without dropping or reordering in-flight
+//!   requests;
+//! * two cold shards can be **merged** the same way;
+//! * a **killed** shard keeps serving degraded (offline-landmark
+//!   fallbacks) from a dead slot until [`Engine::recover_shard`] restores
+//!   the last checkpoint and replays the WAL suffix past its high-water
+//!   sequence, reconverging **bit-identically** with a shard that was
+//!   never killed.
+//!
+//! The split/merge/kill commit protocol is the *moved-seat* handshake: the
+//! operation locks the retiring seat(s), flips `moved`, takes the system
+//! out, and swaps the router table while still holding the seat. Any
+//! submitter blocked on that seat wakes, observes `moved`, and transparently
+//! re-routes through the new table — the request is served by whichever
+//! shard now owns its destination, never dropped. All lifecycle operations
+//! serialize on one gate mutex, and the lock order is always
+//! gate → seat(s) in index order → router table (held only for the swap),
+//! so there is no hold-and-wait cycle with the submit paths (which take
+//! the table briefly, release it, then take one seat).
+//!
+//! [`Engine::lifecycle_tick`] is the policy pump: callers (a bench driver,
+//! an operations loop) invoke it at their own cadence; it auto-checkpoints
+//! shards whose WAL ran `checkpoint_every` entries past the last image and
+//! applies hysteresis-filtered split/merge decisions from shed deltas and
+//! the `pending_downstream` occupancy gauge. There is no background
+//! thread: the tick is deterministic and test-drivable.
+
+use crate::checkpoint::{encode_checkpoint, ShardCheckpoint};
+use crate::engine::{
+    spawn_slot, DecisionPath, Engine, EngineShared, RouterTable, ShardLane, ShardSlot, SlotSpec,
+    WorkerHandle,
+};
+use crate::fastpath::DecisionViewCell;
+use crate::shard::Command;
+use crate::shard_map::Axis;
+use crossbeam::channel::bounded;
+use esharing_core::{ESharing, SystemCheckpoint, SystemMetrics};
+use esharing_geo::Point;
+use esharing_placement::online::DeviationCheckpoint;
+use esharing_telemetry::{EventJournal, EventKind};
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Elastic-lifecycle knobs; a field of
+/// [`EngineConfig`](crate::EngineConfig).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LifecycleConfig {
+    /// Master switch. Disabled (the default), shards carry no WAL, no
+    /// checkpoints are taken, and every lifecycle control method returns
+    /// [`LifecycleError::LifecycleDisabled`]; the request path is exactly
+    /// the static engine's.
+    pub enabled: bool,
+    /// A shard whose pending-downstream occupancy reaches this fraction
+    /// of [`queue_capacity`](crate::EngineConfig::queue_capacity) (or
+    /// that shed since the previous tick) counts as *hot*; after
+    /// [`hysteresis_ticks`](LifecycleConfig::hysteresis_ticks) consecutive
+    /// hot ticks the policy splits it.
+    pub split_occupancy: f64,
+    /// A shard at or below this occupancy fraction with no new sheds
+    /// counts as *cold*; two shards cold for
+    /// [`hysteresis_ticks`](LifecycleConfig::hysteresis_ticks) get merged.
+    pub merge_occupancy: f64,
+    /// Consecutive ticks a pressure signal must persist before the policy
+    /// acts on it — the hysteresis that keeps a bursty workload from
+    /// thrashing split/merge.
+    pub hysteresis_ticks: u32,
+    /// Auto-checkpoint cadence: a tick re-checkpoints any shard whose WAL
+    /// has grown this many entries past its stored image.
+    pub checkpoint_every: u64,
+    /// Per-shard WAL capacity in entries (bounded, drop-oldest). Must
+    /// comfortably exceed `checkpoint_every`, or a kill could land after
+    /// the replay suffix was already dropped ([`LifecycleError::WalGap`]).
+    pub wal_capacity: usize,
+    /// The policy never merges below this many shards.
+    pub min_shards: usize,
+    /// The policy never splits above this many shards.
+    pub max_shards: usize,
+}
+
+impl Default for LifecycleConfig {
+    fn default() -> Self {
+        LifecycleConfig {
+            enabled: false,
+            split_occupancy: 0.75,
+            merge_occupancy: 0.05,
+            hysteresis_ticks: 3,
+            checkpoint_every: 1024,
+            wal_capacity: 16384,
+            min_shards: 1,
+            max_shards: 64,
+        }
+    }
+}
+
+impl LifecycleConfig {
+    pub(crate) fn validate(&self) {
+        assert!(
+            self.split_occupancy > 0.0 && self.split_occupancy <= 1.0,
+            "split occupancy must be a fraction in (0, 1]"
+        );
+        assert!(
+            self.merge_occupancy >= 0.0 && self.merge_occupancy < self.split_occupancy,
+            "merge occupancy must be below split occupancy"
+        );
+        assert!(
+            self.hysteresis_ticks >= 1,
+            "hysteresis needs at least one tick"
+        );
+        assert!(
+            self.checkpoint_every >= 1,
+            "checkpoint cadence must be positive"
+        );
+        assert!(
+            self.wal_capacity as u64 >= 2 * self.checkpoint_every,
+            "the WAL must hold at least two checkpoint intervals"
+        );
+        assert!(self.min_shards >= 1, "cannot merge below one shard");
+        assert!(
+            self.max_shards >= self.min_shards,
+            "max shards must be at least min shards"
+        );
+    }
+}
+
+/// Why a lifecycle operation was refused. All refusals are clean: the
+/// engine keeps serving exactly as before.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LifecycleError {
+    /// The engine has shut down.
+    Closed,
+    /// [`LifecycleConfig::enabled`] is off.
+    LifecycleDisabled,
+    /// The shard index is out of range.
+    UnknownShard,
+    /// The operation needs a live shard but this one is killed.
+    ShardDead,
+    /// The operation needs a dead shard (recovery) but this one is live.
+    ShardAlive,
+    /// No stored checkpoint to recover from (or it failed to decode).
+    NoCheckpoint,
+    /// The WAL dropped entries between the checkpoint's high-water mark
+    /// and its oldest surviving entry — the suffix is unreplayable and
+    /// the shard cannot be recovered bit-identically.
+    WalGap,
+    /// The proposed split would leave a child with no landmark stations
+    /// (all observed demand sits on one side of every candidate cut).
+    DegenerateSplit,
+    /// Structural operations (split/merge) are only implemented on the
+    /// [`SyncShared`](crate::DecisionPath::SyncShared) decision path.
+    UnsupportedPath,
+    /// A merge would drop below [`LifecycleConfig::min_shards`].
+    MinShards,
+    /// A split would exceed [`LifecycleConfig::max_shards`].
+    MaxShards,
+    /// The shard's system is not bootstrapped (cannot happen through
+    /// [`Engine::start`]; kept for completeness).
+    NotBootstrapped,
+}
+
+impl fmt::Display for LifecycleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LifecycleError::Closed => write!(f, "the serving engine has shut down"),
+            LifecycleError::LifecycleDisabled => {
+                write!(f, "the shard lifecycle subsystem is disabled")
+            }
+            LifecycleError::UnknownShard => write!(f, "shard index out of range"),
+            LifecycleError::ShardDead => write!(f, "shard is killed and awaiting recovery"),
+            LifecycleError::ShardAlive => write!(f, "shard is alive (recovery needs a kill)"),
+            LifecycleError::NoCheckpoint => write!(f, "no usable checkpoint stored"),
+            LifecycleError::WalGap => {
+                write!(f, "WAL dropped entries past the checkpoint high-water mark")
+            }
+            LifecycleError::DegenerateSplit => {
+                write!(f, "split would leave a child without landmarks")
+            }
+            LifecycleError::UnsupportedPath => {
+                write!(f, "split/merge require the SyncShared decision path")
+            }
+            LifecycleError::MinShards => write!(f, "merge refused: at the minimum shard count"),
+            LifecycleError::MaxShards => write!(f, "split refused: at the maximum shard count"),
+            LifecycleError::NotBootstrapped => write!(f, "shard system is not bootstrapped"),
+        }
+    }
+}
+
+impl Error for LifecycleError {}
+
+/// One action [`Engine::lifecycle_tick`] took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LifecycleAction {
+    /// Re-checkpointed `shard` (its WAL had outrun the cadence).
+    Checkpointed {
+        /// The checkpointed shard.
+        shard: usize,
+    },
+    /// Split a persistently hot shard in two.
+    Split {
+        /// The shard that was split (keeps the low-side half).
+        parent: usize,
+        /// The freshly appended shard serving the high-side half.
+        new_shard: usize,
+    },
+    /// Merged two persistently cold shards.
+    Merged {
+        /// Lower-indexed parent.
+        a: usize,
+        /// Higher-indexed parent (its index is vacated; higher shards
+        /// shift down by one).
+        b: usize,
+        /// Index of the surviving merged shard.
+        into: usize,
+    },
+}
+
+/// Lifetime totals of lifecycle operations, exported on `/metrics` as
+/// `esharing_lifecycle_ops_total{op=...}`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LifecycleOps {
+    /// Completed shard splits.
+    pub splits: u64,
+    /// Completed shard merges.
+    pub merges: u64,
+    /// Completed checkpoint-and-replay recoveries.
+    pub recovers: u64,
+    /// Checkpoints taken (explicit and cadence-driven).
+    pub checkpoints: u64,
+}
+
+/// Atomic backing store for [`LifecycleOps`].
+#[derive(Default)]
+pub(crate) struct OpCounters {
+    splits: AtomicU64,
+    merges: AtomicU64,
+    recovers: AtomicU64,
+    checkpoints: AtomicU64,
+}
+
+impl OpCounters {
+    pub(crate) fn totals(&self) -> LifecycleOps {
+        LifecycleOps {
+            splits: self.splits.load(Ordering::Relaxed),
+            merges: self.merges.load(Ordering::Relaxed),
+            recovers: self.recovers.load(Ordering::Relaxed),
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Hysteresis state of the split/merge policy, living under the lifecycle
+/// gate. Streak vectors are indexed by current shard slot and reset
+/// whenever the shard set changes shape.
+#[derive(Default)]
+pub(crate) struct PolicyState {
+    hot: Vec<u32>,
+    cold: Vec<u32>,
+    prev_shed: Vec<u64>,
+}
+
+/// Splits `pts` into (`coord < cut`, `coord >= cut`) along `axis`,
+/// preserving order within each side — the same membership rule
+/// [`ShardMap`](crate::shard_map::ShardMap) routes by after the split.
+fn partition(pts: &[Point], axis: Axis, cut: f64) -> (Vec<Point>, Vec<Point>) {
+    let mut lo = Vec::new();
+    let mut hi = Vec::new();
+    for &p in pts {
+        if axis.coord(p) < cut {
+            lo.push(p);
+        } else {
+            hi.push(p);
+        }
+    }
+    (lo, hi)
+}
+
+fn centroid(pts: &[Point]) -> Point {
+    let n = pts.len().max(1) as f64;
+    let (sx, sy) = pts.iter().fold((0.0, 0.0), |(x, y), p| (x + p.x, y + p.y));
+    Point::new(sx / n, sy / n)
+}
+
+/// Seed derivation for a shard created at runtime (split's high-side
+/// child): decorrelates from the parent without colliding with the
+/// start-time `seed ^ index` family.
+fn derive_seed(parent: u64, new_index: usize) -> u64 {
+    parent.rotate_left(17) ^ 0x9E37_79B9_7F4A_7C15 ^ new_index as u64
+}
+
+impl EngineShared {
+    /// Takes the lifecycle gate, refusing when disabled or closed. The
+    /// returned guard serializes all lifecycle operations against each
+    /// other and against shutdown.
+    fn lifecycle_gate(&self) -> Result<MutexGuard<'_, PolicyState>, LifecycleError> {
+        if !self.cfg.lifecycle.enabled {
+            return Err(LifecycleError::LifecycleDisabled);
+        }
+        let gate = self.gate.lock().expect("lifecycle gate not poisoned");
+        if self.closed.load(Ordering::Acquire) {
+            return Err(LifecycleError::Closed);
+        }
+        Ok(gate)
+    }
+
+    /// Records a lifecycle transition in the router-side journal (the
+    /// same journal shed events ride; both drain into the fleet event
+    /// log on the next snapshot).
+    fn journal_lifecycle(&self, kind: EventKind) {
+        if self.telemetry_enabled {
+            self.shed_journal
+                .lock()
+                .expect("shed journal not poisoned")
+                .record(kind);
+        }
+    }
+
+    /// A dead replacement slot carrying everything durable the old slot
+    /// owned: fallback landmarks, shed counters, the WAL, and the stored
+    /// checkpoint.
+    fn dead_slot_from(&self, slot: &ShardSlot) -> Arc<ShardSlot> {
+        Arc::new(ShardSlot {
+            lane: ShardLane::Dead,
+            landmarks: slot.landmarks.clone(),
+            shed: AtomicU64::new(slot.shed.load(Ordering::Relaxed)),
+            last_shed_depth: AtomicU64::new(slot.last_shed_depth.load(Ordering::Relaxed)),
+            view: DecisionViewCell::new(),
+            wal: slot.wal.clone(),
+            checkpoint: Mutex::new(
+                slot.checkpoint
+                    .lock()
+                    .expect("checkpoint not poisoned")
+                    .clone(),
+            ),
+            wal_high_water: AtomicU64::new(slot.wal_high_water.load(Ordering::Relaxed)),
+            worker: Mutex::new(None),
+        })
+    }
+
+    /// Checkpoint with the gate held; see [`Engine::checkpoint_shard`].
+    fn checkpoint_shard_locked(&self, shard: usize) -> Result<u64, LifecycleError> {
+        let table = self.table();
+        let slot = table
+            .shards
+            .get(shard)
+            .ok_or(LifecycleError::UnknownShard)?;
+        let (bytes, high_water) = match &slot.lane {
+            ShardLane::Fast { seat, .. } => {
+                // Holding the seat stalls admits, so the WAL head read
+                // here is exactly the state the image captures.
+                let seat = seat.lock().expect("seat not poisoned");
+                let system = seat.system.as_ref().ok_or(LifecycleError::Closed)?;
+                let wal = slot
+                    .wal
+                    .as_ref()
+                    .expect("lifecycle-enabled shards carry a WAL");
+                let high = wal.lock().expect("wal not poisoned").total_recorded();
+                let bytes = encode_checkpoint(system, &seat.latency, high)
+                    .ok_or(LifecycleError::NotBootstrapped)?;
+                (bytes, high)
+            }
+            ShardLane::Mailbox { tx, .. } => {
+                // The worker serializes the image between retires, seeing
+                // the same consistency the seat lock provides above.
+                let (reply_tx, reply_rx) = bounded(1);
+                tx.send(Command::Checkpoint { reply: reply_tx })
+                    .map_err(|_| LifecycleError::Closed)?;
+                reply_rx.recv().map_err(|_| LifecycleError::Closed)?
+            }
+            ShardLane::Dead => return Err(LifecycleError::ShardDead),
+        };
+        *slot.checkpoint.lock().expect("checkpoint not poisoned") = Some(bytes);
+        slot.wal_high_water.store(high_water, Ordering::Release);
+        self.ops.checkpoints.fetch_add(1, Ordering::Relaxed);
+        Ok(high_water)
+    }
+
+    /// Kill with the gate held; see [`Engine::kill_shard`].
+    fn kill_shard_locked(&self, shard: usize) -> Result<(), LifecycleError> {
+        let table = self.table();
+        let slot = table
+            .shards
+            .get(shard)
+            .ok_or(LifecycleError::UnknownShard)?;
+        match &slot.lane {
+            ShardLane::Fast { seat, .. } => {
+                let mut seat_guard = seat.lock().expect("seat not poisoned");
+                if seat_guard.system.is_none() {
+                    return Err(LifecycleError::Closed);
+                }
+                // The kill itself: discard the live state. Recovery must
+                // rebuild it from checkpoint + WAL alone.
+                seat_guard.moved = true;
+                let _ = seat_guard.system.take();
+                let mut shards = table.shards.clone();
+                shards[shard] = self.dead_slot_from(slot);
+                self.swap_table(Arc::new(RouterTable {
+                    map: table.map.clone(),
+                    shards,
+                }));
+                drop(seat_guard);
+                if let Some(WorkerHandle::Fast { handle, stop }) =
+                    slot.worker.lock().expect("worker slot not poisoned").take()
+                {
+                    // The drain worker empties its ring before exiting, so
+                    // straggler claims from submits that raced the swap
+                    // drain harmlessly.
+                    stop.store(true, Ordering::Release);
+                    let _ = handle.join();
+                }
+                Ok(())
+            }
+            ShardLane::Mailbox { tx, .. } => {
+                let worker = slot.worker.lock().expect("worker slot not poisoned").take();
+                let Some(WorkerHandle::Mailbox(handle)) = worker else {
+                    return Err(LifecycleError::ShardDead);
+                };
+                // FIFO mailbox: everything enqueued before the Shutdown is
+                // served (and WAL-journalled) first; submits racing past it
+                // observe the disconnect and retry onto the dead slot.
+                let _ = tx.send(Command::Shutdown);
+                let _ = handle.join();
+                let mut shards = table.shards.clone();
+                shards[shard] = self.dead_slot_from(slot);
+                self.swap_table(Arc::new(RouterTable {
+                    map: table.map.clone(),
+                    shards,
+                }));
+                Ok(())
+            }
+            ShardLane::Dead => Err(LifecycleError::ShardDead),
+        }
+    }
+
+    /// Recovery with the gate held; see [`Engine::recover_shard`].
+    fn recover_shard_locked(&self, shard: usize) -> Result<u64, LifecycleError> {
+        let table = self.table();
+        let slot = table
+            .shards
+            .get(shard)
+            .ok_or(LifecycleError::UnknownShard)?;
+        if slot.alive() {
+            return Err(LifecycleError::ShardAlive);
+        }
+        let bytes = slot
+            .checkpoint
+            .lock()
+            .expect("checkpoint not poisoned")
+            .clone()
+            .ok_or(LifecycleError::NoCheckpoint)?;
+        let ckpt = ShardCheckpoint::decode(&bytes).map_err(|_| LifecycleError::NoCheckpoint)?;
+        let wal = slot.wal.clone().ok_or(LifecycleError::NoCheckpoint)?;
+        let mut config = self.cfg.system.clone();
+        config.seed = ckpt.system_seed;
+        config.deviation.seed = ckpt.deviation_seed;
+        let mut system = ESharing::restore(config, ckpt.system);
+        let (entries, wal_head) = {
+            let mut journal = wal.lock().expect("wal not poisoned");
+            (journal.drain(), journal.total_recorded())
+        };
+        // Gap check: if the oldest surviving WAL entry is already past the
+        // checkpoint's high-water mark (or everything past it was dropped),
+        // part of the replay suffix is gone and bit-identical recovery is
+        // impossible. The shard stays dead.
+        let high_water = ckpt.wal_high_water;
+        let replay_lost = match entries.first() {
+            Some(first) => first.seq > high_water,
+            None => wal_head > high_water,
+        };
+        if replay_lost {
+            return Err(LifecycleError::WalGap);
+        }
+        let mut replayed = 0u64;
+        for entry in &entries {
+            if entry.seq < high_water {
+                continue;
+            }
+            if let EventKind::RequestAdmitted { x, y } = &entry.kind {
+                system
+                    .handle_request(Point::new(*x, *y))
+                    .expect("restored systems are bootstrapped");
+                replayed += 1;
+            }
+        }
+        // Replay is latency-silent (the histogram would otherwise record
+        // replay speed, not serving latency): the restored slot keeps the
+        // checkpointed histogram, losing only the killed window's samples.
+        // Latency telemetry is advisory; decision state is exact.
+        let fresh = encode_checkpoint(&system, &ckpt.latency, wal_head);
+        let new_slot = spawn_slot(
+            &self.cfg,
+            self.epoch,
+            SlotSpec {
+                system,
+                latency: ckpt.latency.clone(),
+                landmarks: slot.landmarks.clone(),
+                shed: slot.shed.load(Ordering::Relaxed),
+                last_shed_depth: slot.last_shed_depth.load(Ordering::Relaxed),
+                wal: Some(wal),
+                checkpoint: fresh,
+                wal_high_water: wal_head,
+            },
+        );
+        let mut shards = table.shards.clone();
+        shards[shard] = new_slot;
+        self.swap_table(Arc::new(RouterTable {
+            map: table.map.clone(),
+            shards,
+        }));
+        self.journal_lifecycle(EventKind::ShardRecovered {
+            shard: shard as u64,
+            replayed,
+        });
+        self.ops.recovers.fetch_add(1, Ordering::Relaxed);
+        Ok(replayed)
+    }
+
+    /// Split with the gate held; see [`Engine::split_shard`].
+    fn split_shard_locked(&self, parent: usize) -> Result<usize, LifecycleError> {
+        if self.cfg.decision_path != DecisionPath::SyncShared {
+            return Err(LifecycleError::UnsupportedPath);
+        }
+        let table = self.table();
+        if table.shards.len() >= self.cfg.lifecycle.max_shards {
+            return Err(LifecycleError::MaxShards);
+        }
+        let slot = table
+            .shards
+            .get(parent)
+            .ok_or(LifecycleError::UnknownShard)?;
+        let ShardLane::Fast { seat, .. } = &slot.lane else {
+            return Err(LifecycleError::ShardDead);
+        };
+        let mut seat_guard = seat.lock().expect("seat not poisoned");
+        let state = &mut **seat_guard;
+        let system = state.system.as_ref().ok_or(LifecycleError::Closed)?;
+        let ckpt = system.checkpoint().ok_or(LifecycleError::NotBootstrapped)?;
+        let parent_cfg = system.config().clone();
+        let dev = &ckpt.deviation;
+
+        // Cut geometry: bisect the recent observed demand (KS window; the
+        // station set before any live traffic) at the median of its wider
+        // axis — each child inherits roughly half the load.
+        let basis: &[Point] = if dev.window.is_empty() {
+            &dev.stations
+        } else {
+            &dev.window
+        };
+        let (mut xmin, mut xmax, mut ymin, mut ymax) = (
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        );
+        for p in basis {
+            xmin = xmin.min(p.x);
+            xmax = xmax.max(p.x);
+            ymin = ymin.min(p.y);
+            ymax = ymax.max(p.y);
+        }
+        let axis = if xmax - xmin >= ymax - ymin {
+            Axis::X
+        } else {
+            Axis::Y
+        };
+        let mut coords: Vec<f64> = basis.iter().map(|&p| axis.coord(p)).collect();
+        coords.sort_by(|a, b| a.partial_cmp(b).expect("finite coordinates"));
+        let cut = coords[coords.len() / 2];
+
+        // State partition rule: every point collection splits by the same
+        // membership test the router will apply (`coord < cut` → low
+        // child). Offline landmarks (the first `k` stations) and online
+        // opens partition independently so each child's `k` stays the
+        // count of *its* landmarks.
+        let k = usize::try_from(dev.k).expect("checkpoint k fits usize");
+        let (lo_marks, hi_marks) = partition(&dev.stations[..k.min(dev.stations.len())], axis, cut);
+        if lo_marks.is_empty() || hi_marks.is_empty() {
+            return Err(LifecycleError::DegenerateSplit);
+        }
+        let (lo_open, hi_open) = partition(&dev.stations[k.min(dev.stations.len())..], axis, cut);
+        let (lo_win, hi_win) = partition(&dev.window, axis, cut);
+        let (lo_hist, hi_hist) = partition(&dev.history, axis, cut);
+        // An empty reference distribution would leave the child's KS
+        // monitor comparing against nothing; fall back to the parent's
+        // full history (drift then reads as similarity to the whole zone).
+        let lo_hist = if lo_hist.is_empty() {
+            dev.history.clone()
+        } else {
+            lo_hist
+        };
+        let hi_hist = if hi_hist.is_empty() {
+            dev.history.clone()
+        } else {
+            hi_hist
+        };
+
+        let new_index = table.shards.len();
+        // Low child is the *senior*: it keeps the parent's slot, RNG
+        // position, cumulative costs/metrics, and latency history, so
+        // fleet totals are conserved across the split. The high child is
+        // a newborn with a derived seed and zeroed cumulative state.
+        let senior_dev = DeviationCheckpoint {
+            k: lo_marks.len() as u64,
+            penalty_kind: dev.penalty_kind,
+            penalty_tolerance: dev.penalty_tolerance,
+            f_dec: dev.f_dec,
+            f_dec_initial: dev.f_dec_initial,
+            stations: lo_marks.iter().chain(&lo_open).copied().collect(),
+            walking_cost: dev.walking_cost,
+            space_cost: dev.space_cost,
+            opened_online: lo_open.len() as u64,
+            rng_seed: dev.rng_seed,
+            rng_draws: dev.rng_draws,
+            a: dev.a,
+            history: lo_hist,
+            window: lo_win,
+            last_similarity: dev.last_similarity,
+            shift_streak: dev.shift_streak,
+            epoch: dev.epoch,
+            events_dropped: dev.events_dropped,
+        };
+        let junior_dev = DeviationCheckpoint {
+            k: hi_marks.len() as u64,
+            penalty_kind: dev.penalty_kind,
+            penalty_tolerance: dev.penalty_tolerance,
+            f_dec: dev.f_dec,
+            f_dec_initial: dev.f_dec_initial,
+            stations: hi_marks.iter().chain(&hi_open).copied().collect(),
+            walking_cost: 0.0,
+            space_cost: 0.0,
+            opened_online: hi_open.len() as u64,
+            rng_seed: derive_seed(parent_cfg.deviation.seed, new_index),
+            rng_draws: 0,
+            a: 0,
+            history: hi_hist,
+            window: hi_win,
+            last_similarity: dev.last_similarity,
+            shift_streak: dev.shift_streak,
+            epoch: dev.epoch,
+            events_dropped: 0,
+        };
+        let senior_sys = ESharing::restore(
+            parent_cfg.clone(),
+            SystemCheckpoint {
+                landmarks: lo_marks.clone(),
+                metrics: ckpt.metrics,
+                deviation: senior_dev,
+            },
+        );
+        let mut junior_cfg = parent_cfg.clone();
+        junior_cfg.seed = derive_seed(parent_cfg.seed, new_index);
+        junior_cfg.deviation.seed = derive_seed(parent_cfg.deviation.seed, new_index);
+        let junior_sys = ESharing::restore(
+            junior_cfg,
+            SystemCheckpoint {
+                landmarks: hi_marks.clone(),
+                metrics: SystemMetrics::default(),
+                deviation: junior_dev,
+            },
+        );
+        let lo_anchor = centroid(&lo_marks);
+        let hi_anchor = centroid(&hi_marks);
+
+        // Commit: retire the parent seat, bisect its zone in a fresh map,
+        // and swap the table while still holding the seat so blocked
+        // submitters wake into the post-split world.
+        state.moved = true;
+        let _ = state.system.take();
+        let mut map = table.map.clone().into_dynamic();
+        let mapped = map.split_zone(parent, axis, cut, lo_anchor, hi_anchor);
+        debug_assert_eq!(mapped, new_index, "map and slot numbering stay aligned");
+        let wal_cap = self.cfg.lifecycle.wal_capacity;
+        let senior_wal = Arc::new(Mutex::new(EventJournal::new(wal_cap, self.epoch)));
+        let junior_wal = Arc::new(Mutex::new(EventJournal::new(wal_cap, self.epoch)));
+        let senior_ckpt = encode_checkpoint(&senior_sys, &state.latency, 0);
+        let junior_ckpt =
+            encode_checkpoint(&junior_sys, &esharing_core::LatencyHistogram::new(), 0);
+        let senior_slot = spawn_slot(
+            &self.cfg,
+            self.epoch,
+            SlotSpec {
+                system: senior_sys,
+                latency: state.latency.clone(),
+                landmarks: lo_marks,
+                shed: slot.shed.load(Ordering::Relaxed),
+                last_shed_depth: slot.last_shed_depth.load(Ordering::Relaxed),
+                wal: Some(senior_wal),
+                checkpoint: senior_ckpt,
+                wal_high_water: 0,
+            },
+        );
+        let junior_slot = spawn_slot(
+            &self.cfg,
+            self.epoch,
+            SlotSpec {
+                system: junior_sys,
+                latency: esharing_core::LatencyHistogram::new(),
+                landmarks: hi_marks,
+                shed: 0,
+                last_shed_depth: 0,
+                wal: Some(junior_wal),
+                checkpoint: junior_ckpt,
+                wal_high_water: 0,
+            },
+        );
+        let mut shards = table.shards.clone();
+        shards[parent] = senior_slot;
+        shards.push(junior_slot);
+        self.swap_table(Arc::new(RouterTable { map, shards }));
+        drop(seat_guard);
+        if let Some(WorkerHandle::Fast { handle, stop }) =
+            slot.worker.lock().expect("worker slot not poisoned").take()
+        {
+            stop.store(true, Ordering::Release);
+            let _ = handle.join();
+        }
+        self.journal_lifecycle(EventKind::ShardSplit {
+            parent: parent as u64,
+            lo: parent as u64,
+            hi: new_index as u64,
+        });
+        self.ops.splits.fetch_add(1, Ordering::Relaxed);
+        Ok(new_index)
+    }
+
+    /// Merge with the gate held; see [`Engine::merge_shards`].
+    fn merge_shards_locked(&self, a: usize, b: usize) -> Result<usize, LifecycleError> {
+        if self.cfg.decision_path != DecisionPath::SyncShared {
+            return Err(LifecycleError::UnsupportedPath);
+        }
+        if a == b {
+            return Err(LifecycleError::UnknownShard);
+        }
+        let (a, b) = (a.min(b), a.max(b));
+        let table = self.table();
+        if table.shards.len() <= self.cfg.lifecycle.min_shards {
+            return Err(LifecycleError::MinShards);
+        }
+        if b >= table.shards.len() {
+            return Err(LifecycleError::UnknownShard);
+        }
+        let (slot_a, slot_b) = (&table.shards[a], &table.shards[b]);
+        let (ShardLane::Fast { seat: seat_a, .. }, ShardLane::Fast { seat: seat_b, .. }) =
+            (&slot_a.lane, &slot_b.lane)
+        else {
+            return Err(LifecycleError::ShardDead);
+        };
+        // Seats lock in index order (a < b): the only place two seats are
+        // ever held at once, and always in this order.
+        let mut guard_a = seat_a.lock().expect("seat not poisoned");
+        let mut guard_b = seat_b.lock().expect("seat not poisoned");
+        let sys_a = guard_a.system.as_ref().ok_or(LifecycleError::Closed)?;
+        let sys_b = guard_b.system.as_ref().ok_or(LifecycleError::Closed)?;
+        let ckpt_a = sys_a.checkpoint().ok_or(LifecycleError::NotBootstrapped)?;
+        let ckpt_b = sys_b.checkpoint().ok_or(LifecycleError::NotBootstrapped)?;
+        let merged_cfg = sys_a.config().clone();
+        let (da, db) = (&ckpt_a.deviation, &ckpt_b.deviation);
+        let ka = usize::try_from(da.k)
+            .expect("checkpoint k fits usize")
+            .min(da.stations.len());
+        let kb = usize::try_from(db.k)
+            .expect("checkpoint k fits usize")
+            .min(db.stations.len());
+        // Deterministic union: a's landmarks, then b's, then a's online
+        // opens, then b's — so merge results are reproducible and the
+        // station log stays a valid insertion order. Scalars (RNG
+        // position, penalty state, monitor epoch) continue from the
+        // lower-indexed survivor; additive state sums.
+        let landmarks: Vec<Point> = da.stations[..ka]
+            .iter()
+            .chain(&db.stations[..kb])
+            .copied()
+            .collect();
+        let merged_dev = DeviationCheckpoint {
+            k: (ka + kb) as u64,
+            penalty_kind: da.penalty_kind,
+            penalty_tolerance: da.penalty_tolerance,
+            f_dec: da.f_dec,
+            f_dec_initial: da.f_dec_initial,
+            stations: landmarks
+                .iter()
+                .copied()
+                .chain(da.stations[ka..].iter().copied())
+                .chain(db.stations[kb..].iter().copied())
+                .collect(),
+            walking_cost: da.walking_cost + db.walking_cost,
+            space_cost: da.space_cost + db.space_cost,
+            opened_online: da.opened_online + db.opened_online,
+            rng_seed: da.rng_seed,
+            rng_draws: da.rng_draws,
+            a: da.a,
+            history: da.history.iter().chain(&db.history).copied().collect(),
+            // Restore keeps the most recent `ks_window` of this; b's half
+            // is appended after a's as the "newer" side.
+            window: da.window.iter().chain(&db.window).copied().collect(),
+            last_similarity: da.last_similarity,
+            shift_streak: da.shift_streak,
+            epoch: da.epoch,
+            events_dropped: da.events_dropped + db.events_dropped,
+        };
+        let merged_sys = ESharing::restore(
+            merged_cfg,
+            SystemCheckpoint {
+                landmarks: landmarks.clone(),
+                metrics: ckpt_a.metrics + ckpt_b.metrics,
+                deviation: merged_dev,
+            },
+        );
+        let merged_latency = guard_a.latency.clone() + guard_b.latency.clone();
+        let anchor = centroid(&landmarks);
+
+        // Commit: retire both seats, retarget b's leaves onto a and
+        // renumber in a fresh map, swap while holding both seats.
+        guard_a.moved = true;
+        guard_b.moved = true;
+        let _ = guard_a.system.take();
+        let _ = guard_b.system.take();
+        let mut map = table.map.clone().into_dynamic();
+        map.merge_zones(a, b, anchor);
+        let wal = Arc::new(Mutex::new(EventJournal::new(
+            self.cfg.lifecycle.wal_capacity,
+            self.epoch,
+        )));
+        let fresh = encode_checkpoint(&merged_sys, &merged_latency, 0);
+        let merged_slot = spawn_slot(
+            &self.cfg,
+            self.epoch,
+            SlotSpec {
+                system: merged_sys,
+                latency: merged_latency,
+                landmarks,
+                shed: slot_a.shed.load(Ordering::Relaxed) + slot_b.shed.load(Ordering::Relaxed),
+                last_shed_depth: slot_a
+                    .last_shed_depth
+                    .load(Ordering::Relaxed)
+                    .max(slot_b.last_shed_depth.load(Ordering::Relaxed)),
+                wal: Some(wal),
+                checkpoint: fresh,
+                wal_high_water: 0,
+            },
+        );
+        let mut shards = table.shards.clone();
+        shards[a] = merged_slot;
+        shards.remove(b);
+        self.swap_table(Arc::new(RouterTable { map, shards }));
+        drop(guard_b);
+        drop(guard_a);
+        for slot in [slot_a, slot_b] {
+            if let Some(WorkerHandle::Fast { handle, stop }) =
+                slot.worker.lock().expect("worker slot not poisoned").take()
+            {
+                stop.store(true, Ordering::Release);
+                let _ = handle.join();
+            }
+        }
+        self.journal_lifecycle(EventKind::ShardMerged {
+            a: a as u64,
+            b: b as u64,
+            into: a as u64,
+        });
+        self.ops.merges.fetch_add(1, Ordering::Relaxed);
+        Ok(a)
+    }
+
+    /// One policy pass with the gate held; see [`Engine::lifecycle_tick`].
+    fn lifecycle_tick_locked(&self, policy: &mut PolicyState) -> Vec<LifecycleAction> {
+        let lc = &self.cfg.lifecycle;
+        let mut actions = Vec::new();
+        let table = self.table();
+        let n = table.shards.len();
+        if policy.hot.len() != n {
+            // Shard set changed shape (split/merge/first tick): restart
+            // every streak and rebase shed deltas.
+            policy.hot = vec![0; n];
+            policy.cold = vec![0; n];
+            policy.prev_shed = table
+                .shards
+                .iter()
+                .map(|s| s.shed.load(Ordering::Relaxed))
+                .collect();
+        }
+        // Cadence-driven checkpoints.
+        for (i, slot) in table.shards.iter().enumerate() {
+            if !slot.alive() {
+                continue;
+            }
+            let Some(wal) = &slot.wal else { continue };
+            let head = wal.lock().expect("wal not poisoned").total_recorded();
+            let lag = head.saturating_sub(slot.wal_high_water.load(Ordering::Acquire));
+            if lag >= lc.checkpoint_every && self.checkpoint_shard_locked(i).is_ok() {
+                actions.push(LifecycleAction::Checkpointed { shard: i });
+            }
+        }
+        // Pressure classification with hysteresis.
+        let cap = self.cfg.queue_capacity as f64;
+        let mut hottest: Option<(usize, f64)> = None;
+        let mut cold_ready: Vec<(usize, f64)> = Vec::new();
+        for (i, slot) in table.shards.iter().enumerate() {
+            if !slot.alive() {
+                policy.hot[i] = 0;
+                policy.cold[i] = 0;
+                continue;
+            }
+            let shed_now = slot.shed.load(Ordering::Relaxed);
+            let shed_delta = shed_now.saturating_sub(policy.prev_shed[i]);
+            policy.prev_shed[i] = shed_now;
+            let occupancy = slot.pending() as f64 / cap;
+            let hot = occupancy >= lc.split_occupancy || shed_delta > 0;
+            let cold = occupancy <= lc.merge_occupancy && shed_delta == 0;
+            policy.hot[i] = if hot { policy.hot[i] + 1 } else { 0 };
+            policy.cold[i] = if cold { policy.cold[i] + 1 } else { 0 };
+            if policy.hot[i] >= lc.hysteresis_ticks
+                && hottest.is_none_or(|(_, best)| occupancy > best)
+            {
+                hottest = Some((i, occupancy));
+            }
+            if policy.cold[i] >= lc.hysteresis_ticks {
+                cold_ready.push((i, occupancy));
+            }
+        }
+        // At most one structural change per tick, split taking priority —
+        // relieving overload matters more than consolidating idle shards.
+        if self.cfg.decision_path == DecisionPath::SyncShared {
+            if let Some((hot_shard, _)) = hottest {
+                if n < lc.max_shards {
+                    match self.split_shard_locked(hot_shard) {
+                        Ok(new_shard) => {
+                            actions.push(LifecycleAction::Split {
+                                parent: hot_shard,
+                                new_shard,
+                            });
+                            policy.hot.clear();
+                        }
+                        // E.g. DegenerateSplit on point-mass demand: stand
+                        // down this shard's streak rather than retrying
+                        // every tick.
+                        Err(_) => policy.hot[hot_shard] = 0,
+                    }
+                }
+            } else if cold_ready.len() >= 2 && n > lc.min_shards {
+                cold_ready.sort_by(|x, y| x.1.partial_cmp(&y.1).expect("finite occupancy"));
+                let (a, b) = (cold_ready[0].0, cold_ready[1].0);
+                match self.merge_shards_locked(a, b) {
+                    Ok(into) => {
+                        actions.push(LifecycleAction::Merged {
+                            a: a.min(b),
+                            b: a.max(b),
+                            into,
+                        });
+                        policy.hot.clear();
+                    }
+                    Err(_) => policy.cold[a] = 0,
+                }
+            }
+        }
+        actions
+    }
+}
+
+impl Engine {
+    /// Checkpoints `shard` now: encodes its full decision state (stations,
+    /// penalty bookkeeping, KS window, RNG position, latency histogram)
+    /// together with the WAL high-water sequence, and stores the image as
+    /// the shard's recovery source. Returns the high-water mark.
+    ///
+    /// # Errors
+    ///
+    /// [`LifecycleError`] when disabled, closed, out of range, or the
+    /// shard is dead.
+    pub fn checkpoint_shard(&self, shard: usize) -> Result<u64, LifecycleError> {
+        let _gate = self.shared.lifecycle_gate()?;
+        self.shared.checkpoint_shard_locked(shard)
+    }
+
+    /// Kills `shard`, discarding its live state — the failover injection
+    /// point. The zone keeps serving degraded (offline-landmark fallbacks
+    /// that shed into the metrics) until [`Engine::recover_shard`]
+    /// rebuilds it; no request ever panics or hangs on a dead shard.
+    ///
+    /// # Errors
+    ///
+    /// [`LifecycleError`] when disabled, closed, out of range, or already
+    /// dead.
+    pub fn kill_shard(&self, shard: usize) -> Result<(), LifecycleError> {
+        let _gate = self.shared.lifecycle_gate()?;
+        self.shared.kill_shard_locked(shard)
+    }
+
+    /// Recovers a killed shard: decodes its last stored checkpoint,
+    /// restores the system (RNG reseeded and fast-forwarded to its
+    /// checkpointed position), replays the WAL suffix past the image's
+    /// high-water sequence, and swaps a freshly spawned slot into the
+    /// router. The recovered shard's decision state is **bit-identical**
+    /// to one that was never killed. Returns the number of replayed
+    /// requests.
+    ///
+    /// # Errors
+    ///
+    /// [`LifecycleError::ShardAlive`] if the shard was not killed,
+    /// [`LifecycleError::NoCheckpoint`] without a usable image,
+    /// [`LifecycleError::WalGap`] if the bounded WAL dropped part of the
+    /// replay suffix.
+    pub fn recover_shard(&self, shard: usize) -> Result<u64, LifecycleError> {
+        let _gate = self.shared.lifecycle_gate()?;
+        self.shared.recover_shard_locked(shard)
+    }
+
+    /// Splits a hot shard in two, live: the zone is bisected at the median
+    /// of its recent demand along its wider axis, stations / KS window /
+    /// history partition by point membership, the low half stays in place
+    /// (keeping the parent's RNG position and cumulative totals) and the
+    /// high half becomes a new shard appended at the end of the table.
+    /// In-flight requests reroute transparently; none are dropped.
+    /// Returns the new shard's index.
+    ///
+    /// # Errors
+    ///
+    /// [`LifecycleError::UnsupportedPath`] on the mailbox path,
+    /// [`LifecycleError::DegenerateSplit`] when demand cannot be bisected,
+    /// [`LifecycleError::MaxShards`] at the configured ceiling.
+    pub fn split_shard(&self, shard: usize) -> Result<usize, LifecycleError> {
+        let _gate = self.shared.lifecycle_gate()?;
+        self.shared.split_shard_locked(shard)
+    }
+
+    /// Merges two cold shards into the lower-indexed slot, live: zones
+    /// retarget in the map, stations and cumulative state union
+    /// deterministically, the higher slot vacates (higher shard indices
+    /// shift down by one). Returns the surviving index.
+    ///
+    /// # Errors
+    ///
+    /// [`LifecycleError::UnsupportedPath`] on the mailbox path,
+    /// [`LifecycleError::MinShards`] at the configured floor.
+    pub fn merge_shards(&self, a: usize, b: usize) -> Result<usize, LifecycleError> {
+        let _gate = self.shared.lifecycle_gate()?;
+        self.shared.merge_shards_locked(a, b)
+    }
+
+    /// Runs one pass of the lifecycle policy: cadence-driven checkpoints
+    /// for every shard whose WAL outran
+    /// [`LifecycleConfig::checkpoint_every`], then at most one structural
+    /// action — splitting a shard that stayed hot (ring occupancy ≥
+    /// [`LifecycleConfig::split_occupancy`] or fresh sheds) for
+    /// [`LifecycleConfig::hysteresis_ticks`] consecutive ticks, or merging
+    /// the two coldest persistently idle shards. Call it at any cadence;
+    /// there is no background thread.
+    ///
+    /// # Errors
+    ///
+    /// [`LifecycleError::LifecycleDisabled`] / [`LifecycleError::Closed`];
+    /// per-shard action failures are absorbed into the policy (the action
+    /// simply does not appear in the returned list).
+    pub fn lifecycle_tick(&self) -> Result<Vec<LifecycleAction>, LifecycleError> {
+        let mut gate = self.shared.lifecycle_gate()?;
+        Ok(self.shared.lifecycle_tick_locked(&mut gate))
+    }
+
+    /// Lifetime lifecycle-operation totals (also exported on `/metrics`).
+    pub fn lifecycle_ops(&self) -> LifecycleOps {
+        self.shared.ops.totals()
+    }
+
+    /// Shards currently serving (total slots minus killed ones).
+    pub fn shards_active(&self) -> usize {
+        self.shared
+            .table()
+            .shards
+            .iter()
+            .filter(|s| s.alive())
+            .count()
+    }
+}

@@ -14,6 +14,7 @@
 //! sampled requests, and a [`Command::Snapshot`] probe carries the
 //! registry snapshot plus drained journal back to the aggregator.
 
+use crate::checkpoint::encode_checkpoint;
 use crate::fastpath::DownstreamRing;
 use crossbeam::channel::{Receiver, Sender};
 use esharing_core::server::ServerSnapshot;
@@ -22,8 +23,9 @@ use esharing_core::{
 };
 use esharing_geo::Point;
 use esharing_placement::online::Decision;
+use esharing_telemetry::{EventJournal, EventKind};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -51,6 +53,11 @@ pub(crate) enum Command {
     },
     /// State probe.
     Snapshot { reply: Sender<WorkerState> },
+    /// Lifecycle checkpoint probe: the worker encodes its full
+    /// [`ShardCheckpoint`](crate::ShardCheckpoint) between retires (the
+    /// state is quiescent there) and replies with the image plus the WAL
+    /// high-water sequence it covers.
+    Checkpoint { reply: Sender<(Vec<u8>, u64)> },
     /// Drain and stop.
     Shutdown,
 }
@@ -188,13 +195,16 @@ pub(crate) fn spawn(
     service_delay: Duration,
     mut telemetry: Option<WorkerTelemetry>,
     inflight: Arc<AtomicU64>,
+    wal: Option<Arc<Mutex<EventJournal>>>,
+    // Arrival → decision latency of every request this shard retires;
+    // passed in (instead of created here) so a recovered shard resumes
+    // its checkpointed histogram.
+    mut latency: LatencyHistogram,
 ) -> JoinHandle<ESharing> {
     std::thread::spawn(move || {
         // When the emulated downstream pipe finishes its current fetch.
         let mut pipe_free = Instant::now();
         let mut in_fetch: Option<InFetch> = None;
-        // Arrival → decision latency of every request this shard retires.
-        let mut latency = LatencyHistogram::new();
         loop {
             // Stage 1: wait for the in-fetch request's completion time.
             if let Some(f) = &in_fetch {
@@ -234,6 +244,17 @@ pub(crate) fn spawn(
                         None,
                     ),
                 };
+                // WAL order is retire order — the order the state
+                // absorbed the request — so checkpoint + suffix replay
+                // reproduces this shard exactly.
+                if let Some(wal) = &wal {
+                    wal.lock()
+                        .expect("wal not poisoned")
+                        .record(EventKind::RequestAdmitted {
+                            x: f.destination.x,
+                            y: f.destination.y,
+                        });
+                }
                 let latency_ns = elapsed_ns(f.arrival);
                 latency.record_ns(latency_ns);
                 if let Some(t) = telemetry.as_mut() {
@@ -307,6 +328,14 @@ pub(crate) fn spawn(
                                 None,
                             )
                         };
+                        if let Some(wal) = &wal {
+                            wal.lock().expect("wal not poisoned").record(
+                                EventKind::RequestAdmitted {
+                                    x: destination.x,
+                                    y: destination.y,
+                                },
+                            );
+                        }
                         let latency_ns = elapsed_ns(arrival);
                         latency.record_ns(latency_ns);
                         if let Some(t) = telemetry.as_mut() {
@@ -335,6 +364,17 @@ pub(crate) fn spawn(
                         last_similarity: system.last_similarity(),
                         telemetry: probe,
                     });
+                }
+                Some(Some(Command::Checkpoint { reply })) => {
+                    // Between retires the system is quiescent: every WAL
+                    // entry below the journal head is reflected in the
+                    // state, so the image's high-water mark is exact.
+                    let high_water = wal
+                        .as_ref()
+                        .map_or(0, |w| w.lock().expect("wal not poisoned").total_recorded());
+                    let bytes = encode_checkpoint(&system, &latency, high_water)
+                        .expect("shard systems are bootstrapped at engine start");
+                    let _ = reply.send((bytes, high_water));
                 }
                 Some(Some(Command::Shutdown)) => break,
             }

@@ -36,6 +36,62 @@ pub enum ShardMap {
         /// One anchor per shard.
         anchors: Vec<Point>,
     },
+    /// A static base partition refined by a binary split tree — the shape
+    /// the map takes once the lifecycle subsystem starts splitting and
+    /// merging zones at runtime. Routing is still a pure function: the
+    /// base map picks a tree root, then axis-aligned cuts walk down to a
+    /// leaf slot.
+    Dynamic {
+        /// The original static partition; only used to pick a root.
+        base: Box<ShardMap>,
+        /// One tree root per base shard (index into `nodes`).
+        roots: Vec<usize>,
+        /// Split-tree arena.
+        nodes: Vec<ZoneNode>,
+        /// One representative point per live slot.
+        anchors: Vec<Point>,
+    },
+}
+
+/// A coordinate axis for zone bisection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Axis {
+    /// Split on the x coordinate.
+    X,
+    /// Split on the y coordinate.
+    Y,
+}
+
+impl Axis {
+    /// The coordinate of `p` along this axis.
+    pub fn coord(self, p: Point) -> f64 {
+        match self {
+            Axis::X => p.x,
+            Axis::Y => p.y,
+        }
+    }
+}
+
+/// One node of a [`ShardMap::Dynamic`] split tree.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ZoneNode {
+    /// A terminal zone routing to `slot`.
+    Leaf {
+        /// The shard slot this zone routes to.
+        slot: usize,
+    },
+    /// An axis-aligned bisection: `coord < cut` descends to `lo`, else
+    /// `hi` (both indices into the node arena).
+    Split {
+        /// Bisection axis.
+        axis: Axis,
+        /// Cut coordinate; the low side is the strict `< cut` half.
+        cut: f64,
+        /// Arena index of the low-side child.
+        lo: usize,
+        /// Arena index of the high-side child.
+        hi: usize,
+    },
 }
 
 impl ShardMap {
@@ -134,11 +190,96 @@ impl ShardMap {
         ShardMap::Voronoi { anchors }
     }
 
+    /// Wraps a static map into the [`ShardMap::Dynamic`] form (one leaf
+    /// per base shard) so zones can be split and merged at runtime. A map
+    /// that is already dynamic is returned unchanged.
+    pub fn into_dynamic(self) -> Self {
+        if matches!(self, ShardMap::Dynamic { .. }) {
+            return self;
+        }
+        let shards = self.shard_count();
+        let anchors = (0..shards).map(|s| self.anchor(s)).collect();
+        ShardMap::Dynamic {
+            base: Box::new(self),
+            roots: (0..shards).collect(),
+            nodes: (0..shards).map(|s| ZoneNode::Leaf { slot: s }).collect(),
+            anchors,
+        }
+    }
+
+    /// Bisects `slot`'s zone at `cut` along `axis`: the low half keeps
+    /// `slot`, the high half becomes a fresh slot whose index is returned.
+    /// Every leaf currently routing to `slot` (there may be several after
+    /// merges) is split by the same cut, so the zone as a whole is
+    /// bisected. `lo_anchor` / `hi_anchor` become the halves'
+    /// representative points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map is not [`ShardMap::Dynamic`] or `slot` is out of
+    /// range.
+    pub fn split_zone(
+        &mut self,
+        slot: usize,
+        axis: Axis,
+        cut: f64,
+        lo_anchor: Point,
+        hi_anchor: Point,
+    ) -> usize {
+        let ShardMap::Dynamic { nodes, anchors, .. } = self else {
+            panic!("split_zone on a static map; call into_dynamic first");
+        };
+        assert!(slot < anchors.len(), "slot {slot} out of range");
+        let new_slot = anchors.len();
+        for i in 0..nodes.len() {
+            if nodes[i] == (ZoneNode::Leaf { slot }) {
+                let lo = nodes.len();
+                nodes.push(ZoneNode::Leaf { slot });
+                let hi = nodes.len();
+                nodes.push(ZoneNode::Leaf { slot: new_slot });
+                nodes[i] = ZoneNode::Split { axis, cut, lo, hi };
+            }
+        }
+        anchors[slot] = lo_anchor;
+        anchors.push(hi_anchor);
+        new_slot
+    }
+
+    /// Merges slot `b`'s zone into slot `a`: every leaf routing to `b`
+    /// retargets to `a`, slot indices above `b` shift down by one, and
+    /// `a` takes `anchor` as its representative point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map is not [`ShardMap::Dynamic`], either slot is out
+    /// of range, or `a == b`.
+    pub fn merge_zones(&mut self, a: usize, b: usize, anchor: Point) {
+        let ShardMap::Dynamic { nodes, anchors, .. } = self else {
+            panic!("merge_zones on a static map; call into_dynamic first");
+        };
+        assert!(a < anchors.len() && b < anchors.len(), "slot out of range");
+        assert_ne!(a, b, "cannot merge a slot with itself");
+        for node in nodes.iter_mut() {
+            if let ZoneNode::Leaf { slot } = node {
+                if *slot == b {
+                    *slot = a;
+                }
+                if *slot > b {
+                    *slot -= 1;
+                }
+            }
+        }
+        anchors.remove(b);
+        let a = if a > b { a - 1 } else { a };
+        anchors[a] = anchor;
+    }
+
     /// Number of shards this map routes to.
     pub fn shard_count(&self) -> usize {
         match self {
             ShardMap::Grid { rows, cols, .. } => rows * cols,
             ShardMap::Voronoi { anchors } => anchors.len(),
+            ShardMap::Dynamic { anchors, .. } => anchors.len(),
         }
     }
 
@@ -154,6 +295,23 @@ impl ShardMap {
             }
             ShardMap::Voronoi { anchors } => {
                 argmin_by(anchors, |a| a.distance_squared(destination))
+            }
+            ShardMap::Dynamic {
+                base, roots, nodes, ..
+            } => {
+                let mut at = roots[base.shard_of(destination)];
+                loop {
+                    match nodes[at] {
+                        ZoneNode::Leaf { slot } => return slot,
+                        ZoneNode::Split { axis, cut, lo, hi } => {
+                            at = if axis.coord(destination) < cut {
+                                lo
+                            } else {
+                                hi
+                            };
+                        }
+                    }
+                }
             }
         }
     }
@@ -175,6 +333,7 @@ impl ShardMap {
                 bbox.min() + Point::new((col as f64 + 0.5) * w, (row as f64 + 0.5) * h)
             }
             ShardMap::Voronoi { anchors } => anchors[shard],
+            ShardMap::Dynamic { anchors, .. } => anchors[shard],
         }
     }
 }
@@ -302,6 +461,102 @@ mod tests {
     fn degenerate_bbox_routes_everything_to_shard_zero() {
         let map = ShardMap::uniform(BBox::new(Point::ORIGIN, Point::ORIGIN), 4);
         assert_eq!(map.shard_of(Point::new(123.0, 456.0)), 0);
+    }
+
+    #[test]
+    fn dynamic_wrap_preserves_routing() {
+        let base = ShardMap::uniform(BBox::square(1000.0), 4);
+        let dynamic = base.clone().into_dynamic();
+        assert_eq!(dynamic.shard_count(), 4);
+        for i in 0..40 {
+            for j in 0..40 {
+                let p = Point::new(i as f64 * 25.0, j as f64 * 25.0);
+                assert_eq!(dynamic.shard_of(p), base.shard_of(p));
+            }
+        }
+        for s in 0..4 {
+            assert_eq!(dynamic.anchor(s), base.anchor(s));
+        }
+    }
+
+    #[test]
+    fn split_bisects_one_zone_and_leaves_others_alone() {
+        let mut map = ShardMap::uniform(BBox::square(1000.0), 2).into_dynamic();
+        // Shard 0 is the left strip x in [0, 500); split it at y = 500.
+        let new = map.split_zone(
+            0,
+            Axis::Y,
+            500.0,
+            Point::new(250.0, 250.0),
+            Point::new(250.0, 750.0),
+        );
+        assert_eq!(new, 2);
+        assert_eq!(map.shard_count(), 3);
+        assert_eq!(map.shard_of(Point::new(100.0, 100.0)), 0);
+        assert_eq!(map.shard_of(Point::new(100.0, 900.0)), 2);
+        assert_eq!(map.shard_of(Point::new(900.0, 900.0)), 1);
+        assert_eq!(map.anchor(2), Point::new(250.0, 750.0));
+        // Cut boundary: the low side is strict `< cut`.
+        assert_eq!(map.shard_of(Point::new(100.0, 500.0)), 2);
+    }
+
+    #[test]
+    fn merge_retargets_and_renumbers() {
+        let mut map = ShardMap::uniform(BBox::square(1000.0), 2).into_dynamic();
+        let new = map.split_zone(
+            0,
+            Axis::Y,
+            500.0,
+            Point::new(250.0, 250.0),
+            Point::new(250.0, 750.0),
+        );
+        // Merge the split halves back: slot `new` folds into slot 0.
+        map.merge_zones(0, new, Point::new(250.0, 500.0));
+        assert_eq!(map.shard_count(), 2);
+        assert_eq!(map.shard_of(Point::new(100.0, 100.0)), 0);
+        assert_eq!(map.shard_of(Point::new(100.0, 900.0)), 0);
+        assert_eq!(map.shard_of(Point::new(900.0, 900.0)), 1);
+        assert_eq!(map.anchor(0), Point::new(250.0, 500.0));
+
+        // Merging a low slot into a high one renumbers the survivor too.
+        let mut map = ShardMap::uniform(BBox::square(1000.0), 4).into_dynamic();
+        map.merge_zones(3, 1, Point::new(900.0, 900.0));
+        assert_eq!(map.shard_count(), 3);
+        // Old shard 1 (right-bottom quadrant) now routes with old shard 3.
+        assert_eq!(
+            map.shard_of(Point::new(900.0, 100.0)),
+            map.shard_of(Point::new(900.0, 900.0))
+        );
+        assert_eq!(map.anchor(2), Point::new(900.0, 900.0));
+    }
+
+    #[test]
+    fn split_after_merge_cuts_every_leaf_of_the_zone() {
+        // Merge two grid cells into one zone, then split that zone: both
+        // constituent leaves must honor the cut.
+        let mut map = ShardMap::uniform(BBox::square(1000.0), 2).into_dynamic();
+        map.merge_zones(0, 1, Point::new(500.0, 500.0));
+        assert_eq!(map.shard_count(), 1);
+        let new = map.split_zone(
+            0,
+            Axis::Y,
+            500.0,
+            Point::new(500.0, 250.0),
+            Point::new(500.0, 750.0),
+        );
+        assert_eq!(map.shard_count(), 2);
+        // Both x-halves obey the y cut.
+        assert_eq!(map.shard_of(Point::new(100.0, 100.0)), 0);
+        assert_eq!(map.shard_of(Point::new(900.0, 100.0)), 0);
+        assert_eq!(map.shard_of(Point::new(100.0, 900.0)), new);
+        assert_eq!(map.shard_of(Point::new(900.0, 900.0)), new);
+    }
+
+    #[test]
+    #[should_panic(expected = "call into_dynamic first")]
+    fn split_on_static_map_panics() {
+        let mut map = ShardMap::uniform(BBox::square(1000.0), 2);
+        let _ = map.split_zone(0, Axis::X, 250.0, Point::ORIGIN, Point::ORIGIN);
     }
 
     #[test]

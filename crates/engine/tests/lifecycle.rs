@@ -1,0 +1,526 @@
+//! Elastic-lifecycle integration tests: kill-at-a-random-point failover
+//! reconverging bit-identically with an unkilled run (both decision
+//! paths), live split/merge under concurrent load without dropping a
+//! single in-flight request, degraded service from dead shards, and the
+//! WAL-gap refusal that keeps recovery honest when the bounded journal
+//! outran its checkpoint.
+
+use esharing_core::{ESharing, LatencyHistogram, SystemConfig};
+use esharing_engine::{
+    Admission, DecisionPath, Engine, EngineConfig, EngineDecision, LifecycleConfig, LifecycleError,
+    Partition, ShardCheckpoint, TelemetryConfig,
+};
+use esharing_geo::Point;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Four tight demand clusters in a 2 km field — the same fixture the
+/// engine unit tests partition.
+fn clustered_history() -> Vec<Point> {
+    let centers = [
+        Point::new(300.0, 300.0),
+        Point::new(1700.0, 300.0),
+        Point::new(300.0, 1700.0),
+        Point::new(1700.0, 1700.0),
+    ];
+    let mut out = Vec::new();
+    for i in 0..400 {
+        let c = centers[i % 4];
+        let jitter = Point::new(((i * 37) % 100) as f64, ((i * 53) % 100) as f64);
+        out.push(c + jitter);
+    }
+    out
+}
+
+/// A deterministic request stream spread over the whole field.
+fn request_stream(n: usize) -> Vec<Point> {
+    (0..n)
+        .map(|i| Point::new(((i * 97) % 2000) as f64, ((i * 31) % 2000) as f64))
+        .collect()
+}
+
+fn lifecycle_config(path: DecisionPath) -> EngineConfig {
+    EngineConfig {
+        shards: 2,
+        partition: Partition::UniformGrid,
+        decision_path: path,
+        // Failover equivalence is about decision state, not telemetry:
+        // run with telemetry off so the comparison is pure algorithm.
+        telemetry: TelemetryConfig::disabled(),
+        lifecycle: LifecycleConfig {
+            enabled: true,
+            ..LifecycleConfig::default()
+        },
+        ..EngineConfig::default()
+    }
+}
+
+/// The tentpole acceptance test: checkpoint at a random point, kill at a
+/// random later point, recover by checkpoint restore + WAL-suffix replay,
+/// keep serving — and the decision stream plus every shard's final state
+/// must be bit-identical to a run that was never killed. Both decision
+/// paths.
+#[test]
+fn kill_at_random_point_reconverges_bit_identically() {
+    let history = clustered_history();
+    let stream = request_stream(600);
+    for path in [DecisionPath::SyncShared, DecisionPath::Mailbox] {
+        let reference = Engine::start(&history, lifecycle_config(path));
+        let map = reference.map();
+        let reference_decisions: Vec<EngineDecision> = stream
+            .iter()
+            .map(|&p| reference.submit(p).unwrap())
+            .collect();
+        let reference_systems = reference.shutdown();
+
+        let mut rng = StdRng::seed_from_u64(0xE5A1);
+        for trial in 0..4 {
+            let engine = Engine::start(&history, lifecycle_config(path));
+            let kill_at = rng.gen_range(1..stream.len());
+            // Trial 0 relies on the *initial* checkpoint taken at engine
+            // start (replaying the full WAL); later trials checkpoint at
+            // a random point at or before the kill.
+            let ckpt_at = (trial > 0).then(|| rng.gen_range(0..=kill_at));
+            let victim = rng.gen_range(0..engine.shard_count());
+            let mut replayed = None;
+            let mut decisions = Vec::with_capacity(stream.len());
+            for (i, &p) in stream.iter().enumerate() {
+                if ckpt_at == Some(i) {
+                    engine.checkpoint_shard(victim).unwrap();
+                }
+                if i == kill_at {
+                    engine.kill_shard(victim).unwrap();
+                    replayed = Some(engine.recover_shard(victim).unwrap());
+                }
+                decisions.push(engine.submit(p).unwrap());
+            }
+            assert_eq!(
+                decisions, reference_decisions,
+                "{path:?} trial {trial}: decision stream diverged after failover"
+            );
+            // The replay suffix is exactly the victim's admits since the
+            // covering checkpoint.
+            let since = ckpt_at.unwrap_or(0);
+            let expected: u64 = stream[since..kill_at]
+                .iter()
+                .filter(|&&p| map.shard_of(p) == victim)
+                .count() as u64;
+            assert_eq!(replayed, Some(expected), "{path:?} trial {trial}");
+            let systems = engine.shutdown();
+            assert_eq!(systems.len(), reference_systems.len());
+            for (shard, (sys, reference_sys)) in systems.iter().zip(&reference_systems).enumerate()
+            {
+                assert_eq!(
+                    sys.stations(),
+                    reference_sys.stations(),
+                    "{path:?} trial {trial} shard {shard}: stations diverged"
+                );
+                assert_eq!(
+                    sys.metrics(),
+                    reference_sys.metrics(),
+                    "{path:?} trial {trial} shard {shard}: metrics diverged"
+                );
+                assert_eq!(
+                    sys.last_similarity(),
+                    reference_sys.last_similarity(),
+                    "{path:?} trial {trial} shard {shard}: drift state diverged"
+                );
+            }
+        }
+    }
+}
+
+/// Live split and merge under concurrent client load: every submitted
+/// request must come back `Served` — no drops, no `Degraded`, no
+/// `EngineClosed` — and the fleet's served count must equal exactly what
+/// the clients got back. This is the in-flight equivalence guarantee of
+/// the moved-seat commit protocol.
+#[test]
+fn split_and_merge_drop_no_in_flight_requests() {
+    let engine = Arc::new(Engine::start(
+        &clustered_history(),
+        EngineConfig {
+            shards: 1,
+            partition: Partition::UniformGrid,
+            decision_path: DecisionPath::SyncShared,
+            // Large enough that admission control never sheds: any
+            // Degraded outcome below is a dropped in-flight request.
+            queue_capacity: 1 << 16,
+            telemetry: TelemetryConfig::disabled(),
+            lifecycle: LifecycleConfig {
+                enabled: true,
+                max_shards: 8,
+                ..LifecycleConfig::default()
+            },
+            ..EngineConfig::default()
+        },
+    ));
+    let stop = Arc::new(AtomicBool::new(false));
+    let clients: Vec<_> = (0..4u64)
+        .map(|t| {
+            let engine = Arc::clone(&engine);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut i = 0u64;
+                let mut served = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    let p = Point::new(
+                        ((t * 131 + i * 97) % 2000) as f64,
+                        ((t * 57 + i * 31) % 2000) as f64,
+                    );
+                    match engine.submit(p) {
+                        Ok(EngineDecision::Served { .. }) => served += 1,
+                        Ok(EngineDecision::Degraded { shard, .. }) => {
+                            panic!("request shed during lifecycle churn (shard {shard})")
+                        }
+                        Err(e) => panic!("engine closed mid-run: {e}"),
+                    }
+                    i += 1;
+                }
+                served
+            })
+        })
+        .collect();
+    // Structural churn while the clients hammer: grow to several shards,
+    // then merge all the way back down.
+    let mut splits = 0;
+    for _ in 0..3 {
+        std::thread::sleep(Duration::from_millis(40));
+        match engine.split_shard(0) {
+            Ok(_) => splits += 1,
+            Err(LifecycleError::DegenerateSplit) => {}
+            Err(e) => panic!("split failed: {e}"),
+        }
+    }
+    assert!(splits >= 1, "demand spread over 2 km must be splittable");
+    std::thread::sleep(Duration::from_millis(40));
+    while engine.shard_count() > 1 {
+        engine.merge_shards(0, 1).unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    std::thread::sleep(Duration::from_millis(40));
+    stop.store(true, Ordering::Release);
+    let client_served: u64 = clients.into_iter().map(|c| c.join().unwrap()).sum();
+    assert_eq!(engine.shard_count(), 1);
+    assert_eq!(engine.shed_total(), 0, "nothing may shed at this capacity");
+    let snap = engine.snapshot().unwrap();
+    assert_eq!(
+        snap.metrics.requests_served, client_served,
+        "every decision handed to a client must be reflected in fleet state"
+    );
+    assert_eq!(snap.shards_active, 1);
+    let ops = engine.lifecycle_ops();
+    assert_eq!(ops.splits, splits as u64);
+    assert!(ops.merges >= 1);
+}
+
+/// A killed shard keeps its zone *serving*: submits come back `Degraded`
+/// (offline-landmark fallbacks), probes and snapshots stay clean, and
+/// recovery brings the zone back to full service.
+#[test]
+fn dead_shard_degrades_and_recovers_cleanly() {
+    let engine = Engine::start(
+        &clustered_history(),
+        lifecycle_config(DecisionPath::SyncShared),
+    );
+    let stream = request_stream(100);
+    for &p in &stream {
+        engine.submit(p).unwrap();
+    }
+    let victim = 0usize;
+    let zone_point = clustered_history()
+        .into_iter()
+        .find(|&p| engine.map().shard_of(p) == victim)
+        .expect("zone 0 holds history");
+    engine.kill_shard(victim).unwrap();
+    // Double-kill and mismatched recovery targets refuse cleanly.
+    assert_eq!(engine.kill_shard(victim), Err(LifecycleError::ShardDead));
+    assert_eq!(
+        engine.checkpoint_shard(victim),
+        Err(LifecycleError::ShardDead)
+    );
+    assert_eq!(engine.recover_shard(1), Err(LifecycleError::ShardAlive));
+    // Degraded, never dropped: the zone's requests fall back to its
+    // offline landmarks and count as sheds.
+    match engine.submit(zone_point).unwrap() {
+        EngineDecision::Degraded { shard, .. } => assert_eq!(shard, victim),
+        other => panic!("dead shard must degrade, got {other:?}"),
+    }
+    assert!(matches!(
+        engine.submit_nowait(zone_point).unwrap(),
+        Admission::Shed { shard } if shard == victim
+    ));
+    assert!(engine.decision_view(victim).is_none());
+    assert_eq!(engine.shards_active(), 1);
+    let snap = engine.snapshot().unwrap();
+    assert_eq!(snap.shards_active, 1);
+    assert!(snap.shards[victim].server.stations.is_empty());
+    assert!(snap.shed_total >= 2);
+    // Recovery restores full service for the zone.
+    engine.recover_shard(victim).unwrap();
+    assert_eq!(engine.shards_active(), 2);
+    let d = engine.submit(zone_point).unwrap();
+    assert!(!d.degraded());
+    assert_eq!(engine.lifecycle_ops().recovers, 1);
+}
+
+/// With the subsystem disabled (the default), every control method
+/// refuses with `LifecycleDisabled` and the engine behaves exactly like
+/// the static build.
+#[test]
+fn disabled_lifecycle_refuses_all_controls() {
+    let engine = Engine::start(
+        &clustered_history(),
+        EngineConfig {
+            shards: 2,
+            partition: Partition::UniformGrid,
+            ..EngineConfig::default()
+        },
+    );
+    let disabled = Err(LifecycleError::LifecycleDisabled);
+    assert_eq!(engine.checkpoint_shard(0), disabled);
+    assert_eq!(engine.kill_shard(0).err(), disabled.err());
+    assert_eq!(engine.recover_shard(0), disabled);
+    assert_eq!(engine.split_shard(0).err(), disabled.err());
+    assert_eq!(engine.merge_shards(0, 1).err(), disabled.err());
+    assert!(engine.lifecycle_tick().is_err());
+    assert_eq!(engine.lifecycle_ops().checkpoints, 0);
+    assert!(!engine.submit(Point::new(500.0, 500.0)).unwrap().degraded());
+}
+
+/// When the bounded WAL drops entries past the covering checkpoint's
+/// high-water mark, recovery refuses with `WalGap` instead of silently
+/// rebuilding a diverged shard; the zone keeps serving degraded.
+#[test]
+fn wal_gap_refuses_unreplayable_recovery() {
+    let engine = Engine::start(
+        &clustered_history(),
+        EngineConfig {
+            shards: 1,
+            partition: Partition::UniformGrid,
+            telemetry: TelemetryConfig::disabled(),
+            lifecycle: LifecycleConfig {
+                enabled: true,
+                // A 2-entry WAL with no re-checkpointing: 50 admits later
+                // the suffix past the initial image is long gone.
+                checkpoint_every: 1,
+                wal_capacity: 2,
+                ..LifecycleConfig::default()
+            },
+            ..EngineConfig::default()
+        },
+    );
+    for &p in &request_stream(50) {
+        engine.submit(p).unwrap();
+    }
+    engine.kill_shard(0).unwrap();
+    assert_eq!(engine.recover_shard(0), Err(LifecycleError::WalGap));
+    // Still dead, still serving degraded.
+    assert_eq!(engine.shards_active(), 0);
+    assert!(engine.submit(Point::new(500.0, 500.0)).unwrap().degraded());
+}
+
+/// The policy pump splits a persistently hot shard and the split relieves
+/// pressure; everything driven through the public tick, no manual split.
+#[test]
+fn lifecycle_tick_splits_a_hot_shard() {
+    let engine = Engine::start(
+        &clustered_history(),
+        EngineConfig {
+            shards: 1,
+            partition: Partition::UniformGrid,
+            decision_path: DecisionPath::SyncShared,
+            queue_capacity: 4,
+            service_delay: Duration::from_millis(2),
+            telemetry: TelemetryConfig::disabled(),
+            lifecycle: LifecycleConfig {
+                enabled: true,
+                hysteresis_ticks: 2,
+                max_shards: 4,
+                ..LifecycleConfig::default()
+            },
+            ..EngineConfig::default()
+        },
+    );
+    // Offer ~2k req/s against a 500 req/s drain: the ring stays full and
+    // sheds accumulate, while the admitted trickle still spreads over the
+    // whole field so the split cut has demand on both sides.
+    let stream = request_stream(400);
+    let mut split_seen = false;
+    for (i, &p) in stream.iter().enumerate() {
+        let _ = engine.submit_nowait(p).unwrap();
+        std::thread::sleep(Duration::from_micros(500));
+        if i % 25 == 24 {
+            for action in engine.lifecycle_tick().unwrap() {
+                if matches!(action, esharing_engine::LifecycleAction::Split { .. }) {
+                    split_seen = true;
+                }
+            }
+        }
+    }
+    assert!(
+        split_seen,
+        "a 4-deep queue with 2 ms service under a sustained 2x overload must trip the split policy"
+    );
+    assert!(engine.shard_count() > 1);
+    let ops = engine.lifecycle_ops();
+    // Shard-count conservation: starting from 1 shard, every split adds
+    // one and every merge removes one (no kills in this test).
+    assert_eq!(1 + ops.splits - ops.merges, engine.shard_count() as u64);
+}
+
+proptest! {
+    /// Satellite (d): `ShardCheckpoint` encode → decode → encode is the
+    /// identity on the *byte* level, and a shard restored from the
+    /// decoded image makes its next `k` decisions bit-for-bit identically
+    /// to the original instance.
+    #[test]
+    fn checkpoint_round_trips_and_restored_decisions_match(
+        seed in 0u64..1 << 32,
+        warm in 0usize..150,
+        next_k in 1usize..40,
+    ) {
+        let mut cfg = SystemConfig {
+            seed,
+            ..SystemConfig::default()
+        };
+        cfg.deviation.seed = seed ^ 0xA5A5_5A5A;
+        let mut system = ESharing::new(cfg.clone());
+        let jitter = (seed % 1009) as usize;
+        let history: Vec<Point> = (0..200)
+            .map(|i| Point::new(((i * 37 + jitter) % 2000) as f64, ((i * 53) % 2000) as f64))
+            .collect();
+        system.bootstrap(&history);
+        for i in 0..warm {
+            let p = Point::new(((i * 97 + jitter) % 2000) as f64, ((i * 31) % 2000) as f64);
+            system.handle_request(p).unwrap();
+        }
+        let mut latency = LatencyHistogram::new();
+        for i in 0..warm as u64 {
+            latency.record_ns(i * 997 + 3);
+        }
+        let ckpt = ShardCheckpoint {
+            system_seed: cfg.seed,
+            deviation_seed: cfg.deviation.seed,
+            wal_high_water: warm as u64,
+            latency,
+            system: system.checkpoint().unwrap(),
+        };
+        let bytes = ckpt.encode();
+        let decoded = ShardCheckpoint::decode(&bytes).unwrap();
+        prop_assert_eq!(&decoded, &ckpt);
+        prop_assert_eq!(decoded.encode(), bytes);
+        let mut restored = ESharing::restore(cfg, decoded.system);
+        for j in 0..next_k {
+            let p = Point::new(
+                ((j * 211 + jitter) % 2000) as f64,
+                ((j * 67 + 5) % 2000) as f64,
+            );
+            prop_assert_eq!(
+                restored.handle_request(p).unwrap(),
+                system.handle_request(p).unwrap(),
+                "decision {} diverged after restore", j
+            );
+        }
+        prop_assert_eq!(restored.metrics(), system.metrics());
+        prop_assert_eq!(restored.stations(), system.stations());
+        prop_assert_eq!(restored.last_similarity(), system.last_similarity());
+    }
+}
+
+/// A recovered engine keeps checkpoint/recover working repeatedly (the
+/// WAL sequence space is continuous across incarnations).
+#[test]
+fn repeated_kill_recover_cycles_stay_consistent() {
+    let history = clustered_history();
+    let stream = request_stream(300);
+    let reference = Engine::start(&history, lifecycle_config(DecisionPath::SyncShared));
+    let reference_decisions: Vec<EngineDecision> = stream
+        .iter()
+        .map(|&p| reference.submit(p).unwrap())
+        .collect();
+    let reference_systems = reference.shutdown();
+
+    let engine = Engine::start(&history, lifecycle_config(DecisionPath::SyncShared));
+    let mut decisions = Vec::with_capacity(stream.len());
+    for (i, &p) in stream.iter().enumerate() {
+        if i % 60 == 30 {
+            let victim = (i / 60) % 2;
+            engine.checkpoint_shard(victim).unwrap();
+        }
+        if i % 60 == 59 {
+            let victim = (i / 60) % 2;
+            engine.kill_shard(victim).unwrap();
+            engine.recover_shard(victim).unwrap();
+        }
+        decisions.push(engine.submit(p).unwrap());
+    }
+    assert_eq!(decisions, reference_decisions);
+    assert!(engine.lifecycle_ops().recovers >= 4);
+    let systems = engine.shutdown();
+    for (sys, reference_sys) in systems.iter().zip(&reference_systems) {
+        assert_eq!(sys.stations(), reference_sys.stations());
+        assert_eq!(sys.metrics(), reference_sys.metrics());
+    }
+}
+
+/// Lifecycle transitions are journalled and exported: the fleet snapshot
+/// carries `ShardSplit` / `ShardMerged` / `ShardRecovered` events and the
+/// `/metrics` families show the active-shard gauge and op counters.
+#[test]
+fn lifecycle_events_and_metrics_are_exported() {
+    let engine = Engine::start(
+        &clustered_history(),
+        EngineConfig {
+            shards: 2,
+            partition: Partition::UniformGrid,
+            decision_path: DecisionPath::SyncShared,
+            lifecycle: LifecycleConfig {
+                enabled: true,
+                max_shards: 4,
+                ..LifecycleConfig::default()
+            },
+            ..EngineConfig::default()
+        },
+    );
+    for &p in &request_stream(120) {
+        engine.submit(p).unwrap();
+    }
+    let new_shard = engine.split_shard(0).unwrap();
+    engine.merge_shards(0, new_shard).unwrap();
+    engine.checkpoint_shard(1).unwrap();
+    engine.kill_shard(1).unwrap();
+    engine.recover_shard(1).unwrap();
+    let snap = engine.snapshot().unwrap();
+    assert_eq!(snap.shards_active, 2);
+    assert_eq!(snap.lifecycle.splits, 1);
+    assert_eq!(snap.lifecycle.merges, 1);
+    assert_eq!(snap.lifecycle.recovers, 1);
+    // Explicit checkpoint plus the implicit ones the structural ops and
+    // recovery store for their new shards.
+    assert!(snap.lifecycle.checkpoints >= 1);
+    assert_eq!(snap.registry.gauge("esharing_shards_active"), Some(2.0));
+    assert!(snap.registry.counter_total("esharing_lifecycle_ops_total") >= 3);
+    let prom = snap.to_prometheus();
+    assert!(prom.contains("esharing_shards_active 2"));
+    assert!(prom.contains("esharing_lifecycle_ops_total{op=\"split\"} 1"));
+    assert!(prom.contains("esharing_lifecycle_ops_total{op=\"merge\"} 1"));
+    assert!(prom.contains("esharing_lifecycle_ops_total{op=\"recover\"} 1"));
+    let kinds: Vec<String> = snap
+        .events
+        .iter()
+        .map(|r| format!("{:?}", r.event.kind))
+        .collect();
+    assert!(kinds.iter().any(|k| k.starts_with("ShardSplit")));
+    assert!(kinds.iter().any(|k| k.starts_with("ShardMerged")));
+    assert!(kinds.iter().any(|k| k.starts_with("ShardRecovered")));
+    // Fleet totals survive the churn: split + merge conserve sums.
+    assert_eq!(snap.metrics.requests_served, 120);
+    let json = snap.to_json();
+    assert!(json.contains("\"shards_active\": 2"));
+    assert!(json.contains("\"lifecycle_splits\": 1"));
+}

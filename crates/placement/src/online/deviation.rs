@@ -212,6 +212,61 @@ pub struct DecisionView {
     pub last_similarity: Option<f64>,
 }
 
+/// A complete, serializable image of a [`DeviationPenaltyCore`]'s mutable
+/// state — everything [`DeviationPenaltyCore::restore`] needs to rebuild
+/// an instance that makes bit-identical decisions from the next request
+/// onward.
+///
+/// The spatial index is not stored structurally: `stations` is the
+/// insertion-order log (the `k` offline landmarks first, then online
+/// openings in opening order), and re-inserting it into a fresh index
+/// reproduces the index exactly. Likewise the RNG is stored by position —
+/// `(rng_seed, rng_draws)` — and restored by reseeding and discarding
+/// `rng_draws` draws, so the checkpoint stays a flat plain-old-data
+/// struct regardless of RNG internals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviationCheckpoint {
+    /// Offline parking count `k` (absent removals, the first `k` entries
+    /// of `stations` are the offline landmarks).
+    pub k: u64,
+    /// Active penalty type as its stable code ([`PenaltyType::code`]).
+    pub penalty_kind: u8,
+    /// Penalty tolerance `L` in force (meters).
+    pub penalty_tolerance: f64,
+    /// Current decision-making opening cost `f`.
+    pub f_dec: f64,
+    /// The initial opening cost (the shift-reset target).
+    pub f_dec_initial: f64,
+    /// Established stations in insertion order (landmarks then openings).
+    pub stations: Vec<Point>,
+    /// Accumulated walking cost.
+    pub walking_cost: f64,
+    /// Accumulated space cost.
+    pub space_cost: f64,
+    /// Stations opened online so far.
+    pub opened_online: u64,
+    /// RNG seed the instance was created with.
+    pub rng_seed: u64,
+    /// Opening coin flips drawn since seeding (the RNG position).
+    pub rng_draws: u64,
+    /// Requests since the last doubling.
+    pub a: u64,
+    /// The (already subsampled) historical KS sample `H`.
+    pub history: Vec<Point>,
+    /// The live KS window `G`, oldest first.
+    pub window: Vec<Point>,
+    /// KS similarity percent at the last periodic test, if any ran.
+    pub last_similarity: Option<f64>,
+    /// Consecutive *less similar* KS verdicts.
+    pub shift_streak: u32,
+    /// Doubling epochs completed.
+    pub epoch: u64,
+    /// Observability events discarded before the checkpoint (carried so
+    /// monitoring counters survive a restore; the buffer itself is
+    /// drained state and starts empty).
+    pub events_dropped: u64,
+}
+
 /// The request-path half of the algorithm: everything a single decision
 /// reads *and writes* — the spatial index, the penalty function, the
 /// opening cost, the RNG and the cost accumulators. Mutated on every
@@ -226,8 +281,16 @@ struct DecisionState<I: SpatialIndex> {
     f_dec_initial: f64,
     index: I,
     rng: StdRng,
+    /// Opening coin flips drawn so far; with the seed this pins the RNG
+    /// position, letting a checkpoint restore resume the exact stream.
+    rng_draws: u64,
     cost: PlacementCost,
     opened_online: usize,
+    /// Every established station in insertion order (landmarks first,
+    /// then online openings). Re-inserting this log into a fresh index
+    /// reproduces the index bit-identically, which is what makes
+    /// [`DeviationPenaltyCore::restore`] exact.
+    station_log: Vec<Point>,
 }
 
 /// The monitor half: the KS drift machinery and the doubling schedule.
@@ -318,6 +381,7 @@ impl<I: SpatialIndex> DeviationPenaltyCore<I> {
             index.insert(p);
             cost.space += cfg.space_cost;
         }
+        let station_log = landmarks;
         // Subsample the history to bound the KS test cost, then rank it
         // once — the periodic tests reuse the sorted structures.
         let mut history = history;
@@ -337,8 +401,10 @@ impl<I: SpatialIndex> DeviationPenaltyCore<I> {
                 f_dec_initial,
                 index,
                 rng: StdRng::seed_from_u64(cfg.seed),
+                rng_draws: 0,
                 cost,
                 opened_online: 0,
+                station_log,
             },
             monitor: MonitorState {
                 a: 0,
@@ -434,7 +500,19 @@ impl<I: SpatialIndex> DeviationPenaltyCore<I> {
     /// whether the station existed. The space cost already paid is not
     /// refunded.
     pub fn remove_station(&mut self, station: Point) -> bool {
-        self.decision.index.remove(station)
+        let removed = self.decision.index.remove(station);
+        if removed {
+            // Keep the insertion log in sync so a later checkpoint carries
+            // the surviving station set. (A restore re-inserts the log in
+            // order; after removals the rebuilt index can differ in
+            // internal layout from the original — the station *set* is
+            // identical, but bit-exact restores are only guaranteed for
+            // insert-only histories, which is all the serving engine uses.)
+            if let Some(pos) = self.decision.station_log.iter().position(|&p| p == station) {
+                self.decision.station_log.remove(pos);
+            }
+        }
+        removed
     }
 
     /// Runs the periodic maintenance due every `⌈β·k⌉` requests: doubling
@@ -518,6 +596,7 @@ impl<I: SpatialIndex> DeviationPenaltyCore<I> {
     /// accounting, event emission.
     fn open_at(&mut self, destination: Point) -> Decision {
         self.decision.index.insert(destination);
+        self.decision.station_log.push(destination);
         self.decision.cost.space += self.cfg.space_cost;
         self.decision.opened_online += 1;
         self.emit(PlacementEvent::Opened {
@@ -544,7 +623,11 @@ impl<I: SpatialIndex> DeviationPenaltyCore<I> {
                     _ => self.decision.penalty.g(c),
                 };
                 let prob = (g * c / self.decision.f_dec).min(1.0);
-                if c > 0.0 && self.decision.rng.gen_range(0.0..1.0) < prob {
+                let opens = c > 0.0 && {
+                    self.decision.rng_draws += 1;
+                    self.decision.rng.gen_range(0.0..1.0) < prob
+                };
+                if opens {
                     self.open_at(destination)
                 } else {
                     self.decision.cost.walking += c;
@@ -554,6 +637,120 @@ impl<I: SpatialIndex> DeviationPenaltyCore<I> {
                     }
                 }
             }
+        }
+    }
+
+    /// Captures a [`DeviationCheckpoint`] of the complete mutable state.
+    ///
+    /// Cheap relative to serving (three `Vec` clones of bounded size); the
+    /// instance is untouched. [`Self::restore`] with the same
+    /// [`DeviationConfig`] rebuilds an instance whose subsequent decisions
+    /// are bit-identical to this one's.
+    pub fn checkpoint(&self) -> DeviationCheckpoint {
+        DeviationCheckpoint {
+            k: self.decision.k as u64,
+            penalty_kind: self.decision.penalty.kind().code(),
+            penalty_tolerance: self.decision.penalty.tolerance(),
+            f_dec: self.decision.f_dec,
+            f_dec_initial: self.decision.f_dec_initial,
+            stations: self.decision.station_log.clone(),
+            walking_cost: self.decision.cost.walking,
+            space_cost: self.decision.cost.space,
+            opened_online: self.decision.opened_online as u64,
+            rng_seed: self.cfg.seed,
+            rng_draws: self.decision.rng_draws,
+            a: self.monitor.a as u64,
+            history: self.monitor.history.points().to_vec(),
+            window: self.monitor.window.iter().collect(),
+            last_similarity: self.monitor.last_similarity,
+            shift_streak: self.monitor.shift_streak,
+            epoch: self.monitor.epoch,
+            events_dropped: self.events_dropped,
+        }
+    }
+
+    /// Rebuilds an instance from a checkpoint.
+    ///
+    /// `cfg` supplies the non-checkpointed knobs (space cost, β, KS window
+    /// size, …) and would normally be the config the checkpointed instance
+    /// ran with; its `seed` is overwritten by the checkpoint's `rng_seed`
+    /// so the restored RNG resumes the original stream (and so
+    /// re-checkpointing round-trips exactly). The restored instance's next
+    /// decisions are bit-identical to what the original would have made.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint is internally inconsistent (no landmarks,
+    /// fewer stations than `k`, an unknown penalty code, or non-positive
+    /// costs) or if `cfg` is invalid.
+    pub fn restore(ckpt: DeviationCheckpoint, mut cfg: DeviationConfig) -> Self {
+        cfg.validate();
+        cfg.seed = ckpt.rng_seed;
+        // Note `stations` may hold fewer than `k` points (or none at all)
+        // if stations were removed; the algorithm re-establishes from
+        // requests, so that is restorable state too.
+        let k = usize::try_from(ckpt.k).expect("checkpoint k overflows usize");
+        assert!(k >= 1, "checkpoint must carry at least one landmark");
+        let penalty_kind =
+            PenaltyType::from_code(ckpt.penalty_kind).expect("unknown penalty code in checkpoint");
+        // `f_dec` only ever doubles between drift resets, so a
+        // long-running instance legitimately saturates it to `+inf`
+        // (opening probability 0) — an absorbing state that round-trips
+        // exactly. Only NaN / non-positive values are inconsistent.
+        assert!(
+            ckpt.f_dec > 0.0 && ckpt.f_dec_initial.is_finite() && ckpt.f_dec_initial > 0.0,
+            "checkpoint decision costs must be positive"
+        );
+        let mut index = I::with_bucket_size(cfg.tolerance.max(50.0));
+        for &p in &ckpt.stations {
+            index.insert(p);
+        }
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        for _ in 0..ckpt.rng_draws {
+            let _: f64 = rng.gen_range(0.0..1.0);
+        }
+        // Same bounding as `new()`: the checkpointed history is already
+        // subsampled, so this only bites if the cap shrank across restore.
+        let mut history = ckpt.history;
+        if history.len() > cfg.history_cap {
+            let stride = history.len() as f64 / cfg.history_cap as f64;
+            history = (0..cfg.history_cap)
+                .map(|i| history[(i as f64 * stride) as usize])
+                .collect();
+        }
+        let history = RankedSample::new(&history);
+        let mut window = IncrementalWindow::new();
+        let skip = ckpt.window.len().saturating_sub(cfg.ks_window);
+        for &p in &ckpt.window[skip..] {
+            window.push_back(p);
+        }
+        let doubling_period = ((cfg.beta * k as f64).ceil() as usize).max(1);
+        DeviationPenaltyCore {
+            decision: DecisionState {
+                k,
+                penalty: PenaltyFunction::new(penalty_kind, ckpt.penalty_tolerance),
+                f_dec: ckpt.f_dec,
+                f_dec_initial: ckpt.f_dec_initial,
+                index,
+                rng,
+                rng_draws: ckpt.rng_draws,
+                cost: PlacementCost::new(ckpt.walking_cost, ckpt.space_cost),
+                opened_online: usize::try_from(ckpt.opened_online)
+                    .expect("checkpoint opened_online overflows usize"),
+                station_log: ckpt.stations,
+            },
+            monitor: MonitorState {
+                a: usize::try_from(ckpt.a).expect("checkpoint counter overflows usize"),
+                doubling_period,
+                history,
+                window,
+                last_similarity: ckpt.last_similarity,
+                shift_streak: ckpt.shift_streak,
+                epoch: ckpt.epoch,
+            },
+            events: Vec::with_capacity(EVENT_BUFFER_CAP),
+            events_dropped: ckpt.events_dropped,
+            cfg,
         }
     }
 
@@ -956,6 +1153,53 @@ mod tests {
         alg.take_events(&mut events);
         assert_eq!(events.len(), EVENT_BUFFER_CAP);
         assert!(alg.events_dropped() > 0);
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_bit_identically() {
+        let history = uniform_stream(200, 900.0, 61);
+        let stream = uniform_stream(400, 900.0, 62);
+        let cfg = DeviationConfig {
+            seed: 99,
+            ..DeviationConfig::default()
+        };
+        let mut alg = DeviationPenalty::new(grid_landmarks(), history, cfg.clone());
+        let mut drained = Vec::new();
+        for &p in &stream[..250] {
+            alg.handle(p);
+            alg.take_events(&mut drained);
+        }
+        let ckpt = alg.checkpoint();
+        // Restore then re-checkpoint must round-trip exactly.
+        let mut restored = DeviationPenalty::restore(ckpt.clone(), cfg);
+        assert_eq!(restored.checkpoint(), ckpt);
+        // And the restored instance must continue the original's exact
+        // decision stream — RNG position, costs, KS schedule and all.
+        for (i, &p) in stream[250..].iter().enumerate() {
+            assert_eq!(alg.handle(p), restored.handle(p), "diverged at {i}");
+            alg.take_events(&mut drained);
+            restored.take_events(&mut drained);
+        }
+        assert_eq!(alg.cost(), restored.cost());
+        assert_eq!(alg.stations(), restored.stations());
+        assert_eq!(alg.decision_cost(), restored.decision_cost());
+        assert_eq!(alg.last_similarity(), restored.last_similarity());
+        assert_eq!(alg.epoch(), restored.epoch());
+        assert_eq!(alg.checkpoint(), restored.checkpoint());
+    }
+
+    #[test]
+    fn checkpoint_survives_station_removal() {
+        // After a removal the log tracks the surviving set; a restore must
+        // serve from exactly those stations.
+        let landmarks = grid_landmarks();
+        let mut alg =
+            DeviationPenalty::new(landmarks.clone(), Vec::new(), DeviationConfig::default());
+        assert!(alg.remove_station(landmarks[2]));
+        let ckpt = alg.checkpoint();
+        assert_eq!(ckpt.stations.len(), landmarks.len() - 1);
+        let restored = DeviationPenalty::restore(ckpt, DeviationConfig::default());
+        assert_eq!(restored.stations().len(), landmarks.len() - 1);
     }
 
     #[test]

@@ -19,8 +19,8 @@ mod kmeans;
 mod meyerson;
 
 pub use deviation::{
-    DecisionView, DeviationConfig, DeviationPenalty, DeviationPenaltyCore, HandleTrace,
-    PlacementEvent, EVENT_BUFFER_CAP,
+    DecisionView, DeviationCheckpoint, DeviationConfig, DeviationPenalty, DeviationPenaltyCore,
+    HandleTrace, PlacementEvent, EVENT_BUFFER_CAP,
 };
 pub use kmeans::OnlineKMeans;
 pub use meyerson::Meyerson;

@@ -45,6 +45,28 @@ impl PenaltyType {
             SimilarityClass::LessSimilar => PenaltyType::TypeI,
         }
     }
+
+    /// The paper's stable type number (0 = no penalty) — the encoding used
+    /// by journal events and checkpoint serialization.
+    pub fn code(self) -> u8 {
+        match self {
+            PenaltyType::None => 0,
+            PenaltyType::TypeI => 1,
+            PenaltyType::TypeII => 2,
+            PenaltyType::TypeIII => 3,
+        }
+    }
+
+    /// Inverse of [`PenaltyType::code`]; `None` for an unknown code.
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(PenaltyType::None),
+            1 => Some(PenaltyType::TypeI),
+            2 => Some(PenaltyType::TypeII),
+            3 => Some(PenaltyType::TypeIII),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for PenaltyType {

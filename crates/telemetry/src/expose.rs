@@ -362,6 +362,21 @@ fn event_kind_json(kind: &EventKind) -> (&'static str, String) {
                 json_f64(*total_cost)
             ),
         ),
+        EventKind::RequestAdmitted { x, y } => (
+            "request_admitted",
+            format!("\"x\": {}, \"y\": {}", json_f64(*x), json_f64(*y)),
+        ),
+        EventKind::ShardSplit { parent, lo, hi } => (
+            "shard_split",
+            format!("\"parent\": {parent}, \"lo\": {lo}, \"hi\": {hi}"),
+        ),
+        EventKind::ShardMerged { a, b, into } => {
+            ("shard_merged", format!("\"a\": {a}, \"b\": {b}, \"into\": {into}"))
+        }
+        EventKind::ShardRecovered { shard, replayed } => (
+            "shard_recovered",
+            format!("\"shard\": {shard}, \"replayed\": {replayed}"),
+        ),
     }
 }
 

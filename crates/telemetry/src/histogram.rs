@@ -117,6 +117,28 @@ impl LatencyHistogram {
         self.max_ns = self.max_ns.max(ns);
     }
 
+    /// Reconstructs a histogram from previously captured parts (see
+    /// [`LatencyHistogram::buckets`]): the checkpoint/restore path of the
+    /// sharded engine round-trips histograms through a flat byte encoding
+    /// and needs to rebuild the exact counter state. `count` is derived
+    /// from the bucket sums — recording keeps them equal by construction.
+    pub fn from_parts(buckets: Vec<u64>, sum_ns: u64, max_ns: u64) -> Self {
+        let count = buckets.iter().sum();
+        LatencyHistogram {
+            buckets,
+            count,
+            sum_ns,
+            max_ns,
+        }
+    }
+
+    /// The raw bucket counters, lowest bucket first (exactly what
+    /// [`LatencyHistogram::from_parts`] consumes). The vector only extends
+    /// to the highest observed bucket.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
     /// Observations recorded.
     pub fn count(&self) -> u64 {
         self.count

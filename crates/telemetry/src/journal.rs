@@ -59,6 +59,43 @@ pub enum EventKind {
         /// Cumulative maintenance cost in dollars.
         total_cost: f64,
     },
+    /// The shard's admitted-request write-ahead log entry: one accepted
+    /// destination, recorded *in apply order* before the decision state
+    /// can change. Replaying the suffix past a checkpoint's high-water
+    /// sequence reproduces the shard bit-identically.
+    RequestAdmitted {
+        /// Easting of the admitted destination, meters.
+        x: f64,
+        /// Northing of the admitted destination, meters.
+        y: f64,
+    },
+    /// A hot shard split in two: the parent zone was bisected and its
+    /// state partitioned by point membership.
+    ShardSplit {
+        /// The shard that split.
+        parent: u64,
+        /// Child keeping the parent's slot (and cumulative counters).
+        lo: u64,
+        /// Newly appended child shard.
+        hi: u64,
+    },
+    /// Two cold shards merged into one.
+    ShardMerged {
+        /// First (surviving) parent.
+        a: u64,
+        /// Second parent, retired by the merge.
+        b: u64,
+        /// The surviving shard index after renumbering.
+        into: u64,
+    },
+    /// A killed shard was respawned from its last checkpoint plus a WAL
+    /// suffix replay.
+    ShardRecovered {
+        /// The recovered shard.
+        shard: u64,
+        /// WAL entries replayed past the checkpoint's high-water mark.
+        replayed: u64,
+    },
 }
 
 /// One journal entry.
