@@ -15,9 +15,12 @@ echo "==> tier-1: cargo build --release && cargo test"
 cargo build --release
 cargo test --workspace -q
 
-echo "==> property oracles: flat-grid index and incremental KS window"
+echo "==> property oracles: flat-grid index, incremental KS window, deferred drift"
 cargo test --release -p esharing-geo --test index_equivalence -q
 cargo test --release -p esharing-stats --test ks_equivalence -q
+# Deferred-mode decision streams must match the reference model (verdict
+# snapshotted at boundary N, committed at N+1) in both drift modes.
+cargo test --release -p esharing-placement --test drift_equivalence -q
 
 echo "==> smoke: one experiment binary end to end"
 cargo run --release -p esharing-bench --bin exp_table4
@@ -36,11 +39,40 @@ for row in request_server_p50 request_server_p999 engine_s4_p90 engine_s4_p999 \
            engine_s1_decision_p50 engine_s1_decision_p99 \
            engine_s4_decision_p50 engine_s4_decision_p99 \
            engine_s1_telemetry_on_p50 engine_s1_telemetry_off_p50 \
+           engine_s4_drift_inline_decision_p50 engine_s4_drift_inline_shard_p99 \
+           engine_s4_drift_inline_shard_p999 \
+           engine_s4_drift_deferred_decision_p50 engine_s4_drift_deferred_shard_p99 \
+           engine_s4_drift_deferred_shard_p999 \
            flood_static flood_static_shed flood_elastic flood_elastic_shed \
            flood_elastic_shards; do
   grep -q "\"$row\"" "$BENCH_TMP/BENCH_engine.json" \
     || { echo "BENCH_engine.json lacks latency row $row"; exit 1; }
 done
+
+# Convoy gate on the *committed* trajectory: with re-tests deferred off the
+# seat, the worst shard's p99 must sit within 10x the decision p50 (200 µs
+# noise floor — one scheduler hiccup on a loaded box is not a convoy), and
+# the deep tail must stay under 2 ms. The inline rows are retained as the
+# measured baseline, so the convoy this PR removed stays visible.
+awk -F'median_ns": ' '
+  /"engine_s8_drift_deferred_decision_p50"/ { split($2, a, ","); p50  = a[1] }
+  /"engine_s8_drift_deferred_shard_p99"/    { split($2, a, ","); p99  = a[1] }
+  /"engine_s8_drift_deferred_shard_p999"/   { split($2, a, ","); p999 = a[1] }
+  /"engine_s8_drift_inline_shard_p99"/      { split($2, a, ","); inl  = a[1] }
+  END {
+    if (p50 == "" || p99 == "" || p999 == "" || inl == "") {
+      print "committed BENCH_engine.json lacks the s8 drift convoy rows"; exit 1
+    }
+    budget = 10 * p50; if (budget < 200000) budget = 200000
+    if (p99 > budget) {
+      printf "deferred s8 worst-shard p99 %.0f ns exceeds 10x decision p50 (budget %.0f ns)\n", p99, budget
+      exit 1
+    }
+    if (p999 > 2000000) {
+      printf "deferred s8 worst-shard p999 %.0f ns exceeds the 2 ms deep-tail bound\n", p999
+      exit 1
+    }
+  }' BENCH_engine.json
 
 # Elastic-lifecycle smokes: a shard killed mid-stream must recover from its
 # checkpoint + WAL suffix and reconverge bit-identically (both decision
@@ -53,6 +85,11 @@ cargo test --release -p esharing-engine --test lifecycle -q \
   kill_at_random_point_reconverges_bit_identically
 cargo test --release -p esharing-engine --test lifecycle -q \
   split_and_merge_drop_no_in_flight_requests
+# A shard killed *between* a boundary snapshot and its verdict commit must
+# restore the pending re-test from the checkpoint and reconverge
+# bit-identically on both decision paths.
+cargo test --release -p esharing-engine --test lifecycle -q \
+  kill_between_boundary_snapshot_and_verdict_commit_reconverges
 
 # The binary already aborts when instrumentation costs more than the budget,
 # but re-derive the check from the emitted rows so a stale or hand-edited
@@ -82,12 +119,27 @@ for row in engine_s1_p50 engine_s1_decision_p50; do
     || { echo "mailbox-fallback BENCH_engine.json lacks latency row $row"; exit 1; }
 done
 
+# The inline-drift fallback (Algorithm 2 exactly as written, re-test under
+# the seat) stays reachable behind --inline-drift; make sure it serves end
+# to end and still emits the convoy-comparison rows.
+echo "==> smoke: inline-drift fallback lane (--inline-drift)"
+BENCH_TMP_ID="$BENCH_TMP/inline-drift"
+mkdir -p "$BENCH_TMP_ID"
+ESHARING_BENCH_DIR="$BENCH_TMP_ID" \
+  cargo run --release -p esharing-bench --bin exp_engine -- --smoke --inline-drift --shards 1,4
+for row in engine_s4_p50 engine_s4_decision_p50 engine_s4_drift_deferred_shard_p99; do
+  grep -q "\"$row\"" "$BENCH_TMP_ID/BENCH_engine.json" \
+    || { echo "inline-drift BENCH_engine.json lacks latency row $row"; exit 1; }
+done
+
 # The --serve run scraped its own /metrics mid-run; the payload must carry
 # the decision, shed and KS-drift metric families end to end.
 for family in esharing_decisions_total esharing_sheds_total \
               esharing_ks_d_statistic esharing_decision_stage_ns \
               esharing_pending_downstream \
-              esharing_shards_active esharing_lifecycle_ops_total; do
+              esharing_shards_active esharing_lifecycle_ops_total \
+              esharing_drift_pending ks_retest_deferred \
+              esharing_ks_verdicts_committed_total; do
   grep -q "$family" "$BENCH_TMP/telemetry_scrape.prom" \
     || { echo "telemetry scrape lacks metric family $family"; exit 1; }
 done

@@ -1,9 +1,7 @@
 //! Criterion benches for Tier 2: TSP solvers and the incentive pass.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use esharing_charging::{
-    tsp, ChargingCostParams, IncentiveMechanism, StationEnergy, UserModel,
-};
+use esharing_charging::{tsp, ChargingCostParams, IncentiveMechanism, StationEnergy, UserModel};
 use esharing_geo::Point;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -46,12 +44,8 @@ fn bench_incentives(c: &mut Criterion) {
             arrivals: 100,
         })
         .collect();
-    let mechanism = IncentiveMechanism::new(
-        ChargingCostParams::default(),
-        UserModel::default(),
-        0.4,
-        9,
-    );
+    let mechanism =
+        IncentiveMechanism::new(ChargingCostParams::default(), UserModel::default(), 0.4, 9);
     c.bench_function("incentive_period_40_stations", |b| {
         b.iter(|| black_box(mechanism.run_period(&stations)));
     });

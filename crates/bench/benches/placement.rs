@@ -171,6 +171,10 @@ fn perf_trajectory(smoke: bool) {
 
 criterion_group!(benches, bench_offline, bench_online);
 
+// The offline build stubs `Criterion` as a unit struct, which makes this
+// `default()` call trip `default_constructed_unit_structs`; the real crate
+// needs it.
+#[allow(clippy::default_constructed_unit_structs)]
 fn main() {
     let smoke = std::env::var_os("ESHARING_BENCH_SMOKE").is_some();
     if !smoke {

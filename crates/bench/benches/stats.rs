@@ -71,6 +71,10 @@ fn perf_trajectory() {
 
 criterion_group!(benches, bench_ks);
 
+// The offline build stubs `Criterion` as a unit struct, which makes this
+// `default()` call trip `default_constructed_unit_structs`; the real crate
+// needs it.
+#[allow(clippy::default_constructed_unit_structs)]
 fn main() {
     benches();
     Criterion::default().configure_from_args().final_summary();

@@ -205,7 +205,11 @@ fn ablate_tsp() {
         nn.push(tsp::route_length(depot, &stops, &order_nn));
         let order_two = tsp::two_opt(depot, &stops, &order_nn);
         two.push(tsp::route_length(depot, &stops, &order_two));
-        exact.push(tsp::route_length(depot, &stops, &tsp::held_karp(depot, &stops)));
+        exact.push(tsp::route_length(
+            depot,
+            &stops,
+            &tsp::held_karp(depot, &stops),
+        ));
     }
     println!(
         "nearest-neighbour: {:.0} m   +2-opt: {:.0} m   exact (Held-Karp): {:.0} m",
@@ -248,8 +252,7 @@ fn ablate_polynomial_penalty() {
             // Landmark: the near-cluster center only — the far ring is the
             // "deviation" the penalty must learn to accommodate.
             let marks = vec![center];
-            let deviations: Vec<f64> =
-                history.iter().map(|p| p.distance(center)).collect();
+            let deviations: Vec<f64> = history.iter().map(|p| p.distance(center)).collect();
             let custom = if choice == "fitted polynomial" {
                 Some(PolynomialPenalty::fit(&deviations, 5).expect("fit"))
             } else {
@@ -338,9 +341,7 @@ fn ablate_personalized_incentives() {
         oracle_moved.mean(),
         oracle_paid.mean() / oracle_moved.mean().max(1.0)
     );
-    println!(
-        "the gap is the price of the paper's one-shot, privacy-preserving uniform offer."
-    );
+    println!("the gap is the price of the paper's one-shot, privacy-preserving uniform offer.");
 }
 
 fn main() {

@@ -36,8 +36,22 @@
 //! decision/shed/KS-drift families are present, and writes the payload to
 //! `telemetry_scrape.prom`.
 //!
+//! Engine runs default to [`DriftMode::Deferred`]: boundary KS re-tests
+//! are snapshotted on-seat and evaluated off-seat on the shard's drain
+//! worker, so the boundary request no longer drags the whole window's
+//! O(n·m) Peacock evaluation through the seat. `--inline-drift` restores
+//! the original convoying mode as the measured baseline. The widest
+//! engine width additionally runs **both** modes back to back and emits
+//! `engine_s{N}_drift_inline_*` / `engine_s{N}_drift_deferred_*` rows
+//! (worst-shard p99/p999 plus fleet decision p50) so the re-test convoy
+//! — and its removal — stays visible in the committed trajectory; the
+//! binary fails if the deferred worst-shard p99 exceeds 10x the decision
+//! p50 (with a 200 µs noise floor). Per-shard quantile rows carry a
+//! thin-evidence note when the shard histogram holds fewer than 100
+//! samples.
+//!
 //! Usage: `exp_engine [--smoke] [--serve] [--mailbox-fallback]
-//!                    [--requests N] [--delay-us D]
+//!                    [--inline-drift] [--requests N] [--delay-us D]
 //!                    [--clients C] [--shards S1,S2,...]`
 //!
 //! `--smoke` shrinks the run and skips the artifact writes (CI mode).
@@ -53,6 +67,7 @@ use esharing_engine::{
     TelemetryConfig,
 };
 use esharing_geo::{BBox, Point};
+use esharing_placement::online::DriftMode;
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -64,6 +79,7 @@ struct Args {
     smoke: bool,
     serve: bool,
     path: DecisionPath,
+    drift: DriftMode,
     requests: usize,
     delay: Duration,
     clients: usize,
@@ -75,6 +91,7 @@ fn parse_args() -> Args {
         smoke: false,
         serve: false,
         path: DecisionPath::SyncShared,
+        drift: DriftMode::Deferred,
         requests: 4_000,
         delay: Duration::from_micros(300),
         clients: 16,
@@ -92,6 +109,7 @@ fn parse_args() -> Args {
             }
             "--serve" => args.serve = true,
             "--mailbox-fallback" => args.path = DecisionPath::Mailbox,
+            "--inline-drift" => args.drift = DriftMode::Inline,
             "--requests" => args.requests = value("--requests").parse().expect("--requests N"),
             "--delay-us" => {
                 args.delay =
@@ -166,7 +184,15 @@ fn run_server(
     report
 }
 
-fn start_engine(history: &[Point], shards: usize, delay: Duration, path: DecisionPath) -> Engine {
+fn start_engine(
+    history: &[Point],
+    shards: usize,
+    delay: Duration,
+    path: DecisionPath,
+    drift: DriftMode,
+) -> Engine {
+    let mut system = SystemConfig::default();
+    system.deviation.drift_mode = drift;
     Engine::start(
         history,
         EngineConfig {
@@ -174,7 +200,7 @@ fn start_engine(history: &[Point], shards: usize, delay: Duration, path: Decisio
             partition: Partition::UniformGrid,
             decision_path: path,
             service_delay: delay,
-            system: SystemConfig::default(),
+            system,
             ..EngineConfig::default()
         },
     )
@@ -270,6 +296,128 @@ fn assert_telemetry_overhead(
     );
     emitter.record_duration("engine_s1_telemetry_on_p50", 0, micros(on));
     emitter.record_duration("engine_s1_telemetry_off_p50", 0, micros(off));
+}
+
+/// Worst-shard tail and fleet decision p50 from one drift-mode arm.
+struct DriftOutcome {
+    decision_p50_ns: u64,
+    shard_p99_ns: u64,
+    shard_p999_ns: u64,
+    retests: u64,
+}
+
+/// Inline-vs-deferred re-test convoy measurement at the widest engine
+/// width: the same balanced stream replayed twice, once with boundary KS
+/// re-tests evaluated inline under the seat (the convoy: every request
+/// queued behind a boundary pays the full O(n·m) Peacock evaluation) and
+/// once deferred to the shard's drain worker with the verdict committed
+/// at the next boundary. Emits `engine_s{N}_drift_{inline,deferred}_*`
+/// rows — worst-shard p99/p999 plus fleet decision p50 — and fails the
+/// run if the deferred worst-shard p99 exceeds 10x the deferred decision
+/// p50 (200 µs noise floor: a scheduler hiccup on a loaded CI box is not
+/// a convoy).
+///
+/// Unlike the scaling table, this replay is **paced** ([`DRIFT_RATE_S`]
+/// req/s fleet-wide): a saturation blast drives per-shard doubling
+/// boundaries closer together than one Peacock evaluation takes, so no
+/// off-seat verdict could ever be ready by its commit boundary and both
+/// modes degenerate to the same convoy. The convoy claim is about
+/// *serving*, where requests arrive on wall-clock gaps — the pace keeps
+/// boundary gaps (tens of ms) far above worker pickup (~1 ms harvest
+/// quantum) plus evaluation, which is exactly the regime the deferred
+/// protocol targets. The saturation numbers stay visible in the main
+/// `engine_s{N}_*` rows.
+fn drift_experiment(
+    emitter: &mut PerfEmitter,
+    history: &[Point],
+    stream: &[Point],
+    args: &Args,
+    shards: usize,
+) {
+    /// Fleet-wide offered rate for the convoy comparison, requests/s.
+    const DRIFT_RATE_S: f64 = 4_000.0;
+    let run = |mode: DriftMode| {
+        let engine = start_engine(history, shards, args.delay, args.path, mode);
+        let report = replay(
+            &engine,
+            stream,
+            &ReplayConfig {
+                clients: args.clients,
+                rate_per_s: Some(DRIFT_RATE_S),
+            },
+        );
+        assert_eq!(report.degraded, 0, "drift comparison must not shed");
+        let snapshot = engine.snapshot().expect("engine is running");
+        let outcome = DriftOutcome {
+            decision_p50_ns: snapshot.fleet.latency.p50_ns(),
+            shard_p99_ns: snapshot
+                .shards
+                .iter()
+                .map(|s| s.server.latency.p99_ns())
+                .max()
+                .unwrap_or(0),
+            shard_p999_ns: snapshot
+                .shards
+                .iter()
+                .map(|s| s.server.latency.p999_ns())
+                .max()
+                .unwrap_or(0),
+            retests: snapshot
+                .shards
+                .iter()
+                .map(|s| s.registry.counter_total("esharing_ks_tests_total"))
+                .sum(),
+        };
+        let _ = engine.shutdown();
+        outcome
+    };
+    let inline = run(DriftMode::Inline);
+    let deferred = run(DriftMode::Deferred);
+    let us = |ns: u64| ns as f64 / 1_000.0;
+    println!(
+        "drift re-test convoy (s{shards}, worst shard, {} inline / {} deferred re-tests):\n\
+         \x20 drift_inline  : decision p50 {:8.1} µs, shard p99 {:8.1} µs, shard p999 {:8.1} µs\n\
+         \x20 drift_deferred: decision p50 {:8.1} µs, shard p99 {:8.1} µs, shard p999 {:8.1} µs",
+        inline.retests,
+        deferred.retests,
+        us(inline.decision_p50_ns),
+        us(inline.shard_p99_ns),
+        us(inline.shard_p999_ns),
+        us(deferred.decision_p50_ns),
+        us(deferred.shard_p99_ns),
+        us(deferred.shard_p999_ns),
+    );
+    for (mode, o) in [("inline", &inline), ("deferred", &deferred)] {
+        for (suffix, ns) in [
+            ("decision_p50", o.decision_p50_ns),
+            ("shard_p99", o.shard_p99_ns),
+            ("shard_p999", o.shard_p999_ns),
+        ] {
+            emitter.record_duration(
+                &format!("engine_s{shards}_drift_{mode}_{suffix}"),
+                0,
+                Duration::from_nanos(ns),
+            );
+        }
+    }
+    // The gate needs evidence: a smoke run's ~80 samples per shard make
+    // p99 the max sample, and its sub-millisecond burst ends before the
+    // drain worker's ~1 ms harvest quantum can pick a task up, so commits
+    // legitimately fall back to the synchronous path. Full-size runs have
+    // hundreds of samples per shard and multi-millisecond boundary gaps —
+    // there the convoy bound is enforced.
+    if args.smoke {
+        println!("smoke mode: drift convoy rows emitted, p99 gate skipped (evidence-thin)");
+        return;
+    }
+    let budget = (10 * deferred.decision_p50_ns).max(200_000);
+    assert!(
+        deferred.shard_p99_ns <= budget,
+        "deferred worst-shard p99 {} ns exceeds 10x decision p50 (budget {} ns): \
+         the re-test convoy is back on the seat",
+        deferred.shard_p99_ns,
+        budget
+    );
 }
 
 /// What one arm of the hot-zone flood produced.
@@ -437,6 +585,9 @@ fn scrape_and_dump(engine: &Engine) {
         "esharing_sheds_total",
         "esharing_ks_d_statistic",
         "esharing_decision_stage_ns",
+        "esharing_drift_pending",
+        "ks_retest_deferred",
+        "esharing_ks_verdicts_committed_total",
     ] {
         assert!(body.contains(family), "telemetry scrape lacks {family}");
     }
@@ -458,7 +609,7 @@ fn main() {
     let args = parse_args();
     for &s in &args.shards {
         assert!(
-            s > 0 && BALANCE_ZONES % s == 0,
+            s > 0 && BALANCE_ZONES.is_multiple_of(s),
             "shard counts must divide {BALANCE_ZONES} so the balanced stream nests (got {s})"
         );
     }
@@ -471,13 +622,17 @@ fn main() {
     let stream = balanced_stream(&mut gen, &map, args.requests);
     println!(
         "engine scaling — {} replayed requests, {} clients, {} µs emulated service delay, \
-         {} decision path",
+         {} decision path, {} drift re-tests",
         stream.len(),
         args.clients,
         args.delay.as_micros(),
         match args.path {
             DecisionPath::SyncShared => "shared-nothing fast",
             DecisionPath::Mailbox => "mailbox-fallback",
+        },
+        match args.drift {
+            DriftMode::Inline => "inline",
+            DriftMode::Deferred => "deferred",
         }
     );
 
@@ -510,7 +665,7 @@ fn main() {
     let mut widest_snapshot = None;
     let mut widest = 0usize;
     for &shards in &args.shards {
-        let engine = start_engine(&history, shards, args.delay, args.path);
+        let engine = start_engine(&history, shards, args.delay, args.path, args.drift);
         let report = replay(
             &engine,
             &stream,
@@ -550,19 +705,27 @@ fn main() {
         ] {
             emitter.record_duration(&format!("{name}_{suffix}"), 0, Duration::from_nanos(ns));
         }
-        // … and per shard, from the shard histograms.
+        // … and per shard, from the shard histograms. Each quantile comes
+        // with the sample count it rests on; a shard that served fewer
+        // than 100 requests gets its tail rows flagged instead of printed
+        // as if a p999 over 40 samples meant anything.
         for s in &snapshot.shards {
             let lat = &s.server.latency;
-            for (suffix, ns) in [
-                ("p50", lat.p50_ns()),
-                ("p90", lat.p90_ns()),
-                ("p99", lat.p99_ns()),
-                ("p999", lat.p999_ns()),
-            ] {
+            let mut samples = 0;
+            for (suffix, q) in [("p50", 0.50), ("p90", 0.90), ("p99", 0.99), ("p999", 0.999)] {
+                let (ns, n) = lat.quantile_ns_with_count(q);
+                samples = n;
                 emitter.record_duration(
                     &format!("{name}_shard{}_{suffix}", s.shard),
                     0,
                     Duration::from_nanos(ns),
+                );
+            }
+            if samples < 100 {
+                println!(
+                    "note: {name}_shard{} quantiles rest on {samples} samples (<100) — \
+                     treat the tail rows as evidence-thin",
+                    s.shard
                 );
             }
         }
@@ -588,6 +751,10 @@ fn main() {
              judged against.",
         ),
     }
+
+    // The re-test convoy, isolated: same stream, widest width, inline vs
+    // deferred boundary evaluation.
+    drift_experiment(&mut emitter, &history, &stream, &args, widest);
 
     assert_telemetry_overhead(
         &mut emitter,

@@ -117,8 +117,7 @@ fn predicted_landmarks(sample: &Sample) -> Vec<Point> {
         Err(_) => sample.history.len() as f64,
     };
     // Scale: predicted one-day volume x 3 test days over the 7-day history.
-    let scale =
-        (3.0 * predicted_total / sample.hourly.iter().sum::<f64>()).clamp(0.1, 3.0);
+    let scale = (3.0 * predicted_total / sample.hourly.iter().sum::<f64>()).clamp(0.1, 3.0);
     let grid = Grid::new(100.0);
     let centroids: Vec<(Point, u64)> = grid
         .weighted_centroids(sample.history.iter().copied())
@@ -143,7 +142,10 @@ fn main() {
         samples.len()
     );
 
-    for (panel, use_prediction) in [("(a) actual requests", false), ("(b) predicted requests", true)] {
+    for (panel, use_prediction) in [
+        ("(a) actual requests", false),
+        ("(b) predicted requests", true),
+    ] {
         let mut t = Table::new(vec![
             "sample".into(),
             "offline* #".into(),

@@ -37,12 +37,8 @@ fn main() {
         total_low
     );
 
-    let mechanism = IncentiveMechanism::new(
-        ChargingCostParams::default(),
-        UserModel::default(),
-        0.7,
-        42,
-    );
+    let mechanism =
+        IncentiveMechanism::new(ChargingCostParams::default(), UserModel::default(), 0.7, 42);
     let outcome = mechanism.run_period(&stations);
     let after = Operator::stations_after_incentives(&stations, &outcome);
 

@@ -7,9 +7,7 @@
 use esharing_bench::table::{f1, Table};
 use esharing_geo::Point;
 use esharing_placement::offline::jms_greedy;
-use esharing_placement::online::{
-    DeviationConfig, DeviationPenalty, Meyerson, OnlinePlacement,
-};
+use esharing_placement::online::{DeviationConfig, DeviationPenalty, Meyerson, OnlinePlacement};
 use esharing_placement::PlpInstance;
 use esharing_stats::RunningStats;
 use rand::rngs::StdRng;
@@ -26,7 +24,9 @@ fn uniform(n: usize, side: f64, seed: u64) -> Vec<Point> {
 }
 
 fn main() {
-    println!("Fig. 6 — deviation-penalty online algorithm (100 arrivals, 1km^2, f = {SPACE_COST} m)\n");
+    println!(
+        "Fig. 6 — deviation-penalty online algorithm (100 arrivals, 1km^2, f = {SPACE_COST} m)\n"
+    );
 
     // (a) In-distribution stream, averaged over 30 draws.
     let mut es_total = RunningStats::new();

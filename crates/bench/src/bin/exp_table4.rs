@@ -54,9 +54,9 @@ fn main() {
     for a in 0..7 {
         for b in (a + 1)..7 {
             let mut sim = RunningStats::new();
-            for hour in 0..24 {
-                let sa = subsample(samples[a][hour].clone());
-                let sb = subsample(samples[b][hour].clone());
+            for (ha, hb) in samples[a].iter().zip(&samples[b]) {
+                let sa = subsample(ha.clone());
+                let sb = subsample(hb.clone());
                 if sa.len() >= 30 && sb.len() >= 30 {
                     sim.push(similarity_percent(&sa, &sb));
                 }
@@ -71,13 +71,13 @@ fn main() {
             .chain(names.iter().map(|s| s.to_string()))
             .collect(),
     );
-    for a in 0..7 {
-        let mut row = vec![names[a].to_string()];
-        for b in 0..7 {
+    for (a, name) in names.iter().enumerate() {
+        let mut row = vec![name.to_string()];
+        for (b, val) in matrix[a].iter().enumerate() {
             row.push(if a == b {
                 "-".into()
             } else {
-                format!("{:.1}", matrix[a][b])
+                format!("{val:.1}")
             });
         }
         t.row(row);
@@ -88,12 +88,12 @@ fn main() {
     let mut within_week = RunningStats::new();
     let mut within_weekend = RunningStats::new();
     let mut across = RunningStats::new();
-    for a in 0..7 {
-        for b in (a + 1)..7 {
+    for (a, row) in matrix.iter().enumerate() {
+        for (b, &val) in row.iter().enumerate().skip(a + 1) {
             match (a >= 5, b >= 5) {
-                (false, false) => within_week.push(matrix[a][b]),
-                (true, true) => within_weekend.push(matrix[a][b]),
-                _ => across.push(matrix[a][b]),
+                (false, false) => within_week.push(val),
+                (true, true) => within_weekend.push(val),
+                _ => across.push(val),
             }
         }
     }

@@ -104,7 +104,12 @@ fn main() {
     let off = jms_greedy(&live_inst);
     perf.record_duration("offline_jms", live_centroids.len(), t0.elapsed());
     let off_cost = live_inst.cost_of(&off);
-    row(&mut t, "Offline*", off.open_facilities().len() as f64, off_cost);
+    row(
+        &mut t,
+        "Offline*",
+        off.open_facilities().len() as f64,
+        off_cost,
+    );
 
     // Meyerson.
     let mut mey = Meyerson::new(SPACE_COST, 1);
@@ -122,7 +127,12 @@ fn main() {
     let t0 = Instant::now();
     let km_cost = km.run(live.iter().copied());
     perf.record_duration("online_kmeans", live.len(), t0.elapsed());
-    row(&mut t, "Online k-means", km.stations().len() as f64, km_cost);
+    row(
+        &mut t,
+        "Online k-means",
+        km.stations().len() as f64,
+        km_cost,
+    );
 
     // E-sharing with actual history.
     let mut es = DeviationPenalty::new(
@@ -137,7 +147,12 @@ fn main() {
     let t0 = Instant::now();
     let es_cost = es.run(live.iter().copied());
     perf.record_duration("esharing_actual", live.len(), t0.elapsed());
-    row(&mut t, "E-sharing (actual)", es.stations().len() as f64, es_cost);
+    row(
+        &mut t,
+        "E-sharing (actual)",
+        es.stations().len() as f64,
+        es_cost,
+    );
 
     // E-sharing with predicted demand: forecast each heavy cell's hourly
     // series with a per-cell LSTM and build the landmark instance from the
@@ -158,8 +173,7 @@ fn main() {
         // lighter cells keep their window-normalized historical weight.
         let predicted_weight = if idx < 40 {
             let cell = grid100.cell_of(centroid);
-            let series =
-                arrivals::hourly_counts_for_cell(&hist_trips, &grid100, cell, 0, 7 * 24);
+            let series = arrivals::hourly_counts_for_cell(&hist_trips, &grid100, cell, 0, 7 * 24);
             let mut lstm = Lstm::new(LstmConfig {
                 layers: 2,
                 back: 12,
@@ -214,9 +228,7 @@ fn main() {
         100.0 * (km_cost.total() - es_cost.total()) / km_cost.total(),
     );
     let avg_walk = es_cost.walking / live.len() as f64;
-    println!(
-        "average walking distance per user: {avg_walk:.0} m (paper: ~180 m, a 2-minute walk)"
-    );
+    println!("average walking distance per user: {avg_walk:.0} m (paper: ~180 m, a 2-minute walk)");
     match perf.write() {
         Ok(path) => eprintln!("perf trajectory written to {}", path.display()),
         Err(e) => eprintln!("perf trajectory emission failed: {e}"),

@@ -71,8 +71,7 @@ fn run_alpha(stations: &[StationEnergy], alpha: f64, service_q: f64) -> AlphaRun
     let after = Operator::stations_after_incentives(stations, &outcome);
 
     // Full-tour accounting (Eq. 10) over every site still needing service.
-    let demand: Vec<&StationEnergy> =
-        after.iter().filter(|s| s.low_bikes > SKIP_BELOW).collect();
+    let demand: Vec<&StationEnergy> = after.iter().filter(|s| s.low_bikes > SKIP_BELOW).collect();
     let m = demand.len();
     let serviced_bikes: usize = demand.iter().map(|s| s.low_bikes).sum();
     let service = m as f64 * params.service_q;
@@ -81,8 +80,8 @@ fn run_alpha(stations: &[StationEnergy], alpha: f64, service_q: f64) -> AlphaRun
     let total = service + delay + energy + outcome.incentives_paid;
 
     // Shift-budget metrics: the operator's fixed working hours.
-    let operator = Operator::new(Point::ORIGIN, 4.0, 600.0, 3.2 * 3_600.0)
-        .with_skip_below(SKIP_BELOW);
+    let operator =
+        Operator::new(Point::ORIGIN, 4.0, 600.0, 3.2 * 3_600.0).with_skip_below(SKIP_BELOW);
     let shift = operator.run_shift(&after, &params);
 
     // Moving distance of the full tour.
@@ -129,7 +128,7 @@ fn main() {
     ]);
     let fmt_row = |name: &str, f: &dyn Fn(&AlphaRun) -> String| -> Vec<String> {
         std::iter::once(name.to_string())
-            .chain(runs.iter().map(|r| f(r)))
+            .chain(runs.iter().map(f))
             .collect()
     };
     t.row(fmt_row("Charging sites", &|r| r.sites.to_string()));
@@ -138,8 +137,12 @@ fn main() {
     t.row(fmt_row("Energy cost", &|r| format!("{:.0}", r.energy)));
     t.row(fmt_row("Incentives", &|r| format!("{:.0}", r.incentives)));
     t.row(fmt_row("Total cost", &|r| format!("{:.0}", r.total)));
-    t.row(fmt_row("% charged (shift)", &|r| format!("{:.1}", r.charged_pct)));
-    t.row(fmt_row("Distance (km)", &|r| format!("{:.1}", r.distance_km)));
+    t.row(fmt_row("% charged (shift)", &|r| {
+        format!("{:.1}", r.charged_pct)
+    }));
+    t.row(fmt_row("Distance (km)", &|r| {
+        format!("{:.1}", r.distance_km)
+    }));
     println!("{t}");
 
     let base = &runs[0];

@@ -37,7 +37,10 @@ impl ChargingCostParams {
     /// Panics if any cost is negative or non-finite.
     pub fn new(service_q: f64, delay_d: f64, energy_b: f64) -> Self {
         for (name, v) in [("q", service_q), ("d", delay_d), ("b", energy_b)] {
-            assert!(v.is_finite() && v >= 0.0, "cost {name} must be >= 0, got {v}");
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "cost {name} must be >= 0, got {v}"
+            );
         }
         ChargingCostParams {
             service_q,
@@ -57,9 +60,7 @@ impl ChargingCostParams {
     /// (Eq. 10): `n·q + l·b + (n²−n)/2·d`.
     pub fn total_cost(&self, n: usize, l: usize) -> f64 {
         let n_f = n as f64;
-        n_f * self.service_q
-            + l as f64 * self.energy_b
-            + (n_f * n_f - n_f) / 2.0 * self.delay_d
+        n_f * self.service_q + l as f64 * self.energy_b + (n_f * n_f - n_f) / 2.0 * self.delay_d
     }
 
     /// The cost-saving upper bound Δᵢ = q + t·d freed when station `i`

@@ -138,8 +138,7 @@ impl IncentiveMechanism {
                     .enumerate()
                     .filter(|&(j, t)| {
                         j != i
-                            && (t.low_bikes > s.low_bikes
-                                || (t.low_bikes == s.low_bikes && j < i))
+                            && (t.low_bikes > s.low_bikes || (t.low_bikes == s.low_bikes && j < i))
                     })
                     .min_by(|&(_, a), &(_, b)| {
                         s.location
@@ -326,12 +325,8 @@ mod tests {
 
     #[test]
     fn alpha_zero_relocates_nothing() {
-        let m = IncentiveMechanism::new(
-            ChargingCostParams::default(),
-            UserModel::default(),
-            0.0,
-            1,
-        );
+        let m =
+            IncentiveMechanism::new(ChargingCostParams::default(), UserModel::default(), 0.0, 1);
         let out = m.run_period(&three_stations());
         assert_eq!(out.relocated, 0);
         assert_eq!(out.incentives_paid, 0.0);
@@ -341,12 +336,8 @@ mod tests {
 
     #[test]
     fn full_alpha_aggregates_nearby_station() {
-        let m = IncentiveMechanism::new(
-            ChargingCostParams::default(),
-            UserModel::default(),
-            1.0,
-            2,
-        );
+        let m =
+            IncentiveMechanism::new(ChargingCostParams::default(), UserModel::default(), 1.0, 2);
         let out = m.run_period(&three_stations());
         // Station 0 is 100 m from its target with generous offers: most of
         // its 2 bikes should relocate. Station 2 is 1.9 km away; nearly all
@@ -393,12 +384,8 @@ mod tests {
                 arrivals: 0,
             },
         ];
-        let m = IncentiveMechanism::new(
-            ChargingCostParams::default(),
-            UserModel::default(),
-            1.0,
-            3,
-        );
+        let m =
+            IncentiveMechanism::new(ChargingCostParams::default(), UserModel::default(), 1.0, 3);
         let out = m.run_period(&stations);
         assert!(out.offers_made <= 5);
         assert!(out.relocated <= 5);
@@ -406,13 +393,12 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let m = IncentiveMechanism::new(
-            ChargingCostParams::default(),
-            UserModel::default(),
-            0.7,
-            42,
+        let m =
+            IncentiveMechanism::new(ChargingCostParams::default(), UserModel::default(), 0.7, 42);
+        assert_eq!(
+            m.run_period(&three_stations()),
+            m.run_period(&three_stations())
         );
-        assert_eq!(m.run_period(&three_stations()), m.run_period(&three_stations()));
     }
 
     #[test]
@@ -422,12 +408,8 @@ mod tests {
         // least as payment-efficient per relocated bike as the uniform
         // offer.
         let stations = three_stations();
-        let m = IncentiveMechanism::new(
-            ChargingCostParams::default(),
-            UserModel::default(),
-            1.0,
-            5,
-        );
+        let m =
+            IncentiveMechanism::new(ChargingCostParams::default(), UserModel::default(), 1.0, 5);
         let uniform = m.run_period(&stations);
         let oracle = m.run_period_personalized(&stations);
         assert!(oracle.relocated > 0);
@@ -451,12 +433,8 @@ mod tests {
 
     #[test]
     fn personalized_respects_alpha_zero() {
-        let m = IncentiveMechanism::new(
-            ChargingCostParams::default(),
-            UserModel::default(),
-            0.0,
-            6,
-        );
+        let m =
+            IncentiveMechanism::new(ChargingCostParams::default(), UserModel::default(), 0.0, 6);
         let out = m.run_period_personalized(&three_stations());
         assert_eq!(out.relocated, 0);
         assert_eq!(out.incentives_paid, 0.0);
@@ -465,11 +443,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "alpha")]
     fn rejects_alpha_above_one() {
-        let _ = IncentiveMechanism::new(
-            ChargingCostParams::default(),
-            UserModel::default(),
-            1.5,
-            1,
-        );
+        let _ =
+            IncentiveMechanism::new(ChargingCostParams::default(), UserModel::default(), 1.5, 1);
     }
 }

@@ -35,7 +35,5 @@ pub mod scheduler;
 pub mod tsp;
 
 pub use cost::ChargingCostParams;
-pub use incentive::{
-    IncentiveMechanism, IncentiveOutcome, StationEnergy, UserModel,
-};
+pub use incentive::{IncentiveMechanism, IncentiveOutcome, StationEnergy, UserModel};
 pub use operator::{Operator, ShiftReport};

@@ -85,12 +85,18 @@ impl Operator {
     ///
     /// Panics if any rate or budget is not positive and finite.
     pub fn new(depot: Point, speed_mps: f64, service_time_s: f64, shift_s: f64) -> Self {
-        assert!(speed_mps.is_finite() && speed_mps > 0.0, "speed must be positive");
+        assert!(
+            speed_mps.is_finite() && speed_mps > 0.0,
+            "speed must be positive"
+        );
         assert!(
             service_time_s.is_finite() && service_time_s > 0.0,
             "service time must be positive"
         );
-        assert!(shift_s.is_finite() && shift_s > 0.0, "shift must be positive");
+        assert!(
+            shift_s.is_finite() && shift_s > 0.0,
+            "shift must be positive"
+        );
         Operator {
             depot,
             speed_mps,
@@ -110,7 +116,11 @@ impl Operator {
     /// entirely ("the operator can skip those locations with only a few
     /// ones left" — we skip exactly the empty ones and visit the rest in
     /// shortest-route order).
-    pub fn run_shift(&self, stations: &[StationEnergy], params: &ChargingCostParams) -> ShiftReport {
+    pub fn run_shift(
+        &self,
+        stations: &[StationEnergy],
+        params: &ChargingCostParams,
+    ) -> ShiftReport {
         let demand: Vec<(usize, Point, usize)> = stations
             .iter()
             .enumerate()

@@ -113,12 +113,8 @@ mod tests {
     /// A commuter profile: morning and evening rush.
     fn rush_profile() -> Vec<f64> {
         let mut p = vec![1.0; 24];
-        for h in 7..10 {
-            p[h] = 20.0;
-        }
-        for h in 17..20 {
-            p[h] = 25.0;
-        }
+        p[7..10].fill(20.0);
+        p[17..20].fill(25.0);
         p
     }
 

@@ -262,9 +262,7 @@ mod tests {
         ];
         let crossed = vec![1, 3, 2, 0];
         let improved = two_opt(depot, &stops, &crossed);
-        assert!(
-            route_length(depot, &stops, &improved) < route_length(depot, &stops, &crossed)
-        );
+        assert!(route_length(depot, &stops, &improved) < route_length(depot, &stops, &crossed));
     }
 
     #[test]

@@ -75,11 +75,11 @@ impl SystemConfig {
             self.space_cost_m.is_finite() && self.space_cost_m > 0.0,
             "space cost must be positive"
         );
+        assert!((0.0..=1.0).contains(&self.alpha), "alpha must be in [0, 1]");
         assert!(
-            (0.0..=1.0).contains(&self.alpha),
-            "alpha must be in [0, 1]"
+            self.max_candidate_cells > 0,
+            "candidate cap must be positive"
         );
-        assert!(self.max_candidate_cells > 0, "candidate cap must be positive");
     }
 }
 

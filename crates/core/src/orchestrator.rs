@@ -7,8 +7,8 @@ use esharing_charging::{
 use esharing_dataset::Fleet;
 use esharing_geo::{Grid, Point};
 use esharing_placement::online::{
-    Decision, DecisionView, DeviationCheckpoint, DeviationPenalty, HandleTrace, OnlinePlacement,
-    PlacementEvent,
+    Decision, DecisionView, DeviationCheckpoint, DeviationPenalty, DriftTask, DriftVerdict,
+    HandleTrace, OnlinePlacement, PlacementEvent,
 };
 use esharing_placement::{offline, PlpInstance};
 use std::error::Error;
@@ -270,6 +270,29 @@ impl ESharing {
     /// The online algorithm's current decision-making opening cost `f`.
     pub fn decision_cost(&self) -> Option<f64> {
         self.online.as_ref().map(|o| o.decision_cost())
+    }
+
+    /// Hands out the pending boundary KS snapshot as an off-seat
+    /// evaluation job, at most once per boundary (deferred drift mode
+    /// only; see
+    /// [`DeviationPenaltyCore::take_drift_task`](esharing_placement::online::DeviationPenaltyCore::take_drift_task)).
+    /// `None` before bootstrap, in inline mode, or when nothing is ready.
+    pub fn take_drift_task(&mut self) -> Option<DriftTask> {
+        self.online.as_mut()?.take_drift_task()
+    }
+
+    /// Stores an off-seat drift verdict against the pending snapshot
+    /// (no-op before bootstrap; stale or duplicate verdicts are ignored —
+    /// the commit happens at the next doubling boundary either way).
+    pub fn commit_drift_verdict(&mut self, verdict: DriftVerdict) {
+        if let Some(online) = self.online.as_mut() {
+            online.commit_drift_verdict(verdict);
+        }
+    }
+
+    /// Whether a boundary KS snapshot is awaiting its deferred commit.
+    pub fn drift_pending(&self) -> bool {
+        self.online.as_ref().is_some_and(|o| o.drift_pending())
     }
 
     /// Cost-doubling epochs the online algorithm has completed.

@@ -171,7 +171,9 @@ impl Simulation {
                 .iter()
                 .enumerate()
                 .min_by(|(_, a), (_, b)| {
-                    p.distance(**a).partial_cmp(&p.distance(**b)).expect("finite")
+                    p.distance(**a)
+                        .partial_cmp(&p.distance(**b))
+                        .expect("finite")
                 })
                 .map(|(i, _)| i)
                 .expect("non-empty stations")
@@ -275,10 +277,7 @@ mod tests {
         assert!(d1.stations >= sim.system().landmarks().len());
         let report = sim.report();
         assert_eq!(report.days.len(), 2);
-        assert_eq!(
-            report.metrics.requests_served as usize,
-            d1.trips + d2.trips
-        );
+        assert_eq!(report.metrics.requests_served as usize, d1.trips + d2.trips);
     }
 
     #[test]

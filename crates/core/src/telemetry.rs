@@ -125,10 +125,12 @@ pub struct WorkerTelemetry {
     parkings_opened: CounterId,
     epochs: CounterId,
     ks_tests: CounterId,
+    ks_verdicts_committed: CounterId,
     penalty_switches: CounterId,
     maintenance_dispatches: CounterId,
     stations_open: GaugeId,
     decision_cost: GaugeId,
+    drift_pending: GaugeId,
     ks_d: GaugeId,
     ks_similarity: GaugeId,
     walking_cost: GaugeId,
@@ -140,6 +142,7 @@ pub struct WorkerTelemetry {
     stage_nn: HistogramId,
     stage_penalty: HistogramId,
     stage_ks: HistogramId,
+    stage_ks_deferred: HistogramId,
 }
 
 impl WorkerTelemetry {
@@ -164,6 +167,10 @@ impl WorkerTelemetry {
             "esharing_ks_tests_total",
             "Periodic 2-D KS re-tests completed.",
         );
+        let ks_verdicts_committed = r.counter(
+            "esharing_ks_verdicts_committed_total",
+            "Deferred KS drift verdicts committed at a doubling boundary.",
+        );
         let penalty_switches = r.counter(
             "esharing_penalty_switches_total",
             "Penalty-type transitions driven by KS test outcomes.",
@@ -181,6 +188,11 @@ impl WorkerTelemetry {
             "esharing_decision_cost",
             "Current decision-making opening cost f.",
             MergeMode::PerShard,
+        );
+        let drift_pending = r.gauge(
+            "esharing_drift_pending",
+            "Boundary KS snapshots awaiting their deferred commit (0/1 per shard).",
+            MergeMode::Sum,
         );
         let ks_d = r.gauge(
             "esharing_ks_d_statistic",
@@ -219,6 +231,7 @@ impl WorkerTelemetry {
         let stage_nn = stage(&mut r, "nn_lookup");
         let stage_penalty = stage(&mut r, "penalty_eval");
         let stage_ks = stage(&mut r, "ks_window");
+        let stage_ks_deferred = stage(&mut r, "ks_retest_deferred");
         WorkerTelemetry {
             registry: r,
             journal: EventJournal::new(config.journal_capacity, epoch),
@@ -230,10 +243,12 @@ impl WorkerTelemetry {
             parkings_opened,
             epochs,
             ks_tests,
+            ks_verdicts_committed,
             penalty_switches,
             maintenance_dispatches,
             stations_open,
             decision_cost,
+            drift_pending,
             ks_d,
             ks_similarity,
             walking_cost,
@@ -245,7 +260,16 @@ impl WorkerTelemetry {
             stage_nn,
             stage_penalty,
             stage_ks,
+            stage_ks_deferred,
         }
+    }
+
+    /// Records one off-seat deferred KS re-test's wall-clock cost as the
+    /// `ks_retest_deferred` stage. Unsampled: every off-seat evaluation is
+    /// observed, since the point of the deferred pipeline is that this cost
+    /// no longer rides the decision path.
+    pub fn observe_deferred_retest(&mut self, ns: u64) {
+        self.registry.observe_ns(self.stage_ks_deferred, ns);
     }
 
     /// Whether the next request should run the traced decision path.
@@ -331,11 +355,25 @@ impl WorkerTelemetry {
                         penalty_after: penalty_code(penalty_after),
                     });
                 }
+                PlacementEvent::KsVerdictCommitted {
+                    requests,
+                    d_statistic,
+                } => {
+                    self.registry.inc(self.ks_verdicts_committed);
+                    self.journal.record(EventKind::KsVerdictCommitted {
+                        requests,
+                        d_statistic,
+                    });
+                }
             }
         }
         self.registry.set(
             self.stations_open,
             (system.landmarks().len() + system.opened_online()) as f64,
+        );
+        self.registry.set(
+            self.drift_pending,
+            if system.drift_pending() { 1.0 } else { 0.0 },
         );
         if let Some(f) = system.decision_cost() {
             self.registry.set(self.decision_cost, f);

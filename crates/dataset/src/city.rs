@@ -51,8 +51,8 @@ impl PoiCategory {
             0.8, 1.2, 1.0, 0.7, 0.5, 0.4, 0.3, 0.2,
         ];
         const COMMUTE_PM: [f64; 24] = [
-            0.2, 0.1, 0.05, 0.02, 0.02, 0.1, 0.3, 0.5, 0.6, 0.5, 0.5, 0.6, 0.7, 0.6, 0.5, 0.6,
-            1.2, 2.5, 3.0, 2.0, 1.2, 0.8, 0.5, 0.3,
+            0.2, 0.1, 0.05, 0.02, 0.02, 0.1, 0.3, 0.5, 0.6, 0.5, 0.5, 0.6, 0.7, 0.6, 0.5, 0.6, 1.2,
+            2.5, 3.0, 2.0, 1.2, 0.8, 0.5, 0.3,
         ];
         const MIDDAY: [f64; 24] = [
             0.1, 0.05, 0.02, 0.02, 0.05, 0.1, 0.3, 0.6, 1.0, 1.5, 2.0, 2.4, 2.5, 2.4, 2.2, 2.0,
@@ -63,8 +63,8 @@ impl PoiCategory {
             1.0, 1.8, 2.5, 2.2, 1.5, 1.0, 0.7, 0.5,
         ];
         const FLAT_LOW: [f64; 24] = [
-            0.2, 0.1, 0.05, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 0.9, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0,
-            1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3,
+            0.2, 0.1, 0.05, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 0.9, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0,
+            0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3,
         ];
         match (self, weekend) {
             (PoiCategory::Office, false) => COMMUTE_AM[h],

@@ -323,11 +323,8 @@ mod tests {
         let trips = TripGenerator::new(&city, 21).generate_days(0, 2);
         let mut fleet = Fleet::new(1000, city.bbox(), EnergyModel::default(), 22);
         for day in 0..2u64 {
-            let day_trips: Vec<_> = trips
-                .iter()
-                .filter(|t| t.start_time.day() == day)
-                .collect();
-            fleet.replay(day_trips.into_iter());
+            let day_trips: Vec<_> = trips.iter().filter(|t| t.start_time.day() == day).collect();
+            fleet.replay(day_trips);
             fleet.apply_idle_day();
         }
         let low = fleet.low_battery_bikes().len();

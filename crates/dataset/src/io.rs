@@ -156,12 +156,11 @@ pub fn read_csv<R: BufRead>(reader: R) -> Result<Vec<Trip>, CsvError> {
             })
         };
         let decode = |idx: usize| -> Result<esharing_geo::Point, CsvError> {
-            let (coord, _) = geohash::decode(fields[idx].trim()).map_err(|_| {
-                CsvError::BadGeohash {
+            let (coord, _) =
+                geohash::decode(fields[idx].trim()).map_err(|_| CsvError::BadGeohash {
                     line: line_no,
                     value: fields[idx].to_string(),
-                }
-            })?;
+                })?;
             Ok(datum.project(coord))
         };
         out.push(Trip {
@@ -208,10 +207,7 @@ mod tests {
             assert!(orig.start.distance(round.start) < 120.0);
             assert!(orig.end.distance(round.end) < 120.0);
             // Same geohash cell exactly.
-            assert_eq!(
-                orig.end_geohash().unwrap(),
-                round.end_geohash().unwrap()
-            );
+            assert_eq!(orig.end_geohash().unwrap(), round.end_geohash().unwrap());
         }
     }
 

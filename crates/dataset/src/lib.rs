@@ -40,8 +40,8 @@
 
 pub mod arrivals;
 mod city;
-pub mod io;
 mod energy;
+pub mod io;
 mod time;
 mod trips;
 

@@ -181,9 +181,7 @@ impl TripGenerator {
                     user_id: self.rng.gen_range(0..cfg.user_count as u64),
                     bike_id: self.rng.gen_range(0..cfg.fleet_size as u64),
                     bike_type: 1,
-                    start_time: Timestamp(
-                        Timestamp::from_day_hour(day, hour).seconds() + second,
-                    ),
+                    start_time: Timestamp(Timestamp::from_day_hour(day, hour).seconds() + second),
                     start,
                     end,
                 });
@@ -211,9 +209,7 @@ impl TripGenerator {
                     user_id: self.rng.gen_range(0..cfg.user_count as u64),
                     bike_id: self.rng.gen_range(0..cfg.fleet_size as u64),
                     bike_type: 1,
-                    start_time: Timestamp(
-                        Timestamp::from_day_hour(day, hour).seconds() + second,
-                    ),
+                    start_time: Timestamp(Timestamp::from_day_hour(day, hour).seconds() + second),
                     start,
                     end,
                 });
@@ -353,7 +349,10 @@ mod tests {
             scatter: 80.0,
         };
         let near_venue = |trips: &[Trip]| {
-            trips.iter().filter(|t| t.end.distance(venue) < 300.0).count()
+            trips
+                .iter()
+                .filter(|t| t.end.distance(venue) < 300.0)
+                .count()
         };
         let mut plain = TripGenerator::new(&city, 70);
         let baseline = near_venue(&plain.generate_days(1, 1));
@@ -369,8 +368,7 @@ mod tests {
         let in_window = with_event
             .iter()
             .filter(|t| {
-                t.end.distance(venue) < 300.0
-                    && (19..22).contains(&t.start_time.hour_of_day())
+                t.end.distance(venue) < 300.0 && (19..22).contains(&t.start_time.hour_of_day())
             })
             .count();
         assert!(in_window >= 100, "in-window surge {in_window}");
@@ -412,8 +410,7 @@ mod tests {
     fn trip_length_positive() {
         let city = small_city();
         let trips = TripGenerator::new(&city, 8).generate_days(0, 1);
-        let mean_len: f64 =
-            trips.iter().map(Trip::length).sum::<f64>() / trips.len() as f64;
+        let mean_len: f64 = trips.iter().map(Trip::length).sum::<f64>() / trips.len() as f64;
         // Origins and destinations are different POIs in a 3 km field.
         assert!(mean_len > 300.0, "mean trip length {mean_len}");
     }

@@ -21,14 +21,18 @@
 
 use esharing_core::{LatencyHistogram, SystemCheckpoint, SystemMetrics};
 use esharing_geo::Point;
-use esharing_placement::online::DeviationCheckpoint;
+use esharing_placement::online::{DeviationCheckpoint, PendingDrift};
+use esharing_stats::ks2d::Ks2dResult;
 use std::error::Error;
 use std::fmt;
 
 /// Format magic: "ESCK" (E-Sharing ChecKpoint).
 const MAGIC: [u8; 4] = *b"ESCK";
-/// Current format version.
-const VERSION: u32 = 1;
+/// Current format version. v2 appended the deferred-drift pending state
+/// (boundary snapshot + uncommitted verdict) to the deviation image;
+/// checkpoints are in-memory recovery sources, so no v1 buffers outlive
+/// an engine and v1 is simply rejected.
+const VERSION: u32 = 2;
 
 /// A complete, serializable image of one shard's serving state.
 #[derive(Debug, Clone, PartialEq)]
@@ -222,6 +226,25 @@ fn put_deviation(out: &mut Vec<u8>, d: &DeviationCheckpoint) {
     put_u32(out, d.shift_streak);
     put_u64(out, d.epoch);
     put_u64(out, d.events_dropped);
+    match &d.pending {
+        None => out.push(0),
+        Some(p) => {
+            out.push(1);
+            put_u64(out, p.epoch);
+            put_u64(out, p.requests);
+            match &p.verdict {
+                None => out.push(0),
+                Some(v) => {
+                    out.push(1);
+                    put_f64(out, v.statistic);
+                    put_f64(out, v.similarity_percent);
+                    put_f64(out, v.p_value);
+                    put_f64(out, v.effective_n);
+                }
+            }
+            put_points(out, &p.window);
+        }
+    }
 }
 
 struct Cursor<'a> {
@@ -330,7 +353,36 @@ impl<'a> Cursor<'a> {
             shift_streak: self.u32()?,
             epoch: self.u64()?,
             events_dropped: self.u64()?,
+            pending: self.pending_drift()?,
         })
+    }
+
+    fn pending_drift(&mut self) -> Result<Option<PendingDrift>, CheckpointError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => {
+                let epoch = self.u64()?;
+                let requests = self.u64()?;
+                let verdict = match self.u8()? {
+                    0 => None,
+                    1 => Some(Ks2dResult {
+                        statistic: self.f64()?,
+                        similarity_percent: self.f64()?,
+                        p_value: self.f64()?,
+                        effective_n: self.f64()?,
+                    }),
+                    t => return Err(CheckpointError::BadTag(t)),
+                };
+                let window = self.points()?;
+                Ok(Some(PendingDrift {
+                    epoch,
+                    requests,
+                    window,
+                    verdict,
+                }))
+            }
+            t => Err(CheckpointError::BadTag(t)),
+        }
     }
 }
 
@@ -370,6 +422,45 @@ mod tests {
         assert_eq!(decoded, ckpt);
         // Canonical encoding: serialize → restore → serialize is the
         // identity on the byte level, not just structurally.
+        assert_eq!(decoded.encode(), bytes);
+    }
+
+    #[test]
+    fn encode_decode_round_trips_pending_drift() {
+        // Deferred drift mode arms a pending re-test at each doubling
+        // boundary; the image must carry it (snapshot + stored verdict)
+        // byte-exactly, or a kill between boundary and commit would not
+        // recover bit-identically.
+        let mut cfg = SystemConfig::default();
+        cfg.deviation.drift_mode = esharing_placement::online::DriftMode::Deferred;
+        let mut system = ESharing::new(cfg);
+        let history: Vec<Point> = (0..200)
+            .map(|i| Point::new((i % 20) as f64 * 110.0, (i / 20) as f64 * 190.0))
+            .collect();
+        system.bootstrap(&history);
+        let mut i = 0u64;
+        while !system.drift_pending() && i < 5000 {
+            let p = Point::new(((i * 97) % 2000) as f64, ((i * 31) % 2000) as f64);
+            system.handle_request(p).unwrap();
+            i += 1;
+        }
+        assert!(system.drift_pending(), "a boundary must arm a re-test");
+        // Store the off-seat verdict too, so both pending shapes (with
+        // and without a committed verdict) cross the wire.
+        let task = system.take_drift_task().expect("armed re-test is offered");
+        system.commit_drift_verdict(task.evaluate());
+        let ckpt = ShardCheckpoint {
+            system_seed: 7,
+            deviation_seed: 11,
+            wal_high_water: 123,
+            latency: LatencyHistogram::new(),
+            system: system.checkpoint().expect("bootstrapped"),
+        };
+        let pending = ckpt.system.deviation.pending.as_ref().expect("pending");
+        assert!(pending.verdict.is_some(), "verdict must be stored");
+        let bytes = ckpt.encode();
+        let decoded = ShardCheckpoint::decode(&bytes).unwrap();
+        assert_eq!(decoded, ckpt);
         assert_eq!(decoded.encode(), bytes);
     }
 

@@ -2,7 +2,7 @@
 
 use crate::aggregate::{EngineSnapshot, ShardSnapshot};
 use crate::checkpoint::encode_checkpoint;
-use crate::fastpath::{DecisionViewCell, DownstreamRing};
+use crate::fastpath::{DecisionViewCell, DownstreamRing, DriftSlot};
 use crate::lifecycle::{LifecycleConfig, OpCounters, PolicyState};
 use crate::shard::{self, Command, WorkerState};
 use crate::shard_map::ShardMap;
@@ -226,6 +226,12 @@ pub(crate) enum ShardLane {
         /// Round-robin trace-sampling tick, bumped per request *before*
         /// any clock is read, so sampling never perturbs decisions.
         trace_tick: AtomicU64,
+        /// Deferred-drift handoff with the drain worker: boundary KS
+        /// re-tests leave the seat through here and their verdicts come
+        /// back the same way ([`DriftMode::Deferred`]
+        /// (esharing_placement::online::DriftMode::Deferred) only; idle
+        /// otherwise).
+        drift: Arc<DriftSlot>,
     },
     /// Mailbox fallback: the original bounded command channel.
     Mailbox {
@@ -383,6 +389,7 @@ impl EngineShared {
             ring,
             seat,
             trace_tick,
+            drift,
         } = &slot.lane
         else {
             unreachable!("serve_fast is only routed on fast lanes");
@@ -414,6 +421,16 @@ impl EngineShared {
             return Ok(FastServe::Moved);
         }
         let system = state.system.as_mut().ok_or(EngineClosed)?;
+        // Collect the drain worker's off-seat re-test verdict (if one
+        // landed) *before* deciding: if this request is the commit
+        // boundary, the stored verdict is consumed there instead of being
+        // recomputed inline.
+        if let Some((verdict, eval_ns)) = drift.take_verdict() {
+            system.commit_drift_verdict(verdict);
+            if let Some(t) = state.telemetry.as_mut() {
+                t.observe_deferred_retest(eval_ns);
+            }
+        }
         let (decision, trace) = match (ring_ns, seat_ns) {
             (Some(ring_ns), Some(seat_ns)) => {
                 let (d, tr) = system
@@ -440,6 +457,12 @@ impl EngineShared {
         state.latency.record_ns(latency_ns);
         if let Some(t) = state.telemetry.as_mut() {
             t.on_decision(system, &decision, latency_ns, trace);
+        }
+        // If this request crossed a doubling boundary, the seat snapshotted
+        // the window; hand the re-test to the drain worker instead of
+        // paying the O(window²) Peacock evaluation on the request path.
+        if let Some(task) = system.take_drift_task() {
+            drift.offer(task);
         }
         slot.view
             .publish(&system.decision_view().expect("bootstrapped system"));
@@ -624,7 +647,7 @@ impl EngineShared {
         // shard, decisions in submission order.
         for (shard, group) in inline {
             let slot = &table.shards[shard];
-            let ShardLane::Fast { seat, .. } = &slot.lane else {
+            let ShardLane::Fast { seat, drift, .. } = &slot.lane else {
                 unreachable!("inline groups come from fast lanes");
             };
             let arrival = Instant::now();
@@ -640,6 +663,14 @@ impl EngineShared {
                 }
                 let system = state.system.as_mut().ok_or(EngineClosed)?;
                 for (i, p) in group {
+                    // Same drift handoff as `serve_fast`: verdicts land
+                    // before the decision, boundary re-tests leave after.
+                    if let Some((verdict, eval_ns)) = drift.take_verdict() {
+                        system.commit_drift_verdict(verdict);
+                        if let Some(t) = state.telemetry.as_mut() {
+                            t.observe_deferred_retest(eval_ns);
+                        }
+                    }
                     let decision = system
                         .handle_request(p)
                         .expect("shard systems are bootstrapped at engine start");
@@ -652,6 +683,9 @@ impl EngineShared {
                     state.latency.record_ns(latency_ns);
                     if let Some(t) = state.telemetry.as_mut() {
                         t.on_decision(system, &decision, latency_ns, None);
+                    }
+                    if let Some(task) = system.take_drift_task() {
+                        drift.offer(task);
                     }
                     out[i] = Some(EngineDecision::Served { shard, decision });
                 }
@@ -959,9 +993,11 @@ pub(crate) fn spawn_slot(cfg: &EngineConfig, epoch: Instant, spec: SlotSpec) -> 
         DecisionPath::SyncShared => {
             let ring = Arc::new(DownstreamRing::new(cfg.queue_capacity));
             let stop = Arc::new(AtomicBool::new(false));
+            let drift = Arc::new(DriftSlot::new());
             let handle = shard::spawn_fast(
                 Arc::clone(&ring),
                 Arc::clone(&stop),
+                Arc::clone(&drift),
                 cfg.service_delay,
                 epoch,
             );
@@ -974,6 +1010,7 @@ pub(crate) fn spawn_slot(cfg: &EngineConfig, epoch: Instant, spec: SlotSpec) -> 
                     moved: false,
                 })),
                 trace_tick: AtomicU64::new(0),
+                drift,
             };
             (lane, WorkerHandle::Fast { handle, stop })
         }

@@ -19,9 +19,10 @@
 //! ring stores its payload in atomics, Vyukov-style, with a per-slot
 //! sequence number carrying the publication handshake.
 
-use esharing_placement::online::DecisionView;
+use esharing_placement::online::{DecisionView, DriftTask, DriftVerdict};
 use esharing_placement::penalty::PenaltyType;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// One ring slot: the sequence word drives the claim/publish/free
 /// handshake, the payload is the request's arrival time in nanoseconds
@@ -186,6 +187,85 @@ impl DownstreamRing {
         );
         slot.seq.store(pos + self.cap, Ordering::Release);
         self.dequeue_pos.store(pos + 1, Ordering::Release);
+    }
+}
+
+/// Two-mailbox handoff carrying deferred KS re-tests between a fast-path
+/// shard's seat and its drain worker.
+///
+/// At a doubling boundary the seat snapshots its ranked window and offers
+/// the evaluation as a [`DriftTask`] here; the drain worker picks it up
+/// between ring harvests, runs the Peacock re-test off-seat, and deposits
+/// the [`DriftVerdict`] (with its measured evaluation time) back. The seat
+/// collects the verdict before its next decision and stores it into the
+/// pending drift state, where the penalty switch commits deterministically
+/// at the *next* boundary.
+///
+/// Timing never changes decisions: the evaluation is pure, so a verdict
+/// that misses its commit boundary is simply recomputed inline there (see
+/// `DriftMode::Deferred` in `esharing-placement`) and a stale deposit is
+/// dropped by the epoch check in `commit_drift_verdict`. The flags keep
+/// the hot path to one relaxed load per side when nothing is in flight;
+/// the mutexes are only touched when a task or verdict actually moves.
+pub(crate) struct DriftSlot {
+    task: Mutex<Option<DriftTask>>,
+    task_ready: AtomicBool,
+    /// The evaluated verdict plus the off-seat evaluation time in
+    /// nanoseconds (observed into the `ks_retest_deferred` stage).
+    verdict: Mutex<Option<(DriftVerdict, u64)>>,
+    verdict_ready: AtomicBool,
+}
+
+impl DriftSlot {
+    pub(crate) fn new() -> Self {
+        DriftSlot {
+            task: Mutex::new(None),
+            task_ready: AtomicBool::new(false),
+            verdict: Mutex::new(None),
+            verdict_ready: AtomicBool::new(false),
+        }
+    }
+
+    /// Seat side: offers a boundary re-test to the drain worker. A stale
+    /// unclaimed task (its boundary already re-tested inline) is simply
+    /// replaced.
+    pub(crate) fn offer(&self, task: DriftTask) {
+        *self.task.lock().expect("drift task slot not poisoned") = Some(task);
+        self.task_ready.store(true, Ordering::Release);
+    }
+
+    /// Worker side: claims the offered task, if any.
+    pub(crate) fn take_task(&self) -> Option<DriftTask> {
+        if !self.task_ready.load(Ordering::Acquire) {
+            return None;
+        }
+        self.task_ready.store(false, Ordering::Relaxed);
+        self.task
+            .lock()
+            .expect("drift task slot not poisoned")
+            .take()
+    }
+
+    /// Worker side: deposits the evaluated verdict and its evaluation
+    /// time for the seat to collect.
+    pub(crate) fn deposit(&self, verdict: DriftVerdict, eval_ns: u64) {
+        *self
+            .verdict
+            .lock()
+            .expect("drift verdict slot not poisoned") = Some((verdict, eval_ns));
+        self.verdict_ready.store(true, Ordering::Release);
+    }
+
+    /// Seat side: collects a deposited verdict, if any.
+    pub(crate) fn take_verdict(&self) -> Option<(DriftVerdict, u64)> {
+        if !self.verdict_ready.load(Ordering::Acquire) {
+            return None;
+        }
+        self.verdict_ready.store(false, Ordering::Relaxed);
+        self.verdict
+            .lock()
+            .expect("drift verdict slot not poisoned")
+            .take()
     }
 }
 

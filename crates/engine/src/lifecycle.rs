@@ -632,6 +632,10 @@ impl EngineShared {
             shift_streak: dev.shift_streak,
             epoch: dev.epoch,
             events_dropped: dev.events_dropped,
+            // A pending re-test snapshotted the *parent's* window; after
+            // the bisection it describes neither child. Both children
+            // re-arm at their next doubling boundary.
+            pending: None,
         };
         let junior_dev = DeviationCheckpoint {
             k: hi_marks.len() as u64,
@@ -652,6 +656,7 @@ impl EngineShared {
             shift_streak: dev.shift_streak,
             epoch: dev.epoch,
             events_dropped: 0,
+            pending: None,
         };
         let senior_sys = ESharing::restore(
             parent_cfg.clone(),
@@ -811,6 +816,9 @@ impl EngineShared {
             shift_streak: da.shift_streak,
             epoch: da.epoch,
             events_dropped: da.events_dropped + db.events_dropped,
+            // Pending re-tests snapshotted pre-merge windows; the merged
+            // shard re-arms at its next doubling boundary.
+            pending: None,
         };
         let merged_sys = ESharing::restore(
             merged_cfg,

@@ -15,7 +15,7 @@
 //! registry snapshot plus drained journal back to the aggregator.
 
 use crate::checkpoint::encode_checkpoint;
-use crate::fastpath::DownstreamRing;
+use crate::fastpath::{DownstreamRing, DriftSlot};
 use crossbeam::channel::{Receiver, Sender};
 use esharing_core::server::ServerSnapshot;
 use esharing_core::{
@@ -97,9 +97,16 @@ pub(crate) struct WorkerState {
 /// sleep), keeping the idle fleet cheap without adding latency to a busy
 /// shard. The worker exits once `stop` is set *and* the ring has drained,
 /// so shutdown never strands a pending job.
+///
+/// The worker doubles as the shard's off-seat KS evaluator: when the seat
+/// offers a boundary re-test through `drift` (deferred drift mode), the
+/// worker runs the Peacock evaluation between ring harvests — against the
+/// immutable boundary snapshot, never touching the seat — and deposits
+/// the timed verdict for the seat to commit at the next boundary.
 pub(crate) fn spawn_fast(
     ring: Arc<DownstreamRing>,
     stop: Arc<AtomicBool>,
+    drift: Arc<DriftSlot>,
     service_delay: Duration,
     epoch: Instant,
 ) -> JoinHandle<()> {
@@ -114,6 +121,12 @@ pub(crate) fn spawn_fast(
         let mut pipe_free_ns = 0u64;
         let mut idle = 0u32;
         loop {
+            if let Some(task) = drift.take_task() {
+                let t0 = Instant::now();
+                let verdict = task.evaluate();
+                drift.deposit(verdict, elapsed_ns(t0));
+                idle = 0;
+            }
             match ring.peek() {
                 Some(arrival_ns) => {
                     idle = 0;
@@ -161,6 +174,24 @@ struct InFetch {
 
 fn elapsed_ns(since: Instant) -> u64 {
     since.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
+/// Runs a pending deferred KS re-test, if the just-retired request crossed
+/// a doubling boundary. The mailbox worker owns its system outright, so
+/// "off-seat" here means *after the reply was sent*: the boundary request
+/// itself never pays the O(window²) Peacock evaluation, the worker runs it
+/// in the gap before the next command and stores the verdict for the
+/// commit boundary.
+fn run_deferred_retest(system: &mut ESharing, telemetry: &mut Option<WorkerTelemetry>) {
+    if let Some(task) = system.take_drift_task() {
+        let t0 = Instant::now();
+        let verdict = task.evaluate();
+        let eval_ns = elapsed_ns(t0);
+        system.commit_drift_verdict(verdict);
+        if let Some(t) = telemetry.as_mut() {
+            t.observe_deferred_retest(eval_ns);
+        }
+    }
 }
 
 /// Spawns the worker thread for one shard. `service_delay` emulates
@@ -264,6 +295,7 @@ pub(crate) fn spawn(
                     // A dropped reply receiver means the client gave up.
                     let _ = reply.send(decision);
                 }
+                run_deferred_retest(&mut system, &mut telemetry);
             }
             match next {
                 None => break,
@@ -341,6 +373,7 @@ pub(crate) fn spawn(
                         if let Some(t) = telemetry.as_mut() {
                             t.on_decision(&mut system, &decision, latency_ns, trace);
                         }
+                        run_deferred_retest(&mut system, &mut telemetry);
                         decisions.push(decision);
                     }
                     let _ = reply.send(decisions);

@@ -107,7 +107,7 @@ impl ShardMap {
         let mut rows = 1;
         let mut r = 1usize;
         while r * r <= shards {
-            if shards % r == 0 {
+            if shards.is_multiple_of(r) {
                 rows = r;
             }
             r += 1;
@@ -384,7 +384,7 @@ mod tests {
     fn grid_routing_covers_all_shards_and_clamps() {
         let map = ShardMap::uniform(BBox::square(1000.0), 4);
         assert_eq!(map.shard_count(), 4);
-        let mut seen = vec![false; 4];
+        let mut seen = [false; 4];
         for i in 0..40 {
             for j in 0..40 {
                 let p = Point::new(i as f64 * 25.0, j as f64 * 25.0);

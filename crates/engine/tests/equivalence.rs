@@ -138,7 +138,7 @@ fn batched_submit_is_bit_identical_to_sequential() {
     let mut chunk = 1usize;
     while !rest.is_empty() {
         let take = chunk.min(rest.len());
-        if chunk % 3 == 0 {
+        if chunk.is_multiple_of(3) {
             for &p in &rest[..take] {
                 got.push(engine.submit(p).expect("engine is running"));
             }

@@ -432,6 +432,79 @@ proptest! {
     }
 }
 
+/// Deferred-drift failover: kill a shard *between* a doubling-boundary
+/// snapshot and its verdict commit, on both decision paths. The
+/// checkpoint must carry the pending re-test (boundary snapshot plus any
+/// already-stored verdict), and the recovered shard must reconverge
+/// bit-identically with a run that was never killed — the re-test is a
+/// pure function of the snapshot, so the restored side recomputes the
+/// same verdict regardless of where the off-seat evaluation stood at the
+/// kill.
+#[test]
+fn kill_between_boundary_snapshot_and_verdict_commit_reconverges() {
+    let history = clustered_history();
+    let stream = request_stream(600);
+    for path in [DecisionPath::SyncShared, DecisionPath::Mailbox] {
+        let mut cfg = lifecycle_config(path);
+        // Telemetry on: the per-shard `esharing_drift_pending` gauge is
+        // how the test observes "armed but uncommitted" from outside.
+        cfg.telemetry = TelemetryConfig::default();
+        cfg.system.deviation.drift_mode = esharing_placement::online::DriftMode::Deferred;
+        let reference = Engine::start(&history, cfg.clone());
+        let reference_decisions: Vec<EngineDecision> = stream
+            .iter()
+            .map(|&p| reference.submit(p).unwrap())
+            .collect();
+        let reference_systems = reference.shutdown();
+
+        let engine = Engine::start(&history, cfg);
+        let victim = 0usize;
+        let mut killed = false;
+        let mut decisions = Vec::with_capacity(stream.len());
+        for (i, &p) in stream.iter().enumerate() {
+            if !killed && i >= 300 {
+                let snap = engine.snapshot().unwrap();
+                let pending = snap.shards[victim].registry.gauge("esharing_drift_pending");
+                if pending == Some(1.0) {
+                    // The image captures the armed re-test; the kill lands
+                    // before its commit boundary.
+                    engine.checkpoint_shard(victim).unwrap();
+                    engine.kill_shard(victim).unwrap();
+                    engine.recover_shard(victim).unwrap();
+                    killed = true;
+                }
+            }
+            decisions.push(engine.submit(p).unwrap());
+        }
+        assert!(
+            killed,
+            "{path:?}: no armed re-test observed after request 300"
+        );
+        assert_eq!(
+            decisions, reference_decisions,
+            "{path:?}: decision stream diverged after mid-re-test failover"
+        );
+        let systems = engine.shutdown();
+        for (shard, (sys, reference_sys)) in systems.iter().zip(&reference_systems).enumerate() {
+            assert_eq!(
+                sys.stations(),
+                reference_sys.stations(),
+                "{path:?} shard {shard}: stations diverged"
+            );
+            assert_eq!(
+                sys.metrics(),
+                reference_sys.metrics(),
+                "{path:?} shard {shard}: metrics diverged"
+            );
+            assert_eq!(
+                sys.last_similarity(),
+                reference_sys.last_similarity(),
+                "{path:?} shard {shard}: drift state diverged"
+            );
+        }
+    }
+}
+
 /// A recovered engine keeps checkpoint/recover working repeatedly (the
 /// WAL sequence space is continuous across incarnations).
 #[test]

@@ -6,7 +6,7 @@
 //! configuration and the grid-search drivers for the exact configurations
 //! in Table II.
 
-use crate::{Arima, Forecaster, ForecastError, Lstm, LstmConfig, MovingAverage};
+use crate::{Arima, ForecastError, Forecaster, Lstm, LstmConfig, MovingAverage};
 use esharing_stats::metrics::rmse;
 use esharing_stats::parallel;
 
@@ -77,20 +77,24 @@ pub fn lstm_grid(
     // Each configuration trains an independent model from its own seed, so
     // the fifteen fits fan out across worker threads; results come back in
     // grid order, identical to the sequential sweep.
-    let results = parallel::par_map(configs.len(), 1, |idx| -> Result<EvalResult, ForecastError> {
-        let (layers, back) = configs[idx];
-        let cfg = LstmConfig {
-            layers,
-            back,
-            ..base.clone()
-        };
-        let mut model = Lstm::new(cfg)?;
-        model.fit(train)?;
-        Ok(EvalResult {
-            model: model.name(),
-            rmse: rolling_rmse(&model, train, test, horizon)?,
-        })
-    });
+    let results = parallel::par_map(
+        configs.len(),
+        1,
+        |idx| -> Result<EvalResult, ForecastError> {
+            let (layers, back) = configs[idx];
+            let cfg = LstmConfig {
+                layers,
+                back,
+                ..base.clone()
+            };
+            let mut model = Lstm::new(cfg)?;
+            model.fit(train)?;
+            Ok(EvalResult {
+                model: model.name(),
+                rmse: rolling_rmse(&model, train, test, horizon)?,
+            })
+        },
+    );
     results.into_iter().collect()
 }
 
@@ -99,7 +103,11 @@ pub fn lstm_grid(
 /// # Errors
 ///
 /// Propagates fit/forecast failures.
-pub fn ma_grid(train: &[f64], test: &[f64], horizon: usize) -> Result<Vec<EvalResult>, ForecastError> {
+pub fn ma_grid(
+    train: &[f64],
+    test: &[f64],
+    horizon: usize,
+) -> Result<Vec<EvalResult>, ForecastError> {
     let mut out = Vec::new();
     for wz in 1usize..=5 {
         let mut model = MovingAverage::new(wz)?;
@@ -129,15 +137,19 @@ pub fn arima_grid(
             configs.push((p, d));
         }
     }
-    let results = parallel::par_map(configs.len(), 1, |idx| -> Result<EvalResult, ForecastError> {
-        let (p, d) = configs[idx];
-        let mut model = Arima::new(p, d)?;
-        model.fit(train)?;
-        Ok(EvalResult {
-            model: model.name(),
-            rmse: rolling_rmse(&model, train, test, horizon)?,
-        })
-    });
+    let results = parallel::par_map(
+        configs.len(),
+        1,
+        |idx| -> Result<EvalResult, ForecastError> {
+            let (p, d) = configs[idx];
+            let mut model = Arima::new(p, d)?;
+            model.fit(train)?;
+            Ok(EvalResult {
+                model: model.name(),
+                rmse: rolling_rmse(&model, train, test, horizon)?,
+            })
+        },
+    );
     results.into_iter().collect()
 }
 

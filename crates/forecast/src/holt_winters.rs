@@ -73,9 +73,7 @@ impl Forecaster for SeasonalNaive {
             });
         }
         let last_season = &history[history.len() - self.period..];
-        Ok((0..horizon)
-            .map(|h| last_season[h % self.period])
-            .collect())
+        Ok((0..horizon).map(|h| last_season[h % self.period]).collect())
     }
 
     fn name(&self) -> String {
@@ -163,8 +161,7 @@ impl HoltWinters {
         for (t, &y) in series.iter().enumerate().skip(m) {
             let phase = t % m;
             let prev_level = level;
-            level = self.alpha * (y - season[phase])
-                + (1.0 - self.alpha) * (level + trend);
+            level = self.alpha * (y - season[phase]) + (1.0 - self.alpha) * (level + trend);
             trend = self.beta * (level - prev_level) + (1.0 - self.beta) * trend;
             season[phase] = self.gamma * (y - level) + (1.0 - self.gamma) * season[phase];
         }
@@ -223,10 +220,7 @@ mod tests {
 
     fn seasonal_series(n: usize) -> Vec<f64> {
         (0..n)
-            .map(|t| {
-                50.0 + 0.1 * t as f64
-                    + 20.0 * (t as f64 * std::f64::consts::TAU / 24.0).sin()
-            })
+            .map(|t| 50.0 + 0.1 * t as f64 + 20.0 * (t as f64 * std::f64::consts::TAU / 24.0).sin())
             .collect()
     }
 
@@ -307,7 +301,10 @@ mod tests {
 
     #[test]
     fn names_mention_structure() {
-        assert_eq!(SeasonalNaive::new(24).unwrap().name(), "SeasonalNaive(m=24)");
+        assert_eq!(
+            SeasonalNaive::new(24).unwrap().name(),
+            "SeasonalNaive(m=24)"
+        );
         assert!(HoltWinters::hourly().unwrap().name().contains("m=24"));
     }
 }

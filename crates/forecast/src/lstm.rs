@@ -533,11 +533,15 @@ mod tests {
         assert!(c.validate().is_ok());
         c.hidden = 0;
         assert!(c.validate().is_err());
-        let mut c = LstmConfig::default();
-        c.learning_rate = 0.0;
+        let c = LstmConfig {
+            learning_rate: 0.0,
+            ..LstmConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = LstmConfig::default();
-        c.layers = 0;
+        let c = LstmConfig {
+            layers: 0,
+            ..LstmConfig::default()
+        };
         assert!(Lstm::new(c).is_err());
     }
 

@@ -93,10 +93,7 @@ mod tests {
     #[test]
     fn must_fit_before_forecast() {
         let ma = MovingAverage::new(2).unwrap();
-        assert_eq!(
-            ma.forecast(&[1.0, 2.0], 1),
-            Err(ForecastError::NotFitted)
-        );
+        assert_eq!(ma.forecast(&[1.0, 2.0], 1), Err(ForecastError::NotFitted));
     }
 
     #[test]

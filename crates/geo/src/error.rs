@@ -75,7 +75,9 @@ mod tests {
             lon: 0.0,
         };
         assert!(e.to_string().contains("out of range"));
-        assert!(GeoError::NonPositiveCellSize(-1.0).to_string().contains("-1"));
+        assert!(GeoError::NonPositiveCellSize(-1.0)
+            .to_string()
+            .contains("-1"));
     }
 
     #[test]

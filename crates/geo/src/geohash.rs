@@ -112,12 +112,15 @@ pub fn decode(hash: &str) -> Result<(LatLon, DecodeError2d), GeoError> {
     Ok((LatLon::new(lat, lon).expect("geohash center in range"), err))
 }
 
+/// Paired `(lo, hi)` latitude and longitude ranges of a geohash cell.
+pub type GeohashBounds = ((f64, f64), (f64, f64));
+
 /// Decodes a geohash to its bounding `((lat_lo, lat_hi), (lon_lo, lon_hi))`.
 ///
 /// # Errors
 ///
 /// Same conditions as [`decode`].
-pub fn decode_bounds(hash: &str) -> Result<((f64, f64), (f64, f64)), GeoError> {
+pub fn decode_bounds(hash: &str) -> Result<GeohashBounds, GeoError> {
     if hash.is_empty() {
         return Err(GeoError::EmptyGeohash);
     }

@@ -236,10 +236,7 @@ mod tests {
         let wc = g.weighted_centroids(pts);
         assert_eq!(
             wc,
-            vec![
-                (Point::new(50.0, 50.0), 2),
-                (Point::new(150.0, 50.0), 1)
-            ]
+            vec![(Point::new(50.0, 50.0), 2), (Point::new(150.0, 50.0), 1)]
         );
     }
 

@@ -492,7 +492,10 @@ impl NearestNeighborIndex {
         self.heads
             .iter()
             .filter(|&&head| head != VACANT && head != NO_POINTS)
-            .flat_map(move |&head| ChainIter { idx: head, index: self })
+            .flat_map(move |&head| ChainIter {
+                idx: head,
+                index: self,
+            })
     }
 
     /// Conservative upper bound on the Chebyshev ring distance from
@@ -601,7 +604,10 @@ impl NearestNeighborIndexReference {
     /// Inserts a point. Duplicate points are allowed and count separately.
     pub fn insert(&mut self, p: Point) {
         debug_assert!(p.is_finite(), "cannot index non-finite point");
-        self.buckets.entry(self.grid.cell_of(p)).or_default().push(p);
+        self.buckets
+            .entry(self.grid.cell_of(p))
+            .or_default()
+            .push(p);
         self.len += 1;
     }
 

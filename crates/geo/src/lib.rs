@@ -48,8 +48,6 @@ pub mod privacy;
 pub use bbox::BBox;
 pub use error::GeoError;
 pub use grid::{Cell, Grid};
-pub use index::{
-    candidate_cmp, NearestNeighborIndex, NearestNeighborIndexReference, SpatialIndex,
-};
+pub use index::{candidate_cmp, NearestNeighborIndex, NearestNeighborIndexReference, SpatialIndex};
 pub use latlon::{LatLon, LocalProjection};
 pub use point::Point;

@@ -132,10 +132,9 @@ mod tests {
         let mech = PlanarLaplace::new(0.05).unwrap();
         let mut rng = StdRng::seed_from_u64(3);
         let n = 20_000;
-        let mean = Point::centroid(
-            (0..n).map(|_| mech.obfuscate(Point::new(500.0, 500.0), &mut rng)),
-        )
-        .unwrap();
+        let mean =
+            Point::centroid((0..n).map(|_| mech.obfuscate(Point::new(500.0, 500.0), &mut rng)))
+                .unwrap();
         // No directional bias: the mean stays near the true point.
         assert!(mean.distance(Point::new(500.0, 500.0)) < 2.0, "mean {mean}");
     }

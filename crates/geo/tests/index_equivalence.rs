@@ -40,7 +40,11 @@ fn assert_nearest_equal(got: Option<(Point, f64)>, want: Option<(Point, f64)>, c
         (None, None) => {}
         (Some((gp, gd)), Some((wp, wd))) => {
             assert_eq!(gp, wp, "{ctx}: nearest point diverged");
-            assert_eq!(gd.to_bits(), wd.to_bits(), "{ctx}: nearest distance diverged");
+            assert_eq!(
+                gd.to_bits(),
+                wd.to_bits(),
+                "{ctx}: nearest distance diverged"
+            );
         }
         other => panic!("{ctx}: nearest presence diverged: {other:?}"),
     }

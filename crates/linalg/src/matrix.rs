@@ -247,7 +247,10 @@ impl Matrix {
     ///
     /// Panics if `self.cols() != other.cols()`.
     pub fn matmul_transposed(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.cols, "matmul_transposed dimension mismatch");
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_transposed dimension mismatch"
+        );
         let mut out = Matrix::zeros(self.rows, other.rows);
         for r in 0..self.rows {
             let arow = &self.data[r * self.cols..(r + 1) * self.cols];
@@ -348,7 +351,12 @@ impl Add<&Matrix> for &Matrix {
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a + b)
+                .collect(),
         }
     }
 }
@@ -364,7 +372,12 @@ impl Sub<&Matrix> for &Matrix {
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a - b)
+                .collect(),
         }
     }
 }
@@ -551,7 +564,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         // Dimensions straddling the 64-wide block boundary, plus skinny
         // and degenerate shapes.
-        for &(m, k, n) in &[(1, 1, 1), (3, 5, 2), (17, 64, 9), (70, 65, 130), (128, 100, 1)] {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 2),
+            (17, 64, 9),
+            (70, 65, 130),
+            (128, 100, 1),
+        ] {
             let a = Matrix::xavier(m, k, &mut rng);
             let b = Matrix::xavier(k, n, &mut rng);
             assert_eq!(a.matmul(&b), a.matmul_reference(&b), "{m}x{k}x{n}");

@@ -59,13 +59,15 @@ pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, SingularMatrixError> {
         aug.swap(col, pivot_row);
         let pivot = aug[col][col];
         for row in (col + 1)..n {
-            let factor = aug[row][col] / pivot;
+            let (upper, lower) = aug.split_at_mut(row);
+            let src = &upper[col];
+            let dst = &mut lower[0];
+            let factor = dst[col] / pivot;
             if factor == 0.0 {
                 continue;
             }
-            for k in col..=n {
-                let v = aug[col][k];
-                aug[row][k] -= factor * v;
+            for (d, &s) in dst[col..=n].iter_mut().zip(&src[col..=n]) {
+                *d -= factor * s;
             }
         }
     }
@@ -100,10 +102,10 @@ pub fn least_squares(x: &Matrix, y: &[f64], damping: f64) -> Result<Vec<f64>, Si
     // XtX and Xty.
     let mut xtx = Matrix::zeros(p, p);
     let mut xty = vec![0.0; p];
-    for r in 0..x.rows() {
+    for (r, &yr) in y.iter().enumerate() {
         let row = x.row(r);
         for i in 0..p {
-            xty[i] += row[i] * y[r];
+            xty[i] += row[i] * yr;
             for j in 0..p {
                 let v = xtx.get(i, j) + row[i] * row[j];
                 xtx.set(i, j, v);

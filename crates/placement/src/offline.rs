@@ -217,7 +217,7 @@ pub fn jms_greedy(instance: &PlpInstance) -> Solution {
                     running += c;
                     k += 1;
                     let ratio = running / k as f64;
-                    if best.map_or(true, |(b, _, _)| ratio < b) {
+                    if best.is_none_or(|(b, _, _)| ratio < b) {
                         best = Some((ratio, site, k));
                     }
                     last_ratio = ratio;
@@ -230,7 +230,7 @@ pub fn jms_greedy(instance: &PlpInstance) -> Solution {
         });
         let mut best: Option<(f64, usize, usize)> = None;
         for cand in chunk_best.into_iter().flatten() {
-            if best.map_or(true, |(b, _, _)| cand.0 < b) {
+            if best.is_none_or(|(b, _, _)| cand.0 < b) {
                 best = Some(cand);
             }
         }
@@ -298,8 +298,8 @@ pub fn jms_greedy_reference(instance: &PlpInstance) -> Solution {
 
     while !unconnected.is_empty() {
         let mut best: Option<(f64, usize, usize)> = None; // (ratio, site, prefix len)
-        for site in 0..n {
-            let effective_f = if open[site] {
+        for (site, &site_open) in open.iter().enumerate() {
+            let effective_f = if site_open {
                 0.0
             } else {
                 instance.opening_costs()[site]
@@ -330,7 +330,7 @@ pub fn jms_greedy_reference(instance: &PlpInstance) -> Solution {
                 }
                 running += c;
                 let ratio = running / (k + 1) as f64;
-                if best.map_or(true, |(b, _, _)| ratio < b) {
+                if best.is_none_or(|(b, _, _)| ratio < b) {
                     best = Some((ratio, site, k + 1));
                 }
                 last_ratio = ratio;
@@ -508,7 +508,11 @@ mod tests {
         let heavy = PlpInstance::new(clients, vec![1.0, 50.0], vec![400.0, 400.0]);
         assert_eq!(jms_greedy(&light).open_facilities().len(), 1);
         let sol = jms_greedy(&heavy);
-        assert_eq!(sol.open_facilities(), &[1], "facility must sit at the heavy client");
+        assert_eq!(
+            sol.open_facilities(),
+            &[1],
+            "facility must sit at the heavy client"
+        );
         assert_eq!(heavy.cost_of(&sol).walking, 300.0);
     }
 
@@ -564,7 +568,11 @@ mod tests {
         for seed in 0..6 {
             let clients = lattice_points(30, 4, 300 + seed);
             let inst = PlpInstance::with_uniform_cost(clients, 250.0);
-            assert_eq!(jms_greedy(&inst), jms_greedy_reference(&inst), "seed {seed}");
+            assert_eq!(
+                jms_greedy(&inst),
+                jms_greedy_reference(&inst),
+                "seed {seed}"
+            );
         }
     }
 
@@ -577,7 +585,11 @@ mod tests {
             let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5..20.0)).collect();
             let openings: Vec<f64> = (0..n).map(|_| rng.gen_range(50.0..2000.0)).collect();
             let inst = PlpInstance::new(clients, weights, openings);
-            assert_eq!(jms_greedy(&inst), jms_greedy_reference(&inst), "seed {seed}");
+            assert_eq!(
+                jms_greedy(&inst),
+                jms_greedy_reference(&inst),
+                "seed {seed}"
+            );
         }
     }
 }

@@ -29,9 +29,12 @@ use super::{Decision, OnlinePlacement};
 use crate::penalty::{PenaltyFunction, PenaltyType, PolynomialPenalty};
 use crate::PlacementCost;
 use esharing_geo::{NearestNeighborIndex, Point, SpatialIndex};
-use esharing_stats::ks2d::{IncrementalWindow, RankedSample, SimilarityClass};
+use esharing_stats::ks2d::{
+    DriftHistory, DriftMonitor, DriftSnapshot, Ks2dResult, SimilarityClass,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Observability events emitted by [`DeviationPenaltyCore`] as it runs.
@@ -69,6 +72,15 @@ pub enum PlacementEvent {
         /// Penalty type selected by the test.
         penalty_after: PenaltyType,
     },
+    /// A deferred drift verdict committed ([`DriftMode::Deferred`] only):
+    /// the re-test snapshotted one boundary ago took effect at this one.
+    KsVerdictCommitted {
+        /// Total requests handled when the verdict's snapshot was taken
+        /// (the boundary request count).
+        requests: u64,
+        /// The committed Peacock D-statistic.
+        d_statistic: f64,
+    },
 }
 
 /// Undrained-event bound for [`PlacementEvent`] buffering.
@@ -95,6 +107,24 @@ impl HandleTrace {
     pub fn total_ns(&self) -> u64 {
         self.ks_window_ns + self.nn_lookup_ns + self.penalty_eval_ns
     }
+}
+
+/// When the boundary KS re-test runs relative to the decision path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriftMode {
+    /// Algorithm 2 as written: the re-test runs inside the doubling
+    /// boundary's `handle` call and its penalty switch takes effect
+    /// immediately. Retained as the reference oracle for the deferred
+    /// protocol (and for bit-compatibility with the single-worker server).
+    Inline,
+    /// The re-test is split off the decision path: the boundary `handle`
+    /// only *snapshots* the ranked window, the D-statistic is computed
+    /// off-seat ([`DeviationPenaltyCore::take_drift_task`]), and the
+    /// penalty transition commits at the *next* boundary — deterministic
+    /// and replay-safe, because a verdict that was not computed in time is
+    /// recomputed synchronously from the retained snapshot with an
+    /// identical result.
+    Deferred,
 }
 
 /// Configuration for [`DeviationPenalty`].
@@ -131,6 +161,8 @@ pub struct DeviationConfig {
     /// honoured with `auto_penalty` disabled — the KS switching rule is
     /// defined over the closed-form types.
     pub custom_penalty: Option<PolynomialPenalty>,
+    /// When the boundary KS re-test runs (see [`DriftMode`]).
+    pub drift_mode: DriftMode,
     /// RNG seed (the opening decision is stochastic).
     pub seed: u64,
 }
@@ -147,6 +179,7 @@ impl Default for DeviationConfig {
             history_cap: 300,
             initial_decision_cost: None,
             custom_penalty: None,
+            drift_mode: DriftMode::Inline,
             seed: 42,
         }
     }
@@ -212,6 +245,70 @@ pub struct DecisionView {
     pub last_similarity: Option<f64>,
 }
 
+/// An off-seat evaluation job handed out by
+/// [`DeviationPenaltyCore::take_drift_task`]: the immutable window
+/// snapshot taken at a doubling boundary, ready to be evaluated on any
+/// thread. Cloning shares the history by `Arc` and copies only the
+/// window-sized snapshot vectors.
+#[derive(Debug, Clone)]
+pub struct DriftTask {
+    epoch: u64,
+    requests: u64,
+    snapshot: DriftSnapshot,
+}
+
+impl DriftTask {
+    /// The doubling epoch whose boundary produced this snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Runs the re-test. Pure and deterministic: every evaluation of this
+    /// task (or of the snapshot the core retained) yields the same bits.
+    pub fn evaluate(&self) -> DriftVerdict {
+        DriftVerdict {
+            epoch: self.epoch,
+            requests: self.requests,
+            result: self.snapshot.evaluate(),
+        }
+    }
+}
+
+/// The outcome of evaluating a [`DriftTask`], to be handed back via
+/// [`DeviationPenaltyCore::commit_drift_verdict`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftVerdict {
+    epoch: u64,
+    requests: u64,
+    result: Ks2dResult,
+}
+
+impl DriftVerdict {
+    /// The doubling epoch whose boundary snapshot this verdict evaluates.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+/// Checkpointed deferred-drift state: the snapshot taken at the last
+/// doubling boundary (as its bare window points — the rank caches rebuild
+/// deterministically) plus the off-seat verdict, if one had already been
+/// committed back. Whether the evaluation job was handed out is *not*
+/// carried: re-evaluation is pure, so a restored instance reconverges
+/// bit-identically either way.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingDrift {
+    /// The doubling epoch whose boundary produced the snapshot.
+    pub epoch: u64,
+    /// Total requests handled at that boundary.
+    pub requests: u64,
+    /// The snapshotted window points.
+    pub window: Vec<Point>,
+    /// The stored off-seat verdict, if one was committed before the
+    /// checkpoint.
+    pub verdict: Option<Ks2dResult>,
+}
+
 /// A complete, serializable image of a [`DeviationPenaltyCore`]'s mutable
 /// state — everything [`DeviationPenaltyCore::restore`] needs to rebuild
 /// an instance that makes bit-identical decisions from the next request
@@ -265,6 +362,9 @@ pub struct DeviationCheckpoint {
     /// monitoring counters survive a restore; the buffer itself is
     /// drained state and starts empty).
     pub events_dropped: u64,
+    /// Deferred-drift state awaiting its commit boundary, if any
+    /// ([`DriftMode::Deferred`]).
+    pub pending: Option<PendingDrift>,
 }
 
 /// The request-path half of the algorithm: everything a single decision
@@ -293,6 +393,25 @@ struct DecisionState<I: SpatialIndex> {
     station_log: Vec<Point>,
 }
 
+/// Deferred-drift state between boundaries: the core retains the
+/// authoritative snapshot, so a worker that never reports back (or reports
+/// late, or a failover that loses the in-flight job) changes nothing — the
+/// commit boundary falls back to evaluating the snapshot synchronously,
+/// which is pure and yields the identical verdict.
+#[derive(Debug)]
+struct PendingDriftState {
+    epoch: u64,
+    /// Total requests handled at the snapshot boundary.
+    requests: u64,
+    snapshot: DriftSnapshot,
+    /// The off-seat verdict, once committed back.
+    verdict: Option<Ks2dResult>,
+    /// Whether the evaluation job was handed out (at most once per
+    /// boundary). Not checkpointed: a restored instance re-hands the job
+    /// out, and re-evaluation is pure.
+    task_taken: bool,
+}
+
 /// The monitor half: the KS drift machinery and the doubling schedule.
 /// Touched once per arrival (window slide + counter) and in bulk at the
 /// periodic update; never read by the decision math itself, which is what
@@ -302,12 +421,12 @@ struct MonitorState {
     /// Requests since the last doubling.
     a: usize,
     doubling_period: usize,
-    /// Historical sample `H` with its KS rank structures precomputed once;
-    /// every periodic test reuses them and only ranks the live window.
-    history: RankedSample,
-    /// Live sample `G`: a FIFO window whose KS rank structures are
-    /// maintained incrementally, so the periodic test never re-sorts it.
-    window: IncrementalWindow,
+    /// Live sample `G` against the historical sample `H`: a FIFO window
+    /// whose KS rank structures — including the history's quadrant counts
+    /// around every stored point — are maintained incrementally, so the
+    /// boundary re-test reuses the per-push work instead of recounting.
+    /// The shared `H` rank structures live inside ([`DriftMonitor::history`]).
+    window: DriftMonitor,
     last_similarity: Option<f64>,
     /// Consecutive periodic tests that reported a *less similar* regime;
     /// the decision-cost reset requires two in a row so one noisy window
@@ -315,6 +434,9 @@ struct MonitorState {
     shift_streak: u32,
     /// Doubling epochs completed.
     epoch: u64,
+    /// The snapshot taken at the last boundary, awaiting its commit
+    /// ([`DriftMode::Deferred`] only).
+    pending: Option<PendingDriftState>,
 }
 
 /// [`DeviationPenalty`] generic over its nearest-parking index backend.
@@ -391,7 +513,7 @@ impl<I: SpatialIndex> DeviationPenaltyCore<I> {
                 .map(|i| history[(i as f64 * stride) as usize])
                 .collect();
         }
-        let history = RankedSample::new(&history);
+        let history = Arc::new(DriftHistory::new(&history));
         let doubling_period = ((cfg.beta * k as f64).ceil() as usize).max(1);
         DeviationPenaltyCore {
             decision: DecisionState {
@@ -409,11 +531,11 @@ impl<I: SpatialIndex> DeviationPenaltyCore<I> {
             monitor: MonitorState {
                 a: 0,
                 doubling_period,
-                history,
-                window: IncrementalWindow::new(),
+                window: DriftMonitor::new(history),
                 last_similarity: None,
                 shift_streak: 0,
                 epoch: 0,
+                pending: None,
             },
             events: Vec::with_capacity(EVENT_BUFFER_CAP),
             events_dropped: 0,
@@ -516,7 +638,11 @@ impl<I: SpatialIndex> DeviationPenaltyCore<I> {
     }
 
     /// Runs the periodic maintenance due every `⌈β·k⌉` requests: doubling
-    /// `f`, the KS test, and the penalty switch.
+    /// `f`, plus — depending on [`DriftMode`] — either the inline KS
+    /// re-test (Algorithm 2 as written) or the deferred snapshot/commit
+    /// protocol (§12 of DESIGN.md): the verdict for the snapshot taken at
+    /// boundary `N` commits here at boundary `N+1`, and a fresh snapshot
+    /// is taken for the next one.
     fn periodic_update(&mut self) {
         self.monitor.a = 0;
         self.decision.f_dec *= 2.0;
@@ -526,19 +652,55 @@ impl<I: SpatialIndex> DeviationPenaltyCore<I> {
             decision_cost: self.decision.f_dec,
         };
         self.emit(crossed);
-        // The KS statistic on a handful of points is pure noise; wait for
-        // a reasonably filled window before drawing conclusions.
-        let min_window = (self.cfg.ks_window / 4).max(30);
-        if !self.cfg.auto_penalty
-            || self.monitor.history.is_empty()
-            || self.monitor.window.len() < min_window
-        {
-            return;
+        match self.cfg.drift_mode {
+            DriftMode::Inline => {
+                if !self.should_retest() {
+                    return;
+                }
+                let test = self.monitor.window.evaluate_now();
+                self.apply_test(test, None);
+            }
+            DriftMode::Deferred => {
+                // Commit the verdict snapshotted one boundary ago. If the
+                // off-seat worker never reported back, evaluate the
+                // retained snapshot synchronously — pure, so the decision
+                // stream is independent of worker timing.
+                if let Some(pending) = self.monitor.pending.take() {
+                    let result = pending
+                        .verdict
+                        .unwrap_or_else(|| pending.snapshot.evaluate());
+                    self.apply_test(result, Some(pending.requests));
+                }
+                if self.should_retest() {
+                    let requests = self.monitor.epoch * self.monitor.doubling_period as u64;
+                    self.monitor.pending = Some(PendingDriftState {
+                        epoch: self.monitor.epoch,
+                        requests,
+                        snapshot: self.monitor.window.snapshot(),
+                        verdict: None,
+                        task_taken: false,
+                    });
+                }
+            }
         }
-        let test = self
-            .monitor
-            .history
-            .peacock_test_window(&mut self.monitor.window);
+    }
+
+    /// Whether a boundary re-test is worth running at all. The KS
+    /// statistic on a handful of points is pure noise; wait for a
+    /// reasonably filled window before drawing conclusions.
+    fn should_retest(&self) -> bool {
+        let min_window = (self.cfg.ks_window / 4).max(30);
+        self.cfg.auto_penalty
+            && !self.monitor.window.history().is_empty()
+            && self.monitor.window.len() >= min_window
+    }
+
+    /// Applies one KS verdict: records similarity, switches the penalty
+    /// type per §V-C, emits the events, and advances the shift-streak
+    /// reset logic. `committed_requests` is `Some` when the verdict is a
+    /// deferred commit (it carries the snapshot boundary's request count
+    /// into the [`PlacementEvent::KsVerdictCommitted`] event).
+    fn apply_test(&mut self, test: Ks2dResult, committed_requests: Option<u64>) {
         self.monitor.last_similarity = Some(test.similarity_percent);
         let class = SimilarityClass::from_test(&test);
         let penalty_before = self.decision.penalty.kind();
@@ -553,6 +715,12 @@ impl<I: SpatialIndex> DeviationPenaltyCore<I> {
             penalty_after: self.decision.penalty.kind(),
         };
         self.emit(ks_event);
+        if let Some(requests) = committed_requests {
+            self.emit(PlacementEvent::KsVerdictCommitted {
+                requests,
+                d_statistic: test.statistic,
+            });
+        }
         if class == SimilarityClass::LessSimilar {
             self.monitor.shift_streak += 1;
             // Distribution shift confirmed by two consecutive tests:
@@ -567,6 +735,46 @@ impl<I: SpatialIndex> DeviationPenaltyCore<I> {
         } else {
             self.monitor.shift_streak = 0;
         }
+    }
+
+    /// Hands out the pending boundary snapshot as an off-seat evaluation
+    /// job, at most once per boundary ([`DriftMode::Deferred`] only).
+    ///
+    /// Returns `None` when there is nothing pending, the job was already
+    /// handed out, or a verdict was already committed back. Purely an
+    /// optimization hook: a caller that never takes (or never returns) the
+    /// task changes nothing — the commit boundary falls back to a
+    /// synchronous evaluation with the identical result.
+    pub fn take_drift_task(&mut self) -> Option<DriftTask> {
+        let pending = self.monitor.pending.as_mut()?;
+        if pending.task_taken || pending.verdict.is_some() {
+            return None;
+        }
+        pending.task_taken = true;
+        Some(DriftTask {
+            epoch: pending.epoch,
+            requests: pending.requests,
+            snapshot: pending.snapshot.clone(),
+        })
+    }
+
+    /// Stores an off-seat verdict against the pending snapshot. Store-only:
+    /// nothing takes effect until the next doubling boundary, which is what
+    /// keeps the decision stream independent of worker timing. A verdict
+    /// for a stale epoch (the boundary already committed via the
+    /// synchronous fallback) is ignored.
+    pub fn commit_drift_verdict(&mut self, verdict: DriftVerdict) {
+        if let Some(pending) = self.monitor.pending.as_mut() {
+            if pending.epoch == verdict.epoch && pending.verdict.is_none() {
+                pending.verdict = Some(verdict.result);
+            }
+        }
+    }
+
+    /// Whether a boundary snapshot is awaiting its commit
+    /// ([`DriftMode::Deferred`] only; always `false` inline).
+    pub fn drift_pending(&self) -> bool {
+        self.monitor.pending.is_some()
     }
 
     /// Monitor bookkeeping for one arrival: slides the live KS window `G`
@@ -660,12 +868,18 @@ impl<I: SpatialIndex> DeviationPenaltyCore<I> {
             rng_seed: self.cfg.seed,
             rng_draws: self.decision.rng_draws,
             a: self.monitor.a as u64,
-            history: self.monitor.history.points().to_vec(),
+            history: self.monitor.window.history().points().to_vec(),
             window: self.monitor.window.iter().collect(),
             last_similarity: self.monitor.last_similarity,
             shift_streak: self.monitor.shift_streak,
             epoch: self.monitor.epoch,
             events_dropped: self.events_dropped,
+            pending: self.monitor.pending.as_ref().map(|p| PendingDrift {
+                epoch: p.epoch,
+                requests: p.requests,
+                window: p.snapshot.points().collect(),
+                verdict: p.verdict,
+            }),
         }
     }
 
@@ -718,12 +932,23 @@ impl<I: SpatialIndex> DeviationPenaltyCore<I> {
                 .map(|i| history[(i as f64 * stride) as usize])
                 .collect();
         }
-        let history = RankedSample::new(&history);
-        let mut window = IncrementalWindow::new();
+        let history = Arc::new(DriftHistory::new(&history));
+        let mut window = DriftMonitor::new(Arc::clone(&history));
         let skip = ckpt.window.len().saturating_sub(cfg.ks_window);
         for &p in &ckpt.window[skip..] {
             window.push_back(p);
         }
+        // A restored pending snapshot rebuilds its rank caches from the
+        // bare points — deterministic, so its evaluation (whether already
+        // stored or recomputed at the commit boundary) is bit-identical to
+        // the original's.
+        let pending = ckpt.pending.map(|p| PendingDriftState {
+            epoch: p.epoch,
+            requests: p.requests,
+            snapshot: DriftSnapshot::from_points(&history, &p.window),
+            verdict: p.verdict,
+            task_taken: false,
+        });
         let doubling_period = ((cfg.beta * k as f64).ceil() as usize).max(1);
         DeviationPenaltyCore {
             decision: DecisionState {
@@ -742,11 +967,11 @@ impl<I: SpatialIndex> DeviationPenaltyCore<I> {
             monitor: MonitorState {
                 a: usize::try_from(ckpt.a).expect("checkpoint counter overflows usize"),
                 doubling_period,
-                history,
                 window,
                 last_similarity: ckpt.last_similarity,
                 shift_streak: ckpt.shift_streak,
                 epoch: ckpt.epoch,
+                pending,
             },
             events: Vec::with_capacity(EVENT_BUFFER_CAP),
             events_dropped: ckpt.events_dropped,
@@ -1117,6 +1342,9 @@ mod tests {
                         assert!((0.0..=1.0).contains(&d_statistic));
                         assert!((0.0..=100.0).contains(&similarity_percent));
                     }
+                    PlacementEvent::KsVerdictCommitted { .. } => {
+                        unreachable!("inline mode never emits deferred commits")
+                    }
                 }
             }
         }
@@ -1200,6 +1428,207 @@ mod tests {
         assert_eq!(ckpt.stations.len(), landmarks.len() - 1);
         let restored = DeviationPenalty::restore(ckpt, DeviationConfig::default());
         assert_eq!(restored.stations().len(), landmarks.len() - 1);
+    }
+
+    #[test]
+    fn deferred_decisions_independent_of_worker_timing() {
+        // The deferred protocol's whole point: whether (and when) an
+        // off-seat worker evaluates the snapshot must not change a single
+        // decision. Three schedules — never take the task (synchronous
+        // fallback at the commit boundary), take + commit eagerly after
+        // every request, and take but sit on the verdict for 7 requests —
+        // must yield bit-identical streams and state.
+        let history = uniform_stream(200, 900.0, 71);
+        let stream = uniform_stream(500, 900.0, 72);
+        let mk = || {
+            DeviationPenalty::new(
+                grid_landmarks(),
+                history.clone(),
+                DeviationConfig {
+                    seed: 73,
+                    drift_mode: DriftMode::Deferred,
+                    ..DeviationConfig::default()
+                },
+            )
+        };
+        let mut lazy = mk();
+        let mut eager = mk();
+        let mut delayed = mk();
+        let mut held: Option<(DriftVerdict, usize)> = None;
+        for (i, &p) in stream.iter().enumerate() {
+            let d1 = lazy.handle(p);
+            let d2 = eager.handle(p);
+            if let Some(task) = eager.take_drift_task() {
+                eager.commit_drift_verdict(task.evaluate());
+            }
+            let d3 = delayed.handle(p);
+            if let Some((verdict, due)) = held.take() {
+                if i >= due {
+                    delayed.commit_drift_verdict(verdict);
+                } else {
+                    held = Some((verdict, due));
+                }
+            }
+            if held.is_none() {
+                if let Some(task) = delayed.take_drift_task() {
+                    held = Some((task.evaluate(), i + 7));
+                }
+            }
+            assert_eq!(d1, d2, "eager diverged at request {i}");
+            assert_eq!(d1, d3, "delayed diverged at request {i}");
+        }
+        assert_eq!(lazy.cost(), eager.cost());
+        assert_eq!(lazy.cost(), delayed.cost());
+        assert_eq!(lazy.stations(), eager.stations());
+        assert_eq!(lazy.stations(), delayed.stations());
+        assert_eq!(lazy.last_similarity(), eager.last_similarity());
+        assert_eq!(lazy.last_similarity(), delayed.last_similarity());
+        // Checkpoints agree on everything except the stored-verdict cache,
+        // which legitimately tracks the worker schedule (lazy never stored
+        // one); the decision-relevant state is identical.
+        let strip = |mut c: DeviationCheckpoint| {
+            if let Some(p) = c.pending.as_mut() {
+                p.verdict = None;
+            }
+            c
+        };
+        assert_eq!(strip(lazy.checkpoint()), strip(eager.checkpoint()));
+        assert_eq!(strip(lazy.checkpoint()), strip(delayed.checkpoint()));
+    }
+
+    #[test]
+    fn deferred_commits_lag_inline_by_one_boundary() {
+        // Over a long same-distribution stream the deferred run's
+        // committed verdicts are exactly the inline run's verdicts shifted
+        // one boundary later: verdict requests counts line up with the
+        // snapshot boundaries, and every commit carries a D from a real
+        // test. Also exercises the event plumbing end to end.
+        let history = uniform_stream(300, 1000.0, 81);
+        let stream = uniform_stream(400, 1000.0, 82);
+        let mut alg = DeviationPenalty::new(
+            grid_landmarks(),
+            history,
+            DeviationConfig {
+                seed: 83,
+                drift_mode: DriftMode::Deferred,
+                ..DeviationConfig::default()
+            },
+        );
+        let mut events = Vec::new();
+        for &p in &stream {
+            alg.handle(p);
+            alg.take_events(&mut events);
+        }
+        let commits: Vec<(u64, f64)> = events
+            .iter()
+            .filter_map(|e| match *e {
+                PlacementEvent::KsVerdictCommitted {
+                    requests,
+                    d_statistic,
+                } => Some((requests, d_statistic)),
+                _ => None,
+            })
+            .collect();
+        assert!(!commits.is_empty(), "no deferred commits over 400 requests");
+        let period = 5; // β·k with the 5 grid landmarks
+        for &(requests, d) in &commits {
+            assert_eq!(requests % period, 0, "commit off the boundary grid");
+            assert!((0.0..=1.0).contains(&d));
+        }
+        // Each commit belongs to the boundary before the one it fired at,
+        // so the last commit's request count is below the stream length.
+        assert!(commits.last().unwrap().0 <= stream.len() as u64 - period);
+    }
+
+    #[test]
+    fn deferred_checkpoint_round_trips_pending_state() {
+        // Kill-and-restore between a snapshot and its commit: the restored
+        // instance must round-trip the checkpoint exactly and continue the
+        // original's decision stream, whether or not a verdict had already
+        // been stored — and even if the original's in-flight task is lost.
+        let history = uniform_stream(200, 900.0, 91);
+        let stream = uniform_stream(400, 900.0, 92);
+        let cfg = DeviationConfig {
+            seed: 93,
+            drift_mode: DriftMode::Deferred,
+            ..DeviationConfig::default()
+        };
+        for store_verdict in [false, true] {
+            let mut alg = DeviationPenalty::new(grid_landmarks(), history.clone(), cfg.clone());
+            let mut drained = Vec::new();
+            // 103 requests = past the 100-request boundary (β·k = 5), with
+            // a window (≥ 30 points) old enough that a snapshot is pending.
+            for &p in &stream[..103] {
+                alg.handle(p);
+                alg.take_events(&mut drained);
+            }
+            assert!(alg.drift_pending(), "no pending snapshot at request 103");
+            let task = alg.take_drift_task().expect("task should be available");
+            if store_verdict {
+                alg.commit_drift_verdict(task.evaluate());
+                // Once a verdict is stored the task is no longer offered.
+                assert!(alg.take_drift_task().is_none());
+            }
+            let ckpt = alg.checkpoint();
+            assert_eq!(
+                ckpt.pending.as_ref().unwrap().verdict.is_some(),
+                store_verdict
+            );
+            let mut restored = DeviationPenalty::restore(ckpt.clone(), cfg.clone());
+            assert_eq!(restored.checkpoint(), ckpt);
+            // The restored instance re-offers the evaluation job (the
+            // in-flight hand-out is deliberately not checkpointed)…
+            assert_eq!(restored.take_drift_task().is_some(), !store_verdict);
+            // …and reconverges bit-identically without any worker help.
+            for (i, &p) in stream[103..].iter().enumerate() {
+                assert_eq!(alg.handle(p), restored.handle(p), "diverged at {i}");
+                alg.take_events(&mut drained);
+                restored.take_events(&mut drained);
+            }
+            assert_eq!(alg.checkpoint(), restored.checkpoint());
+        }
+    }
+
+    #[test]
+    fn stale_drift_verdict_is_ignored() {
+        // A worker reporting after the commit boundary already fell back
+        // to the synchronous evaluation must not poison the next epoch.
+        let history = uniform_stream(200, 900.0, 95);
+        let stream = uniform_stream(300, 900.0, 96);
+        let mk = || {
+            DeviationPenalty::new(
+                grid_landmarks(),
+                history.clone(),
+                DeviationConfig {
+                    seed: 97,
+                    drift_mode: DriftMode::Deferred,
+                    ..DeviationConfig::default()
+                },
+            )
+        };
+        let mut clean = mk();
+        let mut noisy = mk();
+        let mut held: Vec<(DriftVerdict, usize)> = Vec::new();
+        for (i, &p) in stream.iter().enumerate() {
+            assert_eq!(clean.handle(p), noisy.handle(p), "diverged at {i}");
+            // Take every task but report each verdict 12 requests later —
+            // past its own commit boundary (period β·k = 5), by which time
+            // the pending snapshot belongs to a newer epoch and the late
+            // commit must be dropped on the floor.
+            if let Some(task) = noisy.take_drift_task() {
+                held.push((task.evaluate(), i + 12));
+            }
+            held.retain(|&(verdict, due)| {
+                if i >= due {
+                    noisy.commit_drift_verdict(verdict);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        assert_eq!(clean.cost(), noisy.cost());
+        assert_eq!(clean.checkpoint(), noisy.checkpoint());
     }
 
     #[test]

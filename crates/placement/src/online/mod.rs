@@ -20,7 +20,8 @@ mod meyerson;
 
 pub use deviation::{
     DecisionView, DeviationCheckpoint, DeviationConfig, DeviationPenalty, DeviationPenaltyCore,
-    HandleTrace, PlacementEvent, EVENT_BUFFER_CAP,
+    DriftMode, DriftTask, DriftVerdict, HandleTrace, PendingDrift, PlacementEvent,
+    EVENT_BUFFER_CAP,
 };
 pub use kmeans::OnlineKMeans;
 pub use meyerson::Meyerson;

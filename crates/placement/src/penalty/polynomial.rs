@@ -81,9 +81,9 @@ impl PolynomialPenalty {
     /// of `deviations` (walking costs between destinations and their
     /// nearest offline parking).
     ///
-    /// The fitted `g` satisfies `g(0) ≈ 1` (sorted-rank survival starts at
-    /// 1) and declines to ≈ 0 at the largest observed deviation, matching
-    /// the boundary behaviour of the closed-form types.
+    /// The fitted `g` satisfies `g(0) ≈ 1` (sorted-rank survival starts
+    /// at 1) and declines to ≈ 0 at the largest observed deviation,
+    /// matching the boundary behaviour of the closed-form types.
     ///
     /// # Errors
     ///
@@ -120,8 +120,7 @@ impl PolynomialPenalty {
             ys.push(1.0 - (i + 1) as f64 / n as f64);
         }
         let design = Matrix::from_fn(xs.len(), degree + 1, |r, k| xs[r].powi(k as i32));
-        let coefficients =
-            least_squares(&design, &ys, 1e-9).map_err(|_| FitError::Degenerate)?;
+        let coefficients = least_squares(&design, &ys, 1e-9).map_err(|_| FitError::Degenerate)?;
         Ok(PolynomialPenalty {
             coefficients,
             scale,
@@ -206,7 +205,9 @@ mod tests {
     #[test]
     fn boundary_behaviour_matches_closed_forms() {
         let mut rng = StdRng::seed_from_u64(1);
-        let samples: Vec<f64> = (0..500).map(|_| rng.gen_range(0.0..300.0f64).powf(1.3)).collect();
+        let samples: Vec<f64> = (0..500)
+            .map(|_| rng.gen_range(0.0..300.0f64).powf(1.3))
+            .collect();
         let poly = PolynomialPenalty::fit(&samples, 3).expect("fit");
         assert!(poly.g(0.0) > 0.9, "g(0) = {}", poly.g(0.0));
         assert!(poly.g(poly.scale()) < 0.1);

@@ -1,0 +1,191 @@
+//! Reference-model equivalence for the drift protocol.
+//!
+//! An independent reimplementation of Algorithm 2's decision loop — linear
+//! nearest-station scan, explicit FIFO window, batch Peacock re-test via
+//! the public `RankedSample` API — applies the same commit-at-next-boundary
+//! rule as [`DriftMode::Deferred`] (and, for the oracle lane, the same
+//! inline rule as [`DriftMode::Inline`]). The production
+//! `DeviationPenalty`'s decision stream must match it bit-for-bit: same
+//! `Decision` every request, same costs, same penalty state. Exact
+//! equality throughout — the deferred machinery (cached quadrant counts,
+//! retained snapshots, off-seat evaluation) must be invisible in the
+//! decisions.
+
+use esharing_geo::Point;
+use esharing_placement::online::{
+    Decision, DeviationConfig, DeviationPenalty, DriftMode, OnlinePlacement,
+};
+use esharing_placement::penalty::{PenaltyFunction, PenaltyType};
+use esharing_stats::ks2d::{RankedSample, SimilarityClass};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// The reference model: Algorithm 2 with the drift rule written out
+/// longhand. Deliberately naive — O(n) nearest scan, window cloned and
+/// re-ranked from scratch at every boundary.
+struct Reference {
+    stations: Vec<Point>,
+    penalty: PenaltyFunction,
+    f: f64,
+    f_initial: f64,
+    rng: StdRng,
+    a: usize,
+    period: usize,
+    window: VecDeque<Point>,
+    ranked: RankedSample,
+    history_empty: bool,
+    shift_streak: u32,
+    /// Deferred lane only: the window points captured at the last
+    /// boundary, to be tested and applied at the next one.
+    pending: Option<Vec<Point>>,
+    mode: DriftMode,
+    ks_window: usize,
+    space_cost: f64,
+}
+
+impl Reference {
+    fn new(landmarks: &[Point], history: &[Point], cfg: &DeviationConfig, mode: DriftMode) -> Self {
+        Reference {
+            stations: landmarks.to_vec(),
+            penalty: PenaltyFunction::new(cfg.initial_penalty, cfg.tolerance),
+            f: cfg.initial_decision_cost.unwrap(),
+            f_initial: cfg.initial_decision_cost.unwrap(),
+            rng: StdRng::seed_from_u64(cfg.seed),
+            a: 0,
+            period: ((cfg.beta * landmarks.len() as f64).ceil() as usize).max(1),
+            window: VecDeque::new(),
+            ranked: RankedSample::new(history),
+            history_empty: history.is_empty(),
+            shift_streak: 0,
+            pending: None,
+            mode,
+            ks_window: cfg.ks_window,
+            space_cost: cfg.space_cost,
+        }
+    }
+
+    fn apply_verdict(&mut self, sample: &[Point]) {
+        let test = self.ranked.peacock_test_against(sample);
+        let class = SimilarityClass::from_test(&test);
+        self.penalty = self.penalty.with_kind(PenaltyType::for_similarity(class));
+        if class == SimilarityClass::LessSimilar {
+            self.shift_streak += 1;
+            if self.shift_streak == 2 {
+                self.f = self.f_initial;
+            }
+        } else {
+            self.shift_streak = 0;
+        }
+    }
+
+    fn handle(&mut self, p: Point) -> Decision {
+        // Window slide + doubling counter.
+        if self.window.len() == self.ks_window {
+            self.window.pop_front();
+        }
+        self.window.push_back(p);
+        self.a += 1;
+        let due = self.a >= self.period;
+        // The opening decision: nearest by linear scan (coordinates are
+        // continuous, so the minimum is unique and matches the grid index).
+        let (nearest, c) = self
+            .stations
+            .iter()
+            .map(|&s| (s, s.distance(p)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        let g = self.penalty.g(c);
+        let prob = (g * c / self.f).min(1.0);
+        let opens = c > 0.0 && self.rng.gen_range(0.0..1.0) < prob;
+        let decision = if opens {
+            self.stations.push(p);
+            Decision::Opened { station: p }
+        } else {
+            Decision::Assigned {
+                station: nearest,
+                walking: c,
+            }
+        };
+        if due {
+            self.a = 0;
+            self.f *= 2.0;
+            let min_window = (self.ks_window / 4).max(30);
+            let retest = !self.history_empty && self.window.len() >= min_window;
+            match self.mode {
+                DriftMode::Inline => {
+                    if retest {
+                        let sample: Vec<Point> = self.window.iter().copied().collect();
+                        self.apply_verdict(&sample);
+                    }
+                }
+                DriftMode::Deferred => {
+                    if let Some(sample) = self.pending.take() {
+                        self.apply_verdict(&sample);
+                    }
+                    if retest {
+                        self.pending = Some(self.window.iter().copied().collect());
+                    }
+                }
+            }
+        }
+        decision
+    }
+
+    fn total_space_cost(&self) -> f64 {
+        self.stations.len() as f64 * self.space_cost
+    }
+}
+
+fn points(raw: &[(f64, f64)]) -> Vec<Point> {
+    raw.iter().map(|&(x, y)| Point::new(x, y)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Both drift modes must reproduce the longhand reference exactly:
+    /// every `Decision`, the walking/space costs, and the final penalty
+    /// type, across random landmark sets, histories, streams, window caps
+    /// and seeds.
+    #[test]
+    fn decision_stream_matches_reference_model(
+        landmarks_raw in proptest::collection::vec(
+            (0.0f64..1_000.0, 0.0f64..1_000.0), 2..5),
+        history_raw in proptest::collection::vec(
+            (0.0f64..1_000.0, 0.0f64..1_000.0), 30..80),
+        stream_raw in proptest::collection::vec(
+            (0.0f64..1_000.0, 0.0f64..1_000.0), 50..200),
+        ks_window in 10usize..40,
+        f0 in 50.0f64..1_000.0,
+        seed in 0u64..1_000,
+    ) {
+        let landmarks = points(&landmarks_raw);
+        let history = points(&history_raw);
+        let stream = points(&stream_raw);
+        for mode in [DriftMode::Inline, DriftMode::Deferred] {
+            let cfg = DeviationConfig {
+                ks_window,
+                initial_decision_cost: Some(f0),
+                drift_mode: mode,
+                seed,
+                ..DeviationConfig::default()
+            };
+            let mut real = DeviationPenalty::new(
+                landmarks.clone(), history.clone(), cfg.clone());
+            let mut model = Reference::new(&landmarks, &history, &cfg, mode);
+            for (i, &p) in stream.iter().enumerate() {
+                let got = real.handle(p);
+                let want = model.handle(p);
+                prop_assert_eq!(got, want, "{:?} diverged at request {}", mode, i);
+            }
+            prop_assert_eq!(real.cost().space, model.total_space_cost());
+            prop_assert_eq!(real.penalty_kind(), model.penalty.kind());
+            prop_assert_eq!(
+                real.stations().len(),
+                model.stations.len(),
+            );
+        }
+    }
+}

@@ -119,8 +119,7 @@ impl Histogram2d {
                     ' '
                 } else {
                     let norm = self.count(col, row) / max;
-                    RAMP[((norm * (RAMP.len() - 1) as f64).round() as usize)
-                        .min(RAMP.len() - 1)]
+                    RAMP[((norm * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1)]
                 };
                 out.push(c);
             }

@@ -36,11 +36,21 @@
 //! FIFO churn — `O(log n)` per push/pop — so the periodic test stops
 //! re-ranking the live window from scratch as well
 //! ([`RankedSample::peacock_test_window`]).
+//!
+//! [`DriftMonitor`] goes one step further for the deviation monitor's
+//! boundary re-test: it additionally caches, per stored point, the
+//! *history's* quadrant counts around that point (computed once at push
+//! time against a shared [`DriftHistory`]), so the re-test sweep keeps a
+//! single window-local Fenwick tree and reuses every history-side count —
+//! and it can emit an immutable [`DriftSnapshot`] whose pure
+//! [`DriftSnapshot::evaluate`] runs the identical test off-thread. All
+//! three streaming paths are bit-identical to the batch oracle.
 
 use crate::parallel;
 use esharing_geo::Point;
 use std::cmp::Ordering;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Outcome of a two-sample Peacock test.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -656,6 +666,430 @@ impl Default for IncrementalWindow {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Drift monitor: cached quadrant counts for the boundary re-test
+// ---------------------------------------------------------------------------
+
+/// Merge-sort tree over a fixed `(x, y)`-sorted point list.
+///
+/// `levels[j]` holds the y-values of the base order in aligned chunks of
+/// `2^j`, each chunk sorted, so a prefix `[0, k)` of the base order
+/// decomposes into `O(log n)` sorted blocks and a dominance count
+/// `#{i < k : y_i <= y}` resolves in `O(log² n)` — the per-push query the
+/// [`DriftMonitor`] uses to cache a point's history-side quadrant counts.
+#[derive(Debug)]
+struct MergeTree {
+    levels: Vec<Vec<f64>>,
+}
+
+impl MergeTree {
+    fn new(by_x: &[Point]) -> Self {
+        let n = by_x.len();
+        let mut levels: Vec<Vec<f64>> = Vec::new();
+        if n == 0 {
+            return MergeTree { levels };
+        }
+        levels.push(by_x.iter().map(|p| p.y).collect());
+        let mut width = 1usize;
+        while width < n {
+            let prev = levels.last().expect("level pushed above");
+            let mut next = Vec::with_capacity(n);
+            let mut start = 0usize;
+            while start < n {
+                let mid = (start + width).min(n);
+                let end = (start + 2 * width).min(n);
+                let (mut i, mut j) = (start, mid);
+                while i < mid || j < end {
+                    let take_left = match (prev.get(i), prev.get(j)) {
+                        (Some(a), Some(b)) if i < mid && j < end => f64::total_cmp(a, b).is_le(),
+                        _ => i < mid,
+                    };
+                    if take_left {
+                        next.push(prev[i]);
+                        i += 1;
+                    } else {
+                        next.push(prev[j]);
+                        j += 1;
+                    }
+                }
+                start = end;
+            }
+            levels.push(next);
+            width *= 2;
+        }
+        MergeTree { levels }
+    }
+
+    /// Number of base-order positions `< prefix` whose y-value is `<= y`.
+    fn count_le_in_prefix(&self, prefix: usize, y: f64) -> u32 {
+        let mut total = 0u32;
+        let mut pos = 0usize;
+        for j in (0..self.levels.len()).rev() {
+            let w = 1usize << j;
+            if prefix & w != 0 {
+                let block = &self.levels[j][pos..pos + w];
+                total += count_le(block, y) as u32;
+                pos += w;
+            }
+        }
+        total
+    }
+}
+
+/// The historical sample of a streaming drift monitor, with everything the
+/// boundary re-test needs from the history side precomputed once:
+///
+/// * the [`RankedSample`] rank structures,
+/// * the history's own-split quadrant counts (`self_qa`) around each of its
+///   points, in `by_x` order, and
+/// * a [`MergeTree`] answering the history's quadrant counts around an
+///   arbitrary *window* point in `O(log² n)`.
+///
+/// Shared via `Arc` between a live [`DriftMonitor`] and the immutable
+/// [`DriftSnapshot`]s it emits, so a deferred evaluation never copies the
+/// history.
+#[derive(Debug)]
+pub struct DriftHistory {
+    sample: RankedSample,
+    tree: MergeTree,
+    /// Quadrant counts of the history around its own `by_x[i]` split point
+    /// — exactly the `qa` the [`ff_statistic_ranked`] sweep would derive.
+    self_qa: Vec<[u32; 4]>,
+}
+
+impl DriftHistory {
+    /// Precomputes the drift structures for `points` (`O(n log n)`).
+    pub fn new(points: &[Point]) -> Self {
+        let sample = RankedSample::new(points);
+        let tree = MergeTree::new(&sample.by_x);
+        let n = sample.by_x.len();
+        let n_u = n as u32;
+        let mut fen = Fenwick::new(sample.ys.len());
+        let mut self_qa = Vec::with_capacity(n);
+        let mut ia = 0usize;
+        // Single-sample x-sweep mirroring `ff_statistic_ranked`'s history
+        // side: all points of an equal-x run enter before any query at
+        // that x, so `x <= X` semantics match the merged sweep whatever
+        // the window contributes to the run.
+        while ia < n {
+            let x = sample.by_x[ia].x;
+            let start = ia;
+            while ia < n && sample.by_x[ia].x == x {
+                fen.add(count_le(&sample.ys, sample.by_x[ia].y));
+                ia += 1;
+            }
+            let cx = ia as u32;
+            for k in start..ia {
+                let y = sample.by_x[k].y;
+                let cy = count_le(&sample.ys, y) as u32;
+                let q3 = fen.prefix(count_le(&sample.ys, y));
+                self_qa.push([n_u + q3 - cx - cy, cx - q3, q3, cy - q3]);
+            }
+        }
+        DriftHistory {
+            sample,
+            tree,
+            self_qa,
+        }
+    }
+
+    /// The history's quadrant counts `[q1, q2, q3, q4]` around an arbitrary
+    /// split point, identical to the integers the full sweep would count.
+    fn quadrants_around(&self, p: Point) -> [u32; 4] {
+        let n = self.sample.by_x.len() as u32;
+        let cx = self.sample.by_x.partition_point(|q| q.x <= p.x);
+        let cy = count_le(&self.sample.ys, p.y) as u32;
+        let q3 = self.tree.count_le_in_prefix(cx, p.y);
+        let cx = cx as u32;
+        [n + q3 - cx - cy, cx - q3, q3, cy - q3]
+    }
+
+    /// The underlying sample in its original order.
+    pub fn points(&self) -> &[Point] {
+        self.sample.points()
+    }
+
+    /// Number of history points.
+    pub fn len(&self) -> usize {
+        self.sample.len()
+    }
+
+    /// Whether the history is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sample.is_empty()
+    }
+}
+
+/// A window point bundled with the history's cached quadrant counts around
+/// it, computed once at push time. Ordered by the point alone: equal points
+/// carry equal counts, so which duplicate a treap removal drops stays
+/// unobservable.
+#[derive(Debug, Clone, Copy)]
+struct QuadPoint {
+    point: Point,
+    qa: [u32; 4],
+}
+
+fn cmp_quad_point(p: &QuadPoint, q: &QuadPoint) -> Ordering {
+    cmp_point_xy(&p.point, &q.point)
+}
+
+/// A FIFO drift window against a fixed [`DriftHistory`]: the incremental
+/// rank structures of [`IncrementalWindow`] plus, cached on every stored
+/// point, the history's quadrant counts around it — so a boundary re-test
+/// reuses the per-push work instead of recounting the history side from
+/// scratch ([`DriftMonitor::evaluate_now`]), and an immutable
+/// [`DriftSnapshot`] of the window can be evaluated off-thread later with
+/// the same reuse ([`DriftMonitor::snapshot`]).
+///
+/// Both evaluation paths produce statistics **bit-identical** to
+/// [`RankedSample::peacock_test_window`] on the same points: the cached
+/// integers equal the sweep's integers, and the final supremum runs the
+/// same f64 arithmetic over the same values.
+#[derive(Debug, Clone)]
+pub struct DriftMonitor {
+    history: Arc<DriftHistory>,
+    deque: VecDeque<Point>,
+    by_x: OrderedMultiset<QuadPoint>,
+    ys: OrderedMultiset<f64>,
+    /// Scratch slices handed to the sweep kernel; refilled per test,
+    /// allocation-free once grown to window size.
+    sx: Vec<QuadPoint>,
+    sy: Vec<f64>,
+}
+
+impl DriftMonitor {
+    /// An empty window monitoring drift against `history`.
+    pub fn new(history: Arc<DriftHistory>) -> Self {
+        DriftMonitor {
+            history,
+            deque: VecDeque::new(),
+            by_x: OrderedMultiset::new(cmp_quad_point),
+            ys: OrderedMultiset::new(f64::total_cmp),
+            sx: Vec::new(),
+            sy: Vec::new(),
+        }
+    }
+
+    /// The shared history this monitor tests against.
+    pub fn history(&self) -> &Arc<DriftHistory> {
+        &self.history
+    }
+
+    /// Number of points currently in the window.
+    pub fn len(&self) -> usize {
+        self.deque.len()
+    }
+
+    /// Whether the window holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.deque.is_empty()
+    }
+
+    /// Appends a point at the back (newest side) of the window, caching the
+    /// history's quadrant counts around it (`O(log² n)`).
+    pub fn push_back(&mut self, p: Point) {
+        let qa = self.history.quadrants_around(p);
+        self.deque.push_back(p);
+        self.by_x.insert(QuadPoint { point: p, qa });
+        self.ys.insert(p.y);
+    }
+
+    /// Removes and returns the oldest point, or `None` when empty.
+    pub fn pop_front(&mut self) -> Option<Point> {
+        let p = self.deque.pop_front()?;
+        // The comparator ignores `qa`, so a zeroed probe finds the key.
+        let probe = QuadPoint {
+            point: p,
+            qa: [0; 4],
+        };
+        let removed = self.by_x.remove(&probe);
+        debug_assert!(removed, "rank structure out of sync with deque");
+        let removed = self.ys.remove(&p.y);
+        debug_assert!(removed, "y ranks out of sync with deque");
+        Some(p)
+    }
+
+    /// The window's points in arrival order (oldest first).
+    pub fn iter(&self) -> impl Iterator<Item = Point> + '_ {
+        self.deque.iter().copied()
+    }
+
+    fn fill_scratch(&mut self) {
+        let mut sx = std::mem::take(&mut self.sx);
+        sx.clear();
+        self.by_x.fill_inorder(&mut sx);
+        self.sx = sx;
+        let mut sy = std::mem::take(&mut self.sy);
+        sy.clear();
+        self.ys.fill_inorder(&mut sy);
+        self.sy = sy;
+    }
+
+    /// Runs the boundary re-test against the current window in place — the
+    /// inline-mode path. Bit-identical to
+    /// [`RankedSample::peacock_test_window`] over the same points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the history or the window is empty.
+    pub fn evaluate_now(&mut self) -> Ks2dResult {
+        assert!(
+            !self.history.is_empty() && !self.is_empty(),
+            "samples must be non-empty"
+        );
+        self.fill_scratch();
+        let d = ff_statistic_cached(&self.history, &self.sx, &self.sy);
+        test_from_statistic(d, self.history.len(), self.deque.len())
+    }
+
+    /// An immutable copy of the current window (plus the shared history)
+    /// whose [`DriftSnapshot::evaluate`] can run on any thread, any number
+    /// of times, with a bit-identical result — the deferred-mode handoff.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the history or the window is empty.
+    pub fn snapshot(&mut self) -> DriftSnapshot {
+        assert!(
+            !self.history.is_empty() && !self.is_empty(),
+            "samples must be non-empty"
+        );
+        self.fill_scratch();
+        DriftSnapshot {
+            history: Arc::clone(&self.history),
+            sx: self.sx.clone(),
+            sy: self.sy.clone(),
+        }
+    }
+}
+
+/// An immutable, evaluation-ready copy of a drift window taken at a
+/// doubling boundary: the window's sorted orders plus cached history-side
+/// quadrant counts, sharing the [`DriftHistory`] by `Arc`.
+///
+/// [`DriftSnapshot::evaluate`] is a pure function of this value — no
+/// clocks, no RNG, no interior mutability — so a snapshot evaluated on a
+/// background worker, re-evaluated after a crash, or rebuilt from its
+/// checkpointed points yields the same bits every time.
+#[derive(Debug, Clone)]
+pub struct DriftSnapshot {
+    history: Arc<DriftHistory>,
+    sx: Vec<QuadPoint>,
+    sy: Vec<f64>,
+}
+
+impl DriftSnapshot {
+    /// Rebuilds a snapshot from the window's bare points (any order) and
+    /// the shared history — the checkpoint-restore path. Equal point sets
+    /// rebuild to equal snapshots regardless of input order.
+    pub fn from_points(history: &Arc<DriftHistory>, points: &[Point]) -> Self {
+        let mut sx: Vec<QuadPoint> = points
+            .iter()
+            .map(|&p| QuadPoint {
+                point: p,
+                qa: history.quadrants_around(p),
+            })
+            .collect();
+        sx.sort_unstable_by(cmp_quad_point);
+        let sy = sorted_by_total(points.iter().map(|p| p.y));
+        DriftSnapshot {
+            history: Arc::clone(history),
+            sx,
+            sy,
+        }
+    }
+
+    /// Number of points in the snapshotted window.
+    pub fn len(&self) -> usize {
+        self.sx.len()
+    }
+
+    /// Whether the snapshot holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.sx.is_empty()
+    }
+
+    /// The snapshotted window points, sorted by `(x, y)`.
+    pub fn points(&self) -> impl Iterator<Item = Point> + '_ {
+        self.sx.iter().map(|q| q.point)
+    }
+
+    /// Runs the boundary re-test. Pure and deterministic; bit-identical to
+    /// [`RankedSample::peacock_test_window`] over the same points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the history or the snapshot is empty.
+    pub fn evaluate(&self) -> Ks2dResult {
+        assert!(
+            !self.history.is_empty() && !self.is_empty(),
+            "samples must be non-empty"
+        );
+        let d = ff_statistic_cached(&self.history, &self.sx, &self.sy);
+        test_from_statistic(d, self.history.len(), self.sx.len())
+    }
+}
+
+/// The cached variant of [`ff_statistic_ranked`]: history-side quadrant
+/// counts come from the precomputed caches (`self_qa` for history split
+/// points, the per-point `qa` for window split points), so the sweep keeps
+/// a single Fenwick tree — over the *window's own* y-ranks — instead of
+/// two over the merged rank space.
+///
+/// Window-local ranks preserve the exact counts: `count_le` is monotone and
+/// every stored point's y-value is present in `sy`, so
+/// `fen.prefix(count_le(sy, y))` counts exactly the entered window points
+/// with `y' <= y` for any query y, including history y-values absent from
+/// the window. Every quadrant integer therefore equals the merged sweep's,
+/// and the supremum — a max over bitwise-identical f64 values — is
+/// order-invariant, making the statistic bit-identical.
+fn ff_statistic_cached(history: &DriftHistory, sx: &[QuadPoint], sy: &[f64]) -> f64 {
+    let ax = &history.sample.by_x;
+    let (na, nb) = (ax.len() as f64, sx.len() as f64);
+    let nb_u = sx.len() as u32;
+    let mut fen_b = Fenwick::new(sy.len());
+    let (mut ia, mut ib) = (0usize, 0usize);
+    let mut d = 0.0f64;
+    while ia < ax.len() || ib < sx.len() {
+        let x = match (ax.get(ia), sx.get(ib)) {
+            (Some(p), Some(q)) => {
+                if p.x <= q.point.x {
+                    p.x
+                } else {
+                    q.point.x
+                }
+            }
+            (Some(p), None) => p.x,
+            (None, Some(q)) => q.point.x,
+            (None, None) => unreachable!(),
+        };
+        let a_start = ia;
+        while ia < ax.len() && ax[ia].x == x {
+            ia += 1;
+        }
+        let b_start = ib;
+        while ib < sx.len() && sx[ib].point.x == x {
+            fen_b.add(count_le(sy, sx[ib].point.y));
+            ib += 1;
+        }
+        let cxb = ib as u32;
+        for (a, &qa) in ax[a_start..ia].iter().zip(&history.self_qa[a_start..ia]) {
+            let cyb = count_le(sy, a.y) as u32;
+            let q3b = fen_b.prefix(count_le(sy, a.y));
+            let qb = [nb_u + q3b - cxb - cyb, cxb - q3b, q3b, cyb - q3b];
+            d = d.max(quad_count_diff(qa, qb, na, nb));
+        }
+        for s in &sx[b_start..ib] {
+            let cyb = count_le(sy, s.point.y) as u32;
+            let q3b = fen_b.prefix(count_le(sy, s.point.y));
+            let qb = [nb_u + q3b - cxb - cyb, cxb - q3b, q3b, cyb - q3b];
+            d = d.max(quad_count_diff(s.qa, qb, na, nb));
+        }
+    }
+    d
+}
+
 /// Peacock's exact 2-D KS statistic over all `(x_i, y_j)` split pairs from
 /// the pooled sample.
 ///
@@ -1192,5 +1626,131 @@ mod tests {
         b.push(Point::new(2.0, 3.0));
         assert_eq!(ff_statistic(&a, &b), ff_statistic_naive(&a, &b));
         assert_eq!(peacock_statistic(&a, &b), peacock_statistic_naive(&a, &b));
+    }
+
+    #[test]
+    fn merge_tree_counts_match_scan() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for n in [1usize, 2, 3, 7, 8, 9, 33, 100] {
+            let pts = lattice_sample(&mut rng, n, 5);
+            let ranked = RankedSample::new(&pts);
+            let tree = MergeTree::new(&ranked.by_x);
+            for prefix in 0..=n {
+                for y in [-1.0, 0.0, 1.5, 2.0, 3.0, 4.0, 10.0] {
+                    let scan = ranked.by_x[..prefix].iter().filter(|p| p.y <= y).count();
+                    assert_eq!(
+                        tree.count_le_in_prefix(prefix, y),
+                        scan as u32,
+                        "n {n} prefix {prefix} y {y}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn drift_monitor_matches_batch_under_churn() {
+        // Mirror of `incremental_window_matches_batch_under_churn` for the
+        // cached-quadrant monitor: the evaluated test must be bit-identical
+        // to the batch re-rank and the naive oracle at every probe, with
+        // lattice ties driving duplicates through every cache path.
+        let mut rng = StdRng::seed_from_u64(41);
+        let history = lattice_sample(&mut rng, 120, 6);
+        let ranked = RankedSample::new(&history);
+        let shared = Arc::new(DriftHistory::new(&history));
+        let mut m = DriftMonitor::new(Arc::clone(&shared));
+        let mut mirror: VecDeque<Point> = VecDeque::new();
+        for step in 0..400 {
+            let p = Point::new(
+                f64::from(rng.gen_range(0u32..6)),
+                f64::from(rng.gen_range(0u32..6)),
+            );
+            m.push_back(p);
+            mirror.push_back(p);
+            if mirror.len() > 37 {
+                assert_eq!(m.pop_front(), mirror.pop_front());
+            }
+            if step % 7 == 0 {
+                let batch: Vec<Point> = mirror.iter().copied().collect();
+                let fast = m.evaluate_now();
+                let slow = ranked.peacock_test_against(&batch);
+                assert_eq!(fast, slow, "step {step}");
+                assert_eq!(
+                    fast.statistic,
+                    ff_statistic_naive(&history, &batch),
+                    "step {step}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn drift_snapshot_evaluation_is_pure_and_rebuildable() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let history = uniform_sample(&mut rng, 150, 100.0);
+        let ranked = RankedSample::new(&history);
+        let shared = Arc::new(DriftHistory::new(&history));
+        let mut m = DriftMonitor::new(Arc::clone(&shared));
+        for p in uniform_sample(&mut rng, 60, 100.0) {
+            m.push_back(p);
+        }
+        let window: Vec<Point> = m.iter().collect();
+        let snap = m.snapshot();
+        // Pure: repeated evaluation returns the same bits, and the monitor
+        // keeps serving pushes/pops independently of the snapshot.
+        let first = snap.evaluate();
+        assert_eq!(first, snap.evaluate());
+        assert_eq!(first, ranked.peacock_test_against(&window));
+        m.push_back(Point::new(1.0, 1.0));
+        m.pop_front();
+        assert_eq!(first, snap.evaluate(), "snapshot is immutable under churn");
+        // Rebuilding from the bare points (the checkpoint-restore path)
+        // reproduces the same result, whatever the input order.
+        let mut shuffled: Vec<Point> = snap.points().collect();
+        shuffled.reverse();
+        let rebuilt = DriftSnapshot::from_points(&shared, &shuffled);
+        assert_eq!(first, rebuilt.evaluate());
+    }
+
+    #[test]
+    fn drift_monitor_tie_storm_and_tiny_samples() {
+        // All-identical points, then a history of size 1: the degenerate
+        // shapes the subsampled deviation history can produce.
+        let hist = vec![Point::new(2.0, 2.0); 17];
+        let shared = Arc::new(DriftHistory::new(&hist));
+        let mut m = DriftMonitor::new(Arc::clone(&shared));
+        for _ in 0..9 {
+            m.push_back(Point::new(2.0, 2.0));
+        }
+        assert_eq!(m.evaluate_now().statistic, 0.0);
+        m.push_back(Point::new(2.0, 3.0));
+        let batch: Vec<Point> = m.iter().collect();
+        assert_eq!(
+            m.evaluate_now().statistic,
+            ff_statistic_naive(&hist, &batch)
+        );
+        let tiny = vec![Point::new(5.0, -3.0)];
+        let shared = Arc::new(DriftHistory::new(&tiny));
+        let mut m = DriftMonitor::new(shared);
+        m.push_back(Point::new(4.0, 0.0));
+        let batch: Vec<Point> = m.iter().collect();
+        assert_eq!(
+            m.evaluate_now().statistic,
+            ff_statistic_naive(&tiny, &batch)
+        );
+    }
+
+    #[test]
+    fn drift_monitor_empty_history_accepts_pushes() {
+        // An unarmed monitor (no history yet) must absorb window churn
+        // without panicking; only evaluation requires both sides.
+        let shared = Arc::new(DriftHistory::new(&[]));
+        assert!(shared.is_empty());
+        let mut m = DriftMonitor::new(shared);
+        for i in 0..10 {
+            m.push_back(Point::new(f64::from(i), f64::from(-i)));
+        }
+        assert_eq!(m.pop_front(), Some(Point::new(0.0, 0.0)));
+        assert_eq!(m.len(), 9);
     }
 }

@@ -160,7 +160,9 @@ mod tests {
 
     #[test]
     fn known_mean_and_variance() {
-        let s: RunningStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let s: RunningStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert_eq!(s.mean(), 5.0);
         assert_eq!(s.population_variance(), 4.0);
         assert_eq!(s.std_dev(), 2.0);

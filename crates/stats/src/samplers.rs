@@ -134,7 +134,10 @@ impl PoissonRadial {
     ///
     /// Panics if `lambda` or `radial_scale` is not positive and finite.
     pub fn new(center: Point, lambda: f64, radial_scale: f64) -> Self {
-        assert!(lambda.is_finite() && lambda > 0.0, "lambda must be positive");
+        assert!(
+            lambda.is_finite() && lambda > 0.0,
+            "lambda must be positive"
+        );
         assert!(
             radial_scale.is_finite() && radial_scale > 0.0,
             "radial_scale must be positive"
@@ -228,8 +231,7 @@ mod tests {
         let pts = s.sample_n(&mut rng, 8000);
         let mean = Point::centroid(pts.iter().copied()).unwrap();
         assert!(mean.distance(c) < 3.0);
-        let var_x: f64 =
-            pts.iter().map(|p| (p.x - c.x).powi(2)).sum::<f64>() / pts.len() as f64;
+        let var_x: f64 = pts.iter().map(|p| (p.x - c.x).powi(2)).sum::<f64>() / pts.len() as f64;
         assert!((var_x.sqrt() - 50.0).abs() < 3.0, "sd {}", var_x.sqrt());
     }
 
@@ -244,8 +246,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         for lambda in [0.5, 3.0, 10.0, 50.0] {
             let n = 20_000;
-            let mean: f64 =
-                (0..n).map(|_| poisson(&mut rng, lambda) as f64).sum::<f64>() / n as f64;
+            let mean: f64 = (0..n)
+                .map(|_| poisson(&mut rng, lambda) as f64)
+                .sum::<f64>()
+                / n as f64;
             assert!(
                 (mean - lambda).abs() < lambda.max(1.0) * 0.05,
                 "lambda {lambda}: mean {mean}"

@@ -7,11 +7,12 @@
 
 use esharing_geo::Point;
 use esharing_stats::ks2d::{
-    ff_statistic, ff_statistic_naive, peacock_statistic, peacock_statistic_naive,
-    IncrementalWindow, RankedSample,
+    ff_statistic, ff_statistic_naive, peacock_statistic, peacock_statistic_naive, DriftHistory,
+    DriftMonitor, DriftSnapshot, IncrementalWindow, RankedSample,
 };
 use proptest::prelude::*;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 fn continuous(raw: &[(f64, f64)]) -> Vec<Point> {
     raw.iter().map(|&(x, y)| Point::new(x, y)).collect()
@@ -116,6 +117,51 @@ proptest! {
                 prop_assert_eq!(incremental.statistic, rerank.statistic, "step {}", step);
                 prop_assert_eq!(incremental.p_value, rerank.p_value, "step {}", step);
                 prop_assert_eq!(incremental.statistic, ff_statistic_naive(&hist, &batch));
+            }
+        }
+    }
+
+    /// The cached-quadrant drift monitor — the kernel both `DriftMode`s
+    /// run on — must reproduce the batch re-rank test bit-for-bit under
+    /// random FIFO churn, on both of its evaluation paths: the in-place
+    /// inline re-test and the immutable snapshot evaluated later (after
+    /// further churn) or rebuilt from its bare points, as checkpoint
+    /// restore does.
+    #[test]
+    fn drift_monitor_and_snapshot_match_batch_rerank(
+        hist in proptest::collection::vec((0u32..6, 0u32..6), 1..60),
+        stream in proptest::collection::vec((0u32..6, 0u32..6), 1..150),
+        cap in 3usize..40,
+    ) {
+        let hist = lattice(&hist);
+        let ranked = RankedSample::new(&hist);
+        let shared = Arc::new(DriftHistory::new(&hist));
+        let mut monitor = DriftMonitor::new(Arc::clone(&shared));
+        let mut mirror: VecDeque<Point> = VecDeque::new();
+        let mut pending: Option<(DriftSnapshot, esharing_stats::ks2d::Ks2dResult)> = None;
+        for (step, p) in lattice(&stream).into_iter().enumerate() {
+            monitor.push_back(p);
+            mirror.push_back(p);
+            if mirror.len() > cap {
+                prop_assert_eq!(monitor.pop_front(), mirror.pop_front());
+            }
+            prop_assert_eq!(monitor.len(), mirror.len());
+            if step % 5 == 0 {
+                let batch: Vec<Point> = mirror.iter().copied().collect();
+                let rerank = ranked.peacock_test_against(&batch);
+                let inline = monitor.evaluate_now();
+                prop_assert_eq!(inline, rerank, "step {}", step);
+                prop_assert_eq!(inline.statistic, ff_statistic_naive(&hist, &batch));
+                // A snapshot taken one probe ago, evaluated now — after
+                // the window churned past it — must still report the
+                // verdict of its own boundary, and rebuild identically.
+                if let Some((snap, expect)) = pending.take() {
+                    prop_assert_eq!(snap.evaluate(), expect, "deferred step {}", step);
+                    let pts: Vec<Point> = snap.points().collect();
+                    let rebuilt = DriftSnapshot::from_points(&shared, &pts);
+                    prop_assert_eq!(rebuilt.evaluate(), expect, "rebuilt step {}", step);
+                }
+                pending = Some((monitor.snapshot(), rerank));
             }
         }
     }

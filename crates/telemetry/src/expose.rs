@@ -352,6 +352,16 @@ fn event_kind_json(kind: &EventKind) -> (&'static str, String) {
                 json_f64(*similarity_percent)
             ),
         ),
+        EventKind::KsVerdictCommitted {
+            requests,
+            d_statistic,
+        } => (
+            "ks_verdict_committed",
+            format!(
+                "\"requests\": {requests}, \"d_statistic\": {}",
+                json_f64(*d_statistic)
+            ),
+        ),
         EventKind::ShardShed { queue_depth } => {
             ("shard_shed", format!("\"queue_depth\": {queue_depth}"))
         }

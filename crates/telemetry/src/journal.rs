@@ -47,6 +47,15 @@ pub enum EventKind {
         /// Penalty type selected by the test.
         penalty_after: u8,
     },
+    /// A deferred KS drift verdict committed at a doubling boundary: the
+    /// re-test snapshotted one boundary earlier took effect at this one.
+    KsVerdictCommitted {
+        /// Total requests the shard had handled when the verdict's
+        /// snapshot was taken (the boundary request count).
+        requests: u64,
+        /// The committed Peacock D-statistic.
+        d_statistic: f64,
+    },
     /// The router shed a request for a full shard.
     ShardShed {
         /// Requests in the shard mailbox when the shed happened.

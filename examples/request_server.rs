@@ -66,5 +66,8 @@ fn main() {
         system.metrics().requests_served,
         CLIENTS * REQUESTS_PER_CLIENT as u64
     );
-    println!("clean shutdown; final avg walk {:.0} m", system.metrics().avg_walk_m());
+    println!(
+        "clean shutdown; final avg walk {:.0} m",
+        system.metrics().avg_walk_m()
+    );
 }

@@ -14,7 +14,9 @@ fn day_destinations(trips: &[e_sharing::dataset::Trip], day: u64, cap: usize) ->
         return pts;
     }
     let stride = pts.len() as f64 / cap as f64;
-    (0..cap).map(|i| pts[(i as f64 * stride) as usize]).collect()
+    (0..cap)
+        .map(|i| pts[(i as f64 * stride) as usize])
+        .collect()
 }
 
 #[test]

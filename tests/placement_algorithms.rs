@@ -46,8 +46,8 @@ fn table_v_cost_ordering_holds_on_average() {
         let mut mey = Meyerson::new(SPACE, seed);
         totals[2] += mey.run(live.iter().copied()).total();
 
-        let mut km = OnlineKMeans::new(k.max(1), live.len(), SPACE, seed)
-            .with_phase_length(k.max(1));
+        let mut km =
+            OnlineKMeans::new(k.max(1), live.len(), SPACE, seed).with_phase_length(k.max(1));
         totals[3] += km.run(live.iter().copied()).total();
     }
     let [off, es, mey, km] = totals;
@@ -148,9 +148,7 @@ fn online_cost_invariants() {
     let mut mey = Meyerson::new(SPACE, 3);
     let mut walking = 0.0;
     for &p in &stream {
-        if let e_sharing::placement::online::Decision::Assigned { walking: w, .. } =
-            mey.handle(p)
-        {
+        if let e_sharing::placement::online::Decision::Assigned { walking: w, .. } = mey.handle(p) {
             walking += w;
         }
     }

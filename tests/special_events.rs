@@ -65,10 +65,7 @@ fn stadium_event_gets_coverage_online() {
     );
     // Late surge arrivals walk far less than the distance to the nearest
     // pre-event landmark.
-    let tail_mean: f64 = venue_walks[venue_walks.len() - 100..]
-        .iter()
-        .sum::<f64>()
-        / 100.0;
+    let tail_mean: f64 = venue_walks[venue_walks.len() - 100..].iter().sum::<f64>() / 100.0;
     let nearest_landmark = system
         .landmarks()
         .iter()

@@ -45,10 +45,7 @@ fn metrics_accumulate_across_days() {
     let m1 = *sim.system().metrics();
     let day2 = sim.run_day();
     let m2 = *sim.system().metrics();
-    assert_eq!(
-        m2.requests_served - m1.requests_served,
-        day2.trips as u64
-    );
+    assert_eq!(m2.requests_served - m1.requests_served, day2.trips as u64);
     assert!(m2.placement.walking >= m1.placement.walking);
     assert!(m2.maintenance_cost > m1.maintenance_cost);
     assert!(day1.trips > 0 && day2.trips > 0);
