@@ -43,8 +43,11 @@ for row in request_server_p50 request_server_p999 engine_s4_p90 engine_s4_p999 \
            engine_s4_drift_inline_shard_p999 \
            engine_s4_drift_deferred_decision_p50 engine_s4_drift_deferred_shard_p99 \
            engine_s4_drift_deferred_shard_p999 \
+           engine_s1_health_on_p50 engine_s1_health_off_p50 \
+           health_default_breaches health_tight_breaches health_tight_dumps \
            flood_static flood_static_shed flood_elastic flood_elastic_shed \
-           flood_elastic_shards; do
+           flood_elastic_shards flood_trend flood_trend_shed \
+           flood_trend_decision_p50 flood_trend_shards; do
   grep -q "\"$row\"" "$BENCH_TMP/BENCH_engine.json" \
     || { echo "BENCH_engine.json lacks latency row $row"; exit 1; }
 done
@@ -70,6 +73,25 @@ awk -F'median_ns": ' '
     }
     if (p999 > 2000000) {
       printf "deferred s8 worst-shard p999 %.0f ns exceeds the 2 ms deep-tail bound\n", p999
+      exit 1
+    }
+  }' BENCH_engine.json
+
+# Trend-policy gate on the committed trajectory: the flood run with the
+# lifecycle driven by health-plane trends (projected occupancy + windowed
+# shed delta) must shed no more than the instantaneous-signal elastic row,
+# with 5% slack — the two arms converge to the same split count and their
+# shed totals differ by single requests run-to-run.
+# Flood rows carry their shed counts in instance_size (median_ns is 0).
+awk -F'instance_size": ' '
+  /"flood_elastic_shed"/ { split($2, a, ","); elastic = a[1] }
+  /"flood_trend_shed"/   { split($2, a, ","); trend   = a[1] }
+  END {
+    if (elastic == "" || trend == "") {
+      print "committed BENCH_engine.json lacks the flood shed rows"; exit 1
+    }
+    if (trend + 0 > (elastic + 0) * 1.05) {
+      printf "trend-driven lifecycle shed %d exceeds the committed elastic shed %d by more than 5%%\n", trend, elastic
       exit 1
     }
   }' BENCH_engine.json
@@ -102,6 +124,20 @@ awk -F'median_ns": ' '
     if (on == "" || off == "") { print "telemetry overhead rows missing"; exit 1 }
     if (on > off * 1.05 && on - off > 1000) {
       printf "telemetry overhead p50 %.0f ns vs %.0f ns bare exceeds 5%% budget\n", on, off
+      exit 1
+    }
+  }' "$BENCH_TMP/BENCH_engine.json"
+
+# Same re-derivation for the health plane: with the tsdb + SLO engine +
+# flight recorder fully on at default resolution, decision p50 may exceed
+# the plane-off p50 by at most 5% (or 1 µs of clock noise).
+awk -F'median_ns": ' '
+  /"engine_s1_health_on_p50"/  { split($2, a, ","); on  = a[1] }
+  /"engine_s1_health_off_p50"/ { split($2, a, ","); off = a[1] }
+  END {
+    if (on == "" || off == "") { print "health overhead rows missing"; exit 1 }
+    if (on > off * 1.05 && on - off > 1000) {
+      printf "health-plane overhead p50 %.0f ns vs %.0f ns bare exceeds 5%% budget\n", on, off
       exit 1
     }
   }' "$BENCH_TMP/BENCH_engine.json"
@@ -143,6 +179,40 @@ for family in esharing_decisions_total esharing_sheds_total \
   grep -q "$family" "$BENCH_TMP/telemetry_scrape.prom" \
     || { echo "telemetry scrape lacks metric family $family"; exit 1; }
 done
+
+# Health-plane smoke: the exp_engine run above drove two SLO arms. The
+# default-SLO arm must have ended green (zero breaches in its emitted
+# row), and the intentionally tight SLO (decision p99 < 1 ns) must have
+# breached, journalled, frozen a flight dump, and exposed the burn-rate
+# family on its self-scrape.
+echo "==> smoke: fleet health plane (SLO burn rates + flight recorder)"
+grep -q '"health_default_breaches", "instance_size": 0,' "$BENCH_TMP/BENCH_engine.json" \
+  || { echo "default-SLO smoke run did not end with zero breaches"; exit 1; }
+for family in esharing_slo_burn esharing_slo_breaches_total; do
+  grep -q "$family" "$BENCH_TMP/health_scrape.prom" \
+    || { echo "health scrape lacks metric family $family"; exit 1; }
+done
+# The bounded journal must not have dropped a single event in either
+# smoke scrape (plain telemetry run and breached health run).
+for scrape in telemetry_scrape.prom health_scrape.prom; do
+  grep -q '^esharing_journal_dropped_total 0$' "$BENCH_TMP/$scrape" \
+    || { echo "$scrape reports dropped journal events (or lacks the family)"; exit 1; }
+done
+# A flight-recorder dump file must exist on disk and parse: non-empty,
+# a JSON object with balanced braces carrying the trigger and the
+# breaching window's samples.
+dump="$(ls "$BENCH_TMP"/flight/flight-*.json 2>/dev/null | head -1)"
+[ -n "$dump" ] && [ -s "$dump" ] \
+  || { echo "no flight-recorder dump file under $BENCH_TMP/flight"; exit 1; }
+grep -q '"trigger": "slo_breach:' "$dump" \
+  || { echo "flight dump $dump lacks the slo_breach trigger"; exit 1; }
+grep -q '"samples"' "$dump" \
+  || { echo "flight dump $dump lacks the samples section"; exit 1; }
+awk '{ for (i = 1; i <= length($0); i++) { c = substr($0, i, 1)
+         if (c == "{") open++; else if (c == "}") close_++ } }
+     END { if (open == 0 || open != close_) {
+             printf "flight dump braces unbalanced (%d open / %d close)\n", open, close_
+             exit 1 } }' "$dump"
 
 echo "==> smoke: decision-latency bench (one timed iteration)"
 ESHARING_BENCH_DIR="$BENCH_TMP" ESHARING_BENCH_SMOKE=1 \

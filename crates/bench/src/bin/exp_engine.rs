@@ -36,6 +36,18 @@
 //! decision/shed/KS-drift families are present, and writes the payload to
 //! `telemetry_scrape.prom`.
 //!
+//! The fleet health plane gets the same treatment: an overhead A/B
+//! (1-shard engines with the plane on vs off, same 5% / 1 µs budget as
+//! the telemetry pair, emitted as `engine_s1_health_on/off_p50` rows)
+//! plus an end-to-end exercise — a default-SLO run that must end with
+//! zero breaches, and a run under an intentionally tight SLO
+//! (decision p99 < 1 ns) that must breach, journal a typed `SloBreach`
+//! event, and freeze a flight-recorder dump both in memory (served at
+//! `/flight/<id>`) and on disk under `results/flight/` (or
+//! `$ESHARING_BENCH_DIR/flight`). With `--serve`, the tight-SLO engine
+//! also self-scrapes `/metrics` for the `esharing_slo_burn` family and
+//! writes the payload to `health_scrape.prom`.
+//!
 //! Engine runs default to [`DriftMode::Deferred`]: boundary KS re-tests
 //! are snapshotted on-seat and evaluated off-seat on the shard's drain
 //! worker, so the boundary request no longer drags the whole window's
@@ -63,8 +75,8 @@ use esharing_core::{ESharing, SystemConfig};
 use esharing_dataset::{destinations, CityConfig, SyntheticCity, TripGenerator};
 use esharing_engine::replay::{replay, ReplayConfig, ReplayReport};
 use esharing_engine::{
-    http_get, DecisionPath, Engine, EngineConfig, LifecycleConfig, Partition, ShardMap,
-    TelemetryConfig,
+    http_get, DecisionPath, Engine, EngineConfig, EventKind, HealthConfig, LifecycleConfig,
+    Partition, RollupSpec, ShardMap, SloRule, TelemetryConfig, TsdbConfig,
 };
 use esharing_geo::{BBox, Point};
 use esharing_placement::online::DriftMode;
@@ -298,6 +310,297 @@ fn assert_telemetry_overhead(
     emitter.record_duration("engine_s1_telemetry_off_p50", 0, micros(off));
 }
 
+/// Health-plane overhead A/B, same protocol as the telemetry pair: the
+/// stream replayed through fresh 1-shard engines with the fleet health
+/// plane fully on (default rules and resolutions; one flight-ring store
+/// per decision, drain-worker sweeps, burn-rate evaluation) vs off,
+/// telemetry at its default in both arms. Three interleaved pairs,
+/// median-of-3 client-observed decision p50s within 5% (or the 1 µs
+/// clock-noise floor). This is the ≤5% regression budget the ISSUE pins.
+fn assert_health_overhead(
+    emitter: &mut PerfEmitter,
+    history: &[Point],
+    stream: &[Point],
+    delay: Duration,
+    clients: usize,
+    path: DecisionPath,
+) {
+    const TOLERANCE: f64 = 0.05;
+    const NOISE_FLOOR_US: f64 = 1.0;
+    const PAIRS: usize = 3;
+    let run = |health: HealthConfig| {
+        let engine = Engine::start(
+            history,
+            EngineConfig {
+                shards: 1,
+                partition: Partition::UniformGrid,
+                decision_path: path,
+                service_delay: delay,
+                health,
+                ..EngineConfig::default()
+            },
+        );
+        let report = replay(
+            &engine,
+            stream,
+            &ReplayConfig {
+                clients,
+                rate_per_s: None,
+            },
+        );
+        let _ = engine.shutdown();
+        report.latency.p50_us
+    };
+    let median3 = |mut v: [f64; PAIRS]| {
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        v[PAIRS / 2]
+    };
+    let mut ons = [0.0f64; PAIRS];
+    let mut offs = [0.0f64; PAIRS];
+    for i in 0..PAIRS {
+        ons[i] = run(HealthConfig::enabled());
+        offs[i] = run(HealthConfig::default());
+    }
+    let (on, off) = (median3(ons), median3(offs));
+    let rel = (on - off) / off.max(f64::MIN_POSITIVE);
+    assert!(
+        rel <= TOLERANCE || (on - off) <= NOISE_FLOOR_US,
+        "health-plane overhead breached the 5% decision-p50 budget (median of {PAIRS} pairs): \
+         health on {on:.2} µs vs off {off:.2} µs ({:+.1}%)",
+        100.0 * rel
+    );
+    println!(
+        "health-plane overhead: decision p50 {on:.2} µs enabled vs {off:.2} µs disabled \
+         ({:+.2}% — within the {}, median of {PAIRS} pairs)",
+        100.0 * rel,
+        if rel <= TOLERANCE {
+            "5% budget"
+        } else {
+            "1 µs clock-noise floor"
+        }
+    );
+    emitter.record_duration("engine_s1_health_on_p50", 0, micros(on));
+    emitter.record_duration("engine_s1_health_off_p50", 0, micros(off));
+}
+
+/// Where flight-recorder dumps land on disk: `$ESHARING_BENCH_DIR/flight`
+/// when set (CI tmp dirs), else `results/flight` at the repo root.
+fn flight_dir() -> PathBuf {
+    match std::env::var_os("ESHARING_BENCH_DIR") {
+        Some(d) => PathBuf::from(d).join("flight"),
+        None => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results/flight"),
+    }
+}
+
+/// The health plane end to end, both verdict polarities.
+///
+/// **Default-SLO arm**: a gently paced 1-shard run (low concurrency so
+/// seat-wait noise stays far from the 200 µs decision-p99 objective) under
+/// the stock rules must end with every rule green — zero breaches, zero
+/// flight dumps.
+///
+/// **Tight-SLO arm**: the same stream under a deliberately impossible
+/// objective (decision p99 < 1 ns, 200 ms / 1 s burn windows, 20 ms
+/// sweeps) must breach within the replay, journal a typed [`SloBreach`]
+/// event, export the verdict in the engine snapshot, and freeze a flight
+/// dump that is served from memory, mirrored byte-identically to disk,
+/// and structurally sane (balanced JSON with samples, events, and a tsdb
+/// excerpt). With `--serve`, the breached engine self-scrapes `/metrics`
+/// (asserting the `esharing_slo_burn` family) and fetches its own
+/// `/flight/<id>` route, writing the scrape to `health_scrape.prom`.
+///
+/// [`SloBreach`]: EventKind::SloBreach
+fn health_experiment(emitter: &mut PerfEmitter, history: &[Point], stream: &[Point], args: &Args) {
+    // --- Arm A: default rules, zero breaches expected. -----------------
+    // Cap the arm at 2k requests: the point is verdict polarity, not
+    // throughput, and the pace is deliberately slow.
+    let arm = &stream[..stream.len().min(2_000)];
+    let engine = Engine::start(
+        history,
+        EngineConfig {
+            shards: 1,
+            partition: Partition::UniformGrid,
+            decision_path: args.path,
+            service_delay: args.delay,
+            health: HealthConfig::enabled(),
+            ..EngineConfig::default()
+        },
+    );
+    let report = replay(
+        &engine,
+        arm,
+        &ReplayConfig {
+            clients: args.clients.min(4),
+            rate_per_s: Some(1_000.0),
+        },
+    );
+    assert_eq!(report.degraded, 0, "default-SLO arm must not shed");
+    // One more sweep interval so the evaluation covers the replay tail.
+    std::thread::sleep(Duration::from_millis(150));
+    let statuses = engine.slo_statuses();
+    assert!(!statuses.is_empty(), "health plane reports no SLO rules");
+    for s in &statuses {
+        println!(
+            "slo {:>14}: {} (burn fast {:.3} / slow {:.3}, {} breaches)",
+            s.id,
+            if s.breached { "BREACHED" } else { "ok" },
+            s.burn_fast,
+            s.burn_slow,
+            s.breaches,
+        );
+    }
+    let default_breaches: u64 = statuses.iter().map(|s| s.breaches).sum();
+    assert!(
+        default_breaches == 0 && statuses.iter().all(|s| !s.breached),
+        "default SLOs must hold on a gently paced run"
+    );
+    assert_eq!(
+        engine.flight_dump_count(),
+        0,
+        "no flight dump without a breach or lifecycle op"
+    );
+    let _ = engine.shutdown();
+    emitter.record_duration(
+        "health_default_breaches",
+        default_breaches as usize,
+        Duration::ZERO,
+    );
+
+    // --- Arm B: an intentionally tight SLO that must breach. ------------
+    let dump_dir = flight_dir();
+    let engine = Engine::start(
+        history,
+        EngineConfig {
+            shards: 1,
+            partition: Partition::UniformGrid,
+            decision_path: args.path,
+            service_delay: args.delay,
+            health: HealthConfig {
+                enabled: true,
+                rules: vec![SloRule::quantile_below(
+                    "decision_p99_tight",
+                    "esharing_decision_latency_ns",
+                    0.99,
+                    1,
+                )
+                .with_windows_ms(200, 1_000)],
+                sweep_interval_ms: 20,
+                min_dump_interval_ms: 0,
+                dump_dir: Some(dump_dir.clone()),
+                ..HealthConfig::default()
+            },
+            ..EngineConfig::default()
+        },
+    );
+    // Paced so the replay spans several sweep intervals (smoke: 320
+    // requests over ~320 ms against 20 ms sweeps and a 200 ms fast
+    // window) — a saturation blast can finish before the first registry
+    // harvest lands.
+    let rate = if args.smoke { 1_000.0 } else { 4_000.0 };
+    let report = replay(
+        &engine,
+        stream,
+        &ReplayConfig {
+            clients: args.clients,
+            rate_per_s: Some(rate),
+        },
+    );
+    assert_eq!(report.degraded, 0, "tight-SLO arm must not shed");
+    std::thread::sleep(Duration::from_millis(50));
+    let statuses = engine.slo_statuses();
+    let tight = statuses
+        .iter()
+        .find(|s| s.id == "decision_p99_tight")
+        .expect("tight rule is configured");
+    assert!(
+        tight.breaches >= 1,
+        "a decision p99 < 1 ns objective must breach (burn fast {:.3} / slow {:.3})",
+        tight.burn_fast,
+        tight.burn_slow
+    );
+    let snapshot = engine.snapshot().expect("engine is running");
+    assert!(
+        !snapshot.slo.is_empty(),
+        "engine snapshot must carry the SLO verdicts"
+    );
+    assert!(
+        snapshot
+            .events
+            .iter()
+            .any(|e| matches!(e.event.kind, EventKind::SloBreach { .. })),
+        "the breach must land in the merged event history as a typed SloBreach"
+    );
+    let ids = engine.flight_ids();
+    assert!(!ids.is_empty(), "a breach must freeze a flight dump");
+    let id = ids.last().expect("non-empty").clone();
+    let dump = engine.flight_dump(&id).expect("dump served from memory");
+    for needle in ["\"trigger\"", "\"samples\"", "\"events\"", "\"tsdb\""] {
+        assert!(dump.contains(needle), "flight dump lacks {needle}");
+    }
+    let (opens, closes) = dump.chars().fold((0u64, 0u64), |(o, c), ch| match ch {
+        '{' => (o + 1, c),
+        '}' => (o, c + 1),
+        _ => (o, c),
+    });
+    assert!(
+        opens > 0 && opens == closes,
+        "flight dump JSON is unbalanced ({opens} opens / {closes} closes)"
+    );
+    let on_disk = dump_dir.join(format!("{id}.json"));
+    let mirrored = std::fs::read_to_string(&on_disk)
+        .unwrap_or_else(|e| panic!("flight dump not mirrored at {}: {e}", on_disk.display()));
+    assert_eq!(mirrored, dump, "served dump and on-disk mirror must match");
+    println!(
+        "tight SLO breached as intended: {} breach(es), burn fast {:.1}, flight dump {} \
+         ({} bytes) mirrored to {}",
+        tight.breaches,
+        tight.burn_fast,
+        id,
+        dump.len(),
+        on_disk.display()
+    );
+    if args.serve {
+        let server = engine
+            .serve_telemetry("127.0.0.1:0")
+            .expect("bind health responder");
+        let (status, body) = http_get(server.addr(), "/metrics").expect("health self-scrape");
+        assert_eq!(status, 200, "health scrape failed: {body}");
+        for family in [
+            "esharing_slo_burn",
+            "esharing_slo_breaches_total",
+            "esharing_journal_dropped_total",
+        ] {
+            assert!(body.contains(family), "health scrape lacks {family}");
+        }
+        let (status, flight_body) =
+            http_get(server.addr(), &format!("/flight/{id}")).expect("flight fetch");
+        assert_eq!(status, 200, "flight route failed: {flight_body}");
+        let dir = std::env::var_os("ESHARING_BENCH_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."));
+        let path = dir.join("health_scrape.prom");
+        match std::fs::write(&path, &body) {
+            Ok(()) => println!(
+                "scraped breached /metrics ({} bytes) -> {}",
+                body.len(),
+                path.display()
+            ),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        }
+    }
+    emitter.record_duration(
+        "health_tight_breaches",
+        tight.breaches as usize,
+        Duration::ZERO,
+    );
+    emitter.record_duration(
+        "health_tight_dumps",
+        engine.flight_dump_count(),
+        Duration::ZERO,
+    );
+    let _ = engine.shutdown();
+}
+
 /// Worst-shard tail and fleet decision p50 from one drift-mode arm.
 struct DriftOutcome {
     decision_p50_ns: u64,
@@ -448,13 +751,32 @@ fn hot_stream(gen: &mut TripGenerator, bbox: BBox, n: usize) -> Vec<Point> {
     panic!("46 days of trips produced fewer than {n} zone-0 drop-offs");
 }
 
+/// Which policy drives one flood arm.
+#[derive(Clone, Copy, PartialEq)]
+enum FloodArm {
+    /// Fixed shard set: the overload has nowhere to go.
+    Static,
+    /// Elastic lifecycle on instantaneous signals (queue depth + shed
+    /// delta at each tick).
+    Elastic,
+    /// Elastic lifecycle on health-plane trends: projected occupancy
+    /// (window mean + slope) and the windowed shed delta from the
+    /// in-process tsdb, fed by 10 ms drain-worker sweeps into 50 ms
+    /// rollup buckets.
+    Trend,
+}
+
 /// One flood arm: a paced single-client overload aimed entirely at zone 0
 /// of a 2-shard engine with a deliberately shallow (32-deep) downstream
-/// ring and a 500 µs emulated fetch. `elastic` enables the lifecycle
-/// subsystem and pumps [`Engine::lifecycle_tick`] every 256 offers so the
-/// policy can split the hot shard; the static arm runs the identical
-/// overload against the fixed shard set.
-fn run_flood(history: &[Point], hot: &[Point], elastic: bool) -> FloodOutcome {
+/// ring and a 500 µs emulated fetch. The elastic arms pump
+/// [`Engine::lifecycle_tick`] every 256 offers so the policy can split
+/// the hot shard; the static arm runs the identical overload against the
+/// fixed shard set. The trend arm additionally enables the health plane
+/// at fine resolution so the policy reads projected occupancy instead of
+/// instantaneous queue depth.
+fn run_flood(history: &[Point], hot: &[Point], arm: FloodArm) -> FloodOutcome {
+    let trend = arm == FloodArm::Trend;
+    let elastic = arm != FloodArm::Static;
     let engine = Engine::start(
         history,
         EngineConfig {
@@ -466,7 +788,22 @@ fn run_flood(history: &[Point], hot: &[Point], elastic: bool) -> FloodOutcome {
             telemetry: TelemetryConfig::disabled(),
             lifecycle: LifecycleConfig {
                 enabled: elastic,
+                trend_policy: trend,
+                trend_window_ms: 400,
                 ..LifecycleConfig::default()
+            },
+            health: if trend {
+                HealthConfig {
+                    enabled: true,
+                    sweep_interval_ms: 10,
+                    tsdb: TsdbConfig::with_resolutions(vec![
+                        RollupSpec::from_ms(50, 100),
+                        RollupSpec::from_ms(1_000, 120),
+                    ]),
+                    ..HealthConfig::default()
+                }
+            } else {
+                HealthConfig::default()
             },
             ..EngineConfig::default()
         },
@@ -492,20 +829,23 @@ fn run_flood(history: &[Point], hot: &[Point], elastic: bool) -> FloodOutcome {
     outcome
 }
 
-/// Static-vs-elastic hot-zone flood: identical overload, identical
-/// pacing; the only difference is whether the lifecycle policy may split
-/// the hot shard. Fails the run unless elastic sheds strictly less and
-/// decision p50 does not regress (beyond a generous noise margin — the
-/// inline decision is microseconds; the comparison is overload relief,
-/// not decision speed).
+/// Static vs elastic vs trend-driven hot-zone flood: identical overload,
+/// identical pacing; the arms differ only in whether — and on what
+/// signals — the lifecycle policy may split the hot shard. Fails the run
+/// unless both elastic arms shed strictly less than the static baseline,
+/// both actually split, and neither regresses decision p50 (beyond a
+/// generous noise margin — the inline decision is microseconds; the
+/// comparison is overload relief, not decision speed).
 fn flood_experiment(emitter: &mut PerfEmitter, history: &[Point], hot: &[Point]) {
-    let static_arm = run_flood(history, hot, false);
-    let elastic_arm = run_flood(history, hot, true);
+    let static_arm = run_flood(history, hot, FloodArm::Static);
+    let elastic_arm = run_flood(history, hot, FloodArm::Elastic);
+    let trend_arm = run_flood(history, hot, FloodArm::Trend);
     let pct = |o: &FloodOutcome| 100.0 * o.shed as f64 / hot.len() as f64;
     println!(
         "hot-zone flood ({} offers at ~10k/s into zone 0 of 2):\n\
          \x20 flood_static : served {:6}, shed {:6} ({:5.1}%), decision p50 {:6.1} µs, {} shards\n\
-         \x20 flood_elastic: served {:6}, shed {:6} ({:5.1}%), decision p50 {:6.1} µs, {} shards ({} splits)",
+         \x20 flood_elastic: served {:6}, shed {:6} ({:5.1}%), decision p50 {:6.1} µs, {} shards ({} splits)\n\
+         \x20 flood_trend  : served {:6}, shed {:6} ({:5.1}%), decision p50 {:6.1} µs, {} shards ({} splits)",
         hot.len(),
         static_arm.served,
         static_arm.shed,
@@ -518,56 +858,56 @@ fn flood_experiment(emitter: &mut PerfEmitter, history: &[Point], hot: &[Point])
         elastic_arm.decision_p50_ns as f64 / 1_000.0,
         elastic_arm.shards_end,
         elastic_arm.splits,
+        trend_arm.served,
+        trend_arm.shed,
+        pct(&trend_arm),
+        trend_arm.decision_p50_ns as f64 / 1_000.0,
+        trend_arm.shards_end,
+        trend_arm.splits,
     );
-    assert!(
-        elastic_arm.shed < static_arm.shed,
-        "elastic lifecycle must shed strictly less than the static baseline \
-         (elastic {} vs static {})",
-        elastic_arm.shed,
-        static_arm.shed
-    );
-    assert!(
-        elastic_arm.splits >= 1,
-        "the flood must actually trip the split policy"
-    );
-    // Non-regression, not a race: splits shrink each shard's station set,
-    // so the inline decision should not get slower. 1.5x + 100 µs absorbs
-    // scheduler noise at microsecond scales.
-    let (s_p50, e_p50) = (
-        static_arm.decision_p50_ns as f64,
-        elastic_arm.decision_p50_ns as f64,
-    );
-    assert!(
-        e_p50 <= s_p50 * 1.5 + 100_000.0,
-        "elastic decision p50 regressed: {e_p50:.0} ns vs static {s_p50:.0} ns"
-    );
-    emitter.record_duration("flood_static", static_arm.served as usize, Duration::ZERO);
-    emitter.record_duration(
-        "flood_static_shed",
-        static_arm.shed as usize,
-        Duration::ZERO,
-    );
-    emitter.record_duration(
-        "flood_static_decision_p50",
-        0,
-        Duration::from_nanos(static_arm.decision_p50_ns),
-    );
-    emitter.record_duration("flood_elastic", elastic_arm.served as usize, Duration::ZERO);
-    emitter.record_duration(
-        "flood_elastic_shed",
-        elastic_arm.shed as usize,
-        Duration::ZERO,
-    );
-    emitter.record_duration(
-        "flood_elastic_decision_p50",
-        0,
-        Duration::from_nanos(elastic_arm.decision_p50_ns),
-    );
+    for (name, arm) in [("elastic", &elastic_arm), ("trend", &trend_arm)] {
+        assert!(
+            arm.shed < static_arm.shed,
+            "{name} lifecycle must shed strictly less than the static baseline \
+             ({name} {} vs static {})",
+            arm.shed,
+            static_arm.shed
+        );
+        assert!(
+            arm.splits >= 1,
+            "the flood must trip the {name} split policy"
+        );
+        // Non-regression, not a race: splits shrink each shard's station
+        // set, so the inline decision should not get slower. 1.5x +
+        // 100 µs absorbs scheduler noise at microsecond scales.
+        let (s_p50, a_p50) = (
+            static_arm.decision_p50_ns as f64,
+            arm.decision_p50_ns as f64,
+        );
+        assert!(
+            a_p50 <= s_p50 * 1.5 + 100_000.0,
+            "{name} decision p50 regressed: {a_p50:.0} ns vs static {s_p50:.0} ns"
+        );
+    }
+    for (name, arm) in [
+        ("flood_static", &static_arm),
+        ("flood_elastic", &elastic_arm),
+        ("flood_trend", &trend_arm),
+    ] {
+        emitter.record_duration(name, arm.served as usize, Duration::ZERO);
+        emitter.record_duration(&format!("{name}_shed"), arm.shed as usize, Duration::ZERO);
+        emitter.record_duration(
+            &format!("{name}_decision_p50"),
+            0,
+            Duration::from_nanos(arm.decision_p50_ns),
+        );
+    }
     emitter.record_duration(
         "flood_elastic_shards",
         elastic_arm.shards_end,
         Duration::ZERO,
     );
+    emitter.record_duration("flood_trend_shards", trend_arm.shards_end, Duration::ZERO);
 }
 
 /// Scrapes the live engine's `/metrics`, fails unless the decision, shed
@@ -765,14 +1105,28 @@ fn main() {
         args.path,
     );
 
-    // Elastic-lifecycle flood (fast path only: split/merge are
-    // shared-nothing operations; the mailbox baseline has no seats to
-    // retire).
+    // Health plane: overhead A/B plus the breach/no-breach exercise, and
+    // the elastic-lifecycle flood (fast path only: the health pump rides
+    // the fast shards' drain workers and split/merge are shared-nothing
+    // operations; the mailbox baseline is health-inert and has no seats
+    // to retire).
     if args.path == DecisionPath::SyncShared {
+        assert_health_overhead(
+            &mut emitter,
+            &history,
+            &stream,
+            args.delay,
+            args.clients,
+            args.path,
+        );
+        health_experiment(&mut emitter, &history, &stream, &args);
         let hot = hot_stream(&mut gen, bbox, if args.smoke { 1_500 } else { 6_000 });
         flood_experiment(&mut emitter, &history, &hot);
     } else {
-        println!("mailbox fallback: skipping the elastic-lifecycle flood (fast path only)");
+        println!(
+            "mailbox fallback: skipping the health plane and elastic-lifecycle flood \
+             (fast path only)"
+        );
     }
 
     if args.smoke && std::env::var_os("ESHARING_BENCH_DIR").is_none() {

@@ -15,7 +15,7 @@ use esharing_core::{LatencyHistogram, SystemMetrics};
 use esharing_geo::Point;
 use esharing_telemetry::{
     render_prometheus, snapshot_families, EventRecord, MergeMode, MetricFamily, Registry,
-    RegistrySnapshot,
+    RegistrySnapshot, SloStatus,
 };
 use serde::{Deserialize, Serialize};
 
@@ -73,6 +73,10 @@ pub struct EngineSnapshot {
     /// Lifetime lifecycle-operation totals (filled by `Engine::snapshot`;
     /// all zero while the lifecycle subsystem is disabled).
     pub lifecycle: LifecycleOps,
+    /// Point-in-time SLO verdicts, one per configured rule (filled by
+    /// `Engine::snapshot`; empty while the health plane is disabled).
+    #[serde(default)]
+    pub slo: Vec<SloStatus>,
 }
 
 impl EngineSnapshot {
@@ -107,6 +111,7 @@ impl EngineSnapshot {
             events_dropped: 0,
             shards_active,
             lifecycle: LifecycleOps::default(),
+            slo: Vec::new(),
         }
     }
 
@@ -157,6 +162,20 @@ impl EngineSnapshot {
             self.lifecycle.checkpoints,
             latency_json(&self.fleet.latency),
         ));
+        out.push_str("  \"slo\": [\n");
+        for (i, s) in self.slo.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{ \"slo\": \"{}\", \"breached\": {}, \"burn_fast\": {:.4}, \"burn_slow\": {:.4}, \"breaches\": {}, \"recoveries\": {} }}{}\n",
+                s.id,
+                s.breached,
+                s.burn_fast,
+                s.burn_slow,
+                s.breaches,
+                s.recoveries,
+                if i + 1 < self.slo.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ],\n");
         out.push_str("  \"shards\": [\n");
         for (i, s) in self.shards.iter().enumerate() {
             let similarity = match s.last_similarity {
@@ -210,6 +229,19 @@ pub(crate) fn lifecycle_registry(shards_active: u64, ops: &LifecycleOps) -> Regi
         );
         r.add(c, count);
     }
+    r.snapshot()
+}
+
+/// The journal-loss counter for `/metrics`: events overwritten in any
+/// bounded journal or the fleet log before a scrape drained them. Zero on
+/// a healthy scrape cadence — the CI smoke asserts exactly that.
+pub(crate) fn journal_registry(events_dropped: u64) -> RegistrySnapshot {
+    let mut r = Registry::new();
+    let c = r.counter(
+        "esharing_journal_dropped_total",
+        "Events lost to bounded journal/log rings before being scraped.",
+    );
+    r.add(c, events_dropped);
     r.snapshot()
 }
 

@@ -3,6 +3,7 @@
 use crate::aggregate::{EngineSnapshot, ShardSnapshot};
 use crate::checkpoint::encode_checkpoint;
 use crate::fastpath::{DecisionViewCell, DownstreamRing, DriftSlot};
+use crate::health::{HealthConfig, HealthHandle, HealthPlane, HealthSlot};
 use crate::lifecycle::{LifecycleConfig, OpCounters, PolicyState};
 use crate::shard::{self, Command, WorkerState};
 use crate::shard_map::ShardMap;
@@ -16,7 +17,8 @@ use esharing_geo::{BBox, Grid, Point};
 use esharing_placement::online::{Decision, DecisionView};
 use esharing_placement::{offline, PlpInstance};
 use esharing_telemetry::{
-    Event, EventJournal, EventKind, EventLog, MetricsServer, Scrape, ScrapeSource, TelemetryConfig,
+    Event, EventJournal, EventKind, EventLog, FlightSample, MetricsServer, Scrape, ScrapeSource,
+    TelemetryConfig,
 };
 use serde::{Deserialize, Serialize};
 use std::error::Error;
@@ -100,6 +102,13 @@ pub struct EngineConfig {
     /// path cost and the control methods return
     /// [`LifecycleDisabled`](crate::lifecycle::LifecycleError::LifecycleDisabled).
     pub lifecycle: LifecycleConfig,
+    /// The fleet health plane: in-process time-series store, SLO
+    /// burn-rate rules, and the anomaly-triggered flight recorder.
+    /// Disabled by default; when on, each fast shard's drain worker
+    /// doubles as the health pump on a sweep cadence (no extra threads)
+    /// and every fast-path decision records one unsampled flight sample.
+    /// The mailbox fallback lane is health-inert (baseline comparisons).
+    pub health: HealthConfig,
     /// The per-shard system configuration. Shard `i` reseeds its
     /// stochastic components with `seed ^ i`, so shard 0 of a one-shard
     /// engine is bit-identical to a plain `ESharing` on the same config.
@@ -117,6 +126,7 @@ impl Default for EngineConfig {
             min_shard_history: 32,
             telemetry: TelemetryConfig::default(),
             lifecycle: LifecycleConfig::default(),
+            health: HealthConfig::default(),
             system: SystemConfig::default(),
         }
     }
@@ -232,6 +242,10 @@ pub(crate) enum ShardLane {
         /// (esharing_placement::online::DriftMode::Deferred) only; idle
         /// otherwise).
         drift: Arc<DriftSlot>,
+        /// Health-pump handshake cell (scalar mirrors plus the seat's
+        /// registry-snapshot offer/take), present only when the health
+        /// plane is enabled.
+        health: Option<Arc<HealthSlot>>,
     },
     /// Mailbox fallback: the original bounded command channel.
     Mailbox {
@@ -347,6 +361,9 @@ pub(crate) struct EngineShared {
     pub(crate) gate: Mutex<PolicyState>,
     /// Lifetime counters of lifecycle operations, for `/metrics`.
     pub(crate) ops: OpCounters,
+    /// The fleet health plane (tsdb + SLO engine + flight recorder),
+    /// present when [`HealthConfig::enabled`] is set.
+    pub(crate) health: Option<Arc<HealthPlane>>,
 }
 
 impl EngineShared {
@@ -367,6 +384,14 @@ impl EngineShared {
     fn note_shed(&self, slot: &ShardSlot, count: u64, depth: u64) {
         slot.shed.fetch_add(count, Ordering::Relaxed);
         slot.last_shed_depth.store(depth, Ordering::Relaxed);
+        if let ShardLane::Fast {
+            health: Some(h), ..
+        } = &slot.lane
+        {
+            // Mirror for the health pump's shed-rate series; works with
+            // telemetry fully disabled (overhead A/B runs keep SLOs).
+            h.note_sheds(count);
+        }
         if self.telemetry_enabled {
             let mut journal = self.shed_journal.lock().expect("shed journal not poisoned");
             for _ in 0..count {
@@ -390,6 +415,7 @@ impl EngineShared {
             seat,
             trace_tick,
             drift,
+            health,
         } = &slot.lane
         else {
             unreachable!("serve_fast is only routed on fast lanes");
@@ -404,13 +430,26 @@ impl EngineShared {
             // Shed before touching the seat: a degraded request must
             // leave the shard's online state untouched.
             self.note_shed(slot, 1, occupancy);
+            if let Some(plane) = &self.health {
+                plane.flights().record(FlightSample {
+                    t_ns: elapsed_ns(self.epoch),
+                    shard: shard as u32,
+                    latency_ns: 0,
+                    queue_ns: 0,
+                    ring_occupancy: occupancy.min(u64::from(u32::MAX)) as u32,
+                    shed: true,
+                });
+            }
             return Ok(FastServe::Done(EngineDecision::Degraded {
                 shard,
                 fallback: nearest_landmark(&slot.landmarks, destination),
             }));
         }
         let ring_ns = t_ring.map(elapsed_ns);
-        let t_seat = traced.then(Instant::now);
+        // The flight recorder wants the seat wait on *every* decision
+        // (unsampled — retention, not recording, bounds its cost), so the
+        // health plane pays one extra clock read per request here.
+        let t_seat = (traced || health.is_some()).then(Instant::now);
         let mut seat = seat.lock().expect("seat not poisoned");
         let seat_ns = t_seat.map(elapsed_ns);
         let state = &mut *seat;
@@ -457,6 +496,23 @@ impl EngineShared {
         state.latency.record_ns(latency_ns);
         if let Some(t) = state.telemetry.as_mut() {
             t.on_decision(system, &decision, latency_ns, trace);
+        }
+        if let (Some(plane), Some(hslot)) = (&self.health, health) {
+            hslot.note_decision();
+            if hslot.registry_requested() {
+                // Answer the drain worker's sweep request with a registry
+                // snapshot while we already hold the seat (never blocks:
+                // the pump takes it on its own next quantum).
+                hslot.offer_registry(state.telemetry.as_ref().map(|t| t.registry().snapshot()));
+            }
+            plane.flights().record(FlightSample {
+                t_ns: elapsed_ns(self.epoch),
+                shard: shard as u32,
+                latency_ns,
+                queue_ns: seat_ns.unwrap_or(0),
+                ring_occupancy: ring.occupancy().min(u64::from(u32::MAX)) as u32,
+                shed: false,
+            });
         }
         // If this request crossed a doubling boundary, the seat snapshotted
         // the window; hand the re-test to the drain worker instead of
@@ -594,6 +650,19 @@ impl EngineShared {
                         Ok(()) => inline.push((shard, group)),
                         Err(occupancy) => {
                             self.note_shed(slot, group.len() as u64, occupancy);
+                            if let Some(plane) = &self.health {
+                                let t_ns = elapsed_ns(self.epoch);
+                                for _ in 0..group.len() {
+                                    plane.flights().record(FlightSample {
+                                        t_ns,
+                                        shard: shard as u32,
+                                        latency_ns: 0,
+                                        queue_ns: 0,
+                                        ring_occupancy: occupancy.min(u64::from(u32::MAX)) as u32,
+                                        shed: true,
+                                    });
+                                }
+                            }
                             for (i, p) in group {
                                 out[i] = Some(EngineDecision::Degraded {
                                     shard,
@@ -647,12 +716,22 @@ impl EngineShared {
         // shard, decisions in submission order.
         for (shard, group) in inline {
             let slot = &table.shards[shard];
-            let ShardLane::Fast { seat, drift, .. } = &slot.lane else {
+            let ShardLane::Fast {
+                ring,
+                seat,
+                drift,
+                health,
+                ..
+            } = &slot.lane
+            else {
                 unreachable!("inline groups come from fast lanes");
             };
             let arrival = Instant::now();
             {
                 let mut seat = seat.lock().expect("seat not poisoned");
+                // One seat acquisition serves the whole group, so the
+                // group shares one recorded seat wait.
+                let group_queue_ns = health.as_ref().map(|_| elapsed_ns(arrival));
                 let state = &mut *seat;
                 if state.moved {
                     // The group's ring claims drain harmlessly on the
@@ -684,10 +763,28 @@ impl EngineShared {
                     if let Some(t) = state.telemetry.as_mut() {
                         t.on_decision(system, &decision, latency_ns, None);
                     }
+                    if let (Some(plane), Some(hslot)) = (&self.health, health) {
+                        hslot.note_decision();
+                        plane.flights().record(FlightSample {
+                            t_ns: elapsed_ns(self.epoch),
+                            shard: shard as u32,
+                            latency_ns,
+                            queue_ns: group_queue_ns.unwrap_or(0),
+                            ring_occupancy: ring.occupancy().min(u64::from(u32::MAX)) as u32,
+                            shed: false,
+                        });
+                    }
                     if let Some(task) = system.take_drift_task() {
                         drift.offer(task);
                     }
                     out[i] = Some(EngineDecision::Served { shard, decision });
+                }
+                if let (Some(_), Some(hslot)) = (&self.health, health) {
+                    if hslot.registry_requested() {
+                        hslot.offer_registry(
+                            state.telemetry.as_ref().map(|t| t.registry().snapshot()),
+                        );
+                    }
                 }
                 slot.view
                     .publish(&system.decision_view().expect("bootstrapped system"));
@@ -895,20 +992,37 @@ impl EngineShared {
                     batches.push((None, drained));
                 }
             }
+            if let Some(h) = &self.health {
+                // SLO breach/recover events ride the fleet log like any
+                // router-side journal.
+                journals_dropped += h.journal_dropped();
+                let drained = h.drain_events();
+                if !drained.is_empty() {
+                    batches.push((None, drained));
+                }
+            }
             let mut snap = EngineSnapshot::from_shards(shards);
             snap.shards_active = table.shards.iter().filter(|s| s.alive()).count();
             snap.lifecycle = self.ops.totals();
+            if let Some(h) = &self.health {
+                snap.slo = h.statuses();
+            }
+            let mut log = self.events.lock().expect("event log not poisoned");
+            log.absorb(batches);
+            snap.events = log.records().to_vec();
+            snap.events_dropped = journals_dropped + log.dropped();
             if self.telemetry_enabled {
                 snap.registry
                     .merge_from(&crate::aggregate::lifecycle_registry(
                         snap.shards_active as u64,
                         &snap.lifecycle,
                     ));
+                snap.registry
+                    .merge_from(&crate::aggregate::journal_registry(snap.events_dropped));
+                if let Some(h) = &self.health {
+                    snap.registry.merge_from(&h.burn_registry());
+                }
             }
-            let mut log = self.events.lock().expect("event log not poisoned");
-            log.absorb(batches);
-            snap.events = log.records().to_vec();
-            snap.events_dropped = journals_dropped + log.dropped();
             return Ok(snap);
         }
     }
@@ -983,8 +1097,16 @@ pub(crate) struct SlotSpec {
 }
 
 /// Builds a live slot for `spec` per the configured decision path,
-/// spawning its worker thread.
-pub(crate) fn spawn_slot(cfg: &EngineConfig, epoch: Instant, spec: SlotSpec) -> Arc<ShardSlot> {
+/// spawning its worker thread. `shard` is the slot's position in the
+/// table being built (health series are stamped with it); `health` wires
+/// the slot's drain worker into the fleet health plane when present.
+pub(crate) fn spawn_slot(
+    cfg: &EngineConfig,
+    epoch: Instant,
+    shard: usize,
+    health: Option<Arc<HealthPlane>>,
+    spec: SlotSpec,
+) -> Arc<ShardSlot> {
     let telemetry = cfg
         .telemetry
         .enabled
@@ -994,12 +1116,22 @@ pub(crate) fn spawn_slot(cfg: &EngineConfig, epoch: Instant, spec: SlotSpec) -> 
             let ring = Arc::new(DownstreamRing::new(cfg.queue_capacity));
             let stop = Arc::new(AtomicBool::new(false));
             let drift = Arc::new(DriftSlot::new());
+            let health_slot = health.as_ref().map(|_| Arc::new(HealthSlot::new()));
+            let pump = health
+                .as_ref()
+                .zip(health_slot.as_ref())
+                .map(|(plane, slot)| HealthHandle {
+                    plane: Arc::clone(plane),
+                    slot: Arc::clone(slot),
+                    shard,
+                });
             let handle = shard::spawn_fast(
                 Arc::clone(&ring),
                 Arc::clone(&stop),
                 Arc::clone(&drift),
                 cfg.service_delay,
                 epoch,
+                pump,
             );
             let lane = ShardLane::Fast {
                 ring,
@@ -1011,6 +1143,7 @@ pub(crate) fn spawn_slot(cfg: &EngineConfig, epoch: Instant, spec: SlotSpec) -> 
                 })),
                 trace_tick: AtomicU64::new(0),
                 drift,
+                health: health_slot,
             };
             (lane, WorkerHandle::Fast { handle, stop })
         }
@@ -1062,6 +1195,10 @@ impl Engine {
         // so drained events merge into one comparable timeline. The fast
         // path's downstream ring stamps arrivals against it too.
         let epoch = Instant::now();
+        let health = cfg
+            .health
+            .enabled
+            .then(|| Arc::new(HealthPlane::new(&cfg.health, cfg.telemetry.enabled, epoch)));
         // Slice the history by zone, preserving stream order within each.
         let mut parts: Vec<Vec<Point>> = vec![Vec::new(); shard_count];
         for &p in history {
@@ -1094,6 +1231,8 @@ impl Engine {
             slots.push(spawn_slot(
                 &cfg,
                 epoch,
+                i,
+                health.clone(),
                 SlotSpec {
                     system,
                     latency: LatencyHistogram::new(),
@@ -1119,6 +1258,7 @@ impl Engine {
             )),
             gate: Mutex::new(PolicyState::default()),
             ops: OpCounters::default(),
+            health,
             cfg,
         });
         Engine { shared }
@@ -1274,6 +1414,42 @@ impl Engine {
         self.shared.snapshot()
     }
 
+    /// Current SLO verdicts, one per configured rule in rule order.
+    /// Empty while the health plane is disabled.
+    pub fn slo_statuses(&self) -> Vec<esharing_telemetry::SloStatus> {
+        self.shared
+            .health
+            .as_ref()
+            .map(|h| h.statuses())
+            .unwrap_or_default()
+    }
+
+    /// Retained flight-recorder dump ids, oldest first (empty while the
+    /// health plane is disabled or nothing has triggered a dump).
+    pub fn flight_ids(&self) -> Vec<String> {
+        self.shared
+            .health
+            .as_ref()
+            .map(|h| h.flight_ids())
+            .unwrap_or_default()
+    }
+
+    /// The frozen flight dump document for `id` — the same JSON served at
+    /// `/flight/<id>`.
+    pub fn flight_dump(&self, id: &str) -> Option<String> {
+        self.shared.health.as_ref()?.flight(id)
+    }
+
+    /// Total flight dumps frozen so far (lifetime count; retained dumps
+    /// are capped, so this can exceed `flight_ids().len()`).
+    pub fn flight_dump_count(&self) -> usize {
+        self.shared
+            .health
+            .as_ref()
+            .map(|h| h.dump_count())
+            .unwrap_or_default()
+    }
+
     /// A detached scrape source for the telemetry HTTP responder. Holds
     /// only a weak reference: once the engine is dropped or shut down,
     /// scrapes return `None` and the responder answers 503.
@@ -1398,6 +1574,17 @@ impl ScrapeSource for EngineScrapeSource {
             events: snap.events,
             events_dropped: snap.events_dropped,
         })
+    }
+
+    fn flight(&self, id: &str) -> Option<String> {
+        self.shared.upgrade()?.health.as_ref()?.flight(id)
+    }
+
+    fn flight_ids(&self) -> Vec<String> {
+        self.shared
+            .upgrade()
+            .and_then(|s| s.health.as_ref().map(|h| h.flight_ids()))
+            .unwrap_or_default()
     }
 }
 

@@ -1,0 +1,623 @@
+//! The engine's fleet health plane.
+//!
+//! Ties the telemetry crate's analysis tier (`tsdb` + `slo` +
+//! `flight_recorder`) into the serving engine without adding threads or
+//! touching the decision seat:
+//!
+//! * every fast-path decision drops one unsampled [`FlightSample`] into a
+//!   shared lock-free [`FlightRing`] (wait-free `fetch_add` + stores);
+//! * each shard's **drain worker** — which already wakes on a harvest
+//!   quantum to emulate downstream fetches — doubles as the health pump:
+//!   on a sweep cadence it records the shard's ring occupancy and shed
+//!   counter into the in-process [`Tsdb`], harvests the seat's registry
+//!   snapshot through a [`HealthSlot`] handshake (same offer/take idiom
+//!   as the drift slot: the worker *requests*, the next decision on the
+//!   seat *deposits*, the worker's next sweep *takes* — the seat never
+//!   blocks on health), and runs the SLO burn-rate evaluation;
+//! * breach/recover transitions are journalled as typed events and a
+//!   breach (or an elastic-lifecycle op) freezes the flight ring into a
+//!   canonical JSON "black box" dump, rate-limited, served at
+//!   `/flight/<id>` and mirrored under a results directory.
+//!
+//! With telemetry disabled the pump still runs on router-side scalars
+//! (occupancy, sheds, a decision-count mirror), so admission-control SLOs
+//! keep working on overhead A/B runs; the histogram/drift rules simply
+//! yield no verdict. The mailbox fallback path is health-inert by design:
+//! it exists as a baseline comparison lane and records no flight samples.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use esharing_telemetry::slo::default_rules;
+use esharing_telemetry::{
+    Event, EventJournal, EventKind, EventRecord, FlightRecorder, FlightRing, MergeMode, Registry,
+    RegistrySnapshot, SloEngine, SloRule, SloStatus, Tsdb, TsdbConfig,
+};
+
+const MS: u64 = 1_000_000;
+const SEC: u64 = 1_000_000_000;
+/// Recent health events retained for inclusion in flight dumps.
+const DUMP_TAIL: usize = 64;
+
+/// Health-plane knobs: the tsdb shape, the SLO rule set, the sweep
+/// cadence, and the flight-recorder bounds.
+///
+/// Disabled by default: the health plane costs one atomic flag read plus
+/// one flight-ring store per decision when on, and exactly nothing when
+/// off, which keeps the overhead A/B comparison honest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthConfig {
+    /// Master switch for the whole plane (tsdb, SLOs, flight recorder).
+    pub enabled: bool,
+    /// Rollup-ring shape of the in-process time-series store.
+    pub tsdb: TsdbConfig,
+    /// Drain-worker sweep cadence in milliseconds (clamped to ≥ 1): how
+    /// often each shard records scalars, harvests a registry snapshot,
+    /// and the SLO engine re-evaluates.
+    pub sweep_interval_ms: u64,
+    /// The objectives to enforce. Empty means "default rules"
+    /// ([`default_rules`]: decision p99, shed ratio, drift backlog).
+    pub rules: Vec<SloRule>,
+    /// Flight-ring capacity: the newest N decision samples retained.
+    pub flight_capacity: usize,
+    /// Maximum flight dumps frozen per run.
+    pub max_dumps: usize,
+    /// Minimum spacing between dumps in milliseconds (flap protection).
+    pub min_dump_interval_ms: u64,
+    /// Directory to mirror dumps into (e.g. `results/flight`). `None`
+    /// keeps dumps in memory only (still served at `/flight/<id>`).
+    pub dump_dir: Option<PathBuf>,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            enabled: false,
+            tsdb: TsdbConfig::default(),
+            sweep_interval_ms: 100,
+            rules: Vec::new(),
+            flight_capacity: 4096,
+            max_dumps: 8,
+            min_dump_interval_ms: 1_000,
+            dump_dir: None,
+        }
+    }
+}
+
+impl HealthConfig {
+    /// The plane switched on with every default (default SLO rules,
+    /// default tsdb resolutions, in-memory dumps).
+    pub fn enabled() -> Self {
+        HealthConfig {
+            enabled: true,
+            ..HealthConfig::default()
+        }
+    }
+
+    /// The rule set actually enforced: the configured rules, or the
+    /// defaults when none were given.
+    pub fn effective_rules(&self) -> Vec<SloRule> {
+        if self.rules.is_empty() {
+            default_rules()
+        } else {
+            self.rules.clone()
+        }
+    }
+
+    pub(crate) fn sweep_interval_ns(&self) -> u64 {
+        self.sweep_interval_ms.max(1) * MS
+    }
+}
+
+/// Per-shard seat↔pump handshake cell plus router-side scalar mirrors.
+///
+/// Same shape as the drift slot: the drain worker raises `requested`,
+/// the next decision holding the seat deposits a registry snapshot (one
+/// relaxed flag read per decision while idle), and the worker's next
+/// sweep takes it. The scalar mirrors let the pump observe sheds and
+/// decision counts without the seat or the registry at all.
+#[derive(Debug, Default)]
+pub(crate) struct HealthSlot {
+    requested: AtomicBool,
+    snap: Mutex<Option<RegistrySnapshot>>,
+    sheds: AtomicU64,
+    decisions: AtomicU64,
+}
+
+impl HealthSlot {
+    pub(crate) fn new() -> Self {
+        HealthSlot::default()
+    }
+
+    /// Pump side: ask the seat for a registry snapshot.
+    pub(crate) fn request_registry(&self) {
+        self.requested.store(true, Ordering::Relaxed);
+    }
+
+    /// Seat side: is a snapshot wanted? One relaxed load per decision.
+    pub(crate) fn registry_requested(&self) -> bool {
+        self.requested.load(Ordering::Relaxed)
+    }
+
+    /// Seat side: deposit the snapshot (or clear the request when the
+    /// shard runs without telemetry and has nothing to deposit).
+    pub(crate) fn offer_registry(&self, snap: Option<RegistrySnapshot>) {
+        if let Some(s) = snap {
+            *self.snap.lock().expect("health slot poisoned") = Some(s);
+        }
+        self.requested.store(false, Ordering::Relaxed);
+    }
+
+    /// Pump side: take the deposited snapshot, if any arrived.
+    pub(crate) fn take_registry(&self) -> Option<RegistrySnapshot> {
+        self.snap.lock().expect("health slot poisoned").take()
+    }
+
+    /// Router side: count `n` shed requests against this shard.
+    pub(crate) fn note_sheds(&self, n: u64) {
+        self.sheds.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Seat side: count one served decision.
+    pub(crate) fn note_decision(&self) {
+        self.decisions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn sheds(&self) -> u64 {
+        self.sheds.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn decisions(&self) -> u64 {
+        self.decisions.load(Ordering::Relaxed)
+    }
+}
+
+/// Everything the health pump mutates, behind one mutex that only drain
+/// workers (sweeps), lifecycle ops (dumps), and scrapes (reads) touch —
+/// never the decision seat.
+struct HealthState {
+    tsdb: Tsdb,
+    slo: SloEngine,
+    recorder: FlightRecorder,
+    journal: EventJournal,
+    /// Recent health events (bounded copy) embedded into dumps, so a
+    /// dump always carries the `SloBreach` that triggered it even after
+    /// the journal has been drained by a snapshot.
+    tail: Vec<EventRecord>,
+    last_eval_ns: u64,
+}
+
+/// The engine-wide health plane: one flight ring shared by every fast
+/// shard, one tsdb + SLO engine + flight recorder behind a mutex.
+pub(crate) struct HealthPlane {
+    telemetry_enabled: bool,
+    sweep_interval_ns: u64,
+    /// Dump lookback: the largest fast burn window across the rules.
+    dump_window_ns: u64,
+    flights: FlightRing,
+    state: Mutex<HealthState>,
+}
+
+impl std::fmt::Debug for HealthPlane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HealthPlane")
+            .field("sweep_interval_ns", &self.sweep_interval_ns)
+            .field("flights", &self.flights)
+            .finish()
+    }
+}
+
+/// The bundle a fast shard's drain worker needs to run the health pump.
+#[derive(Clone)]
+pub(crate) struct HealthHandle {
+    pub(crate) plane: Arc<HealthPlane>,
+    pub(crate) slot: Arc<HealthSlot>,
+    pub(crate) shard: usize,
+}
+
+impl HealthPlane {
+    /// Builds the plane from its config. `epoch` is the engine's shared
+    /// journal epoch; `telemetry_enabled` decides whether the decision
+    /// counter mirror must stand in for the registry sweep.
+    pub(crate) fn new(cfg: &HealthConfig, telemetry_enabled: bool, epoch: Instant) -> Self {
+        let rules = cfg.effective_rules();
+        let dump_window_ns = rules
+            .iter()
+            .map(|r| r.fast_window_ns)
+            .max()
+            .unwrap_or(60 * SEC);
+        HealthPlane {
+            telemetry_enabled,
+            sweep_interval_ns: cfg.sweep_interval_ns(),
+            dump_window_ns,
+            flights: FlightRing::new(cfg.flight_capacity),
+            state: Mutex::new(HealthState {
+                tsdb: Tsdb::new(&cfg.tsdb),
+                slo: SloEngine::new(rules),
+                recorder: FlightRecorder::new(
+                    cfg.dump_dir.clone(),
+                    cfg.max_dumps,
+                    cfg.min_dump_interval_ms * MS,
+                ),
+                journal: EventJournal::new(256, epoch),
+                tail: Vec::new(),
+                last_eval_ns: 0,
+            }),
+        }
+    }
+
+    /// The shared per-decision sample ring.
+    pub(crate) fn flights(&self) -> &FlightRing {
+        &self.flights
+    }
+
+    /// The pump cadence in nanoseconds.
+    pub(crate) fn sweep_interval_ns(&self) -> u64 {
+        self.sweep_interval_ns
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HealthState> {
+        self.state.lock().expect("health plane poisoned")
+    }
+
+    /// One shard's sweep: record the router-side scalars, fold in the
+    /// harvested registry snapshot (when the seat deposited one), and —
+    /// at most once per sweep interval fleet-wide — re-evaluate the SLO
+    /// rules, journalling transitions and freezing dumps on breach.
+    pub(crate) fn sweep(
+        &self,
+        now_ns: u64,
+        shard: usize,
+        occupancy: u64,
+        sheds: u64,
+        decisions: u64,
+        registry: Option<RegistrySnapshot>,
+    ) {
+        let mut st = self.lock();
+        let labels = [("shard".to_string(), shard.to_string())];
+        st.tsdb.record_scalar(
+            now_ns,
+            "esharing_ring_occupancy",
+            &labels,
+            esharing_telemetry::SeriesKind::Gauge,
+            occupancy as f64,
+        );
+        st.tsdb.record_scalar(
+            now_ns,
+            "esharing_router_sheds_total",
+            &labels,
+            esharing_telemetry::SeriesKind::Counter,
+            sheds as f64,
+        );
+        if !self.telemetry_enabled {
+            // No registry sweeps will ever arrive: mirror the decision
+            // counter so the shed-ratio denominator still exists.
+            st.tsdb.record_scalar(
+                now_ns,
+                "esharing_decisions_total",
+                &labels,
+                esharing_telemetry::SeriesKind::Counter,
+                decisions as f64,
+            );
+        }
+        if let Some(snap) = registry {
+            st.tsdb.sweep(now_ns, &snap, Some(shard));
+        }
+        if now_ns.saturating_sub(st.last_eval_ns) >= self.sweep_interval_ns {
+            st.last_eval_ns = now_ns;
+            self.evaluate_locked(&mut st, now_ns);
+        }
+    }
+
+    fn push_event(st: &mut HealthState, now_ns: u64, kind: EventKind) {
+        st.journal.record_at(now_ns, kind);
+        let seq = st.journal.total_recorded() - 1;
+        st.tail.push(EventRecord {
+            shard: None,
+            event: Event {
+                seq,
+                t_ns: now_ns,
+                kind,
+            },
+        });
+        if st.tail.len() > DUMP_TAIL {
+            let excess = st.tail.len() - DUMP_TAIL;
+            st.tail.drain(..excess);
+        }
+    }
+
+    fn freeze_dump(&self, st: &mut HealthState, now_ns: u64, trigger: &str, window_ns: u64) {
+        if !st.recorder.should_dump(now_ns) {
+            // Still count the suppression without assembling the dump.
+            let _ = st
+                .recorder
+                .record_dump(now_ns, trigger, window_ns, &[], &[], "");
+            return;
+        }
+        let samples = self
+            .flights
+            .snapshot_since(now_ns.saturating_sub(window_ns));
+        let excerpt = st.tsdb.excerpt_json(window_ns, now_ns);
+        let tail = st.tail.clone();
+        st.recorder
+            .record_dump(now_ns, trigger, window_ns, &samples, &tail, &excerpt);
+    }
+
+    fn evaluate_locked(&self, st: &mut HealthState, now_ns: u64) {
+        use esharing_telemetry::SloTransition;
+        let HealthState { tsdb, slo, .. } = &mut *st;
+        let transitions = slo.evaluate(tsdb, now_ns);
+        for t in transitions {
+            match t {
+                SloTransition::Breach {
+                    rule,
+                    value,
+                    threshold,
+                    burn_fast,
+                    burn_slow,
+                } => {
+                    Self::push_event(
+                        st,
+                        now_ns,
+                        EventKind::SloBreach {
+                            rule: rule.min(u8::MAX as usize) as u8,
+                            value,
+                            threshold,
+                            burn_fast,
+                            burn_slow,
+                        },
+                    );
+                    let (id, window) = {
+                        let r = &st.slo.rules()[rule];
+                        (r.id.clone(), r.fast_window_ns)
+                    };
+                    self.freeze_dump(st, now_ns, &format!("slo_breach:{id}"), window);
+                }
+                SloTransition::Recover { rule, burn_fast } => {
+                    Self::push_event(
+                        st,
+                        now_ns,
+                        EventKind::SloRecovered {
+                            rule: rule.min(u8::MAX as usize) as u8,
+                            burn_fast,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Freezes a dump for an elastic-lifecycle op (`split` / `merge` /
+    /// `recover`) — structural changes are exactly when an operator wants
+    /// the black box.
+    pub(crate) fn on_lifecycle(&self, kind: &str, now_ns: u64) {
+        let mut st = self.lock();
+        self.freeze_dump(
+            &mut st,
+            now_ns,
+            &format!("lifecycle:{kind}"),
+            self.dump_window_ns,
+        );
+    }
+
+    /// Per-shard trend signals for the lifecycle policy: the occupancy
+    /// projected one window ahead (newest bucket + slope × window) and the
+    /// shed delta over the window. Projecting from the newest bucket
+    /// rather than the window mean matters right after a split: the
+    /// senior shard's pre-split backlog stays in the window's history for
+    /// a while, and a mean-based forecast would keep calling it hot long
+    /// after the split relieved it. `None` until the tsdb holds occupancy
+    /// data for this shard, so the policy can fall back to instantaneous
+    /// signals per shard.
+    pub(crate) fn shard_trend(
+        &self,
+        shard: usize,
+        window_ns: u64,
+        now_ns: u64,
+    ) -> Option<(f64, f64)> {
+        let st = self.lock();
+        let shard_label = shard.to_string();
+        let labels = [("shard", shard_label.as_str())];
+        let occ_buckets = st.tsdb.scalar_buckets(
+            "esharing_ring_occupancy",
+            &labels,
+            0,
+            now_ns.saturating_sub(window_ns),
+            now_ns,
+        );
+        let (_, newest) = occ_buckets.last()?;
+        let slope = st
+            .tsdb
+            .slope_per_sec("esharing_ring_occupancy", &labels, window_ns, now_ns)
+            .unwrap_or(0.0);
+        let projected = newest.mean() + slope * (window_ns as f64 / SEC as f64);
+        let sheds = st
+            .tsdb
+            .aggregate_labeled("esharing_router_sheds_total", &labels, window_ns, now_ns)
+            .map(|r| (r.max - r.min).max(0.0))
+            .unwrap_or(0.0);
+        Some((projected.max(0.0), sheds))
+    }
+
+    /// Current verdict per rule (for snapshots and run reports).
+    pub(crate) fn statuses(&self) -> Vec<SloStatus> {
+        self.lock().slo.statuses()
+    }
+
+    /// Drains the health journal for the fleet event log (router-side
+    /// events: `shard` is `None`).
+    pub(crate) fn drain_events(&self) -> Vec<Event> {
+        self.lock().journal.drain()
+    }
+
+    /// Events the bounded health journal overwrote before a drain.
+    pub(crate) fn journal_dropped(&self) -> u64 {
+        self.lock().journal.dropped()
+    }
+
+    /// Burn-rate gauges and breach counters for `/metrics`:
+    /// `esharing_slo_burn{slo}` (fast-window burn) and
+    /// `esharing_slo_breaches_total{slo}`, every rule emitted even at
+    /// zero so scrapes see the full family immediately.
+    pub(crate) fn burn_registry(&self) -> RegistrySnapshot {
+        let statuses = self.statuses();
+        let mut r = Registry::new();
+        for s in &statuses {
+            let labels = [("slo", s.id.as_str())];
+            let g = r.gauge_with(
+                "esharing_slo_burn",
+                "Fast-window SLO burn rate (signal / threshold; >= 1 is burning).",
+                MergeMode::Sum,
+                &labels,
+            );
+            r.set(g, s.burn_fast);
+            let c = r.counter_with(
+                "esharing_slo_breaches_total",
+                "Ok->Breach SLO transitions since engine start.",
+                &labels,
+            );
+            r.add(c, s.breaches);
+        }
+        r.snapshot()
+    }
+
+    /// The frozen dump document for `id`, if retained.
+    pub(crate) fn flight(&self, id: &str) -> Option<String> {
+        self.lock().recorder.get(id).map(str::to_string)
+    }
+
+    /// Retained dump ids, oldest first.
+    pub(crate) fn flight_ids(&self) -> Vec<String> {
+        self.lock().recorder.ids()
+    }
+
+    /// Dumps frozen so far.
+    pub(crate) fn dump_count(&self) -> usize {
+        self.lock().recorder.dump_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_are_off_with_default_rules() {
+        let cfg = HealthConfig::default();
+        assert!(!cfg.enabled);
+        assert!(HealthConfig::enabled().enabled);
+        let ids: Vec<String> = cfg.effective_rules().iter().map(|r| r.id.clone()).collect();
+        assert_eq!(ids, ["decision_p99", "shed_ratio", "drift_pending"]);
+        assert_eq!(cfg.sweep_interval_ns(), 100 * MS);
+        assert_eq!(
+            HealthConfig {
+                sweep_interval_ms: 0,
+                ..HealthConfig::default()
+            }
+            .sweep_interval_ns(),
+            MS
+        );
+    }
+
+    #[test]
+    fn slot_handshake_offers_and_takes_once() {
+        let slot = HealthSlot::new();
+        assert!(!slot.registry_requested());
+        slot.request_registry();
+        assert!(slot.registry_requested());
+        slot.offer_registry(Some(RegistrySnapshot::default()));
+        assert!(!slot.registry_requested());
+        assert!(slot.take_registry().is_some());
+        assert!(slot.take_registry().is_none());
+        slot.note_sheds(3);
+        slot.note_decision();
+        assert_eq!((slot.sheds(), slot.decisions()), (3, 1));
+    }
+
+    #[test]
+    fn sweep_feeds_shed_ratio_rule_without_telemetry() {
+        // Shed-ratio breach from router scalars alone (telemetry off),
+        // with tight windows so seconds of data suffice.
+        let cfg = HealthConfig {
+            enabled: true,
+            rules: vec![SloRule::ratio_below(
+                "shed_ratio",
+                "esharing_router_sheds_total",
+                "esharing_decisions_total",
+                0.01,
+            )
+            .with_windows_ms(2_000, 5_000)],
+            sweep_interval_ms: 500,
+            min_dump_interval_ms: 0,
+            ..HealthConfig::default()
+        };
+        let plane = HealthPlane::new(&cfg, false, Instant::now());
+        for s in 1..=12u64 {
+            // 10% of traffic shed, sustained.
+            plane.sweep(s * 500 * MS, 0, 4, s * 10, s * 100, None);
+        }
+        let st = plane.statuses();
+        assert!(
+            st[0].breached,
+            "burn {} / {}",
+            st[0].burn_fast, st[0].burn_slow
+        );
+        assert_eq!(st[0].breaches, 1);
+        // Breach journalled and dumped.
+        let events = plane.drain_events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::SloBreach { .. })));
+        assert_eq!(plane.dump_count(), 1);
+        let id = plane.flight_ids()[0].clone();
+        let dump = plane.flight(&id).expect("dump served");
+        assert!(dump.contains("slo_breach:shed_ratio"));
+        assert!(dump.contains("\"kind\": \"slo_breach\""));
+        // Burn registry exports the family even for this single rule.
+        let reg = plane.burn_registry();
+        assert!(reg.counter_total("esharing_slo_breaches_total") >= 1);
+    }
+
+    #[test]
+    fn shard_trend_projects_occupancy_and_windows_sheds() {
+        let cfg = HealthConfig {
+            enabled: true,
+            sweep_interval_ms: 1_000,
+            ..HealthConfig::default()
+        };
+        let plane = HealthPlane::new(&cfg, true, Instant::now());
+        assert!(plane.shard_trend(0, 10 * SEC, 10 * SEC).is_none());
+        // Occupancy ramps 0..=10 over 10 s; sheds grow by 5.
+        for s in 0..=10u64 {
+            plane.sweep(s * SEC, 0, s, s / 2, s * 10, None);
+        }
+        let (projected, sheds) = plane.shard_trend(0, 10 * SEC, 10 * SEC).expect("data");
+        // Newest bucket is 10, slope ~1/s, so the 10 s projection lands
+        // near 20.
+        assert!(projected > 10.0, "projected {projected}");
+        assert!((sheds - 5.0).abs() < 1e-9, "sheds {sheds}");
+        // Other shards stay independent.
+        assert!(plane.shard_trend(1, 10 * SEC, 10 * SEC).is_none());
+    }
+
+    #[test]
+    fn lifecycle_dump_rate_limited() {
+        let cfg = HealthConfig {
+            enabled: true,
+            min_dump_interval_ms: 1_000,
+            ..HealthConfig::default()
+        };
+        let plane = HealthPlane::new(&cfg, true, Instant::now());
+        plane.on_lifecycle("split", SEC);
+        plane.on_lifecycle("merge", SEC + MS);
+        assert_eq!(plane.dump_count(), 1);
+        plane.on_lifecycle("merge", 3 * SEC);
+        assert_eq!(plane.dump_count(), 2);
+        assert!(plane
+            .flight("flight-0001")
+            .unwrap()
+            .contains("lifecycle:split"));
+    }
+}

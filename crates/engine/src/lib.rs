@@ -44,7 +44,14 @@
 //!   swapped atomically, in-flight requests rerouted — never dropped), and
 //!   recover from a kill by checkpoint restore + WAL-suffix replay,
 //!   reconverging bit-identically with an unkilled run (see the
-//!   [`lifecycle`](crate::lifecycle) module).
+//!   [`lifecycle`](crate::lifecycle) module);
+//! * a [`HealthConfig`]-gated **fleet health plane** rides the drain
+//!   workers: per-shard scalars and registry snapshots roll into a
+//!   fixed-memory in-process time-series store, declarative SLOs burn
+//!   against it at multiple windows (fast + slow, Google-SRE style), and
+//!   an always-on flight recorder freezes a canonical-JSON "black box"
+//!   of recent per-decision samples on every breach or lifecycle op —
+//!   served live at `/flight/<id>` and dumped under `results/`.
 //!
 //! Per-zone semantics are unchanged: each shard runs the paper's
 //! Algorithm 2 verbatim on its zone's stream, and an engine with a single
@@ -58,6 +65,7 @@ mod aggregate;
 mod checkpoint;
 mod engine;
 mod fastpath;
+mod health;
 pub mod lifecycle;
 pub mod replay;
 mod shard;
@@ -69,7 +77,11 @@ pub use engine::{
     Admission, DecisionPath, Engine, EngineClosed, EngineConfig, EngineDecision,
     EngineScrapeSource, Partition,
 };
-pub use esharing_telemetry::{http_get, MetricsServer, TelemetryConfig};
+pub use esharing_telemetry::{
+    http_get, Event, EventKind, EventRecord, MetricsServer, RollupSpec, SloRule, SloSignal,
+    SloStatus, TelemetryConfig, TsdbConfig,
+};
+pub use health::HealthConfig;
 pub use lifecycle::{LifecycleAction, LifecycleConfig, LifecycleError, LifecycleOps};
 pub use replay::{LatencySummary, ReplayConfig, ReplayReport, RequestSink, SinkOutcome};
 pub use shard_map::{Axis, ShardMap, ZoneNode};

@@ -91,6 +91,19 @@ pub struct LifecycleConfig {
     pub min_shards: usize,
     /// The policy never splits above this many shards.
     pub max_shards: usize,
+    /// Derive the hot/cold pressure signals from the health plane's
+    /// time-series store instead of instantaneous ring occupancy: the
+    /// occupancy signal becomes the window mean **projected forward** by
+    /// the observed slope (catching a ramp before it saturates), and the
+    /// shed signal becomes the shed-counter delta over the whole window
+    /// (immune to the tick cadence racing the burst). Requires
+    /// [`HealthConfig::enabled`](crate::HealthConfig); shards without
+    /// trend data yet fall back to the instantaneous signals, as does the
+    /// whole policy when the flag is off (the default).
+    pub trend_policy: bool,
+    /// Lookback window for [`trend_policy`](LifecycleConfig::trend_policy)
+    /// signals, in milliseconds.
+    pub trend_window_ms: u64,
 }
 
 impl Default for LifecycleConfig {
@@ -104,6 +117,8 @@ impl Default for LifecycleConfig {
             wal_capacity: 16384,
             min_shards: 1,
             max_shards: 64,
+            trend_policy: false,
+            trend_window_ms: 10_000,
         }
     }
 }
@@ -134,6 +149,10 @@ impl LifecycleConfig {
         assert!(
             self.max_shards >= self.min_shards,
             "max shards must be at least min shards"
+        );
+        assert!(
+            !self.trend_policy || self.trend_window_ms >= 1,
+            "trend policy needs a non-empty lookback window"
         );
     }
 }
@@ -504,6 +523,8 @@ impl EngineShared {
         let new_slot = spawn_slot(
             &self.cfg,
             self.epoch,
+            shard,
+            self.health.clone(),
             SlotSpec {
                 system,
                 latency: ckpt.latency.clone(),
@@ -525,6 +546,9 @@ impl EngineShared {
             shard: shard as u64,
             replayed,
         });
+        if let Some(h) = &self.health {
+            h.on_lifecycle("recover", crate::engine::elapsed_ns(self.epoch));
+        }
         self.ops.recovers.fetch_add(1, Ordering::Relaxed);
         Ok(replayed)
     }
@@ -697,6 +721,8 @@ impl EngineShared {
         let senior_slot = spawn_slot(
             &self.cfg,
             self.epoch,
+            parent,
+            self.health.clone(),
             SlotSpec {
                 system: senior_sys,
                 latency: state.latency.clone(),
@@ -711,6 +737,8 @@ impl EngineShared {
         let junior_slot = spawn_slot(
             &self.cfg,
             self.epoch,
+            new_index,
+            self.health.clone(),
             SlotSpec {
                 system: junior_sys,
                 latency: esharing_core::LatencyHistogram::new(),
@@ -738,6 +766,9 @@ impl EngineShared {
             lo: parent as u64,
             hi: new_index as u64,
         });
+        if let Some(h) = &self.health {
+            h.on_lifecycle("split", crate::engine::elapsed_ns(self.epoch));
+        }
         self.ops.splits.fetch_add(1, Ordering::Relaxed);
         Ok(new_index)
     }
@@ -847,6 +878,8 @@ impl EngineShared {
         let merged_slot = spawn_slot(
             &self.cfg,
             self.epoch,
+            a,
+            self.health.clone(),
             SlotSpec {
                 system: merged_sys,
                 latency: merged_latency,
@@ -880,6 +913,9 @@ impl EngineShared {
             b: b as u64,
             into: a as u64,
         });
+        if let Some(h) = &self.health {
+            h.on_lifecycle("merge", crate::engine::elapsed_ns(self.epoch));
+        }
         self.ops.merges.fetch_add(1, Ordering::Relaxed);
         Ok(a)
     }
@@ -913,8 +949,16 @@ impl EngineShared {
                 actions.push(LifecycleAction::Checkpointed { shard: i });
             }
         }
-        // Pressure classification with hysteresis.
+        // Pressure classification with hysteresis. With the trend policy
+        // on, the signals come from the health plane's time-series store:
+        // occupancy is the window mean projected forward by its slope, and
+        // sheds are the counter delta over the whole window. Shards the
+        // store has no data for yet (plane warming up, or freshly spawned
+        // by a split) fall back to the instantaneous reads.
         let cap = self.cfg.queue_capacity as f64;
+        let trend_window_ns = lc.trend_window_ms.saturating_mul(1_000_000);
+        let trend_plane = self.health.as_ref().filter(|_| lc.trend_policy);
+        let now_ns = crate::engine::elapsed_ns(self.epoch);
         let mut hottest: Option<(usize, f64)> = None;
         let mut cold_ready: Vec<(usize, f64)> = Vec::new();
         for (i, slot) in table.shards.iter().enumerate() {
@@ -926,9 +970,29 @@ impl EngineShared {
             let shed_now = slot.shed.load(Ordering::Relaxed);
             let shed_delta = shed_now.saturating_sub(policy.prev_shed[i]);
             policy.prev_shed[i] = shed_now;
-            let occupancy = slot.pending() as f64 / cap;
-            let hot = occupancy >= lc.split_occupancy || shed_delta > 0;
-            let cold = occupancy <= lc.merge_occupancy && shed_delta == 0;
+            let trend = trend_plane.and_then(|h| h.shard_trend(i, trend_window_ns, now_ns));
+            let (occupancy, hot, cold) = match trend {
+                Some((projected, window_sheds)) => {
+                    let occupancy = (projected / cap).max(0.0);
+                    // The shed term needs corroboration from this tick's
+                    // delta: window_sheds alone stays positive for a full
+                    // window after a split already relieved the shard,
+                    // which would re-split on stale pressure.
+                    (
+                        occupancy,
+                        occupancy >= lc.split_occupancy || (window_sheds > 0.0 && shed_delta > 0),
+                        occupancy <= lc.merge_occupancy && window_sheds == 0.0,
+                    )
+                }
+                None => {
+                    let occupancy = slot.pending() as f64 / cap;
+                    (
+                        occupancy,
+                        occupancy >= lc.split_occupancy || shed_delta > 0,
+                        occupancy <= lc.merge_occupancy && shed_delta == 0,
+                    )
+                }
+            };
             policy.hot[i] = if hot { policy.hot[i] + 1 } else { 0 };
             policy.cold[i] = if cold { policy.cold[i] + 1 } else { 0 };
             if policy.hot[i] >= lc.hysteresis_ticks
@@ -1065,8 +1129,11 @@ impl Engine {
     /// action — splitting a shard that stayed hot (ring occupancy ≥
     /// [`LifecycleConfig::split_occupancy`] or fresh sheds) for
     /// [`LifecycleConfig::hysteresis_ticks`] consecutive ticks, or merging
-    /// the two coldest persistently idle shards. Call it at any cadence;
-    /// there is no background thread.
+    /// the two coldest persistently idle shards. With
+    /// [`LifecycleConfig::trend_policy`] and the health plane enabled, the
+    /// pressure signals are slope-projected window means and windowed shed
+    /// deltas from the time-series store instead of instantaneous reads.
+    /// Call it at any cadence; there is no background thread.
     ///
     /// # Errors
     ///

@@ -16,6 +16,7 @@
 
 use crate::checkpoint::encode_checkpoint;
 use crate::fastpath::{DownstreamRing, DriftSlot};
+use crate::health::HealthHandle;
 use crossbeam::channel::{Receiver, Sender};
 use esharing_core::server::ServerSnapshot;
 use esharing_core::{
@@ -103,12 +104,21 @@ pub(crate) struct WorkerState {
 /// worker runs the Peacock evaluation between ring harvests — against the
 /// immutable boundary snapshot, never touching the seat — and deposits
 /// the timed verdict for the seat to commit at the next boundary.
+///
+/// With the health plane enabled the worker is also the shard's tsdb
+/// pump: every sweep quantum it harvests the shard-local scalars (ring
+/// occupancy, shed and decision counters from the [`HealthSlot`]
+/// handshake), collects any registry snapshot the seat deposited for the
+/// *previous* request, re-raises the request flag, and feeds it all into
+/// the plane — so the store fills on drain-worker time and the seat never
+/// blocks on observability.
 pub(crate) fn spawn_fast(
     ring: Arc<DownstreamRing>,
     stop: Arc<AtomicBool>,
     drift: Arc<DriftSlot>,
     service_delay: Duration,
     epoch: Instant,
+    health: Option<HealthHandle>,
 ) -> JoinHandle<()> {
     /// Minimum drain sleep: bounds ring-occupancy staleness (a matured
     /// job can linger in a slot this long) while capping each worker at
@@ -120,7 +130,27 @@ pub(crate) fn spawn_fast(
         // nanoseconds since the engine epoch.
         let mut pipe_free_ns = 0u64;
         let mut idle = 0u32;
+        let mut next_sweep_ns = 0u64;
         loop {
+            if let Some(h) = &health {
+                let now = elapsed_ns(epoch);
+                if now >= next_sweep_ns {
+                    next_sweep_ns = now + h.plane.sweep_interval_ns();
+                    // One-sweep-lag handshake: harvest the snapshot the
+                    // seat deposited for the previous request, then ask
+                    // for a fresh one before the next sweep matures.
+                    let snap = h.slot.take_registry();
+                    h.slot.request_registry();
+                    h.plane.sweep(
+                        now,
+                        h.shard,
+                        ring.occupancy(),
+                        h.slot.sheds(),
+                        h.slot.decisions(),
+                        snap,
+                    );
+                }
+            }
             if let Some(task) = drift.take_task() {
                 let t0 = Instant::now();
                 let verdict = task.evaluate();

@@ -1,0 +1,186 @@
+//! Fleet health plane: breach-to-black-box pipeline and the
+//! no-interference contract.
+//!
+//! 1. an engine serving under an impossible SLO must breach, journal a
+//!    typed `SloBreach`, and freeze a flight dump that carries the
+//!    breaching window's decision samples alongside that event;
+//! 2. with the plane fully on, the 1-shard inline-drift engine still
+//!    replays the single-worker `RequestServer` decision for decision,
+//!    bit for bit — observation must not perturb the system it observes.
+
+use esharing_core::server::RequestServer;
+use esharing_core::{ESharing, SystemConfig};
+use esharing_engine::{
+    DecisionPath, Engine, EngineConfig, EngineDecision, EventKind, HealthConfig, Partition, SloRule,
+};
+use esharing_geo::Point;
+use esharing_placement::online::{Decision, DriftMode};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+fn uniform_points(n: usize, side: f64, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Point::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side)))
+        .collect()
+}
+
+#[test]
+fn tight_slo_breach_freezes_matching_flight_dump() {
+    let history = uniform_points(400, 2_000.0, 71);
+    let stream = uniform_points(400, 2_000.0, 72);
+    let dump_dir = std::env::temp_dir().join(format!(
+        "esharing-health-test-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dump_dir);
+    // A decision p99 < 1 ns objective cannot be met: the first sweep
+    // that harvests latency data must push both burn windows past 1.
+    let engine = Engine::start(
+        &history,
+        EngineConfig {
+            shards: 1,
+            partition: Partition::UniformGrid,
+            decision_path: DecisionPath::SyncShared,
+            health: HealthConfig {
+                enabled: true,
+                rules: vec![SloRule::quantile_below(
+                    "decision_p99_tight",
+                    "esharing_decision_latency_ns",
+                    0.99,
+                    1,
+                )
+                .with_windows_ms(200, 1_000)],
+                sweep_interval_ms: 20,
+                min_dump_interval_ms: 0,
+                dump_dir: Some(dump_dir.clone()),
+                ..HealthConfig::default()
+            },
+            ..EngineConfig::default()
+        },
+    );
+    // Paced submits so the replay spans many 20 ms sweep intervals and
+    // the seat keeps answering the pump's registry handshake.
+    for &p in &stream {
+        assert!(!engine.submit(p).expect("engine is running").degraded());
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    std::thread::sleep(Duration::from_millis(60));
+
+    let statuses = engine.slo_statuses();
+    let tight = &statuses[0];
+    assert_eq!(tight.id, "decision_p99_tight");
+    assert!(
+        tight.breaches >= 1,
+        "impossible objective must breach (burn fast {})",
+        tight.burn_fast
+    );
+
+    // The breach is a typed journal event in the merged history, tagged
+    // with the breaching rule's index.
+    let snapshot = engine.snapshot().expect("engine is running");
+    assert!(
+        snapshot
+            .events
+            .iter()
+            .any(|e| matches!(e.event.kind, EventKind::SloBreach { rule: 0, .. })),
+        "merged event history lacks the SloBreach for rule 0"
+    );
+    assert!(snapshot.slo.iter().any(|s| s.breaches >= 1));
+
+    // The flight dump: served from memory, mirrored to disk, and carrying
+    // both the breaching window's samples and the matching breach event.
+    let ids = engine.flight_ids();
+    assert!(!ids.is_empty(), "a breach must freeze a flight dump");
+    let dump = engine
+        .flight_dump(&ids[0])
+        .expect("retained dump is served");
+    assert!(dump.contains("\"trigger\": \"slo_breach:decision_p99_tight\""));
+    assert!(
+        dump.contains("\"latency_ns\""),
+        "dump carries no decision samples from the breaching window"
+    );
+    assert!(
+        dump.contains("\"kind\": \"slo_breach\""),
+        "dump carries no matching SloBreach event"
+    );
+    assert!(
+        dump.contains("\"window_ns\": 200000000"),
+        "dump window must equal the rule's fast burn window"
+    );
+    let mirrored = std::fs::read_to_string(dump_dir.join(format!("{}.json", ids[0])))
+        .expect("dump mirrored to disk");
+    assert_eq!(mirrored, dump);
+
+    let _ = engine.shutdown();
+    let _ = std::fs::remove_dir_all(&dump_dir);
+}
+
+/// Serves `stream` through a fresh single-worker `RequestServer`.
+fn server_decisions(
+    history: &[Point],
+    stream: &[Point],
+    cfg: &SystemConfig,
+) -> (Vec<Decision>, ESharing) {
+    let mut system = ESharing::new(cfg.clone());
+    system.bootstrap(history);
+    let server = RequestServer::start(system);
+    let handle = server.handle();
+    let decisions = stream
+        .iter()
+        .map(|&p| handle.submit(p).expect("server is running"))
+        .collect();
+    (decisions, server.shutdown())
+}
+
+#[test]
+fn health_plane_preserves_inline_drift_equivalence() {
+    let history = uniform_points(500, 3_000.0, 81);
+    let stream = uniform_points(2_000, 3_000.0, 82);
+    let mut cfg = SystemConfig::default();
+    cfg.deviation.drift_mode = DriftMode::Inline;
+    let (expected, server_system) = server_decisions(&history, &stream, &cfg);
+
+    let engine = Engine::start(
+        &history,
+        EngineConfig {
+            shards: 1,
+            partition: Partition::UniformGrid,
+            decision_path: DecisionPath::SyncShared,
+            system: cfg,
+            health: HealthConfig::enabled(),
+            ..EngineConfig::default()
+        },
+    );
+    let got: Vec<Decision> = stream
+        .iter()
+        .map(|&p| match engine.submit(p).expect("engine is running") {
+            EngineDecision::Served { shard, decision } => {
+                assert_eq!(shard, 0);
+                decision
+            }
+            EngineDecision::Degraded { .. } => {
+                panic!("sequential submits must never overflow the pending queue")
+            }
+        })
+        .collect();
+    // The plane actually ran: the default rules report (green) verdicts.
+    let statuses = engine.slo_statuses();
+    assert_eq!(statuses.len(), 3, "default SLO rules must be loaded");
+    assert!(statuses.iter().all(|s| !s.breached));
+
+    let mut systems = engine.shutdown();
+    assert_eq!(got, expected, "health plane perturbed the decision stream");
+    let system = systems.pop().expect("one shard");
+    assert_eq!(
+        system.metrics().requests_served,
+        server_system.metrics().requests_served
+    );
+    assert_eq!(
+        system.metrics().placement,
+        server_system.metrics().placement
+    );
+    assert_eq!(system.stations(), server_system.stations());
+}

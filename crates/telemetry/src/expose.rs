@@ -196,6 +196,14 @@ fn prom_f64(v: f64) -> String {
 /// Renders families in the Prometheus text exposition format (v0.0.4).
 pub fn render_prometheus(families: &[MetricFamily]) -> String {
     let mut out = String::new();
+    render_prometheus_into(&mut out, families);
+    out
+}
+
+/// Appends the Prometheus text rendering of `families` to `out`. Lets a
+/// scrape loop reuse one buffer across requests instead of reallocating
+/// the full exposition every time; callers clear the buffer themselves.
+pub fn render_prometheus_into(out: &mut String, families: &[MetricFamily]) {
     for fam in families {
         out.push_str(&format!(
             "# HELP {} {}\n# TYPE {} {}\n",
@@ -240,7 +248,6 @@ pub fn render_prometheus(families: &[MetricFamily]) -> String {
             }
         }
     }
-    out
 }
 
 /// Escapes a string into a JSON literal (including quotes).
@@ -262,7 +269,8 @@ pub fn json_string(s: &str) -> String {
     out
 }
 
-fn json_f64(v: f64) -> String {
+/// Renders a finite f64 as a JSON number (`null` for NaN/±inf).
+pub fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {
@@ -387,10 +395,32 @@ fn event_kind_json(kind: &EventKind) -> (&'static str, String) {
             "shard_recovered",
             format!("\"shard\": {shard}, \"replayed\": {replayed}"),
         ),
+        EventKind::SloBreach {
+            rule,
+            value,
+            threshold,
+            burn_fast,
+            burn_slow,
+        } => (
+            "slo_breach",
+            format!(
+                "\"rule\": {rule}, \"value\": {}, \"threshold\": {}, \"burn_fast\": {}, \"burn_slow\": {}",
+                json_f64(*value),
+                json_f64(*threshold),
+                json_f64(*burn_fast),
+                json_f64(*burn_slow)
+            ),
+        ),
+        EventKind::SloRecovered { rule, burn_fast } => (
+            "slo_recovered",
+            format!("\"rule\": {rule}, \"burn_fast\": {}", json_f64(*burn_fast)),
+        ),
     }
 }
 
-fn event_json(shard: Option<usize>, ev: &Event) -> String {
+/// Renders one journal entry as a JSON object
+/// (`{"shard", "seq", "t_ns", "kind", ...}`).
+pub fn event_json(shard: Option<usize>, ev: &Event) -> String {
     let shard = match shard {
         Some(s) => s.to_string(),
         None => "null".into(),
@@ -522,6 +552,17 @@ mod tests {
                 period: 1,
                 total_cost: 12.5,
             },
+            EventKind::SloBreach {
+                rule: 0,
+                value: 250_000.0,
+                threshold: 200_000.0,
+                burn_fast: 1.25,
+                burn_slow: 1.1,
+            },
+            EventKind::SloRecovered {
+                rule: 0,
+                burn_fast: 0.4,
+            },
         ];
         let records: Vec<EventRecord> = kinds
             .iter()
@@ -543,6 +584,8 @@ mod tests {
             "ks_test",
             "shard_shed",
             "maintenance_dispatch",
+            "slo_breach",
+            "slo_recovered",
         ] {
             assert!(json.contains(kind), "missing {kind}: {json}");
         }

@@ -1,0 +1,448 @@
+//! Always-on "black box" flight recorder.
+//!
+//! [`FlightRing`] is a fixed-capacity lock-free ring that every decision
+//! writes one fine-grained sample into — stage latency, seat wait, ring
+//! occupancy, shed flag — *unsampled*, because retention (not recording)
+//! is what bounds the cost: the ring only ever holds the last `capacity`
+//! decisions. Producers are the submitting threads themselves, so the
+//! ring must be multi-producer and wait-free: a writer claims a slot with
+//! one `fetch_add` and stamps it with a per-slot generation; a reader
+//! that observes a torn write (generation changed mid-read) simply skips
+//! that slot. Readers are rare (dump time only) and best-effort by
+//! design.
+//!
+//! [`FlightRecorder`] freezes the ring when something interesting happens
+//! (an SLO breach transition or an elastic-lifecycle op) and renders a
+//! canonical JSON dump — recent samples, the health journal tail
+//! (including the triggering `SloBreach` event), and a tsdb excerpt —
+//! kept in memory for the `/flight/<id>` endpoint and best-effort written
+//! under a results directory. Dumps are rate-limited so a flapping SLO
+//! cannot fill the disk.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::expose::{event_json, json_string};
+use crate::journal::EventRecord;
+
+/// One per-decision sample retained in the flight ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightSample {
+    /// Nanoseconds since the engine epoch at record time.
+    pub t_ns: u64,
+    /// Shard that served (or shed) the decision.
+    pub shard: u32,
+    /// End-to-end decision latency, ns (0 for sheds).
+    pub latency_ns: u64,
+    /// Seat wait: time from submit to holding the decision seat, ns.
+    pub queue_ns: u64,
+    /// Downstream-ring occupancy observed at submit.
+    pub ring_occupancy: u32,
+    /// True when the request was shed instead of served.
+    pub shed: bool,
+}
+
+const SHED_BIT: u64 = 1;
+
+struct FlightSlot {
+    /// Generation stamp: 0 = never written, `h + 1` after the write that
+    /// claimed head value `h` completes. Strictly increasing per slot, so
+    /// a stamp that changed mid-read always reveals a torn snapshot.
+    stamp: AtomicU64,
+    t_ns: AtomicU64,
+    latency_ns: AtomicU64,
+    queue_ns: AtomicU64,
+    /// `shard << 32 | ring_occupancy << 1 | shed`.
+    meta: AtomicU64,
+}
+
+/// Lock-free multi-producer ring of the last `capacity` decision samples.
+pub struct FlightRing {
+    head: AtomicU64,
+    slots: Vec<FlightSlot>,
+}
+
+impl std::fmt::Debug for FlightRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRing")
+            .field("capacity", &self.slots.len())
+            .field("recorded", &self.total_recorded())
+            .finish()
+    }
+}
+
+impl FlightRing {
+    /// A ring retaining the newest `capacity` samples (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        let slots = (0..capacity)
+            .map(|_| FlightSlot {
+                stamp: AtomicU64::new(0),
+                t_ns: AtomicU64::new(0),
+                latency_ns: AtomicU64::new(0),
+                queue_ns: AtomicU64::new(0),
+                meta: AtomicU64::new(0),
+            })
+            .collect();
+        FlightRing {
+            head: AtomicU64::new(0),
+            slots,
+        }
+    }
+
+    /// Slots in the ring.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Samples ever recorded (monotone; the ring retains the newest
+    /// `capacity` of them).
+    pub fn total_recorded(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Records one sample. Wait-free: one `fetch_add` plus five relaxed
+    /// stores; concurrent writers land in distinct slots except when a
+    /// full wrap races, in which case the generation stamp keeps readers
+    /// honest.
+    pub fn record(&self, s: FlightSample) {
+        let h = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(h % self.slots.len() as u64) as usize];
+        // Invalidate, write fields, then publish the new generation.
+        slot.stamp.store(0, Ordering::Release);
+        slot.t_ns.store(s.t_ns, Ordering::Relaxed);
+        slot.latency_ns.store(s.latency_ns, Ordering::Relaxed);
+        slot.queue_ns.store(s.queue_ns, Ordering::Relaxed);
+        let meta = (u64::from(s.shard) << 32)
+            | (u64::from(s.ring_occupancy) << 1)
+            | (u64::from(s.shed) * SHED_BIT);
+        slot.meta.store(meta, Ordering::Relaxed);
+        slot.stamp.store(h + 1, Ordering::Release);
+    }
+
+    /// Best-effort snapshot of retained samples with `t_ns >= from_t_ns`,
+    /// sorted by time. Slots written concurrently with the read are
+    /// skipped rather than returned torn.
+    pub fn snapshot_since(&self, from_t_ns: u64) -> Vec<FlightSample> {
+        let mut out = Vec::new();
+        for slot in &self.slots {
+            let s1 = slot.stamp.load(Ordering::Acquire);
+            if s1 == 0 {
+                continue;
+            }
+            let t_ns = slot.t_ns.load(Ordering::Relaxed);
+            let latency_ns = slot.latency_ns.load(Ordering::Relaxed);
+            let queue_ns = slot.queue_ns.load(Ordering::Relaxed);
+            let meta = slot.meta.load(Ordering::Relaxed);
+            let s2 = slot.stamp.load(Ordering::Acquire);
+            if s1 != s2 || t_ns < from_t_ns {
+                continue;
+            }
+            out.push(FlightSample {
+                t_ns,
+                shard: (meta >> 32) as u32,
+                latency_ns,
+                queue_ns,
+                ring_occupancy: ((meta >> 1) & 0x7fff_ffff) as u32,
+                shed: meta & SHED_BIT != 0,
+            });
+        }
+        out.sort_by_key(|s| s.t_ns);
+        out
+    }
+}
+
+fn sample_json(s: &FlightSample) -> String {
+    format!(
+        "{{\"t_ns\": {}, \"shard\": {}, \"latency_ns\": {}, \"queue_ns\": {}, \"ring_occupancy\": {}, \"shed\": {}}}",
+        s.t_ns, s.shard, s.latency_ns, s.queue_ns, s.ring_occupancy, s.shed
+    )
+}
+
+/// Renders the canonical dump document. `tsdb_excerpt` must already be a
+/// JSON array (see `Tsdb::excerpt_json`).
+pub fn render_flight_dump(
+    id: &str,
+    trigger: &str,
+    t_ns: u64,
+    window_ns: u64,
+    samples: &[FlightSample],
+    events: &[EventRecord],
+    tsdb_excerpt: &str,
+) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\n");
+    out.push_str(&format!("  \"id\": {},\n", json_string(id)));
+    out.push_str(&format!("  \"trigger\": {},\n", json_string(trigger)));
+    out.push_str(&format!("  \"t_ns\": {t_ns},\n"));
+    out.push_str(&format!("  \"window_ns\": {window_ns},\n"));
+    out.push_str("  \"samples\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(&sample_json(s));
+        out.push_str(if i + 1 < samples.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n  \"events\": [\n");
+    for (i, r) in events.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(&event_json(r.shard, &r.event));
+        out.push_str(if i + 1 < events.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n  \"tsdb\": ");
+    out.push_str(if tsdb_excerpt.is_empty() {
+        "[]"
+    } else {
+        tsdb_excerpt
+    });
+    out.push_str("\n}\n");
+    out
+}
+
+/// Frozen-dump store: assembles, retains, rate-limits, and (best-effort)
+/// persists flight dumps.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    dir: Option<PathBuf>,
+    max_dumps: usize,
+    min_interval_ns: u64,
+    dumps: Vec<(String, String)>,
+    next_id: u64,
+    last_dump_ns: Option<u64>,
+    suppressed: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping at most `max_dumps` dumps, at least
+    /// `min_interval_ns` apart, mirrored into `dir` when set.
+    pub fn new(dir: Option<PathBuf>, max_dumps: usize, min_interval_ns: u64) -> Self {
+        FlightRecorder {
+            dir,
+            max_dumps: max_dumps.max(1),
+            min_interval_ns,
+            dumps: Vec::new(),
+            next_id: 0,
+            last_dump_ns: None,
+            suppressed: 0,
+        }
+    }
+
+    /// Whether a dump at `now_ns` would be admitted (capacity and rate
+    /// limit). Callers can use this to skip assembling the dump at all.
+    pub fn should_dump(&self, now_ns: u64) -> bool {
+        if self.dumps.len() >= self.max_dumps {
+            return false;
+        }
+        match self.last_dump_ns {
+            Some(last) => now_ns.saturating_sub(last) >= self.min_interval_ns,
+            None => true,
+        }
+    }
+
+    /// Freezes a dump. Returns the dump id, or `None` when rate-limited
+    /// or at capacity (counted in [`FlightRecorder::suppressed`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_dump(
+        &mut self,
+        now_ns: u64,
+        trigger: &str,
+        window_ns: u64,
+        samples: &[FlightSample],
+        events: &[EventRecord],
+        tsdb_excerpt: &str,
+    ) -> Option<String> {
+        if !self.should_dump(now_ns) {
+            self.suppressed += 1;
+            return None;
+        }
+        self.next_id += 1;
+        let id = format!("flight-{:04}", self.next_id);
+        let json = render_flight_dump(
+            &id,
+            trigger,
+            now_ns,
+            window_ns,
+            samples,
+            events,
+            tsdb_excerpt,
+        );
+        if let Some(dir) = &self.dir {
+            // Best-effort: a full disk must never take down the engine.
+            let _ = std::fs::create_dir_all(dir);
+            let _ = std::fs::write(dir.join(format!("{id}.json")), &json);
+        }
+        self.dumps.push((id.clone(), json));
+        self.last_dump_ns = Some(now_ns);
+        Some(id)
+    }
+
+    /// The frozen dump document for `id`.
+    pub fn get(&self, id: &str) -> Option<&str> {
+        self.dumps
+            .iter()
+            .find(|(i, _)| i == id)
+            .map(|(_, j)| j.as_str())
+    }
+
+    /// Retained dump ids, oldest first.
+    pub fn ids(&self) -> Vec<String> {
+        self.dumps.iter().map(|(i, _)| i.clone()).collect()
+    }
+
+    /// Dumps retained so far.
+    pub fn dump_count(&self) -> usize {
+        self.dumps.len()
+    }
+
+    /// Triggers refused by the rate limit or the dump cap.
+    pub fn suppressed(&self) -> u64 {
+        self.suppressed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::{Event, EventKind};
+    use std::sync::Arc;
+
+    fn sample(t_ns: u64, shard: u32) -> FlightSample {
+        FlightSample {
+            t_ns,
+            shard,
+            latency_ns: 1_500,
+            queue_ns: 200,
+            ring_occupancy: 3,
+            shed: false,
+        }
+    }
+
+    #[test]
+    fn ring_retains_newest_and_filters_by_time() {
+        let ring = FlightRing::new(4);
+        for t in 0..10u64 {
+            ring.record(sample(t, (t % 3) as u32));
+        }
+        assert_eq!(ring.total_recorded(), 10);
+        let all = ring.snapshot_since(0);
+        assert_eq!(all.len(), 4);
+        assert_eq!(all.first().unwrap().t_ns, 6);
+        assert_eq!(all.last().unwrap().t_ns, 9);
+        assert_eq!(ring.snapshot_since(8).len(), 2);
+    }
+
+    #[test]
+    fn ring_roundtrips_meta_fields() {
+        let ring = FlightRing::new(2);
+        ring.record(FlightSample {
+            t_ns: 42,
+            shard: 7,
+            latency_ns: 123,
+            queue_ns: 45,
+            ring_occupancy: 31,
+            shed: true,
+        });
+        let got = ring.snapshot_since(0);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].shard, 7);
+        assert_eq!(got[0].ring_occupancy, 31);
+        assert!(got[0].shed);
+        assert_eq!(got[0].latency_ns, 123);
+        assert_eq!(got[0].queue_ns, 45);
+    }
+
+    #[test]
+    fn concurrent_producers_never_tear() {
+        let ring = Arc::new(FlightRing::new(64));
+        let mut handles = Vec::new();
+        for p in 0..4u32 {
+            let r = Arc::clone(&ring);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..2_000u64 {
+                    r.record(FlightSample {
+                        t_ns: i,
+                        shard: p,
+                        // Writer-specific invariant readers can check.
+                        latency_ns: u64::from(p) * 1_000_000 + i,
+                        queue_ns: i,
+                        ring_occupancy: p,
+                        shed: false,
+                    });
+                }
+            }));
+        }
+        for _ in 0..200 {
+            for s in ring.snapshot_since(0) {
+                assert_eq!(s.latency_ns, u64::from(s.shard) * 1_000_000 + s.t_ns);
+                assert_eq!(s.ring_occupancy, s.shard);
+            }
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(ring.total_recorded(), 8_000);
+        assert_eq!(ring.snapshot_since(0).len(), 64);
+    }
+
+    #[test]
+    fn recorder_rate_limits_and_serves_dumps() {
+        let mut rec = FlightRecorder::new(None, 2, 1_000);
+        let ev = EventRecord {
+            shard: None,
+            event: Event {
+                seq: 0,
+                t_ns: 5,
+                kind: EventKind::SloBreach {
+                    rule: 0,
+                    value: 2.0,
+                    threshold: 1.0,
+                    burn_fast: 2.0,
+                    burn_slow: 1.5,
+                },
+            },
+        };
+        let id = rec
+            .record_dump(
+                10_000,
+                "slo_breach:decision_p99",
+                5_000,
+                &[sample(9_000, 0)],
+                &[ev],
+                "",
+            )
+            .expect("first dump admitted");
+        assert_eq!(id, "flight-0001");
+        // Too soon: suppressed.
+        assert!(rec
+            .record_dump(10_500, "slo_breach:x", 5_000, &[], &[], "")
+            .is_none());
+        assert_eq!(rec.suppressed(), 1);
+        // Past the interval: admitted; then the cap bites.
+        assert!(rec
+            .record_dump(12_000, "lifecycle:split", 5_000, &[], &[], "[]")
+            .is_some());
+        assert!(rec
+            .record_dump(99_000, "slo_breach:y", 5_000, &[], &[], "")
+            .is_none());
+        assert_eq!(rec.dump_count(), 2);
+        assert_eq!(rec.ids(), vec!["flight-0001", "flight-0002"]);
+        let json = rec.get(&id).expect("served");
+        assert!(json.contains("\"trigger\": \"slo_breach:decision_p99\""));
+        assert!(json.contains("\"kind\": \"slo_breach\""));
+        assert!(json.contains("\"t_ns\": 9000"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(rec.get("flight-9999").is_none());
+    }
+
+    #[test]
+    fn recorder_writes_files_when_given_a_dir() {
+        let dir = std::env::temp_dir().join(format!("esharing-flight-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut rec = FlightRecorder::new(Some(dir.clone()), 4, 0);
+        rec.record_dump(1, "lifecycle:split", 100, &[sample(1, 0)], &[], "[]")
+            .expect("dump");
+        let written = std::fs::read_to_string(dir.join("flight-0001.json")).expect("file exists");
+        assert!(written.contains("\"id\": \"flight-0001\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

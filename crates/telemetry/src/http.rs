@@ -7,7 +7,7 @@
 //! the whole thing exists so `curl`/Prometheus can watch a live replay
 //! run. Shutdown uses a poison-pill self-connect to unblock `accept`.
 
-use crate::expose::{render_events_json, render_json, render_prometheus, MetricFamily};
+use crate::expose::{render_events_json, render_json, render_prometheus_into, MetricFamily};
 use crate::journal::EventRecord;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -33,12 +33,24 @@ pub struct Scrape {
 pub trait ScrapeSource: Send + Sync {
     /// Produce a current scrape, or `None` if the source is gone.
     fn scrape(&self) -> Option<Scrape>;
+
+    /// A frozen flight-recorder dump by id (served at `/flight/<id>`).
+    /// Sources without a flight recorder keep the default `None`.
+    fn flight(&self, _id: &str) -> Option<String> {
+        None
+    }
+
+    /// Ids of retained flight dumps (served at `/flight`). Default empty.
+    fn flight_ids(&self) -> Vec<String> {
+        Vec::new()
+    }
 }
 
 /// Background HTTP responder exposing a [`ScrapeSource`].
 ///
 /// Routes: `/metrics` (Prometheus text), `/metrics.json` (JSON),
-/// `/events` (JSON event log), `/` (plain-text index).
+/// `/events` (JSON event log), `/flight` + `/flight/<id>` (flight-recorder
+/// dumps), `/` (plain-text index).
 #[derive(Debug)]
 pub struct MetricsServer {
     addr: SocketAddr,
@@ -93,6 +105,10 @@ impl Drop for MetricsServer {
 }
 
 fn serve_loop(listener: TcpListener, source: Arc<dyn ScrapeSource>, stop: Arc<AtomicBool>) {
+    // One body buffer for the life of the loop: each response renders
+    // into it in place, so steady-state scraping stops reallocating the
+    // full exposition text per request.
+    let mut body = String::new();
     for stream in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
             break;
@@ -103,7 +119,8 @@ fn serve_loop(listener: TcpListener, source: Arc<dyn ScrapeSource>, stop: Arc<At
         let Some(path) = read_request_path(&mut stream) else {
             continue;
         };
-        let (status, content_type, body) = respond(&path, source.as_ref());
+        body.clear();
+        let (status, content_type) = respond(&path, source.as_ref(), &mut body);
         let _ = write_response(&mut stream, status, content_type, &body);
     }
 }
@@ -136,37 +153,63 @@ fn read_request_path(stream: &mut TcpStream) -> Option<String> {
     Some(path.to_string())
 }
 
-fn respond(path: &str, source: &dyn ScrapeSource) -> (u16, &'static str, String) {
+/// Renders the response body for `path` into `body` (assumed cleared)
+/// and returns `(status, content_type)`.
+fn respond(path: &str, source: &dyn ScrapeSource, body: &mut String) -> (u16, &'static str) {
     // Strip any query string: scrapers add ?format= and friends.
     let path = path.split('?').next().unwrap_or(path);
+    if let Some(id) = path.strip_prefix("/flight/") {
+        return match source.flight(id) {
+            Some(dump) => {
+                body.push_str(&dump);
+                (200, "application/json")
+            }
+            None => {
+                body.push_str("no such flight dump\n");
+                (404, "text/plain; charset=utf-8")
+            }
+        };
+    }
     match path {
-        "/" => (
-            200,
-            "text/plain; charset=utf-8",
-            "esharing telemetry\n\n/metrics       Prometheus text format\n/metrics.json  JSON metric families\n/events        JSON event journal\n"
-                .into(),
-        ),
+        "/" => {
+            body.push_str(
+                "esharing telemetry\n\n/metrics       Prometheus text format\n/metrics.json  JSON metric families\n/events        JSON event journal\n/flight        flight-recorder dump index\n/flight/<id>   one frozen flight dump\n",
+            );
+            (200, "text/plain; charset=utf-8")
+        }
+        "/flight" => {
+            let ids: Vec<String> = source
+                .flight_ids()
+                .iter()
+                .map(|i| crate::expose::json_string(i))
+                .collect();
+            body.push_str(&format!("{{\"flights\": [{}]}}\n", ids.join(", ")));
+            (200, "application/json")
+        }
         "/metrics" | "/metrics.json" | "/events" => match source.scrape() {
-            None => (503, "text/plain; charset=utf-8", "engine shut down\n".into()),
+            None => {
+                body.push_str("engine shut down\n");
+                (503, "text/plain; charset=utf-8")
+            }
             Some(scrape) => match path {
-                "/metrics" => (
-                    200,
-                    "text/plain; version=0.0.4; charset=utf-8",
-                    render_prometheus(&scrape.families),
-                ),
-                "/metrics.json" => (
-                    200,
-                    "application/json",
-                    render_json(&scrape.families),
-                ),
-                _ => (
-                    200,
-                    "application/json",
-                    render_events_json(&scrape.events, scrape.events_dropped),
-                ),
+                "/metrics" => {
+                    render_prometheus_into(body, &scrape.families);
+                    (200, "text/plain; version=0.0.4; charset=utf-8")
+                }
+                "/metrics.json" => {
+                    body.push_str(&render_json(&scrape.families));
+                    (200, "application/json")
+                }
+                _ => {
+                    body.push_str(&render_events_json(&scrape.events, scrape.events_dropped));
+                    (200, "application/json")
+                }
             },
         },
-        _ => (404, "text/plain; charset=utf-8", "not found\n".into()),
+        _ => {
+            body.push_str("not found\n");
+            (404, "text/plain; charset=utf-8")
+        }
     }
 }
 
@@ -236,6 +279,14 @@ mod tests {
         fn scrape(&self) -> Option<Scrape> {
             self.scrape.lock().unwrap().clone()
         }
+
+        fn flight(&self, id: &str) -> Option<String> {
+            (id == "flight-0001").then(|| "{\"id\": \"flight-0001\"}\n".to_string())
+        }
+
+        fn flight_ids(&self) -> Vec<String> {
+            vec!["flight-0001".into()]
+        }
     }
 
     fn demo_scrape() -> Scrape {
@@ -276,6 +327,17 @@ mod tests {
         assert_eq!(status, 200);
 
         let (status, _) = http_get(addr, "/nope").expect("404");
+        assert_eq!(status, 404);
+
+        let (status, body) = http_get(addr, "/flight").expect("flight index");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"flight-0001\""), "{body}");
+
+        let (status, body) = http_get(addr, "/flight/flight-0001").expect("flight dump");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"id\": \"flight-0001\""));
+
+        let (status, _) = http_get(addr, "/flight/flight-9999").expect("flight 404");
         assert_eq!(status, 404);
 
         let (status, body) = http_get(addr, "/").expect("index");

@@ -105,6 +105,26 @@ pub enum EventKind {
         /// WAL entries replayed past the checkpoint's high-water mark.
         replayed: u64,
     },
+    /// An SLO rule entered breach: both burn-rate windows crossed 1.
+    SloBreach {
+        /// Index of the rule in the configured rule set.
+        rule: u8,
+        /// Fast-window signal value at breach.
+        value: f64,
+        /// The rule's threshold.
+        threshold: f64,
+        /// Fast-window burn rate (value / threshold, ≥ 1 at breach).
+        burn_fast: f64,
+        /// Slow-window burn rate (≥ 1 at breach).
+        burn_slow: f64,
+    },
+    /// A breached SLO rule recovered: fast-window burn back under 1.
+    SloRecovered {
+        /// Index of the rule in the configured rule set.
+        rule: u8,
+        /// Fast-window burn rate at recovery.
+        burn_fast: f64,
+    },
 }
 
 /// One journal entry.

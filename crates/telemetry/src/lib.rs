@@ -15,6 +15,16 @@
 //!    tiny std-only `TcpListener` responder so a live engine run can be
 //!    scraped mid-flight.
 //!
+//! On top of those sits the *health plane* — the analysis tier:
+//!
+//! 5. [`tsdb`] — a fixed-memory time-series store of per-resolution
+//!    rollup rings, fed by periodic [`RegistrySnapshot`] sweeps.
+//! 6. [`slo`] — declarative objectives evaluated as fast/slow burn
+//!    rates over the tsdb.
+//! 7. [`flight_recorder`] — an always-on lock-free ring of unsampled
+//!    per-decision samples, frozen into JSON "black box" dumps when a
+//!    breach or lifecycle op fires.
+//!
 //! The crate sits below `esharing-core` and depends only on `serde`, so
 //! every layer of the system (placement, core, engine, benches) can emit
 //! into it without dependency cycles.
@@ -22,21 +32,27 @@
 #![warn(missing_docs)]
 
 pub mod expose;
+pub mod flight_recorder;
 mod histogram;
 pub mod http;
 pub mod journal;
 pub mod registry;
+pub mod slo;
+pub mod tsdb;
 
 pub use expose::{
     render_events_json, render_json, render_prometheus, snapshot_families, FamilyKind,
     FamilySample, MetricFamily, SampleValue,
 };
+pub use flight_recorder::{FlightRecorder, FlightRing, FlightSample};
 pub use histogram::LatencyHistogram;
 pub use http::{http_get, MetricsServer, Scrape, ScrapeSource};
 pub use journal::{merge_event_batches, Event, EventJournal, EventKind, EventLog, EventRecord};
 pub use registry::{
     CounterId, GaugeId, HistogramId, MergeMode, MetricSample, Registry, RegistrySnapshot,
 };
+pub use slo::{SloEngine, SloRule, SloSignal, SloStatus, SloTransition};
+pub use tsdb::{Rollup, RollupSpec, SeriesKind, Tsdb, TsdbConfig};
 
 use serde::{Deserialize, Serialize};
 

@@ -1,0 +1,442 @@
+//! Declarative SLO rules evaluated as multi-window burn rates over the
+//! time-series store.
+//!
+//! Each [`SloRule`] names a signal derived from [`Tsdb`] windows — a
+//! histogram quantile, a ratio of counter deltas, or a gauge maximum —
+//! and a threshold. Following the Google SRE multi-window alerting shape,
+//! the signal is evaluated over a *fast* and a *slow* window and
+//! normalised into a burn rate (`value / threshold`, so 1.0 means
+//! "exactly at the objective"). A rule breaches only when **both**
+//! windows burn at ≥ 1: the fast window makes alerts prompt, the slow
+//! window keeps one spiky bucket from paging. Recovery needs only the
+//! fast window back under 1, so breaches clear as soon as the recent
+//! signal is healthy.
+//!
+//! The engine ([`SloEngine`]) is a pure state machine: callers hand it a
+//! `&Tsdb` and a timestamp; it returns the [`SloTransition`]s that fired
+//! so the embedding layer can journal them (`EventKind::SloBreach` /
+//! `SloRecovered`), trip the flight recorder, and export
+//! `esharing_slo_burn{slo}` gauges from [`SloEngine::statuses`].
+
+use crate::tsdb::Tsdb;
+use serde::{Deserialize, Serialize};
+
+const MS: u64 = 1_000_000;
+const SEC: u64 = 1_000_000_000;
+
+/// The measurable quantity an SLO rule watches, resolved against the
+/// tsdb at evaluation time over each burn window.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SloSignal {
+    /// `quantile(q)` of the merged histogram family `name` in the window,
+    /// in nanoseconds.
+    HistogramQuantileNs {
+        /// Histogram family name (merged across labels/shards).
+        name: String,
+        /// Quantile in `[0, 1]`, e.g. 0.99.
+        q: f64,
+    },
+    /// Windowed counter delta of `numerator` divided by that of
+    /// `denominator` (e.g. sheds / decisions). Undefined (no verdict)
+    /// while the denominator delta is zero.
+    CounterRatio {
+        /// Counter family whose delta forms the numerator.
+        numerator: String,
+        /// Counter family whose delta forms the denominator.
+        denominator: String,
+    },
+    /// Maximum of a gauge family across all series and buckets in the
+    /// window.
+    GaugeMax {
+        /// Gauge family name.
+        name: String,
+    },
+}
+
+/// One declarative objective: "signal stays below threshold", enforced
+/// as a fast/slow burn-rate pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloRule {
+    /// Stable identifier, used as the `slo` label and in journal events.
+    pub id: String,
+    /// What to measure.
+    pub signal: SloSignal,
+    /// Objective ceiling; burn = value / threshold. Must be > 0.
+    pub threshold: f64,
+    /// Fast (paging) window in nanoseconds.
+    pub fast_window_ns: u64,
+    /// Slow (confirmation) window in nanoseconds.
+    pub slow_window_ns: u64,
+}
+
+impl SloRule {
+    /// A quantile-latency objective: `p(q)(histogram) < threshold_ns`.
+    pub fn quantile_below(id: &str, histogram: &str, q: f64, threshold_ns: u64) -> Self {
+        SloRule {
+            id: id.to_string(),
+            signal: SloSignal::HistogramQuantileNs {
+                name: histogram.to_string(),
+                q,
+            },
+            threshold: threshold_ns.max(1) as f64,
+            fast_window_ns: 60 * SEC,
+            slow_window_ns: 1_800 * SEC,
+        }
+    }
+
+    /// A ratio objective: `num / den < threshold` (e.g. shed ratio < 1%).
+    pub fn ratio_below(id: &str, numerator: &str, denominator: &str, threshold: f64) -> Self {
+        SloRule {
+            id: id.to_string(),
+            signal: SloSignal::CounterRatio {
+                numerator: numerator.to_string(),
+                denominator: denominator.to_string(),
+            },
+            threshold,
+            fast_window_ns: 60 * SEC,
+            slow_window_ns: 1_800 * SEC,
+        }
+    }
+
+    /// A gauge-ceiling objective: `max(gauge) < threshold`.
+    pub fn gauge_below(id: &str, gauge: &str, threshold: f64) -> Self {
+        SloRule {
+            id: id.to_string(),
+            signal: SloSignal::GaugeMax {
+                name: gauge.to_string(),
+            },
+            threshold,
+            fast_window_ns: 60 * SEC,
+            slow_window_ns: 1_800 * SEC,
+        }
+    }
+
+    /// Overrides both burn windows (milliseconds); smoke runs last well
+    /// under the SRE-default 1 m / 30 m.
+    pub fn with_windows_ms(mut self, fast_ms: u64, slow_ms: u64) -> Self {
+        self.fast_window_ns = fast_ms.max(1) * MS;
+        self.slow_window_ns = slow_ms.max(1) * MS;
+        self
+    }
+
+    fn value(&self, tsdb: &Tsdb, window_ns: u64, now_ns: u64) -> Option<f64> {
+        match &self.signal {
+            SloSignal::HistogramQuantileNs { name, q } => tsdb
+                .quantile_ns(name, *q, window_ns, now_ns)
+                .map(|v| v as f64),
+            SloSignal::CounterRatio {
+                numerator,
+                denominator,
+            } => {
+                let den = tsdb.counter_delta(denominator, window_ns, now_ns)?;
+                if den <= 0.0 {
+                    return None;
+                }
+                let num = tsdb
+                    .counter_delta(numerator, window_ns, now_ns)
+                    .unwrap_or(0.0);
+                Some(num / den)
+            }
+            SloSignal::GaugeMax { name } => tsdb.aggregate(name, window_ns, now_ns).map(|r| r.max),
+        }
+    }
+}
+
+/// The default fleet objectives from the issue: decision p99 under
+/// 200 µs, shed ratio under 1%, drift backlog under 4.
+pub fn default_rules() -> Vec<SloRule> {
+    vec![
+        SloRule::quantile_below(
+            "decision_p99",
+            "esharing_decision_latency_ns",
+            0.99,
+            200_000,
+        ),
+        SloRule::ratio_below(
+            "shed_ratio",
+            "esharing_router_sheds_total",
+            "esharing_decisions_total",
+            0.01,
+        ),
+        SloRule::gauge_below("drift_pending", "esharing_drift_pending", 4.0),
+    ]
+}
+
+/// A state change produced by one evaluation pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SloTransition {
+    /// Rule `rule` (index into [`SloEngine::rules`]) entered breach.
+    Breach {
+        /// Index of the breaching rule.
+        rule: usize,
+        /// Fast-window signal value that crossed the threshold.
+        value: f64,
+        /// The rule's threshold at evaluation time.
+        threshold: f64,
+        /// Fast-window burn rate (≥ 1 at breach).
+        burn_fast: f64,
+        /// Slow-window burn rate (≥ 1 at breach).
+        burn_slow: f64,
+    },
+    /// Rule `rule` recovered (fast-window burn back under 1).
+    Recover {
+        /// Index of the recovered rule.
+        rule: usize,
+        /// Fast-window burn rate at recovery.
+        burn_fast: f64,
+    },
+}
+
+/// Point-in-time verdict for one rule, for gauges and run reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloStatus {
+    /// The rule's stable identifier.
+    pub id: String,
+    /// True while the rule is in breach.
+    pub breached: bool,
+    /// Most recent fast-window burn rate (0 before any data).
+    pub burn_fast: f64,
+    /// Most recent slow-window burn rate (0 before any data).
+    pub burn_slow: f64,
+    /// Total Ok→Breach transitions observed.
+    pub breaches: u64,
+    /// Total Breach→Ok transitions observed.
+    pub recoveries: u64,
+}
+
+#[derive(Debug, Clone)]
+struct RuleState {
+    breached: bool,
+    burn_fast: f64,
+    burn_slow: f64,
+    breaches: u64,
+    recoveries: u64,
+}
+
+/// Evaluates a rule set against the tsdb and tracks breach state.
+#[derive(Debug, Clone)]
+pub struct SloEngine {
+    rules: Vec<SloRule>,
+    states: Vec<RuleState>,
+}
+
+impl SloEngine {
+    /// An engine over `rules` with every rule initially healthy.
+    pub fn new(rules: Vec<SloRule>) -> Self {
+        let states = rules
+            .iter()
+            .map(|_| RuleState {
+                breached: false,
+                burn_fast: 0.0,
+                burn_slow: 0.0,
+                breaches: 0,
+                recoveries: 0,
+            })
+            .collect();
+        SloEngine { rules, states }
+    }
+
+    /// The rule set, in [`SloTransition`] index order.
+    pub fn rules(&self) -> &[SloRule] {
+        &self.rules
+    }
+
+    /// Evaluates every rule at `now_ns` and returns the transitions that
+    /// fired. Windows with no data yield no verdict: a rule cannot breach
+    /// without both windows measured, and cannot recover without a fast
+    /// window.
+    pub fn evaluate(&mut self, tsdb: &Tsdb, now_ns: u64) -> Vec<SloTransition> {
+        let mut out = Vec::new();
+        for (i, rule) in self.rules.iter().enumerate() {
+            let fast = rule.value(tsdb, rule.fast_window_ns, now_ns);
+            let slow = rule.value(tsdb, rule.slow_window_ns, now_ns);
+            let st = &mut self.states[i];
+            if let Some(v) = fast {
+                st.burn_fast = v / rule.threshold;
+            }
+            if let Some(v) = slow {
+                st.burn_slow = v / rule.threshold;
+            }
+            if !st.breached {
+                if let (Some(vf), Some(_)) = (fast, slow) {
+                    if st.burn_fast >= 1.0 && st.burn_slow >= 1.0 {
+                        st.breached = true;
+                        st.breaches += 1;
+                        out.push(SloTransition::Breach {
+                            rule: i,
+                            value: vf,
+                            threshold: rule.threshold,
+                            burn_fast: st.burn_fast,
+                            burn_slow: st.burn_slow,
+                        });
+                    }
+                }
+            } else if fast.is_some() && st.burn_fast < 1.0 {
+                st.breached = false;
+                st.recoveries += 1;
+                out.push(SloTransition::Recover {
+                    rule: i,
+                    burn_fast: st.burn_fast,
+                });
+            }
+        }
+        out
+    }
+
+    /// Current verdict per rule, in rule order.
+    pub fn statuses(&self) -> Vec<SloStatus> {
+        self.rules
+            .iter()
+            .zip(&self.states)
+            .map(|(r, s)| SloStatus {
+                id: r.id.clone(),
+                breached: s.breached,
+                burn_fast: s.burn_fast,
+                burn_slow: s.burn_slow,
+                breaches: s.breaches,
+                recoveries: s.recoveries,
+            })
+            .collect()
+    }
+
+    /// True while any rule is in breach.
+    pub fn any_breached(&self) -> bool {
+        self.states.iter().any(|s| s.breached)
+    }
+
+    /// Total Ok→Breach transitions across all rules.
+    pub fn total_breaches(&self) -> u64 {
+        self.states.iter().map(|s| s.breaches).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tsdb::{RollupSpec, SeriesKind, Tsdb, TsdbConfig};
+    use crate::LatencyHistogram;
+
+    fn tsdb() -> Tsdb {
+        Tsdb::new(&TsdbConfig::with_resolutions(vec![RollupSpec {
+            bucket_ns: SEC,
+            len: 64,
+        }]))
+    }
+
+    #[test]
+    fn quantile_rule_breaches_and_recovers_on_fast_window() {
+        let mut t = tsdb();
+        let rule =
+            SloRule::quantile_below("p99", "lat", 0.99, 100_000).with_windows_ms(3_000, 10_000);
+        let mut eng = SloEngine::new(vec![rule]);
+        // Healthy traffic: 1 µs decisions.
+        let mut cum = LatencyHistogram::new();
+        for s in 1..=3u64 {
+            for _ in 0..50 {
+                cum.record_ns(1_000);
+            }
+            t.record_histogram(s * SEC, "lat", &[], &cum);
+        }
+        assert!(eng.evaluate(&t, 3 * SEC).is_empty());
+        assert!(!eng.any_breached());
+        // Then a slow second: 1 ms decisions dominate the fast window.
+        for s in 4..=6u64 {
+            for _ in 0..500 {
+                cum.record_ns(1_000_000);
+            }
+            t.record_histogram(s * SEC, "lat", &[], &cum);
+        }
+        let trans = eng.evaluate(&t, 6 * SEC);
+        assert_eq!(trans.len(), 1);
+        match trans[0] {
+            SloTransition::Breach {
+                rule,
+                burn_fast,
+                burn_slow,
+                ..
+            } => {
+                assert_eq!(rule, 0);
+                assert!(burn_fast >= 1.0 && burn_slow >= 1.0);
+            }
+            _ => panic!("expected breach"),
+        }
+        assert!(eng.any_breached());
+        assert_eq!(eng.total_breaches(), 1);
+        // No new data in the fast window -> still breached (no verdict).
+        assert!(eng.evaluate(&t, 30 * SEC).is_empty());
+        assert!(eng.any_breached());
+        // Fresh fast traffic recovers it.
+        for s in 31..=34u64 {
+            for _ in 0..5_000 {
+                cum.record_ns(1_000);
+            }
+            t.record_histogram(s * SEC, "lat", &[], &cum);
+        }
+        let trans = eng.evaluate(&t, 34 * SEC);
+        assert!(matches!(trans[0], SloTransition::Recover { rule: 0, .. }));
+        assert!(!eng.any_breached());
+        let st = &eng.statuses()[0];
+        assert_eq!((st.breaches, st.recoveries), (1, 1));
+        assert!(st.burn_fast < 1.0);
+    }
+
+    #[test]
+    fn ratio_rule_needs_denominator_and_slow_window() {
+        let mut t = tsdb();
+        let rule =
+            SloRule::ratio_below("shed", "sheds", "decisions", 0.01).with_windows_ms(2_000, 8_000);
+        let mut eng = SloEngine::new(vec![rule]);
+        // No data at all: no verdict.
+        assert!(eng.evaluate(&t, SEC).is_empty());
+        // 5% shed rate sustained over both windows.
+        for s in 0..=8u64 {
+            t.record_scalar(
+                s * SEC,
+                "decisions",
+                &[],
+                SeriesKind::Counter,
+                (s * 100) as f64,
+            );
+            t.record_scalar(s * SEC, "sheds", &[], SeriesKind::Counter, (s * 5) as f64);
+        }
+        let trans = eng.evaluate(&t, 8 * SEC);
+        assert_eq!(trans.len(), 1);
+        match trans[0] {
+            SloTransition::Breach {
+                value, threshold, ..
+            } => {
+                assert!((value - 0.05).abs() < 1e-9, "value {value}");
+                assert!((threshold - 0.01).abs() < 1e-12);
+            }
+            _ => panic!("expected breach"),
+        }
+        let st = &eng.statuses()[0];
+        assert!(st.breached && st.burn_fast >= 1.0);
+    }
+
+    #[test]
+    fn gauge_rule_uses_window_max_and_burn_gauge_reports_ratio() {
+        let mut t = tsdb();
+        let rule = SloRule::gauge_below("drift", "pending", 4.0).with_windows_ms(2_000, 4_000);
+        let mut eng = SloEngine::new(vec![rule]);
+        for s in 0..=4u64 {
+            t.record_scalar(s * SEC, "pending", &[], SeriesKind::Gauge, 2.0);
+        }
+        assert!(eng.evaluate(&t, 4 * SEC).is_empty());
+        assert!((eng.statuses()[0].burn_fast - 0.5).abs() < 1e-12);
+        t.record_scalar(5 * SEC, "pending", &[], SeriesKind::Gauge, 8.0);
+        let trans = eng.evaluate(&t, 5 * SEC);
+        assert_eq!(trans.len(), 1);
+        assert!(eng.statuses()[0].burn_fast >= 2.0 - 1e-12);
+        assert!(matches!(trans[0], SloTransition::Breach { .. }));
+    }
+
+    #[test]
+    fn default_rules_cover_the_issue_objectives() {
+        let rules = default_rules();
+        let ids: Vec<&str> = rules.iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(ids, ["decision_p99", "shed_ratio", "drift_pending"]);
+        assert!(rules.iter().all(|r| r.fast_window_ns == 60 * SEC));
+        assert!(rules.iter().all(|r| r.slow_window_ns == 1_800 * SEC));
+    }
+}

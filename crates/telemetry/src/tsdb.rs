@@ -1,0 +1,894 @@
+//! Fixed-memory in-process time-series store.
+//!
+//! The registry ([`crate::registry`]) answers "what is the value *now*";
+//! this module answers "what was it over the last N seconds" without any
+//! external storage. Every series owns one ring of rollup buckets per
+//! configured resolution (default 1 s × 120 / 10 s × 180 / 60 s × 240), so
+//! memory is fixed at construction shape and old data falls off the back
+//! of each ring independently — a fine-grained recent view plus coarse
+//! long-horizon trends, exactly the two things the SLO burn-rate engine
+//! ([`crate::slo`]) and the elastic-lifecycle trend policy consume.
+//!
+//! Each scalar bucket keeps `sum / count / min / max`, so windowed rates
+//! and averages recompute exactly from the retained buckets (for a
+//! monotone counter the windowed delta is `max − min`). Histogram series
+//! bucket *deltas* of the mergeable [`LatencyHistogram`], so windowed
+//! quantiles come from folding the buckets in range and asking the merged
+//! histogram — never from averaging per-bucket quantiles.
+//!
+//! Feeding is a *sweep*: [`Tsdb::sweep`] walks a [`RegistrySnapshot`] and
+//! records every sample. The engine runs sweeps on the drain-worker
+//! harvest quantum, off the decision seat; nothing here is touched on the
+//! request hot path.
+
+use crate::registry::RegistrySnapshot;
+use crate::LatencyHistogram;
+
+/// One rollup resolution: buckets of `bucket_ns` width, `len` of them
+/// retained (ring).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RollupSpec {
+    /// Bucket width in nanoseconds.
+    pub bucket_ns: u64,
+    /// Buckets retained before the ring wraps.
+    pub len: usize,
+}
+
+impl RollupSpec {
+    /// A resolution of `len` buckets of `bucket_ms` milliseconds each.
+    pub fn from_ms(bucket_ms: u64, len: usize) -> Self {
+        RollupSpec {
+            bucket_ns: bucket_ms.max(1) * 1_000_000,
+            len: len.max(1),
+        }
+    }
+
+    /// Total span the ring covers.
+    pub fn span_ns(&self) -> u64 {
+        self.bucket_ns.saturating_mul(self.len as u64)
+    }
+}
+
+/// Store shape: the rollup resolutions, finest first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TsdbConfig {
+    /// Rollup resolutions, finest first. Clamped to at least one entry.
+    pub resolutions: Vec<RollupSpec>,
+}
+
+impl Default for TsdbConfig {
+    /// 1 s × 120 (two fine minutes), 10 s × 180 (half an hour), 60 s × 240
+    /// (four hours).
+    fn default() -> Self {
+        TsdbConfig {
+            resolutions: vec![
+                RollupSpec::from_ms(1_000, 120),
+                RollupSpec::from_ms(10_000, 180),
+                RollupSpec::from_ms(60_000, 240),
+            ],
+        }
+    }
+}
+
+impl TsdbConfig {
+    /// A store with explicit resolutions (finest first).
+    pub fn with_resolutions(resolutions: Vec<RollupSpec>) -> Self {
+        TsdbConfig { resolutions }
+    }
+
+    fn normalized(&self) -> Vec<RollupSpec> {
+        let mut r = self.resolutions.clone();
+        if r.is_empty() {
+            r = TsdbConfig::default().resolutions;
+        }
+        r.sort_by_key(|s| s.bucket_ns);
+        r
+    }
+}
+
+/// One rollup bucket of a scalar series: enough to recompute windowed
+/// sums, averages, extrema, and (for monotone counters) exact deltas.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rollup {
+    /// Sum of the samples that landed in the bucket.
+    pub sum: f64,
+    /// Number of samples.
+    pub count: u64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Rollup {
+    /// The empty bucket (identity of [`Rollup::merge`]).
+    pub const EMPTY: Rollup = Rollup {
+        sum: 0.0,
+        count: 0,
+        min: f64::INFINITY,
+        max: f64::NEG_INFINITY,
+    };
+
+    /// Folds one sample in.
+    pub fn observe(&mut self, v: f64) {
+        self.sum += v;
+        self.count += 1;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Folds another rollup in (associative with `observe` up to
+    /// floating-point summation order).
+    pub fn merge(&mut self, other: &Rollup) {
+        self.sum += other.sum;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Mean of the folded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// What a bucket holds: scalars fold into [`Rollup`], histogram series
+/// fold into [`LatencyHistogram`] deltas. Private — the two impls below
+/// are the whole universe.
+trait Fold: Clone {
+    type Sample: ?Sized;
+    fn empty() -> Self;
+    fn is_unobserved(&self) -> bool;
+    fn absorb(&mut self, sample: &Self::Sample);
+}
+
+impl Fold for Rollup {
+    type Sample = f64;
+    fn empty() -> Self {
+        Rollup::EMPTY
+    }
+    fn is_unobserved(&self) -> bool {
+        self.count == 0
+    }
+    fn absorb(&mut self, sample: &f64) {
+        self.observe(*sample);
+    }
+}
+
+impl Fold for LatencyHistogram {
+    type Sample = LatencyHistogram;
+    fn empty() -> Self {
+        LatencyHistogram::new()
+    }
+    fn is_unobserved(&self) -> bool {
+        self.is_empty()
+    }
+    fn absorb(&mut self, sample: &LatencyHistogram) {
+        *self += sample.clone();
+    }
+}
+
+/// One resolution's ring of buckets. Bucket `b` covers
+/// `[b * bucket_ns, (b + 1) * bucket_ns)`; the ring retains the newest
+/// `len` bucket indices, clearing skipped slots on advance so sparse
+/// series leave genuine gaps rather than stale data.
+#[derive(Debug, Clone)]
+struct Ring<F: Fold> {
+    bucket_ns: u64,
+    slots: Vec<F>,
+    /// Bucket index of the newest slot; `None` before the first sample.
+    head: Option<u64>,
+}
+
+impl<F: Fold> Ring<F> {
+    fn new(spec: RollupSpec) -> Self {
+        Ring {
+            bucket_ns: spec.bucket_ns.max(1),
+            slots: vec![F::empty(); spec.len.max(1)],
+            head: None,
+        }
+    }
+
+    fn slot_mut(&mut self, bucket: u64) -> &mut F {
+        let i = (bucket % self.slots.len() as u64) as usize;
+        &mut self.slots[i]
+    }
+
+    fn observe(&mut self, t_ns: u64, sample: &F::Sample) {
+        let idx = t_ns / self.bucket_ns;
+        let len = self.slots.len() as u64;
+        match self.head {
+            None => {
+                self.head = Some(idx);
+                let s = self.slot_mut(idx);
+                *s = F::empty();
+                s.absorb(sample);
+            }
+            Some(h) if idx == h => self.slot_mut(idx).absorb(sample),
+            Some(h) if idx > h => {
+                // Advance, clearing every skipped slot (bounded by len).
+                let clear_from = if idx - h >= len { idx + 1 - len } else { h + 1 };
+                for b in clear_from..=idx {
+                    *self.slot_mut(b) = F::empty();
+                }
+                self.head = Some(idx);
+                self.slot_mut(idx).absorb(sample);
+            }
+            Some(h) => {
+                // Late sample: fold into its (still retained) bucket, or
+                // drop it if the ring has already wrapped past it.
+                if h - idx < len {
+                    self.slot_mut(idx).absorb(sample);
+                }
+            }
+        }
+    }
+
+    /// Occupied buckets overlapping `[from_ns, to_ns]`, oldest first, as
+    /// `(bucket_start_ns, fold)`.
+    fn window(&self, from_ns: u64, to_ns: u64) -> Vec<(u64, &F)> {
+        let Some(h) = self.head else {
+            return Vec::new();
+        };
+        let len = self.slots.len() as u64;
+        let oldest = h.saturating_sub(len - 1);
+        let mut out = Vec::new();
+        for b in oldest..=h {
+            let start = b * self.bucket_ns;
+            if start.saturating_add(self.bucket_ns) <= from_ns || start > to_ns {
+                continue;
+            }
+            let f = &self.slots[(b % len) as usize];
+            if !f.is_unobserved() {
+                out.push((start, f));
+            }
+        }
+        out
+    }
+}
+
+/// Whether a scalar series carries a monotone counter or an instantaneous
+/// gauge reading — windowed queries treat the two differently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeriesKind {
+    /// Monotone cumulative value; windowed delta is `max − min`.
+    Counter,
+    /// Instantaneous reading; windowed view is `mean`/`min`/`max`.
+    Gauge,
+}
+
+#[derive(Debug, Clone)]
+struct ScalarSeries {
+    name: String,
+    labels: Vec<(String, String)>,
+    kind: SeriesKind,
+    rings: Vec<Ring<Rollup>>,
+}
+
+#[derive(Debug, Clone)]
+struct HistSeries {
+    name: String,
+    labels: Vec<(String, String)>,
+    rings: Vec<Ring<LatencyHistogram>>,
+    /// Last swept cumulative histogram, so each sweep buckets only the
+    /// delta since the previous one.
+    prev: LatencyHistogram,
+}
+
+/// Cumulative-histogram delta since `prev`. A shrink in any bucket means
+/// the source was reset (shard recovered from a checkpoint rebuild); the
+/// whole current histogram then counts as the delta.
+fn hist_delta(prev: &LatencyHistogram, cur: &LatencyHistogram) -> LatencyHistogram {
+    let pb = prev.buckets();
+    let cb = cur.buckets();
+    if cur.count() < prev.count() || cb.iter().zip(pb).any(|(c, p)| c < p) {
+        return cur.clone();
+    }
+    let buckets: Vec<u64> = cb
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| c - pb.get(i).copied().unwrap_or(0))
+        .collect();
+    // The delta's max is not recoverable from cumulative state; the
+    // cumulative max is a safe upper bound for the quantile cap.
+    LatencyHistogram::from_parts(
+        buckets,
+        cur.sum_ns().saturating_sub(prev.sum_ns()),
+        cur.max_ns(),
+    )
+}
+
+/// The store: every observed series keyed by `(name, labels)`, each
+/// holding one ring per configured resolution. Single-owner like
+/// [`crate::registry::Registry`] — the engine wraps it in a mutex touched
+/// only by drain workers and scrape-time readers.
+#[derive(Debug, Clone)]
+pub struct Tsdb {
+    spec: Vec<RollupSpec>,
+    scalars: Vec<ScalarSeries>,
+    hists: Vec<HistSeries>,
+    last_t_ns: u64,
+}
+
+fn labels_match(have: &[(String, String)], want: &[(&str, &str)]) -> bool {
+    have.len() == want.len()
+        && have
+            .iter()
+            .zip(want)
+            .all(|((hk, hv), (wk, wv))| hk == wk && hv == wv)
+}
+
+impl Tsdb {
+    /// An empty store with the configured resolutions.
+    pub fn new(cfg: &TsdbConfig) -> Self {
+        Tsdb {
+            spec: cfg.normalized(),
+            scalars: Vec::new(),
+            hists: Vec::new(),
+            last_t_ns: 0,
+        }
+    }
+
+    /// The configured resolutions, finest first.
+    pub fn resolutions(&self) -> &[RollupSpec] {
+        &self.spec
+    }
+
+    /// Timestamp of the most recent record (ns since the engine epoch).
+    pub fn last_t_ns(&self) -> u64 {
+        self.last_t_ns
+    }
+
+    /// Number of distinct series observed so far.
+    pub fn series_count(&self) -> usize {
+        self.scalars.len() + self.hists.len()
+    }
+
+    fn scalar_series_mut(
+        &mut self,
+        name: &str,
+        labels: &[(String, String)],
+        kind: SeriesKind,
+    ) -> &mut ScalarSeries {
+        if let Some(i) = self
+            .scalars
+            .iter()
+            .position(|s| s.name == name && s.labels == labels)
+        {
+            return &mut self.scalars[i];
+        }
+        let rings = self.spec.iter().map(|&r| Ring::new(r)).collect();
+        self.scalars.push(ScalarSeries {
+            name: name.to_string(),
+            labels: labels.to_vec(),
+            kind,
+            rings,
+        });
+        self.scalars.last_mut().expect("just pushed")
+    }
+
+    /// Records one scalar sample at `t_ns` into every resolution of the
+    /// `(name, labels)` series, creating the series on first sight.
+    pub fn record_scalar(
+        &mut self,
+        t_ns: u64,
+        name: &str,
+        labels: &[(String, String)],
+        kind: SeriesKind,
+        v: f64,
+    ) {
+        self.last_t_ns = self.last_t_ns.max(t_ns);
+        let series = self.scalar_series_mut(name, labels, kind);
+        for ring in &mut series.rings {
+            ring.observe(t_ns, &v);
+        }
+    }
+
+    /// Records a *cumulative* histogram at `t_ns`: the delta against the
+    /// previous sweep of the same series is folded into every resolution.
+    pub fn record_histogram(
+        &mut self,
+        t_ns: u64,
+        name: &str,
+        labels: &[(String, String)],
+        cumulative: &LatencyHistogram,
+    ) {
+        self.last_t_ns = self.last_t_ns.max(t_ns);
+        let spec = &self.spec;
+        let series = match self
+            .hists
+            .iter()
+            .position(|s| s.name == name && s.labels == labels)
+        {
+            Some(i) => &mut self.hists[i],
+            None => {
+                let rings = spec.iter().map(|&r| Ring::new(r)).collect();
+                self.hists.push(HistSeries {
+                    name: name.to_string(),
+                    labels: labels.to_vec(),
+                    rings,
+                    prev: LatencyHistogram::new(),
+                });
+                self.hists.last_mut().expect("just pushed")
+            }
+        };
+        let delta = hist_delta(&series.prev, cumulative);
+        series.prev = cumulative.clone();
+        if delta.is_empty() {
+            return;
+        }
+        for ring in &mut series.rings {
+            ring.observe(t_ns, &delta);
+        }
+    }
+
+    /// Sweeps a whole registry snapshot at `t_ns`: counters and gauges as
+    /// scalar samples, histograms as cumulative deltas. `shard` stamps a
+    /// `shard` label onto every series so per-shard sweeps stay distinct.
+    pub fn sweep(&mut self, t_ns: u64, snap: &RegistrySnapshot, shard: Option<usize>) {
+        let stamp = |labels: &[(String, String)]| -> Vec<(String, String)> {
+            let mut l = labels.to_vec();
+            if let Some(s) = shard {
+                l.push(("shard".to_string(), s.to_string()));
+            }
+            l
+        };
+        for s in &snap.counters {
+            self.record_scalar(
+                t_ns,
+                &s.name,
+                &stamp(&s.labels),
+                SeriesKind::Counter,
+                s.value as f64,
+            );
+        }
+        for s in &snap.gauges {
+            self.record_scalar(t_ns, &s.name, &stamp(&s.labels), SeriesKind::Gauge, s.value);
+        }
+        for s in &snap.histograms {
+            self.record_histogram(t_ns, &s.name, &stamp(&s.labels), &s.value);
+        }
+    }
+
+    /// The finest ring index whose span covers `window_ns` (falls back to
+    /// the coarsest).
+    fn resolution_for(&self, window_ns: u64) -> usize {
+        self.spec
+            .iter()
+            .position(|r| r.span_ns() >= window_ns)
+            .unwrap_or(self.spec.len() - 1)
+    }
+
+    /// Merged rollup over every scalar series named `name` (any labels)
+    /// within the last `window_ns` before `now_ns`. `None` when no bucket
+    /// in range holds data.
+    pub fn aggregate(&self, name: &str, window_ns: u64, now_ns: u64) -> Option<Rollup> {
+        let res = self.resolution_for(window_ns);
+        let from = now_ns.saturating_sub(window_ns);
+        let mut out: Option<Rollup> = None;
+        for s in self.scalars.iter().filter(|s| s.name == name) {
+            for (_, r) in s.rings[res].window(from, now_ns) {
+                out.get_or_insert(Rollup::EMPTY).merge(r);
+            }
+        }
+        out
+    }
+
+    /// [`Tsdb::aggregate`] restricted to one exact label set.
+    pub fn aggregate_labeled(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        window_ns: u64,
+        now_ns: u64,
+    ) -> Option<Rollup> {
+        let res = self.resolution_for(window_ns);
+        let from = now_ns.saturating_sub(window_ns);
+        let s = self
+            .scalars
+            .iter()
+            .find(|s| s.name == name && labels_match(&s.labels, labels))?;
+        let mut out: Option<Rollup> = None;
+        for (_, r) in s.rings[res].window(from, now_ns) {
+            out.get_or_insert(Rollup::EMPTY).merge(r);
+        }
+        out
+    }
+
+    /// Windowed delta of a monotone counter family: per-series
+    /// `last-bucket max − first-bucket min` (clamped at 0 across resets),
+    /// summed over every series named `name`. `None` when no series has
+    /// data in the window.
+    pub fn counter_delta(&self, name: &str, window_ns: u64, now_ns: u64) -> Option<f64> {
+        let res = self.resolution_for(window_ns);
+        let from = now_ns.saturating_sub(window_ns);
+        let mut total: Option<f64> = None;
+        for s in self
+            .scalars
+            .iter()
+            .filter(|s| s.name == name && s.kind == SeriesKind::Counter)
+        {
+            let buckets = s.rings[res].window(from, now_ns);
+            if let (Some((_, first)), Some((_, last))) = (buckets.first(), buckets.last()) {
+                *total.get_or_insert(0.0) += (last.max - first.min).max(0.0);
+            }
+        }
+        total
+    }
+
+    /// Folded histogram over every series named `name` within the window.
+    pub fn window_histogram(
+        &self,
+        name: &str,
+        window_ns: u64,
+        now_ns: u64,
+    ) -> Option<LatencyHistogram> {
+        let res = self.resolution_for(window_ns);
+        let from = now_ns.saturating_sub(window_ns);
+        let mut out: Option<LatencyHistogram> = None;
+        for s in self.hists.iter().filter(|s| s.name == name) {
+            for (_, h) in s.rings[res].window(from, now_ns) {
+                *out.get_or_insert_with(LatencyHistogram::new) += h.clone();
+            }
+        }
+        out
+    }
+
+    /// Windowed quantile of a histogram family: fold the buckets in range,
+    /// then ask the merged histogram — never an average of per-bucket
+    /// quantiles.
+    pub fn quantile_ns(&self, name: &str, q: f64, window_ns: u64, now_ns: u64) -> Option<u64> {
+        self.window_histogram(name, window_ns, now_ns)
+            .filter(|h| !h.is_empty())
+            .map(|h| h.quantile_ns(q))
+    }
+
+    /// Trend of a gauge series: per-second change of the bucket means
+    /// between the first and last occupied bucket in the window, always
+    /// at the *finest* resolution (a trend needs granularity; if the fine
+    /// ring is shorter than the window, the slope covers its newest
+    /// span). `None` with fewer than two occupied buckets.
+    pub fn slope_per_sec(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        window_ns: u64,
+        now_ns: u64,
+    ) -> Option<f64> {
+        let res = 0;
+        let from = now_ns.saturating_sub(window_ns);
+        let s = self
+            .scalars
+            .iter()
+            .find(|s| s.name == name && labels_match(&s.labels, labels))?;
+        let buckets = s.rings[res].window(from, now_ns);
+        let (t0, first) = buckets.first()?;
+        let (t1, last) = buckets.last()?;
+        if t1 <= t0 {
+            return None;
+        }
+        Some((last.mean() - first.mean()) / ((t1 - t0) as f64 / 1e9))
+    }
+
+    /// Occupied buckets of one scalar series at one resolution, oldest
+    /// first (tests and the flight-recorder excerpt).
+    pub fn scalar_buckets(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        resolution: usize,
+        from_ns: u64,
+        to_ns: u64,
+    ) -> Vec<(u64, Rollup)> {
+        self.scalars
+            .iter()
+            .find(|s| s.name == name && labels_match(&s.labels, labels))
+            .map(|s| {
+                s.rings[resolution]
+                    .window(from_ns, to_ns)
+                    .into_iter()
+                    .map(|(t, r)| (t, *r))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Occupied buckets of one histogram series at one resolution, oldest
+    /// first.
+    pub fn histogram_buckets(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        resolution: usize,
+        from_ns: u64,
+        to_ns: u64,
+    ) -> Vec<(u64, LatencyHistogram)> {
+        self.hists
+            .iter()
+            .find(|s| s.name == name && labels_match(&s.labels, labels))
+            .map(|s| {
+                s.rings[resolution]
+                    .window(from_ns, to_ns)
+                    .into_iter()
+                    .map(|(t, h)| (t, h.clone()))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// A JSON excerpt of every series over the last `window_ns`, at the
+    /// finest covering resolution, capped at the newest
+    /// `MAX_EXCERPT_BUCKETS` buckets per series — the "tsdb" section of a
+    /// flight-recorder dump.
+    pub fn excerpt_json(&self, window_ns: u64, now_ns: u64) -> String {
+        const MAX_EXCERPT_BUCKETS: usize = 32;
+        let res = self.resolution_for(window_ns);
+        let from = now_ns.saturating_sub(window_ns);
+        let series_key = |name: &str, labels: &[(String, String)]| {
+            let mut key = name.to_string();
+            if !labels.is_empty() {
+                key.push('{');
+                for (i, (k, v)) in labels.iter().enumerate() {
+                    if i > 0 {
+                        key.push(',');
+                    }
+                    key.push_str(&format!("{k}=\"{v}\""));
+                }
+                key.push('}');
+            }
+            key
+        };
+        let mut parts: Vec<String> = Vec::new();
+        for s in &self.scalars {
+            let buckets = s.rings[res].window(from, now_ns);
+            if buckets.is_empty() {
+                continue;
+            }
+            let tail = &buckets[buckets.len().saturating_sub(MAX_EXCERPT_BUCKETS)..];
+            let rows: Vec<String> = tail
+                .iter()
+                .map(|(t, r)| {
+                    format!(
+                        "{{\"t_ns\": {t}, \"sum\": {}, \"count\": {}, \"min\": {}, \"max\": {}}}",
+                        crate::expose::json_f64(r.sum),
+                        r.count,
+                        crate::expose::json_f64(r.min),
+                        crate::expose::json_f64(r.max),
+                    )
+                })
+                .collect();
+            parts.push(format!(
+                "{{\"series\": {}, \"kind\": \"{}\", \"buckets\": [{}]}}",
+                crate::expose::json_string(&series_key(&s.name, &s.labels)),
+                match s.kind {
+                    SeriesKind::Counter => "counter",
+                    SeriesKind::Gauge => "gauge",
+                },
+                rows.join(", ")
+            ));
+        }
+        for s in &self.hists {
+            let buckets = s.rings[res].window(from, now_ns);
+            if buckets.is_empty() {
+                continue;
+            }
+            let tail = &buckets[buckets.len().saturating_sub(MAX_EXCERPT_BUCKETS)..];
+            let rows: Vec<String> = tail
+                .iter()
+                .map(|(t, h)| {
+                    format!(
+                        "{{\"t_ns\": {t}, \"count\": {}, \"sum_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}}}",
+                        h.count(),
+                        h.sum_ns(),
+                        h.p50_ns(),
+                        h.p99_ns(),
+                    )
+                })
+                .collect();
+            parts.push(format!(
+                "{{\"series\": {}, \"kind\": \"histogram\", \"buckets\": [{}]}}",
+                crate::expose::json_string(&series_key(&s.name, &s.labels)),
+                rows.join(", ")
+            ));
+        }
+        format!("[{}]", parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{MergeMode, Registry};
+
+    const SEC: u64 = 1_000_000_000;
+
+    fn small_cfg() -> TsdbConfig {
+        TsdbConfig::with_resolutions(vec![
+            RollupSpec {
+                bucket_ns: SEC,
+                len: 8,
+            },
+            RollupSpec {
+                bucket_ns: 10 * SEC,
+                len: 6,
+            },
+        ])
+    }
+
+    #[test]
+    fn default_config_is_three_resolutions_finest_first() {
+        let t = Tsdb::new(&TsdbConfig::default());
+        assert_eq!(t.resolutions().len(), 3);
+        assert_eq!(t.resolutions()[0].bucket_ns, SEC);
+        assert_eq!(t.resolutions()[0].len, 120);
+        assert!(t.resolutions()[1].bucket_ns < t.resolutions()[2].bucket_ns);
+        assert!(Tsdb::new(&TsdbConfig::with_resolutions(Vec::new()))
+            .resolutions()
+            .len()
+            .eq(&3));
+    }
+
+    #[test]
+    fn gauge_aggregate_and_slope() {
+        let mut t = Tsdb::new(&small_cfg());
+        // Occupancy climbing 0.1 -> 0.5 over five seconds.
+        for i in 0..5u64 {
+            t.record_scalar(
+                i * SEC + SEC / 2,
+                "occ",
+                &[("shard".into(), "0".into())],
+                SeriesKind::Gauge,
+                0.1 * (i + 1) as f64,
+            );
+        }
+        let now = 5 * SEC;
+        let agg = t.aggregate("occ", 10 * SEC, now).expect("data");
+        assert_eq!(agg.count, 5);
+        assert_eq!(agg.min, 0.1);
+        assert_eq!(agg.max, 0.5);
+        assert!((agg.mean() - 0.3).abs() < 1e-12);
+        let slope = t
+            .slope_per_sec("occ", &[("shard", "0")], 10 * SEC, now)
+            .expect("slope");
+        // 0.1 per second, bucket means one second apart.
+        assert!((slope - 0.1).abs() < 1e-9, "slope {slope}");
+        // Exact-label miss.
+        assert!(t
+            .aggregate_labeled("occ", &[("shard", "1")], 10 * SEC, now)
+            .is_none());
+    }
+
+    #[test]
+    fn counter_delta_is_max_minus_min_per_series_summed() {
+        let mut t = Tsdb::new(&small_cfg());
+        for (shard, base) in [("0", 100u64), ("1", 500u64)] {
+            for i in 0..4u64 {
+                t.record_scalar(
+                    i * SEC,
+                    "decisions",
+                    &[("shard".into(), shard.into())],
+                    SeriesKind::Counter,
+                    (base + i * 10) as f64,
+                );
+            }
+        }
+        // Each series climbed 30; the fleet delta is 60.
+        assert_eq!(t.counter_delta("decisions", 10 * SEC, 3 * SEC), Some(60.0));
+        // A 2 s window ending at t=3 s spans the 110→130 climb: 20/series.
+        assert_eq!(t.counter_delta("decisions", 2 * SEC, 3 * SEC), Some(40.0));
+        assert_eq!(t.counter_delta("nope", 10 * SEC, 3 * SEC), None);
+    }
+
+    #[test]
+    fn ring_wraparound_drops_oldest_and_clears_gaps() {
+        let mut t = Tsdb::new(&small_cfg());
+        // 12 seconds of data into an 8-bucket fine ring.
+        for i in 0..12u64 {
+            t.record_scalar(i * SEC, "g", &[], SeriesKind::Gauge, i as f64);
+        }
+        let buckets = t.scalar_buckets("g", &[], 0, 0, 12 * SEC);
+        assert_eq!(buckets.len(), 8, "fine ring keeps the newest 8");
+        assert_eq!(buckets.first().unwrap().1.min, 4.0);
+        assert_eq!(buckets.last().unwrap().1.max, 11.0);
+        // The coarse ring (10 s buckets) still covers everything.
+        let coarse = t.scalar_buckets("g", &[], 1, 0, 12 * SEC);
+        assert_eq!(coarse.len(), 2);
+        assert_eq!(coarse[0].1.count, 10);
+        assert_eq!(coarse[1].1.count, 2);
+        // A sparse jump far ahead clears the whole fine ring first.
+        t.record_scalar(100 * SEC, "g", &[], SeriesKind::Gauge, 42.0);
+        let after = t.scalar_buckets("g", &[], 0, 0, 200 * SEC);
+        assert_eq!(after.len(), 1);
+        assert_eq!(after[0].1.count, 1);
+    }
+
+    #[test]
+    fn histogram_deltas_fold_to_windowed_quantiles() {
+        let mut t = Tsdb::new(&small_cfg());
+        let mut cum = LatencyHistogram::new();
+        // Second 0: fast decisions. Second 1: slow ones.
+        for _ in 0..100 {
+            cum.record_ns(1_000);
+        }
+        t.record_histogram(0, "lat", &[], &cum);
+        for _ in 0..100 {
+            cum.record_ns(1_000_000);
+        }
+        t.record_histogram(SEC, "lat", &[], &cum);
+        // Whole-window p50 sits between the two modes; the slow-second
+        // window only sees the slow mode.
+        let whole = t.window_histogram("lat", 10 * SEC, SEC).unwrap();
+        assert_eq!(whole.count(), 200);
+        let p99_slow = t.quantile_ns("lat", 0.99, 1, SEC).unwrap();
+        assert!(p99_slow > 500_000, "slow-window p99 {p99_slow}");
+        let buckets = t.histogram_buckets("lat", &[], 0, 0, 2 * SEC);
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0].1.count(), 100);
+        assert_eq!(buckets[1].1.count(), 100);
+        // Reset detection: a shrunk cumulative histogram re-baselines.
+        let mut fresh = LatencyHistogram::new();
+        fresh.record_ns(2_000);
+        t.record_histogram(2 * SEC, "lat", &[], &fresh);
+        let b2 = t.histogram_buckets("lat", &[], 0, 0, 3 * SEC);
+        assert_eq!(b2.last().unwrap().1.count(), 1);
+    }
+
+    #[test]
+    fn sweep_creates_shard_labelled_series() {
+        let mut r = Registry::new();
+        let c = r.counter("hits", "hits");
+        r.add(c, 5);
+        let g = r.gauge("depth", "depth", MergeMode::Sum);
+        r.set(g, 3.0);
+        let h = r.histogram("lat", "lat");
+        r.observe_ns(h, 1_000);
+        let snap = r.snapshot();
+        let mut t = Tsdb::new(&small_cfg());
+        t.sweep(SEC, &snap, Some(2));
+        assert_eq!(t.series_count(), 3);
+        assert_eq!(t.last_t_ns(), SEC);
+        let agg = t
+            .aggregate_labeled("depth", &[("shard", "2")], 10 * SEC, SEC)
+            .expect("swept");
+        assert_eq!(agg.max, 3.0);
+        assert!(t.quantile_ns("lat", 0.5, 10 * SEC, SEC).is_some());
+        // A second sweep with identical cumulative histograms adds no
+        // histogram delta but does add scalar samples.
+        t.sweep(2 * SEC, &snap, Some(2));
+        assert_eq!(
+            t.window_histogram("lat", 10 * SEC, 2 * SEC)
+                .unwrap()
+                .count(),
+            1
+        );
+        let agg = t
+            .aggregate_labeled("hits", &[("shard", "2")], 10 * SEC, 2 * SEC)
+            .unwrap();
+        assert_eq!(agg.count, 2);
+    }
+
+    #[test]
+    fn excerpt_json_is_balanced_and_names_series() {
+        let mut t = Tsdb::new(&small_cfg());
+        t.record_scalar(
+            SEC,
+            "occ",
+            &[("shard".into(), "0".into())],
+            SeriesKind::Gauge,
+            0.5,
+        );
+        let mut h = LatencyHistogram::new();
+        h.record_ns(5_000);
+        t.record_histogram(SEC, "lat", &[], &h);
+        let json = t.excerpt_json(10 * SEC, SEC);
+        assert!(json.contains("\"occ{shard=\\\"0\\\"}\""), "{json}");
+        assert!(json.contains("\"kind\": \"histogram\""));
+        assert!(json.contains("\"p99_ns\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}
