@@ -168,6 +168,47 @@ for row in engine_s4_p50 engine_s4_decision_p50 engine_s4_drift_deferred_shard_p
     || { echo "inline-drift BENCH_engine.json lacks latency row $row"; exit 1; }
 done
 
+# The epochal re-optimization loop end to end: the --reopt smoke drives the
+# warm-start solver bench (the binary aborts unless the warm re-solve is at
+# least 5x the cold solve), the weekday→weekend drift-shift replay (aborts
+# unless the flip commits a hot-swap, journals a typed EpochSwapped event,
+# and exports the reopt metric families on a live /metrics scrape), and the
+# swap-window decision-latency A/B (aborts unless the worker-side p99 with
+# live hot-swaps stays within 5% or 1 µs of the loop-off arm).
+echo "==> smoke: epochal re-optimization loop (--reopt)"
+BENCH_TMP_RO="$BENCH_TMP/reopt"
+mkdir -p "$BENCH_TMP_RO"
+ESHARING_BENCH_DIR="$BENCH_TMP_RO" \
+  cargo run --release -p esharing-bench --bin exp_engine -- --smoke --reopt --shards 1
+for row in reopt_cold_ms reopt_warm_ms reopt_shift_on_walk_m reopt_shift_off_walk_m \
+           reopt_epoch_swaps reopt_swap_p99_on reopt_swap_p99_off; do
+  grep -q "\"$row\"" "$BENCH_TMP_RO/BENCH_engine.json" \
+    || { echo "reopt BENCH_engine.json lacks row $row"; exit 1; }
+done
+
+# Warm-start gate on the *committed* trajectory: a stale or hand-edited
+# artifact must not hide a regression the binary would have caught — the
+# committed cold/warm rows must hold the 5x ratio, and the committed
+# swap-window p99 pair must hold the 5%-or-1-µs pause-free budget.
+awk -F'median_ns": ' '
+  /"reopt_cold_ms"/     { split($2, a, ","); cold = a[1] }
+  /"reopt_warm_ms"/     { split($2, a, ","); warm = a[1] }
+  /"reopt_swap_p99_on"/  { split($2, a, ","); on   = a[1] }
+  /"reopt_swap_p99_off"/ { split($2, a, ","); off  = a[1] }
+  END {
+    if (cold == "" || warm == "" || on == "" || off == "") {
+      print "committed BENCH_engine.json lacks the reopt rows"; exit 1
+    }
+    if (warm + 0 <= 0 || cold / warm < 5.0) {
+      printf "committed warm re-solve ratio %.2fx is below the 5x floor\n", cold / warm
+      exit 1
+    }
+    if (on > off * 1.05 && on - off > 1000) {
+      printf "committed swap-window p99 %.0f ns vs %.0f ns loop-off exceeds 5%% budget\n", on, off
+      exit 1
+    }
+  }' BENCH_engine.json
+
 # The --serve run scraped its own /metrics mid-run; the payload must carry
 # the decision, shed and KS-drift metric families end to end.
 for family in esharing_decisions_total esharing_sheds_total \

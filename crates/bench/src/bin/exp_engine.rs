@@ -76,12 +76,14 @@ use esharing_dataset::{destinations, CityConfig, SyntheticCity, TripGenerator};
 use esharing_engine::replay::{replay, ReplayConfig, ReplayReport};
 use esharing_engine::{
     http_get, DecisionPath, Engine, EngineConfig, EventKind, HealthConfig, LifecycleConfig,
-    Partition, RollupSpec, ShardMap, SloRule, TelemetryConfig, TsdbConfig,
+    Partition, ReoptConfig, RollupSpec, ShardMap, SloRule, TelemetryConfig, TsdbConfig,
 };
-use esharing_geo::{BBox, Point};
+use esharing_geo::{BBox, Grid, Point};
+use esharing_placement::offline::JmsSolverContext;
 use esharing_placement::online::DriftMode;
+use esharing_placement::PlpInstance;
 use std::path::PathBuf;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// The stream is balanced across this many grid zones; the shard counts
 /// under test must divide it for the nesting argument to hold.
@@ -90,6 +92,7 @@ const BALANCE_ZONES: usize = 8;
 struct Args {
     smoke: bool,
     serve: bool,
+    reopt: bool,
     path: DecisionPath,
     drift: DriftMode,
     requests: usize,
@@ -102,6 +105,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         smoke: false,
         serve: false,
+        reopt: false,
         path: DecisionPath::SyncShared,
         drift: DriftMode::Deferred,
         requests: 4_000,
@@ -120,6 +124,7 @@ fn parse_args() -> Args {
                 args.delay = Duration::from_micros(200);
             }
             "--serve" => args.serve = true,
+            "--reopt" => args.reopt = true,
             "--mailbox-fallback" => args.path = DecisionPath::Mailbox,
             "--inline-drift" => args.drift = DriftMode::Inline,
             "--requests" => args.requests = value("--requests").parse().expect("--requests N"),
@@ -945,6 +950,298 @@ fn scrape_and_dump(engine: &Engine) {
     }
 }
 
+/// Warm vs cold JMS re-solve at full-city instance size — the speedup
+/// claim behind the epochal re-optimization loop, measured directly on
+/// the solver. Both arms solve the *same* 250-cell city instance: cold
+/// from a fresh [`JmsSolverContext`] each repetition; warm by delta-mask
+/// repair against the previous solution with a handful of weights moved
+/// (the shape of one re-optimization pass: fixed candidate sites, small
+/// demand delta). Emits `reopt_cold_ms` / `reopt_warm_ms` and fails the
+/// run unless warm is at least 5x faster.
+fn reopt_solver_bench(emitter: &mut PerfEmitter, history: &[Point]) {
+    const REPS: usize = 9;
+    let system = SystemConfig::default();
+    let grid = Grid::new(system.grid_cell_m);
+    let mut centroids = grid.weighted_centroids(history.iter().copied());
+    centroids.sort_by_key(|c| std::cmp::Reverse(c.1));
+    centroids.truncate(system.max_candidate_cells);
+    let base = PlpInstance::from_weighted_centroids(&centroids, system.space_cost_m);
+    // The perturbed variant bumps every ~40th cell's count: same sites,
+    // same openings, a sparse weight delta under `mask`.
+    let mut bumped = centroids.clone();
+    let mut mask = Vec::new();
+    let step = bumped.len() / 6 + 1;
+    for j in (0..bumped.len()).step_by(step) {
+        bumped[j].1 += 3;
+        mask.push(j);
+    }
+    let alt = PlpInstance::from_weighted_centroids(&bumped, system.space_cost_m);
+
+    let median = |mut v: Vec<Duration>| {
+        v.sort();
+        v[v.len() / 2]
+    };
+    let mut colds = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let mut ctx = JmsSolverContext::new();
+        let t = Instant::now();
+        let solution = ctx.solve(&base);
+        colds.push(t.elapsed());
+        std::hint::black_box(solution.facility_points(&base).len());
+    }
+    let cold = median(colds);
+    let mut ctx = JmsSolverContext::new();
+    ctx.solve(&base);
+    let mut warms = Vec::with_capacity(REPS);
+    for i in 0..REPS {
+        // Alternate base/perturbed so every repetition repairs a real
+        // delta rather than hitting the unchanged-instance fast path.
+        let instance = if i % 2 == 0 { &alt } else { &base };
+        let t = Instant::now();
+        let solution = ctx.resolve(instance, &mask);
+        warms.push(t.elapsed());
+        std::hint::black_box(solution.facility_points(instance).len());
+    }
+    let warm = median(warms);
+    let ratio = cold.as_secs_f64() / warm.as_secs_f64().max(1e-12);
+    println!(
+        "reopt solver ({} candidate cells, {} weights moved): cold {:.3} ms, warm {:.3} ms \
+         ({ratio:.1}x, median of {REPS})",
+        base.len(),
+        mask.len(),
+        cold.as_secs_f64() * 1e3,
+        warm.as_secs_f64() * 1e3,
+    );
+    assert!(
+        ratio >= 5.0,
+        "warm re-solve must be at least 5x faster than cold at full-city size \
+         (cold {:?} vs warm {:?} = {ratio:.1}x)",
+        cold,
+        warm
+    );
+    emitter.record_duration("reopt_cold_ms", base.len(), cold);
+    emitter.record_duration("reopt_warm_ms", base.len(), warm);
+}
+
+/// One arm of the drift-shift comparison.
+struct ShiftOutcome {
+    served: u64,
+    walk_per_req: f64,
+    swaps: u64,
+}
+
+/// The re-optimization loop end to end on the paper's §V-C regime shift:
+/// the first half of the replay is weekday demand (commute flows into
+/// metro/office cells), the second half weekend demand (recreation and
+/// restaurant cells) — same city, flipped spatial distribution. Both
+/// arms replay the identical stream through 1-shard engines; the on-arm
+/// pumps [`Engine::reopt_tick`] every 256 submits so the loop can chase
+/// the flip, the off-arm serves on its bootstrap landmarks throughout.
+/// Asserts the flip triggers at least one hot-swap, that the swap lands
+/// in the journal as a typed [`EventKind::EpochSwapped`], and that the
+/// reopt metric families are exported on a live `/metrics` scrape; then
+/// runs the swap-window decision-latency A/B (three interleaved pairs,
+/// median worker-side decision p99 within 5% or 1 µs — a hot-swap must
+/// never pause decisions). Emits `reopt_shift_{on,off}_walk_m` (walking
+/// meters per request over the whole replay), `reopt_epoch_swaps`, and
+/// `reopt_swap_p99_{on,off}`.
+fn reopt_shift_experiment(
+    emitter: &mut PerfEmitter,
+    gen: &mut TripGenerator,
+    history: &[Point],
+    args: &Args,
+) {
+    let per_phase = (args.requests / 2).max(1_200);
+    let phase = |gen: &mut TripGenerator, days: &[u64], n: usize| {
+        let mut out = Vec::with_capacity(n);
+        for &day in days {
+            out.extend(destinations(&gen.generate_days(day, 1)));
+            if out.len() >= n {
+                break;
+            }
+        }
+        assert!(out.len() >= n, "trip generator ran dry at day {days:?}");
+        out.truncate(n);
+        out
+    };
+    // Day 0 is a Monday: 1–4 and 8–11 are weekdays, 5/6 and 12/13 the
+    // weekends that flip the spatial regime.
+    let weekday = phase(gen, &[1, 2, 3, 8, 9], per_phase);
+    let weekend = phase(gen, &[5, 6, 12, 13], per_phase);
+    let stream: Vec<Point> = weekday.iter().chain(&weekend).copied().collect();
+
+    let reopt_on = ReoptConfig {
+        enabled: true,
+        similarity_threshold: 1.0,
+        ..ReoptConfig::default()
+    };
+    let engine_for = |reopt: ReoptConfig| {
+        Engine::start(
+            history,
+            EngineConfig {
+                shards: 1,
+                partition: Partition::UniformGrid,
+                decision_path: args.path,
+                service_delay: args.delay,
+                reopt,
+                ..EngineConfig::default()
+            },
+        )
+    };
+    let run = |reopt: ReoptConfig| {
+        let engine = engine_for(reopt);
+        let loop_on = engine.landmark_table().is_some();
+        for (i, &p) in stream.iter().enumerate() {
+            engine.submit(p).expect("engine is open");
+            if loop_on && i % 256 == 255 {
+                let _ = engine.reopt_tick().expect("loop enabled");
+            }
+        }
+        let snapshot = engine.snapshot().expect("engine is running");
+        let outcome = ShiftOutcome {
+            served: snapshot.metrics.requests_served,
+            walk_per_req: snapshot.metrics.placement.walking
+                / snapshot.metrics.requests_served.max(1) as f64,
+            swaps: engine.reopt_stats().swaps_total,
+        };
+        (engine, outcome, snapshot)
+    };
+
+    let (on_engine, on, on_snapshot) = run(reopt_on.clone());
+    assert!(
+        on.swaps >= 1,
+        "the weekday→weekend flip must trigger at least one landmark hot-swap"
+    );
+    assert!(
+        on_snapshot
+            .events
+            .iter()
+            .any(|r| matches!(r.event.kind, EventKind::EpochSwapped { .. })),
+        "hot-swaps must land in the journal as typed EpochSwapped events"
+    );
+    {
+        let server = on_engine
+            .serve_telemetry("127.0.0.1:0")
+            .expect("bind reopt responder");
+        let (status, body) = http_get(server.addr(), "/metrics").expect("reopt self-scrape");
+        assert_eq!(status, 200, "reopt scrape failed: {body}");
+        for family in [
+            "esharing_epoch_swaps_total",
+            "esharing_reopt_solve_ns",
+            "esharing_reopt_solves_total",
+        ] {
+            assert!(body.contains(family), "reopt scrape lacks {family}");
+        }
+    }
+    let _ = on_engine.shutdown();
+    let (off_engine, off, _) = run(ReoptConfig::default());
+    let _ = off_engine.shutdown();
+    println!(
+        "drift-shift replay ({per_phase} weekday + {per_phase} weekend requests):\n\
+         \x20 reopt on : served {:6}, walking {:8.1} m/req, {} hot-swap(s)\n\
+         \x20 reopt off: served {:6}, walking {:8.1} m/req (bootstrap landmarks throughout)",
+        on.served, on.walk_per_req, on.swaps, off.served, off.walk_per_req,
+    );
+    emitter.record_duration(
+        "reopt_shift_on_walk_m",
+        on.walk_per_req.round() as usize,
+        Duration::ZERO,
+    );
+    emitter.record_duration(
+        "reopt_shift_off_walk_m",
+        off.walk_per_req.round() as usize,
+        Duration::ZERO,
+    );
+    emitter.record_duration("reopt_epoch_swaps", on.swaps as usize, Duration::ZERO);
+
+    // --- Swap-window p99: hot-swaps must not pause decisions. ----------
+    const TOLERANCE: f64 = 0.05;
+    const NOISE_FLOOR_NS: f64 = 1_000.0;
+    const PAIRS: usize = 5;
+    // Rate-limit the replay so it spans hundreds of milliseconds: the
+    // background loop needs real wall-clock time to prime, re-solve and
+    // commit swaps *inside* the measured window. An unpaced replay of a
+    // smoke-sized stream finishes in single-digit milliseconds — before
+    // the loop's first cold solve lands — and measures nothing.
+    let p99_rate = (stream.len() as f64 / 0.25).min(20_000.0);
+    let p99_run = |reopt: ReoptConfig| {
+        let engine = engine_for(reopt);
+        let report = replay(
+            &engine,
+            &stream,
+            &ReplayConfig {
+                clients: args.clients,
+                rate_per_s: Some(p99_rate),
+            },
+        );
+        assert_eq!(report.degraded, 0, "swap-window A/B must not shed");
+        let snapshot = engine.snapshot().expect("engine is running");
+        let swaps = engine.reopt_stats().swaps_total;
+        let _ = engine.shutdown();
+        (snapshot.fleet.latency.p99_ns() as f64, swaps)
+    };
+    // The on-arm runs the loop on its background thread at a 10 ms
+    // cadence, so re-solves and swaps land *during* the replay — the
+    // measured p99 covers live swap windows, not a quiesced engine. The
+    // cadence is deliberately not faster: on a single shared core a 2 ms
+    // loop spends a large fraction of the window inside solves, and the
+    // resulting CPU *sharing* (µs-scale preemption of the decision
+    // thread, not pausing) drowns the signal this gate is after.
+    let background = ReoptConfig {
+        interval_ms: 10,
+        ..reopt_on
+    };
+    // Scheduling interference on a shared core is one-sided — it can only
+    // ADD latency to a pair, never subtract it — so the minimum across
+    // pairs is the estimator of the uncontended p99. A real swap pause is
+    // systematic: it inflates every pair, the minimum included, so the
+    // gate still catches it; one preempted pair no longer flips the
+    // verdict the way a median over few pairs can.
+    let best_of = |v: [f64; PAIRS]| {
+        v.into_iter()
+            .min_by(|a, b| a.partial_cmp(b).expect("finite latencies"))
+            .expect("PAIRS > 0")
+    };
+    let mut ons = [0.0f64; PAIRS];
+    let mut offs = [0.0f64; PAIRS];
+    let mut swaps_seen = 0u64;
+    for i in 0..PAIRS {
+        let (p99, swaps) = p99_run(background.clone());
+        ons[i] = p99;
+        swaps_seen += swaps;
+        let (p99, _) = p99_run(ReoptConfig::default());
+        offs[i] = p99;
+    }
+    assert!(
+        swaps_seen >= 1,
+        "the swap-window A/B must commit at least one live hot-swap"
+    );
+    let (on_p99, off_p99) = (best_of(ons), best_of(offs));
+    let rel = (on_p99 - off_p99) / off_p99.max(f64::MIN_POSITIVE);
+    assert!(
+        rel <= TOLERANCE || (on_p99 - off_p99) <= NOISE_FLOOR_NS,
+        "hot-swaps paused the decision path: worker-side p99 {on_p99:.0} ns with the loop \
+         vs {off_p99:.0} ns without ({:+.1}%, {swaps_seen} swaps; budget 5% or 1 µs)",
+        100.0 * rel
+    );
+    println!(
+        "swap-window decision p99: {on_p99:.0} ns with live hot-swaps ({swaps_seen} committed) \
+         vs {off_p99:.0} ns without the loop ({:+.2}% — within the {}, best of {PAIRS} pairs)",
+        100.0 * rel,
+        if rel <= TOLERANCE {
+            "5% budget"
+        } else {
+            "1 µs clock-noise floor"
+        }
+    );
+    emitter.record_duration("reopt_swap_p99_on", 0, Duration::from_nanos(on_p99 as u64));
+    emitter.record_duration(
+        "reopt_swap_p99_off",
+        0,
+        Duration::from_nanos(off_p99 as u64),
+    );
+}
+
 fn main() {
     let args = parse_args();
     for &s in &args.shards {
@@ -1122,6 +1419,13 @@ fn main() {
         health_experiment(&mut emitter, &history, &stream, &args);
         let hot = hot_stream(&mut gen, bbox, if args.smoke { 1_500 } else { 6_000 });
         flood_experiment(&mut emitter, &history, &hot);
+        // Epochal re-optimization: always measured on full runs (the
+        // BENCH trajectory carries the warm/cold rows), opt-in under
+        // --smoke (the CI gate passes --reopt explicitly).
+        if args.reopt || !args.smoke {
+            reopt_solver_bench(&mut emitter, &history);
+            reopt_shift_experiment(&mut emitter, &mut gen, &history, &args);
+        }
     } else {
         println!(
             "mailbox fallback: skipping the health plane and elastic-lifecycle flood \

@@ -232,6 +232,39 @@ pub(crate) fn lifecycle_registry(shards_active: u64, ops: &LifecycleOps) -> Regi
     r.snapshot()
 }
 
+/// Re-optimization series for `/metrics`: the hot-swap counter plus the
+/// most recent solve duration per mode. Emitted (zeroed) even with the
+/// loop disabled, so dashboards and the CI greps see the families the
+/// moment telemetry is on.
+pub(crate) fn reopt_registry(stats: &crate::reopt::ReoptStats) -> RegistrySnapshot {
+    let mut r = Registry::new();
+    let c = r.counter(
+        "esharing_epoch_swaps_total",
+        "Landmark hot-swaps committed by the epochal re-optimization loop.",
+    );
+    r.add(c, stats.swaps_total);
+    for (mode, last_ns, solves) in [
+        ("warm", stats.last_warm_ns, stats.warm_solves),
+        ("cold", stats.last_cold_ns, stats.cold_solves),
+    ] {
+        let labels = [("mode", mode)];
+        let g = r.gauge_with(
+            "esharing_reopt_solve_ns",
+            "Duration of the most recent JMS re-solve, by solve mode.",
+            MergeMode::Sum,
+            &labels,
+        );
+        r.set(g, last_ns as f64);
+        let c = r.counter_with(
+            "esharing_reopt_solves_total",
+            "JMS re-solves completed by the re-optimization loop, by mode.",
+            &labels,
+        );
+        r.add(c, solves);
+    }
+    r.snapshot()
+}
+
 /// The journal-loss counter for `/metrics`: events overwritten in any
 /// bounded journal or the fleet log before a scrape drained them. Zero on
 /// a healthy scrape cadence — the CI smoke asserts exactly that.

@@ -29,10 +29,12 @@ use std::fmt;
 /// Format magic: "ESCK" (E-Sharing ChecKpoint).
 const MAGIC: [u8; 4] = *b"ESCK";
 /// Current format version. v2 appended the deferred-drift pending state
-/// (boundary snapshot + uncommitted verdict) to the deviation image;
-/// checkpoints are in-memory recovery sources, so no v1 buffers outlive
-/// an engine and v1 is simply rejected.
-const VERSION: u32 = 2;
+/// (boundary snapshot + uncommitted verdict) to the deviation image; v3
+/// appended the re-optimization provenance (the landmark generation this
+/// image serves and the cumulative hot-swap count). Checkpoints are
+/// in-memory recovery sources, so no older buffers outlive an engine and
+/// earlier versions are simply rejected.
+const VERSION: u32 = 3;
 
 /// A complete, serializable image of one shard's serving state.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,6 +52,13 @@ pub struct ShardCheckpoint {
     /// admitted request: WAL entries with `seq >= wal_high_water` must be
     /// replayed on recovery, earlier ones are already reflected here.
     pub wal_high_water: u64,
+    /// Re-optimization epoch of the landmark set this image serves: 0 for
+    /// bootstrap landmarks, bumped every time the maintenance loop
+    /// hot-swaps a re-solved landmark set into the shard.
+    pub reopt_epoch: u64,
+    /// Cumulative landmark hot-swaps this shard's lineage has absorbed
+    /// (summed across merges, inherited through splits and recovery).
+    pub landmark_swaps: u64,
     /// Arrival → decision latency histogram at checkpoint time.
     pub latency: LatencyHistogram,
     /// The orchestrator state image (landmarks, metrics, online
@@ -92,6 +101,8 @@ impl ShardCheckpoint {
         put_u64(&mut out, self.system_seed);
         put_u64(&mut out, self.deviation_seed);
         put_u64(&mut out, self.wal_high_water);
+        put_u64(&mut out, self.reopt_epoch);
+        put_u64(&mut out, self.landmark_swaps);
         put_histogram(&mut out, &self.latency);
         put_points(&mut out, &self.system.landmarks);
         put_metrics(&mut out, &self.system.metrics);
@@ -118,6 +129,8 @@ impl ShardCheckpoint {
         let system_seed = c.u64()?;
         let deviation_seed = c.u64()?;
         let wal_high_water = c.u64()?;
+        let reopt_epoch = c.u64()?;
+        let landmark_swaps = c.u64()?;
         let latency = c.histogram()?;
         let landmarks = c.points()?;
         let metrics = c.metrics()?;
@@ -129,6 +142,8 @@ impl ShardCheckpoint {
             system_seed,
             deviation_seed,
             wal_high_water,
+            reopt_epoch,
+            landmark_swaps,
             latency,
             system: SystemCheckpoint {
                 landmarks,
@@ -140,11 +155,15 @@ impl ShardCheckpoint {
 }
 
 /// Encodes a checkpoint of `system` at `wal_high_water`, carrying the
-/// shard's `latency` histogram. `None` until the system is bootstrapped.
+/// shard's `latency` histogram and the landmark generation it serves
+/// (`reopt_epoch` / `landmark_swaps`, both 0 for bootstrap landmarks).
+/// `None` until the system is bootstrapped.
 pub(crate) fn encode_checkpoint(
     system: &esharing_core::ESharing,
     latency: &LatencyHistogram,
     wal_high_water: u64,
+    reopt_epoch: u64,
+    landmark_swaps: u64,
 ) -> Option<Vec<u8>> {
     let image = system.checkpoint()?;
     Some(
@@ -152,6 +171,8 @@ pub(crate) fn encode_checkpoint(
             system_seed: system.config().seed,
             deviation_seed: system.config().deviation.seed,
             wal_high_water,
+            reopt_epoch,
+            landmark_swaps,
             latency: latency.clone(),
             system: image,
         }
@@ -409,6 +430,8 @@ mod tests {
             system_seed: 0xDEAD_BEEF,
             deviation_seed: 42,
             wal_high_water: 9_001,
+            reopt_epoch: 3,
+            landmark_swaps: 5,
             latency,
             system: system.checkpoint().expect("bootstrapped"),
         }
@@ -453,6 +476,8 @@ mod tests {
             system_seed: 7,
             deviation_seed: 11,
             wal_high_water: 123,
+            reopt_epoch: 0,
+            landmark_swaps: 0,
             latency: LatencyHistogram::new(),
             system: system.checkpoint().expect("bootstrapped"),
         };

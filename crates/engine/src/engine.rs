@@ -5,6 +5,7 @@ use crate::checkpoint::encode_checkpoint;
 use crate::fastpath::{DecisionViewCell, DownstreamRing, DriftSlot};
 use crate::health::{HealthConfig, HealthHandle, HealthPlane, HealthSlot};
 use crate::lifecycle::{LifecycleConfig, OpCounters, PolicyState};
+use crate::reopt::{ReoptConfig, ReoptRuntime};
 use crate::shard::{self, Command, WorkerState};
 use crate::shard_map::ShardMap;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
@@ -109,6 +110,13 @@ pub struct EngineConfig {
     /// and every fast-path decision records one unsampled flight sample.
     /// The mailbox fallback lane is health-inert (baseline comparisons).
     pub health: HealthConfig,
+    /// The epochal re-optimization loop: warm-start incremental JMS
+    /// re-solves on drift/epoch triggers, hot-swapping new landmark
+    /// sets into running shards without pausing decisions. Disabled by
+    /// default — a disabled loop keeps no state and the 1-shard
+    /// [`RequestServer`](esharing_core::server::RequestServer)
+    /// equivalence is untouched.
+    pub reopt: ReoptConfig,
     /// The per-shard system configuration. Shard `i` reseeds its
     /// stochastic components with `seed ^ i`, so shard 0 of a one-shard
     /// engine is bit-identical to a plain `ESharing` on the same config.
@@ -127,6 +135,7 @@ impl Default for EngineConfig {
             telemetry: TelemetryConfig::default(),
             lifecycle: LifecycleConfig::default(),
             health: HealthConfig::default(),
+            reopt: ReoptConfig::default(),
             system: SystemConfig::default(),
         }
     }
@@ -141,6 +150,7 @@ impl EngineConfig {
             "min shard history must be positive"
         );
         self.lifecycle.validate();
+        self.reopt.validate();
         self.system.validate();
     }
 }
@@ -288,6 +298,19 @@ pub(crate) struct ShardSlot {
     pub(crate) checkpoint: Mutex<Option<Vec<u8>>>,
     /// WAL sequence covered by the stored checkpoint.
     pub(crate) wal_high_water: AtomicU64,
+    /// Re-optimization epoch of the landmark set this slot serves
+    /// (0 = the bootstrap solution; bumped by every epochal hot-swap).
+    /// Carried into checkpoints (v3) so recovery restores provenance.
+    pub(crate) reopt_epoch: AtomicU64,
+    /// Lifetime landmark hot-swaps applied to this zone.
+    pub(crate) landmark_swaps: AtomicU64,
+    /// Demand mass (number of historical arrivals) the zone's landmark
+    /// set was planned against. The epochal re-optimizer normalizes its
+    /// windowed re-solve instances to this mass so a KS-window-sized
+    /// sample plans facilities at the same demand scale the bootstrap
+    /// did, instead of opening a fraction of the landmarks because the
+    /// window holds a fraction of the arrivals.
+    pub(crate) bootstrap_mass: u64,
     /// The shard's worker thread (drain worker on the fast path, mailbox
     /// worker on the fallback); `None` on dead slots and after shutdown.
     pub(crate) worker: Mutex<Option<WorkerHandle>>,
@@ -364,6 +387,14 @@ pub(crate) struct EngineShared {
     /// The fleet health plane (tsdb + SLO engine + flight recorder),
     /// present when [`HealthConfig::enabled`] is set.
     pub(crate) health: Option<Arc<HealthPlane>>,
+    /// The epochal re-optimization loop's shared state, present when
+    /// [`ReoptConfig::enabled`] is set.
+    pub(crate) reopt: Option<Arc<ReoptRuntime>>,
+    /// The background maintenance thread, present when the loop runs
+    /// on a cadence ([`ReoptConfig::interval_ms`] > 0). Joined (before
+    /// the gate is taken — the thread takes the gate itself) at
+    /// shutdown and drop.
+    pub(crate) reopt_worker: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl EngineShared {
@@ -427,8 +458,13 @@ impl EngineShared {
         let arrival = Instant::now();
         let t_ring = traced.then(Instant::now);
         if let Err(occupancy) = ring.try_claim(elapsed_ns(self.epoch)) {
-            // Shed before touching the seat: a degraded request must
-            // leave the shard's online state untouched.
+            // Shed before touching the shard's online state — but check
+            // the seat's moved flag first: a full ring on a slot retired
+            // by a lifecycle swap must bounce to the new table, never
+            // hand out a fallback from the retired zone's landmarks.
+            if seat.lock().expect("seat not poisoned").moved {
+                return Ok(FastServe::Moved);
+            }
             self.note_shed(slot, 1, occupancy);
             if let Some(plane) = &self.health {
                 plane.flights().record(FlightSample {
@@ -642,13 +678,20 @@ impl EngineShared {
             }
             let slot = &table.shards[shard];
             match &slot.lane {
-                ShardLane::Fast { ring, .. } => {
+                ShardLane::Fast { ring, seat, .. } => {
                     // Claim the whole sub-batch's downstream slots as one
                     // unit — a full ring sheds the entire group, matching
                     // the mailbox path's whole-sub-batch shed.
                     match ring.try_claim_batch(group.len() as u64, elapsed_ns(self.epoch)) {
                         Ok(()) => inline.push((shard, group)),
                         Err(occupancy) => {
+                            // Same moved-seat bounce as `serve_fast`: a
+                            // retired slot's landmarks must never back a
+                            // degraded fallback.
+                            if seat.lock().expect("seat not poisoned").moved {
+                                resubmit.extend(group);
+                                continue;
+                            }
                             self.note_shed(slot, group.len() as u64, occupancy);
                             if let Some(plane) = &self.health {
                                 let t_ns = elapsed_ns(self.epoch);
@@ -1019,6 +1062,9 @@ impl EngineShared {
                     ));
                 snap.registry
                     .merge_from(&crate::aggregate::journal_registry(snap.events_dropped));
+                let reopt_stats = self.reopt.as_ref().map(|r| r.stats()).unwrap_or_default();
+                snap.registry
+                    .merge_from(&crate::aggregate::reopt_registry(&reopt_stats));
                 if let Some(h) = &self.health {
                     snap.registry.merge_from(&h.burn_registry());
                 }
@@ -1094,6 +1140,9 @@ pub(crate) struct SlotSpec {
     pub(crate) wal: Option<Arc<Mutex<EventJournal>>>,
     pub(crate) checkpoint: Option<Vec<u8>>,
     pub(crate) wal_high_water: u64,
+    pub(crate) reopt_epoch: u64,
+    pub(crate) landmark_swaps: u64,
+    pub(crate) bootstrap_mass: u64,
 }
 
 /// Builds a live slot for `spec` per the configured decision path,
@@ -1174,6 +1223,9 @@ pub(crate) fn spawn_slot(
         wal: spec.wal,
         checkpoint: Mutex::new(spec.checkpoint),
         wal_high_water: AtomicU64::new(spec.wal_high_water),
+        reopt_epoch: AtomicU64::new(spec.reopt_epoch),
+        landmark_swaps: AtomicU64::new(spec.landmark_swaps),
+        bootstrap_mass: spec.bootstrap_mass,
         worker: Mutex::new(Some(worker)),
     })
 }
@@ -1213,6 +1265,7 @@ impl Engine {
             system_cfg.seed ^= i as u64;
             system_cfg.deviation.seed ^= i as u64;
             let mut system = ESharing::new(system_cfg);
+            let bootstrap_mass = part.len() as u64;
             system.bootstrap(&part);
             let landmarks = system.landmarks().to_vec();
             // With the lifecycle enabled every shard starts durable: a
@@ -1223,7 +1276,7 @@ impl Engine {
                     cfg.lifecycle.wal_capacity,
                     epoch,
                 )));
-                let initial = encode_checkpoint(&system, &LatencyHistogram::new(), 0);
+                let initial = encode_checkpoint(&system, &LatencyHistogram::new(), 0, 0, 0);
                 (Some(wal), initial)
             } else {
                 (None, None)
@@ -1242,12 +1295,20 @@ impl Engine {
                     wal,
                     checkpoint,
                     wal_high_water: 0,
+                    reopt_epoch: 0,
+                    landmark_swaps: 0,
+                    bootstrap_mass,
                 },
             ));
         }
         let sample_period = u64::from(cfg.telemetry.sample_period()).max(1);
+        let table = Arc::new(RouterTable { map, shards: slots });
+        let reopt = cfg
+            .reopt
+            .enabled
+            .then(|| Arc::new(ReoptRuntime::new(cfg.reopt.clone(), &table)));
         let shared = Arc::new(EngineShared {
-            table: Mutex::new(Arc::new(RouterTable { map, shards: slots })),
+            table: Mutex::new(table),
             closed: AtomicBool::new(false),
             telemetry_enabled: cfg.telemetry.enabled,
             sample_period,
@@ -1259,8 +1320,14 @@ impl Engine {
             gate: Mutex::new(PolicyState::default()),
             ops: OpCounters::default(),
             health,
+            reopt,
+            reopt_worker: Mutex::new(None),
             cfg,
         });
+        *shared
+            .reopt_worker
+            .lock()
+            .expect("reopt worker slot not poisoned") = crate::reopt::spawn_reopt_worker(&shared);
         Engine { shared }
     }
 
@@ -1480,6 +1547,21 @@ impl Engine {
     /// Panics if a worker thread panicked.
     pub fn shutdown(self) -> Vec<ESharing> {
         self.shared.closed.store(true, Ordering::Release);
+        // Join the re-optimization thread *before* taking the gate: a
+        // pass in flight holds (or is about to take) the gate itself,
+        // and exits at its next quantum once `closed` is visible.
+        if let Some(worker) = self
+            .shared
+            .reopt_worker
+            .lock()
+            .expect("reopt worker slot not poisoned")
+            .take()
+        {
+            worker.thread().unpark();
+            worker
+                .join()
+                .expect("reopt maintenance thread must not panic");
+        }
         // Waits for any in-flight lifecycle operation, and blocks new
         // ones (they check `closed` under this gate).
         let _gate = self.shared.gate.lock();
@@ -1519,6 +1601,19 @@ impl Engine {
 impl Drop for Engine {
     fn drop(&mut self) {
         self.shared.closed.store(true, Ordering::Release);
+        // Same ordering as `shutdown`: the maintenance thread first
+        // (it takes the gate; joining under it would deadlock), then
+        // the gate, then the workers.
+        if let Some(worker) = self
+            .shared
+            .reopt_worker
+            .lock()
+            .ok()
+            .and_then(|mut w| w.take())
+        {
+            worker.thread().unpark();
+            let _ = worker.join();
+        }
         // Hold the gate if possible (ignore poisoning — drop must not
         // panic) so no lifecycle operation races the teardown.
         let _gate = self.shared.gate.lock();
@@ -1928,5 +2023,59 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn empty_history_rejected() {
         let _ = Engine::start(&[], EngineConfig::default());
+    }
+
+    #[test]
+    fn full_ring_on_retired_slot_bounces_instead_of_shedding() {
+        // Regression: a submit racing a lifecycle swap used to shed
+        // against the *retired* slot's landmarks when its ring was full,
+        // because the ring-claim shed path ran before the moved-seat
+        // check. It must bounce to the new table instead.
+        let engine = Engine::start(
+            &clustered_history(),
+            EngineConfig {
+                shards: 1,
+                partition: Partition::UniformGrid,
+                queue_capacity: 2,
+                lifecycle: LifecycleConfig {
+                    enabled: true,
+                    ..LifecycleConfig::default()
+                },
+                ..EngineConfig::default()
+            },
+        );
+        for i in 0..64 {
+            let p = Point::new(((i * 97) % 2000) as f64, ((i * 31) % 2000) as f64);
+            engine.submit(p).unwrap();
+        }
+        // Hold the pre-swap table the way a racing submitter would, then
+        // retire the seat through the moved-seat protocol (kill uses the
+        // same handshake every lifecycle swap does).
+        let stale = engine.shared.table();
+        engine.kill_shard(0).expect("live shard kills");
+        // The retired slot's drain worker has drained and stopped; fill
+        // its ring so a straggler through the stale table takes the
+        // claim-failure path.
+        let ShardLane::Fast { ring, .. } = &stale.shards[0].lane else {
+            unreachable!("fast path engine");
+        };
+        while ring.try_claim(0).is_ok() {}
+        let shed_before = stale.shards[0].shed.load(Ordering::Relaxed);
+        let got = engine
+            .shared
+            .serve_fast(&stale.shards[0], 0, Point::new(300.0, 300.0))
+            .unwrap();
+        assert!(
+            matches!(got, FastServe::Moved),
+            "retired slot must bounce to the new table, not shed"
+        );
+        assert_eq!(stale.shards[0].shed.load(Ordering::Relaxed), shed_before);
+        // After recovery the ordinary submit path serves the same
+        // destination through the fresh table.
+        engine
+            .recover_shard(0)
+            .expect("checkpointed shard recovers");
+        let d = engine.submit(Point::new(300.0, 300.0)).unwrap();
+        assert!(!d.degraded());
     }
 }

@@ -67,6 +67,7 @@ mod engine;
 mod fastpath;
 mod health;
 pub mod lifecycle;
+pub mod reopt;
 pub mod replay;
 mod shard;
 mod shard_map;
@@ -83,5 +84,9 @@ pub use esharing_telemetry::{
 };
 pub use health::HealthConfig;
 pub use lifecycle::{LifecycleAction, LifecycleConfig, LifecycleError, LifecycleOps};
+pub use reopt::{
+    LandmarkTable, ReoptConfig, ReoptError, ReoptForecast, ReoptOutcome, ReoptStats, ReoptTrigger,
+    ZoneLandmarks,
+};
 pub use replay::{LatencySummary, ReplayConfig, ReplayReport, RequestSink, SinkOutcome};
 pub use shard_map::{Axis, ShardMap, ZoneNode};

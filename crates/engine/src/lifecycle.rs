@@ -308,7 +308,7 @@ fn partition(pts: &[Point], axis: Axis, cut: f64) -> (Vec<Point>, Vec<Point>) {
     (lo, hi)
 }
 
-fn centroid(pts: &[Point]) -> Point {
+pub(crate) fn centroid(pts: &[Point]) -> Point {
     let n = pts.len().max(1) as f64;
     let (sx, sy) = pts.iter().fold((0.0, 0.0), |(x, y), p| (x + p.x, y + p.y));
     Point::new(sx / n, sy / n)
@@ -339,7 +339,7 @@ impl EngineShared {
     /// Records a lifecycle transition in the router-side journal (the
     /// same journal shed events ride; both drain into the fleet event
     /// log on the next snapshot).
-    fn journal_lifecycle(&self, kind: EventKind) {
+    pub(crate) fn journal_lifecycle(&self, kind: EventKind) {
         if self.telemetry_enabled {
             self.shed_journal
                 .lock()
@@ -366,6 +366,9 @@ impl EngineShared {
                     .clone(),
             ),
             wal_high_water: AtomicU64::new(slot.wal_high_water.load(Ordering::Relaxed)),
+            reopt_epoch: AtomicU64::new(slot.reopt_epoch.load(Ordering::Relaxed)),
+            landmark_swaps: AtomicU64::new(slot.landmark_swaps.load(Ordering::Relaxed)),
+            bootstrap_mass: slot.bootstrap_mass,
             worker: Mutex::new(None),
         })
     }
@@ -388,8 +391,14 @@ impl EngineShared {
                     .as_ref()
                     .expect("lifecycle-enabled shards carry a WAL");
                 let high = wal.lock().expect("wal not poisoned").total_recorded();
-                let bytes = encode_checkpoint(system, &seat.latency, high)
-                    .ok_or(LifecycleError::NotBootstrapped)?;
+                let bytes = encode_checkpoint(
+                    system,
+                    &seat.latency,
+                    high,
+                    slot.reopt_epoch.load(Ordering::Relaxed),
+                    slot.landmark_swaps.load(Ordering::Relaxed),
+                )
+                .ok_or(LifecycleError::NotBootstrapped)?;
                 (bytes, high)
             }
             ShardLane::Mailbox { tx, .. } => {
@@ -519,7 +528,13 @@ impl EngineShared {
         // replay speed, not serving latency): the restored slot keeps the
         // checkpointed histogram, losing only the killed window's samples.
         // Latency telemetry is advisory; decision state is exact.
-        let fresh = encode_checkpoint(&system, &ckpt.latency, wal_head);
+        let fresh = encode_checkpoint(
+            &system,
+            &ckpt.latency,
+            wal_head,
+            ckpt.reopt_epoch,
+            ckpt.landmark_swaps,
+        );
         let new_slot = spawn_slot(
             &self.cfg,
             self.epoch,
@@ -534,6 +549,9 @@ impl EngineShared {
                 wal: Some(wal),
                 checkpoint: fresh,
                 wal_high_water: wal_head,
+                reopt_epoch: ckpt.reopt_epoch,
+                landmark_swaps: ckpt.landmark_swaps,
+                bootstrap_mass: slot.bootstrap_mass,
             },
         );
         let mut shards = table.shards.clone();
@@ -715,9 +733,27 @@ impl EngineShared {
         let wal_cap = self.cfg.lifecycle.wal_capacity;
         let senior_wal = Arc::new(Mutex::new(EventJournal::new(wal_cap, self.epoch)));
         let junior_wal = Arc::new(Mutex::new(EventJournal::new(wal_cap, self.epoch)));
-        let senior_ckpt = encode_checkpoint(&senior_sys, &state.latency, 0);
-        let junior_ckpt =
-            encode_checkpoint(&junior_sys, &esharing_core::LatencyHistogram::new(), 0);
+        // Both children serve landmarks derived from the parent's epoch;
+        // the senior also keeps the parent's lifetime swap count (junior
+        // is a newborn with zeroed cumulative state, same as its metrics).
+        let parent_epoch = slot.reopt_epoch.load(Ordering::Relaxed);
+        let parent_swaps = slot.landmark_swaps.load(Ordering::Relaxed);
+        let senior_ckpt =
+            encode_checkpoint(&senior_sys, &state.latency, 0, parent_epoch, parent_swaps);
+        let junior_ckpt = encode_checkpoint(
+            &junior_sys,
+            &esharing_core::LatencyHistogram::new(),
+            0,
+            parent_epoch,
+            0,
+        );
+        // The parent's planning mass splits with its landmarks: each
+        // child's re-optimizer should plan at the demand scale its share
+        // of the zone actually carried.
+        let parent_mass = slot.bootstrap_mass;
+        let mark_total = (lo_marks.len() + hi_marks.len()).max(1) as u64;
+        let senior_mass = parent_mass * lo_marks.len() as u64 / mark_total;
+        let junior_mass = parent_mass.saturating_sub(senior_mass);
         let senior_slot = spawn_slot(
             &self.cfg,
             self.epoch,
@@ -732,6 +768,9 @@ impl EngineShared {
                 wal: Some(senior_wal),
                 checkpoint: senior_ckpt,
                 wal_high_water: 0,
+                reopt_epoch: parent_epoch,
+                landmark_swaps: parent_swaps,
+                bootstrap_mass: senior_mass,
             },
         );
         let junior_slot = spawn_slot(
@@ -748,6 +787,9 @@ impl EngineShared {
                 wal: Some(junior_wal),
                 checkpoint: junior_ckpt,
                 wal_high_water: 0,
+                reopt_epoch: parent_epoch,
+                landmark_swaps: 0,
+                bootstrap_mass: junior_mass,
             },
         );
         let mut shards = table.shards.clone();
@@ -874,7 +916,15 @@ impl EngineShared {
             self.cfg.lifecycle.wal_capacity,
             self.epoch,
         )));
-        let fresh = encode_checkpoint(&merged_sys, &merged_latency, 0);
+        // Provenance union mirrors the state union: the merged zone's
+        // landmark set is as new as its newest half, swap totals add.
+        let merged_epoch = slot_a
+            .reopt_epoch
+            .load(Ordering::Relaxed)
+            .max(slot_b.reopt_epoch.load(Ordering::Relaxed));
+        let merged_swaps = slot_a.landmark_swaps.load(Ordering::Relaxed)
+            + slot_b.landmark_swaps.load(Ordering::Relaxed);
+        let fresh = encode_checkpoint(&merged_sys, &merged_latency, 0, merged_epoch, merged_swaps);
         let merged_slot = spawn_slot(
             &self.cfg,
             self.epoch,
@@ -892,6 +942,9 @@ impl EngineShared {
                 wal: Some(wal),
                 checkpoint: fresh,
                 wal_high_water: 0,
+                reopt_epoch: merged_epoch,
+                landmark_swaps: merged_swaps,
+                bootstrap_mass: slot_a.bootstrap_mass + slot_b.bootstrap_mass,
             },
         );
         let mut shards = table.shards.clone();

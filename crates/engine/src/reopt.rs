@@ -1,0 +1,1044 @@
+//! Epochal re-optimization: closing the loop between the online monitor
+//! and the offline solver, without stopping the engine.
+//!
+//! The offline JMS solution a shard boots with describes *yesterday's*
+//! demand. As live requests accumulate, the deviation monitor's KS
+//! machinery already measures how far today has drifted; this module
+//! consumes that signal. A maintenance pass ([`Engine::reopt_tick`],
+//! optionally driven by a background thread on
+//! [`ReoptConfig::interval_ms`]) walks the fleet and, for each zone
+//! whose doubling epoch advanced or whose KS similarity fell below
+//! [`ReoptConfig::similarity_threshold`], re-derives the landmark set
+//! from the trailing demand window:
+//!
+//! 1. **Forecast.** The zone's demand-level series (one sample per
+//!    triggered pass) is re-fed to a
+//!    [`Forecaster`](esharing_forecast::Forecaster) via
+//!    `fit_incremental` — warm weights, fractional epoch budget — and
+//!    the forecast scales the observed cell counts toward the predicted
+//!    demand level.
+//! 2. **Warm re-solve.** Window points quantize onto a fixed grid
+//!    (cell centers, keys sorted), so successive passes present the JMS
+//!    solver with the *same candidate sites* and only the weights move.
+//!    A persistent
+//!    [`JmsSolverContext`](esharing_placement::offline::JmsSolverContext)
+//!    per zone then repairs the previous run's cost structure under a
+//!    delta mask instead of solving from scratch — bit-identical to a
+//!    cold solve at a fraction of the cost. Geometry churn (new cells
+//!    carrying real mass) falls back to a cold solve on the new set.
+//! 3. **Hot swap.** If the re-solve moves the landmark set, the zone's
+//!    running shard is replaced through the same moved-seat protocol
+//!    lifecycle operations use: the seat is held just long enough to
+//!    restore the online state around the new landmarks (online opens,
+//!    RNG position, cost accumulators and KS state all carry over), the
+//!    router table swaps with the zone re-anchored at the new landmark
+//!    centroid, and blocked submitters bounce to the new slot. Decisions
+//!    never pause; the swap is journalled as
+//!    [`EventKind::EpochSwapped`] and stamped into checkpoint
+//!    provenance ([`ShardCheckpoint::reopt_epoch`]
+//!    (crate::checkpoint::ShardCheckpoint::reopt_epoch)).
+//!
+//! The loop is off by default ([`ReoptConfig::enabled`]); a disabled
+//! loop allocates nothing and leaves the engine's decision stream —
+//! including the 1-shard [`RequestServer`]
+//! (esharing_core::server::RequestServer) equivalence — untouched.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, Weak};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use std::{error::Error, fmt};
+
+use esharing_core::{ESharing, SystemCheckpoint};
+use esharing_forecast::{Forecaster, Lstm, LstmConfig, MovingAverage};
+use esharing_geo::Point;
+use esharing_placement::offline::JmsSolverContext;
+use esharing_placement::online::DeviationCheckpoint;
+use esharing_placement::PlpInstance;
+use esharing_telemetry::EventKind;
+
+use crate::checkpoint::encode_checkpoint;
+use crate::engine::{
+    elapsed_ns, spawn_slot, Engine, EngineShared, RouterTable, ShardLane, SlotSpec, WorkerHandle,
+};
+use crate::lifecycle::PolicyState;
+
+/// Which forecasting model the re-optimization loop retrains on each
+/// zone's demand-level series.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReoptForecast {
+    /// Windowed moving average — cheap, robust on short series.
+    MovingAverage {
+        /// Trailing samples averaged per forecast step.
+        window: usize,
+    },
+    /// The LSTM forecaster, warm-retrained via its incremental path
+    /// (weights and Adam moments carried over, quarter epoch budget).
+    Lstm(LstmConfig),
+}
+
+/// Tuning for the epochal re-optimization loop. Disabled by default.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReoptConfig {
+    /// Master switch. Off: no per-zone solver state is kept, no thread
+    /// runs, [`Engine::reopt_tick`] returns
+    /// [`ReoptError::ReoptDisabled`].
+    pub enabled: bool,
+    /// Background maintenance cadence in milliseconds; `0` means no
+    /// thread is spawned and re-optimization runs only when the caller
+    /// invokes [`Engine::reopt_tick`] (the deterministic mode every
+    /// test and experiment uses).
+    pub interval_ms: u64,
+    /// KS escalation trigger: a zone whose last periodic similarity
+    /// fell below this fraction re-solves immediately, ahead of its
+    /// epoch cadence.
+    pub similarity_threshold: f64,
+    /// Maximum candidate cells per zone fed to the JMS re-solve (the
+    /// heaviest cells win). Bounds warm-context memory.
+    pub max_cells: usize,
+    /// Forecast steps ahead averaged into the demand-level scale.
+    pub horizon: usize,
+    /// Cap on the per-zone demand-level series the forecaster trains
+    /// on (oldest samples are dropped past this).
+    pub series_cap: usize,
+    /// Forecasting model choice.
+    pub forecast: ReoptForecast,
+}
+
+impl Default for ReoptConfig {
+    fn default() -> Self {
+        ReoptConfig {
+            enabled: false,
+            interval_ms: 0,
+            similarity_threshold: 0.6,
+            max_cells: 250,
+            horizon: 3,
+            series_cap: 256,
+            forecast: ReoptForecast::MovingAverage { window: 4 },
+        }
+    }
+}
+
+impl ReoptConfig {
+    pub(crate) fn validate(&self) {
+        assert!(
+            self.similarity_threshold > 0.0 && self.similarity_threshold <= 1.0,
+            "similarity threshold must be in (0, 1]"
+        );
+        assert!(self.max_cells > 0, "max cells must be positive");
+        assert!(self.horizon > 0, "forecast horizon must be positive");
+        assert!(
+            self.series_cap >= 2,
+            "series cap must hold at least 2 samples"
+        );
+        if let ReoptForecast::MovingAverage { window } = self.forecast {
+            assert!(window > 0, "moving-average window must be positive");
+        }
+    }
+}
+
+/// Error returned by [`Engine::reopt_tick`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReoptError {
+    /// [`ReoptConfig::enabled`] is false.
+    ReoptDisabled,
+    /// The engine has shut down.
+    Closed,
+}
+
+impl fmt::Display for ReoptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReoptError::ReoptDisabled => write!(f, "re-optimization loop is disabled"),
+            ReoptError::Closed => write!(f, "the serving engine has shut down"),
+        }
+    }
+}
+
+impl Error for ReoptError {}
+
+/// Why a zone re-solved this pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReoptTrigger {
+    /// The zone's doubling epoch advanced since its last re-solve.
+    EpochBoundary,
+    /// The KS monitor reported similarity below
+    /// [`ReoptConfig::similarity_threshold`].
+    DriftEscalation,
+}
+
+/// One zone's outcome from a [`Engine::reopt_tick`] pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReoptOutcome {
+    /// The zone's slot index.
+    pub shard: usize,
+    /// What fired the re-solve.
+    pub trigger: ReoptTrigger,
+    /// Whether the JMS re-solve ran warm (delta repair against the
+    /// previous solution) rather than cold.
+    pub warm: bool,
+    /// Wall-clock nanoseconds the JMS re-solve took.
+    pub solve_ns: u64,
+    /// Whether the re-solve moved the landmark set and the shard was
+    /// hot-swapped.
+    pub swapped: bool,
+    /// Landmark count before the pass.
+    pub landmarks_before: usize,
+    /// Landmark count after the pass (equal to `landmarks_before` when
+    /// `swapped` is false).
+    pub landmarks_after: usize,
+}
+
+/// Lifetime counters of the re-optimization loop, for `/metrics` and
+/// experiment reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReoptStats {
+    /// Landmark hot-swaps committed.
+    pub swaps_total: u64,
+    /// Warm (delta-repair) JMS re-solves.
+    pub warm_solves: u64,
+    /// Cold (from-scratch) JMS solves.
+    pub cold_solves: u64,
+    /// Duration of the most recent warm re-solve, nanoseconds.
+    pub last_warm_ns: u64,
+    /// Duration of the most recent cold solve, nanoseconds.
+    pub last_cold_ns: u64,
+}
+
+/// One zone's entry in a published [`LandmarkTable`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZoneLandmarks {
+    /// Slot index the zone serves under.
+    pub shard: usize,
+    /// The zone's re-optimization epoch (0 = bootstrap solution).
+    pub reopt_epoch: u64,
+    /// The landmark set in force.
+    pub landmarks: Vec<Point>,
+}
+
+/// An epoch-stamped snapshot of every zone's landmark set, republished
+/// after each pass that commits at least one hot-swap. Readers hold the
+/// `Arc` they fetched; swaps never mutate a published table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LandmarkTable {
+    /// Monotone publication stamp (total hot-swaps committed fleet-wide
+    /// at publication time).
+    pub epoch: u64,
+    /// Per-zone landmark sets, in slot order.
+    pub zones: Vec<ZoneLandmarks>,
+}
+
+/// Per-zone persistent solver state. Lives in [`ReoptRuntime::state`],
+/// keyed by slot index; reset whenever the slot's landmark set no
+/// longer matches `sig` (a lifecycle split/merge/recover replaced the
+/// zone out from under us).
+struct ZoneState {
+    /// The landmark set this state was built against — the zone
+    /// identity check.
+    sig: Vec<Point>,
+    /// Fixed candidate-cell keys, sorted; positions derive from keys so
+    /// successive instances are position-stable (the warm contract).
+    cells: Vec<(i64, i64)>,
+    /// The scaled per-cell counts of the previous instance (the warm
+    /// delta baseline).
+    counts: Vec<u64>,
+    /// Persistent JMS solver state: cost matrix, per-site orderings,
+    /// credit scatter, previous solution.
+    ctx: JmsSolverContext,
+    /// Demand-level series (window size per triggered pass) the
+    /// forecaster retrains on.
+    series: Vec<f64>,
+    forecaster: Box<dyn Forecaster + Send>,
+    /// The zone's doubling epoch at the last pass (the cadence
+    /// trigger's baseline).
+    last_epoch: u64,
+    /// Whether the baseline pass (candidate geometry + series seed) has
+    /// completed; triggers only fire after it.
+    primed: bool,
+}
+
+impl ZoneState {
+    fn new(cfg: &ReoptConfig, sig: Vec<Point>) -> Self {
+        let forecaster: Box<dyn Forecaster + Send> = match &cfg.forecast {
+            ReoptForecast::MovingAverage { window } => {
+                Box::new(MovingAverage::new(*window).expect("validated moving-average window"))
+            }
+            ReoptForecast::Lstm(lstm) => {
+                Box::new(Lstm::new(lstm.clone()).expect("validated LSTM config"))
+            }
+        };
+        ZoneState {
+            sig,
+            cells: Vec::new(),
+            counts: Vec::new(),
+            ctx: JmsSolverContext::new(),
+            series: Vec::new(),
+            forecaster,
+            last_epoch: 0,
+            primed: false,
+        }
+    }
+}
+
+/// Shared state of the re-optimization loop, hung off
+/// [`EngineShared`] when [`ReoptConfig::enabled`] is set.
+pub(crate) struct ReoptRuntime {
+    cfg: ReoptConfig,
+    /// Per-slot zone state; indices track the router table's. All
+    /// access happens under the engine gate, the mutex only satisfies
+    /// `Sync`.
+    state: Mutex<Vec<Option<ZoneState>>>,
+    /// The last published landmark table.
+    table: Mutex<Arc<LandmarkTable>>,
+    swaps_total: AtomicU64,
+    warm_solves: AtomicU64,
+    cold_solves: AtomicU64,
+    last_warm_ns: AtomicU64,
+    last_cold_ns: AtomicU64,
+}
+
+impl ReoptRuntime {
+    pub(crate) fn new(cfg: ReoptConfig, initial: &RouterTable) -> Self {
+        ReoptRuntime {
+            cfg,
+            state: Mutex::new(Vec::new()),
+            table: Mutex::new(Arc::new(landmark_table_of(initial, 0))),
+            swaps_total: AtomicU64::new(0),
+            warm_solves: AtomicU64::new(0),
+            cold_solves: AtomicU64::new(0),
+            last_warm_ns: AtomicU64::new(0),
+            last_cold_ns: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn stats(&self) -> ReoptStats {
+        ReoptStats {
+            swaps_total: self.swaps_total.load(Ordering::Relaxed),
+            warm_solves: self.warm_solves.load(Ordering::Relaxed),
+            cold_solves: self.cold_solves.load(Ordering::Relaxed),
+            last_warm_ns: self.last_warm_ns.load(Ordering::Relaxed),
+            last_cold_ns: self.last_cold_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    fn published(&self) -> Arc<LandmarkTable> {
+        Arc::clone(&self.table.lock().expect("landmark table not poisoned"))
+    }
+
+    fn publish(&self, table: LandmarkTable) {
+        *self.table.lock().expect("landmark table not poisoned") = Arc::new(table);
+    }
+}
+
+/// Builds the published view of `table`'s landmark sets.
+fn landmark_table_of(table: &RouterTable, epoch: u64) -> LandmarkTable {
+    LandmarkTable {
+        epoch,
+        zones: table
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, slot)| ZoneLandmarks {
+                shard: i,
+                reopt_epoch: slot.reopt_epoch.load(Ordering::Relaxed),
+                landmarks: slot.landmarks.clone(),
+            })
+            .collect(),
+    }
+}
+
+/// Quantizes `points` onto the fixed grid: per-key counts, keys sorted.
+/// The same key always yields the same cell-center position, which is
+/// what keeps candidate positions stable across passes (the warm-solve
+/// contract requires byte-identical client positions).
+fn quantize(points: &[Point], cell_m: f64) -> Vec<((i64, i64), u64)> {
+    let mut counts: std::collections::BTreeMap<(i64, i64), u64> = std::collections::BTreeMap::new();
+    for p in points {
+        let key = ((p.x / cell_m).floor() as i64, (p.y / cell_m).floor() as i64);
+        *counts.entry(key).or_insert(0) += 1;
+    }
+    counts.into_iter().collect()
+}
+
+/// The fixed position of a quantized cell.
+fn cell_center(key: (i64, i64), cell_m: f64) -> Point {
+    Point::new((key.0 as f64 + 0.5) * cell_m, (key.1 as f64 + 0.5) * cell_m)
+}
+
+/// Whether two landmark sets are the same set (order-insensitive,
+/// bitwise coordinate equality).
+fn same_landmarks(a: &[Point], b: &[Point]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let key = |p: &Point| (p.x.to_bits(), p.y.to_bits());
+    let mut a: Vec<_> = a.iter().map(key).collect();
+    let mut b: Vec<_> = b.iter().map(key).collect();
+    a.sort_unstable();
+    b.sort_unstable();
+    a == b
+}
+
+/// What the off-seat probe captured from one zone's seat.
+struct ZoneProbe {
+    deviation: DeviationCheckpoint,
+    similarity: Option<f64>,
+}
+
+impl EngineShared {
+    /// Takes the engine gate for a re-optimization pass. The same gate
+    /// serializes lifecycle operations, so a pass never races a
+    /// split/merge/kill and vice versa.
+    fn reopt_gate(&self) -> Result<MutexGuard<'_, PolicyState>, ReoptError> {
+        if self.reopt.is_none() {
+            return Err(ReoptError::ReoptDisabled);
+        }
+        let gate = self.gate.lock().expect("engine gate not poisoned");
+        if self.closed.load(Ordering::Acquire) {
+            return Err(ReoptError::Closed);
+        }
+        Ok(gate)
+    }
+
+    /// One guarded maintenance pass; see [`Engine::reopt_tick`].
+    pub(crate) fn reopt_tick_shared(&self) -> Result<Vec<ReoptOutcome>, ReoptError> {
+        let _gate = self.reopt_gate()?;
+        self.reopt_tick_locked()
+    }
+
+    fn reopt_tick_locked(&self) -> Result<Vec<ReoptOutcome>, ReoptError> {
+        let runtime = self.reopt.as_ref().expect("gate checked runtime presence");
+        let cfg = runtime.cfg.clone();
+        let mut zones = runtime.state.lock().expect("reopt state not poisoned");
+        let mut outcomes = Vec::new();
+        let shard_count = self.table().shards.len();
+        if zones.len() < shard_count {
+            zones.resize_with(shard_count, || None);
+        }
+        let mut swapped_any = false;
+        for i in 0..shard_count {
+            // Re-fetch per iteration: a swap committed for an earlier
+            // zone replaced the table, and this pass must build on it.
+            let table = self.table();
+            let Some(slot) = table.shards.get(i) else {
+                break;
+            };
+            let ShardLane::Fast { seat, .. } = &slot.lane else {
+                // Mailbox shards (like lifecycle) stay on the baseline
+                // path; dead shards have no seat to probe.
+                continue;
+            };
+
+            // Brief seat probe: clone the deviation image and release.
+            // The solve below runs entirely off-seat.
+            let probe = {
+                let seat = seat.lock().expect("seat not poisoned");
+                if seat.moved {
+                    continue;
+                }
+                let Some(system) = seat.system.as_ref() else {
+                    return Err(ReoptError::Closed);
+                };
+                let Some(ckpt) = system.checkpoint() else {
+                    continue;
+                };
+                ZoneProbe {
+                    similarity: ckpt.deviation.last_similarity,
+                    deviation: ckpt.deviation,
+                }
+            };
+
+            // Zone identity: a lifecycle operation that changed the
+            // slot's landmark set invalidates any prior solver state.
+            let entry = &mut zones[i];
+            let stale = match entry.as_ref() {
+                Some(z) => z.sig != slot.landmarks,
+                None => true,
+            };
+            if stale {
+                *entry = Some(ZoneState::new(&cfg, slot.landmarks.clone()));
+            }
+            let zone = entry.as_mut().expect("zone state just ensured");
+
+            let window: &[Point] = if probe.deviation.window.is_empty() {
+                &probe.deviation.history
+            } else {
+                &probe.deviation.window
+            };
+
+            if !zone.primed {
+                // Baseline pass: record the candidate geometry and seed
+                // the demand series without solving, so the first
+                // triggered pass re-solves against a known baseline and
+                // untriggered zones are never touched.
+                if !window.is_empty() {
+                    let quantized =
+                        prune(quantize(window, self.cfg.system.grid_cell_m), cfg.max_cells);
+                    let mass_scale = mass_scale_of(slot.bootstrap_mass, &quantized);
+                    zone.cells = quantized.iter().map(|&(k, _)| k).collect();
+                    zone.counts = quantized
+                        .iter()
+                        .map(|&(_, c)| scaled(c, mass_scale))
+                        .collect();
+                    let instance = instance_of(&zone.cells, &zone.counts, &self.cfg);
+                    let started = Instant::now();
+                    zone.ctx.solve(&instance);
+                    note_solve(runtime, false, &started);
+                    zone.series.push(window.len() as f64);
+                    zone.primed = true;
+                }
+                zone.last_epoch = probe.deviation.epoch;
+                continue;
+            }
+
+            // Trigger matrix: KS escalation outranks the epoch cadence.
+            let escalated = probe
+                .similarity
+                .is_some_and(|s| s < cfg.similarity_threshold);
+            let boundary = probe.deviation.epoch > zone.last_epoch;
+            if !escalated && !boundary {
+                continue;
+            }
+            let trigger = if escalated {
+                ReoptTrigger::DriftEscalation
+            } else {
+                ReoptTrigger::EpochBoundary
+            };
+            zone.last_epoch = probe.deviation.epoch;
+            if window.is_empty() {
+                continue;
+            }
+
+            // Forecast: retrain incrementally on the demand-level
+            // series and scale the observed counts toward the
+            // prediction. A series too short to fit leaves scale at 1.
+            zone.series.push(window.len() as f64);
+            if zone.series.len() > cfg.series_cap {
+                let drop = zone.series.len() - cfg.series_cap;
+                zone.series.drain(..drop);
+            }
+            let scale = match zone.forecaster.fit_incremental(&zone.series) {
+                Ok(()) => zone
+                    .forecaster
+                    .forecast(&zone.series, cfg.horizon)
+                    .ok()
+                    .and_then(|f| {
+                        let predicted = f.iter().sum::<f64>() / f.len().max(1) as f64;
+                        let recent = *zone.series.last().expect("series just extended");
+                        (recent > 0.0).then(|| (predicted / recent).clamp(0.25, 4.0))
+                    })
+                    .unwrap_or(1.0),
+                Err(_) => 1.0,
+            };
+
+            // Re-quantize the window onto the fixed grid and decide
+            // warm vs cold: same candidate set → delta-mask repair;
+            // real mass on unseen cells → cold solve on the new set.
+            let quantized = prune(quantize(window, self.cfg.system.grid_cell_m), cfg.max_cells);
+            let total: u64 = quantized.iter().map(|&(_, c)| c).sum();
+            // Normalize the KS-window sample back up to the demand mass
+            // the zone was planned on: facility-location trades walking
+            // against `space_cost`, so a window holding a twentieth of
+            // the bootstrap arrivals would otherwise open a twentieth of
+            // the landmarks. The forecast ratio then rides on top of the
+            // normalized mass.
+            let scale = scale * mass_scale_of(slot.bootstrap_mass, &quantized);
+            let unseen: u64 = quantized
+                .iter()
+                .filter(|(k, _)| zone.cells.binary_search(k).is_err())
+                .map(|&(_, c)| c)
+                .sum();
+            let cold = total == 0 || unseen * 4 > total;
+            let started = Instant::now();
+            let new_landmarks = if cold {
+                zone.cells = quantized.iter().map(|&(k, _)| k).collect();
+                zone.counts = quantized.iter().map(|&(_, c)| scaled(c, scale)).collect();
+                let instance = instance_of(&zone.cells, &zone.counts, &self.cfg);
+                let solution = zone.ctx.solve(&instance);
+                solution.facility_points(&instance)
+            } else {
+                let mut counts = vec![0u64; zone.cells.len()];
+                for (k, c) in &quantized {
+                    if let Ok(j) = zone.cells.binary_search(k) {
+                        counts[j] = scaled(*c, scale);
+                    }
+                }
+                let changed: Vec<usize> = (0..counts.len())
+                    .filter(|&j| counts[j] != zone.counts[j])
+                    .collect();
+                zone.counts = counts;
+                let instance = instance_of(&zone.cells, &zone.counts, &self.cfg);
+                let solution = zone.ctx.resolve(&instance, &changed);
+                solution.facility_points(&instance)
+            };
+            note_solve(runtime, !cold, &started);
+            let solve_ns = elapsed_of(&started);
+
+            let landmarks_before = slot.landmarks.len();
+            if new_landmarks.is_empty() || same_landmarks(&new_landmarks, &slot.landmarks) {
+                outcomes.push(ReoptOutcome {
+                    shard: i,
+                    trigger,
+                    warm: !cold,
+                    solve_ns,
+                    swapped: false,
+                    landmarks_before,
+                    landmarks_after: landmarks_before,
+                });
+                continue;
+            }
+
+            // Commit: hot-swap the shard onto the new landmark set
+            // through the moved-seat protocol.
+            self.commit_swap(&table, i, &new_landmarks, !cold)?;
+            zone.sig = new_landmarks.clone();
+            swapped_any = true;
+            outcomes.push(ReoptOutcome {
+                shard: i,
+                trigger,
+                warm: !cold,
+                solve_ns,
+                swapped: true,
+                landmarks_before,
+                landmarks_after: new_landmarks.len(),
+            });
+        }
+        if swapped_any {
+            let table = self.table();
+            runtime.publish(landmark_table_of(
+                &table,
+                runtime.swaps_total.load(Ordering::Relaxed),
+            ));
+        }
+        Ok(outcomes)
+    }
+
+    /// Replaces slot `shard` with a system restored around
+    /// `new_landmarks`, swapping the router table while the retired
+    /// seat is held (the moved-seat protocol): blocked submitters wake,
+    /// observe `moved`, reload the table and land on the new slot —
+    /// decisions never pause.
+    fn commit_swap(
+        &self,
+        table: &Arc<RouterTable>,
+        shard: usize,
+        new_landmarks: &[Point],
+        warm: bool,
+    ) -> Result<(), ReoptError> {
+        let runtime = self
+            .reopt
+            .as_ref()
+            .expect("swap only runs with the loop on");
+        let slot = &table.shards[shard];
+        let ShardLane::Fast { seat, .. } = &slot.lane else {
+            unreachable!("only fast-lane zones re-solve");
+        };
+        let mut seat_guard = seat.lock().expect("seat not poisoned");
+        let state = &mut **seat_guard;
+        let system = state.system.as_ref().ok_or(ReoptError::Closed)?;
+        // A *fresh* checkpoint, not the probe's: requests admitted
+        // while the solve ran off-seat must carry into the restored
+        // system bit-exactly.
+        let Some(ckpt) = system.checkpoint() else {
+            return Ok(());
+        };
+        let system_cfg = system.config().clone();
+        let dev = &ckpt.deviation;
+        let k_old = usize::try_from(dev.k)
+            .expect("checkpoint k fits usize")
+            .min(dev.stations.len());
+        // The station log swaps its landmark prefix for the new set;
+        // online opens (the suffix) survive verbatim, as do the RNG
+        // position, cost accumulators, penalty state and KS machinery.
+        let new_dev = DeviationCheckpoint {
+            k: new_landmarks.len() as u64,
+            stations: new_landmarks
+                .iter()
+                .chain(&dev.stations[k_old..])
+                .copied()
+                .collect(),
+            // A pending drift re-test snapshotted the old landmark
+            // regime; both sides re-arm at the next boundary.
+            pending: None,
+            ..dev.clone()
+        };
+        let new_system = ESharing::restore(
+            system_cfg,
+            SystemCheckpoint {
+                landmarks: new_landmarks.to_vec(),
+                metrics: ckpt.metrics,
+                deviation: new_dev,
+            },
+        );
+        let next_epoch = slot.reopt_epoch.load(Ordering::Relaxed) + 1;
+        let next_swaps = slot.landmark_swaps.load(Ordering::Relaxed) + 1;
+        // Durability carries over: same WAL, and a fresh checkpoint at
+        // the current WAL head so recovery replays only what this
+        // restored image hasn't seen.
+        let (wal, high_water, checkpoint) = match &slot.wal {
+            Some(wal) => {
+                let high = wal.lock().expect("wal not poisoned").total_recorded();
+                let bytes =
+                    encode_checkpoint(&new_system, &state.latency, high, next_epoch, next_swaps);
+                (Some(Arc::clone(wal)), high, bytes)
+            }
+            None => (None, 0, None),
+        };
+        state.moved = true;
+        let _ = state.system.take();
+        let mut map = table.map.clone();
+        map.reanchor_zone(shard, crate::lifecycle::centroid(new_landmarks));
+        let new_slot = spawn_slot(
+            &self.cfg,
+            self.epoch,
+            shard,
+            self.health.clone(),
+            SlotSpec {
+                system: new_system,
+                latency: state.latency.clone(),
+                landmarks: new_landmarks.to_vec(),
+                shed: slot.shed.load(Ordering::Relaxed),
+                last_shed_depth: slot.last_shed_depth.load(Ordering::Relaxed),
+                wal,
+                checkpoint,
+                wal_high_water: high_water,
+                reopt_epoch: next_epoch,
+                landmark_swaps: next_swaps,
+                bootstrap_mass: slot.bootstrap_mass,
+            },
+        );
+        let mut shards = table.shards.clone();
+        shards[shard] = new_slot;
+        self.swap_table(Arc::new(RouterTable { map, shards }));
+        drop(seat_guard);
+        // Stop the retired drain worker only after the swap: its ring
+        // keeps draining accepted jobs to completion first.
+        if let Some(WorkerHandle::Fast { handle, stop }) =
+            slot.worker.lock().expect("worker slot not poisoned").take()
+        {
+            stop.store(true, Ordering::Release);
+            let _ = handle.join();
+        }
+        self.journal_lifecycle(EventKind::EpochSwapped {
+            shard: shard as u64,
+            epoch: next_epoch,
+            landmarks_before: slot.landmarks.len() as u64,
+            landmarks_after: new_landmarks.len() as u64,
+            warm,
+        });
+        if let Some(h) = &self.health {
+            h.on_lifecycle("reopt", elapsed_ns(self.epoch));
+        }
+        runtime.swaps_total.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// Keeps the `max` heaviest cells, returned in key order (binary-search
+/// friendly, position-stable).
+fn prune(mut quantized: Vec<((i64, i64), u64)>, max: usize) -> Vec<((i64, i64), u64)> {
+    if quantized.len() > max {
+        quantized.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        quantized.truncate(max);
+        quantized.sort_by_key(|&(k, _)| k);
+    }
+    quantized
+}
+
+/// Builds the JMS instance for one zone's fixed cells and current
+/// counts. Weights floor at 1 inside `from_weighted_centroids`, so a
+/// zero-count cell stays a valid (light) client and the instance shape
+/// never changes between warm passes.
+fn instance_of(
+    cells: &[(i64, i64)],
+    counts: &[u64],
+    cfg: &crate::engine::EngineConfig,
+) -> PlpInstance {
+    let pairs: Vec<(Point, u64)> = cells
+        .iter()
+        .zip(counts)
+        .map(|(&k, &c)| (cell_center(k, cfg.system.grid_cell_m), c))
+        .collect();
+    PlpInstance::from_weighted_centroids(&pairs, cfg.system.space_cost_m)
+}
+
+fn elapsed_of(started: &Instant) -> u64 {
+    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+fn note_solve(runtime: &ReoptRuntime, warm: bool, started: &Instant) {
+    let ns = elapsed_of(started);
+    if warm {
+        runtime.warm_solves.fetch_add(1, Ordering::Relaxed);
+        runtime.last_warm_ns.store(ns, Ordering::Relaxed);
+    } else {
+        runtime.cold_solves.fetch_add(1, Ordering::Relaxed);
+        runtime.last_cold_ns.store(ns, Ordering::Relaxed);
+    }
+}
+
+/// Ratio lifting a quantized window's total demand mass back to the
+/// mass the zone's landmarks were planned against. Degenerate inputs
+/// (empty window, unplanned zone) normalize to 1.
+fn mass_scale_of(bootstrap_mass: u64, quantized: &[((i64, i64), u64)]) -> f64 {
+    let total: u64 = quantized.iter().map(|&(_, c)| c).sum();
+    if total == 0 || bootstrap_mass == 0 {
+        1.0
+    } else {
+        bootstrap_mass as f64 / total as f64
+    }
+}
+
+fn scaled(count: u64, scale: f64) -> u64 {
+    (count as f64 * scale).round().max(0.0) as u64
+}
+
+/// The background maintenance loop: sleeps in short quanta so shutdown
+/// joins promptly, fires a guarded pass every `interval_ms`. Holds only
+/// a weak reference — the thread never keeps a dropped engine alive.
+pub(crate) fn reopt_loop(shared: Weak<EngineShared>, interval_ms: u64) {
+    let interval = Duration::from_millis(interval_ms.max(1));
+    let quantum = Duration::from_millis(25).min(interval);
+    let mut next = Instant::now() + interval;
+    loop {
+        {
+            let Some(shared) = shared.upgrade() else {
+                return;
+            };
+            if shared.closed.load(Ordering::Acquire) {
+                return;
+            }
+            if Instant::now() >= next {
+                // Closed mid-pass surfaces as Err(Closed); the next
+                // quantum's check exits the loop.
+                let _ = shared.reopt_tick_shared();
+                next = Instant::now() + interval;
+            }
+        }
+        std::thread::park_timeout(quantum);
+    }
+}
+
+/// Spawns the background loop when configured; the caller stores the
+/// handle for joining at shutdown.
+pub(crate) fn spawn_reopt_worker(shared: &Arc<EngineShared>) -> Option<JoinHandle<()>> {
+    let interval = shared.cfg.reopt.interval_ms;
+    if shared.reopt.is_none() || interval == 0 {
+        return None;
+    }
+    let weak = Arc::downgrade(shared);
+    Some(std::thread::spawn(move || reopt_loop(weak, interval)))
+}
+
+impl Engine {
+    /// Runs one re-optimization pass over the fleet: probes every fast
+    /// shard's drift state, re-solves the zones whose doubling epoch
+    /// advanced or whose KS similarity escalated, and hot-swaps any
+    /// zone whose landmark set moved. Deterministic given the demand
+    /// stream — the background thread ([`ReoptConfig::interval_ms`])
+    /// calls exactly this.
+    ///
+    /// # Errors
+    ///
+    /// [`ReoptError::ReoptDisabled`] when the loop is off,
+    /// [`ReoptError::Closed`] after shutdown.
+    pub fn reopt_tick(&self) -> Result<Vec<ReoptOutcome>, ReoptError> {
+        self.shared.reopt_tick_shared()
+    }
+
+    /// The current epoch-stamped landmark table, or `None` when the
+    /// re-optimization loop is disabled.
+    pub fn landmark_table(&self) -> Option<Arc<LandmarkTable>> {
+        self.shared.reopt.as_ref().map(|r| r.published())
+    }
+
+    /// Lifetime re-optimization counters (zeroed when the loop is
+    /// disabled).
+    pub fn reopt_stats(&self) -> ReoptStats {
+        self.shared
+            .reopt
+            .as_ref()
+            .map(|r| r.stats())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{EngineConfig, Partition};
+    use crate::lifecycle::LifecycleConfig;
+    use esharing_telemetry::TelemetryConfig;
+
+    fn enabled_cfg() -> ReoptConfig {
+        ReoptConfig {
+            enabled: true,
+            similarity_threshold: 1.0,
+            ..ReoptConfig::default()
+        }
+    }
+
+    /// Two clusters far apart on x, so a 2-shard uniform grid puts one
+    /// in each zone.
+    fn two_zone_engine(reopt: ReoptConfig) -> Engine {
+        let mut history = Vec::new();
+        for i in 0..60 {
+            let t = i as f64;
+            history.push(Point::new(
+                50.0 + (t * 37.0) % 300.0,
+                40.0 + (t * 53.0) % 300.0,
+            ));
+            history.push(Point::new(
+                650.0 + (t * 41.0) % 300.0,
+                60.0 + (t * 59.0) % 300.0,
+            ));
+        }
+        Engine::start(
+            &history,
+            EngineConfig {
+                shards: 2,
+                partition: Partition::UniformGrid,
+                lifecycle: LifecycleConfig {
+                    enabled: true,
+                    ..LifecycleConfig::default()
+                },
+                telemetry: TelemetryConfig {
+                    enabled: true,
+                    ..TelemetryConfig::default()
+                },
+                reopt,
+                ..EngineConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn disabled_by_default() {
+        let history: Vec<Point> = (0..64)
+            .map(|i| Point::new((i % 8) as f64 * 100.0, (i / 8) as f64 * 100.0))
+            .collect();
+        let engine = Engine::start(&history, EngineConfig::default());
+        assert_eq!(engine.reopt_tick(), Err(ReoptError::ReoptDisabled));
+        assert!(engine.landmark_table().is_none());
+        assert_eq!(engine.reopt_stats(), ReoptStats::default());
+    }
+
+    #[test]
+    fn escalated_zone_swaps_while_others_stay_byte_identical() {
+        let engine = two_zone_engine(enabled_cfg());
+
+        // Priming pass: geometry baselines only, no swaps.
+        let primed = engine.reopt_tick().expect("loop enabled");
+        assert!(primed.iter().all(|o| !o.swapped), "priming never swaps");
+        assert_eq!(engine.reopt_stats().swaps_total, 0);
+
+        // Drift: zone 0's demand shifts hard into the lower-left
+        // corner, far from its bootstrap distribution. Zone 1 sees no
+        // traffic at all.
+        for i in 0..600u64 {
+            let p = Point::new(5.0 + (i % 7) as f64 * 12.0, 10.0 + (i % 11) as f64 * 20.0);
+            engine.submit(p).expect("engine serving");
+        }
+
+        let before = engine.shared.table();
+        let untouched_ptr = Arc::as_ptr(&before.shards[1]);
+        let untouched_landmarks = before.shards[1].landmarks.clone();
+        drop(before);
+
+        let outcomes = engine.reopt_tick().expect("loop enabled");
+        assert!(
+            outcomes.iter().any(|o| o.shard == 0 && o.swapped),
+            "the drifted zone re-solves and hot-swaps: {outcomes:?}"
+        );
+        assert!(
+            outcomes.iter().all(|o| o.shard != 1),
+            "the idle zone is never touched: {outcomes:?}"
+        );
+
+        // Satellite invariant: the untouched zone's slot is the *same
+        // allocation* (strongest form of byte-identical landmarks).
+        let after = engine.shared.table();
+        assert!(std::ptr::eq(untouched_ptr, Arc::as_ptr(&after.shards[1])));
+        assert_eq!(after.shards[1].landmarks, untouched_landmarks);
+        assert_eq!(after.shards[1].reopt_epoch.load(Ordering::Relaxed), 0);
+
+        // Provenance on the swapped zone.
+        assert_eq!(after.shards[0].reopt_epoch.load(Ordering::Relaxed), 1);
+        assert_eq!(after.shards[0].landmark_swaps.load(Ordering::Relaxed), 1);
+        drop(after);
+        let table = engine.landmark_table().expect("loop enabled");
+        assert!(table.epoch >= 1);
+        assert_eq!(table.zones[0].reopt_epoch, 1);
+        assert_eq!(table.zones[1].reopt_epoch, 0);
+        assert!(engine.reopt_stats().swaps_total >= 1);
+
+        // Decisions keep flowing through the swapped zone, and the
+        // swap is journalled as a typed event.
+        let d = engine
+            .submit(Point::new(20.0, 20.0))
+            .expect("still serving");
+        assert_eq!(d.shard(), 0);
+        let snap = engine.snapshot().expect("snapshot");
+        assert!(
+            snap.events.iter().any(|r| matches!(
+                r.event.kind,
+                EventKind::EpochSwapped {
+                    shard: 0,
+                    epoch: 1,
+                    ..
+                }
+            )),
+            "EpochSwapped journalled"
+        );
+    }
+
+    #[test]
+    fn stable_demand_resolves_warm() {
+        // History and live traffic share one fixed lattice, so the
+        // quantized candidate set never moves between passes and the
+        // triggered re-solve takes the warm delta path.
+        let lattice: Vec<Point> = (0..64)
+            .map(|i| Point::new((i % 8) as f64 * 150.0 + 75.0, (i / 8) as f64 * 150.0 + 75.0))
+            .collect();
+        let mut history = Vec::new();
+        for _ in 0..5 {
+            history.extend_from_slice(&lattice);
+        }
+        let engine = Engine::start(
+            &history,
+            EngineConfig {
+                shards: 1,
+                partition: Partition::UniformGrid,
+                reopt: enabled_cfg(),
+                ..EngineConfig::default()
+            },
+        );
+        engine.reopt_tick().expect("priming pass");
+        for i in 0..600usize {
+            engine.submit(lattice[i % lattice.len()]).expect("serving");
+        }
+        let outcomes = engine.reopt_tick().expect("triggered pass");
+        assert!(
+            outcomes.iter().any(|o| o.warm),
+            "same-geometry demand repairs warm: {outcomes:?}"
+        );
+        let stats = engine.reopt_stats();
+        assert!(stats.warm_solves >= 1, "{stats:?}");
+        assert!(stats.cold_solves >= 1, "priming solved cold: {stats:?}");
+    }
+
+    #[test]
+    fn background_thread_ticks_and_joins() {
+        let engine = two_zone_engine(ReoptConfig {
+            interval_ms: 5,
+            ..enabled_cfg()
+        });
+        for i in 0..200u64 {
+            let p = Point::new((i % 13) as f64 * 20.0, (i % 17) as f64 * 15.0);
+            engine.submit(p).expect("serving");
+        }
+        std::thread::sleep(Duration::from_millis(40));
+        let systems = engine.shutdown();
+        assert_eq!(systems.len(), 2, "clean join, both shards returned");
+    }
+}

@@ -435,7 +435,10 @@ pub(crate) fn spawn(
                     let high_water = wal
                         .as_ref()
                         .map_or(0, |w| w.lock().expect("wal not poisoned").total_recorded());
-                    let bytes = encode_checkpoint(&system, &latency, high_water)
+                    // The epochal re-optimization loop (like split/merge)
+                    // runs only on the SyncShared path, so a mailbox
+                    // shard's landmark provenance is always the bootstrap.
+                    let bytes = encode_checkpoint(&system, &latency, high_water, 0, 0)
                         .expect("shard systems are bootstrapped at engine start");
                     let _ = reply.send((bytes, high_water));
                 }

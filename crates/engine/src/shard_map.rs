@@ -274,6 +274,30 @@ impl ShardMap {
         anchors[a] = anchor;
     }
 
+    /// Moves `slot`'s representative anchor — the epochal re-optimization
+    /// loop's map update when a landmark hot-swap relocates a zone's
+    /// demand center. On a [`ShardMap::Voronoi`] map this is a genuine
+    /// Voronoi rebuild: the boundary between `slot` and its neighbours
+    /// follows the anchor, so future destinations route with the new
+    /// demand geometry. On a [`ShardMap::Dynamic`] map only the
+    /// representative point moves — zone boundaries were committed by
+    /// split/merge cuts and stay stable. On a [`ShardMap::Grid`] the
+    /// anchor is derived from the rectangle, so the call is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn reanchor_zone(&mut self, slot: usize, anchor: Point) {
+        let count = self.shard_count();
+        assert!(slot < count, "slot {slot} out of range");
+        match self {
+            ShardMap::Grid { .. } => {}
+            ShardMap::Voronoi { anchors } | ShardMap::Dynamic { anchors, .. } => {
+                anchors[slot] = anchor;
+            }
+        }
+    }
+
     /// Number of shards this map routes to.
     pub fn shard_count(&self) -> usize {
         match self {
@@ -550,6 +574,40 @@ mod tests {
         assert_eq!(map.shard_of(Point::new(900.0, 100.0)), 0);
         assert_eq!(map.shard_of(Point::new(100.0, 900.0)), new);
         assert_eq!(map.shard_of(Point::new(900.0, 900.0)), new);
+    }
+
+    #[test]
+    fn reanchor_moves_voronoi_boundary_but_not_dynamic_routing() {
+        // Voronoi: the boundary follows the moved anchor.
+        let mut map = ShardMap::voronoi(vec![Point::new(0.0, 0.0), Point::new(1000.0, 0.0)]);
+        assert_eq!(map.shard_of(Point::new(400.0, 0.0)), 0);
+        map.reanchor_zone(0, Point::new(800.0, 0.0));
+        assert_eq!(map.anchor(0), Point::new(800.0, 0.0));
+        assert_eq!(map.shard_of(Point::new(400.0, 0.0)), 0);
+        assert_eq!(map.shard_of(Point::new(870.0, 0.0)), 0, "boundary moved");
+        // Dynamic: committed cuts stay; only the representative moves.
+        let mut map = ShardMap::uniform(BBox::square(1000.0), 2).into_dynamic();
+        let before: Vec<usize> = (0..20)
+            .map(|i| map.shard_of(Point::new(i as f64 * 50.0, 500.0)))
+            .collect();
+        map.reanchor_zone(1, Point::new(600.0, 600.0));
+        assert_eq!(map.anchor(1), Point::new(600.0, 600.0));
+        let after: Vec<usize> = (0..20)
+            .map(|i| map.shard_of(Point::new(i as f64 * 50.0, 500.0)))
+            .collect();
+        assert_eq!(before, after);
+        // Grid: derived anchors are untouched.
+        let mut map = ShardMap::uniform(BBox::square(1000.0), 2);
+        let a = map.anchor(0);
+        map.reanchor_zone(0, Point::new(1.0, 2.0));
+        assert_eq!(map.anchor(0), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reanchor_out_of_range_panics() {
+        let mut map = ShardMap::voronoi(vec![Point::ORIGIN]);
+        map.reanchor_zone(3, Point::ORIGIN);
     }
 
     #[test]

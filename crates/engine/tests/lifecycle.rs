@@ -407,6 +407,8 @@ proptest! {
             system_seed: cfg.seed,
             deviation_seed: cfg.deviation.seed,
             wal_high_water: warm as u64,
+            reopt_epoch: seed % 7,
+            landmark_swaps: seed % 11,
             latency,
             system: system.checkpoint().unwrap(),
         };

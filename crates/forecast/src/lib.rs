@@ -65,6 +65,23 @@ pub trait Forecaster {
     /// structure or the fit is numerically degenerate.
     fn fit(&mut self, series: &[f64]) -> Result<(), ForecastError>;
 
+    /// Incrementally refits the model on an updated training series,
+    /// reusing whatever fitted state makes a warm continuation cheaper
+    /// than a cold [`fit`]. The default implementation delegates to
+    /// [`fit`]; stateful engines (e.g. [`Lstm`]) override it to continue
+    /// training from their current weights at a fraction of the cold
+    /// epoch budget — the retrain mode the epochal re-optimization loop
+    /// runs on the trailing window.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`fit`].
+    ///
+    /// [`fit`]: Forecaster::fit
+    fn fit_incremental(&mut self, series: &[f64]) -> Result<(), ForecastError> {
+        self.fit(series)
+    }
+
     /// Forecasts the `horizon` values following `history`.
     ///
     /// # Errors

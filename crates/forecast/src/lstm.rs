@@ -408,6 +408,26 @@ impl Lstm {
         });
     }
 
+    /// Runs `epochs` shuffled training epochs over `samples` with
+    /// per-sample Adam updates, continuing from the current weights and
+    /// optimizer state; records the last epoch's mean squared error.
+    fn train_epochs(&mut self, samples: &[(Vec<f64>, f64)], epochs: usize, rng: &mut StdRng) {
+        let mut order: Vec<usize> = (0..samples.len()).collect();
+        for _epoch in 0..epochs {
+            order.shuffle(rng);
+            let mut loss_sum = 0.0;
+            for &idx in &order {
+                let (window, target) = &samples[idx];
+                let (y, caches, top_h) = self.forward(window, true);
+                let err = y - target;
+                loss_sum += err * err;
+                self.backward(&caches, &top_h, err);
+                self.apply_gradients();
+            }
+            self.last_loss = loss_sum / samples.len() as f64;
+        }
+    }
+
     /// Visits `(value, grad, m, v)` slices of every trainable tensor.
     fn for_each_param<F: FnMut(&mut [f64], &mut [f64], &mut [f64], &mut [f64])>(
         &mut self,
@@ -461,21 +481,39 @@ impl Forecaster for Lstm {
         let scaler = MinMaxScaler::fit(series)?;
         let scaled = scaler.scale_all(series);
         let samples = sliding_windows(&scaled, self.config.back);
-        let mut order: Vec<usize> = (0..samples.len()).collect();
         let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(1));
-        for _epoch in 0..self.config.epochs {
-            order.shuffle(&mut rng);
-            let mut loss_sum = 0.0;
-            for &idx in &order {
-                let (window, target) = &samples[idx];
-                let (y, caches, top_h) = self.forward(window, true);
-                let err = y - target;
-                loss_sum += err * err;
-                self.backward(&caches, &top_h, err);
-                self.apply_gradients();
-            }
-            self.last_loss = loss_sum / samples.len() as f64;
+        self.train_epochs(&samples, self.config.epochs, &mut rng);
+        self.scaler = Some(scaler);
+        Ok(())
+    }
+
+    fn fit_incremental(&mut self, series: &[f64]) -> Result<(), ForecastError> {
+        // Warm continuation is only meaningful once the network has been
+        // trained; before that, an incremental fit IS the cold fit.
+        if self.scaler.is_none() {
+            return self.fit(series);
         }
+        validate(series)?;
+        let needed = self.config.back + 2;
+        if series.len() < needed {
+            return Err(ForecastError::SeriesTooShort {
+                needed,
+                got: series.len(),
+            });
+        }
+        // Re-fit the scaler: the trailing window's range may have drifted
+        // away from the original training range.
+        let scaler = MinMaxScaler::fit(series)?;
+        let scaled = scaler.scale_all(series);
+        let samples = sliding_windows(&scaled, self.config.back);
+        // A quarter of the cold epoch budget: the weights already encode
+        // the demand shape, so the warm retrain only tracks the drift.
+        let warm_epochs = self.config.epochs.div_ceil(4);
+        // Fold the Adam step counter into the shuffle seed so successive
+        // warm refits draw fresh — but fully deterministic — orders.
+        let mut rng =
+            StdRng::seed_from_u64(self.config.seed.wrapping_add(1).wrapping_add(self.adam_t));
+        self.train_epochs(&samples, warm_epochs, &mut rng);
         self.scaler = Some(scaler);
         Ok(())
     }
@@ -734,6 +772,65 @@ mod tests {
                 "layer0 grad mismatch at {idx}: numeric {numeric} analytic {a}"
             );
         }
+    }
+
+    #[test]
+    fn incremental_fit_on_unfitted_model_is_cold_fit() {
+        let series: Vec<f64> = (0..40).map(|t| (t % 5) as f64 + 1.0).collect();
+        let mut cold = Lstm::new(small_config(1, 5)).unwrap();
+        cold.fit(&series).unwrap();
+        let mut warm = Lstm::new(small_config(1, 5)).unwrap();
+        warm.fit_incremental(&series).unwrap();
+        assert_eq!(
+            cold.forecast(&series, 3).unwrap(),
+            warm.forecast(&series, 3).unwrap()
+        );
+    }
+
+    #[test]
+    fn incremental_fit_tracks_level_shift() {
+        // Train on one level, shift the series, warm-retrain on the
+        // trailing window: forecasts must follow the new level.
+        let mut cfg = small_config(1, 4);
+        cfg.epochs = 80;
+        let mut lstm = Lstm::new(cfg).unwrap();
+        let before = vec![5.0; 40];
+        lstm.fit(&before).unwrap();
+        let after = vec![12.0; 40];
+        lstm.fit_incremental(&after).unwrap();
+        let f = lstm.forecast(&after, 2).unwrap();
+        for v in f {
+            assert!(
+                (v - 12.0).abs() < 2.0,
+                "warm retrain did not track the shift: {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_fit_deterministic() {
+        let series: Vec<f64> = (0..50).map(|t| ((t % 6) * 2) as f64).collect();
+        let tail: Vec<f64> = (0..50).map(|t| ((t % 6) * 3) as f64).collect();
+        let run = || {
+            let mut cfg = small_config(1, 6);
+            cfg.epochs = 20;
+            let mut lstm = Lstm::new(cfg).unwrap();
+            lstm.fit(&series).unwrap();
+            lstm.fit_incremental(&tail).unwrap();
+            lstm.forecast(&tail, 3).unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn incremental_fit_rejects_short_series() {
+        let mut lstm = Lstm::new(small_config(1, 10)).unwrap();
+        let series: Vec<f64> = (0..30).map(|t| (t % 7) as f64).collect();
+        lstm.fit(&series).unwrap();
+        assert!(matches!(
+            lstm.fit_incremental(&[1.0; 5]),
+            Err(ForecastError::SeriesTooShort { .. })
+        ));
     }
 
     #[test]

@@ -25,37 +25,606 @@
 //! average the average can never decrease again), so the scan breaks at the
 //! first `k` whose successor cost reaches the running average.
 //!
-//! Two implementations are provided:
+//! Three entry points are provided:
 //!
-//! * [`jms_greedy`] — the production path. It precomputes the weighted
-//!   cost matrix and the per-site client ordering **once** (so the round
-//!   loop never recomputes a `Point::distance` or sorts anything), carries
-//!   each client's current connection cost across rounds, and computes
-//!   every site's switching credit in one sparse client-major scatter pass
-//!   over per-client *column* orderings (each connected client touches only
-//!   the sites cheaper than its current connection, instead of every site
-//!   rescanning every client). The per-site argmin scan fans out over
-//!   `crossbeam` scoped threads. Ties break to the lowest site index and
-//!   per-chunk winners merge in site order, so the selected `(site,
-//!   prefix)` is the first strict minimum of exactly the same candidate
-//!   sequence the reference scans — fixed-seed runs are bit-identical at
-//!   any thread count.
+//! * [`JmsSolverContext`] — the production solver. It owns the weighted
+//!   cost matrix, the per-site client (row) orderings, the per-client site
+//!   (column) orderings, and every piece of round-loop scratch, all of
+//!   which persist across solves. A cold [`JmsSolverContext::solve`]
+//!   rebuilds the caches for a new instance; a warm
+//!   [`JmsSolverContext::resolve`] takes a *delta mask* of clients whose
+//!   weights changed since the last solve and repairs only those columns
+//!   (and the affected row positions) with a sorted merge — `O(Δ·n log n)`
+//!   instead of `O(n² log n)` — before re-running the round loop on the
+//!   patched caches. Because `(cost, index)` is a total order, the merge
+//!   reproduces exactly the orderings a full re-sort would, so a warm
+//!   re-solve is **bit-identical** to a cold solve of the same instance.
+//!   Repeated warm solves are allocation-free after warm-up: the scratch
+//!   vectors are reset in place, never reallocated.
+//! * [`jms_greedy`] — a thin wrapper running one cold solve on a throwaway
+//!   context; the historical one-shot API.
 //! * [`jms_greedy_reference`] — the naive sequential loop (recomputes
 //!   costs, rescans every client for credits, and re-sorts inside the
 //!   round loop), retained as the oracle for the equivalence test-suite.
+//!
+//! The round loop's per-site argmin scan fans out over `crossbeam` scoped
+//! threads. Ties break to the lowest site index and per-chunk winners merge
+//! in site order, so the selected `(site, prefix)` is the first strict
+//! minimum of exactly the same candidate sequence the reference scans —
+//! fixed-seed runs are bit-identical at any thread count.
 
 use crate::{PlpInstance, Solution};
+use esharing_geo::Point;
 use esharing_stats::parallel;
+use std::cmp::Ordering;
 
 /// Below this many clients the cached-cost machinery loses: the `O(n²)`
 /// precompute (cost matrix plus two sorted orderings) and the worker
-/// fan-out cost more than the rounds they accelerate, so [`jms_greedy`]
+/// fan-out cost more than the rounds they accelerate, so the solver
 /// delegates to the sequential reference (95 µs vs 249 µs at n = 50).
 const SMALL_INSTANCE_CUTOFF: usize = 64;
 
+/// Safety margin for the first-candidate lower-bound prune in the argmin
+/// scan. A site is abandoned only when its cheapest unconnected candidate,
+/// scaled DOWN by this margin, still exceeds the incumbent best ratio. The
+/// true lower bound (first candidate cost, when the opening-minus-credit
+/// term is non-negative) holds up to `n * 2^-53` relative rounding across
+/// the prefix sum; `1e-9` is ~3.5e4x that bound at `n = 250`, so the prune
+/// can never drop a site the exact scan would have selected.
+const PRUNE_MARGIN: f64 = 1.0 - 1e-9;
+
+/// Canonical `(cost, index)` comparison: ascending cost, ties to the lower
+/// index. Indices are distinct within any row or column, so this is a total
+/// order and every sorted ordering it produces is unique — the property
+/// that lets the warm path's sorted merge reproduce a full re-sort exactly.
+fn pair_cmp(a: &(f64, u32), b: &(f64, u32)) -> Ordering {
+    a.0.partial_cmp(&b.0)
+        .expect("finite costs")
+        .then(a.1.cmp(&b.1))
+}
+
+/// A persistent JMS solver: cost matrix, orderings, and round-loop scratch
+/// that survive across solves so successive re-solves over slowly drifting
+/// demand share most of their work.
+///
+/// Lifecycle: [`JmsSolverContext::solve`] primes the context for an
+/// instance (cold, full precompute); [`JmsSolverContext::resolve`] then
+/// accepts instances that differ from the primed one only in the weights
+/// of a known set of clients and patches the caches incrementally. Any
+/// shape mismatch (different client count, moved client positions, changed
+/// opening costs, or an inaccurate delta mask) silently falls back to a
+/// cold solve, so `resolve` is always correct — the mask is a performance
+/// hint, verified before use, never trusted for correctness.
+///
+/// # Examples
+///
+/// ```
+/// use esharing_geo::Point;
+/// use esharing_placement::offline::JmsSolverContext;
+/// use esharing_placement::PlpInstance;
+///
+/// let clients = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(900.0, 0.0)];
+/// let inst = PlpInstance::new(clients.clone(), vec![1.0, 1.0, 1.0], vec![10.0; 3]);
+/// let mut ctx = JmsSolverContext::new();
+/// let cold = ctx.solve(&inst);
+/// // Bump one client's weight and re-solve warm: only column 2 is repaired.
+/// let inst2 = PlpInstance::new(clients, vec![1.0, 1.0, 5.0], vec![10.0; 3]);
+/// let warm = ctx.resolve(&inst2, &[2]);
+/// assert_eq!(warm, ctx.resolve(&inst2, &[2]));
+/// # let _ = (cold, warm);
+/// ```
+#[derive(Debug, Default)]
+pub struct JmsSolverContext {
+    /// Client count of the primed instance.
+    n: usize,
+    /// Whether the fast-path caches below describe a previously solved
+    /// instance (always false after a reference-delegated small solve).
+    primed: bool,
+    // --- pristine caches for the primed instance ---
+    /// Client positions of the primed instance (for warm validation).
+    clients: Vec<Point>,
+    /// Arrival weights of the primed instance.
+    weights: Vec<f64>,
+    /// Opening costs of the primed instance.
+    openings: Vec<f64>,
+    /// Weighted connection-cost matrix, site-major: `cost[site * n + j]`.
+    cost: Vec<f64>,
+    /// Per-site client ordering by `(cost, client)` — pristine full rows.
+    rows: Vec<Vec<u32>>,
+    /// Per-client site ordering costs, client-major flat layout.
+    col_cost: Vec<f64>,
+    /// Per-client site ordering indices, client-major flat layout.
+    col_site: Vec<u32>,
+    // --- round-loop scratch, reset in place every solve ---
+    /// Working copies of `rows`, lazily compacted as rounds connect
+    /// clients; refreshed from `rows` via `clone_from` (no realloc).
+    live: Vec<Vec<u32>>,
+    connected: Vec<Option<usize>>,
+    /// One-byte mirror of `connected[j].is_none()`: the round loop's skip
+    /// checks and compaction passes are bound by these loads, and a `bool`
+    /// read costs a quarter of an `Option<usize>` one.
+    unconn: Vec<bool>,
+    conn_cost: Vec<f64>,
+    open: Vec<bool>,
+    credit: Vec<f64>,
+    connected_list: Vec<usize>,
+    serving: Vec<bool>,
+    open_sites: Vec<usize>,
+    // --- warm-path scratch ---
+    /// Membership bitmap of the verified delta mask.
+    changed_flag: Vec<bool>,
+    /// Deduplicated delta mask in ascending client order.
+    delta: Vec<usize>,
+    /// Sorted `(cost, index)` patch buffer for column/row repair.
+    patch: Vec<(f64, u32)>,
+    /// The previous solve's solution, returned verbatim on an empty delta.
+    last: Option<Solution>,
+}
+
+impl JmsSolverContext {
+    /// An unprimed context. The first [`JmsSolverContext::solve`] pays the
+    /// full precompute; everything after reuses its allocations.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The most recent solution produced by this context, if any.
+    pub fn last_solution(&self) -> Option<&Solution> {
+        self.last.as_ref()
+    }
+
+    /// Cold solve: rebuilds the cost matrix and both orderings for
+    /// `instance`, runs the round loop, and primes the context for
+    /// subsequent warm [`JmsSolverContext::resolve`] calls. Produces
+    /// exactly the same solution as [`jms_greedy_reference`] — same
+    /// facilities, same assignment — for every thread count.
+    pub fn solve(&mut self, instance: &PlpInstance) -> Solution {
+        let n = instance.len();
+        // Small instances: run the reference loop directly. It IS the
+        // oracle the equivalence suite checks against, so delegation is
+        // trivially bit-identical, and at this size it is also the faster
+        // kernel.
+        if n < SMALL_INSTANCE_CUTOFF {
+            self.primed = false;
+            let sol = jms_greedy_reference(instance);
+            self.last = Some(sol.clone());
+            return sol;
+        }
+        self.rebuild(instance);
+        let sol = self.run_rounds(instance);
+        self.last = Some(sol.clone());
+        sol
+    }
+
+    /// Warm incremental re-solve: `changed` lists the clients whose
+    /// arrival weights differ from the primed instance (the delta mask
+    /// from a forecast diff). Only those columns are recomputed and
+    /// re-sorted, and each row is repaired by removing the changed entries
+    /// and sorted-merging their re-costed replacements — the expensive
+    /// `O(n² log n)` precompute is skipped entirely. The repaired
+    /// orderings are exactly what a cold re-sort would produce, so the
+    /// result is **bit-identical** to [`JmsSolverContext::solve`] on the
+    /// same instance.
+    ///
+    /// An empty (verified) mask returns the cached previous solution. If
+    /// the instance is not warm-compatible — unprimed context, different
+    /// client count, moved positions, changed opening costs, or a weight
+    /// change outside the mask — this falls back to a cold solve.
+    pub fn resolve(&mut self, instance: &PlpInstance, changed: &[usize]) -> Solution {
+        let n = instance.len();
+        if n < SMALL_INSTANCE_CUTOFF {
+            self.primed = false;
+            let sol = jms_greedy_reference(instance);
+            self.last = Some(sol.clone());
+            return sol;
+        }
+        if !self.warm_compatible(instance, changed) {
+            return self.solve(instance);
+        }
+        if self.delta.is_empty() {
+            return self
+                .last
+                .clone()
+                .expect("primed context caches its last solution");
+        }
+        self.apply_delta(instance);
+        let sol = self.run_rounds(instance);
+        self.last = Some(sol.clone());
+        sol
+    }
+
+    /// Verifies that `instance` differs from the primed one only in the
+    /// weights of clients listed in `changed`; on success the deduplicated
+    /// mask is left in `self.delta` / `self.changed_flag`.
+    fn warm_compatible(&mut self, instance: &PlpInstance, changed: &[usize]) -> bool {
+        if !self.primed || instance.len() != self.n {
+            return false;
+        }
+        let n = self.n;
+        if changed.iter().any(|&j| j >= n) {
+            return false;
+        }
+        if instance.clients() != &self.clients[..] || instance.opening_costs() != &self.openings[..]
+        {
+            return false;
+        }
+        self.changed_flag.clear();
+        self.changed_flag.resize(n, false);
+        for &j in changed {
+            self.changed_flag[j] = true;
+        }
+        // Every weight outside the mask must be untouched — the mask is a
+        // hint, not a promise.
+        let ok = instance
+            .weights()
+            .iter()
+            .zip(&self.weights)
+            .enumerate()
+            .all(|(j, (now, then))| self.changed_flag[j] || now == then);
+        if ok {
+            self.delta.clear();
+            self.delta.extend(
+                (0..n)
+                    .filter(|&j| self.changed_flag[j] && instance.weights()[j] != self.weights[j]),
+            );
+            // Tighten the bitmap to the effective delta so row repair only
+            // touches columns that actually moved.
+            self.changed_flag.iter_mut().for_each(|f| *f = false);
+            for &j in &self.delta {
+                self.changed_flag[j] = true;
+            }
+        }
+        ok
+    }
+
+    /// Patches the cost matrix and both orderings for the verified delta
+    /// in `self.delta`. Changed columns are recomputed with the exact
+    /// arithmetic of `connection_cost` and fully re-sorted; every row
+    /// drops its changed entries and sorted-merges the re-costed
+    /// replacements back in, reproducing the canonical `(cost, index)`
+    /// order a full re-sort would yield.
+    fn apply_delta(&mut self, instance: &PlpInstance) {
+        let n = self.n;
+        let Self {
+            weights,
+            cost,
+            rows,
+            col_cost,
+            col_site,
+            changed_flag,
+            delta,
+            patch,
+            ..
+        } = self;
+        for &j in delta.iter() {
+            weights[j] = instance.weights()[j];
+            for site in 0..n {
+                cost[site * n + j] = instance.connection_cost(site, j);
+            }
+            patch.clear();
+            patch.extend((0..n as u32).map(|s| (cost[s as usize * n + j], s)));
+            patch.sort_unstable_by(pair_cmp);
+            for (k, &(c, s)) in patch.iter().enumerate() {
+                col_cost[j * n + k] = c;
+                col_site[j * n + k] = s;
+            }
+        }
+        for site in 0..n {
+            patch.clear();
+            patch.extend(delta.iter().map(|&j| (cost[site * n + j], j as u32)));
+            patch.sort_unstable_by(pair_cmp);
+            let row = &mut rows[site];
+            row.retain(|&idx| !changed_flag[idx as usize]);
+            for &(c, sidx) in patch.iter() {
+                let at = row.partition_point(|&idx| {
+                    pair_cmp(&(cost[site * n + idx as usize], idx), &(c, sidx)) == Ordering::Less
+                });
+                row.insert(at, sidx);
+            }
+        }
+    }
+
+    /// Full precompute for a new instance: weighted cost matrix, per-site
+    /// row orderings, per-client column orderings, and the primed-instance
+    /// record the warm path validates against.
+    fn rebuild(&mut self, instance: &PlpInstance) {
+        let n = instance.len();
+        self.n = n;
+        self.clients.clear();
+        self.clients.extend_from_slice(instance.clients());
+        self.weights.clear();
+        self.weights.extend_from_slice(instance.weights());
+        self.openings.clear();
+        self.openings.extend_from_slice(instance.opening_costs());
+
+        // Weighted connection-cost matrix, row per site:
+        // cost[site * n + client]. Computed once with the exact arithmetic
+        // of `connection_cost`, so every cached read matches what the
+        // reference recomputes in its inner loops.
+        self.cost = parallel::map_chunks(n, 8, |sites| {
+            let mut block = Vec::with_capacity(sites.len() * n);
+            for site in sites {
+                for client in 0..n {
+                    block.push(instance.connection_cost(site, client));
+                }
+            }
+            block
+        })
+        .concat();
+        let cost = &self.cost;
+
+        // Per-site client ordering by (cost, client index) — the canonical
+        // ascending-cost order every round's prefix scan and the deployment
+        // step walk, computed once instead of re-sorted per round. Sorting
+        // (cost, index) pairs keeps every comparison memory-sequential (no
+        // per-comparison gather back into the matrix).
+        self.rows = parallel::map_chunks(n, 4, |sites| {
+            let mut block = Vec::with_capacity(sites.len());
+            let mut keyed: Vec<(f64, u32)> = Vec::with_capacity(n);
+            for site in sites {
+                let row = &cost[site * n..(site + 1) * n];
+                keyed.clear();
+                keyed.extend(row.iter().copied().zip(0..n as u32));
+                keyed.sort_unstable_by(pair_cmp);
+                block.push(keyed.iter().map(|&(_, client)| client).collect());
+            }
+            block
+        })
+        .concat();
+
+        // Per-client column ordering by (cost, site index), with the costs
+        // materialized alongside so the credit scatter pass reads
+        // sequentially. Flat client-major layout.
+        let chunks = parallel::map_chunks(n, 4, |clients| {
+            let mut costs_block = Vec::with_capacity(clients.len() * n);
+            let mut sites_block = Vec::with_capacity(clients.len() * n);
+            let mut keyed: Vec<(f64, u32)> = Vec::with_capacity(n);
+            for client in clients {
+                keyed.clear();
+                keyed.extend((0..n as u32).map(|s| (cost[s as usize * n + client], s)));
+                keyed.sort_unstable_by(pair_cmp);
+                costs_block.extend(keyed.iter().map(|&(c, _)| c));
+                sites_block.extend(keyed.iter().map(|&(_, s)| s));
+            }
+            (costs_block, sites_block)
+        });
+        self.col_cost.clear();
+        self.col_site.clear();
+        self.col_cost.reserve(n * n);
+        self.col_site.reserve(n * n);
+        for (c, s) in chunks {
+            self.col_cost.extend_from_slice(&c);
+            self.col_site.extend_from_slice(&s);
+        }
+
+        self.live.resize_with(n, Vec::new);
+        self.live.truncate(n);
+        self.primed = true;
+    }
+
+    /// The selection round loop over the current caches. Scratch is reset
+    /// in place (no allocation once warmed up); `live` working rows are
+    /// refreshed from the pristine `rows` and lazily compacted as clients
+    /// connect. Identical operation order to the reference: credit sums in
+    /// client-index order, prefix sums in canonical `(cost, index)` order,
+    /// first-strict-minimum site selection.
+    fn run_rounds(&mut self, instance: &PlpInstance) -> Solution {
+        let n = self.n;
+        let Self {
+            cost,
+            rows,
+            col_cost,
+            col_site,
+            live,
+            connected,
+            unconn,
+            conn_cost,
+            open,
+            credit,
+            connected_list,
+            serving,
+            open_sites,
+            ..
+        } = self;
+        for (l, r) in live.iter_mut().zip(rows.iter()) {
+            l.clone_from(r);
+        }
+        connected.clear();
+        connected.resize(n, None);
+        unconn.clear();
+        unconn.resize(n, true);
+        conn_cost.clear();
+        conn_cost.resize(n, f64::INFINITY);
+        open.clear();
+        open.resize(n, false);
+        credit.clear();
+        credit.resize(n, 0.0);
+        connected_list.clear();
+        let mut unconnected_count = n;
+        let mut compacted_len = n;
+        let workers = parallel::num_threads();
+
+        while unconnected_count > 0 {
+            // Switching credits for every site in one sparse scatter pass:
+            // each connected client walks the prefix of its column ordering
+            // that is cheaper than its current connection. Clients are
+            // visited in ascending index order, so each `credit[site]`
+            // accumulates exactly the reference's term sequence —
+            // identical f64 sums.
+            credit.fill(0.0);
+            for &j in connected_list.iter() {
+                let limit = conn_cost[j];
+                let by_cost = &col_cost[j * n..(j + 1) * n];
+                let by_site = &col_site[j * n..(j + 1) * n];
+                for (c, &site) in by_cost.iter().zip(by_site) {
+                    if *c >= limit {
+                        break;
+                    }
+                    credit[site as usize] += limit - c;
+                }
+            }
+
+            // Per-site argmin scan, fanned out over site chunks. Workers
+            // only read shared state; each returns its chunk's first strict
+            // minimum and the chunk winners merge in site order below,
+            // reproducing the sequential first-minimum tie-break (lowest
+            // site, then smallest prefix) bit-for-bit.
+            let best = {
+                let cost: &[f64] = cost;
+                let open: &[bool] = open;
+                let credit: &[f64] = credit;
+                let unconn: &[bool] = unconn;
+                let live: &[Vec<u32>] = live;
+                let openings = instance.opening_costs();
+                let scan = |sites: std::ops::Range<usize>| {
+                    // Sentinel-encoded (ratio, site, prefix): the hot
+                    // compare is a plain f64 test, no Option discriminant.
+                    let mut best = (f64::INFINITY, usize::MAX, 0usize);
+                    for site in sites {
+                        let row = &cost[site * n..(site + 1) * n];
+                        let effective_f = if open[site] { 0.0 } else { openings[site] };
+                        // Optimal unconnected prefix by ascending connection
+                        // cost: walk the precomputed ordering, skipping
+                        // connected clients, stopping with the unimodal JMS
+                        // prefix rule.
+                        let mut running = effective_f - credit[site];
+                        let mut k = 0usize;
+                        let mut last_ratio = f64::INFINITY;
+                        for &j in &live[site] {
+                            let j = j as usize;
+                            if !unconn[j] {
+                                continue;
+                            }
+                            let c = row[j];
+                            // Lower-bound prune on the first candidate:
+                            // connection costs are non-negative (weight x
+                            // distance with positive weights), so once
+                            // `running >= 0` every prefix ratio is at least
+                            // the first candidate's cost, up to accumulated
+                            // rounding of <= n*2^-53 relative error. The
+                            // margin is ~3.5e4x that bound at n = 250, so a
+                            // pruned site provably cannot strictly beat the
+                            // incumbent and the selected sequence is
+                            // bit-identical to the unpruned scan.
+                            if k == 0 && running >= 0.0 && c * PRUNE_MARGIN > best.0 {
+                                break;
+                            }
+                            if k > 0 && c >= last_ratio {
+                                break;
+                            }
+                            running += c;
+                            k += 1;
+                            let ratio = running / k as f64;
+                            if ratio < best.0 {
+                                best = (ratio, site, k);
+                            }
+                            last_ratio = ratio;
+                            if k == unconnected_count {
+                                break;
+                            }
+                        }
+                    }
+                    (best.1 != usize::MAX).then_some(best)
+                };
+                // With one worker the fan-out is pure indirection: calling
+                // the scan directly keeps it inlined into the round loop
+                // (measurably ~2x faster than routing the same closure
+                // through the generic helper), and the single full-range
+                // scan IS the canonical candidate sequence, so both paths
+                // select identically.
+                let chunk_best = if workers == 1 {
+                    vec![scan(0..n)]
+                } else {
+                    parallel::map_chunks(n, 16, scan)
+                };
+                let mut best: Option<(f64, usize, usize)> = None;
+                for cand in chunk_best.into_iter().flatten() {
+                    if best.is_none_or(|(b, _, _)| cand.0 < b) {
+                        best = Some(cand);
+                    }
+                }
+                best
+            };
+            let (_, site, prefix) = best.expect("unconnected set is non-empty");
+
+            // Deploy: connect the `prefix` cheapest unconnected clients —
+            // reusing the per-site ordering computed during precomputation
+            // instead of cloning and re-sorting the unconnected set — and
+            // switch every connected client that saves by moving.
+            open[site] = true;
+            let row = &cost[site * n..(site + 1) * n];
+            let mut taken = 0usize;
+            for &j in &live[site] {
+                if taken == prefix {
+                    break;
+                }
+                let j = j as usize;
+                if unconn[j] {
+                    connected[j] = Some(site);
+                    unconn[j] = false;
+                    conn_cost[j] = row[j];
+                    unconnected_count -= 1;
+                    taken += 1;
+                }
+            }
+            for &j in connected_list.iter() {
+                if row[j] < conn_cost[j] {
+                    connected[j] = Some(site);
+                    conn_cost[j] = row[j];
+                }
+            }
+            connected_list.clear();
+            connected_list.resize(n, 0);
+            let mut w = 0;
+            for (j, &u) in unconn.iter().enumerate() {
+                connected_list[w] = j;
+                w += !u as usize;
+            }
+            connected_list.truncate(w);
+
+            // Compact the per-site orderings once the unconnected set has
+            // shrunk by a quarter: `retain` keeps the surviving entries in
+            // the same relative (cost, index) order, so later scans see
+            // exactly the subsequence they would have reached by skipping —
+            // still amortized `O(n²)` total. The quarter cadence (vs
+            // halving) trades a few more cheap branchless rewrite passes
+            // for fewer mispredict-bound skips in the argmin walk; measured
+            // ~15% off the rounds phase at n = 250.
+            if unconnected_count * 4 <= compacted_len * 3 {
+                // Branchless in-place compaction: whether an entry survives
+                // is a coin flip to the branch predictor at this point, so
+                // write unconditionally and advance the cursor by the flag
+                // instead of branching per element.
+                for l in live.iter_mut() {
+                    let mut w = 0;
+                    for r in 0..l.len() {
+                        let j = l[r];
+                        l[w] = j;
+                        w += unconn[j as usize] as usize;
+                    }
+                    l.truncate(w);
+                }
+                compacted_len = unconnected_count;
+            }
+        }
+
+        // Keep only facilities still serving someone, then let every client
+        // take its nearest open facility (both steps are cost-non-increasing).
+        serving.clear();
+        serving.resize(n, false);
+        for conn in connected.iter().flatten() {
+            serving[*conn] = true;
+        }
+        open_sites.clear();
+        open_sites.extend((0..n).filter(|&i| open[i] && serving[i]));
+        instance.assign_nearest(open_sites)
+    }
+}
+
 /// Runs Algorithm 1 on `instance` and returns the greedy solution.
 ///
-/// Cache-aware and data-parallel: `O(n² log n)` one-off precomputation
+/// One cold [`JmsSolverContext::solve`] on a throwaway context:
+/// cache-aware and data-parallel — `O(n² log n)` one-off precomputation
 /// (cost matrix + per-site row orderings + per-client column orderings),
 /// then each selection round is a sort-free scan — `O(n²)` worst case,
 /// typically far less because switching credits are gathered sparsely
@@ -65,7 +634,8 @@ const SMALL_INSTANCE_CUTOFF: usize = 64;
 /// the crossover (64 clients) run the sequential reference directly, where
 /// the precompute would cost more than it saves. Produces exactly the
 /// same solution as [`jms_greedy_reference`] — same facilities, same
-/// assignment — for every thread count.
+/// assignment — for every thread count. Callers that re-solve repeatedly
+/// should hold a [`JmsSolverContext`] instead and use its warm path.
 ///
 /// # Examples
 ///
@@ -82,207 +652,7 @@ const SMALL_INSTANCE_CUTOFF: usize = 64;
 /// assert_eq!(solution.open_facilities().len(), 2);
 /// ```
 pub fn jms_greedy(instance: &PlpInstance) -> Solution {
-    let n = instance.len();
-
-    // Small instances: run the reference loop directly. It IS the oracle
-    // the equivalence suite checks against, so delegation is trivially
-    // bit-identical, and at this size it is also the faster kernel.
-    if n < SMALL_INSTANCE_CUTOFF {
-        return jms_greedy_reference(instance);
-    }
-
-    // Weighted connection-cost matrix, row per site: cost[site * n + client].
-    // Computed once with the exact arithmetic of `connection_cost`, so every
-    // cached read matches what the reference recomputes in its inner loops.
-    let cost: Vec<f64> = parallel::map_chunks(n, 8, |sites| {
-        let mut block = Vec::with_capacity(sites.len() * n);
-        for site in sites {
-            for client in 0..n {
-                block.push(instance.connection_cost(site, client));
-            }
-        }
-        block
-    })
-    .concat();
-
-    // Per-site client ordering by (cost, client index) — the canonical
-    // ascending-cost order every round's prefix scan and the deployment
-    // step walk, computed once instead of re-sorted per round. Flat
-    // row-major layout: order[site * n..(site + 1) * n].
-    // Sorting (cost, index) pairs keeps every comparison memory-sequential
-    // (no per-comparison gather back into the matrix).
-    let pair_cmp = |a: &(f64, u32), b: &(f64, u32)| {
-        a.0.partial_cmp(&b.0)
-            .expect("finite costs")
-            .then(a.1.cmp(&b.1))
-    };
-    // `live[site]` starts as the full ordering and is lazily compacted to
-    // the still-unconnected subsequence as rounds connect clients.
-    let mut live: Vec<Vec<u32>> = parallel::map_chunks(n, 4, |sites| {
-        let mut block = Vec::with_capacity(sites.len());
-        let mut keyed: Vec<(f64, u32)> = Vec::with_capacity(n);
-        for site in sites {
-            let row = &cost[site * n..(site + 1) * n];
-            keyed.clear();
-            keyed.extend(row.iter().copied().zip(0..n as u32));
-            keyed.sort_unstable_by(pair_cmp);
-            block.push(keyed.iter().map(|&(_, client)| client).collect());
-        }
-        block
-    })
-    .concat();
-
-    // Per-client column ordering by (cost, site index), with the costs
-    // materialized alongside so the credit scatter pass reads sequentially.
-    // Flat client-major layout: col_*[client * n..(client + 1) * n].
-    let (col_cost, col_site): (Vec<f64>, Vec<u32>) = {
-        let chunks = parallel::map_chunks(n, 4, |clients| {
-            let mut costs_block = Vec::with_capacity(clients.len() * n);
-            let mut sites_block = Vec::with_capacity(clients.len() * n);
-            let mut keyed: Vec<(f64, u32)> = Vec::with_capacity(n);
-            for client in clients {
-                keyed.clear();
-                keyed.extend((0..n as u32).map(|s| (cost[s as usize * n + client], s)));
-                keyed.sort_unstable_by(pair_cmp);
-                costs_block.extend(keyed.iter().map(|&(c, _)| c));
-                sites_block.extend(keyed.iter().map(|&(_, s)| s));
-            }
-            (costs_block, sites_block)
-        });
-        let mut costs = Vec::with_capacity(n * n);
-        let mut sites = Vec::with_capacity(n * n);
-        for (c, s) in chunks {
-            costs.extend_from_slice(&c);
-            sites.extend_from_slice(&s);
-        }
-        (costs, sites)
-    };
-
-    let mut connected: Vec<Option<usize>> = vec![None; n]; // client -> facility
-    let mut conn_cost: Vec<f64> = vec![f64::INFINITY; n]; // cached c(i', j)
-    let mut open = vec![false; n];
-    let mut connected_list: Vec<usize> = Vec::new(); // ascending client index
-    let mut unconnected_count = n;
-    let mut credit = vec![0.0f64; n];
-    let mut compacted_len = n;
-
-    while unconnected_count > 0 {
-        // Switching credits for every site in one sparse scatter pass:
-        // each connected client walks the prefix of its column ordering
-        // that is cheaper than its current connection. Clients are visited
-        // in ascending index order, so each `credit[site]` accumulates
-        // exactly the reference's term sequence — identical f64 sums.
-        credit.fill(0.0);
-        for &j in &connected_list {
-            let limit = conn_cost[j];
-            let by_cost = &col_cost[j * n..(j + 1) * n];
-            let by_site = &col_site[j * n..(j + 1) * n];
-            for (c, &site) in by_cost.iter().zip(by_site) {
-                if *c >= limit {
-                    break;
-                }
-                credit[site as usize] += limit - c;
-            }
-        }
-
-        // Per-site argmin scan, fanned out over site chunks. Workers only
-        // read shared state; each returns its chunk's first strict minimum
-        // and the chunk winners merge in site order below, reproducing the
-        // sequential first-minimum tie-break (lowest site, then smallest
-        // prefix) bit-for-bit.
-        let chunk_best = parallel::map_chunks(n, 16, |sites| {
-            let mut best: Option<(f64, usize, usize)> = None; // (ratio, site, prefix)
-            for site in sites {
-                let row = &cost[site * n..(site + 1) * n];
-                let effective_f = if open[site] {
-                    0.0
-                } else {
-                    instance.opening_costs()[site]
-                };
-                // Optimal unconnected prefix by ascending connection cost:
-                // walk the precomputed ordering, skipping connected clients,
-                // stopping with the unimodal JMS prefix rule.
-                let mut running = effective_f - credit[site];
-                let mut k = 0usize;
-                let mut last_ratio = f64::INFINITY;
-                for &j in &live[site] {
-                    let j = j as usize;
-                    if connected[j].is_some() {
-                        continue;
-                    }
-                    let c = row[j];
-                    if k > 0 && c >= last_ratio {
-                        break;
-                    }
-                    running += c;
-                    k += 1;
-                    let ratio = running / k as f64;
-                    if best.is_none_or(|(b, _, _)| ratio < b) {
-                        best = Some((ratio, site, k));
-                    }
-                    last_ratio = ratio;
-                    if k == unconnected_count {
-                        break;
-                    }
-                }
-            }
-            best
-        });
-        let mut best: Option<(f64, usize, usize)> = None;
-        for cand in chunk_best.into_iter().flatten() {
-            if best.is_none_or(|(b, _, _)| cand.0 < b) {
-                best = Some(cand);
-            }
-        }
-        let (_, site, prefix) = best.expect("unconnected set is non-empty");
-
-        // Deploy: connect the `prefix` cheapest unconnected clients —
-        // reusing the per-site ordering computed during precomputation
-        // instead of cloning and re-sorting the unconnected set — and
-        // switch every connected client that saves by moving.
-        open[site] = true;
-        let row = &cost[site * n..(site + 1) * n];
-        let mut taken = 0usize;
-        for &j in &live[site] {
-            if taken == prefix {
-                break;
-            }
-            let j = j as usize;
-            if connected[j].is_none() {
-                connected[j] = Some(site);
-                conn_cost[j] = row[j];
-                unconnected_count -= 1;
-                taken += 1;
-            }
-        }
-        for &j in &connected_list {
-            if row[j] < conn_cost[j] {
-                connected[j] = Some(site);
-                conn_cost[j] = row[j];
-            }
-        }
-        connected_list = (0..n).filter(|&j| connected[j].is_some()).collect();
-
-        // Compact the per-site orderings once the unconnected set has
-        // halved: `retain` keeps the surviving entries in the same relative
-        // (cost, index) order, so later scans see exactly the subsequence
-        // they would have reached by skipping — amortized `O(n²)` total.
-        if unconnected_count * 2 <= compacted_len {
-            for l in live.iter_mut() {
-                l.retain(|&j| connected[j as usize].is_none());
-            }
-            compacted_len = unconnected_count;
-        }
-    }
-
-    // Keep only facilities still serving someone, then let every client
-    // take its nearest open facility (both steps are cost-non-increasing).
-    let mut serving = vec![false; n];
-    for conn in connected.iter().flatten() {
-        serving[*conn] = true;
-    }
-    let open_sites: Vec<usize> = (0..n).filter(|&i| open[i] && serving[i]).collect();
-    instance.assign_nearest(&open_sites)
+    JmsSolverContext::new().solve(instance)
 }
 
 /// Naive sequential reference for [`jms_greedy`]: recomputes connection
@@ -591,5 +961,130 @@ mod tests {
                 "seed {seed}"
             );
         }
+    }
+
+    /// A fast-path-sized weighted instance (n >= SMALL_INSTANCE_CUTOFF).
+    fn big_weighted_instance(n: usize, seed: u64) -> PlpInstance {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let clients = uniform_points(n, 2000.0, seed.wrapping_add(77));
+        let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5..30.0)).collect();
+        PlpInstance::new(clients, weights, vec![3000.0; n])
+    }
+
+    #[test]
+    fn context_cold_solve_matches_one_shot() {
+        let inst = big_weighted_instance(90, 11);
+        let mut ctx = JmsSolverContext::new();
+        assert_eq!(ctx.solve(&inst), jms_greedy(&inst));
+        assert_eq!(ctx.last_solution(), Some(&jms_greedy(&inst)));
+    }
+
+    #[test]
+    fn warm_resolve_unchanged_returns_cached_solution() {
+        let inst = big_weighted_instance(80, 12);
+        let mut ctx = JmsSolverContext::new();
+        let cold = ctx.solve(&inst);
+        let warm = ctx.resolve(&inst, &[]);
+        assert_eq!(warm, cold);
+        // A mask listing untouched clients is tightened to the empty
+        // effective delta and still returns the cached solution verbatim.
+        let warm2 = ctx.resolve(&inst, &[3, 17, 42]);
+        assert_eq!(warm2, cold);
+    }
+
+    #[test]
+    fn warm_resolve_matches_cold_after_weight_changes() {
+        for seed in 0..4 {
+            let n = 100;
+            let inst = big_weighted_instance(n, 20 + seed);
+            let mut ctx = JmsSolverContext::new();
+            ctx.solve(&inst);
+            // Perturb a handful of weights and warm-resolve.
+            let mut rng = StdRng::seed_from_u64(900 + seed);
+            let mut weights = inst.weights().to_vec();
+            let changed: Vec<usize> = (0..n).filter(|_| rng.gen_range(0..10) == 0).collect();
+            for &j in &changed {
+                weights[j] = rng.gen_range(0.5..30.0);
+            }
+            let next = PlpInstance::new(
+                inst.clients().to_vec(),
+                weights,
+                inst.opening_costs().to_vec(),
+            );
+            let warm = ctx.resolve(&next, &changed);
+            let cold = jms_greedy(&next);
+            assert_eq!(warm, cold, "seed {seed} changed {changed:?}");
+            // The context stays primed: a second delta on top of the first
+            // must still match a cold solve.
+            let mut weights2 = next.weights().to_vec();
+            weights2[5] = 42.0;
+            let next2 = PlpInstance::new(
+                next.clients().to_vec(),
+                weights2,
+                next.opening_costs().to_vec(),
+            );
+            assert_eq!(ctx.resolve(&next2, &[5]), jms_greedy(&next2), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn warm_resolve_with_ties_matches_cold() {
+        // Lattice geometry: duplicate points everywhere, so row/column
+        // repair must reproduce the canonical tie-broken orderings exactly.
+        let n = 80;
+        let clients = lattice_points(n, 5, 31);
+        let weights: Vec<f64> = (0..n).map(|j| 1.0 + (j % 4) as f64).collect();
+        let inst = PlpInstance::new(clients.clone(), weights.clone(), vec![500.0; n]);
+        let mut ctx = JmsSolverContext::new();
+        ctx.solve(&inst);
+        let mut w2 = weights;
+        for j in (0..n).step_by(7) {
+            w2[j] = 3.0; // collides with existing weights -> exact cost ties
+        }
+        let changed: Vec<usize> = (0..n).step_by(7).collect();
+        let next = PlpInstance::new(clients, w2, vec![500.0; n]);
+        assert_eq!(ctx.resolve(&next, &changed), jms_greedy(&next));
+    }
+
+    #[test]
+    fn warm_resolve_falls_back_cold_on_shape_mismatch() {
+        let inst = big_weighted_instance(70, 40);
+        let mut ctx = JmsSolverContext::new();
+        ctx.solve(&inst);
+        // Different instance entirely (moved points): mask is wrong, the
+        // fallback must still produce the cold answer.
+        let other = big_weighted_instance(70, 41);
+        assert_eq!(ctx.resolve(&other, &[0]), jms_greedy(&other));
+        // Out-of-range mask entries also fall back.
+        let third = big_weighted_instance(70, 42);
+        assert_eq!(ctx.resolve(&third, &[usize::MAX]), jms_greedy(&third));
+    }
+
+    #[test]
+    fn warm_resolve_detects_unmasked_weight_change() {
+        // A weight change *outside* the mask must not be silently ignored:
+        // the compatibility check falls back to a cold solve.
+        let n = 72;
+        let inst = big_weighted_instance(n, 50);
+        let mut ctx = JmsSolverContext::new();
+        ctx.solve(&inst);
+        let mut weights = inst.weights().to_vec();
+        weights[10] += 1.0; // changed...
+        let next = PlpInstance::new(
+            inst.clients().to_vec(),
+            weights,
+            inst.opening_costs().to_vec(),
+        );
+        // ...but the mask only admits client 3.
+        assert_eq!(ctx.resolve(&next, &[3]), jms_greedy(&next));
+    }
+
+    #[test]
+    fn small_instances_delegate_to_reference_in_both_paths() {
+        let clients = uniform_points(20, 500.0, 60);
+        let inst = PlpInstance::with_uniform_cost(clients, 200.0);
+        let mut ctx = JmsSolverContext::new();
+        assert_eq!(ctx.solve(&inst), jms_greedy_reference(&inst));
+        assert_eq!(ctx.resolve(&inst, &[1]), jms_greedy_reference(&inst));
     }
 }

@@ -1,0 +1,106 @@
+//! Property-based equivalence for the warm-start incremental JMS re-solve.
+//!
+//! A [`JmsSolverContext`] warm `resolve` patches only the cost-matrix
+//! columns named by the delta mask (and the affected row positions) before
+//! re-running the round loop. Because `(cost, index)` is a total order,
+//! the sorted-merge repair reproduces exactly the orderings a cold re-sort
+//! would produce — so a warm re-solve must be **bit-identical** to both a
+//! cold fast-path solve and the sequential reference on the same instance,
+//! for any delta. Instance sizes are drawn at and above the fast-path
+//! cutoff (64) so the incremental machinery (not the reference delegation)
+//! is what's under test.
+
+use esharing_geo::Point;
+use esharing_placement::offline::{jms_greedy, jms_greedy_reference, JmsSolverContext};
+use esharing_placement::PlpInstance;
+use proptest::prelude::*;
+
+/// A weighted fast-path-sized instance from raw proptest draws.
+fn instance(raw: &[(f64, f64, f64)], f: f64) -> PlpInstance {
+    let clients: Vec<Point> = raw.iter().map(|&(x, y, _)| Point::new(x, y)).collect();
+    let weights: Vec<f64> = raw.iter().map(|&(_, _, w)| w).collect();
+    let n = clients.len();
+    PlpInstance::new(clients, weights, vec![f; n])
+}
+
+/// Re-weights `inst` at the masked clients and returns the new instance.
+fn perturbed(inst: &PlpInstance, mask: &[usize], new_weights: &[f64]) -> PlpInstance {
+    let mut weights = inst.weights().to_vec();
+    for (&j, &w) in mask.iter().zip(new_weights) {
+        weights[j] = w;
+    }
+    PlpInstance::new(
+        inst.clients().to_vec(),
+        weights,
+        inst.opening_costs().to_vec(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// An unchanged forecast (empty delta) returns the cached solution,
+    /// which must be bit-identical to the cold reference solve.
+    #[test]
+    fn warm_unchanged_matches_cold_reference(
+        raw in proptest::collection::vec(
+            (0.0f64..2_000.0, 0.0f64..2_000.0, 0.5f64..30.0),
+            64..96,
+        ),
+        f in 500.0f64..8_000.0,
+    ) {
+        let inst = instance(&raw, f);
+        let mut ctx = JmsSolverContext::new();
+        let cold = ctx.solve(&inst);
+        let warm = ctx.resolve(&inst, &[]);
+        prop_assert_eq!(&warm, &cold);
+        prop_assert_eq!(&warm, &jms_greedy_reference(&inst));
+    }
+
+    /// A warm re-solve after masked weight changes is bit-identical to a
+    /// cold solve (fast path and sequential reference) of the new instance.
+    #[test]
+    fn warm_delta_matches_cold_reference(
+        raw in proptest::collection::vec(
+            (0.0f64..2_000.0, 0.0f64..2_000.0, 0.5f64..30.0),
+            64..96,
+        ),
+        f in 500.0f64..8_000.0,
+        picks in proptest::collection::vec((0usize..64, 0.5f64..30.0), 1..12),
+    ) {
+        let inst = instance(&raw, f);
+        let mut ctx = JmsSolverContext::new();
+        ctx.solve(&inst);
+        let mask: Vec<usize> = picks.iter().map(|&(j, _)| j).collect();
+        let new_weights: Vec<f64> = picks.iter().map(|&(_, w)| w).collect();
+        let next = perturbed(&inst, &mask, &new_weights);
+        let warm = ctx.resolve(&next, &mask);
+        prop_assert_eq!(&warm, &jms_greedy(&next));
+        prop_assert_eq!(&warm, &jms_greedy_reference(&next));
+    }
+
+    /// Successive warm deltas (the steady state of the re-optimization
+    /// loop) stay bit-identical to cold solves at every step.
+    #[test]
+    fn warm_chain_matches_cold_at_every_step(
+        raw in proptest::collection::vec(
+            (0.0f64..2_000.0, 0.0f64..2_000.0, 0.5f64..30.0),
+            64..90,
+        ),
+        steps in proptest::collection::vec(
+            proptest::collection::vec((0usize..64, 0.5f64..30.0), 1..6),
+            1..4,
+        ),
+    ) {
+        let mut inst = instance(&raw, 3_000.0);
+        let mut ctx = JmsSolverContext::new();
+        ctx.solve(&inst);
+        for picks in &steps {
+            let mask: Vec<usize> = picks.iter().map(|&(j, _)| j).collect();
+            let new_weights: Vec<f64> = picks.iter().map(|&(_, w)| w).collect();
+            inst = perturbed(&inst, &mask, &new_weights);
+            let warm = ctx.resolve(&inst, &mask);
+            prop_assert_eq!(&warm, &jms_greedy(&inst));
+        }
+    }
+}

@@ -395,6 +395,18 @@ fn event_kind_json(kind: &EventKind) -> (&'static str, String) {
             "shard_recovered",
             format!("\"shard\": {shard}, \"replayed\": {replayed}"),
         ),
+        EventKind::EpochSwapped {
+            shard,
+            epoch,
+            landmarks_before,
+            landmarks_after,
+            warm,
+        } => (
+            "epoch_swapped",
+            format!(
+                "\"shard\": {shard}, \"epoch\": {epoch}, \"landmarks_before\": {landmarks_before}, \"landmarks_after\": {landmarks_after}, \"warm\": {warm}"
+            ),
+        ),
         EventKind::SloBreach {
             rule,
             value,

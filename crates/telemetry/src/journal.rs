@@ -105,6 +105,24 @@ pub enum EventKind {
         /// WAL entries replayed past the checkpoint's high-water mark.
         replayed: u64,
     },
+    /// An epochal re-optimization hot-swapped a shard's landmark set: the
+    /// forecaster was retrained on the trailing window, JMS re-solved the
+    /// zone (warm-started when the context allowed it), and the new
+    /// landmarks committed through the moved-seat protocol without pausing
+    /// the decision path.
+    EpochSwapped {
+        /// The shard whose landmark set was replaced.
+        shard: u64,
+        /// Re-optimization epoch stamped on the published landmark table.
+        epoch: u64,
+        /// Landmark count before the swap.
+        landmarks_before: u64,
+        /// Landmark count after the swap.
+        landmarks_after: u64,
+        /// Whether the solve took the warm incremental path (false = cold
+        /// rebuild of the solver context).
+        warm: bool,
+    },
     /// An SLO rule entered breach: both burn-rate windows crossed 1.
     SloBreach {
         /// Index of the rule in the configured rule set.
